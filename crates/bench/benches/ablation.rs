@@ -1,0 +1,68 @@
+//! Ablation benchmark: search time under each pruning configuration on the
+//! same block set (the count-based ablation table is `repro ablation`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pipesched_core::{search, BoundKind, EquivalenceMode, SchedContext, SearchConfig};
+use pipesched_ir::DepDag;
+use pipesched_machine::presets;
+use pipesched_synth::CorpusSpec;
+
+fn bench_ablation(c: &mut Criterion) {
+    let corpus = CorpusSpec::paper_default().with_runs(12);
+    let machine = presets::paper_simulation();
+    let blocks: Vec<_> = (0..12).map(|k| corpus.block(k)).collect();
+    let dags: Vec<_> = blocks.iter().map(DepDag::build).collect();
+
+    let configs: Vec<(&str, SearchConfig)> = vec![
+        ("paper-default", SearchConfig::default()),
+        (
+            "no-equivalence",
+            SearchConfig {
+                equivalence: EquivalenceMode::Off,
+                ..SearchConfig::default()
+            },
+        ),
+        (
+            "structural-equivalence",
+            SearchConfig {
+                equivalence: EquivalenceMode::Structural,
+                ..SearchConfig::default()
+            },
+        ),
+        (
+            "no-quick-check",
+            SearchConfig {
+                quick_check: false,
+                ..SearchConfig::default()
+            },
+        ),
+        (
+            "alpha-beta-bound",
+            SearchConfig {
+                bound: BoundKind::AlphaBeta,
+                ..SearchConfig::default()
+            },
+        ),
+        ("paper-exact", SearchConfig::paper_exact()),
+    ];
+
+    let mut group = c.benchmark_group("ablation/12-corpus-blocks");
+    group.sample_size(10);
+    for (label, cfg) in configs {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for (block, dag) in blocks.iter().zip(&dags) {
+                    let ctx = SchedContext::new(block, dag, &machine);
+                    total += u64::from(search(&ctx, &cfg).nops);
+                }
+                total
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Front-end benchmarks: parse → lower → optimize throughput, and the
+//! synthetic generator itself (the experiment harness regenerates 16,000
+//! blocks, so generation speed matters for Figure 6's denominator).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pipesched_frontend::opt::{optimize, OptConfig};
+use pipesched_frontend::{compile, lower, parse_program};
+use pipesched_synth::{generate_block, GeneratorConfig};
+
+const SOURCE: &str = "\
+t1 = a + b;
+t2 = t1 * c;
+t3 = a + b;
+t4 = t3 * c;
+r = t2 - t4;
+s = r / 2;
+u = s * s + 0;
+v = u * 1;
+";
+
+fn bench_compile_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frontend");
+    group.bench_function("parse", |b| b.iter(|| parse_program(SOURCE).unwrap()));
+    let program = parse_program(SOURCE).unwrap();
+    group.bench_function("lower", |b| b.iter(|| lower("bench", &program)));
+    let block = lower("bench", &program);
+    group.bench_function("optimize", |b| {
+        b.iter(|| optimize(&block, &OptConfig::default()))
+    });
+    group.bench_function("compile-end-to-end", |b| {
+        b.iter(|| compile("bench", SOURCE).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_generator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synth-generator");
+    for statements in [8usize, 16, 32] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(statements),
+            &statements,
+            |b, &statements| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed = seed.wrapping_add(1);
+                    generate_block(&GeneratorConfig::new(statements, 6, 3, seed))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile_pipeline, bench_generator);
+criterion_main!(benches);

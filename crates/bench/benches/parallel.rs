@@ -1,0 +1,67 @@
+//! Parallel branch-and-bound speedup (extension ablation): serial search
+//! vs the shared-incumbent parallel search at 1, 2 and all cores, and the
+//! embarrassingly parallel corpus sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pipesched_bench::experiments::blocks::block_of_size;
+use pipesched_bench::{run_sweep, SweepConfig};
+use pipesched_core::parallel::parallel_search;
+use pipesched_core::{search, SchedContext, SearchConfig};
+use pipesched_ir::DepDag;
+use pipesched_machine::presets;
+use pipesched_synth::CorpusSpec;
+
+fn bench_parallel_search(c: &mut Criterion) {
+    let machine = presets::paper_simulation();
+    // A hard block: large enough that the serial search does real work.
+    let block = block_of_size(22, 17);
+    let dag = DepDag::build(&block);
+
+    let mut group = c.benchmark_group("parallel-bnb");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            let ctx = SchedContext::new(&block, &dag, &machine);
+            search(&ctx, &SearchConfig::default())
+        })
+    });
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let ctx = SchedContext::new(&block, &dag, &machine);
+                    parallel_search(&ctx, 50_000, threads)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sweep_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep-scaling");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let config = SweepConfig {
+                    corpus: CorpusSpec::paper_default().with_runs(48),
+                    lambda: 20_000,
+                    threads,
+                    validate: false,
+                    ..SweepConfig::default()
+                };
+                b.iter(|| run_sweep(&config))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_search, bench_sweep_scaling);
+criterion_main!(benches);

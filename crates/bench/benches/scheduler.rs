@@ -1,0 +1,76 @@
+//! Core scheduler benchmarks: optimal search time per block size
+//! (the paper's Figure 6 / "about 100 typical blocks per second"
+//! conclusion) and end-to-end throughput on corpus blocks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pipesched_bench::experiments::blocks::block_of_size;
+use pipesched_core::{search, SchedContext, SearchConfig};
+use pipesched_ir::DepDag;
+use pipesched_machine::presets;
+use pipesched_synth::CorpusSpec;
+
+fn bench_search_by_size(c: &mut Criterion) {
+    let machine = presets::paper_simulation();
+    let mut group = c.benchmark_group("search/block-size");
+    group.sample_size(20);
+    for size in [8usize, 12, 16, 20, 24] {
+        let block = block_of_size(size, 7);
+        let dag = DepDag::build(&block);
+        group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+            b.iter(|| {
+                let ctx = SchedContext::new(&block, &dag, &machine);
+                search(&ctx, &SearchConfig::default())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_corpus_throughput(c: &mut Criterion) {
+    // The paper: "schedules about 100 typical blocks per second" on a
+    // workstation. Measure blocks/second end to end (generation excluded).
+    let corpus = CorpusSpec::paper_default().with_runs(32);
+    let machine = presets::paper_simulation();
+    let blocks: Vec<_> = (0..32).map(|k| corpus.block(k)).collect();
+    let dags: Vec<_> = blocks.iter().map(DepDag::build).collect();
+    let mut g = c.benchmark_group("search");
+    g.sample_size(10);
+    g.bench_function("corpus-32-blocks", |b| {
+        b.iter(|| {
+            let mut total_nops = 0u64;
+            for (block, dag) in blocks.iter().zip(&dags) {
+                let ctx = SchedContext::new(block, dag, &machine);
+                total_nops += u64::from(search(&ctx, &SearchConfig::default()).nops);
+            }
+            total_nops
+        })
+    });
+    g.finish();
+}
+
+fn bench_machines(c: &mut Criterion) {
+    // Search cost across machine models (deeper pipelines ⇒ more NOPs to
+    // eliminate ⇒ weaker α-β bound early on).
+    let block = block_of_size(16, 3);
+    let dag = DepDag::build(&block);
+    let mut group = c.benchmark_group("search/machine");
+    group.sample_size(20);
+    for machine in presets::all_presets() {
+        group.bench_function(machine.name.clone(), |b| {
+            b.iter(|| {
+                let ctx = SchedContext::new(&block, &dag, &machine);
+                search(&ctx, &SearchConfig::default())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_search_by_size,
+    bench_corpus_throughput,
+    bench_machines
+);
+criterion_main!(benches);

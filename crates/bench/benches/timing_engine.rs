@@ -1,0 +1,87 @@
+//! Microbenchmarks of the Ω primitive: the incremental NOP-insertion
+//! engine (push/pop) against the O(n²) ground-truth evaluation, justifying
+//! the incremental design (§2.3 measures Ω cost directly — 0.12 ms on a
+//! Gould NP1; we report the modern equivalent).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pipesched_bench::experiments::blocks::block_of_size;
+use pipesched_core::{list_schedule, SchedContext, TimingEngine};
+use pipesched_ir::{BlockAnalysis, DepDag};
+use pipesched_machine::presets;
+use pipesched_sim::{issue_times, TimingModel};
+
+fn bench_omega(c: &mut Criterion) {
+    let machine = presets::paper_simulation();
+    let mut group = c.benchmark_group("omega/full-schedule-evaluation");
+    group.sample_size(30);
+    for size in [8usize, 16, 32] {
+        let block = block_of_size(size, 5);
+        let dag = DepDag::build(&block);
+        let ctx = SchedContext::new(&block, &dag, &machine);
+        let analysis = BlockAnalysis::compute(&dag);
+        let order = list_schedule(&dag, &analysis);
+
+        group.bench_with_input(
+            BenchmarkId::new("incremental-engine", size),
+            &size,
+            |b, _| {
+                b.iter(|| {
+                    let mut engine = TimingEngine::new(&ctx);
+                    for &t in &order {
+                        engine.push_default(t);
+                    }
+                    engine.total_nops()
+                })
+            },
+        );
+
+        let tm = TimingModel::new(&block, &dag, &machine);
+        group.bench_with_input(
+            BenchmarkId::new("simulator-ground-truth", size),
+            &size,
+            |b, _| b.iter(|| issue_times(&tm, &order)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_push_pop(c: &mut Criterion) {
+    // The search's inner loop: place one instruction, undo it.
+    let machine = presets::paper_simulation();
+    let block = block_of_size(24, 5);
+    let dag = DepDag::build(&block);
+    let ctx = SchedContext::new(&block, &dag, &machine);
+    let analysis = BlockAnalysis::compute(&dag);
+    let order = list_schedule(&dag, &analysis);
+
+    c.bench_function("omega/push-pop-at-depth-12", |b| {
+        let mut engine = TimingEngine::new(&ctx);
+        for &t in &order[..12] {
+            engine.push_default(t);
+        }
+        let probe = order[12];
+        b.iter(|| {
+            engine.push_default(probe);
+            engine.pop();
+        })
+    });
+}
+
+fn bench_dag_and_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis");
+    for size in [16usize, 32] {
+        let block = block_of_size(size, 9);
+        group.bench_with_input(BenchmarkId::new("dag-build", size), &size, |b, _| {
+            b.iter(|| DepDag::build(&block))
+        });
+        let dag = DepDag::build(&block);
+        group.bench_with_input(BenchmarkId::new("closure", size), &size, |b, _| {
+            b.iter(|| BlockAnalysis::compute(&dag))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_omega, bench_push_pop, bench_dag_and_analysis);
+criterion_main!(benches);

@@ -1,0 +1,395 @@
+//! `repro` — regenerate every table and figure of Nisar & Dietz (1990).
+//!
+//! ```text
+//! repro all       [--runs N] [--lambda L] [--threads T] [--out DIR]
+//! repro table1
+//! repro table7    [--runs N] ...
+//! repro fig1|fig4|fig5|fig6|fig7
+//! repro ablation  [--runs N]
+//! repro windowed  [--runs N]
+//! repro encodings [--runs N]
+//! repro verify    [--runs N]   # full end-to-end invariant gate
+//! ```
+//!
+//! `table7` and the figures share one corpus sweep; running `all` performs
+//! the sweep once and derives everything from it. Output goes to
+//! `results/` as aligned text and CSV.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use pipesched_bench::experiments::{ablation, encodings, sweep, table1, verify_sweep, windowed};
+use pipesched_bench::report::{f, percentile, TextTable};
+use pipesched_bench::{run_sweep, RunRecord, SweepConfig, SweepResult};
+use pipesched_synth::CorpusSpec;
+
+struct Args {
+    command: String,
+    runs: usize,
+    lambda: u64,
+    threads: usize,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().unwrap_or_else(|| "all".to_string());
+    let mut parsed = Args {
+        command,
+        runs: 16_000,
+        lambda: 50_000,
+        threads: 0,
+        out: PathBuf::from("results"),
+    };
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .ok_or_else(|| format!("flag {flag} requires a value"))
+        };
+        match flag.as_str() {
+            "--runs" => parsed.runs = value()?.parse().map_err(|e| format!("--runs: {e}"))?,
+            "--lambda" => {
+                parsed.lambda = value()?.parse().map_err(|e| format!("--lambda: {e}"))?
+            }
+            "--threads" => {
+                parsed.threads = value()?.parse().map_err(|e| format!("--threads: {e}"))?
+            }
+            "--out" => parsed.out = PathBuf::from(value()?),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("repro: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match args.command.as_str() {
+        "table1" => run_table1(&args),
+        "table7" | "fig1" | "fig4" | "fig5" | "fig6" | "fig7" => {
+            let result = do_sweep(&args);
+            match args.command.as_str() {
+                "table7" => run_table7(&args, &result),
+                "fig1" => run_fig1(&args, &result),
+                "fig4" => run_fig4(&args, &result),
+                "fig5" => run_fig5(&args, &result),
+                "fig6" => run_fig6(&args, &result),
+                "fig7" => run_fig7(&args, &result),
+                _ => unreachable!(),
+            }
+        }
+        "ablation" => run_ablation(&args),
+        "windowed" => run_windowed(&args),
+        "encodings" => run_encodings(&args),
+        "verify" => {
+            let runs = args.runs.min(2_000);
+            eprintln!("verify: full end-to-end gate over {runs} blocks...");
+            let report = verify_sweep::run(runs, args.lambda);
+            println!(
+                "verified {} blocks ({} provably optimal), {} instructions, {} NOPs total — all invariants hold",
+                report.blocks, report.optimal, report.instructions, report.nops
+            );
+        }
+        "all" => {
+            run_table1(&args);
+            let result = do_sweep(&args);
+            run_table7(&args, &result);
+            run_fig1(&args, &result);
+            run_fig4(&args, &result);
+            run_fig5(&args, &result);
+            run_fig6(&args, &result);
+            run_fig7(&args, &result);
+            let ablation_args = Args {
+                runs: args.runs.min(200),
+                ..copy_args(&args)
+            };
+            run_ablation(&ablation_args);
+            run_windowed(&ablation_args);
+            run_encodings(&ablation_args);
+        }
+        other => {
+            eprintln!(
+                "repro: unknown command `{other}`\n\
+                 commands: all table1 table7 fig1 fig4 fig5 fig6 fig7 ablation windowed encodings verify"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn copy_args(a: &Args) -> Args {
+    Args {
+        command: a.command.clone(),
+        runs: a.runs,
+        lambda: a.lambda,
+        threads: a.threads,
+        out: a.out.clone(),
+    }
+}
+
+fn do_sweep(args: &Args) -> SweepResult {
+    let config = SweepConfig {
+        corpus: CorpusSpec::paper_default().with_runs(args.runs),
+        lambda: args.lambda,
+        threads: args.threads,
+        ..SweepConfig::default()
+    };
+    eprintln!(
+        "sweep: scheduling {} blocks (lambda={}, validating against the simulator)...",
+        args.runs, args.lambda
+    );
+    let start = Instant::now();
+    let result = run_sweep(&config);
+    eprintln!(
+        "sweep: done in {:.1}s ({:.0} blocks/s)",
+        start.elapsed().as_secs_f64(),
+        args.runs as f64 / start.elapsed().as_secs_f64()
+    );
+    result
+}
+
+fn save(args: &Args, name: &str, table: &TextTable, caption: &str) {
+    println!("\n== {caption} ==\n{}", table.render());
+    table.save(&args.out, name).expect("write results");
+    println!("(saved to {}/{name}.txt and .csv)", args.out.display());
+}
+
+fn run_table1(args: &Args) {
+    eprintln!("table1: three search regimes on representative blocks...");
+    let rows = table1::run();
+    let table = table1::render(&rows);
+    save(args, "table1_search_space", &table, "Table 1: Search Space for Representative Examples");
+}
+
+fn run_table7(args: &Args, result: &SweepResult) {
+    let completed: Vec<&RunRecord> = result.records.iter().filter(|r| r.completed).collect();
+    let truncated: Vec<&RunRecord> = result.records.iter().filter(|r| !r.completed).collect();
+    let all_agg = sweep::aggregate(result.records.iter());
+    let c = sweep::aggregate(completed.iter().copied());
+    let t = sweep::aggregate(truncated.iter().copied());
+    let total = result.records.len().max(1);
+
+    let mut table = TextTable::new([
+        "",
+        "Search Completed (Optimal)",
+        "Search Truncated (Suboptimal?)",
+        "Totals",
+    ]);
+    table.row([
+        "Number of Runs".to_string(),
+        c.runs.to_string(),
+        t.runs.to_string(),
+        total.to_string(),
+    ]);
+    table.row([
+        "Percentage of Runs".to_string(),
+        format!("{}%", f(100.0 * c.runs as f64 / total as f64, 2)),
+        format!("{}%", f(100.0 * t.runs as f64 / total as f64, 2)),
+        "100%".to_string(),
+    ]);
+    table.row([
+        "Avg. Instructions/Block".to_string(),
+        f(c.avg_instructions, 2),
+        f(t.avg_instructions, 2),
+        f(all_agg.avg_instructions, 2),
+    ]);
+    table.row([
+        "Avg. Initial NOPs".to_string(),
+        f(c.avg_initial_nops, 2),
+        f(t.avg_initial_nops, 2),
+        f(all_agg.avg_initial_nops, 2),
+    ]);
+    table.row([
+        "Avg. Final NOPs".to_string(),
+        f(c.avg_final_nops, 2),
+        f(t.avg_final_nops, 2),
+        f(all_agg.avg_final_nops, 2),
+    ]);
+    table.row([
+        "Avg. Omega Calls".to_string(),
+        f(c.avg_omega, 1),
+        f(t.avg_omega, 1),
+        f(all_agg.avg_omega, 1),
+    ]);
+    table.row([
+        "Avg. Search Time".to_string(),
+        format!("{:?}", c.avg_time),
+        format!("{:?}", t.avg_time),
+        format!("{:?}", all_agg.avg_time),
+    ]);
+    save(
+        args,
+        "table7_summary",
+        &table,
+        &format!("Table 7: Statistics for Scheduling {total} Blocks"),
+    );
+}
+
+/// Per-block-size aggregation used by several figures.
+fn by_size(records: &[RunRecord]) -> BTreeMap<usize, Vec<&RunRecord>> {
+    let mut map: BTreeMap<usize, Vec<&RunRecord>> = BTreeMap::new();
+    for r in records {
+        map.entry(r.block_size).or_default().push(r);
+    }
+    map
+}
+
+fn run_fig1(args: &Args, result: &SweepResult) {
+    // Scatter data: one row per completed run.
+    let mut scatter = TextTable::new(["block_size", "omega_calls"]);
+    for r in result.records.iter().filter(|r| r.completed) {
+        scatter.row([r.block_size.to_string(), r.omega_calls.to_string()]);
+    }
+    scatter.save(&args.out, "fig1_scatter").expect("write results");
+
+    // Per-size summary for reading.
+    let mut table = TextTable::new([
+        "block size",
+        "completed runs",
+        "avg Ω",
+        "median Ω",
+        "p95 Ω",
+        "max Ω",
+    ]);
+    for (size, rs) in by_size(&result.records) {
+        let done: Vec<_> = rs.iter().filter(|r| r.completed).collect();
+        if done.is_empty() {
+            continue;
+        }
+        let omegas: Vec<u64> = done.iter().map(|r| r.omega_calls).collect();
+        let avg = omegas.iter().sum::<u64>() as f64 / omegas.len() as f64;
+        table.row([
+            size.to_string(),
+            done.len().to_string(),
+            f(avg, 1),
+            percentile(&omegas, 50.0).to_string(),
+            percentile(&omegas, 95.0).to_string(),
+            omegas.iter().copied().max().unwrap().to_string(),
+        ]);
+    }
+    save(
+        args,
+        "fig1_schedules_searched",
+        &table,
+        "Figure 1: Schedules Searched vs Block Size (completed runs; scatter in fig1_scatter.csv)",
+    );
+}
+
+fn run_fig4(args: &Args, result: &SweepResult) {
+    let mut table = TextTable::new(["block size", "runs", "avg initial NOPs", "avg final NOPs"]);
+    for (size, rs) in by_size(&result.records) {
+        let n = rs.len() as f64;
+        let init = rs.iter().map(|r| f64::from(r.initial_nops)).sum::<f64>() / n;
+        let fin = rs.iter().map(|r| f64::from(r.final_nops)).sum::<f64>() / n;
+        table.row([size.to_string(), rs.len().to_string(), f(init, 2), f(fin, 2)]);
+    }
+    save(
+        args,
+        "fig4_initial_final_nops",
+        &table,
+        "Figure 4: Initial and Final NOPs vs Block Size",
+    );
+}
+
+fn run_fig5(args: &Args, result: &SweepResult) {
+    let mut table = TextTable::new(["block size", "blocks"]);
+    for (size, rs) in by_size(&result.records) {
+        table.row([size.to_string(), rs.len().to_string()]);
+    }
+    save(
+        args,
+        "fig5_block_size_distribution",
+        &table,
+        "Figure 5: Distribution of Sample Block Sizes",
+    );
+}
+
+fn run_fig6(args: &Args, result: &SweepResult) {
+    let mut table = TextTable::new([
+        "block size",
+        "runs",
+        "avg time (us)",
+        "median (us)",
+        "p95 (us)",
+        "max (us)",
+    ]);
+    for (size, rs) in by_size(&result.records) {
+        let times: Vec<u64> = rs.iter().map(|r| r.search_micros).collect();
+        let avg = times.iter().sum::<u64>() as f64 / times.len() as f64;
+        table.row([
+            size.to_string(),
+            rs.len().to_string(),
+            f(avg, 1),
+            percentile(&times, 50.0).to_string(),
+            percentile(&times, 95.0).to_string(),
+            times.iter().copied().max().unwrap().to_string(),
+        ]);
+    }
+    save(
+        args,
+        "fig6_runtime_vs_block_size",
+        &table,
+        "Figure 6: Runtime vs Block Size",
+    );
+}
+
+fn run_fig7(args: &Args, result: &SweepResult) {
+    let mut table = TextTable::new(["block size", "runs", "% optimal (not curtailed)"]);
+    for (size, rs) in by_size(&result.records) {
+        let optimal = rs.iter().filter(|r| r.completed).count();
+        table.row([
+            size.to_string(),
+            rs.len().to_string(),
+            f(100.0 * optimal as f64 / rs.len() as f64, 1),
+        ]);
+    }
+    save(
+        args,
+        "fig7_percent_optimal",
+        &table,
+        "Figure 7: Percentage of Runs Finding Provably Optimal Schedules vs Block Size",
+    );
+}
+
+fn run_encodings(args: &Args) {
+    let runs = args.runs.min(300);
+    eprintln!("encodings: {runs} blocks x {{wait-count, Tera 1-3 bit, CARP}}...");
+    let (machine_name, rows) = encodings::run(runs, args.lambda);
+    let table = encodings::render(&machine_name, &rows);
+    save(
+        args,
+        "encodings",
+        &table,
+        "Delay-mechanism encodings: extra cycles vs precise interlock (optimally scheduled blocks)",
+    );
+}
+
+fn run_windowed(args: &Args) {
+    let blocks = (args.runs / 10).clamp(3, 20);
+    eprintln!("windowed: {blocks} large blocks x {{5,10,20,full}}...");
+    let rows = windowed::run(blocks, args.lambda);
+    let table = windowed::render(&rows);
+    save(
+        args,
+        "windowed",
+        &table,
+        "Windowed scheduling (section 5.3 future work): quality vs window size on large blocks",
+    );
+}
+
+fn run_ablation(args: &Args) {
+    let runs = args.runs.min(400);
+    eprintln!("ablation: {runs} blocks per configuration...");
+    let rows = ablation::run(runs, args.lambda);
+    let table = ablation::render(&rows);
+    save(args, "ablation", &table, "Ablation: pruning devices, bounds, baselines");
+}

@@ -1,0 +1,61 @@
+//! Deterministic lookup of benchmark blocks with exact instruction counts
+//! (Table 1 uses "representative examples" of specific sizes).
+
+use pipesched_ir::BasicBlock;
+use pipesched_synth::{generate_block, GeneratorConfig};
+
+/// Find a generated block with exactly `size` instructions, deterministic
+/// in `salt` (different salts give different representative blocks of the
+/// same size). Panics only if no block of that size exists within a large
+/// seed budget — sizes 4..=48 are always reachable.
+pub fn block_of_size(size: usize, salt: u64) -> BasicBlock {
+    // Statement count is the main driver of block size; start near the
+    // expected ratio and scan seeds.
+    let base_statements = (size as f64 / 1.5).ceil() as usize;
+    for spread in 0..6usize {
+        for statements in
+            base_statements.saturating_sub(spread)..=base_statements + 2 * spread + 2
+        {
+            for seed in 0..400u64 {
+                let cfg = GeneratorConfig::new(
+                    statements.max(1),
+                    3 + (seed as usize % 8),
+                    1 + (seed as usize % 5),
+                    salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed,
+                );
+                let block = generate_block(&cfg);
+                if block.len() == size {
+                    return block;
+                }
+            }
+        }
+    }
+    panic!("no synthetic block of size {size} found");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_exact_sizes() {
+        for &size in &[8usize, 11, 13, 16, 22] {
+            let block = block_of_size(size, 1);
+            assert_eq!(block.len(), size);
+            block.verify().unwrap();
+        }
+    }
+
+    #[test]
+    fn salt_changes_the_block() {
+        let a = block_of_size(13, 1);
+        let b = block_of_size(13, 2);
+        assert_eq!(a.len(), b.len());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(block_of_size(16, 3), block_of_size(16, 3));
+    }
+}

@@ -1,0 +1,124 @@
+//! Delay-mechanism encoding study (ours; §2.2 grounds it): how much do the
+//! *practical* explicit-interlock encodings cost relative to precise
+//! interlock hardware, measured on optimally scheduled corpus blocks?
+//!
+//! * exact wait counts (the §2.2 "explicit waiting" ideal) — always 0;
+//! * Tera-style lookahead fields of 1–3 bits (clamped dependence
+//!   distances);
+//! * CARP-style per-pipeline wait masks (coarse: wait for the *latest*
+//!   operation in the producer's pipeline).
+
+use pipesched_core::{search, SchedContext, SearchConfig};
+use pipesched_ir::DepDag;
+use pipesched_machine::{presets, Machine};
+use pipesched_sim::{conservatism, lookahead_penalty, simulate_interlock, TimingModel};
+use pipesched_synth::CorpusSpec;
+
+use crate::report::{f, TextTable};
+
+/// Aggregated penalty of one encoding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodingRow {
+    /// Encoding label.
+    pub label: String,
+    /// Mean extra cycles per block vs precise interlock.
+    pub avg_extra_cycles: f64,
+    /// Fraction of blocks with any penalty at all.
+    pub pct_affected: f64,
+    /// Worst penalty observed.
+    pub max_extra_cycles: u64,
+}
+
+/// Run the encoding study over `runs` corpus blocks on `machine`
+/// (optimally scheduled first, as a compiler for such a machine would).
+pub fn run_on(machine: &Machine, runs: usize, lambda: u64) -> Vec<EncodingRow> {
+    let corpus = CorpusSpec::paper_default().with_runs(runs);
+    let mut tera_bits: Vec<Vec<u64>> = vec![Vec::new(); 4]; // 1,2,3,ideal
+    let mut carp: Vec<u64> = Vec::new();
+
+    for k in 0..runs {
+        let block = corpus.block(k);
+        let dag = DepDag::build(&block);
+        let ctx = SchedContext::new(&block, &dag, machine);
+        let out = search(&ctx, &SearchConfig::with_lambda(lambda));
+        let tm = TimingModel::new(&block, &dag, machine);
+        // Sanity: the scheduler's cycle count matches the simulator's.
+        let precise = simulate_interlock(&tm, &out.order);
+        debug_assert_eq!(precise.total_stalls, u64::from(out.nops));
+
+        for (slot, bits) in [(0usize, 1u32), (1, 2), (2, 3), (3, 32)] {
+            tera_bits[slot].push(lookahead_penalty(&tm, &out.order, bits));
+        }
+        carp.push(conservatism(&tm, &out.order));
+    }
+
+    let row = |label: &str, xs: &[u64]| EncodingRow {
+        label: label.to_string(),
+        avg_extra_cycles: xs.iter().sum::<u64>() as f64 / xs.len().max(1) as f64,
+        pct_affected: 100.0 * xs.iter().filter(|&&x| x > 0).count() as f64
+            / xs.len().max(1) as f64,
+        max_extra_cycles: xs.iter().copied().max().unwrap_or(0),
+    };
+
+    vec![
+        row("exact wait counts (ideal)", &vec![0; runs]),
+        row("Tera lookahead, 3-bit field", &tera_bits[2]),
+        row("Tera lookahead, 2-bit field", &tera_bits[1]),
+        row("Tera lookahead, 1-bit field", &tera_bits[0]),
+        row("Tera lookahead, unbounded", &tera_bits[3]),
+        row("CARP pipeline masks", &carp),
+    ]
+}
+
+/// Render the encoding table.
+pub fn render(machine_name: &str, rows: &[EncodingRow]) -> TextTable {
+    let mut t = TextTable::new([
+        format!("encoding (machine: {machine_name})"),
+        "avg extra cycles".to_string(),
+        "% blocks affected".to_string(),
+        "max extra".to_string(),
+    ]);
+    for r in rows {
+        t.row([
+            r.label.clone(),
+            f(r.avg_extra_cycles, 3),
+            f(r.pct_affected, 1),
+            r.max_extra_cycles.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Default machine for the study: the deep pipeline, where long latencies
+/// make narrow lookahead fields hurt.
+pub fn run(runs: usize, lambda: u64) -> (String, Vec<EncodingRow>) {
+    let machine = presets::deep_pipeline();
+    let rows = run_on(&machine, runs, lambda);
+    (machine.name.clone(), rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_hierarchy() {
+        let (_, rows) = run(20, 20_000);
+        let by_label = |label: &str| {
+            rows.iter()
+                .find(|r| r.label.starts_with(label))
+                .unwrap()
+                .avg_extra_cycles
+        };
+        // Unbounded Tera field is exact.
+        assert_eq!(by_label("Tera lookahead, unbounded"), 0.0);
+        // Narrower fields never cost less than wider ones.
+        assert!(by_label("Tera lookahead, 1-bit") >= by_label("Tera lookahead, 2-bit"));
+        assert!(by_label("Tera lookahead, 2-bit") >= by_label("Tera lookahead, 3-bit"));
+        // All penalties are non-negative by construction.
+        for r in &rows {
+            assert!(r.avg_extra_cycles >= 0.0);
+            assert!(r.pct_affected <= 100.0);
+        }
+    }
+}

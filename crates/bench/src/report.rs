@@ -1,0 +1,186 @@
+//! Plain-text table and CSV rendering for experiment output.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                let sep = if i + 1 == cols { "\n" } else { "  " };
+                let _ = write!(out, "{cell:>w$}{sep}", w = *w);
+            }
+        };
+        line(&self.header, &mut out);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        let _ = writeln!(out, "{}", "-".repeat(rule));
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180-ish; quotes cells containing commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &String| -> String {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(esc).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(esc).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Write both `.txt` and `.csv` into `dir` under `name`.
+    pub fn save(&self, dir: &Path, name: &str) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        fs::write(dir.join(format!("{name}.txt")), self.render())?;
+        fs::write(dir.join(format!("{name}.csv")), self.to_csv())?;
+        Ok(())
+    }
+}
+
+/// Percentile (0..=100) of an unsorted sample, by nearest-rank; 0 for an
+/// empty sample.
+pub fn percentile(samples: &[u64], pct: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut v = samples.to_vec();
+    v.sort_unstable();
+    let rank = ((pct / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
+    v[rank.min(v.len() - 1)]
+}
+
+/// Format a float with the given precision, trimming noise.
+pub fn f(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Format a large count in scientific notation like the paper's Table 1
+/// (`2.1x10^13`) when it exceeds 7 digits.
+pub fn sci(v: f64) -> String {
+    if v < 10_000_000.0 {
+        format!("{}", v as u64)
+    } else {
+        let exp = v.log10().floor() as i32;
+        let mant = v / 10f64.powi(exp);
+        format!("{mant:.1}x10^{exp}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["n", "calls"]);
+        t.row(["8", "40320"]);
+        t.row(["13", "6"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].ends_with("calls"));
+        assert!(lines[2].ends_with("40320"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["1,5", "x\"y"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"1,5\""));
+        assert!(csv.contains("\"x\"\"y\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn percentiles_by_nearest_rank() {
+        let xs = [5u64, 1, 9, 3, 7];
+        assert_eq!(percentile(&xs, 0.0), 1);
+        assert_eq!(percentile(&xs, 50.0), 5);
+        assert_eq!(percentile(&xs, 100.0), 9);
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[42], 95.0), 42);
+    }
+
+    #[test]
+    fn sci_notation_matches_paper_style() {
+        assert_eq!(sci(40_320.0), "40320");
+        assert_eq!(sci(2.09e13), "2.1x10^13");
+        assert_eq!(sci(6.2e9), "6.2x10^9");
+    }
+
+    #[test]
+    fn save_writes_both_files() {
+        let dir = std::env::temp_dir().join("pipesched-report-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut t = TextTable::new(["x"]);
+        t.row(["1"]);
+        t.save(&dir, "demo").unwrap();
+        assert!(dir.join("demo.txt").exists());
+        assert!(dir.join("demo.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,193 @@
+//! High-level scheduling facade.
+//!
+//! ```
+//! use pipesched_ir::BlockBuilder;
+//! use pipesched_machine::presets;
+//! use pipesched_core::Scheduler;
+//!
+//! let mut b = BlockBuilder::new("demo");
+//! let x = b.load("x");
+//! let y = b.load("y");
+//! let m = b.mul(x, y);
+//! b.store("r", m);
+//! let block = b.finish().unwrap();
+//!
+//! let scheduler = Scheduler::new(presets::paper_simulation());
+//! let scheduled = scheduler.schedule(&block);
+//! assert!(scheduled.optimal);
+//! assert!(scheduled.nops <= scheduled.initial_nops);
+//! ```
+
+use pipesched_ir::{BasicBlock, DepDag, TupleId};
+use pipesched_machine::{Machine, PipelineId};
+
+use crate::bnb::{search, SearchConfig, SearchStats};
+use crate::context::SchedContext;
+use crate::parallel::parallel_search;
+
+/// A configured scheduler bound to a target machine.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    machine: Machine,
+    config: SearchConfig,
+    parallel_threads: Option<usize>,
+}
+
+impl Scheduler {
+    /// Create a scheduler with the paper's default search configuration.
+    pub fn new(machine: Machine) -> Self {
+        Scheduler {
+            machine,
+            config: SearchConfig::default(),
+            parallel_threads: None,
+        }
+    }
+
+    /// Override the full search configuration.
+    pub fn with_config(mut self, config: SearchConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Set the curtail point λ.
+    pub fn with_lambda(mut self, lambda: u64) -> Self {
+        self.config.lambda = lambda;
+        self
+    }
+
+    /// Use the parallel branch-and-bound with `threads` workers
+    /// (0 ⇒ one per CPU). The parallel variant ignores the non-default
+    /// bound/equivalence/selection knobs.
+    pub fn parallel(mut self, threads: usize) -> Self {
+        self.parallel_threads = Some(threads);
+        self
+    }
+
+    /// The machine this scheduler targets.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// The active search configuration.
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// Schedule one basic block.
+    pub fn schedule(&self, block: &BasicBlock) -> ScheduledBlock {
+        let dag = DepDag::build(block);
+        self.schedule_with_dag(block, &dag)
+    }
+
+    /// Schedule a block whose DAG the caller already built.
+    pub fn schedule_with_dag(&self, block: &BasicBlock, dag: &DepDag) -> ScheduledBlock {
+        let ctx = SchedContext::new(block, dag, &self.machine);
+        let outcome = match self.parallel_threads {
+            Some(threads) => parallel_search(&ctx, self.config.lambda, threads),
+            None => search(&ctx, &self.config),
+        };
+        ScheduledBlock {
+            order: outcome.order,
+            assignment: outcome.assignment,
+            etas: outcome.etas,
+            nops: outcome.nops,
+            initial_order: outcome.initial_order,
+            initial_nops: outcome.initial_nops,
+            optimal: outcome.optimal,
+            stats: outcome.stats,
+        }
+    }
+}
+
+/// A scheduled basic block: the order, its per-position NOP padding, and
+/// provenance of the result.
+#[derive(Debug, Clone)]
+pub struct ScheduledBlock {
+    /// Instruction order (a permutation of the block's tuple ids).
+    pub order: Vec<TupleId>,
+    /// Pipeline unit per tuple (indexed by tuple id).
+    pub assignment: Vec<Option<PipelineId>>,
+    /// NOPs inserted immediately before each *position* of `order`.
+    pub etas: Vec<u32>,
+    /// Total NOPs μ(Π).
+    pub nops: u32,
+    /// The initial list schedule the search started from.
+    pub initial_order: Vec<TupleId>,
+    /// μ of the initial schedule.
+    pub initial_nops: u32,
+    /// True when the search completed: the schedule is provably optimal.
+    pub optimal: bool,
+    /// Search counters.
+    pub stats: SearchStats,
+}
+
+impl ScheduledBlock {
+    /// Iterate `(tuple, nops-before-it)` pairs in schedule order.
+    pub fn iter_with_nops(&self) -> impl Iterator<Item = (TupleId, u32)> + '_ {
+        self.order.iter().copied().zip(self.etas.iter().copied())
+    }
+
+    /// Total execution cycles of the padded schedule
+    /// (instructions + NOPs; the last instruction's issue cycle + 1).
+    pub fn total_cycles(&self) -> u64 {
+        self.order.len() as u64 + u64::from(self.nops)
+    }
+
+    /// NOPs eliminated relative to the initial list schedule.
+    pub fn nops_removed(&self) -> u32 {
+        self.initial_nops.saturating_sub(self.nops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipesched_ir::BlockBuilder;
+    use pipesched_machine::presets;
+
+    fn demo_block() -> BasicBlock {
+        let mut b = BlockBuilder::new("demo");
+        let x = b.load("x");
+        let y = b.load("y");
+        let m = b.mul(x, y);
+        let a = b.add(x, y);
+        b.store("m", m);
+        b.store("a", a);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn facade_schedules_optimally() {
+        let s = Scheduler::new(presets::paper_simulation());
+        let out = s.schedule(&demo_block());
+        assert!(out.optimal);
+        assert_eq!(out.order.len(), 6);
+        assert_eq!(out.etas.len(), 6);
+        assert_eq!(out.etas.iter().sum::<u32>(), out.nops);
+        assert_eq!(out.total_cycles(), 6 + u64::from(out.nops));
+    }
+
+    #[test]
+    fn parallel_facade_agrees_with_serial() {
+        let block = demo_block();
+        let serial = Scheduler::new(presets::paper_simulation()).schedule(&block);
+        let par = Scheduler::new(presets::paper_simulation())
+            .parallel(2)
+            .schedule(&block);
+        assert_eq!(serial.nops, par.nops);
+    }
+
+    #[test]
+    fn lambda_plumbs_through() {
+        let s = Scheduler::new(presets::paper_simulation()).with_lambda(3);
+        let out = s.schedule(&demo_block());
+        assert!(out.stats.omega_calls <= 3);
+    }
+
+    #[test]
+    fn nops_removed_reports_improvement() {
+        let s = Scheduler::new(presets::paper_simulation());
+        let out = s.schedule(&demo_block());
+        assert_eq!(out.nops_removed(), out.initial_nops - out.nops);
+    }
+}

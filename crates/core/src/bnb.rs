@@ -1,0 +1,849 @@
+//! The pruned schedule search procedure (§4.2.3).
+//!
+//! The search is a depth-first walk over prefixes of legal schedules. Depth
+//! `i` decides which instruction occupies position `i`; candidates are
+//! drawn from the unscheduled suffix of the current ordering Π (initially
+//! the list schedule), with the instruction already at position `i` tried
+//! first — so the first full descent reproduces the initial incumbent and
+//! the α-β bound is tight from the start.
+//!
+//! Pruning devices, mapped to the paper's step numbers:
+//!
+//! * **[5a] quick legality** — `earliest(ξ) ≤ i` (definition 6) rejects a
+//!   candidate without touching the readiness counters. The other half of
+//!   the paper's check, `latest(κ) ≥ Π⁻¹(ξ)`, constrains the instruction
+//!   displaced *out* of position `i`; our enumeration treats the suffix as
+//!   unordered scratch (every later depth rescans all of Ψ), so that half
+//!   is vacuous here and is not applied.
+//! * **[5b] real legality** — all of ξ's immediate predecessors are already
+//!   scheduled (O(1) via a pending-predecessor counter).
+//! * **[5c] equivalence** — skip swapping two *interchangeable free*
+//!   instructions: both `σ = ∅` and `ρ = ∅` **and identical successor
+//!   sets**. The paper's printed rule omits the successor condition, and
+//!   our brute-force property suite found a counterexample for the
+//!   unrestricted rule: two constants feeding *different* consumers are not
+//!   order-equivalent, because placing one first makes different
+//!   instructions ready at the intermediate depths (e.g. `Const→Mul` vs
+//!   `Const→Add` chains on a high-enqueue machine lose one NOP of the
+//!   optimum). With the successor restriction the swap is a pure
+//!   relabeling — identical timing and identical readiness — so pruning it
+//!   is safe, and the restricted rule still fires on the common case of
+//!   duplicate literals. [`EquivalenceMode::Structural`] extends the idea
+//!   to classes of instructions with identical operation, predecessor set
+//!   and successor set.
+//! * **[6] α-β bound** — extend a partial schedule only while its NOP count
+//!   (optionally strengthened by [`BoundKind::CriticalPath`]) is strictly
+//!   below the incumbent's.
+//! * **[4] curtail point λ** — hard cap on Ω calls; hitting it returns the
+//!   best schedule found with `optimal = false`.
+//!
+//! With [`SearchConfig::pipeline_selection`] enabled the search also chooses
+//! *which* unit executes each instruction when the machine maps an
+//! operation to several pipelines (the feature §4.1 footnote 3 excludes
+//! from the paper's algorithm), with symmetry breaking over units in
+//! identical states.
+
+use pipesched_ir::{analysis::verify_schedule, TupleId};
+use pipesched_machine::PipelineId;
+
+use crate::bounds::LowerBound;
+pub use crate::bounds::BoundKind;
+use crate::context::SchedContext;
+use crate::list_sched::list_schedule;
+use crate::timing::{evaluate_schedule_from, BoundaryState, TimingEngine};
+
+/// Which heuristic seeds the search's initial incumbent (step [1]).
+/// §3.2 notes that "any other scheduling technique proposed in the
+/// literature ... could be applied to find this initial schedule"; the
+/// quality of the incumbent controls how early the α-β bound bites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InitialHeuristic {
+    /// The paper's [ZaD90] max-producer-consumer-distance list schedule
+    /// (machine-independent).
+    #[default]
+    MaxDistance,
+    /// Source/program order — what naive code generation emits.
+    SourceOrder,
+    /// The Gross-style machine-aware greedy schedule.
+    Greedy,
+}
+
+/// How aggressively provably-equivalent schedules are filtered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EquivalenceMode {
+    /// No equivalence filtering (for ablation).
+    Off,
+    /// The paper's rule [5c]: both instructions pipeline-free and
+    /// dependence-free.
+    #[default]
+    Paper,
+    /// Structural interchangeability classes (strict superset of `Paper`).
+    Structural,
+}
+
+/// Tunable parameters of the search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchConfig {
+    /// Curtail point λ: maximum Ω calls before truncation (§2.3).
+    pub lambda: u64,
+    /// Pruning bound (paper α-β or strengthened critical path).
+    pub bound: BoundKind,
+    /// Equivalent-schedule filtering mode.
+    pub equivalence: EquivalenceMode,
+    /// Choose among multiple pipelines per op (extension; §4.1 footnote 3).
+    pub pipeline_selection: bool,
+    /// Apply the quick [5a] pre-check (for ablation; never affects results).
+    pub quick_check: bool,
+    /// Heuristic for the initial incumbent (step [1]).
+    pub initial: InitialHeuristic,
+    /// Stop with an optimality *proof* as soon as the incumbent's NOP count
+    /// reaches the admissible critical-path/resource lower bound of the
+    /// whole block (an implementation strengthening beyond the paper: it
+    /// never changes which schedule is found, only how quickly the search
+    /// can prove it optimal instead of exhausting the space).
+    pub terminate_on_lower_bound: bool,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            // §5.3 used curtail points "large relative to the number of
+            // items searched for an optimal search of an average block";
+            // the truncated runs averaged 54,150 Ω calls.
+            lambda: 50_000,
+            bound: BoundKind::CriticalPath,
+            equivalence: EquivalenceMode::Paper,
+            pipeline_selection: false,
+            quick_check: true,
+            initial: InitialHeuristic::MaxDistance,
+            terminate_on_lower_bound: true,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// Config with a specific curtail point.
+    pub fn with_lambda(lambda: u64) -> Self {
+        SearchConfig {
+            lambda,
+            ..Self::default()
+        }
+    }
+
+    /// The paper's algorithm exactly as §4.2.3 describes it: plain α-β
+    /// bound, rule-[5c] equivalence, no lower-bound termination. Used by
+    /// the ablation experiments; the library default strengthens the bound
+    /// (provably without changing which schedule is found).
+    pub fn paper_exact() -> Self {
+        SearchConfig {
+            bound: BoundKind::AlphaBeta,
+            terminate_on_lower_bound: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// Counters describing one search run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Ω calls: incremental NOP-insertion evaluations (one per placement).
+    pub omega_calls: u64,
+    /// Complete schedules reached.
+    pub complete_schedules: u64,
+    /// Times the incumbent improved.
+    pub improvements: u64,
+    /// Candidates rejected by the quick [5a] check.
+    pub pruned_quick: u64,
+    /// Candidates rejected by the readiness test [5b].
+    pub pruned_legality: u64,
+    /// Candidates rejected by the equivalence filter [5c].
+    pub pruned_equivalence: u64,
+    /// Subtrees abandoned by the α-β / lower-bound test [6].
+    pub pruned_bound: u64,
+    /// Pipeline-unit choices skipped by symmetry breaking.
+    pub pruned_symmetry: u64,
+    /// True when λ was exhausted before the search completed.
+    pub truncated: bool,
+    /// True when the search stopped early because the incumbent reached the
+    /// admissible global lower bound (still a proof of optimality).
+    pub proved_by_bound: bool,
+}
+
+/// Result of a search: the best schedule found and how it was found.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Best instruction order found.
+    pub order: Vec<TupleId>,
+    /// Pipeline unit assigned to each tuple (indexed by tuple id).
+    pub assignment: Vec<Option<PipelineId>>,
+    /// η per *position* of `order`: NOPs inserted before each instruction.
+    pub etas: Vec<u32>,
+    /// μ of the best schedule.
+    pub nops: u32,
+    /// The initial (list) schedule the search started from.
+    pub initial_order: Vec<TupleId>,
+    /// μ of the initial schedule.
+    pub initial_nops: u32,
+    /// True when the search ran to completion, proving optimality.
+    pub optimal: bool,
+    /// Search counters.
+    pub stats: SearchStats,
+}
+
+/// Run the pruned branch-and-bound search on `ctx`.
+pub fn search(ctx: &SchedContext<'_>, cfg: &SearchConfig) -> SearchOutcome {
+    search_with_boundary(
+        ctx,
+        cfg,
+        &BoundaryState::cold(ctx.machine.pipeline_count()),
+    )
+}
+
+/// [`search`] starting from a carried block boundary (footnote 1): the
+/// pipelines begin with the in-flight state a predecessor block left
+/// behind, so cross-block conflicts are priced into every η.
+pub fn search_with_boundary(
+    ctx: &SchedContext<'_>,
+    cfg: &SearchConfig,
+    boundary: &BoundaryState,
+) -> SearchOutcome {
+    let n = ctx.len();
+    if n == 0 {
+        return SearchOutcome {
+            order: Vec::new(),
+            assignment: Vec::new(),
+            etas: Vec::new(),
+            nops: 0,
+            initial_order: Vec::new(),
+            initial_nops: 0,
+            optimal: true,
+            stats: SearchStats::default(),
+        };
+    }
+
+    // Step [1]: initial incumbent from the configured heuristic.
+    let initial_order = match cfg.initial {
+        InitialHeuristic::MaxDistance => list_schedule(ctx.dag, &ctx.analysis),
+        InitialHeuristic::SourceOrder => ctx.block.ids().collect(),
+        InitialHeuristic::Greedy => crate::baselines::greedy_schedule(ctx).0,
+    };
+    let (initial_etas, initial_nops) = evaluate_schedule_from(ctx, boundary, &initial_order);
+
+    // Admissible lower bound on μ for the whole block: when an incumbent
+    // matches it, optimality is proven without exhausting the space.
+    let global_lb = cfg.terminate_on_lower_bound.then(|| {
+        let lb = LowerBound::new(ctx);
+        let engine = TimingEngine::with_boundary(ctx, boundary);
+        let ready = (0..n as u32)
+            .map(TupleId)
+            .filter(|t| ctx.preds[t.index()].is_empty());
+        let mut counts = vec![0u32; ctx.machine.pipeline_count()];
+        for i in 0..n {
+            if cfg.pipeline_selection && ctx.allowed[i].len() > 1 {
+                continue;
+            }
+            if let Some(p) = ctx.sigma[i] {
+                counts[p.index()] += 1;
+            }
+        }
+        lb.bound_with_selection(ctx, &engine, ready, &counts, cfg.pipeline_selection)
+    });
+
+    if let Some(lb) = global_lb {
+        if initial_nops <= lb {
+            // The list schedule is already provably optimal.
+            return SearchOutcome {
+                order: initial_order.clone(),
+                assignment: ctx.sigma.clone(),
+                etas: initial_etas,
+                nops: initial_nops,
+                initial_order,
+                initial_nops,
+                optimal: true,
+                stats: SearchStats {
+                    proved_by_bound: true,
+                    ..SearchStats::default()
+                },
+            };
+        }
+    }
+
+    let mut s = Search::new(ctx, cfg, boundary, initial_order.clone(), initial_etas, initial_nops);
+    s.global_lb = global_lb;
+    s.dfs(0);
+
+    let optimal = !s.stats.truncated;
+    let (best_etas, best_nops) =
+        evaluate_with_assignment(ctx, boundary, &s.best_order, &s.best_assign);
+    debug_assert_eq!(best_nops, s.best_nops);
+    debug_assert!(verify_schedule(ctx.block, ctx.dag, &s.best_order).is_ok());
+
+    SearchOutcome {
+        order: s.best_order,
+        assignment: s.best_assign,
+        etas: best_etas,
+        nops: s.best_nops,
+        initial_order,
+        initial_nops,
+        optimal,
+        stats: s.stats,
+    }
+}
+
+/// Evaluate a complete schedule under an explicit pipeline assignment.
+fn evaluate_with_assignment(
+    ctx: &SchedContext<'_>,
+    boundary: &BoundaryState,
+    order: &[TupleId],
+    assignment: &[Option<PipelineId>],
+) -> (Vec<u32>, u32) {
+    let mut engine = TimingEngine::with_boundary(ctx, boundary);
+    let etas: Vec<u32> = order
+        .iter()
+        .map(|&t| engine.push(t, assignment[t.index()]))
+        .collect();
+    let total = engine.total_nops();
+    (etas, total)
+}
+
+struct Search<'c, 'a> {
+    ctx: &'c SchedContext<'a>,
+    cfg: SearchConfig,
+    engine: TimingEngine<'c, 'a>,
+    /// Current ordering Π; positions < depth are the committed prefix Φ.
+    order: Vec<TupleId>,
+    /// Pending (unscheduled) immediate-predecessor counts.
+    pending_preds: Vec<u32>,
+    /// Unscheduled instructions per pipeline (for the resource bound).
+    remaining_per_pipe: Vec<u32>,
+    /// Structural equivalence class per tuple (only when Structural mode).
+    equiv_class: Vec<u32>,
+    lower_bound: Option<LowerBound>,
+    global_lb: Option<u32>,
+    best_nops: u32,
+    best_order: Vec<TupleId>,
+    best_assign: Vec<Option<PipelineId>>,
+    stats: SearchStats,
+    stop: bool,
+}
+
+impl<'c, 'a> Search<'c, 'a> {
+    fn new(
+        ctx: &'c SchedContext<'a>,
+        cfg: &SearchConfig,
+        boundary: &BoundaryState,
+        initial_order: Vec<TupleId>,
+        _initial_etas: Vec<u32>,
+        initial_nops: u32,
+    ) -> Self {
+        let n = ctx.len();
+        let pending_preds: Vec<u32> = (0..n).map(|i| ctx.preds[i].len() as u32).collect();
+        // For the resource bound: ops whose unit is *fixed*. When pipeline
+        // selection is enabled, ops with a choice of units are excluded so
+        // the per-pipe count never overstates the load on any single unit
+        // (which would make the bound inadmissible).
+        let mut remaining_per_pipe = vec![0u32; ctx.machine.pipeline_count()];
+        for i in 0..n {
+            if cfg.pipeline_selection && ctx.allowed[i].len() > 1 {
+                continue;
+            }
+            if let Some(p) = ctx.sigma[i] {
+                remaining_per_pipe[p.index()] += 1;
+            }
+        }
+        let equiv_class = if cfg.equivalence == EquivalenceMode::Structural {
+            structural_classes(ctx)
+        } else {
+            Vec::new()
+        };
+        let lower_bound = match cfg.bound {
+            BoundKind::AlphaBeta => None,
+            BoundKind::CriticalPath => Some(LowerBound::new(ctx)),
+        };
+        let best_assign: Vec<Option<PipelineId>> = ctx.sigma.clone();
+        Search {
+            ctx,
+            cfg: *cfg,
+            engine: TimingEngine::with_boundary(ctx, boundary),
+            order: initial_order.clone(),
+            pending_preds,
+            remaining_per_pipe,
+            equiv_class,
+            lower_bound,
+            global_lb: None,
+            best_nops: initial_nops,
+            best_order: initial_order,
+            best_assign,
+            stats: SearchStats::default(),
+            stop: false,
+        }
+    }
+
+    fn dfs(&mut self, depth: usize) {
+        let n = self.ctx.len();
+        if depth == n {
+            // Step [3]: complete schedule.
+            self.stats.complete_schedules += 1;
+            let mu = self.engine.total_nops();
+            if mu < self.best_nops {
+                self.stats.improvements += 1;
+                self.best_nops = mu;
+                self.best_order.copy_from_slice(&self.order);
+                for (i, a) in self.best_assign.iter_mut().enumerate() {
+                    *a = self.engine.assigned_pipeline(TupleId(i as u32));
+                }
+                if let Some(lb) = self.global_lb {
+                    if self.best_nops <= lb {
+                        // Provably optimal: no schedule can beat the bound.
+                        self.stats.proved_by_bound = true;
+                        self.stop = true;
+                    }
+                }
+            }
+            return;
+        }
+
+        let kappa = self.order[depth];
+        // Structural classes already tried at this depth.
+        let mut tried_classes: Vec<u32> = Vec::new();
+
+        for j in depth..n {
+            if self.stop {
+                return;
+            }
+            let xi = self.order[j];
+
+            // [5a] quick approximate legality check.
+            if self.cfg.quick_check && self.ctx.analysis.earliest(xi) as usize > depth {
+                self.stats.pruned_quick += 1;
+                continue;
+            }
+            // [5b] real legality: every predecessor already scheduled.
+            if self.pending_preds[xi.index()] > 0 {
+                self.stats.pruned_legality += 1;
+                continue;
+            }
+            // [5c] equivalence filtering.
+            match self.cfg.equivalence {
+                EquivalenceMode::Off => {}
+                EquivalenceMode::Paper => {
+                    if j != depth && self.ctx.interchangeable_free(kappa, xi) {
+                        self.stats.pruned_equivalence += 1;
+                        continue;
+                    }
+                }
+                EquivalenceMode::Structural => {
+                    let class = self.equiv_class[xi.index()];
+                    if tried_classes.contains(&class) {
+                        self.stats.pruned_equivalence += 1;
+                        continue;
+                    }
+                    tried_classes.push(class);
+                }
+            }
+
+            self.order.swap(depth, j);
+            self.try_candidate(depth, xi);
+            self.order.swap(depth, j);
+            if self.stop {
+                return;
+            }
+        }
+    }
+
+    /// Place `xi` at `depth` on each viable pipeline unit and recurse.
+    fn try_candidate(&mut self, depth: usize, xi: TupleId) {
+        if !self.cfg.pipeline_selection || self.ctx.allowed[xi.index()].len() <= 1 {
+            let pipe = self.ctx.sigma(xi);
+            self.place_and_recurse(depth, xi, pipe);
+            return;
+        }
+        // Selection extension: try each distinct unit state. Two units with
+        // identical timing parameters and identical last-issue state are
+        // interchangeable; trying one preserves optimality.
+        let mut seen: Vec<(u32, u32, Option<i64>)> = Vec::new();
+        let allowed = self.ctx.allowed[xi.index()].clone();
+        for p in allowed {
+            let key = (
+                self.ctx.latency(p),
+                self.ctx.enqueue(p),
+                last_issue_of(&self.engine, self.ctx, p),
+            );
+            if seen.contains(&key) {
+                self.stats.pruned_symmetry += 1;
+                continue;
+            }
+            seen.push(key);
+            self.place_and_recurse(depth, xi, Some(p));
+            if self.stop {
+                return;
+            }
+        }
+    }
+
+    fn place_and_recurse(&mut self, depth: usize, xi: TupleId, pipe: Option<PipelineId>) {
+        // Step [4]: curtail point.
+        self.stats.omega_calls += 1;
+        if self.stats.omega_calls >= self.cfg.lambda {
+            self.stats.truncated = true;
+            self.stop = true;
+        }
+
+        self.engine.push(xi, pipe);
+
+        let counted_pipe = self.counted_pipe(xi);
+        let bound = match (&self.lower_bound, self.cfg.bound) {
+            (Some(lb), BoundKind::CriticalPath) => {
+                // Account for the placement before computing the bound.
+                if let Some(p) = counted_pipe {
+                    self.remaining_per_pipe[p.index()] -= 1;
+                }
+                let ready = self.ready_after(xi);
+                let b = lb.bound_with_selection(
+                    self.ctx,
+                    &self.engine,
+                    ready.into_iter(),
+                    &self.remaining_per_pipe,
+                    self.cfg.pipeline_selection,
+                );
+                if let Some(p) = counted_pipe {
+                    self.remaining_per_pipe[p.index()] += 1;
+                }
+                b
+            }
+            _ => self.engine.total_nops(),
+        };
+
+        // Step [6]: α-β prune (strict <, matching the paper).
+        if bound < self.best_nops && !self.stop {
+            // Commit: update readiness and recurse.
+            for e in self.ctx.dag.succs(xi) {
+                self.pending_preds[e.to.index()] -= 1;
+            }
+            if let Some(p) = counted_pipe {
+                self.remaining_per_pipe[p.index()] -= 1;
+            }
+            self.dfs(depth + 1);
+            if let Some(p) = counted_pipe {
+                self.remaining_per_pipe[p.index()] += 1;
+            }
+            for e in self.ctx.dag.succs(xi) {
+                self.pending_preds[e.to.index()] += 1;
+            }
+        } else if !self.stop {
+            self.stats.pruned_bound += 1;
+        }
+
+        self.engine.pop();
+    }
+
+    /// The pipeline `xi` contributes to in `remaining_per_pipe`, mirroring
+    /// the initialization in `Search::new`.
+    fn counted_pipe(&self, xi: TupleId) -> Option<PipelineId> {
+        if self.cfg.pipeline_selection && self.ctx.allowed[xi.index()].len() > 1 {
+            None
+        } else {
+            self.ctx.sigma(xi)
+        }
+    }
+
+    /// Unscheduled-and-ready instructions, assuming `xi` was just placed.
+    fn ready_after(&self, xi: TupleId) -> Vec<TupleId> {
+        let n = self.ctx.len();
+        let mut out = Vec::new();
+        for i in 0..n {
+            let t = TupleId(i as u32);
+            if t == xi || self.engine.issue_time(t).is_some() {
+                continue;
+            }
+            let pending = self.pending_preds[i]
+                - self
+                    .ctx
+                    .dag
+                    .preds(t)
+                    .iter()
+                    .filter(|e| e.from == xi)
+                    .count() as u32;
+            if pending == 0 {
+                out.push(t);
+            }
+        }
+        out
+    }
+}
+
+/// Group tuples into structural interchangeability classes: identical
+/// operation, identical predecessor edges and identical successor edges
+/// make two instructions interchangeable in any schedule.
+#[allow(clippy::type_complexity)]
+fn structural_classes(ctx: &SchedContext<'_>) -> Vec<u32> {
+    use std::collections::HashMap;
+    let n = ctx.len();
+    let mut table: HashMap<(pipesched_ir::Op, Vec<(u32, bool)>, Vec<(u32, bool)>), u32> =
+        HashMap::new();
+    let mut classes = vec![0u32; n];
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..n {
+        let t = TupleId(i as u32);
+        let mut preds: Vec<(u32, bool)> = ctx.preds[i].iter().map(|p| (p.from, p.flow)).collect();
+        preds.sort_unstable();
+        let mut succs: Vec<(u32, bool)> = ctx
+            .dag
+            .succs(t)
+            .iter()
+            .map(|e| (e.to.0, e.kind == pipesched_ir::DepKind::Flow))
+            .collect();
+        succs.sort_unstable();
+        let key = (ctx.block.tuple(t).op, preds, succs);
+        let next = table.len() as u32;
+        classes[i] = *table.entry(key).or_insert(next);
+    }
+    classes
+}
+
+fn last_issue_of(
+    engine: &TimingEngine<'_, '_>,
+    ctx: &SchedContext<'_>,
+    p: PipelineId,
+) -> Option<i64> {
+    // The engine doesn't expose last_in_pipe directly; reconstruct it from
+    // issue times of placed tuples assigned to p.
+    let mut last = None;
+    for i in 0..ctx.len() {
+        let t = TupleId(i as u32);
+        if engine.assigned_pipeline(t) == Some(p) {
+            if let Some(ti) = engine.issue_time(t) {
+                last = Some(last.map_or(ti, |l: i64| l.max(ti)));
+            }
+        }
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipesched_ir::{BlockBuilder, DepDag};
+    use pipesched_machine::presets;
+
+    fn ctx_for<'a>(
+        block: &'a pipesched_ir::BasicBlock,
+        dag: &'a DepDag,
+        machine: &'a pipesched_machine::Machine,
+    ) -> SchedContext<'a> {
+        SchedContext::new(block, dag, machine)
+    }
+
+    #[test]
+    fn finds_zero_nop_schedule_when_one_exists() {
+        // Two independent mul chains can fully hide each other's latency
+        // given enough independent loads.
+        let mut b = BlockBuilder::new("hide");
+        let a = b.load("a");
+        let c = b.load("c");
+        let d = b.load("d");
+        let e = b.load("e");
+        let m1 = b.mul(a, c);
+        let m2 = b.mul(d, e);
+        let s = b.add(m1, m2);
+        b.store("r", s);
+        let block = b.finish().unwrap();
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let ctx = ctx_for(&block, &dag, &machine);
+        let out = search(&ctx, &SearchConfig::default());
+        assert!(out.optimal);
+        assert!(
+            out.nops <= out.initial_nops,
+            "search never worsens the incumbent"
+        );
+        verify_schedule(&block, &dag, &out.order).unwrap();
+    }
+
+    #[test]
+    fn single_instruction_block() {
+        let mut b = BlockBuilder::new("one");
+        b.load("x");
+        let block = b.finish().unwrap();
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let ctx = ctx_for(&block, &dag, &machine);
+        let out = search(&ctx, &SearchConfig::default());
+        assert!(out.optimal);
+        assert_eq!(out.nops, 0);
+        assert_eq!(out.order.len(), 1);
+    }
+
+    #[test]
+    fn serial_chain_has_forced_nops() {
+        // load x; mul x,x; store — nothing can hide the mul latency.
+        let mut b = BlockBuilder::new("chain");
+        let x = b.load("x");
+        let m = b.mul(x, x);
+        b.store("z", m);
+        let block = b.finish().unwrap();
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let ctx = ctx_for(&block, &dag, &machine);
+        let out = search(&ctx, &SearchConfig::default());
+        assert!(out.optimal);
+        // x@0; mul waits loader latency 2 → @2 (1 NOP); store waits mul
+        // latency 4 → @6 (3 NOPs). μ = 4.
+        assert_eq!(out.nops, 4);
+    }
+
+    #[test]
+    fn curtail_point_truncates() {
+        let mut b = BlockBuilder::new("big");
+        // Several multiplier-bound chains: the initial schedule needs NOPs,
+        // so the α-β bound cannot close the search immediately and the
+        // space is enormous.
+        for i in 0..5 {
+            let l = b.load(&format!("x{i}"));
+            let m = b.mul(l, l);
+            b.store(&format!("y{i}"), m);
+        }
+        let block = b.finish().unwrap();
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let ctx = ctx_for(&block, &dag, &machine);
+        let cfg = SearchConfig::with_lambda(10);
+        let out = search(&ctx, &cfg);
+        assert!(out.stats.truncated);
+        assert!(!out.optimal);
+        assert!(out.stats.omega_calls <= 10);
+        // Still returns a legal schedule no worse than the list schedule.
+        verify_schedule(&block, &dag, &out.order).unwrap();
+        assert!(out.nops <= out.initial_nops);
+    }
+
+    #[test]
+    fn all_bounds_and_equivalences_agree_on_optimum() {
+        let mut b = BlockBuilder::new("agree");
+        let x = b.load("x");
+        let y = b.load("y");
+        let m = b.mul(x, y);
+        let a = b.add(x, y);
+        let s = b.sub(m, a);
+        b.store("r", s);
+        let c = b.constant(3);
+        b.store("k", c);
+        let block = b.finish().unwrap();
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let ctx = ctx_for(&block, &dag, &machine);
+
+        let mut reference = None;
+        for bound in [BoundKind::AlphaBeta, BoundKind::CriticalPath] {
+            for equivalence in [
+                EquivalenceMode::Off,
+                EquivalenceMode::Paper,
+                EquivalenceMode::Structural,
+            ] {
+                let cfg = SearchConfig {
+                    bound,
+                    equivalence,
+                    lambda: u64::MAX,
+                    ..SearchConfig::default()
+                };
+                let out = search(&ctx, &cfg);
+                assert!(out.optimal, "{bound:?}/{equivalence:?} truncated");
+                let r = *reference.get_or_insert(out.nops);
+                assert_eq!(out.nops, r, "{bound:?}/{equivalence:?} differs");
+            }
+        }
+    }
+
+    #[test]
+    fn equivalence_modes_reduce_work_monotonically() {
+        let mut b = BlockBuilder::new("equiv");
+        // Pairs of free Consts feeding the *same* consumer (identical
+        // successor sets => interchangeable) inflate the unfiltered search;
+        // the restricted rule [5c] collapses each pair.
+        let x = b.load("x");
+        let mut acc = x;
+        for i in 0..3 {
+            let c1 = b.constant(i);
+            let c2 = b.constant(i + 10);
+            let pair = b.add(c1, c2);
+            acc = b.add(acc, pair);
+        }
+        b.store("r", acc);
+        let block = b.finish().unwrap();
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let ctx = ctx_for(&block, &dag, &machine);
+
+        // Use the paper-exact bound so the search actually explores (the
+        // default critical-path bound + LB termination can close this block
+        // before rule [5c] ever fires).
+        let run = |mode| {
+            let cfg = SearchConfig {
+                equivalence: mode,
+                lambda: u64::MAX,
+                ..SearchConfig::paper_exact()
+            };
+            search(&ctx, &cfg)
+        };
+        let off = run(EquivalenceMode::Off);
+        let paper = run(EquivalenceMode::Paper);
+        let structural = run(EquivalenceMode::Structural);
+        assert_eq!(off.nops, paper.nops);
+        assert_eq!(off.nops, structural.nops);
+        // Both filters reduce work relative to no filtering. (They are not
+        // comparable to each other: structural classes key on exact
+        // pred/succ sets, the paper rule on σ/ρ emptiness.)
+        assert!(paper.stats.omega_calls <= off.stats.omega_calls);
+        assert!(structural.stats.omega_calls <= off.stats.omega_calls);
+        assert!(
+            paper.stats.pruned_equivalence > 0,
+            "the consts should trigger rule [5c]"
+        );
+    }
+
+    #[test]
+    fn pipeline_selection_uses_second_unit() {
+        // Two independent loads on the Table 2 machine (two loaders):
+        // with selection they issue back-to-back on different units even if
+        // a single loader would conflict.
+        let mut b = BlockBuilder::new("sel");
+        let x = b.load("x");
+        let y = b.load("y");
+        let s = b.add(x, y);
+        b.store("r", s);
+        let block = b.finish().unwrap();
+        let dag = DepDag::build(&block);
+        let machine = presets::table2_example();
+        let ctx = ctx_for(&block, &dag, &machine);
+
+        let base = search(&ctx, &SearchConfig::default());
+        let cfg = SearchConfig {
+            pipeline_selection: true,
+            ..SearchConfig::default()
+        };
+        let sel = search(&ctx, &cfg);
+        assert!(sel.optimal && base.optimal);
+        assert!(
+            sel.nops <= base.nops,
+            "selection can only help: {} vs {}",
+            sel.nops,
+            base.nops
+        );
+        // The two loads end up on distinct units.
+        let p0 = sel.assignment[0];
+        let p1 = sel.assignment[1];
+        assert!(p0.is_some() && p1.is_some());
+    }
+
+    #[test]
+    fn empty_block() {
+        let block = BlockBuilder::new("empty").finish().unwrap();
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let ctx = ctx_for(&block, &dag, &machine);
+        let out = search(&ctx, &SearchConfig::default());
+        assert!(out.optimal);
+        assert_eq!(out.nops, 0);
+        assert!(out.order.is_empty());
+    }
+}

@@ -1,0 +1,390 @@
+//! Parallel branch-and-bound (extension; not in the paper).
+//!
+//! The serial search's first-level candidates are independent subtrees, so
+//! they parallelize naturally: each worker owns a private
+//! [`TimingEngine`] and explores one subtree, while the incumbent NOP count
+//! is shared through an `AtomicU32` so a bound discovered by any worker
+//! immediately prunes all others. The λ budget is likewise a shared atomic
+//! counter.
+//!
+//! The parallel variant always runs the library's default configuration
+//! (critical-path bound, lower-bound termination, paper equivalence rule,
+//! no pipeline selection); ablations of the other knobs are a serial
+//! concern. It returns the same optimal NOP count as the serial search
+//! (asserted by the cross-check tests) — the *schedule* returned may be a
+//! different optimum when several exist, because workers race to improve
+//! the incumbent.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use pipesched_ir::TupleId;
+
+use crate::bnb::{SearchOutcome, SearchStats};
+use crate::context::SchedContext;
+use crate::list_sched::list_schedule;
+use crate::timing::{evaluate_schedule, TimingEngine};
+
+struct Shared {
+    best_nops: AtomicU32,
+    omega_used: AtomicU64,
+    lambda: u64,
+    /// Admissible lower bound on μ for the whole block; an incumbent at or
+    /// below it is provably optimal and stops all workers early.
+    global_lb: u32,
+    stop: AtomicBool,
+    proved: AtomicBool,
+    best: Mutex<(Vec<TupleId>, u32)>,
+}
+
+/// Run the branch-and-bound search with `threads` workers (0 ⇒ one per
+/// available CPU). Returns the same NOP count as the serial default search.
+pub fn parallel_search(ctx: &SchedContext<'_>, lambda: u64, threads: usize) -> SearchOutcome {
+    let n = ctx.len();
+    let initial_order = list_schedule(ctx.dag, &ctx.analysis);
+    let (_, initial_nops) = evaluate_schedule(ctx, &initial_order);
+    if n <= 1 {
+        let (etas, nops) = evaluate_schedule(ctx, &initial_order);
+        return SearchOutcome {
+            order: initial_order.clone(),
+            assignment: ctx.sigma.clone(),
+            etas,
+            nops,
+            initial_order,
+            initial_nops,
+            optimal: true,
+            stats: SearchStats::default(),
+        };
+    }
+
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+
+    // First-level candidates: the ready instructions, with the initial
+    // schedule's first instruction first (it reconstructs the incumbent),
+    // and at most one representative per interchangeable-free class
+    // (restricted rule [5c]).
+    let mut roots: Vec<TupleId> = Vec::new();
+    let mut seen_classes: Vec<u32> = Vec::new();
+    let first = initial_order[0];
+    for &t in std::iter::once(&first).chain(
+        initial_order[1..]
+            .iter()
+            .filter(|&&t| ctx.preds[t.index()].is_empty()),
+    ) {
+        if let Some(class) = ctx.free_class[t.index()] {
+            if seen_classes.contains(&class) {
+                continue;
+            }
+            seen_classes.push(class);
+        }
+        roots.push(t);
+    }
+
+    // Same admissible whole-block lower bound as the serial search: an
+    // incumbent matching it is provably optimal.
+    let global_lb = {
+        let lb = crate::bounds::LowerBound::new(ctx);
+        let engine = TimingEngine::new(ctx);
+        let ready = (0..n as u32)
+            .map(TupleId)
+            .filter(|t| ctx.preds[t.index()].is_empty());
+        let mut counts = vec![0u32; ctx.machine.pipeline_count()];
+        for i in 0..n {
+            if let Some(p) = ctx.sigma[i] {
+                counts[p.index()] += 1;
+            }
+        }
+        lb.bound(ctx, &engine, ready, &counts)
+    };
+    if initial_nops <= global_lb {
+        let (etas, nops) = evaluate_schedule(ctx, &initial_order);
+        return SearchOutcome {
+            order: initial_order.clone(),
+            assignment: ctx.sigma.clone(),
+            etas,
+            nops,
+            initial_order,
+            initial_nops,
+            optimal: true,
+            stats: SearchStats {
+                proved_by_bound: true,
+                ..SearchStats::default()
+            },
+        };
+    }
+
+    let shared = Shared {
+        best_nops: AtomicU32::new(initial_nops),
+        omega_used: AtomicU64::new(0),
+        lambda,
+        global_lb,
+        stop: AtomicBool::new(false),
+        proved: AtomicBool::new(false),
+        best: Mutex::new((initial_order.clone(), initial_nops)),
+    };
+    let next_root = AtomicU64::new(0);
+    let stats_acc = Mutex::new(SearchStats::default());
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.min(roots.len()) {
+            scope.spawn(|_| {
+                let mut worker = Worker::new(ctx, &shared);
+                loop {
+                    let k = next_root.fetch_add(1, Ordering::Relaxed) as usize;
+                    if k >= roots.len() || shared.stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    worker.run_root(roots[k]);
+                }
+                let mut acc = stats_acc.lock();
+                merge(&mut acc, &worker.stats);
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    let mut stats = *stats_acc.lock();
+    stats.proved_by_bound = shared.proved.load(Ordering::Relaxed);
+    stats.truncated = !stats.proved_by_bound
+        && shared.stop.load(Ordering::Relaxed)
+        && shared.omega_used.load(Ordering::Relaxed) >= lambda;
+    let (best_order, best_nops) = shared.best.into_inner();
+    let (etas, check) = evaluate_schedule(ctx, &best_order);
+    debug_assert_eq!(check, best_nops);
+
+    SearchOutcome {
+        order: best_order,
+        assignment: ctx.sigma.clone(),
+        etas,
+        nops: best_nops,
+        initial_order,
+        initial_nops,
+        optimal: !stats.truncated,
+        stats,
+    }
+}
+
+fn merge(into: &mut SearchStats, from: &SearchStats) {
+    into.omega_calls += from.omega_calls;
+    into.complete_schedules += from.complete_schedules;
+    into.improvements += from.improvements;
+    into.pruned_quick += from.pruned_quick;
+    into.pruned_legality += from.pruned_legality;
+    into.pruned_equivalence += from.pruned_equivalence;
+    into.pruned_bound += from.pruned_bound;
+    into.pruned_symmetry += from.pruned_symmetry;
+    into.truncated |= from.truncated;
+}
+
+struct Worker<'c, 'a, 's> {
+    ctx: &'c SchedContext<'a>,
+    shared: &'s Shared,
+    engine: TimingEngine<'c, 'a>,
+    pending: Vec<u32>,
+    placed: Vec<bool>,
+    order: Vec<TupleId>,
+    /// Unscheduled instructions per pipeline (for the resource bound).
+    remaining: Vec<u32>,
+    lb: crate::bounds::LowerBound,
+    stats: SearchStats,
+}
+
+impl<'c, 'a, 's> Worker<'c, 'a, 's> {
+    fn new(ctx: &'c SchedContext<'a>, shared: &'s Shared) -> Self {
+        let n = ctx.len();
+        let mut remaining = vec![0u32; ctx.machine.pipeline_count()];
+        for i in 0..n {
+            if let Some(p) = ctx.sigma[i] {
+                remaining[p.index()] += 1;
+            }
+        }
+        Worker {
+            ctx,
+            shared,
+            engine: TimingEngine::new(ctx),
+            pending: (0..n).map(|i| ctx.preds[i].len() as u32).collect(),
+            placed: vec![false; n],
+            order: Vec::with_capacity(n),
+            remaining,
+            lb: crate::bounds::LowerBound::new(ctx),
+            stats: SearchStats::default(),
+        }
+    }
+
+    fn run_root(&mut self, root: TupleId) {
+        self.place(root);
+        self.dfs();
+        self.unplace(root);
+    }
+
+    fn place(&mut self, t: TupleId) {
+        self.placed[t.index()] = true;
+        for e in self.ctx.dag.succs(t) {
+            self.pending[e.to.index()] -= 1;
+        }
+        if let Some(p) = self.ctx.sigma(t) {
+            self.remaining[p.index()] -= 1;
+        }
+        self.engine.push_default(t);
+        self.order.push(t);
+    }
+
+    fn unplace(&mut self, t: TupleId) {
+        self.order.pop();
+        self.engine.pop();
+        if let Some(p) = self.ctx.sigma(t) {
+            self.remaining[p.index()] += 1;
+        }
+        for e in self.ctx.dag.succs(t) {
+            self.pending[e.to.index()] += 1;
+        }
+        self.placed[t.index()] = false;
+    }
+
+    /// Critical-path lower bound on any completion of the current prefix
+    /// (same as the serial default search's bound).
+    fn bound(&self) -> u32 {
+        let n = self.ctx.len();
+        let ready = (0..n)
+            .filter(|&i| !self.placed[i] && self.pending[i] == 0)
+            .map(|i| TupleId(i as u32));
+        self.lb.bound(self.ctx, &self.engine, ready, &self.remaining)
+    }
+
+    fn dfs(&mut self) {
+        let n = self.ctx.len();
+        if self.order.len() == n {
+            self.stats.complete_schedules += 1;
+            let mu = self.engine.total_nops();
+            // fetch_min keeps the atomic incumbent tight; the lock guards
+            // the (order, μ) pair against torn updates.
+            let prev = self.shared.best_nops.fetch_min(mu, Ordering::SeqCst);
+            if mu < prev {
+                self.stats.improvements += 1;
+                let mut best = self.shared.best.lock();
+                if mu < best.1 {
+                    best.0.clone_from(&self.order);
+                    best.1 = mu;
+                }
+                if mu <= self.shared.global_lb {
+                    // Provably optimal: stop every worker, not truncated.
+                    self.shared.proved.store(true, Ordering::Relaxed);
+                    self.shared.stop.store(true, Ordering::Relaxed);
+                }
+            }
+            return;
+        }
+        let mut seen_classes: Vec<u32> = Vec::new();
+        for i in 0..n {
+            if self.shared.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            if self.placed[i] || self.pending[i] > 0 {
+                self.stats.pruned_legality += 1;
+                continue;
+            }
+            let t = TupleId(i as u32);
+            // Restricted rule [5c] within the worker: one representative
+            // per interchangeable-free class.
+            if let Some(class) = self.ctx.free_class[i] {
+                if seen_classes.contains(&class) {
+                    self.stats.pruned_equivalence += 1;
+                    continue;
+                }
+                seen_classes.push(class);
+            }
+
+            self.stats.omega_calls += 1;
+            let used = self.shared.omega_used.fetch_add(1, Ordering::Relaxed) + 1;
+            if used >= self.shared.lambda {
+                self.stats.truncated = true;
+                self.shared.stop.store(true, Ordering::Relaxed);
+            }
+
+            self.place(t);
+            let bound = self.bound();
+            if bound < self.shared.best_nops.load(Ordering::Relaxed)
+                && !self.shared.stop.load(Ordering::Relaxed)
+            {
+                self.dfs();
+            } else {
+                self.stats.pruned_bound += 1;
+            }
+            self.unplace(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnb::{search, SearchConfig};
+    use pipesched_ir::{analysis::verify_schedule, BlockBuilder, DepDag};
+    use pipesched_machine::presets;
+
+    fn sample_block(chains: usize) -> pipesched_ir::BasicBlock {
+        let mut b = BlockBuilder::new("par");
+        for i in 0..chains {
+            let x = b.load(&format!("x{i}"));
+            let y = b.load(&format!("y{i}"));
+            let m = b.mul(x, y);
+            b.store(&format!("r{i}"), m);
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn parallel_matches_serial_optimum() {
+        let block = sample_block(3);
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let ctx = SchedContext::new(&block, &dag, &machine);
+        let serial = search(&ctx, &SearchConfig::with_lambda(u64::MAX));
+        let par = parallel_search(&ctx, u64::MAX / 2, 4);
+        assert!(serial.optimal && par.optimal);
+        assert_eq!(par.nops, serial.nops);
+        verify_schedule(&block, &dag, &par.order).unwrap();
+    }
+
+    #[test]
+    fn single_thread_parallel_works() {
+        let block = sample_block(2);
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let ctx = SchedContext::new(&block, &dag, &machine);
+        let serial = search(&ctx, &SearchConfig::with_lambda(u64::MAX));
+        let par = parallel_search(&ctx, u64::MAX / 2, 1);
+        assert_eq!(par.nops, serial.nops);
+    }
+
+    #[test]
+    fn tiny_blocks_short_circuit() {
+        let mut b = BlockBuilder::new("tiny");
+        b.load("x");
+        let block = b.finish().unwrap();
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let ctx = SchedContext::new(&block, &dag, &machine);
+        let par = parallel_search(&ctx, 100, 8);
+        assert!(par.optimal);
+        assert_eq!(par.order.len(), 1);
+    }
+
+    #[test]
+    fn lambda_truncates_in_parallel() {
+        let block = sample_block(4);
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let ctx = SchedContext::new(&block, &dag, &machine);
+        let par = parallel_search(&ctx, 5, 4);
+        assert!(par.stats.truncated);
+        assert!(!par.optimal);
+        verify_schedule(&block, &dag, &par.order).unwrap();
+        assert!(par.nops <= par.initial_nops);
+    }
+}

@@ -1,0 +1,312 @@
+//! Windowed scheduling of very large blocks (§5.3's future work).
+//!
+//! "For very large basic blocks, it might be useful to split the basic
+//! blocks into smaller sections (containing, say, twenty instructions or
+//! less each) and find solutions which are locally optimal. A good
+//! heuristic for the split might be to simply partition the list schedule."
+//!
+//! That is exactly what this module does: compute the machine-independent
+//! list schedule, partition it into windows of `window` instructions, and
+//! run the branch-and-bound search *within* each window while the timing
+//! engine carries the committed prefix's pipeline state across the window
+//! boundary (the paper's footnote 1: adjacent regions interact only through
+//! "the initial conditions in the analysis").
+//!
+//! Windowed schedules are locally optimal per window, globally heuristic:
+//! `μ(optimal) ≤ μ(windowed) ≤ μ(list schedule)` — both inequalities are
+//! asserted by the test suite.
+
+use pipesched_ir::TupleId;
+
+use crate::bnb::SearchStats;
+use crate::context::SchedContext;
+use crate::list_sched::list_schedule;
+use crate::timing::TimingEngine;
+
+/// Result of a windowed scheduling run.
+#[derive(Debug, Clone)]
+pub struct WindowedOutcome {
+    /// The complete schedule (all windows concatenated).
+    pub order: Vec<TupleId>,
+    /// η per position of `order`.
+    pub etas: Vec<u32>,
+    /// Total NOPs of the stitched schedule.
+    pub nops: u32,
+    /// μ of the plain list schedule (the starting point).
+    pub initial_nops: u32,
+    /// Window length used.
+    pub window: usize,
+    /// Number of windows.
+    pub windows: usize,
+    /// Combined search counters across windows.
+    pub stats: SearchStats,
+}
+
+/// Schedule `ctx`'s block by locally-optimal windows of `window`
+/// instructions (λ applies *per window*).
+pub fn windowed_schedule(ctx: &SchedContext<'_>, window: usize, lambda: u64) -> WindowedOutcome {
+    assert!(window >= 1, "window must be at least 1 instruction");
+    let n = ctx.len();
+    let base = list_schedule(ctx.dag, &ctx.analysis);
+    let (_, initial_nops) = crate::timing::evaluate_schedule(ctx, &base);
+
+    let mut engine = TimingEngine::new(ctx);
+    let mut order: Vec<TupleId> = Vec::with_capacity(n);
+    let mut etas: Vec<u32> = Vec::with_capacity(n);
+    let mut stats = SearchStats::default();
+    let mut windows = 0usize;
+
+    for chunk in base.chunks(window) {
+        windows += 1;
+        let best = optimize_window(ctx, &mut engine, chunk, lambda, &mut stats);
+        // Commit the window's best order permanently.
+        for &t in &best {
+            let eta = engine.push_default(t);
+            order.push(t);
+            etas.push(eta);
+        }
+    }
+    let nops = engine.total_nops();
+
+    WindowedOutcome {
+        order,
+        etas,
+        nops,
+        initial_nops,
+        window,
+        windows,
+        stats,
+    }
+}
+
+/// Find the minimum-NOP ordering of `chunk`'s instructions given the
+/// engine's committed prefix. The chunk is a contiguous slice of a
+/// topological order, so every predecessor of a chunk member is either
+/// already committed or inside the chunk.
+fn optimize_window<'c, 'a>(
+    ctx: &'c SchedContext<'a>,
+    engine: &mut TimingEngine<'c, 'a>,
+    chunk: &[TupleId],
+    lambda: u64,
+    stats: &mut SearchStats,
+) -> Vec<TupleId> {
+    let k = chunk.len();
+    if k <= 1 {
+        return chunk.to_vec();
+    }
+
+    // Pending-predecessor counts *within the chunk*.
+    let in_chunk = |t: TupleId| chunk.contains(&t);
+    let mut pending: Vec<u32> = chunk
+        .iter()
+        .map(|&t| {
+            ctx.preds[t.index()]
+                .iter()
+                .filter(|p| in_chunk(TupleId(p.from)))
+                .count() as u32
+        })
+        .collect();
+
+    // Incumbent: the chunk in list-schedule order.
+    let base_mu = {
+        let mark = engine.placed();
+        for &t in chunk {
+            engine.push_default(t);
+        }
+        let mu = engine.total_nops();
+        while engine.placed() > mark {
+            engine.pop();
+        }
+        mu
+    };
+
+    let mut dfs = WindowDfs {
+        ctx,
+        chunk,
+        engine,
+        pending: &mut pending,
+        placed: vec![false; k],
+        current: Vec::with_capacity(k),
+        best_order: chunk.to_vec(),
+        best_mu: base_mu,
+        lambda,
+        stats,
+        stop: false,
+    };
+    dfs.run(0);
+    dfs.best_order
+}
+
+struct WindowDfs<'w, 'c, 'a> {
+    ctx: &'c SchedContext<'a>,
+    chunk: &'w [TupleId],
+    engine: &'w mut TimingEngine<'c, 'a>,
+    pending: &'w mut [u32],
+    placed: Vec<bool>,
+    current: Vec<TupleId>,
+    best_order: Vec<TupleId>,
+    best_mu: u32,
+    lambda: u64,
+    stats: &'w mut SearchStats,
+    stop: bool,
+}
+
+impl WindowDfs<'_, '_, '_> {
+    fn run(&mut self, depth: usize) {
+        let k = self.chunk.len();
+        if depth == k {
+            self.stats.complete_schedules += 1;
+            let mu = self.engine.total_nops();
+            if mu < self.best_mu {
+                self.stats.improvements += 1;
+                self.best_mu = mu;
+                self.best_order.clone_from(&self.current);
+            }
+            return;
+        }
+        let mut seen_classes: Vec<u32> = Vec::new();
+        for i in 0..k {
+            if self.stop {
+                return;
+            }
+            if self.placed[i] || self.pending[i] > 0 {
+                self.stats.pruned_legality += 1;
+                continue;
+            }
+            let t = self.chunk[i];
+            // Restricted rule [5c]: one representative per
+            // interchangeable-free class.
+            if let Some(class) = self.ctx.free_class[t.index()] {
+                if seen_classes.contains(&class) {
+                    self.stats.pruned_equivalence += 1;
+                    continue;
+                }
+                seen_classes.push(class);
+            }
+
+            self.stats.omega_calls += 1;
+            if self.stats.omega_calls >= self.lambda {
+                self.stats.truncated = true;
+                self.stop = true;
+            }
+
+            self.placed[i] = true;
+            for e in self.ctx.dag.succs(t) {
+                if let Some(j) = self.chunk.iter().position(|&c| c == e.to) {
+                    self.pending[j] -= 1;
+                }
+            }
+            self.engine.push_default(t);
+            self.current.push(t);
+
+            if self.engine.total_nops() < self.best_mu && !self.stop {
+                self.run(depth + 1);
+            } else if !self.stop {
+                self.stats.pruned_bound += 1;
+            }
+
+            self.current.pop();
+            self.engine.pop();
+            for e in self.ctx.dag.succs(t) {
+                if let Some(j) = self.chunk.iter().position(|&c| c == e.to) {
+                    self.pending[j] += 1;
+                }
+            }
+            self.placed[i] = false;
+            if self.stop {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnb::{search, SearchConfig};
+    use pipesched_ir::{analysis::verify_schedule, BlockBuilder, DepDag};
+    use pipesched_machine::presets;
+
+    fn big_block() -> pipesched_ir::BasicBlock {
+        let mut b = BlockBuilder::new("big");
+        for i in 0..6 {
+            let x = b.load(&format!("x{i}"));
+            let y = b.load(&format!("y{i}"));
+            let m = b.mul(x, y);
+            b.store(&format!("r{i}"), m);
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn windowed_is_legal_and_bounded_by_list_and_optimal() {
+        let block = big_block();
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let ctx = SchedContext::new(&block, &dag, &machine);
+
+        let optimal = search(&ctx, &SearchConfig::with_lambda(u64::MAX));
+        assert!(optimal.optimal);
+
+        for window in [4usize, 8, 12, 24] {
+            let w = windowed_schedule(&ctx, window, 100_000);
+            verify_schedule(&block, &dag, &w.order).unwrap();
+            assert!(
+                w.nops >= optimal.nops,
+                "window {window}: windowed beat the optimum?!"
+            );
+            assert!(
+                w.nops <= w.initial_nops,
+                "window {window}: worse than the list schedule"
+            );
+            assert_eq!(w.etas.iter().sum::<u32>(), w.nops);
+        }
+    }
+
+    #[test]
+    fn full_window_equals_optimal() {
+        let block = big_block();
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let ctx = SchedContext::new(&block, &dag, &machine);
+        let optimal = search(&ctx, &SearchConfig::with_lambda(u64::MAX));
+        let w = windowed_schedule(&ctx, block.len(), u64::MAX / 2);
+        assert_eq!(w.windows, 1);
+        assert_eq!(w.nops, optimal.nops);
+    }
+
+    #[test]
+    fn window_of_one_is_exactly_the_list_schedule() {
+        let block = big_block();
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let ctx = SchedContext::new(&block, &dag, &machine);
+        let w = windowed_schedule(&ctx, 1, 1_000);
+        assert_eq!(w.nops, w.initial_nops);
+        assert_eq!(w.windows, block.len());
+    }
+
+    #[test]
+    fn quality_improves_with_window_size() {
+        // Not guaranteed in general (windowing is a heuristic) but holds on
+        // this symmetric block: wider windows never hurt here.
+        let block = big_block();
+        let dag = DepDag::build(&block);
+        let machine = presets::deep_pipeline();
+        let ctx = SchedContext::new(&block, &dag, &machine);
+        let w4 = windowed_schedule(&ctx, 4, 200_000);
+        let w24 = windowed_schedule(&ctx, 24, 200_000);
+        assert!(w24.nops <= w4.nops);
+    }
+
+    #[test]
+    fn empty_block() {
+        let block = BlockBuilder::new("e").finish().unwrap();
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let ctx = SchedContext::new(&block, &dag, &machine);
+        let w = windowed_schedule(&ctx, 8, 100);
+        assert_eq!(w.nops, 0);
+        assert!(w.order.is_empty());
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the windowed scheduler: on random blocks, for any
+//! window size, the stitched schedule is legal and its quality sits
+//! between the full optimum and the bare list schedule.
+
+use proptest::prelude::*;
+
+use pipesched_core::{search, windowed_schedule, SchedContext, SearchConfig};
+use pipesched_ir::{analysis::verify_schedule, BasicBlock, BlockBuilder, DepDag, Op, TupleId};
+use pipesched_machine::presets;
+
+fn block_from_script(script: &[u8]) -> BasicBlock {
+    let mut b = BlockBuilder::new("wprop");
+    let vars = ["a", "b", "c", "d"];
+    for chunk in script.chunks(2) {
+        let (op, x) = (chunk[0], chunk.get(1).copied().unwrap_or(0));
+        let blk = b.clone().finish_unchecked();
+        let producers: Vec<TupleId> = blk
+            .ids()
+            .filter(|&i| blk.tuple(i).op.produces_value())
+            .collect();
+        match op % 5 {
+            0 => {
+                b.load(vars[x as usize % vars.len()]);
+            }
+            1 => {
+                b.constant(i64::from(x));
+            }
+            2 | 3 if !producers.is_empty() => {
+                let l = producers[x as usize % producers.len()];
+                let r = producers[(x / 5) as usize % producers.len()];
+                let ops = [Op::Add, Op::Sub, Op::Mul, Op::Div];
+                b.binary(ops[x as usize % 4], l, r);
+            }
+            4 if !producers.is_empty() => {
+                let v = producers[x as usize % producers.len()];
+                b.store(vars[(x / 3) as usize % vars.len()], v);
+            }
+            _ => {
+                b.load(vars[x as usize % vars.len()]);
+            }
+        }
+    }
+    if b.is_empty() {
+        b.load("a");
+    }
+    b.finish().expect("valid by construction")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn windowed_is_sandwiched_between_optimal_and_list(
+        script in proptest::collection::vec(any::<u8>(), 2..40),
+        window in 1usize..12,
+        machine_sel in 0usize..3,
+    ) {
+        let block = block_from_script(&script);
+        let dag = DepDag::build(&block);
+        let machines = [
+            presets::paper_simulation(),
+            presets::deep_pipeline(),
+            presets::functional_units(),
+        ];
+        let machine = &machines[machine_sel];
+        let ctx = SchedContext::new(&block, &dag, machine);
+
+        let optimal = search(&ctx, &SearchConfig::with_lambda(u64::MAX));
+        prop_assert!(optimal.optimal);
+
+        let w = windowed_schedule(&ctx, window, 200_000);
+        verify_schedule(&block, &dag, &w.order).unwrap();
+        prop_assert!(w.nops >= optimal.nops, "windowed beat the optimum");
+        prop_assert!(w.nops <= w.initial_nops, "worse than the list schedule");
+        prop_assert_eq!(w.etas.iter().sum::<u32>(), w.nops);
+        prop_assert_eq!(w.order.len(), block.len());
+    }
+}

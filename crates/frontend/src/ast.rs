@@ -1,0 +1,76 @@
+//! Abstract syntax of the assignment language.
+
+/// A straight-line program: one basic block of assignments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// The statements in source order.
+    pub statements: Vec<Assign>,
+}
+
+/// `target = expr ;`
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assign {
+    /// The assigned variable.
+    pub target: String,
+    /// The right-hand side.
+    pub value: Expr,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// An integer literal.
+    Literal(i64),
+    /// A variable reference.
+    Var(String),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// A binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl Expr {
+    /// Count the nodes of the expression tree (for generator statistics).
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Literal(_) | Expr::Var(_) => 1,
+            Expr::Neg(e) => 1 + e.size(),
+            Expr::Binary { lhs, rhs, .. } => 1 + lhs.size() + rhs.size(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_size_counts_nodes() {
+        let e = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::Var("a".into())),
+            rhs: Box::new(Expr::Neg(Box::new(Expr::Literal(3)))),
+        };
+        assert_eq!(e.size(), 4);
+    }
+}

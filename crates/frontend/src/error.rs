@@ -1,0 +1,56 @@
+//! Front-end error type.
+
+use std::fmt;
+
+/// Errors from lexing or parsing source text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrontendError {
+    /// A character the lexer does not recognize.
+    UnexpectedChar {
+        /// The character.
+        ch: char,
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        col: usize,
+    },
+    /// An integer literal out of `i64` range.
+    IntOutOfRange {
+        /// The literal text.
+        text: String,
+        /// 1-based line.
+        line: usize,
+    },
+    /// The parser found something other than what the grammar requires.
+    UnexpectedToken {
+        /// Description of what was found.
+        found: String,
+        /// What the parser expected.
+        expected: &'static str,
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        col: usize,
+    },
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrontendError::UnexpectedChar { ch, line, col } => {
+                write!(f, "{line}:{col}: unexpected character `{ch}`")
+            }
+            FrontendError::IntOutOfRange { text, line } => {
+                write!(f, "{line}: integer literal `{text}` out of range")
+            }
+            FrontendError::UnexpectedToken {
+                found,
+                expected,
+                line,
+                col,
+            } => write!(f, "{line}:{col}: expected {expected}, found {found}"),
+        }
+    }
+}
+
+impl std::error::Error for FrontendError {}

@@ -1,0 +1,127 @@
+//! A reference interpreter for basic blocks.
+//!
+//! Gives tuple IR a *total* semantics so the optimizer can be property-
+//! tested: arithmetic wraps, division by zero yields 0, and variables not
+//! written before being read take their initial-environment value (default
+//! 0). Every optimization pass must preserve the final variable state under
+//! this semantics.
+
+use std::collections::HashMap;
+
+use pipesched_ir::{BasicBlock, Op, Operand};
+
+/// The result of interpreting a block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interpretation {
+    /// Final memory: variable name → value (only variables that exist in
+    /// the block's symbol table appear).
+    pub memory: HashMap<String, i64>,
+}
+
+/// Interpret `block` starting from `initial` variable values.
+pub fn interpret(block: &BasicBlock, initial: &HashMap<String, i64>) -> Interpretation {
+    let n = block.len();
+    let mut values: Vec<i64> = vec![0; n];
+    let mut memory: HashMap<String, i64> = HashMap::new();
+    for i in 0..block.symbols().len() {
+        let name = block
+            .symbols()
+            .name(pipesched_ir::VarId(i as u32))
+            .expect("dense symbol table")
+            .to_string();
+        let v = initial.get(&name).copied().unwrap_or(0);
+        memory.insert(name, v);
+    }
+
+    let read = |values: &[i64], o: Operand| -> i64 {
+        match o {
+            Operand::Tuple(t) => values[t.index()],
+            Operand::Imm(v) => v,
+            Operand::Var(_) | Operand::None => unreachable!("checked by verify()"),
+        }
+    };
+
+    for t in block.tuples() {
+        let v = match t.op {
+            Op::Const => t.a.as_imm().expect("verified"),
+            Op::Load => {
+                let name = block.symbols().name(t.a.as_var().expect("verified")).unwrap();
+                memory[name]
+            }
+            Op::Store => {
+                let name = block
+                    .symbols()
+                    .name(t.a.as_var().expect("verified"))
+                    .unwrap()
+                    .to_string();
+                let v = read(&values, t.b);
+                memory.insert(name, v);
+                v
+            }
+            Op::Add => read(&values, t.a).wrapping_add(read(&values, t.b)),
+            Op::Sub => read(&values, t.a).wrapping_sub(read(&values, t.b)),
+            Op::Mul => read(&values, t.a).wrapping_mul(read(&values, t.b)),
+            Op::Div => {
+                let d = read(&values, t.b);
+                if d == 0 {
+                    0
+                } else {
+                    read(&values, t.a).wrapping_div(d)
+                }
+            }
+            Op::Neg => read(&values, t.a).wrapping_neg(),
+            Op::Mov => read(&values, t.a),
+            Op::Nop => 0,
+        };
+        values[t.id.index()] = v;
+    }
+
+    Interpretation { memory }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::parser::parse_program;
+
+    fn run(src: &str, init: &[(&str, i64)]) -> HashMap<String, i64> {
+        let block = lower("t", &parse_program(src).unwrap());
+        let initial: HashMap<String, i64> =
+            init.iter().map(|&(k, v)| (k.to_string(), v)).collect();
+        interpret(&block, &initial).memory
+    }
+
+    #[test]
+    fn figure3_semantics() {
+        let m = run("b = 15;\na = b * a;\n", &[("a", 3)]);
+        assert_eq!(m["b"], 15);
+        assert_eq!(m["a"], 45);
+    }
+
+    #[test]
+    fn uninitialized_reads_default_to_zero() {
+        let m = run("x = y + 1;", &[]);
+        assert_eq!(m["x"], 1);
+        assert_eq!(m["y"], 0);
+    }
+
+    #[test]
+    fn division_by_zero_is_zero() {
+        let m = run("x = 7 / z;", &[("z", 0)]);
+        assert_eq!(m["x"], 0);
+    }
+
+    #[test]
+    fn overflow_wraps() {
+        let m = run("x = big * big;", &[("big", i64::MAX)]);
+        assert_eq!(m["x"], i64::MAX.wrapping_mul(i64::MAX));
+    }
+
+    #[test]
+    fn sequencing_respects_program_order() {
+        let m = run("a = 1;\nb = a + 1;\na = 10;\nc = a + b;\n", &[]);
+        assert_eq!(m["b"], 2);
+        assert_eq!(m["c"], 12);
+    }
+}

@@ -1,0 +1,188 @@
+//! Hand-written lexer for the assignment language.
+
+use crate::error::FrontendError;
+use crate::token::{Token, TokenKind};
+
+/// Tokenize `source`. Comments run from `//` or `;`-free `#`? No — the
+/// language keeps it minimal: `//` to end of line is a comment.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, FrontendError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut chars = source.chars().peekable();
+
+    while let Some(&c) = chars.peek() {
+        let (tline, tcol) = (line, col);
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                col = 1;
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+                col += 1;
+            }
+            '/' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'/') {
+                    // Comment to end of line.
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            col = 1;
+                            break;
+                        }
+                    }
+                } else {
+                    out.push(Token {
+                        kind: TokenKind::Slash,
+                        line: tline,
+                        col: tcol,
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token {
+                    kind: TokenKind::Ident(ident),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let mut text = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        text.push(c);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let value = text.parse::<i64>().map_err(|_| FrontendError::IntOutOfRange {
+                    text: text.clone(),
+                    line: tline,
+                })?;
+                out.push(Token {
+                    kind: TokenKind::Int(value),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            _ => {
+                let kind = match c {
+                    '=' => TokenKind::Assign,
+                    '+' => TokenKind::Plus,
+                    '-' => TokenKind::Minus,
+                    '*' => TokenKind::Star,
+                    '(' => TokenKind::LParen,
+                    ')' => TokenKind::RParen,
+                    ';' => TokenKind::Semi,
+                    ':' => TokenKind::Colon,
+                    other => {
+                        return Err(FrontendError::UnexpectedChar {
+                            ch: other,
+                            line,
+                            col,
+                        })
+                    }
+                };
+                chars.next();
+                col += 1;
+                out.push(Token {
+                    kind,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+        }
+    }
+    out.push(Token {
+        kind: TokenKind::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_a_statement() {
+        assert_eq!(
+            kinds("a = b * 15;"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Assign,
+                TokenKind::Ident("b".into()),
+                TokenKind::Star,
+                TokenKind::Int(15),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a = 1; // set a\nb = 2;").len(),
+            9, // a = 1 ; b = 2 ; eof
+        );
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let toks = tokenize("a = 1;\n b = 2;").unwrap();
+        let b = toks.iter().find(|t| t.kind == TokenKind::Ident("b".into())).unwrap();
+        assert_eq!((b.line, b.col), (2, 2));
+    }
+
+    #[test]
+    fn rejects_bad_chars_and_big_ints() {
+        assert!(matches!(
+            tokenize("a = $;"),
+            Err(FrontendError::UnexpectedChar { ch: '$', .. })
+        ));
+        assert!(matches!(
+            tokenize("a = 99999999999999999999;"),
+            Err(FrontendError::IntOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn division_and_parens() {
+        assert_eq!(
+            kinds("x = (a / b);"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::Assign,
+                TokenKind::LParen,
+                TokenKind::Ident("a".into()),
+                TokenKind::Slash,
+                TokenKind::Ident("b".into()),
+                TokenKind::RParen,
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+}

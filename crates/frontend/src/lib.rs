@@ -1,0 +1,101 @@
+#![warn(missing_docs)]
+
+//! Compiler front end for `pipesched`: a small assignment-statement
+//! language, lowering to tuple IR, and the traditional optimizations the
+//! paper's prototype performs before scheduling (§3.1): constant folding
+//! with value propagation, common subexpression elimination, dead-code
+//! elimination, and peephole optimizations.
+//!
+//! The language covers exactly the programs the paper's synthetic
+//! benchmarks consist of — straight-line basic blocks of assignments:
+//!
+//! ```text
+//! b = 15;
+//! a = b * a;
+//! c = (a + b) - -d;
+//! ```
+//!
+//! Lowering follows the paper's conventions: the *first* reference to a
+//! variable generates a `Load`, every assignment generates a `Store`, and
+//! within the block values flow through tuple references (Figure 3).
+
+pub mod ast;
+pub mod error;
+pub mod interp;
+pub mod lexer;
+pub mod lower;
+pub mod opt;
+pub mod parser;
+pub mod token;
+
+pub use error::FrontendError;
+pub use interp::{interpret, Interpretation};
+pub use lower::lower;
+pub use opt::{optimize, OptConfig, OptStats};
+pub use parser::{parse_labeled_program, parse_program};
+
+use pipesched_ir::BasicBlock;
+
+/// Compile source text into an optimized basic block
+/// (parse → lower → optimize with defaults).
+pub fn compile(name: &str, source: &str) -> Result<BasicBlock, FrontendError> {
+    let program = parse_program(source)?;
+    let block = lower(name, &program);
+    let (optimized, _) = optimize(&block, &OptConfig::default());
+    Ok(optimized)
+}
+
+/// Compile without running the optimizer (for comparing optimization
+/// effects, as §3.1 discusses).
+pub fn compile_unoptimized(name: &str, source: &str) -> Result<BasicBlock, FrontendError> {
+    let program = parse_program(source)?;
+    Ok(lower(name, &program))
+}
+
+/// Compile a labeled program into a straight-line *sequence* of basic
+/// blocks, one per `label:` region (plus an implicit `entry` region for
+/// statements before the first label). Each block is lowered and optimized
+/// independently; values flow between blocks through memory, which is what
+/// makes per-block scheduling with carried pipeline state sound.
+pub fn compile_sequence(source: &str) -> Result<Vec<BasicBlock>, FrontendError> {
+    let regions = parse_labeled_program(source)?;
+    Ok(regions
+        .into_iter()
+        .map(|(name, program)| {
+            let block = lower(&name, &program);
+            let (optimized, _) = optimize(&block, &OptConfig::default());
+            optimized
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure3_program_compiles_to_five_tuples() {
+        // `b = 15; a = b * a;` — the paper's Figure 3.
+        let block = compile_unoptimized("fig3", "b = 15;\na = b * a;\n").unwrap();
+        let text = block.to_string();
+        assert_eq!(block.len(), 5, "{text}");
+        assert!(text.contains("Const 15"));
+        assert!(text.contains("Store #b"));
+        assert!(text.contains("Load #a"));
+        assert!(text.contains("Mul"));
+    }
+
+    #[test]
+    fn optimizer_shrinks_redundancy() {
+        let src = "x = a + b;\ny = a + b;\nz = x + y;\n";
+        let unopt = compile_unoptimized("u", src).unwrap();
+        let opt = compile("o", src).unwrap();
+        assert!(opt.len() < unopt.len(), "{} vs {}", opt.len(), unopt.len());
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        assert!(compile("bad", "x = ;").is_err());
+        assert!(compile("bad", "x + 3;").is_err());
+    }
+}

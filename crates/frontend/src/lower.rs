@@ -1,0 +1,130 @@
+//! Lowering from AST to tuple IR (the paper's Figure 3 conventions).
+//!
+//! * The first *use* of a variable emits a `Load`; subsequent uses within
+//!   the block reuse the tuple currently holding its value.
+//! * Every assignment emits a `Store` and records the stored tuple as the
+//!   variable's current value.
+//!
+//! No optimization happens here — redundancy is left for the optimizer so
+//! its effect can be measured (§3.1).
+
+use std::collections::HashMap;
+
+use pipesched_ir::{BasicBlock, Op, Operand, TupleId};
+
+use crate::ast::{BinOp, Expr, Program};
+
+/// Lower `program` into a (verified) basic block named `name`.
+pub fn lower(name: &str, program: &Program) -> BasicBlock {
+    let mut block = BasicBlock::new(name);
+    // Variable → tuple currently holding its value.
+    let mut env: HashMap<String, TupleId> = HashMap::new();
+
+    for stmt in &program.statements {
+        let value = lower_expr(&mut block, &mut env, &stmt.value);
+        let var = block.intern(&stmt.target);
+        block.push(Op::Store, Operand::Var(var), Operand::Tuple(value));
+        env.insert(stmt.target.clone(), value);
+    }
+
+    debug_assert!(block.verify().is_ok(), "lowering must produce valid IR");
+    block
+}
+
+fn lower_expr(
+    block: &mut BasicBlock,
+    env: &mut HashMap<String, TupleId>,
+    expr: &Expr,
+) -> TupleId {
+    match expr {
+        Expr::Literal(v) => block.push(Op::Const, Operand::Imm(*v), Operand::None),
+        Expr::Var(name) => {
+            if let Some(&t) = env.get(name) {
+                return t;
+            }
+            let var = block.intern(name);
+            let t = block.push(Op::Load, Operand::Var(var), Operand::None);
+            env.insert(name.clone(), t);
+            t
+        }
+        Expr::Neg(inner) => {
+            let v = lower_expr(block, env, inner);
+            block.push(Op::Neg, Operand::Tuple(v), Operand::None)
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let l = lower_expr(block, env, lhs);
+            let r = lower_expr(block, env, rhs);
+            let o = match op {
+                BinOp::Add => Op::Add,
+                BinOp::Sub => Op::Sub,
+                BinOp::Mul => Op::Mul,
+                BinOp::Div => Op::Div,
+            };
+            block.push(o, Operand::Tuple(l), Operand::Tuple(r))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use pipesched_ir::TupleId;
+
+    fn lower_src(src: &str) -> BasicBlock {
+        lower("t", &parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn figure3_exactly() {
+        let block = lower_src("b = 15;\na = b * a;\n");
+        let expect = "\
+1: Const 15
+2: Store #b, @1
+3: Load #a
+4: Mul @1, @3
+5: Store #a, @4
+";
+        assert_eq!(block.to_string(), expect);
+    }
+
+    #[test]
+    fn first_use_loads_subsequent_uses_reuse() {
+        let block = lower_src("x = a + a;\ny = a;\n");
+        // Only one Load of `a`.
+        let loads = block
+            .tuples()
+            .iter()
+            .filter(|t| t.op == Op::Load)
+            .count();
+        assert_eq!(loads, 1);
+    }
+
+    #[test]
+    fn assignment_updates_env() {
+        let block = lower_src("a = 1;\nb = a;\n");
+        // `b = a` must use the Const, not reload `a`.
+        let loads = block.tuples().iter().filter(|t| t.op == Op::Load).count();
+        assert_eq!(loads, 0);
+        // Store #b references tuple 1 (the Const).
+        let store_b = block.tuples().iter().filter(|t| t.op == Op::Store).nth(1).unwrap();
+        assert_eq!(store_b.b, Operand::Tuple(TupleId(0)));
+    }
+
+    #[test]
+    fn nested_expression_lowers_inside_out() {
+        let block = lower_src("r = (a + b) * -c;");
+        let ops: Vec<Op> = block.tuples().iter().map(|t| t.op).collect();
+        assert_eq!(
+            ops,
+            vec![Op::Load, Op::Load, Op::Add, Op::Load, Op::Neg, Op::Mul, Op::Store]
+        );
+    }
+
+    #[test]
+    fn self_reference_uses_old_value() {
+        let block = lower_src("a = a + 1;");
+        let ops: Vec<Op> = block.tuples().iter().map(|t| t.op).collect();
+        assert_eq!(ops, vec![Op::Load, Op::Const, Op::Add, Op::Store]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Common subexpression elimination by value numbering.
+//!
+//! Two tuples are the same expression when they have the same operation and
+//! (canonically ordered, for commutative ops) the same operands. `Load`s
+//! additionally key on the variable's *store epoch* so a load before and a
+//! load after a store of the same variable are never merged. `Store`s are
+//! never merged (they are effects, not values).
+
+use std::collections::HashMap;
+
+use pipesched_ir::rewrite::Rewriter;
+use pipesched_ir::{BasicBlock, Op, Operand, TupleId};
+
+/// Run one CSE pass. `None` if nothing changed.
+pub fn run(block: &BasicBlock) -> Option<BasicBlock> {
+    let mut store_epoch: Vec<u32> = vec![0; block.symbols().len()];
+    // Value-number key → first tuple computing it.
+    let mut table: HashMap<(Op, u32, Operand, Operand), TupleId> = HashMap::new();
+    let mut rewriter = Rewriter::new(block.len());
+    // Resolved replacement for each tuple (identity unless CSE'd), so later
+    // keys compare post-replacement operands.
+    let mut resolved: Vec<TupleId> = block.ids().collect();
+    let mut changed = false;
+
+    for t in block.tuples() {
+        let resolve = |o: Operand, resolved: &[TupleId]| -> Operand {
+            match o {
+                Operand::Tuple(r) => Operand::Tuple(resolved[r.index()]),
+                other => other,
+            }
+        };
+        match t.op {
+            Op::Store => {
+                let v = t.a.as_var().expect("verified").0 as usize;
+                store_epoch[v] += 1;
+                continue;
+            }
+            Op::Load => {
+                let v = t.a.as_var().expect("verified");
+                let key = (Op::Load, store_epoch[v.0 as usize], Operand::Var(v), Operand::None);
+                if let Some(&first) = table.get(&key) {
+                    rewriter.redirect(t.id, first);
+                    rewriter.remove(t.id);
+                    resolved[t.id.index()] = first;
+                    changed = true;
+                } else {
+                    table.insert(key, t.id);
+                }
+            }
+            _ => {
+                let (a, b) = {
+                    
+                    pipesched_ir::Tuple {
+                        id: t.id,
+                        op: t.op,
+                        a: resolve(t.a, &resolved),
+                        b: resolve(t.b, &resolved),
+                    }
+                    .canonical_operands()
+                };
+                let key = (t.op, 0, a, b);
+                if let Some(&first) = table.get(&key) {
+                    rewriter.redirect(t.id, first);
+                    rewriter.remove(t.id);
+                    resolved[t.id.index()] = first;
+                    changed = true;
+                } else {
+                    table.insert(key, t.id);
+                }
+            }
+        }
+    }
+
+    if !changed {
+        return None;
+    }
+    let out = rewriter.apply(block);
+    debug_assert!(out.verify().is_ok());
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipesched_ir::BlockBuilder;
+
+    #[test]
+    fn merges_identical_binaries() {
+        let mut b = BlockBuilder::new("cse");
+        let x = b.load("x");
+        let y = b.load("y");
+        let a1 = b.add(x, y);
+        let a2 = b.add(x, y);
+        let m = b.mul(a1, a2);
+        b.store("r", m);
+        let block = b.finish().unwrap();
+        let out = run(&block).unwrap();
+        let adds = out.tuples().iter().filter(|t| t.op == Op::Add).count();
+        assert_eq!(adds, 1);
+        // The mul now squares the single add.
+        let mul = out.tuples().iter().find(|t| t.op == Op::Mul).unwrap();
+        assert_eq!(mul.a, mul.b);
+    }
+
+    #[test]
+    fn commutative_operands_merge_either_order() {
+        let mut b = BlockBuilder::new("comm");
+        let x = b.load("x");
+        let y = b.load("y");
+        let a1 = b.add(x, y);
+        let a2 = b.add(y, x);
+        let s = b.sub(a1, a2);
+        b.store("r", s);
+        let block = b.finish().unwrap();
+        let out = run(&block).unwrap();
+        assert_eq!(out.tuples().iter().filter(|t| t.op == Op::Add).count(), 1);
+    }
+
+    #[test]
+    fn non_commutative_respects_order() {
+        let mut b = BlockBuilder::new("nc");
+        let x = b.load("x");
+        let y = b.load("y");
+        let s1 = b.sub(x, y);
+        let s2 = b.sub(y, x);
+        let a = b.add(s1, s2);
+        b.store("r", a);
+        let block = b.finish().unwrap();
+        // Nothing merges: sub(x,y) ≠ sub(y,x), loads are distinct vars.
+        assert!(run(&block).is_none());
+    }
+
+    #[test]
+    fn loads_across_store_do_not_merge() {
+        let mut b = BlockBuilder::new("epoch");
+        let l1 = b.load("x");
+        let c = b.constant(1);
+        b.store("x", c);
+        let l2 = b.load("x");
+        let a = b.add(l1, l2);
+        b.store("r", a);
+        let block = b.finish().unwrap();
+        // The two loads of x straddle a store; only the consts... there are
+        // no duplicate consts, so nothing changes at all.
+        assert!(run(&block).is_none());
+    }
+
+    #[test]
+    fn duplicate_loads_same_epoch_merge() {
+        let mut b = BlockBuilder::new("dup");
+        let l1 = b.load("x");
+        let l2 = b.load("x");
+        let a = b.add(l1, l2);
+        b.store("r", a);
+        let block = b.finish().unwrap();
+        let out = run(&block).unwrap();
+        assert_eq!(out.tuples().iter().filter(|t| t.op == Op::Load).count(), 1);
+    }
+
+    #[test]
+    fn chained_duplicates_collapse_in_one_pass() {
+        // (a+b) and (a+b) merge; then (x*x) keyed on the *resolved* operand
+        // also merges with an earlier (x*x).
+        let mut b = BlockBuilder::new("chain");
+        let x = b.load("x");
+        let y = b.load("y");
+        let a1 = b.add(x, y);
+        let m1 = b.mul(a1, a1);
+        let a2 = b.add(x, y);
+        let m2 = b.mul(a2, a2);
+        let s = b.sub(m1, m2);
+        b.store("r", s);
+        let block = b.finish().unwrap();
+        let out = run(&block).unwrap();
+        assert_eq!(out.tuples().iter().filter(|t| t.op == Op::Mul).count(), 1, "\n{out}");
+    }
+
+    #[test]
+    fn identical_consts_merge() {
+        let mut b = BlockBuilder::new("k");
+        let c1 = b.constant(42);
+        let c2 = b.constant(42);
+        let a = b.add(c1, c2);
+        b.store("r", a);
+        let block = b.finish().unwrap();
+        let out = run(&block).unwrap();
+        assert_eq!(out.tuples().iter().filter(|t| t.op == Op::Const).count(), 1);
+    }
+}

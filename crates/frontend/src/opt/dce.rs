@@ -1,0 +1,139 @@
+//! Dead-code and dead-store elimination.
+//!
+//! Roots are the *live stores*: the last store to each variable, plus any
+//! store followed by a load of that variable before the next store. Every
+//! tuple transitively reachable from a root through operand references is
+//! live; everything else is removed.
+
+use pipesched_ir::rewrite::Rewriter;
+use pipesched_ir::{BasicBlock, Op, TupleId};
+
+/// Run one DCE pass. `None` if nothing changed.
+pub fn run(block: &BasicBlock) -> Option<BasicBlock> {
+    let n = block.len();
+    let nvars = block.symbols().len();
+
+    // 1. Find live stores: walk backwards; a store is dead if a later store
+    //    to the same variable occurs with no intervening load of it.
+    let mut overwritten = vec![false; nvars];
+    let mut store_live = vec![true; n];
+    for t in block.tuples().iter().rev() {
+        match t.op {
+            Op::Store => {
+                let v = t.a.as_var().expect("verified").0 as usize;
+                if overwritten[v] {
+                    store_live[t.id.index()] = false;
+                } else {
+                    overwritten[v] = true;
+                }
+            }
+            Op::Load => {
+                let v = t.a.as_var().expect("verified").0 as usize;
+                overwritten[v] = false;
+            }
+            _ => {}
+        }
+    }
+
+    // 2. Mark liveness from live stores backwards through operands.
+    let mut live = vec![false; n];
+    #[allow(clippy::needless_range_loop)]
+    for i in (0..n).rev() {
+        let t = &block.tuples()[i];
+        let is_root = t.op == Op::Store && store_live[i];
+        if is_root {
+            live[i] = true;
+        }
+        if live[i] {
+            for r in t.tuple_refs() {
+                live[r.index()] = true;
+            }
+        }
+    }
+
+    let mut rewriter = Rewriter::new(n);
+    let mut changed = false;
+    for i in 0..n {
+        if !live[i] {
+            rewriter.remove(TupleId(i as u32));
+            changed = true;
+        }
+    }
+    if !changed {
+        return None;
+    }
+    let out = rewriter.apply(block);
+    debug_assert!(out.verify().is_ok());
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipesched_ir::BlockBuilder;
+
+    #[test]
+    fn removes_unused_computation() {
+        let mut b = BlockBuilder::new("dead");
+        let x = b.load("x");
+        let y = b.load("y");
+        let _unused = b.mul(x, y);
+        b.store("r", x);
+        let block = b.finish().unwrap();
+        let out = run(&block).unwrap();
+        // Mul and the load of y both die.
+        assert_eq!(out.len(), 2, "\n{out}");
+    }
+
+    #[test]
+    fn keeps_everything_reachable() {
+        let mut b = BlockBuilder::new("live");
+        let x = b.load("x");
+        let y = b.load("y");
+        let m = b.mul(x, y);
+        b.store("r", m);
+        let block = b.finish().unwrap();
+        assert!(run(&block).is_none());
+    }
+
+    #[test]
+    fn dead_store_removed() {
+        let mut b = BlockBuilder::new("ds");
+        let c1 = b.constant(1);
+        b.store("x", c1);
+        let c2 = b.constant(2);
+        b.store("x", c2);
+        let block = b.finish().unwrap();
+        let out = run(&block).unwrap();
+        // First store (and its const) die.
+        assert_eq!(out.len(), 2, "\n{out}");
+        assert_eq!(out.tuple(TupleId(0)).a.as_imm(), Some(2));
+    }
+
+    #[test]
+    fn store_with_intervening_load_is_live() {
+        let mut b = BlockBuilder::new("sl");
+        let c1 = b.constant(1);
+        b.store("x", c1);
+        let l = b.load("x");
+        b.store("y", l);
+        let c2 = b.constant(2);
+        b.store("x", c2);
+        let block = b.finish().unwrap();
+        // The first store of x is read by the load before the overwrite.
+        assert!(run(&block).is_none());
+    }
+
+    #[test]
+    fn transitively_dead_chain_dies_together() {
+        let mut b = BlockBuilder::new("chain");
+        let x = b.load("x");
+        let n1 = b.neg(x);
+        let n2 = b.neg(n1);
+        let _n3 = b.neg(n2);
+        b.store("r", x);
+        let block = b.finish().unwrap();
+        let out = run(&block).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+}

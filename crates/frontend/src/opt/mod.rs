@@ -1,0 +1,173 @@
+//! The traditional optimizer (§3.1): constant folding with value
+//! propagation, common subexpression elimination, peephole optimizations,
+//! and dead-code elimination, run to a fixpoint by a small pass manager.
+//!
+//! Every pass is semantics-preserving under the reference interpreter's
+//! total semantics ([`crate::interp`]), which the property tests verify on
+//! random programs.
+
+pub mod constant_fold;
+pub mod cse;
+pub mod dce;
+pub mod peephole;
+
+use pipesched_ir::BasicBlock;
+
+/// Which passes to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptConfig {
+    /// Constant folding + value propagation through stores.
+    pub constant_fold: bool,
+    /// Common subexpression elimination.
+    pub cse: bool,
+    /// Algebraic peephole rewrites.
+    pub peephole: bool,
+    /// Dead code (and dead store) elimination.
+    pub dce: bool,
+    /// Maximum fixpoint iterations (safety net; convergence is typical in
+    /// 2–3 rounds).
+    pub max_iterations: u32,
+}
+
+impl Default for OptConfig {
+    fn default() -> Self {
+        OptConfig {
+            constant_fold: true,
+            cse: true,
+            peephole: true,
+            dce: true,
+            max_iterations: 10,
+        }
+    }
+}
+
+impl OptConfig {
+    /// A config with every pass disabled (identity pipeline).
+    pub fn none() -> Self {
+        OptConfig {
+            constant_fold: false,
+            cse: false,
+            peephole: false,
+            dce: false,
+            max_iterations: 1,
+        }
+    }
+}
+
+/// What the optimizer did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Fixpoint iterations executed.
+    pub iterations: u32,
+    /// Tuples before optimization.
+    pub tuples_before: usize,
+    /// Tuples after optimization.
+    pub tuples_after: usize,
+    /// Times constant folding changed the block.
+    pub constant_folds: u32,
+    /// Times CSE changed the block.
+    pub cse_hits: u32,
+    /// Times peephole changed the block.
+    pub peephole_hits: u32,
+    /// Times DCE changed the block.
+    pub dce_removals: u32,
+}
+
+/// Run the configured passes to a fixpoint. Returns the optimized block and
+/// statistics. The input block must verify.
+pub fn optimize(block: &BasicBlock, config: &OptConfig) -> (BasicBlock, OptStats) {
+    debug_assert!(block.verify().is_ok());
+    let mut current = block.clone();
+    let mut stats = OptStats {
+        tuples_before: block.len(),
+        ..OptStats::default()
+    };
+
+    for _ in 0..config.max_iterations {
+        let mut changed = false;
+        if config.constant_fold {
+            if let Some(next) = constant_fold::run(&current) {
+                current = next;
+                stats.constant_folds += 1;
+                changed = true;
+            }
+        }
+        if config.cse {
+            if let Some(next) = cse::run(&current) {
+                current = next;
+                stats.cse_hits += 1;
+                changed = true;
+            }
+        }
+        if config.peephole {
+            if let Some(next) = peephole::run(&current) {
+                current = next;
+                stats.peephole_hits += 1;
+                changed = true;
+            }
+        }
+        if config.dce {
+            if let Some(next) = dce::run(&current) {
+                current = next;
+                stats.dce_removals += 1;
+                changed = true;
+            }
+        }
+        stats.iterations += 1;
+        if !changed {
+            break;
+        }
+    }
+
+    debug_assert!(current.verify().is_ok(), "optimizer broke the block");
+    stats.tuples_after = current.len();
+    (current, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::parser::parse_program;
+
+    fn optimize_src(src: &str) -> (BasicBlock, OptStats) {
+        let block = lower("t", &parse_program(src).unwrap());
+        optimize(&block, &OptConfig::default())
+    }
+
+    #[test]
+    fn folds_and_cleans_constant_program() {
+        let (block, stats) = optimize_src("x = 2 + 3;\ny = x * 4;\n");
+        // Everything folds to constants: two Consts + two Stores.
+        assert_eq!(block.len(), 4, "\n{block}");
+        assert!(stats.constant_folds > 0);
+    }
+
+    #[test]
+    fn cse_merges_repeated_subexpressions() {
+        let (block, stats) = optimize_src("x = a + b;\ny = a + b;\n");
+        let adds = block
+            .tuples()
+            .iter()
+            .filter(|t| t.op == pipesched_ir::Op::Add)
+            .count();
+        assert_eq!(adds, 1, "\n{block}");
+        assert!(stats.cse_hits > 0);
+    }
+
+    #[test]
+    fn disabled_config_is_identity() {
+        let block = lower("t", &parse_program("x = a + 0;").unwrap());
+        let (out, stats) = optimize(&block, &OptConfig::none());
+        assert_eq!(out, block);
+        assert_eq!(stats.tuples_before, stats.tuples_after);
+    }
+
+    #[test]
+    fn fixpoint_terminates() {
+        let (_, stats) = optimize_src(
+            "a = b * 1 + 0;\nc = a / 1;\nd = c - 0;\ne = d + d;\nf = e * 0;\n",
+        );
+        assert!(stats.iterations <= OptConfig::default().max_iterations);
+    }
+}

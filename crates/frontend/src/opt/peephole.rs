@@ -1,0 +1,232 @@
+//! Algebraic peephole rewrites.
+//!
+//! * `x + 0`, `0 + x`, `x - 0`, `x * 1`, `1 * x`, `x / 1` → `x`
+//! * `x * 0`, `0 * x` → `Const 0`
+//! * `Neg(Neg(x))` → `x`
+//! * `Mov x` → `x` (copy propagation)
+//!
+//! Identities are recognized through `Const` tuples, so this pass composes
+//! with constant folding across fixpoint iterations.
+
+use pipesched_ir::rewrite::Rewriter;
+use pipesched_ir::{BasicBlock, Op, Operand, Tuple, TupleId};
+
+/// Run one peephole pass. `None` if nothing changed.
+pub fn run(block: &BasicBlock) -> Option<BasicBlock> {
+    let n = block.len();
+    let const_val = |o: Operand| -> Option<i64> {
+        match o {
+            Operand::Tuple(r) => {
+                let t = block.tuple(r);
+                (t.op == Op::Const).then(|| t.a.as_imm().expect("verified"))
+            }
+            Operand::Imm(v) => Some(v),
+            _ => None,
+        }
+    };
+
+    let mut rewriter = Rewriter::new(n);
+    let mut replace_inplace: Vec<Option<Tuple>> = vec![None; n];
+    let mut changed = false;
+
+    for t in block.tuples() {
+        let redirect_to = |target: Operand| -> Option<TupleId> {
+            target.as_tuple()
+        };
+        match t.op {
+            Op::Add => {
+                if const_val(t.b) == Some(0) {
+                    if let Some(x) = redirect_to(t.a) {
+                        rewriter.redirect(t.id, x);
+                        rewriter.remove(t.id);
+                        changed = true;
+                    }
+                } else if const_val(t.a) == Some(0) {
+                    if let Some(x) = redirect_to(t.b) {
+                        rewriter.redirect(t.id, x);
+                        rewriter.remove(t.id);
+                        changed = true;
+                    }
+                }
+            }
+            Op::Sub
+                if const_val(t.b) == Some(0) => {
+                    if let Some(x) = redirect_to(t.a) {
+                        rewriter.redirect(t.id, x);
+                        rewriter.remove(t.id);
+                        changed = true;
+                    }
+                }
+            Op::Mul => {
+                if const_val(t.b) == Some(1) {
+                    if let Some(x) = redirect_to(t.a) {
+                        rewriter.redirect(t.id, x);
+                        rewriter.remove(t.id);
+                        changed = true;
+                    }
+                } else if const_val(t.a) == Some(1) {
+                    if let Some(x) = redirect_to(t.b) {
+                        rewriter.redirect(t.id, x);
+                        rewriter.remove(t.id);
+                        changed = true;
+                    }
+                } else if const_val(t.a) == Some(0) || const_val(t.b) == Some(0) {
+                    replace_inplace[t.id.index()] = Some(Tuple {
+                        id: t.id,
+                        op: Op::Const,
+                        a: Operand::Imm(0),
+                        b: Operand::None,
+                    });
+                    changed = true;
+                }
+            }
+            Op::Div
+                if const_val(t.b) == Some(1) => {
+                    if let Some(x) = redirect_to(t.a) {
+                        rewriter.redirect(t.id, x);
+                        rewriter.remove(t.id);
+                        changed = true;
+                    }
+                }
+            Op::Neg => {
+                if let Some(inner) = t.a.as_tuple() {
+                    let it = block.tuple(inner);
+                    if it.op == Op::Neg {
+                        if let Some(x) = it.a.as_tuple() {
+                            rewriter.redirect(t.id, x);
+                            rewriter.remove(t.id);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            Op::Mov => {
+                if let Some(x) = t.a.as_tuple() {
+                    rewriter.redirect(t.id, x);
+                    rewriter.remove(t.id);
+                    changed = true;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if !changed {
+        return None;
+    }
+
+    // Apply in-place replacements first, then the structural rewrite.
+    let mut tuples = block.tuples().to_vec();
+    for (i, rep) in replace_inplace.into_iter().enumerate() {
+        if let Some(rep) = rep {
+            tuples[i] = rep;
+        }
+    }
+    let mut staged = block.clone();
+    staged.replace_tuples(tuples);
+    let out = rewriter.apply(&staged);
+    debug_assert!(out.verify().is_ok());
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipesched_ir::BlockBuilder;
+
+    fn ops(block: &BasicBlock) -> Vec<Op> {
+        block.tuples().iter().map(|t| t.op).collect()
+    }
+
+    #[test]
+    fn add_zero_vanishes() {
+        let mut b = BlockBuilder::new("p");
+        let x = b.load("x");
+        let z = b.constant(0);
+        let a = b.add(x, z);
+        b.store("r", a);
+        let block = b.finish().unwrap();
+        let out = run(&block).unwrap();
+        assert!(!ops(&out).contains(&Op::Add), "\n{out}");
+        // Store now references the load directly.
+        let store = out.tuples().last().unwrap();
+        assert_eq!(store.b, Operand::Tuple(TupleId(0)));
+    }
+
+    #[test]
+    fn mul_by_zero_becomes_const() {
+        let mut b = BlockBuilder::new("p");
+        let x = b.load("x");
+        let z = b.constant(0);
+        let m = b.mul(x, z);
+        b.store("r", m);
+        let block = b.finish().unwrap();
+        let out = run(&block).unwrap();
+        let consts = out.tuples().iter().filter(|t| t.op == Op::Const).count();
+        assert_eq!(consts, 2);
+        assert!(!ops(&out).contains(&Op::Mul));
+    }
+
+    #[test]
+    fn double_negation_cancels() {
+        let mut b = BlockBuilder::new("p");
+        let x = b.load("x");
+        let n1 = b.neg(x);
+        let n2 = b.neg(n1);
+        b.store("r", n2);
+        let block = b.finish().unwrap();
+        let out = run(&block).unwrap();
+        // Outer neg is gone; inner neg is now dead (DCE's job).
+        let store = out.tuples().last().unwrap();
+        assert_eq!(store.b, Operand::Tuple(TupleId(0)));
+    }
+
+    #[test]
+    fn mov_is_copy_propagated() {
+        let mut b = BlockBuilder::new("p");
+        let x = b.load("x");
+        let m = b.mov(x);
+        b.store("r", m);
+        let block = b.finish().unwrap();
+        let out = run(&block).unwrap();
+        assert!(!ops(&out).contains(&Op::Mov));
+    }
+
+    #[test]
+    fn div_and_sub_identities() {
+        let mut b = BlockBuilder::new("p");
+        let x = b.load("x");
+        let one = b.constant(1);
+        let zero = b.constant(0);
+        let d = b.div(x, one);
+        let s = b.sub(d, zero);
+        b.store("r", s);
+        let block = b.finish().unwrap();
+        let out = run(&block).unwrap();
+        assert!(!ops(&out).contains(&Op::Div));
+        assert!(!ops(&out).contains(&Op::Sub));
+    }
+
+    #[test]
+    fn sub_zero_minuend_not_rewritten() {
+        // 0 - x is NOT x; make sure we don't touch it.
+        let mut b = BlockBuilder::new("p");
+        let x = b.load("x");
+        let zero = b.constant(0);
+        let s = b.sub(zero, x);
+        b.store("r", s);
+        let block = b.finish().unwrap();
+        assert!(run(&block).is_none());
+    }
+
+    #[test]
+    fn no_identities_no_change() {
+        let mut b = BlockBuilder::new("p");
+        let x = b.load("x");
+        let y = b.load("y");
+        let a = b.add(x, y);
+        b.store("r", a);
+        let block = b.finish().unwrap();
+        assert!(run(&block).is_none());
+    }
+}

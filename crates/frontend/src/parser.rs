@@ -1,0 +1,277 @@
+//! Recursive-descent parser.
+//!
+//! Grammar:
+//!
+//! ```text
+//! program   := statement* EOF
+//! statement := IDENT '=' expr ';'
+//! expr      := term (('+'|'-') term)*
+//! term      := factor (('*'|'/') factor)*
+//! factor    := '-' factor | INT | IDENT | '(' expr ')'
+//! ```
+
+use crate::ast::{Assign, BinOp, Expr, Program};
+use crate::error::FrontendError;
+use crate::lexer::tokenize;
+use crate::token::{Token, TokenKind};
+
+/// Parse a whole program.
+pub fn parse_program(source: &str) -> Result<Program, FrontendError> {
+    let tokens = tokenize(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut statements = Vec::new();
+    while p.peek().kind != TokenKind::Eof {
+        statements.push(p.statement()?);
+    }
+    Ok(Program { statements })
+}
+
+/// Parse a program with `name:` labels splitting it into a straight-line
+/// sequence of basic blocks. Statements before the first label form an
+/// implicit `entry` region; empty regions are preserved.
+pub fn parse_labeled_program(source: &str) -> Result<Vec<(String, Program)>, FrontendError> {
+    let tokens = tokenize(source)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut regions: Vec<(String, Program)> = Vec::new();
+    let mut current = ("entry".to_string(), Program { statements: Vec::new() });
+    let mut saw_any = false;
+    while p.peek().kind != TokenKind::Eof {
+        if let Some(label) = p.try_label() {
+            if saw_any || !current.1.statements.is_empty() {
+                regions.push(current);
+            }
+            current = (label, Program { statements: Vec::new() });
+            saw_any = true;
+            continue;
+        }
+        current.1.statements.push(p.statement()?);
+    }
+    regions.push(current);
+    Ok(regions)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, expected: &'static str) -> FrontendError {
+        let t = self.peek();
+        FrontendError::UnexpectedToken {
+            found: t.kind.to_string(),
+            expected,
+            line: t.line,
+            col: t.col,
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, expected: &'static str) -> Result<(), FrontendError> {
+        if self.peek().kind == kind {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.err(expected))
+        }
+    }
+
+    /// Consume `Ident ':'` if that is what comes next.
+    fn try_label(&mut self) -> Option<String> {
+        if let TokenKind::Ident(name) = &self.peek().kind {
+            if self.pos + 1 < self.tokens.len()
+                && self.tokens[self.pos + 1].kind == TokenKind::Colon
+            {
+                let name = name.clone();
+                self.advance(); // ident
+                self.advance(); // colon
+                return Some(name);
+            }
+        }
+        None
+    }
+
+    fn statement(&mut self) -> Result<Assign, FrontendError> {
+        let target = match &self.peek().kind {
+            TokenKind::Ident(name) => {
+                let name = name.clone();
+                self.advance();
+                name
+            }
+            _ => return Err(self.err("a variable name")),
+        };
+        self.expect(TokenKind::Assign, "`=`")?;
+        let value = self.expr()?;
+        self.expect(TokenKind::Semi, "`;`")?;
+        Ok(Assign { target, value })
+    }
+
+    fn expr(&mut self) -> Result<Expr, FrontendError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.term()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<Expr, FrontendError> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.factor()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<Expr, FrontendError> {
+        match self.peek().kind.clone() {
+            TokenKind::Minus => {
+                self.advance();
+                Ok(Expr::Neg(Box::new(self.factor()?)))
+            }
+            TokenKind::Int(v) => {
+                self.advance();
+                Ok(Expr::Literal(v))
+            }
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(Expr::Var(name))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            _ => Err(self.err("an expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_program() {
+        let p = parse_program("b = 15;\na = b * a;\n").unwrap();
+        assert_eq!(p.statements.len(), 2);
+        assert_eq!(p.statements[0].target, "b");
+        assert_eq!(p.statements[0].value, Expr::Literal(15));
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse_program("x = a + b * c;").unwrap();
+        match &p.statements[0].value {
+            Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("wrong shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        let p = parse_program("x = (a + b) * c;").unwrap();
+        match &p.statements[0].value {
+            Expr::Binary { op: BinOp::Mul, lhs, .. } => {
+                assert!(matches!(**lhs, Expr::Binary { op: BinOp::Add, .. }));
+            }
+            other => panic!("wrong shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn left_associativity() {
+        let p = parse_program("x = a - b - c;").unwrap();
+        // (a - b) - c
+        match &p.statements[0].value {
+            Expr::Binary { op: BinOp::Sub, lhs, rhs } => {
+                assert!(matches!(**lhs, Expr::Binary { op: BinOp::Sub, .. }));
+                assert_eq!(**rhs, Expr::Var("c".into()));
+            }
+            other => panic!("wrong shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_minus_nests() {
+        let p = parse_program("x = --a;").unwrap();
+        match &p.statements[0].value {
+            Expr::Neg(inner) => assert!(matches!(**inner, Expr::Neg(_))),
+            other => panic!("wrong shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn labeled_program_splits_into_regions() {
+        let src = "x = 1;\nloop_body:\ny = x * 2;\nz = y + 1;\nexit:\nr = z;\n";
+        let regions = parse_labeled_program(src).unwrap();
+        let names: Vec<&str> = regions.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["entry", "loop_body", "exit"]);
+        assert_eq!(regions[0].1.statements.len(), 1);
+        assert_eq!(regions[1].1.statements.len(), 2);
+        assert_eq!(regions[2].1.statements.len(), 1);
+    }
+
+    #[test]
+    fn unlabeled_source_is_one_entry_region() {
+        let regions = parse_labeled_program("a = 1;\n").unwrap();
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].0, "entry");
+    }
+
+    #[test]
+    fn label_requires_colon_not_assign() {
+        // `x = 1;` must not be mistaken for a label.
+        let regions = parse_labeled_program("x = 1;").unwrap();
+        assert_eq!(regions[0].1.statements.len(), 1);
+        // A stray colon is an error.
+        assert!(parse_labeled_program("x = 1 : ;").is_err());
+    }
+
+    #[test]
+    fn error_positions() {
+        let e = parse_program("x = ;").unwrap_err();
+        assert!(matches!(e, FrontendError::UnexpectedToken { line: 1, .. }));
+        let e = parse_program("x = (a;").unwrap_err();
+        assert!(e.to_string().contains("`)`"), "{e}");
+        let e = parse_program("= 3;").unwrap_err();
+        assert!(e.to_string().contains("variable name"), "{e}");
+        let e = parse_program("x = 3").unwrap_err();
+        assert!(e.to_string().contains("`;`"), "{e}");
+    }
+}

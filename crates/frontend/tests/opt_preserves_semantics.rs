@@ -1,0 +1,117 @@
+//! Property test: every optimizer configuration preserves the reference
+//! interpreter's semantics on random programs — the final memory state of
+//! the optimized block equals the unoptimized one for random inputs.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use pipesched_frontend::ast::{Assign, BinOp, Expr, Program};
+use pipesched_frontend::opt::{optimize, OptConfig};
+use pipesched_frontend::{interpret, lower};
+
+const VARS: [&str; 5] = ["a", "b", "c", "d", "e"];
+
+fn arb_expr(depth: u32) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(Expr::Literal),
+        (0usize..VARS.len()).prop_map(|i| Expr::Var(VARS[i].to_string())),
+    ];
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Neg(Box::new(e))),
+            (
+                inner.clone(),
+                inner,
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div)
+                ]
+            )
+                .prop_map(|(lhs, rhs, op)| Expr::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                }),
+        ]
+    })
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    proptest::collection::vec(
+        ((0usize..VARS.len()), arb_expr(3)).prop_map(|(t, value)| Assign {
+            target: VARS[t].to_string(),
+            value,
+        }),
+        1..10,
+    )
+    .prop_map(|statements| Program { statements })
+}
+
+fn configs() -> Vec<OptConfig> {
+    let full = OptConfig::default();
+    vec![
+        full,
+        OptConfig { cse: false, ..full },
+        OptConfig { constant_fold: false, ..full },
+        OptConfig { peephole: false, ..full },
+        OptConfig { dce: false, ..full },
+        OptConfig {
+            constant_fold: true,
+            cse: false,
+            peephole: false,
+            dce: false,
+            max_iterations: 3,
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn optimizer_preserves_final_memory(
+        program in arb_program(),
+        inputs in proptest::collection::vec(-100i64..100, VARS.len()),
+    ) {
+        let initial: HashMap<String, i64> = VARS
+            .iter()
+            .zip(&inputs)
+            .map(|(k, &v)| (k.to_string(), v))
+            .collect();
+        let block = lower("prop", &program);
+        let reference = interpret(&block, &initial);
+
+        for cfg in configs() {
+            let (optimized, stats) = optimize(&block, &cfg);
+            optimized.verify().unwrap();
+            prop_assert!(stats.tuples_after <= stats.tuples_before);
+            let got = interpret(&optimized, &initial);
+            // Compare on the union of variables; missing keys mean the
+            // variable was never touched and retains its initial value.
+            for (var, &v) in &reference.memory {
+                let opt_v = got
+                    .memory
+                    .get(var)
+                    .copied()
+                    .unwrap_or_else(|| initial.get(var).copied().unwrap_or(0));
+                prop_assert_eq!(
+                    opt_v, v,
+                    "cfg {:?} broke `{}`:\nbefore:\n{}\nafter:\n{}",
+                    cfg, var, block, optimized
+                );
+            }
+        }
+    }
+
+    /// Optimization never grows the block, and the full pipeline is at
+    /// least as effective as any single pass.
+    #[test]
+    fn optimizer_monotone_in_size(program in arb_program()) {
+        let block = lower("prop", &program);
+        let (full, _) = optimize(&block, &OptConfig::default());
+        prop_assert!(full.len() <= block.len());
+    }
+}

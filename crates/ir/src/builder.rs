@@ -1,0 +1,148 @@
+//! Ergonomic construction of basic blocks.
+
+use crate::block::{BasicBlock, VarId};
+use crate::op::Op;
+use crate::operand::Operand;
+use crate::tuple::TupleId;
+
+/// A fluent builder over [`BasicBlock`] used by tests, examples and the
+/// synthetic-benchmark generator.
+///
+/// ```
+/// use pipesched_ir::BlockBuilder;
+///
+/// // b = 15; a = b * a;   (the paper's Figure 3)
+/// let mut b = BlockBuilder::new("fig3");
+/// let c = b.constant(15);
+/// b.store("b", c);
+/// let a = b.load("a");
+/// let m = b.mul(c, a);
+/// b.store("a", m);
+/// let block = b.finish().unwrap();
+/// assert_eq!(block.len(), 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlockBuilder {
+    block: BasicBlock,
+}
+
+impl BlockBuilder {
+    /// Start a new block with the given diagnostic name.
+    pub fn new(name: impl Into<String>) -> Self {
+        BlockBuilder {
+            block: BasicBlock::new(name),
+        }
+    }
+
+    /// Emit `Const imm`.
+    pub fn constant(&mut self, imm: i64) -> TupleId {
+        self.block.push(Op::Const, Operand::Imm(imm), Operand::None)
+    }
+
+    /// Emit `Load #var`.
+    pub fn load(&mut self, var: &str) -> TupleId {
+        let v = self.block.intern(var);
+        self.block.push(Op::Load, Operand::Var(v), Operand::None)
+    }
+
+    /// Emit `Store #var, value`.
+    pub fn store(&mut self, var: &str, value: TupleId) -> TupleId {
+        let v = self.block.intern(var);
+        self.block.push(Op::Store, Operand::Var(v), Operand::Tuple(value))
+    }
+
+    /// Emit a binary arithmetic tuple.
+    pub fn binary(&mut self, op: Op, a: TupleId, b: TupleId) -> TupleId {
+        debug_assert_eq!(op.arity(), 2);
+        self.block.push(op, Operand::Tuple(a), Operand::Tuple(b))
+    }
+
+    /// Emit `Add a, b`.
+    pub fn add(&mut self, a: TupleId, b: TupleId) -> TupleId {
+        self.binary(Op::Add, a, b)
+    }
+
+    /// Emit `Sub a, b`.
+    pub fn sub(&mut self, a: TupleId, b: TupleId) -> TupleId {
+        self.binary(Op::Sub, a, b)
+    }
+
+    /// Emit `Mul a, b`.
+    pub fn mul(&mut self, a: TupleId, b: TupleId) -> TupleId {
+        self.binary(Op::Mul, a, b)
+    }
+
+    /// Emit `Div a, b`.
+    pub fn div(&mut self, a: TupleId, b: TupleId) -> TupleId {
+        self.binary(Op::Div, a, b)
+    }
+
+    /// Emit `Neg a`.
+    pub fn neg(&mut self, a: TupleId) -> TupleId {
+        self.block.push(Op::Neg, Operand::Tuple(a), Operand::None)
+    }
+
+    /// Emit `Mov a` (a copy).
+    pub fn mov(&mut self, a: TupleId) -> TupleId {
+        self.block.push(Op::Mov, Operand::Tuple(a), Operand::None)
+    }
+
+    /// Intern a variable without emitting anything.
+    pub fn var(&mut self, name: &str) -> VarId {
+        self.block.intern(name)
+    }
+
+    /// Number of tuples emitted so far.
+    pub fn len(&self) -> usize {
+        self.block.len()
+    }
+
+    /// True if nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.block.is_empty()
+    }
+
+    /// Finish and verify the block.
+    pub fn finish(self) -> Result<BasicBlock, crate::error::IrError> {
+        self.block.verify()?;
+        Ok(self.block)
+    }
+
+    /// Finish without verification (for deliberately malformed test inputs).
+    pub fn finish_unchecked(self) -> BasicBlock {
+        self.block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_verified_blocks() {
+        let mut b = BlockBuilder::new("t");
+        let x = b.load("x");
+        let y = b.load("y");
+        let s = b.add(x, y);
+        let n = b.neg(s);
+        b.store("z", n);
+        let block = b.finish().unwrap();
+        assert_eq!(block.len(), 5);
+        assert_eq!(block.tuple(TupleId(2)).op, Op::Add);
+    }
+
+    #[test]
+    fn all_binary_helpers() {
+        let mut b = BlockBuilder::new("t");
+        let x = b.load("x");
+        let y = b.load("y");
+        let a = b.add(x, y);
+        let s = b.sub(a, x);
+        let m = b.mul(s, y);
+        let d = b.div(m, a);
+        let v = b.mov(d);
+        b.store("r", v);
+        let block = b.finish().unwrap();
+        assert_eq!(block.len(), 8);
+    }
+}

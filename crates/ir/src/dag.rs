@@ -1,0 +1,287 @@
+//! The dependence DAG embedded in a basic block.
+//!
+//! Paper definition 2: `ρ(ζ)` is the set of immediate predecessors of `ζ` in
+//! the DAG. Two sources of edges exist:
+//!
+//! * **value (flow) dependences** — a tuple operand references the result of
+//!   an earlier tuple;
+//! * **variable (memory) dependences** — loads and stores of the same
+//!   variable must keep their relative order. A `Load` depends on the most
+//!   recent preceding `Store` of the same variable (memory flow); a `Store`
+//!   depends on the most recent preceding `Store` (output) and on every
+//!   `Load` of the variable since that store (anti).
+//!
+//! The paper's synthetic workloads assume variable names are unambiguous and
+//! mutually exclusive (§3.1), so no aliasing analysis is needed here.
+
+use serde::{Deserialize, Serialize};
+
+use crate::block::BasicBlock;
+use crate::op::Op;
+use crate::tuple::TupleId;
+
+/// The kind of a dependence edge, which determines the delay it induces.
+///
+/// A *flow* dependence makes the consumer wait for the producer's pipeline
+/// **latency** (the value must exist). *Anti* and *output* dependences only
+/// constrain issue order: the later instruction must issue at least one
+/// cycle after the earlier one. This distinction matters because applying
+/// full latency to anti edges would overconstrain schedules the paper's
+/// model permits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DepKind {
+    /// True (value or memory) flow dependence: consumer reads producer's result.
+    Flow,
+    /// Write-after-read on the same variable.
+    Anti,
+    /// Write-after-write on the same variable.
+    Output,
+}
+
+/// One dependence edge `from → to` (`to` depends on `from`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DepEdge {
+    /// The producing (earlier) tuple.
+    pub from: TupleId,
+    /// The consuming (later) tuple.
+    pub to: TupleId,
+    /// Edge kind.
+    pub kind: DepKind,
+}
+
+/// Materialized dependence DAG for one basic block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DepDag {
+    n: usize,
+    /// `preds[i]` = immediate predecessors of tuple `i` (the paper's ρ).
+    preds: Vec<Vec<DepEdge>>,
+    /// `succs[i]` = immediate successors of tuple `i`.
+    succs: Vec<Vec<DepEdge>>,
+}
+
+impl DepDag {
+    /// Build the DAG for `block`.
+    pub fn build(block: &BasicBlock) -> Self {
+        let n = block.len();
+        let mut preds: Vec<Vec<DepEdge>> = vec![Vec::new(); n];
+        let mut succs: Vec<Vec<DepEdge>> = vec![Vec::new(); n];
+
+        let add = |preds: &mut Vec<Vec<DepEdge>>,
+                       succs: &mut Vec<Vec<DepEdge>>,
+                       from: TupleId,
+                       to: TupleId,
+                       kind: DepKind| {
+            debug_assert!(from.index() < to.index(), "edges must point forward");
+            // Avoid duplicate edges with the same endpoints: keep the
+            // strongest kind (Flow > Output > Anti) since Flow subsumes the
+            // ordering constraint the others impose.
+            if let Some(existing) = preds[to.index()].iter_mut().find(|e| e.from == from) {
+                if rank(kind) > rank(existing.kind) {
+                    existing.kind = kind;
+                    let e2 = succs[from.index()]
+                        .iter_mut()
+                        .find(|e| e.to == to)
+                        .expect("succ mirror exists");
+                    e2.kind = kind;
+                }
+                return;
+            }
+            let edge = DepEdge { from, to, kind };
+            preds[to.index()].push(edge);
+            succs[from.index()].push(edge);
+        };
+
+        // Value flow dependences from tuple-reference operands.
+        for t in block.tuples() {
+            for target in t.tuple_refs() {
+                add(&mut preds, &mut succs, target, t.id, DepKind::Flow);
+            }
+        }
+
+        // Variable dependences: track, per variable, the last store and the
+        // loads issued since that store.
+        let nvars = block.symbols().len();
+        let mut last_store: Vec<Option<TupleId>> = vec![None; nvars];
+        let mut loads_since_store: Vec<Vec<TupleId>> = vec![Vec::new(); nvars];
+        for t in block.tuples() {
+            match t.op {
+                Op::Load => {
+                    let v = t.a.as_var().expect("verified block").0 as usize;
+                    if let Some(s) = last_store[v] {
+                        add(&mut preds, &mut succs, s, t.id, DepKind::Flow);
+                    }
+                    loads_since_store[v].push(t.id);
+                }
+                Op::Store => {
+                    let v = t.a.as_var().expect("verified block").0 as usize;
+                    if let Some(s) = last_store[v] {
+                        add(&mut preds, &mut succs, s, t.id, DepKind::Output);
+                    }
+                    for &l in &loads_since_store[v] {
+                        add(&mut preds, &mut succs, l, t.id, DepKind::Anti);
+                    }
+                    loads_since_store[v].clear();
+                    last_store[v] = Some(t.id);
+                }
+                _ => {}
+            }
+        }
+
+        DepDag { n, preds, succs }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for an empty DAG.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Immediate predecessors (ρ) of `t`.
+    pub fn preds(&self, t: TupleId) -> &[DepEdge] {
+        &self.preds[t.index()]
+    }
+
+    /// Immediate successors of `t`.
+    pub fn succs(&self, t: TupleId) -> &[DepEdge] {
+        &self.succs[t.index()]
+    }
+
+    /// True when `t` has no predecessors (a DAG source).
+    pub fn is_source(&self, t: TupleId) -> bool {
+        self.preds[t.index()].is_empty()
+    }
+
+    /// True when `t` has no successors (a DAG sink).
+    pub fn is_sink(&self, t: TupleId) -> bool {
+        self.succs[t.index()].is_empty()
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.preds.iter().map(Vec::len).sum()
+    }
+
+    /// Iterate over all edges.
+    pub fn edges(&self) -> impl Iterator<Item = DepEdge> + '_ {
+        self.preds.iter().flatten().copied()
+    }
+}
+
+fn rank(kind: DepKind) -> u8 {
+    match kind {
+        DepKind::Flow => 2,
+        DepKind::Output => 1,
+        DepKind::Anti => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::BlockBuilder;
+
+    fn fig3() -> BasicBlock {
+        let mut b = BlockBuilder::new("fig3");
+        let c = b.constant(15);
+        b.store("b", c);
+        let a = b.load("a");
+        let m = b.mul(c, a);
+        b.store("a", m);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn figure3_dependences() {
+        let bb = fig3();
+        let dag = DepDag::build(&bb);
+        // Tuple 2 (Store b) depends on tuple 1 (Const).
+        assert!(dag
+            .preds(TupleId(1))
+            .iter()
+            .any(|e| e.from == TupleId(0) && e.kind == DepKind::Flow));
+        // Tuple 4 (Mul) depends on tuples 1 and 3.
+        let mul_preds: Vec<_> = dag.preds(TupleId(3)).iter().map(|e| e.from).collect();
+        assert!(mul_preds.contains(&TupleId(0)));
+        assert!(mul_preds.contains(&TupleId(2)));
+        // Tuple 5 (Store a) depends on Mul (flow) and on Load a (anti).
+        let store_preds = dag.preds(TupleId(4));
+        assert!(store_preds
+            .iter()
+            .any(|e| e.from == TupleId(3) && e.kind == DepKind::Flow));
+        assert!(store_preds
+            .iter()
+            .any(|e| e.from == TupleId(2) && e.kind == DepKind::Anti));
+        assert!(dag.is_source(TupleId(0)));
+        assert!(dag.is_sink(TupleId(4)));
+    }
+
+    #[test]
+    fn load_after_store_is_memory_flow() {
+        let mut b = BlockBuilder::new("las");
+        let c = b.constant(1);
+        b.store("x", c);
+        b.load("x");
+        let bb = b.finish().unwrap();
+        let dag = DepDag::build(&bb);
+        assert!(dag
+            .preds(TupleId(2))
+            .iter()
+            .any(|e| e.from == TupleId(1) && e.kind == DepKind::Flow));
+    }
+
+    #[test]
+    fn store_after_store_is_output() {
+        let mut b = BlockBuilder::new("sas");
+        let c1 = b.constant(1);
+        b.store("x", c1);
+        let c2 = b.constant(2);
+        b.store("x", c2);
+        let bb = b.finish().unwrap();
+        let dag = DepDag::build(&bb);
+        assert!(dag
+            .preds(TupleId(3))
+            .iter()
+            .any(|e| e.from == TupleId(1) && e.kind == DepKind::Output));
+    }
+
+    #[test]
+    fn independent_loads_have_no_edges() {
+        let mut b = BlockBuilder::new("ind");
+        b.load("x");
+        b.load("y");
+        let bb = b.finish().unwrap();
+        let dag = DepDag::build(&bb);
+        assert_eq!(dag.edge_count(), 0);
+        assert!(dag.is_source(TupleId(1)));
+    }
+
+    #[test]
+    fn duplicate_edges_keep_strongest_kind() {
+        // Store x, then Load x, then Store x again: the second store has an
+        // anti edge from the load and an output edge from the first store.
+        // Additionally give the second store the load's value so a Flow edge
+        // coincides with the Anti edge — Flow must win.
+        let mut b = BlockBuilder::new("dup");
+        let c = b.constant(1);
+        b.store("x", c);
+        let l = b.load("x");
+        b.store("x", l);
+        let bb = b.finish().unwrap();
+        let dag = DepDag::build(&bb);
+        let edges: Vec<_> = dag.preds(TupleId(3)).to_vec();
+        let from_load: Vec<_> = edges.iter().filter(|e| e.from == TupleId(2)).collect();
+        assert_eq!(from_load.len(), 1, "no duplicate edges: {edges:?}");
+        assert_eq!(from_load[0].kind, DepKind::Flow);
+    }
+
+    #[test]
+    fn edge_count_and_iteration_agree() {
+        let bb = fig3();
+        let dag = DepDag::build(&bb);
+        assert_eq!(dag.edges().count(), dag.edge_count());
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type shared by IR construction, parsing and verification.
+
+use std::fmt;
+
+use crate::tuple::TupleId;
+
+/// Errors produced while building, parsing or verifying IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// An operation mnemonic that is not part of the instruction set.
+    UnknownOp(String),
+    /// A tuple operand references a tuple at or after its own position
+    /// (tuple references must point strictly backwards, which is what makes
+    /// the block a DAG by construction).
+    ForwardReference {
+        /// The referring tuple.
+        tuple: TupleId,
+        /// The (illegal) referenced tuple.
+        target: TupleId,
+    },
+    /// A tuple operand references a tuple that does not produce a value
+    /// (e.g. the result of a `Store`).
+    ValuelessReference {
+        /// The referring tuple.
+        tuple: TupleId,
+        /// The referenced tuple.
+        target: TupleId,
+    },
+    /// Operand count or kind is invalid for the operation.
+    BadOperands {
+        /// The offending tuple.
+        tuple: TupleId,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// Text-format parse error.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A schedule handed to a verifier is not a permutation of the block.
+    NotAPermutation,
+    /// A schedule violates a dependence (consumer placed before producer).
+    DependenceViolation {
+        /// The producing tuple.
+        producer: TupleId,
+        /// The consuming tuple scheduled too early.
+        consumer: TupleId,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::UnknownOp(s) => write!(f, "unknown operation `{s}`"),
+            IrError::ForwardReference { tuple, target } => {
+                write!(f, "tuple {tuple} references tuple {target}, which is not earlier")
+            }
+            IrError::ValuelessReference { tuple, target } => {
+                write!(f, "tuple {tuple} references tuple {target}, which produces no value")
+            }
+            IrError::BadOperands { tuple, reason } => {
+                write!(f, "tuple {tuple} has invalid operands: {reason}")
+            }
+            IrError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            IrError::NotAPermutation => {
+                write!(f, "schedule is not a permutation of the block's tuples")
+            }
+            IrError::DependenceViolation { producer, consumer } => {
+                write!(f, "schedule places consumer {consumer} before producer {producer}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = IrError::ForwardReference {
+            tuple: TupleId(0),
+            target: TupleId(4),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('1') && msg.contains('5'), "{msg}");
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! Tuple intermediate representation for the `pipesched` workspace.
+//!
+//! This crate implements the register-free intermediate form described in
+//! section 3.1 of Nisar & Dietz, *Optimal Code Scheduling for
+//! Multiple-Pipeline Processors* (Purdue TR-EE 90-11, 1990): each
+//! instruction is a tuple `Γ(i, O, α, β)` where `i` is the tuple's
+//! reference number, `O` the operation, and `α`/`β` operands that may name a
+//! variable, refer to the result of an earlier tuple, be an immediate
+//! constant, or be absent.
+//!
+//! Scheduling operates on one [`BasicBlock`] at a time. The block embeds a
+//! DAG (the dependence structure); [`DepDag`] materializes that DAG together
+//! with the `earliest`/`latest` slack bounds the scheduler's quick legality
+//! check uses (paper definitions 6 and 7).
+//!
+//! The crate is deliberately free of any machine knowledge: pipelines,
+//! latencies and enqueue times live in `pipesched-machine`.
+
+pub mod analysis;
+pub mod bitset;
+pub mod block;
+pub mod builder;
+pub mod dag;
+pub mod dot;
+pub mod error;
+pub mod op;
+pub mod operand;
+pub mod parse;
+pub mod rewrite;
+pub mod stats;
+pub mod tuple;
+
+pub use analysis::BlockAnalysis;
+pub use bitset::BitSet;
+pub use block::{BasicBlock, SymbolTable, VarId};
+pub use builder::BlockBuilder;
+pub use dag::{DepDag, DepEdge, DepKind};
+pub use error::IrError;
+pub use stats::BlockStats;
+pub use op::Op;
+pub use operand::Operand;
+pub use tuple::{Tuple, TupleId};

@@ -1,0 +1,86 @@
+//! Tuple operands.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::block::VarId;
+use crate::tuple::TupleId;
+
+/// An operand of a tuple: a variable, the result of an earlier tuple, an
+/// immediate constant, or absent (`∅` in the paper's notation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Operand {
+    /// No operand (the paper's `∅`).
+    None,
+    /// A named program variable (interned in the block's symbol table).
+    Var(VarId),
+    /// The value produced by an earlier tuple in the same block.
+    Tuple(TupleId),
+    /// An immediate constant (only used by `Const`).
+    Imm(i64),
+}
+
+impl Operand {
+    /// The tuple this operand references, if any.
+    pub fn as_tuple(self) -> Option<TupleId> {
+        match self {
+            Operand::Tuple(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The variable this operand names, if any.
+    pub fn as_var(self) -> Option<VarId> {
+        match self {
+            Operand::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The immediate value, if any.
+    pub fn as_imm(self) -> Option<i64> {
+        match self {
+            Operand::Imm(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// True when the operand is absent.
+    pub fn is_none(self) -> bool {
+        matches!(self, Operand::None)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::None => write!(f, "_"),
+            Operand::Var(v) => write!(f, "#v{}", v.0),
+            Operand::Tuple(t) => write!(f, "@{}", t.0 + 1),
+            Operand::Imm(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Operand::Tuple(TupleId(3)).as_tuple(), Some(TupleId(3)));
+        assert_eq!(Operand::Var(VarId(1)).as_tuple(), None);
+        assert_eq!(Operand::Var(VarId(1)).as_var(), Some(VarId(1)));
+        assert_eq!(Operand::Imm(42).as_imm(), Some(42));
+        assert!(Operand::None.is_none());
+        assert!(!Operand::Imm(0).is_none());
+    }
+
+    #[test]
+    fn display_uses_one_based_tuple_refs() {
+        assert_eq!(Operand::Tuple(TupleId(0)).to_string(), "@1");
+        assert_eq!(Operand::None.to_string(), "_");
+        assert_eq!(Operand::Imm(-7).to_string(), "-7");
+    }
+}

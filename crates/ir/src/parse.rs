@@ -1,0 +1,175 @@
+//! Textual tuple format, round-trippable with `BasicBlock`'s `Display`.
+//!
+//! Grammar (one tuple per line, `;` starts a comment):
+//!
+//! ```text
+//! 1: Const 15
+//! 2: Store #b, @1
+//! 3: Load #a
+//! 4: Mul @1, @3
+//! 5: Store #a, @4
+//! ```
+//!
+//! `#name` is a variable, `@k` the (1-based) result of tuple `k`, a bare
+//! integer an immediate.
+
+use crate::block::BasicBlock;
+use crate::error::IrError;
+use crate::op::Op;
+use crate::operand::Operand;
+use crate::tuple::TupleId;
+
+/// Parse the textual tuple format into a verified basic block.
+pub fn parse_block(name: &str, text: &str) -> Result<BasicBlock, IrError> {
+    let mut block = BasicBlock::new(name);
+    let mut expected_id: u32 = 0;
+    for (lineno0, raw) in text.lines().enumerate() {
+        let line = lineno0 + 1;
+        let content = raw.split(';').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let (id_part, rest) = content.split_once(':').ok_or_else(|| IrError::Parse {
+            line,
+            message: "expected `<id>: <Op> ...`".into(),
+        })?;
+        let id: u32 = id_part.trim().parse().map_err(|_| IrError::Parse {
+            line,
+            message: format!("invalid tuple id `{}`", id_part.trim()),
+        })?;
+        if id != expected_id + 1 {
+            return Err(IrError::Parse {
+                line,
+                message: format!("tuple id {} out of sequence (expected {})", id, expected_id + 1),
+            });
+        }
+        expected_id = id;
+
+        let rest = rest.trim();
+        let (op_part, operands_part) = match rest.split_once(char::is_whitespace) {
+            Some((o, r)) => (o, r.trim()),
+            None => (rest, ""),
+        };
+        let op: Op = op_part.parse()?;
+
+        let mut operands = [Operand::None, Operand::None];
+        if !operands_part.is_empty() {
+            for (slot, text) in operands_part.split(',').enumerate() {
+                if slot >= 2 {
+                    return Err(IrError::Parse {
+                        line,
+                        message: "more than two operands".into(),
+                    });
+                }
+                operands[slot] = parse_operand(text.trim(), line, &mut block)?;
+            }
+        }
+        block.push(op, operands[0], operands[1]);
+    }
+    block.verify()?;
+    Ok(block)
+}
+
+fn parse_operand(text: &str, line: usize, block: &mut BasicBlock) -> Result<Operand, IrError> {
+    if text == "_" {
+        return Ok(Operand::None);
+    }
+    if let Some(var) = text.strip_prefix('#') {
+        if var.is_empty() {
+            return Err(IrError::Parse {
+                line,
+                message: "empty variable name".into(),
+            });
+        }
+        return Ok(Operand::Var(block.intern(var)));
+    }
+    if let Some(tref) = text.strip_prefix('@') {
+        let k: u32 = tref.parse().map_err(|_| IrError::Parse {
+            line,
+            message: format!("invalid tuple reference `@{tref}`"),
+        })?;
+        if k == 0 {
+            return Err(IrError::Parse {
+                line,
+                message: "tuple references are 1-based".into(),
+            });
+        }
+        return Ok(Operand::Tuple(TupleId(k - 1)));
+    }
+    text.parse::<i64>()
+        .map(Operand::Imm)
+        .map_err(|_| IrError::Parse {
+            line,
+            message: format!("cannot parse operand `{text}`"),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::BlockBuilder;
+
+    const FIG3: &str = "\
+1: Const 15
+2: Store #b, @1
+3: Load #a
+4: Mul @1, @3
+5: Store #a, @4
+";
+
+    #[test]
+    fn parses_figure3() {
+        let bb = parse_block("fig3", FIG3).unwrap();
+        assert_eq!(bb.len(), 5);
+        assert_eq!(bb.tuple(TupleId(3)).op, Op::Mul);
+        assert_eq!(bb.tuple(TupleId(0)).a, Operand::Imm(15));
+    }
+
+    #[test]
+    fn round_trips_display() {
+        let mut b = BlockBuilder::new("rt");
+        let x = b.load("x");
+        let y = b.load("y");
+        let s = b.add(x, y);
+        b.store("z", s);
+        let bb = b.finish().unwrap();
+        let text = bb.to_string();
+        let back = parse_block("rt", &text).unwrap();
+        assert_eq!(back.len(), bb.len());
+        for (a, b) in back.tuples().iter().zip(bb.tuples()) {
+            assert_eq!(a.op, b.op);
+        }
+        // And a second round trip is a fixpoint.
+        assert_eq!(back.to_string(), text);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "; header comment\n\n1: Const 1 ; trailing\n\n2: Store #x, @1\n";
+        let bb = parse_block("c", text).unwrap();
+        assert_eq!(bb.len(), 2);
+    }
+
+    #[test]
+    fn rejects_out_of_sequence_ids() {
+        let text = "1: Const 1\n3: Store #x, @1\n";
+        assert!(matches!(
+            parse_block("bad", text),
+            Err(IrError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_op_and_bad_operand() {
+        assert!(parse_block("bad", "1: Fnord 1\n").is_err());
+        assert!(parse_block("bad", "1: Const %x\n").is_err());
+        assert!(parse_block("bad", "1: Const @0\n").is_err());
+        assert!(parse_block("bad", "1: Add 1, 2, 3\n").is_err());
+    }
+
+    #[test]
+    fn rejects_forward_reference_via_verify() {
+        let text = "1: Neg @2\n2: Const 1\n";
+        assert!(parse_block("bad", text).is_err());
+    }
+}

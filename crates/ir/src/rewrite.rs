@@ -1,0 +1,181 @@
+//! Block rewriting utilities shared by the optimizer passes.
+//!
+//! Passes express their work as either (a) a *value substitution* that
+//! redirects uses of one tuple's result to another tuple, or (b) a *removal
+//! set* of dead tuples. `apply` renumbers the surviving tuples, fixes every
+//! tuple reference, and returns the compacted block.
+
+use crate::block::BasicBlock;
+use crate::operand::Operand;
+use crate::tuple::{Tuple, TupleId};
+
+/// An in-progress rewrite of one basic block.
+#[derive(Debug, Clone)]
+pub struct Rewriter {
+    /// `replace[i] = Some(j)` redirects all uses of tuple `i` to tuple `j`.
+    replace: Vec<Option<TupleId>>,
+    /// `remove[i]` marks tuple `i` for deletion.
+    remove: Vec<bool>,
+}
+
+impl Rewriter {
+    /// Start a rewrite of a block with `n` tuples.
+    pub fn new(n: usize) -> Self {
+        Rewriter {
+            replace: vec![None; n],
+            remove: vec![false; n],
+        }
+    }
+
+    /// Redirect every use of `from`'s result to `to`'s result.
+    ///
+    /// Chains are resolved at application time, so `a→b` plus `b→c` works.
+    pub fn redirect(&mut self, from: TupleId, to: TupleId) {
+        debug_assert_ne!(from, to);
+        self.replace[from.index()] = Some(to);
+    }
+
+    /// Mark `t` for removal.
+    pub fn remove(&mut self, t: TupleId) {
+        self.remove[t.index()] = true;
+    }
+
+    /// True if any change is pending.
+    pub fn has_changes(&self) -> bool {
+        self.remove.iter().any(|&r| r) || self.replace.iter().any(Option::is_some)
+    }
+
+    /// Resolve a redirect chain to its final target.
+    fn resolve(&self, mut t: TupleId) -> TupleId {
+        let mut hops = 0;
+        while let Some(next) = self.replace[t.index()] {
+            t = next;
+            hops += 1;
+            assert!(hops <= self.replace.len(), "redirect cycle");
+        }
+        t
+    }
+
+    /// Apply the rewrite, producing a compacted, renumbered block.
+    ///
+    /// Panics if a kept tuple references a removed tuple that has no
+    /// redirect target — that would be a bug in the calling pass.
+    pub fn apply(self, block: &BasicBlock) -> BasicBlock {
+        let n = block.len();
+        // New index of each surviving tuple.
+        let mut new_index = vec![u32::MAX; n];
+        let mut next = 0u32;
+        for (i, &removed) in self.remove.iter().enumerate() {
+            if !removed {
+                new_index[i] = next;
+                next += 1;
+            }
+        }
+
+        let map_operand = |o: Operand| -> Operand {
+            match o {
+                Operand::Tuple(t) => {
+                    let target = self.resolve(t);
+                    let ni = new_index[target.index()];
+                    assert!(
+                        ni != u32::MAX,
+                        "kept tuple references removed tuple {} with no redirect",
+                        target
+                    );
+                    Operand::Tuple(TupleId(ni))
+                }
+                other => other,
+            }
+        };
+
+        let mut tuples = Vec::with_capacity(next as usize);
+        for t in block.tuples() {
+            if self.remove[t.id.index()] {
+                continue;
+            }
+            tuples.push(Tuple {
+                id: TupleId(new_index[t.id.index()]),
+                op: t.op,
+                a: map_operand(t.a),
+                b: map_operand(t.b),
+            });
+        }
+
+        let mut out = block.clone();
+        out.replace_tuples(tuples);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::BlockBuilder;
+    use crate::op::Op;
+
+    #[test]
+    fn remove_and_renumber() {
+        let mut b = BlockBuilder::new("r");
+        let x = b.load("x");
+        let dead = b.load("dead");
+        let y = b.load("y");
+        let s = b.add(x, y);
+        b.store("z", s);
+        let bb = b.finish().unwrap();
+
+        let mut rw = Rewriter::new(bb.len());
+        rw.remove(dead);
+        let out = rw.apply(&bb);
+        out.verify().unwrap();
+        assert_eq!(out.len(), 4);
+        // Add now references tuples 1 and 2 (0-based 0 and 1).
+        let add = out.tuple(TupleId(2));
+        assert_eq!(add.op, Op::Add);
+        assert_eq!(add.a, Operand::Tuple(TupleId(0)));
+        assert_eq!(add.b, Operand::Tuple(TupleId(1)));
+    }
+
+    #[test]
+    fn redirect_chains_resolve() {
+        let mut b = BlockBuilder::new("c");
+        let x = b.load("x");
+        let m1 = b.mov(x);
+        let m2 = b.mov(m1);
+        b.store("z", m2);
+        let bb = b.finish().unwrap();
+
+        let mut rw = Rewriter::new(bb.len());
+        rw.redirect(m2, m1);
+        rw.redirect(m1, x);
+        rw.remove(m1);
+        rw.remove(m2);
+        let out = rw.apply(&bb);
+        out.verify().unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.tuple(TupleId(1)).b, Operand::Tuple(TupleId(0)));
+    }
+
+    #[test]
+    fn no_changes_is_identity() {
+        let mut b = BlockBuilder::new("id");
+        let x = b.load("x");
+        b.store("y", x);
+        let bb = b.finish().unwrap();
+        let rw = Rewriter::new(bb.len());
+        assert!(!rw.has_changes());
+        let out = rw.apply(&bb);
+        assert_eq!(out, bb);
+    }
+
+    #[test]
+    #[should_panic(expected = "no redirect")]
+    fn removing_used_tuple_without_redirect_panics() {
+        let mut b = BlockBuilder::new("bad");
+        let x = b.load("x");
+        b.store("y", x);
+        let bb = b.finish().unwrap();
+        let mut rw = Rewriter::new(bb.len());
+        rw.remove(x);
+        let _ = rw.apply(&bb);
+    }
+}

@@ -1,0 +1,147 @@
+//! Structural statistics of a basic block and its DAG — the quantities
+//! §2.3 says drive search difficulty ("the total number of legal schedules
+//! ... derives primarily from the dependence and conflict properties of
+//! instructions within the block rather than from the block size").
+
+use std::collections::BTreeMap;
+
+use crate::analysis::BlockAnalysis;
+use crate::block::BasicBlock;
+use crate::dag::DepDag;
+use crate::op::Op;
+use crate::tuple::TupleId;
+
+/// Summary statistics for one block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockStats {
+    /// Instructions in the block.
+    pub instructions: usize,
+    /// Count per operation type.
+    pub op_histogram: BTreeMap<Op, usize>,
+    /// Dependence edges.
+    pub edges: usize,
+    /// Longest dependence chain, in instructions.
+    pub critical_path: u32,
+    /// Maximum number of simultaneously ready instructions over a greedy
+    /// topological traversal — the DAG's effective width.
+    pub max_width: usize,
+    /// `instructions / critical_path`: an upper bound on achievable
+    /// instruction-level parallelism.
+    pub ilp_bound: f64,
+}
+
+impl BlockStats {
+    /// Collect statistics for `block`.
+    pub fn collect(block: &BasicBlock, dag: &DepDag) -> BlockStats {
+        let analysis = BlockAnalysis::compute(dag);
+        let n = block.len();
+        let mut op_histogram: BTreeMap<Op, usize> = BTreeMap::new();
+        for t in block.tuples() {
+            *op_histogram.entry(t.op).or_insert(0) += 1;
+        }
+
+        // Width: sweep a topological order, tracking the ready set size.
+        let mut pending: Vec<u32> = (0..n)
+            .map(|i| dag.preds(TupleId(i as u32)).len() as u32)
+            .collect();
+        let mut ready: Vec<TupleId> = (0..n as u32)
+            .map(TupleId)
+            .filter(|t| pending[t.index()] == 0)
+            .collect();
+        let mut max_width = ready.len();
+        while let Some(t) = ready.pop() {
+            for e in dag.succs(t) {
+                let c = &mut pending[e.to.index()];
+                *c -= 1;
+                if *c == 0 {
+                    ready.push(e.to);
+                }
+            }
+            max_width = max_width.max(ready.len());
+        }
+
+        let critical_path = analysis.critical_path_len();
+        BlockStats {
+            instructions: n,
+            op_histogram,
+            edges: dag.edge_count(),
+            critical_path,
+            max_width,
+            ilp_bound: if critical_path == 0 {
+                0.0
+            } else {
+                n as f64 / f64::from(critical_path)
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for BlockStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "instructions:   {}", self.instructions)?;
+        writeln!(f, "edges:          {}", self.edges)?;
+        writeln!(f, "critical path:  {}", self.critical_path)?;
+        writeln!(f, "max width:      {}", self.max_width)?;
+        writeln!(f, "ILP bound:      {:.2}", self.ilp_bound)?;
+        let ops: Vec<String> = self
+            .op_histogram
+            .iter()
+            .map(|(op, k)| format!("{op}×{k}"))
+            .collect();
+        writeln!(f, "operations:     {}", ops.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::BlockBuilder;
+
+    #[test]
+    fn stats_for_a_diamond() {
+        // x, y loads; add(x,y); mul(x,y); store both.
+        let mut b = BlockBuilder::new("d");
+        let x = b.load("x");
+        let y = b.load("y");
+        let s = b.add(x, y);
+        let m = b.mul(x, y);
+        b.store("s", s);
+        b.store("m", m);
+        let block = b.finish().unwrap();
+        let dag = DepDag::build(&block);
+        let st = BlockStats::collect(&block, &dag);
+        assert_eq!(st.instructions, 6);
+        assert_eq!(st.op_histogram[&Op::Load], 2);
+        assert_eq!(st.op_histogram[&Op::Store], 2);
+        assert_eq!(st.critical_path, 3); // load → add → store
+        assert!(st.max_width >= 2);
+        assert!((st.ilp_bound - 2.0).abs() < 1e-9);
+        let text = st.to_string();
+        assert!(text.contains("ILP bound"), "{text}");
+    }
+
+    #[test]
+    fn serial_chain_has_width_one() {
+        let mut b = BlockBuilder::new("serial");
+        let x = b.load("x");
+        let n1 = b.neg(x);
+        let n2 = b.neg(n1);
+        b.store("r", n2);
+        let block = b.finish().unwrap();
+        let dag = DepDag::build(&block);
+        let st = BlockStats::collect(&block, &dag);
+        assert_eq!(st.max_width, 1);
+        assert_eq!(st.critical_path, 4);
+        assert!((st.ilp_bound - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_block_stats() {
+        let block = BlockBuilder::new("e").finish().unwrap();
+        let dag = DepDag::build(&block);
+        let st = BlockStats::collect(&block, &dag);
+        assert_eq!(st.instructions, 0);
+        assert_eq!(st.ilp_bound, 0.0);
+        assert_eq!(st.max_width, 0);
+    }
+}

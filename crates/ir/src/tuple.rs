@@ -1,0 +1,136 @@
+//! The tuple instruction form `Γ(i, O, α, β)`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::op::Op;
+use crate::operand::Operand;
+
+/// Index of a tuple within its basic block (0-based internally; the textual
+/// form and `Display` use the paper's 1-based reference numbers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TupleId(pub u32);
+
+impl TupleId {
+    /// The tuple's position as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0 + 1)
+    }
+}
+
+/// One instruction in tuple form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Tuple {
+    /// The tuple's reference number (its index in the block).
+    pub id: TupleId,
+    /// Operation type.
+    pub op: Op,
+    /// First operand (`α`).
+    pub a: Operand,
+    /// Second operand (`β`).
+    pub b: Operand,
+}
+
+impl Tuple {
+    /// Construct a tuple, checking operand count against the op's arity.
+    pub fn new(id: TupleId, op: Op, a: Operand, b: Operand) -> Self {
+        debug_assert!(
+            match op.arity() {
+                0 => a.is_none() && b.is_none(),
+                1 => !a.is_none() && b.is_none(),
+                2 => !a.is_none() && !b.is_none(),
+                _ => unreachable!(),
+            },
+            "operand count does not match arity of {op}"
+        );
+        Tuple { id, op, a, b }
+    }
+
+    /// Iterate over the tuple operands that reference earlier tuples.
+    pub fn tuple_refs(&self) -> impl Iterator<Item = TupleId> + '_ {
+        [self.a, self.b].into_iter().filter_map(Operand::as_tuple)
+    }
+
+    /// Normalized operand pair for value-numbering: commutative operations
+    /// order their operands canonically so `Add(a,b)` and `Add(b,a)` compare
+    /// equal.
+    pub fn canonical_operands(&self) -> (Operand, Operand) {
+        if self.op.is_commutative() && self.b < self.a {
+            (self.b, self.a)
+        } else {
+            (self.a, self.b)
+        }
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.id, self.op)?;
+        if !self.a.is_none() {
+            write!(f, " {}", self.a)?;
+        }
+        if !self.b.is_none() {
+            write!(f, ", {}", self.b)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::VarId;
+
+    #[test]
+    fn display_matches_paper_layout() {
+        let t = Tuple::new(
+            TupleId(3),
+            Op::Mul,
+            Operand::Tuple(TupleId(0)),
+            Operand::Tuple(TupleId(2)),
+        );
+        assert_eq!(t.to_string(), "4: Mul @1, @3");
+    }
+
+    #[test]
+    fn tuple_refs_skips_non_tuple_operands() {
+        let t = Tuple::new(
+            TupleId(1),
+            Op::Store,
+            Operand::Var(VarId(0)),
+            Operand::Tuple(TupleId(0)),
+        );
+        let refs: Vec<_> = t.tuple_refs().collect();
+        assert_eq!(refs, vec![TupleId(0)]);
+    }
+
+    #[test]
+    fn canonical_operands_sorts_commutative() {
+        let t = Tuple::new(
+            TupleId(2),
+            Op::Add,
+            Operand::Tuple(TupleId(1)),
+            Operand::Tuple(TupleId(0)),
+        );
+        let (a, b) = t.canonical_operands();
+        assert_eq!(a, Operand::Tuple(TupleId(0)));
+        assert_eq!(b, Operand::Tuple(TupleId(1)));
+
+        let s = Tuple::new(
+            TupleId(2),
+            Op::Sub,
+            Operand::Tuple(TupleId(1)),
+            Operand::Tuple(TupleId(0)),
+        );
+        let (a, b) = s.canonical_operands();
+        assert_eq!(a, Operand::Tuple(TupleId(1)));
+        assert_eq!(b, Operand::Tuple(TupleId(0)));
+    }
+}

@@ -1,0 +1,79 @@
+//! JSON (de)serialization of machine descriptions.
+//!
+//! The serde derives on [`Machine`](crate::Machine) define the schema; this
+//! module adds convenience entry points with validation, so an experiment
+//! can load a machine table from disk:
+//!
+//! ```
+//! use pipesched_machine::{config, presets};
+//!
+//! let m = presets::paper_simulation();
+//! let json = config::to_json(&m).unwrap();
+//! let back = config::from_json(&json).unwrap();
+//! assert_eq!(m, back);
+//! ```
+
+use crate::machine::{Machine, MachineError};
+
+/// Errors from loading a machine config.
+#[derive(Debug)]
+pub enum ConfigError {
+    /// The JSON was malformed or did not match the schema.
+    Json(serde_json::Error),
+    /// The decoded machine failed validation.
+    Machine(MachineError),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Json(e) => write!(f, "machine config JSON error: {e}"),
+            ConfigError::Machine(e) => write!(f, "machine config invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Serialize a machine to pretty-printed JSON.
+pub fn to_json(machine: &Machine) -> Result<String, ConfigError> {
+    serde_json::to_string_pretty(machine).map_err(ConfigError::Json)
+}
+
+/// Deserialize and validate a machine from JSON.
+pub fn from_json(json: &str) -> Result<Machine, ConfigError> {
+    let machine: Machine = serde_json::from_str(json).map_err(ConfigError::Json)?;
+    machine.validate().map_err(ConfigError::Machine)?;
+    Ok(machine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn round_trip_every_preset() {
+        for m in presets::all_presets() {
+            let json = to_json(&m).unwrap();
+            let back = from_json(&json).unwrap();
+            assert_eq!(m, back, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(matches!(from_json("{ not json"), Err(ConfigError::Json(_))));
+    }
+
+    #[test]
+    fn rejects_invalid_machine() {
+        // Valid JSON, but the mapping references pipeline id 9.
+        let json = r#"{
+            "name": "bad",
+            "pipelines": [{"function": "loader", "latency": 2, "enqueue": 1}],
+            "mapping": {"Load": [9]}
+        }"#;
+        assert!(matches!(from_json(json), Err(ConfigError::Machine(_))));
+    }
+}

@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! Pipeline machine descriptions for `pipesched`.
+//!
+//! Section 4.1 of the paper describes the scheduling problem input as two
+//! tables: a *pipeline description table* (one row per hardware pipeline,
+//! giving its function, identifier, **latency** and **enqueue time**) and an
+//! *operation-to-pipeline mapping table* (the set of pipelines able to
+//! execute each operation type). This crate implements both, plus presets
+//! for every machine the paper mentions and a serde/JSON config format so
+//! new machines require no code changes — "changing the pipeline structure
+//! changes only the entries in these tables, not the structure of the
+//! scheduling algorithm".
+
+pub mod config;
+pub mod machine;
+pub mod pipeline;
+pub mod presets;
+pub mod textfmt;
+
+pub use machine::{Machine, MachineBuilder, MachineError};
+pub use pipeline::{Pipeline, PipelineId};

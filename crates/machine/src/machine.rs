@@ -1,0 +1,295 @@
+//! The complete machine description: pipelines + op→pipeline mapping.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use pipesched_ir::Op;
+
+use crate::pipeline::{Pipeline, PipelineId};
+
+/// Errors detected while building or validating a machine description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// A mapping entry names a pipeline id that does not exist.
+    UnknownPipeline {
+        /// The operation whose mapping is broken.
+        op: Op,
+        /// The missing pipeline id.
+        id: PipelineId,
+    },
+    /// A pipeline has zero latency or zero enqueue time.
+    InvalidTiming {
+        /// The offending pipeline.
+        id: PipelineId,
+        /// What is wrong.
+        reason: String,
+    },
+    /// The machine has no pipelines at all but maps an op to one.
+    Empty,
+    /// `Nop` may not be mapped to a pipeline.
+    NopMapped,
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::UnknownPipeline { op, id } => {
+                write!(f, "operation {op} mapped to unknown pipeline {id}")
+            }
+            MachineError::InvalidTiming { id, reason } => {
+                write!(f, "pipeline {id} has invalid timing: {reason}")
+            }
+            MachineError::Empty => write!(f, "machine maps operations but has no pipelines"),
+            MachineError::NopMapped => write!(f, "Nop must not be mapped to a pipeline"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// A validated machine description.
+///
+/// Operations not present in the mapping use **no pipelined resource**
+/// (`σ(ζ) = ∅` in the paper): they issue in one cycle, never conflict, and
+/// impose no latency on consumers. The paper's presets leave `Const` and
+/// `Store` unmapped on these grounds (§3.1 notes stores "typically do not
+/// interfere with any pipelined operations").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Machine {
+    /// Diagnostic name of the machine.
+    pub name: String,
+    pipelines: Vec<Pipeline>,
+    /// Op → set of pipelines able to execute it (paper Tables 3 and 5).
+    mapping: BTreeMap<Op, Vec<PipelineId>>,
+}
+
+impl Machine {
+    /// Start building a machine.
+    pub fn builder(name: impl Into<String>) -> MachineBuilder {
+        MachineBuilder {
+            machine: Machine {
+                name: name.into(),
+                pipelines: Vec::new(),
+                mapping: BTreeMap::new(),
+            },
+        }
+    }
+
+    /// All pipelines, indexed by [`PipelineId`].
+    pub fn pipelines(&self) -> &[Pipeline] {
+        &self.pipelines
+    }
+
+    /// The pipeline with the given id.
+    pub fn pipeline(&self, id: PipelineId) -> &Pipeline {
+        &self.pipelines[id.index()]
+    }
+
+    /// Number of pipelines.
+    pub fn pipeline_count(&self) -> usize {
+        self.pipelines.len()
+    }
+
+    /// The set of pipelines able to execute `op` (empty slice ⇒ `σ = ∅`).
+    pub fn pipelines_for(&self, op: Op) -> &[PipelineId] {
+        self.mapping.get(&op).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The *default* pipeline for `op`: the first mapped unit.
+    ///
+    /// This is what the base algorithm uses — §4.1 footnote 3 notes the
+    /// paper's algorithm does not choose among multiple units; the search's
+    /// pipeline-selection extension does.
+    pub fn default_pipeline_for(&self, op: Op) -> Option<PipelineId> {
+        self.pipelines_for(op).first().copied()
+    }
+
+    /// Latency of the pipeline executing `op` on its default unit
+    /// (`None` when `σ(op) = ∅`).
+    pub fn latency_for(&self, op: Op) -> Option<u32> {
+        self.default_pipeline_for(op).map(|p| self.pipeline(p).latency)
+    }
+
+    /// Enqueue time of the default unit for `op`.
+    pub fn enqueue_for(&self, op: Op) -> Option<u32> {
+        self.default_pipeline_for(op).map(|p| self.pipeline(p).enqueue)
+    }
+
+    /// True when some operation can choose among several pipelines.
+    pub fn has_pipeline_choice(&self) -> bool {
+        self.mapping.values().any(|v| v.len() > 1)
+    }
+
+    /// The op→pipelines mapping table.
+    pub fn mapping(&self) -> &BTreeMap<Op, Vec<PipelineId>> {
+        &self.mapping
+    }
+
+    /// The largest latency of any pipeline (0 for a machine with none).
+    pub fn max_latency(&self) -> u32 {
+        self.pipelines.iter().map(|p| p.latency).max().unwrap_or(0)
+    }
+
+    /// Validate the description.
+    pub fn validate(&self) -> Result<(), MachineError> {
+        for (i, p) in self.pipelines.iter().enumerate() {
+            let id = PipelineId(i as u32);
+            if p.latency == 0 {
+                return Err(MachineError::InvalidTiming {
+                    id,
+                    reason: "latency must be ≥ 1".into(),
+                });
+            }
+            if p.enqueue == 0 {
+                return Err(MachineError::InvalidTiming {
+                    id,
+                    reason: "enqueue time must be ≥ 1".into(),
+                });
+            }
+        }
+        for (&op, ids) in &self.mapping {
+            if op == Op::Nop {
+                return Err(MachineError::NopMapped);
+            }
+            if self.pipelines.is_empty() && !ids.is_empty() {
+                return Err(MachineError::Empty);
+            }
+            for &id in ids {
+                if id.index() >= self.pipelines.len() {
+                    return Err(MachineError::UnknownPipeline { op, id });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Machine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "machine `{}`", self.name)?;
+        writeln!(f, "  {:<12} {:>4} {:>8} {:>8}", "function", "id", "latency", "enqueue")?;
+        for (i, p) in self.pipelines.iter().enumerate() {
+            writeln!(
+                f,
+                "  {:<12} {:>4} {:>8} {:>8}",
+                p.function,
+                PipelineId(i as u32),
+                p.latency,
+                p.enqueue
+            )?;
+        }
+        for (op, ids) in &self.mapping {
+            let list: Vec<String> = ids.iter().map(ToString::to_string).collect();
+            writeln!(f, "  {:<6} -> {{{}}}", op.to_string(), list.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`Machine`].
+pub struct MachineBuilder {
+    machine: Machine,
+}
+
+impl MachineBuilder {
+    /// Add a pipeline row; returns its id.
+    pub fn pipeline(&mut self, function: &str, latency: u32, enqueue: u32) -> PipelineId {
+        let id = PipelineId(self.machine.pipelines.len() as u32);
+        self.machine
+            .pipelines
+            .push(Pipeline::new(function, latency, enqueue));
+        id
+    }
+
+    /// Map `op` to the given set of pipelines.
+    pub fn map(&mut self, op: Op, ids: &[PipelineId]) -> &mut Self {
+        self.machine.mapping.insert(op, ids.to_vec());
+        self
+    }
+
+    /// Finish, validating the description.
+    pub fn build(self) -> Result<Machine, MachineError> {
+        self.machine.validate()?;
+        Ok(self.machine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Machine {
+        let mut b = Machine::builder("sample");
+        let loader = b.pipeline("loader", 2, 1);
+        let adder = b.pipeline("adder", 4, 3);
+        let mul = b.pipeline("multiplier", 4, 2);
+        b.map(Op::Load, &[loader]);
+        b.map(Op::Add, &[adder]);
+        b.map(Op::Sub, &[adder]);
+        b.map(Op::Mul, &[mul]);
+        b.map(Op::Div, &[mul]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn lookups() {
+        let m = sample();
+        assert_eq!(m.pipeline_count(), 3);
+        assert_eq!(m.latency_for(Op::Load), Some(2));
+        assert_eq!(m.enqueue_for(Op::Mul), Some(2));
+        assert_eq!(m.latency_for(Op::Store), None, "unmapped op has σ=∅");
+        assert_eq!(m.default_pipeline_for(Op::Add), Some(PipelineId(1)));
+        assert_eq!(m.max_latency(), 4);
+        assert!(!m.has_pipeline_choice());
+    }
+
+    #[test]
+    fn add_and_sub_share_a_unit() {
+        let m = sample();
+        assert_eq!(m.pipelines_for(Op::Add), m.pipelines_for(Op::Sub));
+    }
+
+    #[test]
+    fn validation_rejects_unknown_pipeline() {
+        let mut b = Machine::builder("bad");
+        b.map(Op::Add, &[PipelineId(7)]);
+        b.pipeline("adder", 1, 1);
+        assert!(matches!(
+            b.build(),
+            Err(MachineError::UnknownPipeline { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_zero_latency() {
+        let mut b = Machine::builder("bad");
+        b.pipeline("zero", 0, 1);
+        assert!(matches!(b.build(), Err(MachineError::InvalidTiming { .. })));
+    }
+
+    #[test]
+    fn validation_rejects_zero_enqueue() {
+        let mut b = Machine::builder("bad");
+        b.pipeline("zero", 3, 0);
+        assert!(matches!(b.build(), Err(MachineError::InvalidTiming { .. })));
+    }
+
+    #[test]
+    fn validation_rejects_mapped_nop() {
+        let mut b = Machine::builder("bad");
+        let p = b.pipeline("p", 1, 1);
+        b.map(Op::Nop, &[p]);
+        assert!(matches!(b.build(), Err(MachineError::NopMapped)));
+    }
+
+    #[test]
+    fn display_renders_both_tables() {
+        let m = sample();
+        let text = m.to_string();
+        assert!(text.contains("loader"), "{text}");
+        assert!(text.contains("Add"), "{text}");
+        assert!(text.contains("{2}"), "{text}");
+    }
+}

@@ -1,0 +1,93 @@
+//! A single hardware pipeline: function, latency, enqueue time.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a pipeline within a [`crate::Machine`].
+///
+/// Internally 0-based; `Display` uses the paper's 1-based identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PipelineId(pub u32);
+
+impl PipelineId {
+    /// The pipeline's position as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PipelineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0 + 1)
+    }
+}
+
+/// One row of the paper's pipeline description table (Tables 2 and 4).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Pipeline {
+    /// Human-readable function name ("loader", "adder", "multiplier", ...).
+    pub function: String,
+    /// Pipeline latency: clock ticks between enqueuing an operation and its
+    /// result becoming available (§2.1). Minimum issue distance to a
+    /// *dependent* instruction.
+    pub latency: u32,
+    /// Pipeline enqueue time: minimum clock ticks between enqueuing two
+    /// operations in this same pipeline (§2.1). Minimum issue distance to a
+    /// *conflicting* instruction.
+    pub enqueue: u32,
+}
+
+impl Pipeline {
+    /// Construct a pipeline row.
+    pub fn new(function: impl Into<String>, latency: u32, enqueue: u32) -> Self {
+        Pipeline {
+            function: function.into(),
+            latency,
+            enqueue,
+        }
+    }
+
+    /// A functional unit that is *not* internally pipelined is modeled with
+    /// `enqueue == latency` (§2.1): the unit is busy for its whole latency.
+    pub fn is_unpipelined_unit(&self) -> bool {
+        self.enqueue == self.latency
+    }
+
+    /// A classical pipeline accepts one operation per tick (`enqueue == 1`).
+    pub fn is_classical(&self) -> bool {
+        self.enqueue == 1
+    }
+}
+
+impl fmt::Display for Pipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (latency {}, enqueue {})",
+            self.function, self.latency, self.enqueue
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let classical = Pipeline::new("loader", 2, 1);
+        assert!(classical.is_classical());
+        assert!(!classical.is_unpipelined_unit());
+
+        let unit = Pipeline::new("divider", 8, 8);
+        assert!(unit.is_unpipelined_unit());
+        assert!(!unit.is_classical());
+    }
+
+    #[test]
+    fn display_is_one_based_for_ids() {
+        assert_eq!(PipelineId(0).to_string(), "1");
+        assert_eq!(PipelineId(4).to_string(), "5");
+    }
+}

@@ -1,0 +1,260 @@
+//! A human-readable text format for machine descriptions, mirroring the
+//! paper's two tables (§4.1). Round-trips with [`render`]/[`parse`].
+//!
+//! ```text
+//! machine paper-simulation
+//! ; Pipeline description table (Table 4)
+//! pipeline loader      latency=2 enqueue=1
+//! pipeline adder       latency=3 enqueue=1
+//! pipeline multiplier  latency=4 enqueue=2
+//! ; Operation-to-pipeline mapping table (Table 5)
+//! map Load           -> loader
+//! map Add, Sub       -> adder
+//! map Mul, Div       -> multiplier
+//! ```
+//!
+//! `map ... -> name` binds the ops to *every* pipeline whose function is
+//! `name` (so duplicated units — two loaders — need just one line);
+//! `map ... -> #3` binds to the pipeline with (1-based) identifier 3.
+
+use std::fmt::Write as _;
+
+use pipesched_ir::Op;
+
+use crate::machine::{Machine, MachineError};
+use crate::pipeline::PipelineId;
+
+/// Errors from parsing the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TextFmtError {
+    /// Malformed line.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Description.
+        message: String,
+    },
+    /// The finished machine failed validation.
+    Invalid(MachineError),
+}
+
+impl std::fmt::Display for TextFmtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TextFmtError::Syntax { line, message } => {
+                write!(f, "machine file line {line}: {message}")
+            }
+            TextFmtError::Invalid(e) => write!(f, "machine file invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TextFmtError {}
+
+/// Parse the text format.
+pub fn parse(text: &str) -> Result<Machine, TextFmtError> {
+    let mut name = "unnamed".to_string();
+    let mut pipelines: Vec<(String, u32, u32)> = Vec::new();
+    let mut maps: Vec<(Vec<Op>, String, usize)> = Vec::new();
+
+    for (lineno0, raw) in text.lines().enumerate() {
+        let line = lineno0 + 1;
+        let content = raw.split(';').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let syntax = |message: String| TextFmtError::Syntax { line, message };
+
+        if let Some(rest) = content.strip_prefix("machine ") {
+            name = rest.trim().to_string();
+        } else if let Some(rest) = content.strip_prefix("pipeline ") {
+            let mut parts = rest.split_whitespace();
+            let func = parts
+                .next()
+                .ok_or_else(|| syntax("missing pipeline function name".into()))?
+                .to_string();
+            let (mut latency, mut enqueue) = (None, None);
+            for p in parts {
+                if let Some(v) = p.strip_prefix("latency=") {
+                    latency =
+                        Some(v.parse::<u32>().map_err(|e| syntax(format!("latency: {e}")))?);
+                } else if let Some(v) = p.strip_prefix("enqueue=") {
+                    enqueue =
+                        Some(v.parse::<u32>().map_err(|e| syntax(format!("enqueue: {e}")))?);
+                } else {
+                    return Err(syntax(format!("unexpected token `{p}`")));
+                }
+            }
+            let latency = latency.ok_or_else(|| syntax("missing latency=".into()))?;
+            let enqueue = enqueue.ok_or_else(|| syntax("missing enqueue=".into()))?;
+            pipelines.push((func, latency, enqueue));
+        } else if let Some(rest) = content.strip_prefix("map ") {
+            let (ops_part, target) = rest
+                .split_once("->")
+                .ok_or_else(|| syntax("expected `map Ops -> target`".into()))?;
+            let ops: Vec<Op> = ops_part
+                .split(',')
+                .map(|o| o.trim().parse::<Op>())
+                .collect::<Result<_, _>>()
+                .map_err(|e| syntax(e.to_string()))?;
+            maps.push((ops, target.trim().to_string(), line));
+        } else {
+            return Err(syntax(format!("unrecognized directive `{content}`")));
+        }
+    }
+
+    let mut b = Machine::builder(name);
+    let mut accumulated: std::collections::BTreeMap<Op, Vec<PipelineId>> =
+        std::collections::BTreeMap::new();
+    let ids: Vec<PipelineId> = pipelines
+        .iter()
+        .map(|(func, lat, enq)| b.pipeline(func, *lat, *enq))
+        .collect();
+
+    for (ops, target, line) in maps {
+        let targets: Vec<PipelineId> = if let Some(idx) = target.strip_prefix('#') {
+            let k: usize = idx.parse().map_err(|_| TextFmtError::Syntax {
+                line,
+                message: format!("bad pipeline id `{target}`"),
+            })?;
+            if k == 0 || k > ids.len() {
+                return Err(TextFmtError::Syntax {
+                    line,
+                    message: format!("pipeline #{k} does not exist"),
+                });
+            }
+            vec![ids[k - 1]]
+        } else {
+            let matching: Vec<PipelineId> = pipelines
+                .iter()
+                .zip(&ids)
+                .filter(|((func, _, _), _)| func == &target)
+                .map(|(_, &id)| id)
+                .collect();
+            if matching.is_empty() {
+                return Err(TextFmtError::Syntax {
+                    line,
+                    message: format!("no pipeline with function `{target}`"),
+                });
+            }
+            matching
+        };
+        for op in ops {
+            accumulated.entry(op).or_default().extend(&targets);
+        }
+    }
+    for (op, mut targets) in accumulated {
+        targets.sort_unstable();
+        targets.dedup();
+        b.map(op, &targets);
+    }
+
+    b.build().map_err(TextFmtError::Invalid)
+}
+
+/// Render a machine in the text format ([`parse`] ∘ [`render`] = identity
+/// up to mapping granularity).
+pub fn render(machine: &Machine) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "machine {}", machine.name);
+    for p in machine.pipelines() {
+        let _ = writeln!(
+            out,
+            "pipeline {:<12} latency={} enqueue={}",
+            p.function, p.latency, p.enqueue
+        );
+    }
+    for (op, ids) in machine.mapping() {
+        for id in ids {
+            let _ = writeln!(out, "map {op} -> #{id}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    const SAMPLE: &str = "\
+machine paper-simulation
+; Table 4
+pipeline loader      latency=2 enqueue=1
+pipeline adder       latency=3 enqueue=1
+pipeline multiplier  latency=4 enqueue=2
+; Table 5
+map Load             -> loader
+map Add, Sub, Neg, Mov -> adder
+map Mul, Div         -> multiplier
+";
+
+    #[test]
+    fn parses_the_paper_simulation_machine() {
+        let m = parse(SAMPLE).unwrap();
+        let reference = presets::paper_simulation();
+        assert_eq!(m.pipeline_count(), 3);
+        for op in pipesched_ir::Op::BLOCK_OPS {
+            assert_eq!(
+                m.latency_for(op),
+                reference.latency_for(op),
+                "latency mismatch for {op}"
+            );
+            assert_eq!(m.enqueue_for(op), reference.enqueue_for(op));
+        }
+    }
+
+    #[test]
+    fn duplicated_function_names_map_to_all_units() {
+        let text = "\
+machine two-loaders
+pipeline loader latency=2 enqueue=1
+pipeline loader latency=2 enqueue=1
+map Load -> loader
+";
+        let m = parse(text).unwrap();
+        assert_eq!(m.pipelines_for(pipesched_ir::Op::Load).len(), 2);
+    }
+
+    #[test]
+    fn explicit_id_targets() {
+        let text = "\
+machine byid
+pipeline alpha latency=1 enqueue=1
+pipeline beta  latency=2 enqueue=2
+map Add -> #2
+";
+        let m = parse(text).unwrap();
+        assert_eq!(m.latency_for(pipesched_ir::Op::Add), Some(2));
+    }
+
+    #[test]
+    fn round_trips_through_render() {
+        for machine in presets::all_presets() {
+            let text = render(&machine);
+            let back = parse(&text).unwrap();
+            assert_eq!(back.pipeline_count(), machine.pipeline_count());
+            for op in pipesched_ir::Op::BLOCK_OPS {
+                assert_eq!(back.pipelines_for(op), machine.pipelines_for(op), "{op}");
+            }
+        }
+    }
+
+    #[test]
+    fn error_reporting() {
+        assert!(matches!(
+            parse("pipeline loader latency=2\n"),
+            Err(TextFmtError::Syntax { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse("map Load -> ghost\n"),
+            Err(TextFmtError::Syntax { .. })
+        ));
+        assert!(matches!(
+            parse("pipeline p latency=0 enqueue=1\n"),
+            Err(TextFmtError::Invalid(_))
+        ));
+        assert!(parse("frobnicate\n").is_err());
+        assert!(parse("map Load -> #9\npipeline l latency=1 enqueue=1\n").is_err());
+    }
+}

@@ -1,0 +1,277 @@
+//! Code generation: tuples → target instructions (§3.4), with NOP padding,
+//! plus an executable model of the target used to validate the backend.
+//!
+//! "It is assumed that the tuple operations are defined so that each tuple
+//! corresponds directly to one target machine instruction, hence this
+//! transformation is easily accomplished."
+
+use std::collections::HashMap;
+use std::fmt;
+
+use pipesched_ir::{BasicBlock, Op, TupleId};
+
+use crate::linear_scan::RegAllocError;
+
+/// A physical register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u16);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// One target-machine instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmInstr {
+    /// `Load Rd, var`
+    Load {
+        /// Destination register.
+        rd: Reg,
+        /// Source variable.
+        var: String,
+    },
+    /// `Store var, Rs`
+    Store {
+        /// Destination variable.
+        var: String,
+        /// Source register.
+        rs: Reg,
+    },
+    /// `Const Rd, imm`
+    Const {
+        /// Destination register.
+        rd: Reg,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// A two-operand ALU instruction (`Add/Sub/Mul/Div Rd, Ra, Rb`).
+    Alu {
+        /// The operation (Add/Sub/Mul/Div only).
+        op: Op,
+        /// Destination register.
+        rd: Reg,
+        /// First source.
+        ra: Reg,
+        /// Second source.
+        rb: Reg,
+    },
+    /// A one-operand instruction (`Neg/Mov Rd, Ra`).
+    Unary {
+        /// The operation (Neg/Mov only).
+        op: Op,
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        ra: Reg,
+    },
+    /// `Nop`
+    Nop,
+}
+
+impl fmt::Display for AsmInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmInstr::Load { rd, var } => write!(f, "Load  {rd},{var}"),
+            AsmInstr::Store { var, rs } => write!(f, "Store {var},{rs}"),
+            AsmInstr::Const { rd, imm } => write!(f, "Const {rd},{imm}"),
+            AsmInstr::Alu { op, rd, ra, rb } => write!(f, "{:<5} {rd},{ra},{rb}", op.mnemonic()),
+            AsmInstr::Unary { op, rd, ra } => write!(f, "{:<5} {rd},{ra}", op.mnemonic()),
+            AsmInstr::Nop => write!(f, "Nop"),
+        }
+    }
+}
+
+/// A complete emitted program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmProgram {
+    /// The instructions, one per issue slot (NOPs included).
+    pub instrs: Vec<AsmInstr>,
+}
+
+impl AsmProgram {
+    /// Number of NOP slots.
+    pub fn nop_count(&self) -> usize {
+        self.instrs.iter().filter(|i| matches!(i, AsmInstr::Nop)).count()
+    }
+
+    /// Execute the program: registers start at 0, memory from `initial`.
+    /// Semantics match the tuple interpreter (wrapping arithmetic, division
+    /// by zero yields 0).
+    pub fn execute(&self, initial: &HashMap<String, i64>) -> HashMap<String, i64> {
+        let mut regs: HashMap<Reg, i64> = HashMap::new();
+        let mut memory = initial.clone();
+        let get = |regs: &HashMap<Reg, i64>, r: Reg| regs.get(&r).copied().unwrap_or(0);
+        for instr in &self.instrs {
+            match instr {
+                AsmInstr::Load { rd, var } => {
+                    let v = memory.get(var).copied().unwrap_or(0);
+                    regs.insert(*rd, v);
+                }
+                AsmInstr::Store { var, rs } => {
+                    memory.insert(var.clone(), get(&regs, *rs));
+                }
+                AsmInstr::Const { rd, imm } => {
+                    regs.insert(*rd, *imm);
+                }
+                AsmInstr::Alu { op, rd, ra, rb } => {
+                    let a = get(&regs, *ra);
+                    let b = get(&regs, *rb);
+                    let v = match op {
+                        Op::Add => a.wrapping_add(b),
+                        Op::Sub => a.wrapping_sub(b),
+                        Op::Mul => a.wrapping_mul(b),
+                        Op::Div => {
+                            if b == 0 {
+                                0
+                            } else {
+                                a.wrapping_div(b)
+                            }
+                        }
+                        other => unreachable!("not an ALU op: {other}"),
+                    };
+                    regs.insert(*rd, v);
+                }
+                AsmInstr::Unary { op, rd, ra } => {
+                    let a = get(&regs, *ra);
+                    let v = match op {
+                        Op::Neg => a.wrapping_neg(),
+                        Op::Mov => a,
+                        other => unreachable!("not a unary op: {other}"),
+                    };
+                    regs.insert(*rd, v);
+                }
+                AsmInstr::Nop => {}
+            }
+        }
+        memory
+    }
+}
+
+impl fmt::Display for AsmProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in &self.instrs {
+            writeln!(f, "    {i}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Emit target code for `block` scheduled as `order` with `etas[k]` NOPs
+/// before position `k`, using the register `assignment` from
+/// [`crate::allocate`].
+pub fn emit(
+    block: &BasicBlock,
+    order: &[TupleId],
+    etas: &[u32],
+    assignment: &[Option<Reg>],
+) -> Result<AsmProgram, RegAllocError> {
+    assert_eq!(order.len(), etas.len());
+    let reg_of = |t: TupleId| -> Reg {
+        assignment[t.index()].expect("value-producing tuple has a register")
+    };
+    let var_name = |t: &pipesched_ir::Tuple| -> String {
+        block
+            .symbols()
+            .name(t.a.as_var().expect("verified"))
+            .expect("interned")
+            .to_string()
+    };
+
+    let mut instrs = Vec::new();
+    for (&t, &eta) in order.iter().zip(etas) {
+        for _ in 0..eta {
+            instrs.push(AsmInstr::Nop);
+        }
+        let tup = block.tuple(t);
+        let instr = match tup.op {
+            Op::Load => AsmInstr::Load {
+                rd: reg_of(t),
+                var: var_name(tup),
+            },
+            Op::Store => AsmInstr::Store {
+                var: var_name(tup),
+                rs: reg_of(tup.b.as_tuple().expect("verified store")),
+            },
+            Op::Const => AsmInstr::Const {
+                rd: reg_of(t),
+                imm: tup.a.as_imm().expect("verified"),
+            },
+            Op::Add | Op::Sub | Op::Mul | Op::Div => AsmInstr::Alu {
+                op: tup.op,
+                rd: reg_of(t),
+                ra: reg_of(tup.a.as_tuple().expect("binary ops reference tuples")),
+                rb: reg_of(tup.b.as_tuple().expect("binary ops reference tuples")),
+            },
+            Op::Neg | Op::Mov => AsmInstr::Unary {
+                op: tup.op,
+                rd: reg_of(t),
+                ra: reg_of(tup.a.as_tuple().expect("unary ops reference tuples")),
+            },
+            Op::Nop => unreachable!("blocks never contain Nop"),
+        };
+        instrs.push(instr);
+    }
+    Ok(AsmProgram { instrs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear_scan::allocate;
+    use pipesched_ir::BlockBuilder;
+
+    fn emit_simple() -> (BasicBlock, AsmProgram) {
+        let mut b = BlockBuilder::new("cg");
+        let x = b.load("x");
+        let y = b.load("y");
+        let m = b.mul(x, y);
+        b.store("r", m);
+        let block = b.finish().unwrap();
+        let order: Vec<_> = block.ids().collect();
+        let regs = allocate(&block, &order, 8).unwrap();
+        let prog = emit(&block, &order, &[0, 0, 1, 3], &regs).unwrap();
+        (block, prog)
+    }
+
+    #[test]
+    fn emits_one_instruction_per_tuple_plus_nops() {
+        let (block, prog) = emit_simple();
+        assert_eq!(prog.instrs.len(), block.len() + 4);
+        assert_eq!(prog.nop_count(), 4);
+    }
+
+    #[test]
+    fn listing_shows_registers() {
+        let (_, prog) = emit_simple();
+        let text = prog.to_string();
+        assert!(text.contains("Load  R0,x"), "{text}");
+        assert!(text.contains("Mul   R"), "{text}");
+        assert!(text.contains("Store r,R"), "{text}");
+    }
+
+    #[test]
+    fn execution_computes_the_product() {
+        let (_, prog) = emit_simple();
+        let initial: HashMap<String, i64> =
+            [("x".to_string(), 6), ("y".to_string(), 7)].into();
+        let memory = prog.execute(&initial);
+        assert_eq!(memory["r"], 42);
+    }
+
+    #[test]
+    fn division_by_zero_matches_interpreter() {
+        let mut b = BlockBuilder::new("dz");
+        let x = b.load("x");
+        let z = b.load("z");
+        let d = b.div(x, z);
+        b.store("r", d);
+        let block = b.finish().unwrap();
+        let order: Vec<_> = block.ids().collect();
+        let regs = allocate(&block, &order, 4).unwrap();
+        let prog = emit(&block, &order, &[0; 4], &regs).unwrap();
+        let memory = prog.execute(&[("x".to_string(), 5)].into());
+        assert_eq!(memory["r"], 0);
+    }
+}

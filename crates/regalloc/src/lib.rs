@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! Post-scheduling register allocation and code generation (§3.1, §3.4).
+//!
+//! The paper's key structural decision is that **register allocation happens
+//! after scheduling**: tuples carry no register names, so the scheduler is
+//! never constrained by the "artificial conflicts resulting from
+//! coincidental reuse of a register name" that postpass reorganizers (Gross
+//! et al.) suffer. Only once the optimal order is fixed are values assigned
+//! to registers, and each tuple is translated to one target instruction.
+//!
+//! The pipeline here is:
+//!
+//! 1. [`liveness`] — live intervals of every tuple value *in schedule
+//!    order*, and the register-pressure profile;
+//! 2. [`linear_scan`] — register assignment over those intervals (errors if
+//!    the machine's register file is too small — the paper's front end
+//!    pre-spills so this cannot happen, and the prototype "simply assumed
+//!    that there were always enough registers");
+//! 3. [`spill`] — the §3.1 pre-scheduling pressure reducer: explicit
+//!    store/re-load of values beyond the register budget;
+//! 4. [`codegen`] — emission of target instructions with NOP padding, plus
+//!    an executable model of the target machine used to validate the whole
+//!    backend end-to-end.
+
+pub mod codegen;
+pub mod linear_scan;
+pub mod liveness;
+pub mod spill;
+
+pub use codegen::{emit, AsmInstr, AsmProgram, Reg};
+pub use linear_scan::{allocate, RegAllocError};
+pub use liveness::{live_intervals, max_pressure, Interval};

@@ -1,0 +1,170 @@
+//! Linear-scan register assignment over schedule-order live intervals.
+
+use std::fmt;
+
+use pipesched_ir::{BasicBlock, TupleId};
+
+use crate::codegen::Reg;
+use crate::liveness::live_intervals;
+
+/// Allocation failure: the schedule needs more registers than the target
+/// has. The paper's front end prevents this by pre-spilling (§3.1); see
+/// [`crate::spill`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegAllocError {
+    /// Schedule position where the register file overflowed.
+    pub position: usize,
+    /// Registers available.
+    pub available: usize,
+}
+
+impl fmt::Display for RegAllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "out of registers at schedule position {} ({} available); pre-spill the block",
+            self.position, self.available
+        )
+    }
+}
+
+impl std::error::Error for RegAllocError {}
+
+/// Assign one of `num_regs` registers to every value-producing tuple of
+/// `block` under schedule `order`.
+///
+/// Returns `regs[tuple.index()] = Some(register)` for value-producing
+/// tuples, `None` for stores.
+pub fn allocate(
+    block: &BasicBlock,
+    order: &[TupleId],
+    num_regs: usize,
+) -> Result<Vec<Option<Reg>>, RegAllocError> {
+    let intervals = live_intervals(block, order);
+    let n = order.len();
+    let mut assignment: Vec<Option<Reg>> = vec![None; n];
+    // Free list kept sorted so allocation is deterministic (lowest first).
+    let mut free: Vec<u16> = (0..num_regs as u16).rev().collect();
+    // (release position, register) of live values; release = max(last_use, def+1).
+    let mut active: Vec<(usize, u16)> = Vec::new();
+
+    for (pos, &t) in order.iter().enumerate() {
+        // Expire intervals whose last use has been read.
+        active.retain(|&(release, r)| {
+            if release <= pos {
+                free.push(r);
+                false
+            } else {
+                true
+            }
+        });
+        free.sort_unstable_by(|a, b| b.cmp(a));
+
+        let Some(iv) = intervals[t.index()] else {
+            continue; // Store: no destination register.
+        };
+        let Some(r) = free.pop() else {
+            return Err(RegAllocError {
+                position: pos,
+                available: num_regs,
+            });
+        };
+        assignment[t.index()] = Some(Reg(r));
+        active.push((iv.last_use.max(iv.def + 1), r));
+    }
+    Ok(assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::liveness::max_pressure;
+    use pipesched_ir::BlockBuilder;
+
+    fn sample() -> BasicBlock {
+        let mut b = BlockBuilder::new("ls");
+        let x = b.load("x");
+        let y = b.load("y");
+        let s = b.add(x, y);
+        let z = b.load("z");
+        let m = b.mul(s, z);
+        b.store("r", m);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn allocates_within_pressure() {
+        let block = sample();
+        let order: Vec<_> = block.ids().collect();
+        let pressure = max_pressure(&block, &order);
+        let regs = allocate(&block, &order, pressure).unwrap();
+        // Stores get no register; everything else does.
+        assert!(regs[5].is_none());
+        assert!(regs[..5].iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn fails_below_pressure() {
+        let block = sample();
+        let order: Vec<_> = block.ids().collect();
+        let pressure = max_pressure(&block, &order);
+        assert!(allocate(&block, &order, pressure - 1).is_err());
+    }
+
+    #[test]
+    fn no_two_overlapping_values_share_a_register() {
+        let block = sample();
+        let order: Vec<_> = block.ids().collect();
+        let regs = allocate(&block, &order, 8).unwrap();
+        let ivs = live_intervals(&block, &order);
+        for i in 0..block.len() {
+            for j in (i + 1)..block.len() {
+                let (Some(ri), Some(rj)) = (regs[i], regs[j]) else {
+                    continue;
+                };
+                if ri != rj {
+                    continue;
+                }
+                let (a, b) = (ivs[i].unwrap(), ivs[j].unwrap());
+                let a_end = a.last_use.max(a.def + 1);
+                let b_end = b.last_use.max(b.def + 1);
+                assert!(
+                    a_end <= b.def || b_end <= a.def,
+                    "tuples {i} and {j} share {ri:?} while overlapping"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn registers_are_reused_after_expiry() {
+        // Long chain of independent load/store pairs: 2 registers suffice
+        // regardless of length... actually 1 value live at a time + dead
+        // window ⇒ pressure 1.
+        let mut b = BlockBuilder::new("reuse");
+        for i in 0..6 {
+            let l = b.load(&format!("x{i}"));
+            b.store(&format!("y{i}"), l);
+        }
+        let block = b.finish().unwrap();
+        let order: Vec<_> = block.ids().collect();
+        let regs = allocate(&block, &order, 1).unwrap();
+        // Every load got the single register R0.
+        for t in block.tuples() {
+            if t.op == pipesched_ir::Op::Load {
+                assert_eq!(regs[t.id.index()], Some(Reg(0)));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_lowest_register_first() {
+        let block = sample();
+        let order: Vec<_> = block.ids().collect();
+        let a = allocate(&block, &order, 16).unwrap();
+        let b2 = allocate(&block, &order, 16).unwrap();
+        assert_eq!(a, b2);
+        assert_eq!(a[0], Some(Reg(0)));
+        assert_eq!(a[1], Some(Reg(1)));
+    }
+}

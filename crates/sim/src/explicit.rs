@@ -1,0 +1,122 @@
+//! Explicit-interlock hardware (§2.2): the *compiler* tags each instruction
+//! with how long it must wait, and the hardware simply counts — it never
+//! detects hazards itself. This models the Tera count-field and CARP
+//! bit-mask styles with a per-instruction wait count.
+
+use pipesched_ir::TupleId;
+
+use crate::timing_model::TimingModel;
+use crate::verify::SimError;
+
+/// A schedule annotated with explicit wait tags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplicitProgram {
+    /// Instructions in issue order.
+    pub order: Vec<TupleId>,
+    /// Cycles each instruction waits after the previous issue before it
+    /// issues itself (0 ⇒ back-to-back).
+    pub waits: Vec<u32>,
+}
+
+/// Compute the minimal wait tags for `order` (the compiler's job under
+/// explicit interlocking).
+pub fn tag_schedule(tm: &TimingModel, order: &[TupleId]) -> ExplicitProgram {
+    let issue = crate::issue::issue_times(tm, order);
+    let mut waits = Vec::with_capacity(order.len());
+    let mut prev: Option<u64> = None;
+    for &t in &issue {
+        let wait = match prev {
+            Some(p) => (t - p - 1) as u32,
+            None => t as u32,
+        };
+        waits.push(wait);
+        prev = Some(t);
+    }
+    ExplicitProgram {
+        order: order.to_vec(),
+        waits,
+    }
+}
+
+impl ExplicitProgram {
+    /// Total wait cycles across the program.
+    pub fn total_waits(&self) -> u64 {
+        self.waits.iter().map(|&w| u64::from(w)).sum()
+    }
+
+    /// Execute on count-only hardware: issue each instruction `wait` cycles
+    /// after the previous issue, *verifying* (as the real hardware cannot)
+    /// that no hazard occurs. Returns total cycles.
+    pub fn execute(&self, tm: &TimingModel) -> Result<u64, SimError> {
+        let mut issued: Vec<Option<u64>> = vec![None; tm.len()];
+        let mut cycle: u64 = 0;
+        let mut first = true;
+        for (&t, &wait) in self.order.iter().zip(&self.waits) {
+            cycle = if first {
+                u64::from(wait)
+            } else {
+                cycle + 1 + u64::from(wait)
+            };
+            first = false;
+            if !tm.can_issue_at(t, cycle, &issued) {
+                return Err(SimError::Hazard { tuple: t, cycle });
+            }
+            issued[t.index()] = Some(cycle);
+        }
+        Ok(if self.order.is_empty() { 0 } else { cycle + 1 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipesched_ir::{BlockBuilder, DepDag};
+    use pipesched_machine::presets;
+
+    fn chain_tm() -> TimingModel {
+        let mut b = BlockBuilder::new("chain");
+        let x = b.load("x");
+        let m = b.mul(x, x);
+        b.store("z", m);
+        let block = b.finish().unwrap();
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        TimingModel::new(&block, &dag, &machine)
+    }
+
+    #[test]
+    fn tags_match_issue_gaps() {
+        let tm = chain_tm();
+        let order = [0u32, 1, 2].map(TupleId);
+        let prog = tag_schedule(&tm, &order);
+        assert_eq!(prog.waits, vec![0, 1, 3]);
+        assert_eq!(prog.total_waits(), 4);
+    }
+
+    #[test]
+    fn execution_matches_tags() {
+        let tm = chain_tm();
+        let order = [0u32, 1, 2].map(TupleId);
+        let prog = tag_schedule(&tm, &order);
+        assert_eq!(prog.execute(&tm).unwrap(), 7);
+    }
+
+    #[test]
+    fn wrong_tags_hazard() {
+        let tm = chain_tm();
+        let order = [0u32, 1, 2].map(TupleId);
+        let prog = ExplicitProgram {
+            order: order.to_vec(),
+            waits: vec![0, 0, 3],
+        };
+        assert!(matches!(prog.execute(&tm), Err(SimError::Hazard { .. })));
+    }
+
+    #[test]
+    fn empty_program() {
+        let tm = chain_tm();
+        let prog = tag_schedule(&tm, &[]);
+        assert_eq!(prog.execute(&tm).unwrap(), 0);
+        assert_eq!(prog.total_waits(), 0);
+    }
+}

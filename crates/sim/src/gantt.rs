@@ -1,0 +1,199 @@
+//! Pipeline-occupancy (Gantt) rendering: a per-pipeline timeline showing,
+//! for every cycle, which instruction each pipeline is working on — the
+//! picture §2 of the paper draws in prose. Used by the examples and
+//! priceless when debugging a machine description.
+//!
+//! ```text
+//! cycle            0    1    2    3    4    5    6
+//! issue           @1   @2    .   @3    .    .   @4
+//! loader          ■1   ■2   □2    .    .    .    .
+//! multiplier       .    .    .   ■3   □3   □3   □3
+//! ```
+//!
+//! `■k` marks the issue cycle of tuple `k` in that pipeline, `□k` the
+//! cycles its result is still in flight (latency), `.` idle.
+
+use std::fmt::Write as _;
+
+use pipesched_ir::TupleId;
+
+use crate::interlock::simulate_interlock;
+use crate::timing_model::TimingModel;
+
+/// One pipeline's per-cycle occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cell {
+    /// Nothing in flight.
+    Idle,
+    /// Tuple issued into the pipeline this cycle.
+    Issue(TupleId),
+    /// Tuple's result still in flight (issued earlier).
+    Busy(TupleId),
+}
+
+/// A complete occupancy chart.
+#[derive(Debug, Clone)]
+pub struct Gantt {
+    /// Total cycles.
+    pub cycles: usize,
+    /// `issue_row[c]` = tuple issued at cycle `c`, if any.
+    pub issue_row: Vec<Option<TupleId>>,
+    /// `lanes[p][c]` = pipeline `p`'s state at cycle `c`.
+    pub lanes: Vec<Vec<Cell>>,
+    /// Pipeline lane labels.
+    pub labels: Vec<String>,
+}
+
+/// Build the chart for `order` on interlock hardware over `tm`, with
+/// pipeline `labels` (usually the machine's function names).
+pub fn chart(tm: &TimingModel, order: &[TupleId], labels: &[String]) -> Gantt {
+    assert_eq!(labels.len(), tm.pipeline_count);
+    let report = simulate_interlock(tm, order);
+    let cycles = report.total_cycles as usize;
+    let mut issue_row = vec![None; cycles];
+    let mut lanes = vec![vec![Cell::Idle; cycles]; tm.pipeline_count];
+
+    for (&t, &at) in order.iter().zip(&report.issue) {
+        issue_row[at as usize] = Some(t);
+        if let Some(p) = tm.sigma[t.index()] {
+            let lane = &mut lanes[p.index()];
+            lane[at as usize] = Cell::Issue(t);
+            let done = (at + u64::from(tm.result_delay[t.index()])).min(cycles as u64);
+            for c in (at + 1)..done {
+                if lane[c as usize] == Cell::Idle {
+                    lane[c as usize] = Cell::Busy(t);
+                }
+            }
+        }
+    }
+
+    Gantt {
+        cycles,
+        issue_row,
+        lanes,
+        labels: labels.to_vec(),
+    }
+}
+
+impl Gantt {
+    /// Render as fixed-width text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let width = 5;
+        let _ = write!(out, "{:<12}", "cycle");
+        for c in 0..self.cycles {
+            let _ = write!(out, "{c:>width$}");
+        }
+        out.push('\n');
+        let _ = write!(out, "{:<12}", "issue");
+        for cell in &self.issue_row {
+            match cell {
+                Some(t) => {
+                    let _ = write!(out, "{:>width$}", format!("@{t}"));
+                }
+                None => {
+                    let _ = write!(out, "{:>width$}", ".");
+                }
+            }
+        }
+        out.push('\n');
+        for (label, lane) in self.labels.iter().zip(&self.lanes) {
+            let _ = write!(out, "{label:<12}");
+            for cell in lane {
+                let text = match cell {
+                    Cell::Idle => ".".to_string(),
+                    Cell::Issue(t) => format!("#{t}"),
+                    Cell::Busy(t) => format!("~{t}"),
+                };
+                let _ = write!(out, "{text:>width$}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Fraction of pipeline-cycles doing useful work (issue or in-flight).
+    pub fn utilization(&self) -> f64 {
+        if self.cycles == 0 || self.lanes.is_empty() {
+            return 0.0;
+        }
+        let busy: usize = self
+            .lanes
+            .iter()
+            .flatten()
+            .filter(|c| !matches!(c, Cell::Idle))
+            .count();
+        busy as f64 / (self.cycles * self.lanes.len()) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipesched_ir::{BlockBuilder, DepDag};
+    use pipesched_machine::presets;
+
+    fn setup() -> (pipesched_ir::BasicBlock, TimingModel, Vec<String>) {
+        let mut b = BlockBuilder::new("g");
+        let x = b.load("x");
+        let m = b.mul(x, x);
+        b.store("z", m);
+        let block = b.finish().unwrap();
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let tm = TimingModel::new(&block, &dag, &machine);
+        let labels: Vec<String> = machine
+            .pipelines()
+            .iter()
+            .map(|p| p.function.clone())
+            .collect();
+        (block, tm, labels)
+    }
+
+    #[test]
+    fn chart_places_issues_and_busy_cells() {
+        let (block, tm, labels) = setup();
+        let order: Vec<_> = block.ids().collect();
+        let g = chart(&tm, &order, &labels);
+        assert_eq!(g.cycles, 7);
+        // Load issues at cycle 0 in the loader lane.
+        assert_eq!(g.lanes[0][0], Cell::Issue(TupleId(0)));
+        assert_eq!(g.lanes[0][1], Cell::Busy(TupleId(0)));
+        // Mul issues at 2, busy through 5.
+        assert_eq!(g.lanes[2][2], Cell::Issue(TupleId(1)));
+        assert_eq!(g.lanes[2][5], Cell::Busy(TupleId(1)));
+        // Store at 6 in the issue row, no lane (σ=∅).
+        assert_eq!(g.issue_row[6], Some(TupleId(2)));
+    }
+
+    #[test]
+    fn render_is_aligned() {
+        let (block, tm, labels) = setup();
+        let order: Vec<_> = block.ids().collect();
+        let g = chart(&tm, &order, &labels);
+        let text = g.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2 + tm.pipeline_count);
+        let lens: Vec<usize> = lines.iter().map(|l| l.len()).collect();
+        assert!(lens.windows(2).all(|w| w[0] == w[1]), "{text}");
+        assert!(text.contains("#1"), "{text}");
+        assert!(text.contains("~2"), "{text}");
+    }
+
+    #[test]
+    fn utilization_in_unit_range() {
+        let (block, tm, labels) = setup();
+        let order: Vec<_> = block.ids().collect();
+        let g = chart(&tm, &order, &labels);
+        let u = g.utilization();
+        assert!(u > 0.0 && u < 1.0, "{u}");
+    }
+
+    #[test]
+    fn empty_chart() {
+        let (_, tm, labels) = setup();
+        let g = chart(&tm, &[], &labels);
+        assert_eq!(g.cycles, 0);
+        assert_eq!(g.utilization(), 0.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Ground-truth issue-time computation for a complete schedule.
+//!
+//! A deliberately simple forward pass: for each instruction in schedule
+//! order, advance a cycle counter until [`TimingModel::can_issue_at`]
+//! accepts it. O(n²) and free of the incremental bookkeeping that makes
+//! `pipesched-core`'s engine fast — which is exactly why agreement between
+//! the two is a meaningful invariant.
+
+use pipesched_ir::TupleId;
+
+use crate::timing_model::TimingModel;
+
+/// Earliest legal issue cycle of every instruction of `order`, issued
+/// greedily in order (one instruction per cycle at most).
+///
+/// Returns `issue[k]` = cycle of `order[k]`.
+pub fn issue_times(tm: &TimingModel, order: &[TupleId]) -> Vec<u64> {
+    let mut issued: Vec<Option<u64>> = vec![None; tm.len()];
+    let mut out = Vec::with_capacity(order.len());
+    let mut cycle: u64 = 0;
+    for &t in order {
+        while !tm.can_issue_at(t, cycle, &issued) {
+            cycle += 1;
+        }
+        issued[t.index()] = Some(cycle);
+        out.push(cycle);
+        cycle += 1;
+    }
+    out
+}
+
+/// Total NOPs (idle issue slots) the schedule needs: the gaps between
+/// consecutive issue cycles.
+pub fn total_nops(issue: &[u64]) -> u64 {
+    match issue.last() {
+        Some(&last) => last + 1 - issue.len() as u64,
+        None => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipesched_ir::{BlockBuilder, DepDag};
+    use pipesched_machine::presets;
+
+    #[test]
+    fn serial_chain_times() {
+        let mut b = BlockBuilder::new("chain");
+        let x = b.load("x");
+        let m = b.mul(x, x);
+        b.store("z", m);
+        let block = b.finish().unwrap();
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let tm = TimingModel::new(&block, &dag, &machine);
+        let order: Vec<_> = block.ids().collect();
+        let times = issue_times(&tm, &order);
+        assert_eq!(times, vec![0, 2, 6]);
+        assert_eq!(total_nops(&times), 4);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let block = BlockBuilder::new("e").finish().unwrap();
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let tm = TimingModel::new(&block, &dag, &machine);
+        let times = issue_times(&tm, &[]);
+        assert!(times.is_empty());
+        assert_eq!(total_nops(&times), 0);
+    }
+
+    #[test]
+    fn issue_times_are_strictly_increasing() {
+        let mut b = BlockBuilder::new("inc");
+        for i in 0..5 {
+            let l = b.load(&format!("v{i}"));
+            b.store(&format!("s{i}"), l);
+        }
+        let block = b.finish().unwrap();
+        let dag = DepDag::build(&block);
+        let machine = presets::deep_pipeline();
+        let tm = TimingModel::new(&block, &dag, &machine);
+        let order: Vec<_> = block.ids().collect();
+        let times = issue_times(&tm, &order);
+        for w in times.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+}

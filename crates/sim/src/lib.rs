@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! Cycle-accurate pipeline issue simulation.
+//!
+//! Section 2.2 of the paper describes three architectural mechanisms for
+//! realizing the delays a schedule requires, and argues they are orthogonal
+//! to the scheduling problem: **implicit interlock** (hardware stalls),
+//! **explicit interlock** (compiler-emitted wait tags, as in Tera and CARP),
+//! and **NOP insertion** (MIPS-style padding). This crate implements all
+//! three over the same machine model and proves — by test, for every
+//! schedule the workspace produces — that they agree on total execution
+//! time, and that the scheduler's η/μ arithmetic matches what the hardware
+//! would actually do.
+//!
+//! The simulator is deliberately **independent** of `pipesched-core`: it
+//! recomputes issue timing forward, cycle by cycle, from only the block,
+//! its DAG, and the machine description, so agreement with the scheduler's
+//! incremental engine is a meaningful cross-check rather than a tautology.
+
+pub mod carp;
+pub mod explicit;
+pub mod gantt;
+pub mod interlock;
+pub mod issue;
+pub mod padded;
+pub mod sequence;
+pub mod tera;
+pub mod timing_model;
+pub mod trace;
+pub mod verify;
+
+pub use carp::{conservatism, tag_carp, CarpProgram, CarpReport};
+pub use explicit::{tag_schedule, ExplicitProgram};
+pub use gantt::{chart, Gantt};
+pub use interlock::{simulate_interlock, InterlockReport};
+pub use issue::issue_times;
+pub use padded::{pad_schedule, PaddedInstr, PaddedProgram};
+pub use sequence::{simulate_sequence, SequenceReport};
+pub use tera::{lookahead_penalty, tag_lookahead, TeraProgram, TeraReport};
+pub use timing_model::TimingModel;
+pub use trace::{Event, Trace};
+pub use verify::{validate_schedule, SimError};

@@ -1,0 +1,211 @@
+//! NOP-padded programs (§2.2, "NOP insertion").
+//!
+//! The compiler takes full responsibility for pipeline management by
+//! emitting NOPs; the hardware then issues exactly one instruction per
+//! cycle with no interlock logic. [`PaddedProgram::execute`] models such
+//! hardware: it *asserts* hazard-freedom rather than stalling, so an
+//! underpadded program is reported as an error — this is how the test suite
+//! proves the scheduler's η values are sufficient, and
+//! [`PaddedProgram::is_minimally_padded`] proves they are not excessive.
+
+use std::fmt;
+
+use pipesched_ir::{BasicBlock, TupleId};
+
+use crate::timing_model::TimingModel;
+use crate::verify::SimError;
+
+/// One slot of a padded program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PaddedInstr {
+    /// A real instruction.
+    Tuple(TupleId),
+    /// A null operation.
+    Nop,
+}
+
+/// A fully padded, hardware-ready instruction stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PaddedProgram {
+    /// The instruction slots, one per cycle.
+    pub slots: Vec<PaddedInstr>,
+}
+
+/// Interleave `order` with `etas[k]` NOPs before each instruction.
+pub fn pad_schedule(order: &[TupleId], etas: &[u32]) -> PaddedProgram {
+    assert_eq!(order.len(), etas.len());
+    let mut slots = Vec::with_capacity(order.len() + etas.iter().sum::<u32>() as usize);
+    for (&t, &eta) in order.iter().zip(etas) {
+        for _ in 0..eta {
+            slots.push(PaddedInstr::Nop);
+        }
+        slots.push(PaddedInstr::Tuple(t));
+    }
+    PaddedProgram { slots }
+}
+
+impl PaddedProgram {
+    /// Number of NOP slots.
+    pub fn nop_count(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| matches!(s, PaddedInstr::Nop))
+            .count()
+    }
+
+    /// Total cycles (= slots) the program takes on NOP-insertion hardware.
+    pub fn total_cycles(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The instruction order with padding stripped.
+    pub fn order(&self) -> Vec<TupleId> {
+        self.slots
+            .iter()
+            .filter_map(|s| match s {
+                PaddedInstr::Tuple(t) => Some(*t),
+                PaddedInstr::Nop => None,
+            })
+            .collect()
+    }
+
+    /// Execute on interlock-free hardware: every instruction issues exactly
+    /// at its slot cycle. Errors if any dependence or conflict is violated
+    /// (the hardware would compute garbage).
+    pub fn execute(&self, tm: &TimingModel) -> Result<u64, SimError> {
+        let mut issued: Vec<Option<u64>> = vec![None; tm.len()];
+        for (cycle, slot) in self.slots.iter().enumerate() {
+            if let PaddedInstr::Tuple(t) = slot {
+                if !tm.can_issue_at(*t, cycle as u64, &issued) {
+                    return Err(SimError::Hazard {
+                        tuple: *t,
+                        cycle: cycle as u64,
+                    });
+                }
+                issued[t.index()] = Some(cycle as u64);
+            }
+        }
+        Ok(self.slots.len() as u64)
+    }
+
+    /// True when no NOP can be removed without introducing a hazard —
+    /// i.e. the padding is exactly the hardware minimum for this order.
+    pub fn is_minimally_padded(&self, tm: &TimingModel) -> bool {
+        if self.execute(tm).is_err() {
+            return false;
+        }
+        for (i, slot) in self.slots.iter().enumerate() {
+            if matches!(slot, PaddedInstr::Nop) {
+                let mut fewer = self.clone();
+                fewer.slots.remove(i);
+                if fewer.execute(tm).is_ok() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Render as an assembly-style listing using `block` for labels.
+    pub fn listing(&self, block: &BasicBlock) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        for (cycle, slot) in self.slots.iter().enumerate() {
+            match slot {
+                PaddedInstr::Nop => {
+                    let _ = writeln!(out, "{cycle:4}:   Nop");
+                }
+                PaddedInstr::Tuple(t) => {
+                    let tup = block.tuple(*t);
+                    let _ = writeln!(out, "{cycle:4}:   {} {}", tup.op, operands(block, *t));
+                }
+            }
+        }
+        out
+    }
+}
+
+fn operands(block: &BasicBlock, t: TupleId) -> String {
+    let tup = block.tuple(t);
+    let mut parts = Vec::new();
+    for o in [tup.a, tup.b] {
+        if o.is_none() {
+            continue;
+        }
+        match o {
+            pipesched_ir::Operand::Var(v) => {
+                parts.push(format!("#{}", block.symbols().name(v).unwrap_or("?")))
+            }
+            other => parts.push(other.to_string()),
+        }
+    }
+    parts.join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipesched_ir::{BlockBuilder, DepDag};
+    use pipesched_machine::presets;
+
+    fn chain() -> (pipesched_ir::BasicBlock, TimingModel) {
+        let mut b = BlockBuilder::new("chain");
+        let x = b.load("x");
+        let m = b.mul(x, x);
+        b.store("z", m);
+        let block = b.finish().unwrap();
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let tm = TimingModel::new(&block, &dag, &machine);
+        (block, tm)
+    }
+
+    #[test]
+    fn correct_padding_executes() {
+        let (_, tm) = chain();
+        let order = [0u32, 1, 2].map(TupleId);
+        let prog = pad_schedule(&order, &[0, 1, 3]);
+        assert_eq!(prog.nop_count(), 4);
+        assert_eq!(prog.execute(&tm).unwrap(), 7);
+        assert!(prog.is_minimally_padded(&tm));
+    }
+
+    #[test]
+    fn underpadding_is_a_hazard() {
+        let (_, tm) = chain();
+        let order = [0u32, 1, 2].map(TupleId);
+        let prog = pad_schedule(&order, &[0, 0, 3]);
+        assert!(matches!(
+            prog.execute(&tm),
+            Err(SimError::Hazard { tuple: TupleId(1), cycle: 1 })
+        ));
+        assert!(!prog.is_minimally_padded(&tm));
+    }
+
+    #[test]
+    fn overpadding_executes_but_is_not_minimal() {
+        let (_, tm) = chain();
+        let order = [0u32, 1, 2].map(TupleId);
+        let prog = pad_schedule(&order, &[2, 1, 3]);
+        assert!(prog.execute(&tm).is_ok());
+        assert!(!prog.is_minimally_padded(&tm));
+    }
+
+    #[test]
+    fn order_strips_nops() {
+        let order = [2u32, 0, 1].map(TupleId);
+        let prog = pad_schedule(&order, &[1, 0, 2]);
+        assert_eq!(prog.order(), order.to_vec());
+    }
+
+    #[test]
+    fn listing_is_readable() {
+        let (block, _) = chain();
+        let order = [0u32, 1, 2].map(TupleId);
+        let prog = pad_schedule(&order, &[0, 1, 3]);
+        let text = prog.listing(&block);
+        assert!(text.contains("Load #x"), "{text}");
+        assert!(text.contains("Nop"), "{text}");
+        assert_eq!(text.lines().count(), 7);
+    }
+}

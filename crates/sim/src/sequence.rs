@@ -1,0 +1,122 @@
+//! Independent simulation of *block sequences* with pipeline state carried
+//! across boundaries — the ground truth for `pipesched-core`'s sequence
+//! scheduler (footnote 1). Shares no code with the scheduler's
+//! `BoundaryState`: the carried state here is a plain per-pipeline
+//! last-issue timestamp on a single global clock.
+
+use pipesched_ir::TupleId;
+
+use crate::timing_model::TimingModel;
+
+/// Result of simulating a sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequenceReport {
+    /// Stall cycles charged within each block (including any boundary
+    /// stall before its first instruction).
+    pub stalls_per_block: Vec<u64>,
+    /// Total cycles for the whole sequence.
+    pub total_cycles: u64,
+}
+
+/// Execute `blocks` — each a `(timing model, schedule)` pair — back to
+/// back on interlocked hardware with one global clock. Instructions never
+/// reorder across a boundary; pipeline occupancy persists.
+pub fn simulate_sequence(blocks: &[(&TimingModel, &[TupleId])]) -> SequenceReport {
+    // Global clock and per-pipeline last-issue time. All blocks must agree
+    // on the pipeline count (same machine).
+    let pipeline_count = blocks.first().map_or(0, |(tm, _)| tm.pipeline_count);
+    let mut pipe_last: Vec<Option<u64>> = vec![None; pipeline_count];
+    let mut clock: Option<u64> = None; // last issue cycle, if any
+    let mut stalls_per_block = Vec::with_capacity(blocks.len());
+
+    for (tm, order) in blocks {
+        assert_eq!(tm.pipeline_count, pipeline_count, "one machine per sequence");
+        // Per-block issue times (the dependences are block-local).
+        let mut issued: Vec<Option<u64>> = vec![None; tm.len()];
+        let mut stalls = 0u64;
+        for &t in *order {
+            let baseline = clock.map_or(0, |c| c + 1);
+            let mut earliest = baseline;
+            // Block-local dependences.
+            for &(from, delay) in &tm.dep_delays[t.index()] {
+                let ft = issued[from.index()].expect("topological order");
+                earliest = earliest.max(ft + u64::from(delay));
+            }
+            // Global pipeline conflicts (may reach across the boundary).
+            if let Some(p) = tm.sigma[t.index()] {
+                if let Some(last) = pipe_last[p.index()] {
+                    earliest = earliest.max(last + u64::from(tm.enqueue[t.index()]));
+                }
+            }
+            stalls += earliest - baseline;
+            issued[t.index()] = Some(earliest);
+            if let Some(p) = tm.sigma[t.index()] {
+                pipe_last[p.index()] = Some(earliest);
+            }
+            clock = Some(earliest);
+        }
+        stalls_per_block.push(stalls);
+    }
+
+    SequenceReport {
+        stalls_per_block,
+        total_cycles: clock.map_or(0, |c| c + 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipesched_ir::{BasicBlock, BlockBuilder, DepDag};
+    use pipesched_machine::presets;
+
+    fn mul_block(name: &str) -> BasicBlock {
+        let mut b = BlockBuilder::new(name);
+        let x = b.load("x");
+        let m = b.mul(x, x);
+        b.store("z", m);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn single_block_matches_interlock() {
+        let machine = presets::paper_simulation();
+        let block = mul_block("one");
+        let dag = DepDag::build(&block);
+        let tm = TimingModel::new(&block, &dag, &machine);
+        let order: Vec<_> = block.ids().collect();
+        let seq = simulate_sequence(&[(&tm, &order)]);
+        let solo = crate::interlock::simulate_interlock(&tm, &order);
+        assert_eq!(seq.total_cycles, solo.total_cycles);
+        assert_eq!(seq.stalls_per_block[0], solo.total_stalls);
+    }
+
+    #[test]
+    fn boundary_conflict_charged_to_second_block() {
+        let machine = presets::recovery_unit(); // mul: latency 2, enqueue 6
+        let a = mul_block("a");
+        let b = mul_block("b");
+        let dag_a = DepDag::build(&a);
+        let dag_b = DepDag::build(&b);
+        let tm_a = TimingModel::new(&a, &dag_a, &machine);
+        let tm_b = TimingModel::new(&b, &dag_b, &machine);
+        let order_a: Vec<_> = a.ids().collect();
+        let order_b: Vec<_> = b.ids().collect();
+
+        let cold = simulate_sequence(&[(&tm_b, &order_b)]);
+        let seq = simulate_sequence(&[(&tm_a, &order_a), (&tm_b, &order_b)]);
+        assert!(
+            seq.stalls_per_block[1] > cold.stalls_per_block[0],
+            "recovering multiplier must stall the second block: {} vs {}",
+            seq.stalls_per_block[1],
+            cold.stalls_per_block[0]
+        );
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let report = simulate_sequence(&[]);
+        assert_eq!(report.total_cycles, 0);
+        assert!(report.stalls_per_block.is_empty());
+    }
+}

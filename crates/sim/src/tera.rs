@@ -1,0 +1,238 @@
+//! Tera-style explicit interlocking via a **lookahead field** (§2.2): the
+//! compiler tags each instruction with "the next `L` instructions are
+//! independent of this one", and the hardware lets at most `L` subsequent
+//! instructions issue before this one's result is complete. (The paper
+//! cites B. Smith's Tera machine for the count-field flavor of explicit
+//! interlock; the real Tera MTA used a 3-bit field.)
+//!
+//! The interesting engineering consequence is the **field width**: with an
+//! unbounded field the mechanism exactly matches precise interlock
+//! hardware, but a `w`-bit field clamps `L ≤ 2^w - 1`, forcing spurious
+//! waits whenever more than `2^w - 1` independent instructions could have
+//! run under a long-latency operation. [`lookahead_penalty`] measures that
+//! cost per schedule — exactly the experiment a compiler writer targeting
+//! such an encoding needs.
+
+use pipesched_ir::TupleId;
+
+use crate::timing_model::TimingModel;
+
+/// A schedule tagged with per-instruction lookahead counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TeraProgram {
+    /// Instructions in issue order.
+    pub order: Vec<TupleId>,
+    /// `lookahead[k]`: how many following instructions may issue before
+    /// instruction `k` completes.
+    pub lookahead: Vec<u32>,
+}
+
+/// Compute each instruction's true dependence distance and clamp it to the
+/// field capacity (`max_lookahead`; use `u32::MAX` for an ideal unbounded
+/// field).
+///
+/// `lookahead[k]` = (distance in instructions to the first later
+/// instruction that depends on or conflicts with `k`) − 1, clamped.
+/// Instructions nothing ever waits on get the maximum value.
+pub fn tag_lookahead(tm: &TimingModel, order: &[TupleId], max_lookahead: u32) -> TeraProgram {
+    let n = order.len();
+    let mut position = vec![usize::MAX; tm.len()];
+    for (k, &t) in order.iter().enumerate() {
+        position[t.index()] = k;
+    }
+
+    let mut lookahead = vec![max_lookahead; n];
+    for (k, &t) in order.iter().enumerate() {
+        // First later instruction that genuinely needs t's *completion*:
+        // a dependence with delay > 1. Anti/output edges (delay 1) are
+        // satisfied by in-order issue, and same-pipeline conflicts are
+        // enforced architecturally by the pipeline itself, so neither
+        // shortens the tag.
+        let mut first_waiter: Option<usize> = None;
+        for (j, &u) in order.iter().enumerate().skip(k + 1) {
+            let needs_completion = tm.dep_delays[u.index()]
+                .iter()
+                .any(|&(from, delay)| from == t && delay > 1);
+            if needs_completion {
+                first_waiter = Some(j);
+                break;
+            }
+        }
+        if let Some(j) = first_waiter {
+            lookahead[k] = ((j - k - 1) as u32).min(max_lookahead);
+        }
+    }
+    TeraProgram {
+        order: order.to_vec(),
+        lookahead,
+    }
+}
+
+/// Execution report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TeraReport {
+    /// Total execution cycles.
+    pub total_cycles: u64,
+    /// Stall cycles attributable to the lookahead mechanism.
+    pub total_stalls: u64,
+}
+
+impl TeraProgram {
+    /// Execute on lookahead hardware over `tm`: before issuing instruction
+    /// `j`, wait until every earlier instruction `i` with
+    /// `i + lookahead[i] < j` has **completed** (issue + result delay) and
+    /// every same-pipeline predecessor has cleared its enqueue time.
+    /// Verifies hazard freedom (panics if a tag permits a hazard —
+    /// `tag_lookahead` never produces such tags, which is itself a tested
+    /// property).
+    pub fn execute(&self, tm: &TimingModel) -> TeraReport {
+        let n = self.order.len();
+        let mut issued: Vec<Option<u64>> = vec![None; tm.len()];
+        let mut issue_at = vec![0u64; n];
+        let mut cycle: u64 = 0;
+        let mut stalls: u64 = 0;
+
+        for j in 0..n {
+            let t = self.order[j];
+            let baseline = if j == 0 { 0 } else { cycle + 1 };
+            let mut earliest = baseline;
+            #[allow(clippy::needless_range_loop)]
+            for i in 0..j {
+                // Lookahead barrier.
+                if (i as u64) + u64::from(self.lookahead[i]) < j as u64 {
+                    let u = self.order[i];
+                    earliest = earliest
+                        .max(issue_at[i] + u64::from(tm.result_delay[u.index()]));
+                }
+                // Same-pipeline enqueue spacing is architectural (the pipe
+                // physically can't accept the op earlier).
+                let u = self.order[i];
+                if tm.sigma[u.index()].is_some() && tm.sigma[u.index()] == tm.sigma[t.index()] {
+                    earliest = earliest.max(issue_at[i] + u64::from(tm.enqueue[u.index()]));
+                }
+            }
+            stalls += earliest - baseline;
+            assert!(
+                tm.can_issue_at(t, earliest, &issued),
+                "lookahead tags allowed a hazard at instruction {j}"
+            );
+            issued[t.index()] = Some(earliest);
+            issue_at[j] = earliest;
+            cycle = earliest;
+        }
+        TeraReport {
+            total_cycles: if n == 0 { 0 } else { cycle + 1 },
+            total_stalls: stalls,
+        }
+    }
+}
+
+/// Extra cycles a `w`-bit lookahead field costs relative to precise
+/// interlock hardware for the same order.
+pub fn lookahead_penalty(tm: &TimingModel, order: &[TupleId], field_bits: u32) -> u64 {
+    let max = if field_bits >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << field_bits) - 1
+    };
+    let precise = crate::interlock::simulate_interlock(tm, order).total_cycles;
+    let tera = tag_lookahead(tm, order, max).execute(tm).total_cycles;
+    tera - precise
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipesched_ir::{BlockBuilder, DepDag};
+    use pipesched_machine::presets;
+
+    fn tm_of(block: &pipesched_ir::BasicBlock) -> TimingModel {
+        let dag = DepDag::build(block);
+        TimingModel::new(block, &dag, &presets::deep_pipeline())
+    }
+
+    #[test]
+    fn unbounded_field_matches_interlock() {
+        let mut b = BlockBuilder::new("un");
+        let x = b.load("x");
+        let y = b.load("y");
+        let m = b.mul(x, y);
+        let a = b.add(x, y);
+        b.store("m", m);
+        b.store("a", a);
+        let block = b.finish().unwrap();
+        let tm = tm_of(&block);
+        let order: Vec<_> = block.ids().collect();
+        assert_eq!(lookahead_penalty(&tm, &order, 32), 0);
+    }
+
+    #[test]
+    fn tags_measure_dependence_distance() {
+        let mut b = BlockBuilder::new("tags");
+        let x = b.load("x"); // consumer 3 slots later
+        let _y = b.load("y");
+        let z = b.load("z");
+        let n = b.neg(x);
+        b.store("r", n);
+        b.store("keep", z);
+        let block = b.finish().unwrap();
+        let tm = tm_of(&block);
+        let order: Vec<_> = block.ids().collect();
+        let prog = tag_lookahead(&tm, &order, u32::MAX);
+        // x's first waiter is neg at position 3: lookahead = 2.
+        assert_eq!(prog.lookahead[0], 2);
+        // y is never waited on.
+        assert_eq!(prog.lookahead[1], u32::MAX);
+    }
+
+    #[test]
+    fn narrow_field_costs_cycles() {
+        // A long-latency load with many independent instructions under it:
+        // a 1-bit field (max lookahead 1) forces early waits.
+        let mut b = BlockBuilder::new("narrow");
+        let x = b.load("x"); // latency 5 on deep-pipeline
+        for i in 0..6 {
+            let c = b.constant(i);
+            b.store(&format!("k{i}"), c);
+        }
+        let n = b.neg(x);
+        b.store("r", n);
+        let block = b.finish().unwrap();
+        let tm = tm_of(&block);
+        let order: Vec<_> = block.ids().collect();
+        let ideal = lookahead_penalty(&tm, &order, 32);
+        let narrow = lookahead_penalty(&tm, &order, 1);
+        assert_eq!(ideal, 0);
+        assert!(narrow > 0, "1-bit field should stall early");
+        // Wider fields monotonically reduce the penalty.
+        let mid = lookahead_penalty(&tm, &order, 2);
+        assert!(mid <= narrow);
+        assert!(lookahead_penalty(&tm, &order, 3) <= mid);
+    }
+
+    #[test]
+    fn zero_lookahead_serializes_to_completion() {
+        // max_lookahead = 0: every instruction waits for its predecessor's
+        // completion — fully serialized.
+        let mut b = BlockBuilder::new("serial");
+        let x = b.load("x");
+        let y = b.load("y");
+        let m = b.mul(x, y);
+        b.store("r", m);
+        let block = b.finish().unwrap();
+        let tm = tm_of(&block);
+        let order: Vec<_> = block.ids().collect();
+        let prog = tag_lookahead(&tm, &order, 0);
+        let report = prog.execute(&tm);
+        let precise = crate::interlock::simulate_interlock(&tm, &order).total_cycles;
+        assert!(report.total_cycles >= precise);
+    }
+
+    #[test]
+    fn empty_program() {
+        let block = BlockBuilder::new("e").finish().unwrap();
+        let tm = tm_of(&block);
+        let report = tag_lookahead(&tm, &[], 3).execute(&tm);
+        assert_eq!(report.total_cycles, 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! The machine-timing view shared by all simulators in this crate.
+//!
+//! Built once per (block, machine) pair; holds per-tuple pipeline binding
+//! and per-dependence delays, computed independently of `pipesched-core`.
+
+use pipesched_ir::{BasicBlock, DepDag, DepKind, TupleId};
+use pipesched_machine::{Machine, PipelineId};
+
+/// Per-block timing facts derived from the machine description.
+#[derive(Debug, Clone)]
+pub struct TimingModel {
+    /// Pipeline executing each tuple (`None` ⇒ no pipelined resource).
+    pub sigma: Vec<Option<PipelineId>>,
+    /// Latency of each tuple's pipeline (1 when σ=∅: result usable next cycle).
+    pub result_delay: Vec<u32>,
+    /// Enqueue time of each tuple's pipeline (0 when σ=∅: never conflicts).
+    pub enqueue: Vec<u32>,
+    /// For each tuple, `(producer, min issue distance)` pairs.
+    pub dep_delays: Vec<Vec<(TupleId, u32)>>,
+    /// Number of pipelines in the machine.
+    pub pipeline_count: usize,
+}
+
+impl TimingModel {
+    /// Derive the timing model for `block` on `machine`.
+    pub fn new(block: &BasicBlock, dag: &DepDag, machine: &Machine) -> Self {
+        let n = block.len();
+        let mut sigma = Vec::with_capacity(n);
+        let mut result_delay = Vec::with_capacity(n);
+        let mut enqueue = Vec::with_capacity(n);
+        for t in block.tuples() {
+            let p = machine.default_pipeline_for(t.op);
+            sigma.push(p);
+            result_delay.push(p.map_or(1, |p| machine.pipeline(p).latency));
+            enqueue.push(p.map_or(0, |p| machine.pipeline(p).enqueue));
+        }
+        let dep_delays = (0..n)
+            .map(|i| {
+                dag.preds(TupleId(i as u32))
+                    .iter()
+                    .map(|e| {
+                        let d = match e.kind {
+                            DepKind::Flow => result_delay[e.from.index()],
+                            DepKind::Anti | DepKind::Output => 1,
+                        };
+                        (e.from, d)
+                    })
+                    .collect()
+            })
+            .collect();
+        TimingModel {
+            sigma,
+            result_delay,
+            enqueue,
+            dep_delays,
+            pipeline_count: machine.pipeline_count(),
+        }
+    }
+
+    /// Number of tuples modeled.
+    pub fn len(&self) -> usize {
+        self.sigma.len()
+    }
+
+    /// True for an empty model.
+    pub fn is_empty(&self) -> bool {
+        self.sigma.is_empty()
+    }
+
+    /// Can `t` legally issue at `cycle`, given `issued[j] = Some(cycle)` for
+    /// already-issued tuples?
+    pub fn can_issue_at(&self, t: TupleId, cycle: u64, issued: &[Option<u64>]) -> bool {
+        // Dependences.
+        for &(from, delay) in &self.dep_delays[t.index()] {
+            match issued[from.index()] {
+                Some(tj) => {
+                    if cycle < tj + u64::from(delay) {
+                        return false;
+                    }
+                }
+                None => return false,
+            }
+        }
+        // Conflicts: any same-pipeline instruction issued too recently?
+        if let Some(p) = self.sigma[t.index()] {
+            let enq = u64::from(self.enqueue[t.index()]);
+            for (j, &tj) in issued.iter().enumerate() {
+                if let Some(tj) = tj {
+                    if self.sigma[j] == Some(p) && cycle < tj + enq {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipesched_ir::BlockBuilder;
+    use pipesched_machine::presets;
+
+    #[test]
+    fn delays_reflect_machine() {
+        let mut b = BlockBuilder::new("tm");
+        let x = b.load("x");
+        let m = b.mul(x, x);
+        b.store("z", m);
+        let block = b.finish().unwrap();
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let tm = TimingModel::new(&block, &dag, &machine);
+        assert_eq!(tm.result_delay, vec![2, 4, 1]);
+        assert_eq!(tm.enqueue, vec![1, 2, 0]);
+        // mul depends on load with the loader's latency.
+        assert_eq!(tm.dep_delays[1], vec![(pipesched_ir::TupleId(0), 2)]);
+    }
+
+    #[test]
+    fn can_issue_checks_deps_and_conflicts() {
+        let mut b = BlockBuilder::new("ci");
+        let x = b.load("x");
+        let m = b.mul(x, x);
+        let m2 = b.mul(m, m);
+        b.store("z", m2);
+        let block = b.finish().unwrap();
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let tm = TimingModel::new(&block, &dag, &machine);
+
+        let t1 = TupleId(1);
+        let t2 = TupleId(2);
+        let mut issued = vec![None; 4];
+        issued[0] = Some(0u64);
+        assert!(!tm.can_issue_at(t1, 1, &issued), "load latency unmet");
+        assert!(tm.can_issue_at(t1, 2, &issued));
+        issued[1] = Some(2);
+        // Second mul: dep latency 4 (ready at 6) dominates enqueue (4).
+        assert!(!tm.can_issue_at(t2, 4, &issued));
+        assert!(!tm.can_issue_at(t2, 5, &issued));
+        assert!(tm.can_issue_at(t2, 6, &issued));
+    }
+
+    #[test]
+    fn unissued_predecessor_blocks() {
+        let mut b = BlockBuilder::new("blk");
+        let x = b.load("x");
+        b.store("z", x);
+        let block = b.finish().unwrap();
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let tm = TimingModel::new(&block, &dag, &machine);
+        let issued = vec![None; 2];
+        assert!(!tm.can_issue_at(TupleId(1), 100, &issued));
+    }
+}

@@ -1,0 +1,95 @@
+//! Cycle-by-cycle execution traces, for the examples and for debugging.
+
+use std::fmt;
+
+use pipesched_ir::{BasicBlock, TupleId};
+
+use crate::interlock::simulate_interlock;
+use crate::timing_model::TimingModel;
+
+/// One cycle of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// An instruction issued.
+    Issue(TupleId),
+    /// A hardware bubble / NOP slot.
+    Bubble,
+}
+
+/// A complete execution trace of a schedule on interlocked hardware.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// One event per cycle.
+    pub events: Vec<Event>,
+}
+
+impl Trace {
+    /// Trace `order` on interlock hardware over `tm`.
+    pub fn capture(tm: &TimingModel, order: &[TupleId]) -> Trace {
+        let report = simulate_interlock(tm, order);
+        let mut events = Vec::with_capacity(report.total_cycles as usize);
+        for (&t, &at) in order.iter().zip(&report.issue) {
+            while (events.len() as u64) < at {
+                events.push(Event::Bubble);
+            }
+            events.push(Event::Issue(t));
+        }
+        Trace { events }
+    }
+
+    /// Number of bubble cycles.
+    pub fn bubbles(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e, Event::Bubble)).count()
+    }
+
+    /// Total cycles.
+    pub fn cycles(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Render with instruction text from `block`.
+    pub fn render(&self, block: &BasicBlock) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        for (cycle, e) in self.events.iter().enumerate() {
+            match e {
+                Event::Bubble => {
+                    let _ = writeln!(out, "cycle {cycle:3}:   (bubble)");
+                }
+                Event::Issue(t) => {
+                    let _ = writeln!(out, "cycle {cycle:3}:   {}", block.tuple(*t));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipesched_ir::{BlockBuilder, DepDag};
+    use pipesched_machine::presets;
+
+    #[test]
+    fn trace_shows_bubbles_at_right_cycles() {
+        let mut b = BlockBuilder::new("tr");
+        let x = b.load("x");
+        let m = b.mul(x, x);
+        b.store("z", m);
+        let block = b.finish().unwrap();
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let tm = TimingModel::new(&block, &dag, &machine);
+        let order: Vec<_> = block.ids().collect();
+        let trace = Trace::capture(&tm, &order);
+        assert_eq!(trace.cycles(), 7);
+        assert_eq!(trace.bubbles(), 4);
+        assert_eq!(trace.events[0], Event::Issue(TupleId(0)));
+        assert_eq!(trace.events[1], Event::Bubble);
+        assert_eq!(trace.events[2], Event::Issue(TupleId(1)));
+        let text = trace.render(&block);
+        assert!(text.contains("(bubble)"));
+        assert!(text.contains("Mul"), "{text}");
+    }
+}

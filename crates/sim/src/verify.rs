@@ -1,0 +1,137 @@
+//! End-to-end schedule validation against the ground-truth simulator.
+
+use std::fmt;
+
+use pipesched_ir::{analysis::verify_schedule as verify_topological, BasicBlock, DepDag, IrError,
+                   TupleId};
+use pipesched_machine::Machine;
+
+use crate::issue::{issue_times, total_nops};
+use crate::timing_model::TimingModel;
+
+/// Errors from simulating or validating a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The schedule is not a legal topological order of the block.
+    Illegal(IrError),
+    /// An instruction issued while its dependences/conflicts were unmet.
+    Hazard {
+        /// The offending instruction.
+        tuple: TupleId,
+        /// The cycle at which it was (wrongly) issued.
+        cycle: u64,
+    },
+    /// The claimed η values do not match the hardware minimum.
+    EtaMismatch {
+        /// Position in the schedule.
+        position: usize,
+        /// η claimed by the scheduler.
+        claimed: u32,
+        /// η the hardware requires.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Illegal(e) => write!(f, "illegal schedule: {e}"),
+            SimError::Hazard { tuple, cycle } => {
+                write!(f, "hazard: tuple {tuple} issued at cycle {cycle} too early")
+            }
+            SimError::EtaMismatch {
+                position,
+                claimed,
+                actual,
+            } => write!(
+                f,
+                "η mismatch at position {position}: scheduler claims {claimed}, hardware needs {actual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<IrError> for SimError {
+    fn from(e: IrError) -> Self {
+        SimError::Illegal(e)
+    }
+}
+
+/// Validate that (`order`, `etas`) is a legal schedule of `block` on
+/// `machine` and that every η equals the hardware minimum for that order.
+///
+/// This is the independent check run over every schedule the workspace
+/// produces: it catches both *unsafe* schedules (too few NOPs ⇒ hazard) and
+/// *wasteful* ones (too many NOPs ⇒ the claimed μ is not what the order
+/// actually needs).
+pub fn validate_schedule(
+    block: &BasicBlock,
+    dag: &DepDag,
+    machine: &Machine,
+    order: &[TupleId],
+    etas: &[u32],
+) -> Result<(), SimError> {
+    verify_topological(block, dag, order)?;
+    let tm = TimingModel::new(block, dag, machine);
+    let issue = issue_times(&tm, order);
+    debug_assert_eq!(issue.len(), etas.len());
+    let mut prev: Option<u64> = None;
+    for (k, (&t, &claimed)) in issue.iter().zip(etas).enumerate() {
+        let actual = match prev {
+            Some(p) => t - p - 1,
+            None => t,
+        };
+        if u64::from(claimed) != actual {
+            return Err(SimError::EtaMismatch {
+                position: k,
+                claimed,
+                actual,
+            });
+        }
+        prev = Some(t);
+    }
+    let _ = total_nops(&issue);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipesched_ir::BlockBuilder;
+    use pipesched_machine::presets;
+
+    fn chain() -> (BasicBlock, DepDag, Machine) {
+        let mut b = BlockBuilder::new("chain");
+        let x = b.load("x");
+        let m = b.mul(x, x);
+        b.store("z", m);
+        let block = b.finish().unwrap();
+        let dag = DepDag::build(&block);
+        (block, dag, presets::paper_simulation())
+    }
+
+    #[test]
+    fn accepts_correct_etas() {
+        let (block, dag, machine) = chain();
+        let order = [0u32, 1, 2].map(TupleId);
+        validate_schedule(&block, &dag, &machine, &order, &[0, 1, 3]).unwrap();
+    }
+
+    #[test]
+    fn rejects_wrong_etas() {
+        let (block, dag, machine) = chain();
+        let order = [0u32, 1, 2].map(TupleId);
+        let err = validate_schedule(&block, &dag, &machine, &order, &[0, 2, 3]).unwrap_err();
+        assert!(matches!(err, SimError::EtaMismatch { position: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_illegal_order() {
+        let (block, dag, machine) = chain();
+        let order = [1u32, 0, 2].map(TupleId);
+        let err = validate_schedule(&block, &dag, &machine, &order, &[0, 0, 0]).unwrap_err();
+        assert!(matches!(err, SimError::Illegal(_)));
+    }
+}

@@ -1,0 +1,152 @@
+//! The paper's §2.2 claim, as executable property tests: the three
+//! architectural delay mechanisms (implicit interlock, explicit wait tags,
+//! NOP padding) are interchangeable — for any legal schedule they yield the
+//! same total execution time, and the stall/wait/NOP counts coincide.
+
+use proptest::prelude::*;
+
+use pipesched_ir::{BasicBlock, BlockBuilder, DepDag, Op, TupleId};
+use pipesched_machine::{presets, Machine};
+use pipesched_sim::{
+    pad_schedule, simulate_interlock, tag_schedule, issue_times, TimingModel,
+};
+
+/// Deterministic random block from a byte script (valid by construction).
+fn block_from_script(script: &[u8]) -> BasicBlock {
+    let mut b = BlockBuilder::new("prop");
+    let vars = ["p", "q", "r"];
+    for chunk in script.chunks(3) {
+        let (op, x, y) = (
+            chunk[0],
+            chunk.get(1).copied().unwrap_or(0),
+            chunk.get(2).copied().unwrap_or(1),
+        );
+        let n = b.len();
+        match op % 5 {
+            0 | 4 => {
+                b.load(vars[x as usize % vars.len()]);
+            }
+            1 => {
+                b.constant(i64::from(x));
+            }
+            _ if n > 0 => {
+                // Reference the most recent value-producing tuple(s).
+                let producers: Vec<TupleId> = {
+                    let blk = b.clone().finish_unchecked();
+                    blk.ids().filter(|&i| blk.tuple(i).op.produces_value()).collect()
+                };
+                if producers.is_empty() {
+                    b.load(vars[y as usize % vars.len()]);
+                } else if op % 5 == 2 {
+                    let l = producers[x as usize % producers.len()];
+                    let r = producers[y as usize % producers.len()];
+                    let ops = [Op::Add, Op::Sub, Op::Mul, Op::Div];
+                    b.binary(ops[(x ^ y) as usize % 4], l, r);
+                } else {
+                    let v = producers[x as usize % producers.len()];
+                    b.store(vars[y as usize % vars.len()], v);
+                }
+            }
+            _ => {
+                b.load(vars[y as usize % vars.len()]);
+            }
+        }
+    }
+    if b.is_empty() {
+        b.load("p");
+    }
+    b.finish().expect("valid by construction")
+}
+
+fn machines() -> Vec<Machine> {
+    presets::all_presets()
+}
+
+/// A random legal topological order driven by the selector bytes.
+fn random_topo_order(dag: &DepDag, selectors: &[u8]) -> Vec<TupleId> {
+    let n = dag.len();
+    let mut pending: Vec<u32> = (0..n)
+        .map(|i| dag.preds(TupleId(i as u32)).len() as u32)
+        .collect();
+    let mut placed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for step in 0..n {
+        let ready: Vec<usize> = (0..n)
+            .filter(|&i| !placed[i] && pending[i] == 0)
+            .collect();
+        let sel = selectors.get(step).copied().unwrap_or(0) as usize % ready.len();
+        let pick = ready[sel];
+        placed[pick] = true;
+        for e in dag.succs(TupleId(pick as u32)) {
+            pending[e.to.index()] -= 1;
+        }
+        order.push(TupleId(pick as u32));
+    }
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn three_mechanisms_agree(
+        script in proptest::collection::vec(any::<u8>(), 1..45),
+        selectors in proptest::collection::vec(any::<u8>(), 16),
+        machine_sel in 0usize..6,
+    ) {
+        let block = block_from_script(&script);
+        let dag = DepDag::build(&block);
+        let machine = &machines()[machine_sel];
+        let tm = TimingModel::new(&block, &dag, machine);
+        let order = random_topo_order(&dag, &selectors);
+
+        // 1. Implicit interlock.
+        let interlock = simulate_interlock(&tm, &order);
+
+        // 2. Explicit wait tags.
+        let explicit = tag_schedule(&tm, &order);
+        let explicit_cycles = explicit.execute(&tm).unwrap();
+
+        // 3. NOP padding (etas derived from ground-truth issue times).
+        let issue = issue_times(&tm, &order);
+        let etas: Vec<u32> = issue
+            .iter()
+            .scan(None::<u64>, |prev, &t| {
+                let eta = match *prev {
+                    Some(p) => (t - p - 1) as u32,
+                    None => t as u32,
+                };
+                *prev = Some(t);
+                Some(eta)
+            })
+            .collect();
+        let padded = pad_schedule(&order, &etas);
+        let padded_cycles = padded.execute(&tm).unwrap();
+
+        prop_assert_eq!(interlock.total_cycles, explicit_cycles);
+        prop_assert_eq!(interlock.total_cycles, padded_cycles);
+        prop_assert_eq!(interlock.total_stalls, explicit.total_waits());
+        prop_assert_eq!(interlock.total_stalls as usize, padded.nop_count());
+        // And the padding is exactly the hardware minimum for this order.
+        prop_assert!(padded.is_minimally_padded(&tm));
+
+        // 4. CARP-style coarse pipeline masks: always hazard-free (the
+        // executor asserts this) and never faster than precise interlock.
+        let carp = pipesched_sim::tag_carp(&tm, &order).execute(&tm);
+        prop_assert!(carp.total_cycles >= interlock.total_cycles);
+
+        // 5. Tera-style lookahead fields: an unbounded field matches
+        // precise interlock exactly; narrower fields only add cycles,
+        // monotonically.
+        let ideal = pipesched_sim::tag_lookahead(&tm, &order, u32::MAX).execute(&tm);
+        prop_assert_eq!(ideal.total_cycles, interlock.total_cycles);
+        let mut prev = ideal.total_cycles;
+        for bits in [3u32, 2, 1, 0] {
+            let max = if bits == 0 { 0 } else { (1u32 << bits) - 1 };
+            let clamped = pipesched_sim::tag_lookahead(&tm, &order, max).execute(&tm);
+            prop_assert!(clamped.total_cycles >= prev,
+                "narrower field got faster: {} bits", bits);
+            prev = clamped.total_cycles;
+        }
+    }
+}

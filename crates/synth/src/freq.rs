@@ -1,0 +1,134 @@
+//! Statement-type frequency tables (the paper's Table 6).
+
+use rand::Rng;
+
+/// Relative frequencies of the assignment-statement forms the generator
+/// emits. `Load` and `Store` are not listed — as the paper notes, "these
+/// instructions are provided as necessary during code generation and
+//  optimization".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrequencyTable {
+    /// `v = w;` — a simple copy.
+    pub simple_copy: f64,
+    /// `v = x + y;`
+    pub add: f64,
+    /// `v = x - y;`
+    pub sub: f64,
+    /// `v = x * y;`
+    pub mul: f64,
+    /// `v = x / y;`
+    pub div: f64,
+    /// Probability that an operand is a constant rather than a variable.
+    pub const_operand: f64,
+}
+
+impl FrequencyTable {
+    /// The reconstruction of the paper's Table 6 (see DESIGN.md §5):
+    /// weights loosely following Alexander & Wortman's XPL statistics —
+    /// copies and additions dominate, division is rare.
+    pub fn default_paper() -> Self {
+        FrequencyTable {
+            simple_copy: 0.30,
+            add: 0.30,
+            sub: 0.15,
+            mul: 0.15,
+            div: 0.10,
+            const_operand: 0.25,
+        }
+    }
+
+    /// A multiplication-heavy mix (stresses the long-latency pipeline).
+    pub fn mul_heavy() -> Self {
+        FrequencyTable {
+            simple_copy: 0.10,
+            add: 0.20,
+            sub: 0.10,
+            mul: 0.45,
+            div: 0.15,
+            const_operand: 0.20,
+        }
+    }
+
+    /// Total weight (used for normalization).
+    pub fn total(&self) -> f64 {
+        self.simple_copy + self.add + self.sub + self.mul + self.div
+    }
+
+    /// Sample a statement kind.
+    pub fn sample_kind<R: Rng>(&self, rng: &mut R) -> StatementKind {
+        let x: f64 = rng.gen::<f64>() * self.total();
+        let mut acc = self.simple_copy;
+        if x < acc {
+            return StatementKind::Copy;
+        }
+        acc += self.add;
+        if x < acc {
+            return StatementKind::Add;
+        }
+        acc += self.sub;
+        if x < acc {
+            return StatementKind::Sub;
+        }
+        acc += self.mul;
+        if x < acc {
+            return StatementKind::Mul;
+        }
+        StatementKind::Div
+    }
+}
+
+/// The statement forms of Table 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StatementKind {
+    /// `v = w;`
+    Copy,
+    /// `v = x + y;`
+    Add,
+    /// `v = x - y;`
+    Sub,
+    /// `v = x * y;`
+    Mul,
+    /// `v = x / y;`
+    Div,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_weights_sum_to_one() {
+        let t = FrequencyTable::default_paper();
+        assert!((t.total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_roughly_matches_weights() {
+        let t = FrequencyTable::default_paper();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = std::collections::HashMap::new();
+        let n = 40_000;
+        for _ in 0..n {
+            *counts.entry(t.sample_kind(&mut rng)).or_insert(0u32) += 1;
+        }
+        let frac = |k: StatementKind| f64::from(counts[&k]) / n as f64;
+        assert!((frac(StatementKind::Copy) - 0.30).abs() < 0.02);
+        assert!((frac(StatementKind::Add) - 0.30).abs() < 0.02);
+        assert!((frac(StatementKind::Sub) - 0.15).abs() < 0.02);
+        assert!((frac(StatementKind::Mul) - 0.15).abs() < 0.02);
+        assert!((frac(StatementKind::Div) - 0.10).abs() < 0.02);
+    }
+
+    #[test]
+    fn every_kind_is_reachable() {
+        let t = FrequencyTable::mul_heavy();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            seen.insert(t.sample_kind(&mut rng));
+        }
+        assert_eq!(seen.len(), 5);
+    }
+}

@@ -1,0 +1,166 @@
+//! The random block generator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pipesched_frontend::ast::{Assign, BinOp, Expr, Program};
+use pipesched_frontend::opt::{optimize, OptConfig};
+use pipesched_frontend::lower;
+use pipesched_ir::BasicBlock;
+
+use crate::freq::{FrequencyTable, StatementKind};
+
+/// Inputs of the generator — exactly the paper's three knobs plus a seed
+/// and the frequency table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneratorConfig {
+    /// Number of assignment statements to generate.
+    pub statements: usize,
+    /// Size of the variable pool (`v0..v{n-1}`).
+    pub variables: usize,
+    /// Size of the constant pool (distinct literal values).
+    pub constants: usize,
+    /// RNG seed: the same config always generates the same block.
+    pub seed: u64,
+    /// Statement-type frequencies.
+    pub frequencies: FrequencyTable,
+    /// Run the §3.1 optimizer on the lowered block (the paper does; it
+    /// makes scheduling *harder* by removing slack).
+    pub optimize: bool,
+}
+
+impl GeneratorConfig {
+    /// A config with the paper's default frequency table.
+    pub fn new(statements: usize, variables: usize, constants: usize, seed: u64) -> Self {
+        GeneratorConfig {
+            statements,
+            variables,
+            constants,
+            seed,
+            frequencies: FrequencyTable::default_paper(),
+            optimize: true,
+        }
+    }
+}
+
+/// Generate the random source program (AST) for `config`.
+pub fn generate_program(config: &GeneratorConfig) -> Program {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let variables: Vec<String> = (0..config.variables.max(1))
+        .map(|i| format!("v{i}"))
+        .collect();
+    // A fixed pool of distinct constants, as the paper's generator takes
+    // "the number of ... constants desired".
+    let constants: Vec<i64> = (0..config.constants.max(1))
+        .map(|i| i as i64 + 1 + (i as i64) * 3)
+        .collect();
+
+    let operand = |rng: &mut StdRng| -> Expr {
+        if rng.gen::<f64>() < config.frequencies.const_operand {
+            Expr::Literal(constants[rng.gen_range(0..constants.len())])
+        } else {
+            Expr::Var(variables[rng.gen_range(0..variables.len())].clone())
+        }
+    };
+
+    let mut statements = Vec::with_capacity(config.statements);
+    for _ in 0..config.statements {
+        let target = variables[rng.gen_range(0..variables.len())].clone();
+        let value = match config.frequencies.sample_kind(&mut rng) {
+            StatementKind::Copy => operand(&mut rng),
+            kind => {
+                let op = match kind {
+                    StatementKind::Add => BinOp::Add,
+                    StatementKind::Sub => BinOp::Sub,
+                    StatementKind::Mul => BinOp::Mul,
+                    StatementKind::Div => BinOp::Div,
+                    StatementKind::Copy => unreachable!(),
+                };
+                Expr::Binary {
+                    op,
+                    lhs: Box::new(operand(&mut rng)),
+                    rhs: Box::new(operand(&mut rng)),
+                }
+            }
+        };
+        statements.push(Assign { target, value });
+    }
+    Program { statements }
+}
+
+/// Generate, lower and (optionally) optimize one benchmark block.
+pub fn generate_block(config: &GeneratorConfig) -> BasicBlock {
+    let program = generate_program(config);
+    let name = format!(
+        "synth-s{}v{}c{}-{}",
+        config.statements, config.variables, config.constants, config.seed
+    );
+    let block = lower(&name, &program);
+    if config.optimize {
+        let (optimized, _) = optimize(&block, &OptConfig::default());
+        optimized
+    } else {
+        block
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = GeneratorConfig::new(10, 5, 3, 42);
+        let a = generate_block(&cfg);
+        let b = generate_block(&cfg);
+        assert_eq!(a, b);
+        let c = generate_block(&GeneratorConfig { seed: 43, ..cfg });
+        assert_ne!(a, c, "different seeds give different blocks");
+    }
+
+    #[test]
+    fn respects_statement_count() {
+        let cfg = GeneratorConfig::new(12, 4, 2, 1);
+        let program = generate_program(&cfg);
+        assert_eq!(program.statements.len(), 12);
+    }
+
+    #[test]
+    fn variables_and_constants_come_from_pools() {
+        let cfg = GeneratorConfig::new(40, 3, 2, 9);
+        let program = generate_program(&cfg);
+        for s in &program.statements {
+            assert!(s.target.starts_with('v'));
+            let idx: usize = s.target[1..].parse().unwrap();
+            assert!(idx < 3);
+        }
+    }
+
+    #[test]
+    fn generated_blocks_verify() {
+        for seed in 0..50 {
+            let cfg = GeneratorConfig::new(8, 4, 3, seed);
+            let block = generate_block(&cfg);
+            block.verify().unwrap();
+        }
+    }
+
+    #[test]
+    fn optimization_makes_blocks_no_larger() {
+        for seed in 0..20 {
+            let mut cfg = GeneratorConfig::new(10, 4, 3, seed);
+            cfg.optimize = false;
+            let raw = generate_block(&cfg);
+            cfg.optimize = true;
+            let opt = generate_block(&cfg);
+            assert!(opt.len() <= raw.len());
+        }
+    }
+
+    #[test]
+    fn zero_statement_config_yields_empty_block() {
+        let cfg = GeneratorConfig::new(0, 3, 2, 5);
+        let block = generate_block(&cfg);
+        assert!(block.is_empty());
+    }
+}

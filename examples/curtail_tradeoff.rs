@@ -1,0 +1,55 @@
+//! The curtail point λ (§2.3): sweep λ on a hard block and watch schedule
+//! quality converge long before the search can prove optimality — the
+//! paper's observation that truncated searches "still generally result in
+//! very good schedules".
+//!
+//! ```sh
+//! cargo run --example curtail_tradeoff
+//! ```
+
+use pipesched::core::{search, SchedContext, SearchConfig};
+use pipesched::ir::DepDag;
+use pipesched::machine::presets;
+use pipesched::synth::{generate_block, GeneratorConfig};
+
+fn main() {
+    // A large multiplication-heavy block: the worst case for the search.
+    let mut cfg = GeneratorConfig::new(26, 10, 4, 0xbad5eed);
+    cfg.frequencies = pipesched::synth::FrequencyTable::mul_heavy();
+    let block = generate_block(&cfg);
+    let dag = DepDag::build(&block);
+    let machine = presets::paper_simulation();
+
+    println!("block of {} instructions on `{}`\n", block.len(), machine.name);
+    println!(
+        "{:>12} {:>11} {:>9} {:>10}",
+        "lambda", "final NOPs", "Ω used", "status"
+    );
+
+    // Use the paper-exact configuration so λ is the only safety net — the
+    // default config's lower-bound termination would end the sweep early.
+    for lambda in [10u64, 50, 100, 500, 1_000, 5_000, 50_000, 500_000, 5_000_000] {
+        let search_cfg = SearchConfig {
+            lambda,
+            ..SearchConfig::paper_exact()
+        };
+        let ctx = SchedContext::new(&block, &dag, &machine);
+        let out = search(&ctx, &search_cfg);
+        println!(
+            "{:>12} {:>11} {:>9} {:>10}",
+            lambda,
+            out.nops,
+            out.stats.omega_calls,
+            if out.optimal { "optimal" } else { "truncated" }
+        );
+    }
+
+    let ctx = SchedContext::new(&block, &dag, &machine);
+    let smart = search(&ctx, &SearchConfig::default());
+    println!(
+        "\nwith the default critical-path bound: {} NOPs in {} Ω calls ({})",
+        smart.nops,
+        smart.stats.omega_calls,
+        if smart.optimal { "optimal" } else { "truncated" }
+    );
+}

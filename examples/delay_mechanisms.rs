@@ -1,0 +1,88 @@
+//! The three §2.2 architectural delay mechanisms — and what the practical
+//! encodings cost. One optimally scheduled block is executed under:
+//! implicit interlock hardware, compiler NOP padding, exact wait tags,
+//! Tera-style lookahead fields of several widths, and CARP-style pipeline
+//! masks.
+//!
+//! ```sh
+//! cargo run --example delay_mechanisms
+//! ```
+
+use pipesched::core::Scheduler;
+use pipesched::frontend::compile;
+use pipesched::ir::DepDag;
+use pipesched::machine::presets;
+use pipesched::sim::{
+    pad_schedule, simulate_interlock, tag_carp, tag_lookahead, tag_schedule, TimingModel,
+};
+
+const SOURCE: &str = "\
+p = a * b;
+q = c * d;
+s = p + q;
+t = p - q;
+r1 = s * t;
+r2 = s + t;
+";
+
+fn main() {
+    let machine = presets::deep_pipeline();
+    let block = compile("kernel", SOURCE).expect("compiles");
+    let scheduled = Scheduler::new(machine.clone()).schedule(&block);
+    println!(
+        "block of {} instructions on `{}`: optimal schedule needs {} NOPs\n",
+        block.len(),
+        machine.name,
+        scheduled.nops
+    );
+
+    let dag = DepDag::build(&block);
+    let tm = TimingModel::new(&block, &dag, &machine);
+    let order = &scheduled.order;
+
+    println!("{:<38} {:>8} {:>8}", "mechanism", "cycles", "stalls");
+    let interlock = simulate_interlock(&tm, order);
+    println!(
+        "{:<38} {:>8} {:>8}",
+        "implicit interlock (hardware)", interlock.total_cycles, interlock.total_stalls
+    );
+
+    let padded = pad_schedule(order, &scheduled.etas);
+    println!(
+        "{:<38} {:>8} {:>8}",
+        "NOP insertion (MIPS-style)",
+        padded.execute(&tm).expect("hazard-free"),
+        padded.nop_count()
+    );
+
+    let explicit = tag_schedule(&tm, order);
+    println!(
+        "{:<38} {:>8} {:>8}",
+        "exact wait counts",
+        explicit.execute(&tm).expect("hazard-free"),
+        explicit.total_waits()
+    );
+
+    for bits in [3u32, 2, 1] {
+        let max = (1u32 << bits) - 1;
+        let tera = tag_lookahead(&tm, order, max).execute(&tm);
+        println!(
+            "{:<38} {:>8} {:>8}",
+            format!("Tera lookahead ({bits}-bit field)"),
+            tera.total_cycles,
+            tera.total_stalls
+        );
+    }
+
+    let carp = tag_carp(&tm, order).execute(&tm);
+    println!(
+        "{:<38} {:>8} {:>8}",
+        "CARP pipeline masks", carp.total_cycles, carp.total_stalls
+    );
+
+    println!(
+        "\nThe first three always agree (the paper's §2.2 orthogonality\n\
+         claim); clamped lookahead fields and coarse masks pay for their\n\
+         simpler hardware with extra stall cycles."
+    );
+}

@@ -1,0 +1,251 @@
+//! `pipesched` — optimal pipeline scheduling from the command line.
+//!
+//! ```text
+//! pipesched <input> [--machine NAME|FILE.json] [--emit WHAT] [--lambda N]
+//!                   [--window N] [--parallel] [--no-optimize] [--regs N]
+//!
+//! <input>      a source file of assignment statements, a tuple file
+//!              (first line `;; tuples`), or `-` for stdin
+//! --machine    preset name (paper-simulation, paper-table2, deep-pipeline,
+//!              functional-units, section2-example, unpipelined) or a JSON
+//!              machine description; default paper-simulation
+//! --emit       asm | padded | trace | gantt | tuples | dot | stats  (default asm)
+//! --lambda     curtail point (default 50000)
+//! --window     windowed scheduling with the given window length
+//! --parallel   use the parallel branch-and-bound
+//! --no-optimize  skip the front-end optimizer
+//! --regs       registers available for allocation (default: exactly the
+//!              schedule's pressure)
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use pipesched::core::{search, windowed_schedule, SchedContext, Scheduler, SearchConfig};
+use pipesched::frontend::{compile, compile_unoptimized};
+use pipesched::ir::{dot, parse::parse_block, BasicBlock, DepDag};
+use pipesched::machine::{config as machine_config, presets, Machine};
+use pipesched::regalloc::{allocate, emit, max_pressure};
+use pipesched::sim::{pad_schedule, TimingModel, Trace};
+
+struct Options {
+    input: String,
+    machine: String,
+    emit: String,
+    lambda: u64,
+    window: Option<usize>,
+    parallel: bool,
+    optimize: bool,
+    regs: Option<usize>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pipesched <input> [--machine NAME|FILE.json] [--emit asm|padded|trace|gantt|tuples|dot|stats]\n\
+         \x20                [--lambda N] [--window N] [--parallel] [--no-optimize] [--regs N]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut input = None;
+    let mut opts = Options {
+        input: String::new(),
+        machine: "paper-simulation".into(),
+        emit: "asm".into(),
+        lambda: 50_000,
+        window: None,
+        parallel: false,
+        optimize: true,
+        regs: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut value = || args.next().ok_or_else(|| format!("{a} requires a value"));
+        match a.as_str() {
+            "--machine" => opts.machine = value()?,
+            "--emit" => opts.emit = value()?,
+            "--lambda" => opts.lambda = value()?.parse().map_err(|e| format!("--lambda: {e}"))?,
+            "--window" => {
+                opts.window = Some(value()?.parse().map_err(|e| format!("--window: {e}"))?)
+            }
+            "--regs" => opts.regs = Some(value()?.parse().map_err(|e| format!("--regs: {e}"))?),
+            "--parallel" => opts.parallel = true,
+            "--no-optimize" => opts.optimize = false,
+            "--help" | "-h" => usage(),
+            other if input.is_none() && !other.starts_with('-') => {
+                input = Some(other.to_string())
+            }
+            "-" if input.is_none() => input = Some("-".into()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    opts.input = input.ok_or("missing input file")?;
+    Ok(opts)
+}
+
+fn load_machine(spec: &str) -> Result<Machine, String> {
+    match spec {
+        "paper-simulation" => Ok(presets::paper_simulation()),
+        "paper-table2" => Ok(presets::table2_example()),
+        "deep-pipeline" => Ok(presets::deep_pipeline()),
+        "functional-units" => Ok(presets::functional_units()),
+        "section2-example" => Ok(presets::section2_example()),
+        "unpipelined" => Ok(presets::unpipelined()),
+        path if path.ends_with(".json") => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            machine_config::from_json(&text).map_err(|e| e.to_string())
+        }
+        path if path.ends_with(".mach") => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            pipesched::machine::textfmt::parse(&text).map_err(|e| e.to_string())
+        }
+        other => Err(format!(
+            "unknown machine `{other}` (preset name, .json or .mach file expected)"
+        )),
+    }
+}
+
+fn load_block(opts: &Options) -> Result<BasicBlock, String> {
+    let text = if opts.input == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(&opts.input).map_err(|e| format!("read {}: {e}", opts.input))?
+    };
+    // Tuple files start with a `;; tuples` marker; everything else is
+    // source text.
+    if text.trim_start().starts_with(";; tuples") {
+        parse_block("input", &text).map_err(|e| e.to_string())
+    } else if opts.optimize {
+        compile("input", &text).map_err(|e| e.to_string())
+    } else {
+        compile_unoptimized("input", &text).map_err(|e| e.to_string())
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pipesched: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let opts = match parse_options() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("pipesched: {e}");
+            usage();
+        }
+    };
+    let machine = load_machine(&opts.machine)?;
+    let block = load_block(&opts)?;
+    let dag = DepDag::build(&block);
+
+    // Schedule.
+    let (order, etas, nops, initial_nops, optimal, omega) = if let Some(window) = opts.window {
+        let ctx = SchedContext::new(&block, &dag, &machine);
+        let w = windowed_schedule(&ctx, window, opts.lambda);
+        let truncated = w.stats.truncated;
+        (
+            w.order,
+            w.etas,
+            w.nops,
+            w.initial_nops,
+            !truncated,
+            w.stats.omega_calls,
+        )
+    } else if opts.parallel {
+        let ctx = SchedContext::new(&block, &dag, &machine);
+        let out = pipesched::core::parallel::parallel_search(&ctx, opts.lambda, 0);
+        (
+            out.order,
+            out.etas,
+            out.nops,
+            out.initial_nops,
+            out.optimal,
+            out.stats.omega_calls,
+        )
+    } else {
+        let scheduler = Scheduler::new(machine.clone()).with_lambda(opts.lambda);
+        let out = scheduler.schedule(&block);
+        (
+            out.order,
+            out.etas,
+            out.nops,
+            out.initial_nops,
+            out.optimal,
+            out.stats.omega_calls,
+        )
+    };
+
+    match opts.emit.as_str() {
+        "tuples" => {
+            println!(";; tuples");
+            print!("{block}");
+        }
+        "dot" => {
+            print!("{}", dot::to_dot(&block, &dag));
+        }
+        "padded" => {
+            let padded = pad_schedule(&order, &etas);
+            print!("{}", padded.listing(&block));
+        }
+        "trace" => {
+            let tm = TimingModel::new(&block, &dag, &machine);
+            let trace = Trace::capture(&tm, &order);
+            print!("{}", trace.render(&block));
+        }
+        "gantt" => {
+            let tm = TimingModel::new(&block, &dag, &machine);
+            let labels: Vec<String> = machine
+                .pipelines()
+                .iter()
+                .map(|p| p.function.clone())
+                .collect();
+            let gantt = pipesched::sim::chart(&tm, &order, &labels);
+            print!("{}", gantt.render());
+        }
+        "asm" => {
+            let pressure = max_pressure(&block, &order);
+            let regs = opts.regs.unwrap_or(pressure);
+            let assignment = allocate(&block, &order, regs).map_err(|e| e.to_string())?;
+            let program = emit(&block, &order, &etas, &assignment).map_err(|e| e.to_string())?;
+            print!("{program}");
+        }
+        "stats" => {
+            // Run the plain search too so stats reflect the standard path.
+            let ctx = SchedContext::new(&block, &dag, &machine);
+            let out = search(&ctx, &SearchConfig::with_lambda(opts.lambda));
+            let structure = pipesched::ir::BlockStats::collect(&block, &dag);
+            println!("machine:            {}", machine.name);
+            print!("{structure}");
+            println!("initial (list) NOPs:{:>6}", out.initial_nops);
+            println!("final NOPs:         {:>6}", out.nops);
+            println!("total cycles:       {:>6}", block.len() as u64 + u64::from(out.nops));
+            println!("omega calls:        {:>6}", out.stats.omega_calls);
+            println!("provably optimal:   {}", out.optimal);
+            return Ok(());
+        }
+        other => return Err(format!("unknown --emit `{other}`")),
+    }
+
+    eprintln!(
+        "; {} instructions, {} -> {} NOPs, {} Ω calls, {}",
+        block.len(),
+        initial_nops,
+        nops,
+        omega,
+        if optimal { "optimal" } else { "truncated" }
+    );
+    Ok(())
+}

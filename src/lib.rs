@@ -1,0 +1,10 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate re-exporting the `pipesched` workspace public API.
+pub use pipesched_core as core;
+pub use pipesched_frontend as frontend;
+pub use pipesched_ir as ir;
+pub use pipesched_machine as machine;
+pub use pipesched_regalloc as regalloc;
+pub use pipesched_sim as sim;
+pub use pipesched_synth as synth;

@@ -1,0 +1,159 @@
+//! Integration tests for the `pipesched` command-line tool.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pipesched"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("pipesched-cli-{name}-{}", std::process::id()));
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+const SOURCE: &str = "p = a * b;\nq = c * d;\nr = p + q;\n";
+
+#[test]
+fn emits_asm_with_registers() {
+    let src = write_temp("asm.src", SOURCE);
+    let out = bin().arg(&src).args(["--emit", "asm"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("Load  R0,a"), "{text}");
+    assert!(text.contains("Nop"), "{text}");
+    assert!(text.contains("Store r,"), "{text}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("optimal"), "{stderr}");
+}
+
+#[test]
+fn stats_report_optimality() {
+    let src = write_temp("stats.src", SOURCE);
+    let out = bin().arg(&src).args(["--emit", "stats"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("provably optimal:   true"), "{text}");
+    assert!(text.contains("final NOPs"), "{text}");
+}
+
+#[test]
+fn tuple_round_trip_through_stdin() {
+    let src = write_temp("rt.src", SOURCE);
+    let tuples = bin().arg(&src).args(["--emit", "tuples"]).output().unwrap();
+    assert!(tuples.status.success());
+    let tuple_text = String::from_utf8(tuples.stdout).unwrap();
+    assert!(tuple_text.starts_with(";; tuples"));
+
+    let mut child = bin()
+        .args(["-", "--emit", "padded", "--machine", "deep-pipeline"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(tuple_text.as_bytes())
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("Load #a"), "{text}");
+}
+
+#[test]
+fn dot_output_is_a_digraph() {
+    let src = write_temp("dot.src", SOURCE);
+    let out = bin().arg(&src).args(["--emit", "dot"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.starts_with("digraph"), "{text}");
+    assert!(text.contains("->"), "{text}");
+}
+
+#[test]
+fn windowed_and_parallel_modes_run() {
+    let src = write_temp("wp.src", SOURCE);
+    for extra in [vec!["--window", "4"], vec!["--parallel"]] {
+        let out = bin()
+            .arg(&src)
+            .args(["--emit", "padded"])
+            .args(&extra)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{extra:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn machine_json_file_is_accepted() {
+    let machine = pipesched::machine::presets::deep_pipeline();
+    let json = pipesched::machine::config::to_json(&machine).unwrap();
+    let path = std::env::temp_dir().join(format!("pipesched-cli-machine-{}.json", std::process::id()));
+    std::fs::write(&path, json).unwrap();
+    let src = write_temp("mj.src", SOURCE);
+    let out = bin()
+        .arg(&src)
+        .args(["--emit", "stats", "--machine"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("deep-pipeline"), "{text}");
+}
+
+#[test]
+fn bad_inputs_fail_cleanly() {
+    let src = write_temp("bad.src", "x = ;\n");
+    let out = bin().arg(&src).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("expected"), "{err}");
+
+    let src2 = write_temp("ok.src", SOURCE);
+    let out = bin().arg(&src2).args(["--machine", "nonexistent"]).output().unwrap();
+    assert!(!out.status.success());
+    let out = bin().arg(&src2).args(["--emit", "nonsense"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn mach_text_machine_file_is_accepted() {
+    let mach = "\
+machine tiny
+pipeline loader latency=3 enqueue=1
+map Load -> loader
+";
+    let path = std::env::temp_dir().join(format!("pipesched-cli-{}.mach", std::process::id()));
+    std::fs::write(&path, mach).unwrap();
+    let src = write_temp("mach.src", SOURCE);
+    let out = bin()
+        .arg(&src)
+        .args(["--emit", "stats", "--machine"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("tiny"), "{text}");
+}
+
+#[test]
+fn gantt_emitter_renders_lanes() {
+    let src = write_temp("gantt.src", SOURCE);
+    let out = bin().arg(&src).args(["--emit", "gantt"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("loader"), "{text}");
+    assert!(text.contains("multiplier"), "{text}");
+    assert!(text.starts_with("cycle"), "{text}");
+}

@@ -1,0 +1,108 @@
+//! End-to-end integration: source text → optimizer → optimal schedule →
+//! register allocation → target code, with semantics and timing validated
+//! at every boundary.
+
+use std::collections::HashMap;
+
+use pipesched::core::Scheduler;
+use pipesched::frontend::{compile, compile_unoptimized, interpret};
+use pipesched::ir::DepDag;
+use pipesched::machine::presets;
+use pipesched::regalloc::{allocate, emit, max_pressure};
+use pipesched::sim::{pad_schedule, validate_schedule, TimingModel};
+
+const PROGRAMS: [&str; 4] = [
+    "b = 15;\na = b * a;\n",
+    "t = a * x + b * y;\nu = a * x - b * y;\nr = (t + u) * 3;\n",
+    "s = 0;\ns = s + a;\ns = s + b;\ns = s + c;\ns = s + d;\navg = s / 4;\n",
+    "x = -a;\ny = x * x;\nz = y - -a * a;\nout = z + 1;\n",
+];
+
+fn inputs() -> HashMap<String, i64> {
+    [
+        ("a".to_string(), 3),
+        ("b".to_string(), -4),
+        ("c".to_string(), 11),
+        ("d".to_string(), 2),
+        ("x".to_string(), 5),
+        ("y".to_string(), 6),
+    ]
+    .into()
+}
+
+#[test]
+fn full_pipeline_preserves_semantics_and_timing() {
+    let machine = presets::paper_simulation();
+    for (i, source) in PROGRAMS.iter().enumerate() {
+        let block = compile(&format!("p{i}"), source).expect("compiles");
+        let dag = DepDag::build(&block);
+
+        // Schedule optimally.
+        let scheduled = Scheduler::new(machine.clone()).schedule(&block);
+        assert!(scheduled.optimal, "program {i} truncated");
+        assert!(scheduled.nops <= scheduled.initial_nops);
+
+        // The simulator agrees with the scheduler's η arithmetic.
+        validate_schedule(&block, &dag, &machine, &scheduled.order, &scheduled.etas)
+            .unwrap_or_else(|e| panic!("program {i}: {e}"));
+
+        // NOP padding is minimal.
+        let tm = TimingModel::new(&block, &dag, &machine);
+        let padded = pad_schedule(&scheduled.order, &scheduled.etas);
+        padded.execute(&tm).expect("hazard-free");
+        assert!(padded.is_minimally_padded(&tm), "program {i} overpadded");
+
+        // Register allocation and code generation preserve semantics.
+        let pressure = max_pressure(&block, &scheduled.order);
+        let regs = allocate(&block, &scheduled.order, pressure).expect("enough registers");
+        let program = emit(&block, &scheduled.order, &scheduled.etas, &regs).expect("codegen");
+        let reference = interpret(&block, &inputs());
+        let executed = program.execute(&inputs());
+        for (var, &v) in &reference.memory {
+            assert_eq!(
+                executed.get(var).copied().unwrap_or(0),
+                v,
+                "program {i}, variable {var}"
+            );
+        }
+    }
+}
+
+#[test]
+fn optimization_reduces_or_preserves_schedule_quality() {
+    // §3.1: optimized code is smaller but *harder* to schedule well —
+    // after optimization the total padded cycle count must still not
+    // exceed the unoptimized one (fewer instructions, same semantics).
+    let machine = presets::paper_simulation();
+    for (i, source) in PROGRAMS.iter().enumerate() {
+        let unopt = compile_unoptimized(&format!("u{i}"), source).unwrap();
+        let opt = compile(&format!("o{i}"), source).unwrap();
+        let su = Scheduler::new(machine.clone()).schedule(&unopt);
+        let so = Scheduler::new(machine.clone()).schedule(&opt);
+        assert!(
+            so.total_cycles() <= su.total_cycles(),
+            "program {i}: optimized code runs longer ({} vs {})",
+            so.total_cycles(),
+            su.total_cycles()
+        );
+    }
+}
+
+#[test]
+fn scheduling_beats_source_order_on_naive_code() {
+    // The motivating claim: naive code generation leaves pipeline bubbles
+    // that scheduling removes.
+    let machine = presets::deep_pipeline();
+    let source = "p = a * b;\nq = c * d;\nr = e * f;\ns = p + q;\nt = s + r;\n";
+    let block = compile_unoptimized("naive", source).unwrap();
+    let dag = DepDag::build(&block);
+    let tm = TimingModel::new(&block, &dag, &machine);
+
+    // Source order cost.
+    let source_order: Vec<_> = block.ids().collect();
+    let source_times = pipesched::sim::issue_times(&tm, &source_order);
+    let source_nops = pipesched::sim::issue::total_nops(&source_times);
+
+    let scheduled = Scheduler::new(machine).schedule(&block);
+    assert!(u64::from(scheduled.nops) < source_nops);
+}
