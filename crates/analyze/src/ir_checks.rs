@@ -1,0 +1,394 @@
+//! IR well-formedness and code-quality checks (codes `A01xx`).
+//!
+//! [`check_block`] runs every pass. Structural checks (`A0101`/`A0102`/
+//! `A0103`/`A0108`) mirror [`BasicBlock::verify`] but report *all* problems
+//! instead of stopping at the first, and anchor each one to its tuple. When
+//! the block is structurally sound the pass additionally builds the
+//! dependence DAG and slack analysis and cross-checks their internal
+//! invariants (`A0106`/`A0107`) — defense in depth against regressions in
+//! `pipesched-ir` itself — plus the code-quality lints `A0104`/`A0105`/
+//! `A0109`.
+
+use std::collections::HashMap;
+
+use pipesched_ir::{BasicBlock, BlockAnalysis, DepDag, Op, Operand, TupleId, VarId};
+
+use crate::diag::{DiagCode, Diagnostic, Report};
+
+/// Run every IR check over `block`.
+pub fn check_block(block: &BasicBlock) -> Report {
+    let mut report = Report::new(if block.name.is_empty() {
+        "block".to_string()
+    } else {
+        format!("block `{}`", block.name)
+    });
+    check_structure(block, &mut report);
+    if report.has_errors() {
+        // The DAG and analysis are only defined for structurally sound
+        // blocks; stop before constructing them over garbage.
+        return report;
+    }
+    let dag = DepDag::build(block);
+    let analysis = BlockAnalysis::compute(&dag);
+    check_consistency(block, &dag, &analysis, &mut report);
+    check_duplicates(block, &mut report);
+    check_liveness(block, &mut report);
+    report
+}
+
+/// Structural soundness: ids, arity, operand kinds, reference direction.
+fn check_structure(block: &BasicBlock, report: &mut Report) {
+    for (i, t) in block.tuples().iter().enumerate() {
+        if t.id.index() != i {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::BadOperands,
+                    format!("tuple id {} does not match its position {}", t.id, i + 1),
+                )
+                .at(TupleId(i as u32)),
+            );
+        }
+        if t.op == Op::Nop {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::NopInBlock,
+                    "Nop inside a schedulable block".to_string(),
+                )
+                .at(t.id)
+                .with_hint("NOPs are inserted by the scheduler, never written in the input"),
+            );
+            continue;
+        }
+        let present = [t.a, t.b].iter().filter(|o| !o.is_none()).count();
+        if present != t.op.arity() {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::BadOperands,
+                    format!(
+                        "{} takes {} operand(s), found {present}",
+                        t.op,
+                        t.op.arity()
+                    ),
+                )
+                .at(t.id),
+            );
+        }
+        match t.op {
+            Op::Const if t.a.as_imm().is_none() => report.push(
+                Diagnostic::new(DiagCode::BadOperands, "Const requires an immediate operand")
+                    .at(t.id),
+            ),
+            Op::Load if t.a.as_var().is_none() => report.push(
+                Diagnostic::new(DiagCode::BadOperands, "Load requires a variable operand").at(t.id),
+            ),
+            Op::Store if t.a.as_var().is_none() => report.push(
+                Diagnostic::new(
+                    DiagCode::BadOperands,
+                    "Store requires a variable first operand",
+                )
+                .at(t.id),
+            ),
+            _ => {}
+        }
+        for target in t.tuple_refs() {
+            if target.index() >= i {
+                report.push(
+                    Diagnostic::new(
+                        DiagCode::ForwardReference,
+                        format!(
+                            "operand @{target} references tuple {target} at or after {}",
+                            t.id
+                        ),
+                    )
+                    .at(t.id)
+                    .with_hint("tuple references must point strictly backwards"),
+                );
+            } else if !block.tuple(target).op.produces_value() {
+                report.push(
+                    Diagnostic::new(
+                        DiagCode::ValuelessReference,
+                        format!(
+                            "operand @{target} references {} tuple {target}, which produces no value",
+                            block.tuple(target).op
+                        ),
+                    )
+                    .at(t.id),
+                );
+            }
+        }
+    }
+}
+
+/// DAG/analysis internal invariants: forward edges, consistent slack bounds.
+fn check_consistency(
+    block: &BasicBlock,
+    dag: &DepDag,
+    analysis: &BlockAnalysis,
+    report: &mut Report,
+) {
+    for e in dag.edges() {
+        if e.from >= e.to {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::NonForwardEdge,
+                    format!(
+                        "{:?} edge {} → {} does not point forward",
+                        e.kind, e.from, e.to
+                    ),
+                )
+                .at(e.to),
+            );
+        }
+    }
+    let n = block.len() as u32;
+    for t in block.ids() {
+        let (e, l) = (analysis.earliest(t), analysis.latest(t));
+        if e > l {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::InconsistentBounds,
+                    format!("tuple {t}: earliest {e} exceeds latest {l}"),
+                )
+                .at(t),
+            );
+        }
+        if e > t.0 || l < t.0 || l >= n {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::InconsistentBounds,
+                    format!("tuple {t}: bounds [{e}, {l}] do not admit its program-order position"),
+                )
+                .at(t),
+            );
+        }
+    }
+    // Every dependence strictly orders the slack windows of its endpoints.
+    for e in dag.edges() {
+        if e.from < e.to
+            && (analysis.earliest(e.from) >= analysis.earliest(e.to)
+                || analysis.latest(e.from) >= analysis.latest(e.to))
+        {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::InconsistentBounds,
+                    format!(
+                        "edge {} → {} is not reflected in the earliest/latest bounds",
+                        e.from, e.to
+                    ),
+                )
+                .at(e.to),
+            );
+        }
+    }
+}
+
+/// `A0104`: pure tuples that recompute an earlier tuple's value.
+fn check_duplicates(block: &BasicBlock, report: &mut Report) {
+    // Loads are excluded: two loads of the same variable differ when a
+    // store intervenes, and the value-numbering pass in the front end is
+    // the place that reasons about that.
+    let mut seen: HashMap<(Op, Operand, Operand), TupleId> = HashMap::new();
+    for t in block.tuples() {
+        let pure = matches!(
+            t.op,
+            Op::Const | Op::Add | Op::Sub | Op::Mul | Op::Div | Op::Neg | Op::Mov
+        );
+        if !pure {
+            continue;
+        }
+        let (a, b) = t.canonical_operands();
+        match seen.entry((t.op, a, b)) {
+            std::collections::hash_map::Entry::Occupied(prev) => {
+                report.push(
+                    Diagnostic::new(
+                        DiagCode::DuplicateTuple,
+                        format!(
+                            "tuple {} recomputes the value of tuple {}",
+                            t.id,
+                            prev.get()
+                        ),
+                    )
+                    .at(t.id)
+                    .with_hint("run the front-end optimizer to merge common subexpressions"),
+                );
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(t.id);
+            }
+        }
+    }
+}
+
+/// `A0105` unused values and `A0109` dead stores.
+fn check_liveness(block: &BasicBlock, report: &mut Report) {
+    let mut used = vec![false; block.len()];
+    for t in block.tuples() {
+        for r in t.tuple_refs() {
+            used[r.index()] = true;
+        }
+    }
+    for t in block.tuples() {
+        if t.op.produces_value() && !used[t.id.index()] {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::UnusedValue,
+                    format!("the value of tuple {} ({}) is never used", t.id, t.op),
+                )
+                .at(t.id)
+                .with_hint("dead code: no later tuple references this result"),
+            );
+        }
+    }
+    // A store is dead when a later store to the same variable happens with
+    // no intervening load of it. The *last* store to each variable is live
+    // out of the block by definition.
+    let mut last_store: HashMap<VarId, TupleId> = HashMap::new();
+    for t in block.tuples() {
+        match t.op {
+            Op::Load => {
+                if let Some(v) = t.a.as_var() {
+                    last_store.remove(&v);
+                }
+            }
+            Op::Store => {
+                if let Some(v) = t.a.as_var() {
+                    if let Some(prev) = last_store.insert(v, t.id) {
+                        let name = block
+                            .symbols()
+                            .name(v)
+                            .map_or_else(|| format!("#v{}", v.0), str::to_string);
+                        report.push(
+                            Diagnostic::new(
+                                DiagCode::DeadStore,
+                                format!(
+                                    "store {prev} to `{name}` is overwritten by store {} before any load",
+                                    t.id
+                                ),
+                            )
+                            .at(prev),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipesched_ir::{BlockBuilder, Tuple};
+
+    fn raw_block(tuples: Vec<Tuple>) -> BasicBlock {
+        let mut b = BasicBlock::new("raw");
+        b.intern("x");
+        b.replace_tuples(tuples);
+        b
+    }
+
+    #[test]
+    fn clean_block_is_clean() {
+        let mut b = BlockBuilder::new("clean");
+        let x = b.load("x");
+        let y = b.load("y");
+        let s = b.add(x, y);
+        b.store("r", s);
+        let report = check_block(&b.finish().unwrap());
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn forward_and_valueless_references() {
+        let b = raw_block(vec![
+            Tuple::new(
+                TupleId(0),
+                Op::Store,
+                Operand::Var(VarId(0)),
+                Operand::Imm(1),
+            ),
+            Tuple {
+                id: TupleId(1),
+                op: Op::Neg,
+                a: Operand::Tuple(TupleId(1)),
+                b: Operand::None,
+            },
+            Tuple {
+                id: TupleId(2),
+                op: Op::Neg,
+                a: Operand::Tuple(TupleId(0)),
+                b: Operand::None,
+            },
+        ]);
+        let report = check_block(&b);
+        assert!(report.has_code(DiagCode::ForwardReference));
+        assert!(report.has_code(DiagCode::ValuelessReference));
+    }
+
+    #[test]
+    fn nop_and_bad_operands() {
+        let b = raw_block(vec![
+            Tuple {
+                id: TupleId(0),
+                op: Op::Nop,
+                a: Operand::None,
+                b: Operand::None,
+            },
+            Tuple {
+                id: TupleId(1),
+                op: Op::Load,
+                a: Operand::Imm(3),
+                b: Operand::None,
+            },
+            Tuple {
+                id: TupleId(2),
+                op: Op::Const,
+                a: Operand::Var(VarId(0)),
+                b: Operand::None,
+            },
+        ]);
+        let report = check_block(&b);
+        assert!(report.has_code(DiagCode::NopInBlock));
+        assert!(report.has_code(DiagCode::BadOperands));
+        assert_eq!(report.count(crate::Severity::Error), 3);
+    }
+
+    #[test]
+    fn duplicate_tuple_flagged() {
+        let mut b = BlockBuilder::new("dup");
+        let x = b.load("x");
+        let y = b.load("y");
+        let s1 = b.add(x, y);
+        let s2 = b.add(y, x); // same value: Add is commutative
+        let m = b.mul(s1, s2);
+        b.store("r", m);
+        let report = check_block(&b.finish().unwrap());
+        assert!(report.has_code(DiagCode::DuplicateTuple), "{report}");
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn unused_value_and_dead_store() {
+        let mut b = BlockBuilder::new("dead");
+        let x = b.load("x");
+        let y = b.load("y"); // never used
+        b.store("r", x);
+        b.store("r", x); // first store is dead
+        let _ = y;
+        let report = check_block(&b.finish().unwrap());
+        assert!(report.has_code(DiagCode::UnusedValue), "{report}");
+        assert!(report.has_code(DiagCode::DeadStore), "{report}");
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn intervening_load_keeps_store_alive() {
+        let mut b = BlockBuilder::new("alive");
+        let x = b.load("x");
+        b.store("r", x);
+        let r = b.load("r");
+        b.store("r", r);
+        let report = check_block(&b.finish().unwrap());
+        assert!(!report.has_code(DiagCode::DeadStore), "{report}");
+    }
+}

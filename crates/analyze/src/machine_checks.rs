@@ -1,0 +1,187 @@
+//! Machine-description lints (codes `A02xx`).
+//!
+//! [`Machine::validate`] enforces the hard rules at construction time;
+//! these lints re-check them (`A0201`/`A0202`/`A0207`/`A0208` — defense in
+//! depth, and they report *every* violation rather than the first) and add
+//! the soft ones a valid machine can still trip: unreachable pipelines,
+//! value ops with `σ = ∅`, enqueue times exceeding latency, and
+//! descriptions so degenerate that scheduling cannot matter.
+
+use pipesched_ir::Op;
+use pipesched_machine::{Machine, PipelineId};
+
+use crate::diag::{DiagCode, Diagnostic, Report};
+
+/// Latency above which `A0203` fires. The paper's deepest unit is 8 ticks;
+/// real-world long-latency units (dividers, sqrt) stay well under this.
+pub const ABSURD_LATENCY: u32 = 64;
+
+/// Operations whose unmapped state is worth flagging (`A0206`). `Const` and
+/// `Store` are deliberately left unmapped by the paper's presets (§3.1),
+/// and `Neg`/`Mov` are front-end conveniences, so none of those qualify.
+const EXPECTED_MAPPED: [Op; 5] = [Op::Load, Op::Add, Op::Sub, Op::Mul, Op::Div];
+
+/// Run every machine lint over `machine`.
+pub fn check_machine(machine: &Machine) -> Report {
+    let mut report = Report::new(format!("machine `{}`", machine.name));
+    check_pipelines(machine, &mut report);
+    check_mapping(machine, &mut report);
+    report
+}
+
+fn check_pipelines(machine: &Machine, report: &mut Report) {
+    for (i, p) in machine.pipelines().iter().enumerate() {
+        let id = PipelineId(i as u32);
+        if p.latency == 0 {
+            report.push(Diagnostic::new(
+                DiagCode::ZeroLatency,
+                format!("pipeline {id} ({}) has latency 0", p.function),
+            ));
+        }
+        if p.enqueue == 0 {
+            report.push(Diagnostic::new(
+                DiagCode::ZeroEnqueue,
+                format!("pipeline {id} ({}) has enqueue time 0", p.function),
+            ));
+        }
+        if p.latency > ABSURD_LATENCY {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::AbsurdLatency,
+                    format!(
+                        "pipeline {id} ({}) has latency {} (> {ABSURD_LATENCY})",
+                        p.function, p.latency
+                    ),
+                )
+                .with_hint("schedules will be dominated by NOP padding for this unit"),
+            );
+        }
+        if p.enqueue > p.latency && p.latency > 0 {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::EnqueueExceedsLatency,
+                    format!(
+                        "pipeline {id} ({}) is busy for {} ticks but delivers results after {}",
+                        p.function, p.enqueue, p.latency
+                    ),
+                )
+                .with_hint("an unpipelined unit is modeled with enqueue == latency (§2.1)"),
+            );
+        }
+        if !machine.mapping().values().any(|ids| ids.contains(&id)) {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::UnreachablePipeline,
+                    format!("no operation maps to pipeline {id} ({})", p.function),
+                )
+                .with_hint("dead hardware: remove the pipeline or map an operation to it"),
+            );
+        }
+    }
+}
+
+fn check_mapping(machine: &Machine, report: &mut Report) {
+    for (&op, ids) in machine.mapping() {
+        if op == Op::Nop {
+            report.push(Diagnostic::new(
+                DiagCode::NopMapped,
+                "Nop is mapped to a pipeline; NOPs never occupy a unit",
+            ));
+        }
+        for &id in ids {
+            if id.index() >= machine.pipeline_count() {
+                report.push(Diagnostic::new(
+                    DiagCode::UnknownPipeline,
+                    format!("{op} is mapped to pipeline {id}, which does not exist"),
+                ));
+            }
+        }
+        let mut sorted: Vec<PipelineId> = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != ids.len() {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::DuplicateMapping,
+                    format!("the mapping entry for {op} lists the same pipeline twice"),
+                )
+                .with_hint("duplicate units inflate the pipeline-selection search for nothing"),
+            );
+        }
+    }
+    for op in EXPECTED_MAPPED {
+        if machine.pipelines_for(op).is_empty() {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::UnmappedOp,
+                    format!(
+                        "{op} uses no pipeline (σ = ∅): it issues in one cycle, never conflicts"
+                    ),
+                )
+                .with_hint("intentional for free ops; a typo here silently removes all hazards"),
+            );
+        }
+    }
+    if machine.mapping().values().all(Vec::is_empty) {
+        report.push(
+            Diagnostic::new(
+                DiagCode::DegenerateMachine,
+                "no operation is mapped to any pipeline; every order needs zero NOPs",
+            )
+            .with_hint("scheduling is a no-op on this machine"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipesched_machine::presets;
+
+    #[test]
+    fn presets_have_no_machine_errors() {
+        for m in presets::all_presets() {
+            let report = check_machine(&m);
+            assert!(!report.has_errors(), "{}:\n{report}", m.name);
+        }
+    }
+
+    #[test]
+    fn unreachable_pipeline_flagged() {
+        let mut b = Machine::builder("extra-unit");
+        let l = b.pipeline("loader", 2, 1);
+        b.pipeline("idle", 3, 1);
+        b.map(Op::Load, &[l]);
+        let report = check_machine(&b.build().unwrap());
+        assert!(report.has_code(DiagCode::UnreachablePipeline), "{report}");
+        assert!(report.has_code(DiagCode::UnmappedOp));
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn degenerate_and_duplicate_mapping() {
+        let mut b = Machine::builder("degenerate");
+        b.map(Op::Load, &[]);
+        let report = check_machine(&b.build().unwrap());
+        assert!(report.has_code(DiagCode::DegenerateMachine), "{report}");
+
+        let mut b = Machine::builder("dup");
+        let l = b.pipeline("loader", 2, 1);
+        b.map(Op::Load, &[l, l]);
+        let report = check_machine(&b.build().unwrap());
+        assert!(report.has_code(DiagCode::DuplicateMapping), "{report}");
+    }
+
+    #[test]
+    fn timing_oddities_are_warnings() {
+        let mut b = Machine::builder("odd");
+        let d = b.pipeline("divider", 8, 12);
+        let s = b.pipeline("slow", 100, 1);
+        b.map(Op::Div, &[d]);
+        b.map(Op::Mul, &[s]);
+        let report = check_machine(&b.build().unwrap());
+        assert!(report.has_code(DiagCode::EnqueueExceedsLatency), "{report}");
+        assert!(report.has_code(DiagCode::AbsurdLatency));
+        assert!(!report.has_errors());
+    }
+}

@@ -50,9 +50,7 @@ fn parse_args() -> Result<Args, String> {
         };
         match flag.as_str() {
             "--runs" => parsed.runs = value()?.parse().map_err(|e| format!("--runs: {e}"))?,
-            "--lambda" => {
-                parsed.lambda = value()?.parse().map_err(|e| format!("--lambda: {e}"))?
-            }
+            "--lambda" => parsed.lambda = value()?.parse().map_err(|e| format!("--lambda: {e}"))?,
             "--threads" => {
                 parsed.threads = value()?.parse().map_err(|e| format!("--threads: {e}"))?
             }
@@ -167,7 +165,12 @@ fn run_table1(args: &Args) {
     eprintln!("table1: three search regimes on representative blocks...");
     let rows = table1::run();
     let table = table1::render(&rows);
-    save(args, "table1_search_space", &table, "Table 1: Search Space for Representative Examples");
+    save(
+        args,
+        "table1_search_space",
+        &table,
+        "Table 1: Search Space for Representative Examples",
+    );
 }
 
 fn run_table7(args: &Args, result: &SweepResult) {
@@ -249,7 +252,9 @@ fn run_fig1(args: &Args, result: &SweepResult) {
     for r in result.records.iter().filter(|r| r.completed) {
         scatter.row([r.block_size.to_string(), r.omega_calls.to_string()]);
     }
-    scatter.save(&args.out, "fig1_scatter").expect("write results");
+    scatter
+        .save(&args.out, "fig1_scatter")
+        .expect("write results");
 
     // Per-size summary for reading.
     let mut table = TextTable::new([
@@ -290,7 +295,12 @@ fn run_fig4(args: &Args, result: &SweepResult) {
         let n = rs.len() as f64;
         let init = rs.iter().map(|r| f64::from(r.initial_nops)).sum::<f64>() / n;
         let fin = rs.iter().map(|r| f64::from(r.final_nops)).sum::<f64>() / n;
-        table.row([size.to_string(), rs.len().to_string(), f(init, 2), f(fin, 2)]);
+        table.row([
+            size.to_string(),
+            rs.len().to_string(),
+            f(init, 2),
+            f(fin, 2),
+        ]);
     }
     save(
         args,
@@ -391,5 +401,10 @@ fn run_ablation(args: &Args) {
     eprintln!("ablation: {runs} blocks per configuration...");
     let rows = ablation::run(runs, args.lambda);
     let table = ablation::render(&rows);
-    save(args, "ablation", &table, "Ablation: pruning devices, bounds, baselines");
+    save(
+        args,
+        "ablation",
+        &table,
+        "Ablation: pruning devices, bounds, baselines",
+    );
 }

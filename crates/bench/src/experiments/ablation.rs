@@ -4,7 +4,9 @@
 
 use pipesched_core::baselines::greedy_schedule;
 use pipesched_core::parallel::parallel_search;
-use pipesched_core::{search, BoundKind, EquivalenceMode, InitialHeuristic, SchedContext, SearchConfig};
+use pipesched_core::{
+    search, BoundKind, EquivalenceMode, InitialHeuristic, SchedContext, SearchConfig,
+};
 use pipesched_ir::DepDag;
 use pipesched_machine::presets;
 use pipesched_synth::CorpusSpec;
@@ -160,7 +162,12 @@ pub fn run(runs: usize, lambda: u64) -> Vec<AblationRow> {
 
 /// Render the ablation table.
 pub fn render(rows: &[AblationRow]) -> TextTable {
-    let mut t = TextTable::new(["configuration", "avg Ω calls", "avg final NOPs", "% optimal"]);
+    let mut t = TextTable::new([
+        "configuration",
+        "avg Ω calls",
+        "avg final NOPs",
+        "% optimal",
+    ]);
     for r in rows {
         let fmt_nan = |v: f64, digits: usize| {
             if v.is_nan() {

@@ -13,8 +13,7 @@ pub fn block_of_size(size: usize, salt: u64) -> BasicBlock {
     // expected ratio and scan seeds.
     let base_statements = (size as f64 / 1.5).ceil() as usize;
     for spread in 0..6usize {
-        for statements in
-            base_statements.saturating_sub(spread)..=base_statements + 2 * spread + 2
+        for statements in base_statements.saturating_sub(spread)..=base_statements + 2 * spread + 2
         {
             for seed in 0..400u64 {
                 let cfg = GeneratorConfig::new(

@@ -55,8 +55,7 @@ pub fn run_on(machine: &Machine, runs: usize, lambda: u64) -> Vec<EncodingRow> {
     let row = |label: &str, xs: &[u64]| EncodingRow {
         label: label.to_string(),
         avg_extra_cycles: xs.iter().sum::<u64>() as f64 / xs.len().max(1) as f64,
-        pct_affected: 100.0 * xs.iter().filter(|&&x| x > 0).count() as f64
-            / xs.len().max(1) as f64,
+        pct_affected: 100.0 * xs.iter().filter(|&&x| x > 0).count() as f64 / xs.len().max(1) as f64,
         max_extra_cycles: xs.iter().copied().max().unwrap_or(0),
     };
 

@@ -6,7 +6,6 @@ use std::time::{Duration, Instant};
 
 use crossbeam::thread;
 use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
 
 use pipesched_core::{search, SchedContext, SearchConfig};
 use pipesched_ir::DepDag;
@@ -42,7 +41,7 @@ impl Default for SweepConfig {
 }
 
 /// One scheduled block's record.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct RunRecord {
     /// Corpus index.
     pub run: usize,
@@ -61,7 +60,7 @@ pub struct RunRecord {
 }
 
 /// All records of a sweep.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SweepResult {
     /// Per-run records, in corpus order.
     pub records: Vec<RunRecord>,
@@ -73,7 +72,9 @@ pub struct SweepResult {
 pub fn run_sweep(config: &SweepConfig) -> SweepResult {
     let n = config.corpus.runs;
     let threads = if config.threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
     } else {
         config.threads
     };
@@ -116,6 +117,25 @@ fn schedule_one(config: &SweepConfig, search_cfg: &SearchConfig, k: usize) -> Ru
     if config.validate {
         validate_schedule(&block, &dag, &config.machine, &out.order, &out.etas)
             .expect("scheduler produced an invalid schedule");
+    }
+    // Debug builds additionally certify against the third, independent
+    // timing re-derivation in `pipesched-analyze`.
+    if cfg!(debug_assertions) {
+        let cert = pipesched_analyze::certify::certify(
+            &block,
+            &config.machine,
+            pipesched_analyze::Claim {
+                order: &out.order,
+                assignment: Some(&out.assignment),
+                etas: Some(&out.etas),
+                nops: Some(out.nops),
+            },
+        );
+        assert!(
+            cert.is_certified(),
+            "run {k}: schedule failed certification:\n{}",
+            cert.report
+        );
     }
     RunRecord {
         run: k,

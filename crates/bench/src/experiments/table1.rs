@@ -69,7 +69,10 @@ pub fn run_for_sizes(sizes: &[usize]) -> Vec<Table1Row> {
             );
             let proposed = search(&ctx, &SearchConfig::with_lambda(u64::MAX));
             if paper.optimal {
-                assert_eq!(paper.nops, proposed.nops, "bound strengthening changed the optimum");
+                assert_eq!(
+                    paper.nops, proposed.nops,
+                    "bound strengthening changed the optimum"
+                );
             }
             debug_assert!(
                 !legality.truncated || proposed.nops <= legality.best_nops,

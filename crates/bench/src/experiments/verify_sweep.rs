@@ -23,9 +23,7 @@ use pipesched_frontend::interpret;
 use pipesched_ir::DepDag;
 use pipesched_machine::presets;
 use pipesched_regalloc::{allocate, emit, max_pressure};
-use pipesched_sim::{
-    pad_schedule, tag_carp, tag_lookahead, validate_schedule, TimingModel,
-};
+use pipesched_sim::{pad_schedule, tag_carp, tag_lookahead, validate_schedule, TimingModel};
 use pipesched_synth::CorpusSpec;
 
 /// Outcome counters of a verification sweep.
@@ -61,6 +59,23 @@ pub fn run(runs: usize, lambda: u64) -> VerifyReport {
         validate_schedule(&block, &dag, &machine, &out.order, &out.etas)
             .unwrap_or_else(|e| panic!("block {k}: {e}"));
 
+        // 2b. Independent certification (third timing implementation).
+        let cert = pipesched_analyze::certify::certify(
+            &block,
+            &machine,
+            pipesched_analyze::Claim {
+                order: &out.order,
+                assignment: Some(&out.assignment),
+                etas: Some(&out.etas),
+                nops: Some(out.nops),
+            },
+        );
+        assert!(
+            cert.is_certified(),
+            "block {k}: failed certification:\n{}",
+            cert.report
+        );
+
         // 3. Minimal padding.
         let tm = TimingModel::new(&block, &dag, &machine);
         let padded = pad_schedule(&out.order, &out.etas);
@@ -71,10 +86,10 @@ pub fn run(runs: usize, lambda: u64) -> VerifyReport {
 
         // 4. Registers + codegen.
         let pressure = max_pressure(&block, &out.order);
-        let regs = allocate(&block, &out.order, pressure)
-            .unwrap_or_else(|e| panic!("block {k}: {e}"));
-        let program = emit(&block, &out.order, &out.etas, &regs)
-            .unwrap_or_else(|e| panic!("block {k}: {e}"));
+        let regs =
+            allocate(&block, &out.order, pressure).unwrap_or_else(|e| panic!("block {k}: {e}"));
+        let program =
+            emit(&block, &out.order, &out.etas, &regs).unwrap_or_else(|e| panic!("block {k}: {e}"));
 
         // 5. Semantics on random inputs.
         let inputs: HashMap<String, i64> = (0..block.symbols().len())

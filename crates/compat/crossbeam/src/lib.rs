@@ -1,0 +1,97 @@
+//! Offline stand-in for `crossbeam`, exposing the scoped-thread subset the
+//! workspace uses (`crossbeam::scope` / `crossbeam::thread::scope`) on top of
+//! `std::thread::scope`.
+//!
+//! Behavioural difference vs the real crate: a panicking worker aborts the
+//! scope by propagating the panic instead of surfacing it as `Err` — callers
+//! here immediately `.expect()` the result anyway, so the observable outcome
+//! (a panic naming the worker) is the same.
+
+/// Scoped threads (mirrors `crossbeam::thread`).
+pub mod thread {
+    /// A scope handle passed to the closure and to each spawned worker.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker; the closure receives the scope handle (commonly
+        /// ignored as `|_|`) so nested spawning is possible.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = *self;
+            ScopedJoinHandle(self.inner.spawn(move || f(&handle)))
+        }
+    }
+
+    /// Run `f` with a scope; all spawned workers are joined before returning.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_share_borrowed_state() {
+        let counter = AtomicUsize::new(0);
+        crate::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("worker panicked");
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn nested_spawn_through_handle() {
+        let counter = AtomicUsize::new(0);
+        crate::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .expect("worker panicked");
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn join_returns_value() {
+        let out =
+            crate::scope(|scope| scope.spawn(|_| 6 * 7).join().expect("join")).expect("scope");
+        assert_eq!(out, 42);
+    }
+}

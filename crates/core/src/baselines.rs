@@ -58,7 +58,15 @@ pub fn enumerate_legal(ctx: &SchedContext<'_>, cap: u64) -> LegalityOutcome {
         return out;
     }
     let mut placed = vec![false; n];
-    enumerate(ctx, &mut engine, &mut pending, &mut placed, 0, cap, &mut out);
+    enumerate(
+        ctx,
+        &mut engine,
+        &mut pending,
+        &mut placed,
+        0,
+        cap,
+        &mut out,
+    );
     out
 }
 
@@ -121,11 +129,7 @@ pub fn greedy_schedule(ctx: &SchedContext<'_>) -> (Vec<TupleId>, u32) {
             }
             let t = TupleId(i as u32);
             let est = engine.earliest_issue(t, ctx.sigma(t));
-            let key = (
-                est,
-                std::cmp::Reverse(ctx.analysis.height(t)),
-                t.0,
-            );
+            let key = (est, std::cmp::Reverse(ctx.analysis.height(t)), t.0);
             if best.is_none_or(|b| key < b) {
                 best = Some(key);
                 pick = Some(t);

@@ -46,8 +46,8 @@
 use pipesched_ir::{analysis::verify_schedule, TupleId};
 use pipesched_machine::PipelineId;
 
-use crate::bounds::LowerBound;
 pub use crate::bounds::BoundKind;
+use crate::bounds::LowerBound;
 use crate::context::SchedContext;
 use crate::list_sched::list_schedule;
 use crate::timing::{evaluate_schedule_from, BoundaryState, TimingEngine};
@@ -192,11 +192,7 @@ pub struct SearchOutcome {
 
 /// Run the pruned branch-and-bound search on `ctx`.
 pub fn search(ctx: &SchedContext<'_>, cfg: &SearchConfig) -> SearchOutcome {
-    search_with_boundary(
-        ctx,
-        cfg,
-        &BoundaryState::cold(ctx.machine.pipeline_count()),
-    )
+    search_with_boundary(ctx, cfg, &BoundaryState::cold(ctx.machine.pipeline_count()))
 }
 
 /// [`search`] starting from a carried block boundary (footnote 1): the
@@ -268,7 +264,14 @@ pub fn search_with_boundary(
         }
     }
 
-    let mut s = Search::new(ctx, cfg, boundary, initial_order.clone(), initial_etas, initial_nops);
+    let mut s = Search::new(
+        ctx,
+        cfg,
+        boundary,
+        initial_order.clone(),
+        initial_etas,
+        initial_nops,
+    );
     s.global_lb = global_lb;
     s.dfs(0);
 

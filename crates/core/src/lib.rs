@@ -41,7 +41,10 @@ pub mod timing;
 pub mod windowed;
 
 pub use api::{ScheduledBlock, Scheduler};
-pub use bnb::{search, search_with_boundary, BoundKind, EquivalenceMode, InitialHeuristic, SearchConfig, SearchOutcome, SearchStats};
+pub use bnb::{
+    search, search_with_boundary, BoundKind, EquivalenceMode, InitialHeuristic, SearchConfig,
+    SearchOutcome, SearchStats,
+};
 pub use context::SchedContext;
 pub use list_sched::list_schedule;
 pub use sequence::{schedule_sequence, ScheduledRegion, SequenceOutcome};

@@ -114,8 +114,7 @@ mod tests {
         let dag = DepDag::build(&block);
         let analysis = BlockAnalysis::compute(&dag);
         let order = list_schedule(&dag, &analysis);
-        let pos =
-            |t: TupleId| order.iter().position(|&x| x == t).unwrap();
+        let pos = |t: TupleId| order.iter().position(|&x| x == t).unwrap();
         // Both loads precede both negs: producers are maximally separated
         // from their consumers.
         assert!(pos(a) < pos(na));

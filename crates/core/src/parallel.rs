@@ -59,7 +59,9 @@ pub fn parallel_search(ctx: &SchedContext<'_>, lambda: u64, threads: usize) -> S
     }
 
     let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
     } else {
         threads
     };
@@ -253,7 +255,8 @@ impl<'c, 'a, 's> Worker<'c, 'a, 's> {
         let ready = (0..n)
             .filter(|&i| !self.placed[i] && self.pending[i] == 0)
             .map(|i| TupleId(i as u32));
-        self.lb.bound(self.ctx, &self.engine, ready, &self.remaining)
+        self.lb
+            .bound(self.ctx, &self.engine, ready, &self.remaining)
     }
 
     fn dfs(&mut self) {

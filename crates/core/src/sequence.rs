@@ -133,11 +133,7 @@ mod tests {
         let a = mul_tail("a");
         let b = mul_head("b");
 
-        let seq = schedule_sequence(
-            &[a.clone(), b.clone()],
-            &machine,
-            &SearchConfig::default(),
-        );
+        let seq = schedule_sequence(&[a.clone(), b.clone()], &machine, &SearchConfig::default());
         assert_eq!(seq.regions.len(), 2);
 
         // Scheduling b cold must not be more expensive than scheduling it

@@ -9,9 +9,7 @@
 use proptest::prelude::*;
 
 use pipesched_core::baselines::enumerate_legal;
-use pipesched_core::{
-    search, BoundKind, EquivalenceMode, SchedContext, SearchConfig,
-};
+use pipesched_core::{search, BoundKind, EquivalenceMode, SchedContext, SearchConfig};
 use pipesched_ir::{analysis::verify_schedule, BasicBlock, BlockBuilder, DepDag, Op, TupleId};
 use pipesched_machine::{presets, Machine};
 
@@ -24,10 +22,11 @@ fn block_from_script(script: &[u8], max_len: usize) -> BasicBlock {
         if b.len() >= max_len {
             break;
         }
-        let (op, x, y) = (chunk[0], chunk.get(1).copied().unwrap_or(0), chunk
-            .get(2)
-            .copied()
-            .unwrap_or(0));
+        let (op, x, y) = (
+            chunk[0],
+            chunk.get(1).copied().unwrap_or(0),
+            chunk.get(2).copied().unwrap_or(0),
+        );
         let n = b.len();
         let pick = |sel: u8| TupleId((sel as usize % n) as u32);
         // Pick a value-producing tuple for operands; if the chosen tuple is

@@ -8,10 +8,17 @@ use pipesched_core::{search, windowed_schedule, SchedContext, SearchConfig};
 use pipesched_ir::{analysis::verify_schedule, BasicBlock, BlockBuilder, DepDag, Op, TupleId};
 use pipesched_machine::presets;
 
-fn block_from_script(script: &[u8]) -> BasicBlock {
+/// Build a random block of at most `max_len` instructions. The cap keeps the
+/// reference `λ = ∞` optimal search tractable (cf. the 8–10 instruction caps
+/// in `optimality.rs`): sparse ~20-instruction blocks on the unpipelined
+/// functional-units machine make the exhaustive search blow up.
+fn block_from_script(script: &[u8], max_len: usize) -> BasicBlock {
     let mut b = BlockBuilder::new("wprop");
     let vars = ["a", "b", "c", "d"];
     for chunk in script.chunks(2) {
+        if b.len() >= max_len {
+            break;
+        }
         let (op, x) = (chunk[0], chunk.get(1).copied().unwrap_or(0));
         let blk = b.clone().finish_unchecked();
         let producers: Vec<TupleId> = blk
@@ -55,7 +62,7 @@ proptest! {
         window in 1usize..12,
         machine_sel in 0usize..3,
     ) {
-        let block = block_from_script(&script);
+        let block = block_from_script(&script, 12);
         let dag = DepDag::build(&block);
         let machines = [
             presets::paper_simulation(),

@@ -45,7 +45,10 @@ pub fn interpret(block: &BasicBlock, initial: &HashMap<String, i64>) -> Interpre
         let v = match t.op {
             Op::Const => t.a.as_imm().expect("verified"),
             Op::Load => {
-                let name = block.symbols().name(t.a.as_var().expect("verified")).unwrap();
+                let name = block
+                    .symbols()
+                    .name(t.a.as_var().expect("verified"))
+                    .unwrap();
                 memory[name]
             }
             Op::Store => {
@@ -87,8 +90,7 @@ mod tests {
 
     fn run(src: &str, init: &[(&str, i64)]) -> HashMap<String, i64> {
         let block = lower("t", &parse_program(src).unwrap());
-        let initial: HashMap<String, i64> =
-            init.iter().map(|&(k, v)| (k.to_string(), v)).collect();
+        let initial: HashMap<String, i64> = init.iter().map(|&(k, v)| (k.to_string(), v)).collect();
         interpret(&block, &initial).memory
     }
 

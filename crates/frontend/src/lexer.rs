@@ -71,10 +71,12 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, FrontendError> {
                         break;
                     }
                 }
-                let value = text.parse::<i64>().map_err(|_| FrontendError::IntOutOfRange {
-                    text: text.clone(),
-                    line: tline,
-                })?;
+                let value = text
+                    .parse::<i64>()
+                    .map_err(|_| FrontendError::IntOutOfRange {
+                        text: text.clone(),
+                        line: tline,
+                    })?;
                 out.push(Token {
                     kind: TokenKind::Int(value),
                     line: tline,
@@ -152,7 +154,10 @@ mod tests {
     #[test]
     fn tracks_positions() {
         let toks = tokenize("a = 1;\n b = 2;").unwrap();
-        let b = toks.iter().find(|t| t.kind == TokenKind::Ident("b".into())).unwrap();
+        let b = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("b".into()))
+            .unwrap();
         assert_eq!((b.line, b.col), (2, 2));
     }
 

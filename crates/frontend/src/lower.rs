@@ -31,11 +31,7 @@ pub fn lower(name: &str, program: &Program) -> BasicBlock {
     block
 }
 
-fn lower_expr(
-    block: &mut BasicBlock,
-    env: &mut HashMap<String, TupleId>,
-    expr: &Expr,
-) -> TupleId {
+fn lower_expr(block: &mut BasicBlock, env: &mut HashMap<String, TupleId>, expr: &Expr) -> TupleId {
     match expr {
         Expr::Literal(v) => block.push(Op::Const, Operand::Imm(*v), Operand::None),
         Expr::Var(name) => {
@@ -92,11 +88,7 @@ mod tests {
     fn first_use_loads_subsequent_uses_reuse() {
         let block = lower_src("x = a + a;\ny = a;\n");
         // Only one Load of `a`.
-        let loads = block
-            .tuples()
-            .iter()
-            .filter(|t| t.op == Op::Load)
-            .count();
+        let loads = block.tuples().iter().filter(|t| t.op == Op::Load).count();
         assert_eq!(loads, 1);
     }
 
@@ -107,7 +99,12 @@ mod tests {
         let loads = block.tuples().iter().filter(|t| t.op == Op::Load).count();
         assert_eq!(loads, 0);
         // Store #b references tuple 1 (the Const).
-        let store_b = block.tuples().iter().filter(|t| t.op == Op::Store).nth(1).unwrap();
+        let store_b = block
+            .tuples()
+            .iter()
+            .filter(|t| t.op == Op::Store)
+            .nth(1)
+            .unwrap();
         assert_eq!(store_b.b, Operand::Tuple(TupleId(0)));
     }
 
@@ -117,7 +114,15 @@ mod tests {
         let ops: Vec<Op> = block.tuples().iter().map(|t| t.op).collect();
         assert_eq!(
             ops,
-            vec![Op::Load, Op::Load, Op::Add, Op::Load, Op::Neg, Op::Mul, Op::Store]
+            vec![
+                Op::Load,
+                Op::Load,
+                Op::Add,
+                Op::Load,
+                Op::Neg,
+                Op::Mul,
+                Op::Store
+            ]
         );
     }
 

@@ -14,8 +14,7 @@ use pipesched_ir::{BasicBlock, Op, Operand, Tuple};
 pub fn run(block: &BasicBlock) -> Option<BasicBlock> {
     let n = block.len();
     let mut known: Vec<Option<i64>> = vec![None; n];
-    let mut last_store: Vec<Option<pipesched_ir::TupleId>> =
-        vec![None; block.symbols().len()];
+    let mut last_store: Vec<Option<pipesched_ir::TupleId>> = vec![None; block.symbols().len()];
     let mut tuples: Vec<Tuple> = block.tuples().to_vec();
     let mut changed = false;
 
@@ -106,10 +105,7 @@ mod tests {
     fn folds_constant_arithmetic() {
         let out = fold_src("x = 2 + 3;").unwrap();
         assert_eq!(out.tuple(pipesched_ir::TupleId(2)).op, Op::Const);
-        assert_eq!(
-            out.tuple(pipesched_ir::TupleId(2)).a,
-            Operand::Imm(5)
-        );
+        assert_eq!(out.tuple(pipesched_ir::TupleId(2)).a, Operand::Imm(5));
     }
 
     #[test]

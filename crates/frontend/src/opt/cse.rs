@@ -37,7 +37,12 @@ pub fn run(block: &BasicBlock) -> Option<BasicBlock> {
             }
             Op::Load => {
                 let v = t.a.as_var().expect("verified");
-                let key = (Op::Load, store_epoch[v.0 as usize], Operand::Var(v), Operand::None);
+                let key = (
+                    Op::Load,
+                    store_epoch[v.0 as usize],
+                    Operand::Var(v),
+                    Operand::None,
+                );
                 if let Some(&first) = table.get(&key) {
                     rewriter.redirect(t.id, first);
                     rewriter.remove(t.id);
@@ -49,7 +54,6 @@ pub fn run(block: &BasicBlock) -> Option<BasicBlock> {
             }
             _ => {
                 let (a, b) = {
-                    
                     pipesched_ir::Tuple {
                         id: t.id,
                         op: t.op,
@@ -172,7 +176,11 @@ mod tests {
         b.store("r", s);
         let block = b.finish().unwrap();
         let out = run(&block).unwrap();
-        assert_eq!(out.tuples().iter().filter(|t| t.op == Op::Mul).count(), 1, "\n{out}");
+        assert_eq!(
+            out.tuples().iter().filter(|t| t.op == Op::Mul).count(),
+            1,
+            "\n{out}"
+        );
     }
 
     #[test]

@@ -53,8 +53,8 @@ pub fn run(block: &BasicBlock) -> Option<BasicBlock> {
 
     let mut rewriter = Rewriter::new(n);
     let mut changed = false;
-    for i in 0..n {
-        if !live[i] {
+    for (i, &alive) in live.iter().enumerate() {
+        if !alive {
             rewriter.remove(TupleId(i as u32));
             changed = true;
         }

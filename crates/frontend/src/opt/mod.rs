@@ -165,9 +165,8 @@ mod tests {
 
     #[test]
     fn fixpoint_terminates() {
-        let (_, stats) = optimize_src(
-            "a = b * 1 + 0;\nc = a / 1;\nd = c - 0;\ne = d + d;\nf = e * 0;\n",
-        );
+        let (_, stats) =
+            optimize_src("a = b * 1 + 0;\nc = a / 1;\nd = c - 0;\ne = d + d;\nf = e * 0;\n");
         assert!(stats.iterations <= OptConfig::default().max_iterations);
     }
 }

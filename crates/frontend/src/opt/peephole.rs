@@ -30,9 +30,7 @@ pub fn run(block: &BasicBlock) -> Option<BasicBlock> {
     let mut changed = false;
 
     for t in block.tuples() {
-        let redirect_to = |target: Operand| -> Option<TupleId> {
-            target.as_tuple()
-        };
+        let redirect_to = |target: Operand| -> Option<TupleId> { target.as_tuple() };
         match t.op {
             Op::Add => {
                 if const_val(t.b) == Some(0) {
@@ -49,14 +47,13 @@ pub fn run(block: &BasicBlock) -> Option<BasicBlock> {
                     }
                 }
             }
-            Op::Sub
-                if const_val(t.b) == Some(0) => {
-                    if let Some(x) = redirect_to(t.a) {
-                        rewriter.redirect(t.id, x);
-                        rewriter.remove(t.id);
-                        changed = true;
-                    }
+            Op::Sub if const_val(t.b) == Some(0) => {
+                if let Some(x) = redirect_to(t.a) {
+                    rewriter.redirect(t.id, x);
+                    rewriter.remove(t.id);
+                    changed = true;
                 }
+            }
             Op::Mul => {
                 if const_val(t.b) == Some(1) {
                     if let Some(x) = redirect_to(t.a) {
@@ -80,14 +77,13 @@ pub fn run(block: &BasicBlock) -> Option<BasicBlock> {
                     changed = true;
                 }
             }
-            Op::Div
-                if const_val(t.b) == Some(1) => {
-                    if let Some(x) = redirect_to(t.a) {
-                        rewriter.redirect(t.id, x);
-                        rewriter.remove(t.id);
-                        changed = true;
-                    }
+            Op::Div if const_val(t.b) == Some(1) => {
+                if let Some(x) = redirect_to(t.a) {
+                    rewriter.redirect(t.id, x);
+                    rewriter.remove(t.id);
+                    changed = true;
                 }
+            }
             Op::Neg => {
                 if let Some(inner) = t.a.as_tuple() {
                     let it = block.tuple(inner);

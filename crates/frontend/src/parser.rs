@@ -33,14 +33,24 @@ pub fn parse_labeled_program(source: &str) -> Result<Vec<(String, Program)>, Fro
     let tokens = tokenize(source)?;
     let mut p = Parser { tokens, pos: 0 };
     let mut regions: Vec<(String, Program)> = Vec::new();
-    let mut current = ("entry".to_string(), Program { statements: Vec::new() });
+    let mut current = (
+        "entry".to_string(),
+        Program {
+            statements: Vec::new(),
+        },
+    );
     let mut saw_any = false;
     while p.peek().kind != TokenKind::Eof {
         if let Some(label) = p.try_label() {
             if saw_any || !current.1.statements.is_empty() {
                 regions.push(current);
             }
-            current = (label, Program { statements: Vec::new() });
+            current = (
+                label,
+                Program {
+                    statements: Vec::new(),
+                },
+            );
             saw_any = true;
             continue;
         }
@@ -196,7 +206,11 @@ mod tests {
     fn precedence_mul_over_add() {
         let p = parse_program("x = a + b * c;").unwrap();
         match &p.statements[0].value {
-            Expr::Binary { op: BinOp::Add, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Add,
+                rhs,
+                ..
+            } => {
                 assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("wrong shape: {other:?}"),
@@ -207,7 +221,11 @@ mod tests {
     fn parens_override_precedence() {
         let p = parse_program("x = (a + b) * c;").unwrap();
         match &p.statements[0].value {
-            Expr::Binary { op: BinOp::Mul, lhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Mul,
+                lhs,
+                ..
+            } => {
                 assert!(matches!(**lhs, Expr::Binary { op: BinOp::Add, .. }));
             }
             other => panic!("wrong shape: {other:?}"),
@@ -219,7 +237,11 @@ mod tests {
         let p = parse_program("x = a - b - c;").unwrap();
         // (a - b) - c
         match &p.statements[0].value {
-            Expr::Binary { op: BinOp::Sub, lhs, rhs } => {
+            Expr::Binary {
+                op: BinOp::Sub,
+                lhs,
+                rhs,
+            } => {
                 assert!(matches!(**lhs, Expr::Binary { op: BinOp::Sub, .. }));
                 assert_eq!(**rhs, Expr::Var("c".into()));
             }

@@ -55,8 +55,14 @@ fn configs() -> Vec<OptConfig> {
     vec![
         full,
         OptConfig { cse: false, ..full },
-        OptConfig { constant_fold: false, ..full },
-        OptConfig { peephole: false, ..full },
+        OptConfig {
+            constant_fold: false,
+            ..full
+        },
+        OptConfig {
+            peephole: false,
+            ..full
+        },
         OptConfig { dce: false, ..full },
         OptConfig {
             constant_fold: true,

@@ -145,7 +145,13 @@ impl BlockAnalysis {
 
     /// Length of the longest dependence chain in the block (in instructions).
     pub fn critical_path_len(&self) -> u32 {
-        self.height.iter().zip(&self.depth).map(|(h, d)| h + d).max().map(|m| m + 1).unwrap_or(0)
+        self.height
+            .iter()
+            .zip(&self.depth)
+            .map(|(h, d)| h + d)
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0)
     }
 }
 
@@ -227,7 +233,10 @@ mod tests {
     fn transitive_dependence_queries() {
         let (_, dag) = fig3();
         let a = BlockAnalysis::compute(&dag);
-        assert!(a.depends_on(TupleId(4), TupleId(0)), "store a ← const transitively");
+        assert!(
+            a.depends_on(TupleId(4), TupleId(0)),
+            "store a ← const transitively"
+        );
         assert!(!a.depends_on(TupleId(0), TupleId(4)));
         assert!(a.independent(TupleId(1), TupleId(2)), "store b vs load a");
     }

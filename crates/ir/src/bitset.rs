@@ -28,7 +28,11 @@ impl BitSet {
 
     /// Insert `bit`. Returns true if it was newly inserted.
     pub fn insert(&mut self, bit: usize) -> bool {
-        assert!(bit < self.capacity, "bit {bit} out of range {}", self.capacity);
+        assert!(
+            bit < self.capacity,
+            "bit {bit} out of range {}",
+            self.capacity
+        );
         let word = &mut self.words[bit / 64];
         let mask = 1u64 << (bit % 64);
         let fresh = *word & mask == 0;
@@ -66,7 +70,10 @@ impl BitSet {
 
     /// True when every element of `self` is in `other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Number of elements in the set.

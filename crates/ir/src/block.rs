@@ -3,22 +3,19 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::IrError;
 use crate::op::Op;
 use crate::operand::Operand;
 use crate::tuple::{Tuple, TupleId};
 
 /// Interned index of a program variable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VarId(pub u32);
 
 /// Bidirectional interning table for variable names.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SymbolTable {
     names: Vec<String>,
-    #[serde(skip)]
     index: HashMap<String, VarId>,
 }
 
@@ -71,7 +68,7 @@ impl SymbolTable {
 }
 
 /// A straight-line sequence of tuples: the unit of scheduling.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BasicBlock {
     /// Optional label for diagnostics.
     pub name: String,
@@ -175,34 +172,37 @@ impl BasicBlock {
             }
             for target in t.tuple_refs() {
                 if target.index() >= i {
-                    return Err(IrError::ForwardReference { tuple: t.id, target });
+                    return Err(IrError::ForwardReference {
+                        tuple: t.id,
+                        target,
+                    });
                 }
                 if !self.tuples[target.index()].op.produces_value() {
-                    return Err(IrError::ValuelessReference { tuple: t.id, target });
+                    return Err(IrError::ValuelessReference {
+                        tuple: t.id,
+                        target,
+                    });
                 }
             }
             match t.op {
-                Op::Const
-                    if t.a.as_imm().is_none() => {
-                        return Err(IrError::BadOperands {
-                            tuple: t.id,
-                            reason: "Const requires an immediate operand".into(),
-                        });
-                    }
-                Op::Load
-                    if t.a.as_var().is_none() => {
-                        return Err(IrError::BadOperands {
-                            tuple: t.id,
-                            reason: "Load requires a variable operand".into(),
-                        });
-                    }
-                Op::Store
-                    if t.a.as_var().is_none() => {
-                        return Err(IrError::BadOperands {
-                            tuple: t.id,
-                            reason: "Store requires a variable first operand".into(),
-                        });
-                    }
+                Op::Const if t.a.as_imm().is_none() => {
+                    return Err(IrError::BadOperands {
+                        tuple: t.id,
+                        reason: "Const requires an immediate operand".into(),
+                    });
+                }
+                Op::Load if t.a.as_var().is_none() => {
+                    return Err(IrError::BadOperands {
+                        tuple: t.id,
+                        reason: "Load requires a variable operand".into(),
+                    });
+                }
+                Op::Store if t.a.as_var().is_none() => {
+                    return Err(IrError::BadOperands {
+                        tuple: t.id,
+                        reason: "Store requires a variable first operand".into(),
+                    });
+                }
                 _ => {}
             }
         }
@@ -304,7 +304,10 @@ mod tests {
         let c = bb.push(Op::Const, Operand::Imm(1), Operand::None);
         let s = bb.push(Op::Store, Operand::Var(v), Operand::Tuple(c));
         bb.push(Op::Neg, Operand::Tuple(s), Operand::None);
-        assert!(matches!(bb.verify(), Err(IrError::ValuelessReference { .. })));
+        assert!(matches!(
+            bb.verify(),
+            Err(IrError::ValuelessReference { .. })
+        ));
     }
 
     #[test]

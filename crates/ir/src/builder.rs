@@ -48,7 +48,8 @@ impl BlockBuilder {
     /// Emit `Store #var, value`.
     pub fn store(&mut self, var: &str, value: TupleId) -> TupleId {
         let v = self.block.intern(var);
-        self.block.push(Op::Store, Operand::Var(v), Operand::Tuple(value))
+        self.block
+            .push(Op::Store, Operand::Var(v), Operand::Tuple(value))
     }
 
     /// Emit a binary arithmetic tuple.

@@ -14,8 +14,6 @@
 //! The paper's synthetic workloads assume variable names are unambiguous and
 //! mutually exclusive (§3.1), so no aliasing analysis is needed here.
 
-use serde::{Deserialize, Serialize};
-
 use crate::block::BasicBlock;
 use crate::op::Op;
 use crate::tuple::TupleId;
@@ -28,7 +26,7 @@ use crate::tuple::TupleId;
 /// cycle after the earlier one. This distinction matters because applying
 /// full latency to anti edges would overconstrain schedules the paper's
 /// model permits.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DepKind {
     /// True (value or memory) flow dependence: consumer reads producer's result.
     Flow,
@@ -39,7 +37,7 @@ pub enum DepKind {
 }
 
 /// One dependence edge `from → to` (`to` depends on `from`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DepEdge {
     /// The producing (earlier) tuple.
     pub from: TupleId,
@@ -50,7 +48,7 @@ pub struct DepEdge {
 }
 
 /// Materialized dependence DAG for one basic block.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DepDag {
     n: usize,
     /// `preds[i]` = immediate predecessors of tuple `i` (the paper's ρ).
@@ -67,10 +65,10 @@ impl DepDag {
         let mut succs: Vec<Vec<DepEdge>> = vec![Vec::new(); n];
 
         let add = |preds: &mut Vec<Vec<DepEdge>>,
-                       succs: &mut Vec<Vec<DepEdge>>,
-                       from: TupleId,
-                       to: TupleId,
-                       kind: DepKind| {
+                   succs: &mut Vec<Vec<DepEdge>>,
+                   from: TupleId,
+                   to: TupleId,
+                   kind: DepKind| {
             debug_assert!(from.index() < to.index(), "edges must point forward");
             // Avoid duplicate edges with the same endpoints: keep the
             // strongest kind (Flow > Output > Anti) since Flow subsumes the

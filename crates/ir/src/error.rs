@@ -56,10 +56,16 @@ impl fmt::Display for IrError {
         match self {
             IrError::UnknownOp(s) => write!(f, "unknown operation `{s}`"),
             IrError::ForwardReference { tuple, target } => {
-                write!(f, "tuple {tuple} references tuple {target}, which is not earlier")
+                write!(
+                    f,
+                    "tuple {tuple} references tuple {target}, which is not earlier"
+                )
             }
             IrError::ValuelessReference { tuple, target } => {
-                write!(f, "tuple {tuple} references tuple {target}, which produces no value")
+                write!(
+                    f,
+                    "tuple {tuple} references tuple {target}, which produces no value"
+                )
             }
             IrError::BadOperands { tuple, reason } => {
                 write!(f, "tuple {tuple} has invalid operands: {reason}")
@@ -69,7 +75,10 @@ impl fmt::Display for IrError {
                 write!(f, "schedule is not a permutation of the block's tuples")
             }
             IrError::DependenceViolation { producer, consumer } => {
-                write!(f, "schedule places consumer {consumer} before producer {producer}")
+                write!(
+                    f,
+                    "schedule places consumer {consumer} before producer {producer}"
+                )
             }
         }
     }

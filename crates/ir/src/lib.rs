@@ -38,7 +38,7 @@ pub use block::{BasicBlock, SymbolTable, VarId};
 pub use builder::BlockBuilder;
 pub use dag::{DepDag, DepEdge, DepKind};
 pub use error::IrError;
-pub use stats::BlockStats;
 pub use op::Op;
 pub use operand::Operand;
+pub use stats::BlockStats;
 pub use tuple::{Tuple, TupleId};

@@ -3,8 +3,6 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::IrError;
 
 /// The operation performed by a tuple.
@@ -14,7 +12,7 @@ use crate::error::IrError;
 /// `Mov` are used by the front end (unary minus, copy propagation targets);
 /// `Nop` appears only in *emitted* padded programs, never inside a basic
 /// block handed to the scheduler.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Op {
     /// Materialize an immediate constant (`α` is [`crate::Operand::Imm`]).
     Const,

@@ -2,14 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::block::VarId;
 use crate::tuple::TupleId;
 
 /// An operand of a tuple: a variable, the result of an earlier tuple, an
 /// immediate constant, or absent (`∅` in the paper's notation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Operand {
     /// No operand (the paper's `∅`).
     None,

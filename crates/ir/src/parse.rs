@@ -40,7 +40,11 @@ pub fn parse_block(name: &str, text: &str) -> Result<BasicBlock, IrError> {
         if id != expected_id + 1 {
             return Err(IrError::Parse {
                 line,
-                message: format!("tuple id {} out of sequence (expected {})", id, expected_id + 1),
+                message: format!(
+                    "tuple id {} out of sequence (expected {})",
+                    id,
+                    expected_id + 1
+                ),
             });
         }
         expected_id = id;

@@ -2,14 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::op::Op;
 use crate::operand::Operand;
 
 /// Index of a tuple within its basic block (0-based internally; the textual
 /// form and `Display` use the paper's 1-based reference numbers).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TupleId(pub u32);
 
 impl TupleId {
@@ -26,7 +24,7 @@ impl fmt::Display for TupleId {
 }
 
 /// One instruction in tuple form.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Tuple {
     /// The tuple's reference number (its index in the block).
     pub id: TupleId,

@@ -1,8 +1,16 @@
 //! JSON (de)serialization of machine descriptions.
 //!
-//! The serde derives on [`Machine`](crate::Machine) define the schema; this
-//! module adds convenience entry points with validation, so an experiment
-//! can load a machine table from disk:
+//! The schema is hand-written over [`pipesched_json`] (the build environment
+//! has no registry access, so serde is unavailable) and matches the original
+//! serde-derived layout byte-for-byte in structure:
+//!
+//! ```json
+//! {
+//!   "name": "paper-simulation",
+//!   "pipelines": [{"function": "loader", "latency": 2, "enqueue": 1}],
+//!   "mapping": {"Load": [0]}
+//! }
+//! ```
 //!
 //! ```
 //! use pipesched_machine::{config, presets};
@@ -13,13 +21,17 @@
 //! assert_eq!(m, back);
 //! ```
 
+use pipesched_ir::Op;
+use pipesched_json::{json_object, Json, JsonError};
+
 use crate::machine::{Machine, MachineError};
+use crate::pipeline::PipelineId;
 
 /// Errors from loading a machine config.
 #[derive(Debug)]
 pub enum ConfigError {
     /// The JSON was malformed or did not match the schema.
-    Json(serde_json::Error),
+    Json(JsonError),
     /// The decoded machine failed validation.
     Machine(MachineError),
 }
@@ -33,18 +45,106 @@ impl std::fmt::Display for ConfigError {
     }
 }
 
-impl std::error::Error for ConfigError {}
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ConfigError::Json(e) => Some(e),
+            ConfigError::Machine(e) => Some(e),
+        }
+    }
+}
+
+fn schema_error(message: impl Into<String>) -> ConfigError {
+    ConfigError::Json(JsonError {
+        offset: 0,
+        message: message.into(),
+    })
+}
 
 /// Serialize a machine to pretty-printed JSON.
 pub fn to_json(machine: &Machine) -> Result<String, ConfigError> {
-    serde_json::to_string_pretty(machine).map_err(ConfigError::Json)
+    let pipelines: Vec<Json> = machine
+        .pipelines()
+        .iter()
+        .map(|p| {
+            json_object![
+                ("function", p.function.as_str()),
+                ("latency", p.latency),
+                ("enqueue", p.enqueue),
+            ]
+        })
+        .collect();
+    let mapping: Vec<(String, Json)> = machine
+        .mapping()
+        .iter()
+        .map(|(op, ids)| {
+            let ids: Vec<Json> = ids.iter().map(|id| Json::from(id.0)).collect();
+            (op.to_string(), Json::Array(ids))
+        })
+        .collect();
+    let doc = json_object![
+        ("name", machine.name.as_str()),
+        ("pipelines", Json::Array(pipelines)),
+        ("mapping", Json::Object(mapping)),
+    ];
+    Ok(doc.to_pretty())
 }
 
 /// Deserialize and validate a machine from JSON.
 pub fn from_json(json: &str) -> Result<Machine, ConfigError> {
-    let machine: Machine = serde_json::from_str(json).map_err(ConfigError::Json)?;
-    machine.validate().map_err(ConfigError::Machine)?;
-    Ok(machine)
+    let doc = pipesched_json::parse(json).map_err(ConfigError::Json)?;
+    let name = doc
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| schema_error("missing string field `name`"))?;
+    let mut builder = Machine::builder(name);
+
+    let pipelines = doc
+        .get("pipelines")
+        .and_then(Json::as_array)
+        .ok_or_else(|| schema_error("missing array field `pipelines`"))?;
+    for (i, p) in pipelines.iter().enumerate() {
+        let function = p
+            .get("function")
+            .and_then(Json::as_str)
+            .ok_or_else(|| schema_error(format!("pipeline {i}: missing string `function`")))?;
+        let latency = field_u32(p, "latency", i)?;
+        let enqueue = field_u32(p, "enqueue", i)?;
+        builder.pipeline(function, latency, enqueue);
+    }
+
+    let mapping = doc
+        .get("mapping")
+        .and_then(Json::as_object)
+        .ok_or_else(|| schema_error("missing object field `mapping`"))?;
+    for (key, ids) in mapping {
+        let op: Op = key
+            .parse()
+            .map_err(|_| schema_error(format!("mapping key `{key}` is not an operation")))?;
+        let ids = ids
+            .as_array()
+            .ok_or_else(|| schema_error(format!("mapping for `{key}` must be an array")))?;
+        let ids: Vec<PipelineId> = ids
+            .iter()
+            .map(|id| {
+                id.as_i64()
+                    .filter(|&n| (0..=i64::from(u32::MAX)).contains(&n))
+                    .map(|n| PipelineId(n as u32))
+                    .ok_or_else(|| schema_error(format!("bad pipeline id for `{key}`")))
+            })
+            .collect::<Result<_, _>>()?;
+        builder.map(op, &ids);
+    }
+
+    builder.build().map_err(ConfigError::Machine)
+}
+
+fn field_u32(obj: &Json, field: &str, index: usize) -> Result<u32, ConfigError> {
+    obj.get(field)
+        .and_then(Json::as_i64)
+        .filter(|&n| (0..=i64::from(u32::MAX)).contains(&n))
+        .map(|n| n as u32)
+        .ok_or_else(|| schema_error(format!("pipeline {index}: missing integer `{field}`")))
 }
 
 #[cfg(test)]
@@ -64,6 +164,16 @@ mod tests {
     #[test]
     fn rejects_malformed_json() {
         assert!(matches!(from_json("{ not json"), Err(ConfigError::Json(_))));
+    }
+
+    #[test]
+    fn rejects_schema_mismatch() {
+        // Well-formed JSON that is not a machine description.
+        assert!(matches!(from_json("[1, 2]"), Err(ConfigError::Json(_))));
+        assert!(matches!(
+            from_json(r#"{"name": "m", "pipelines": [], "mapping": {"Load": 3}}"#),
+            Err(ConfigError::Json(_))
+        ));
     }
 
     #[test]

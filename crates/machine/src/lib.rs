@@ -7,7 +7,7 @@
 //! giving its function, identifier, **latency** and **enqueue time**) and an
 //! *operation-to-pipeline mapping table* (the set of pipelines able to
 //! execute each operation type). This crate implements both, plus presets
-//! for every machine the paper mentions and a serde/JSON config format so
+//! for every machine the paper mentions and a JSON config format so
 //! new machines require no code changes — "changing the pipeline structure
 //! changes only the entries in these tables, not the structure of the
 //! scheduling algorithm".

@@ -3,8 +3,6 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use pipesched_ir::Op;
 
 use crate::pipeline::{Pipeline, PipelineId};
@@ -56,7 +54,7 @@ impl std::error::Error for MachineError {}
 /// impose no latency on consumers. The paper's presets leave `Const` and
 /// `Store` unmapped on these grounds (§3.1 notes stores "typically do not
 /// interfere with any pipelined operations").
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Machine {
     /// Diagnostic name of the machine.
     pub name: String,
@@ -109,12 +107,14 @@ impl Machine {
     /// Latency of the pipeline executing `op` on its default unit
     /// (`None` when `σ(op) = ∅`).
     pub fn latency_for(&self, op: Op) -> Option<u32> {
-        self.default_pipeline_for(op).map(|p| self.pipeline(p).latency)
+        self.default_pipeline_for(op)
+            .map(|p| self.pipeline(p).latency)
     }
 
     /// Enqueue time of the default unit for `op`.
     pub fn enqueue_for(&self, op: Op) -> Option<u32> {
-        self.default_pipeline_for(op).map(|p| self.pipeline(p).enqueue)
+        self.default_pipeline_for(op)
+            .map(|p| self.pipeline(p).enqueue)
     }
 
     /// True when some operation can choose among several pipelines.
@@ -169,7 +169,11 @@ impl Machine {
 impl fmt::Display for Machine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "machine `{}`", self.name)?;
-        writeln!(f, "  {:<12} {:>4} {:>8} {:>8}", "function", "id", "latency", "enqueue")?;
+        writeln!(
+            f,
+            "  {:<12} {:>4} {:>8} {:>8}",
+            "function", "id", "latency", "enqueue"
+        )?;
         for (i, p) in self.pipelines.iter().enumerate() {
             writeln!(
                 f,

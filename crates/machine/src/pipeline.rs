@@ -2,12 +2,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a pipeline within a [`crate::Machine`].
 ///
 /// Internally 0-based; `Display` uses the paper's 1-based identifiers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PipelineId(pub u32);
 
 impl PipelineId {
@@ -24,7 +22,7 @@ impl fmt::Display for PipelineId {
 }
 
 /// One row of the paper's pipeline description table (Tables 2 and 4).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Pipeline {
     /// Human-readable function name ("loader", "adder", "multiplier", ...).
     pub function: String,

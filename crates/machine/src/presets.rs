@@ -53,7 +53,9 @@ pub fn paper_simulation() -> Machine {
 /// one cycle and every schedule needs zero NOPs. Useful as a degenerate
 /// case in tests.
 pub fn unpipelined() -> Machine {
-    Machine::builder("unpipelined").build().expect("preset is valid")
+    Machine::builder("unpipelined")
+        .build()
+        .expect("preset is valid")
 }
 
 /// A deeply pipelined RISC-style machine (longer latencies, classical

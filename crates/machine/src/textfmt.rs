@@ -49,7 +49,14 @@ impl std::fmt::Display for TextFmtError {
     }
 }
 
-impl std::error::Error for TextFmtError {}
+impl std::error::Error for TextFmtError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TextFmtError::Syntax { .. } => None,
+            TextFmtError::Invalid(e) => Some(e),
+        }
+    }
+}
 
 /// Parse the text format.
 pub fn parse(text: &str) -> Result<Machine, TextFmtError> {
@@ -76,11 +83,15 @@ pub fn parse(text: &str) -> Result<Machine, TextFmtError> {
             let (mut latency, mut enqueue) = (None, None);
             for p in parts {
                 if let Some(v) = p.strip_prefix("latency=") {
-                    latency =
-                        Some(v.parse::<u32>().map_err(|e| syntax(format!("latency: {e}")))?);
+                    latency = Some(
+                        v.parse::<u32>()
+                            .map_err(|e| syntax(format!("latency: {e}")))?,
+                    );
                 } else if let Some(v) = p.strip_prefix("enqueue=") {
-                    enqueue =
-                        Some(v.parse::<u32>().map_err(|e| syntax(format!("enqueue: {e}")))?);
+                    enqueue = Some(
+                        v.parse::<u32>()
+                            .map_err(|e| syntax(format!("enqueue: {e}")))?,
+                    );
                 } else {
                     return Err(syntax(format!("unexpected token `{p}`")));
                 }
@@ -202,6 +213,20 @@ map Mul, Div         -> multiplier
             );
             assert_eq!(m.enqueue_for(op), reference.enqueue_for(op));
         }
+    }
+
+    #[test]
+    fn invalid_machine_exposes_the_machine_error_as_source() {
+        use std::error::Error as _;
+        let text = "\
+machine bad
+pipeline loader latency=0 enqueue=1
+map Load -> loader
+";
+        let err = parse(text).unwrap_err();
+        assert!(matches!(err, TextFmtError::Invalid(_)));
+        let source = err.source().expect("Invalid wraps a MachineError");
+        assert!(source.downcast_ref::<MachineError>().is_some());
     }
 
     #[test]

@@ -93,7 +93,10 @@ pub struct AsmProgram {
 impl AsmProgram {
     /// Number of NOP slots.
     pub fn nop_count(&self) -> usize {
-        self.instrs.iter().filter(|i| matches!(i, AsmInstr::Nop)).count()
+        self.instrs
+            .iter()
+            .filter(|i| matches!(i, AsmInstr::Nop))
+            .count()
     }
 
     /// Execute the program: registers start at 0, memory from `initial`.
@@ -254,8 +257,7 @@ mod tests {
     #[test]
     fn execution_computes_the_product() {
         let (_, prog) = emit_simple();
-        let initial: HashMap<String, i64> =
-            [("x".to_string(), 6), ("y".to_string(), 7)].into();
+        let initial: HashMap<String, i64> = [("x".to_string(), 6), ("y".to_string(), 7)].into();
         let memory = prog.execute(&initial);
         assert_eq!(memory["r"], 42);
     }

@@ -88,10 +88,34 @@ mod tests {
         let block = b.finish().unwrap();
         let order: Vec<_> = block.ids().collect();
         let iv = live_intervals(&block, &order);
-        assert_eq!(iv[0], Some(Interval { def: 0, last_use: 3 }));
-        assert_eq!(iv[1], Some(Interval { def: 1, last_use: 2 }));
-        assert_eq!(iv[2], Some(Interval { def: 2, last_use: 3 }));
-        assert_eq!(iv[3], Some(Interval { def: 3, last_use: 4 }));
+        assert_eq!(
+            iv[0],
+            Some(Interval {
+                def: 0,
+                last_use: 3
+            })
+        );
+        assert_eq!(
+            iv[1],
+            Some(Interval {
+                def: 1,
+                last_use: 2
+            })
+        );
+        assert_eq!(
+            iv[2],
+            Some(Interval {
+                def: 2,
+                last_use: 3
+            })
+        );
+        assert_eq!(
+            iv[3],
+            Some(Interval {
+                def: 3,
+                last_use: 4
+            })
+        );
         assert_eq!(iv[4], None, "stores produce no value");
     }
 

@@ -182,8 +182,9 @@ mod tests {
                         memory.insert(name, v);
                         v
                     }
-                    Op::Add => read(t.a, &values, &memory)
-                        .wrapping_add(read(t.b, &values, &memory)),
+                    Op::Add => {
+                        read(t.a, &values, &memory).wrapping_add(read(t.b, &values, &memory))
+                    }
                     _ => read(t.a, &values, &memory),
                 };
                 values[t.id.index()] = v;

@@ -100,8 +100,7 @@ impl CarpProgram {
             );
             issued[t.index()] = Some(earliest);
             if let Some(p) = tm.sigma[t.index()] {
-                pipe_complete[p.index()] =
-                    earliest + u64::from(tm.result_delay[t.index()]);
+                pipe_complete[p.index()] = earliest + u64::from(tm.result_delay[t.index()]);
                 pipe_reuse[p.index()] = earliest + u64::from(tm.enqueue[t.index()]);
             }
             cycle = earliest;

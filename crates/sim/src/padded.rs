@@ -177,7 +177,10 @@ mod tests {
         let prog = pad_schedule(&order, &[0, 0, 3]);
         assert!(matches!(
             prog.execute(&tm),
-            Err(SimError::Hazard { tuple: TupleId(1), cycle: 1 })
+            Err(SimError::Hazard {
+                tuple: TupleId(1),
+                cycle: 1
+            })
         ));
         assert!(!prog.is_minimally_padded(&tm));
     }

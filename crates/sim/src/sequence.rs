@@ -30,7 +30,10 @@ pub fn simulate_sequence(blocks: &[(&TimingModel, &[TupleId])]) -> SequenceRepor
     let mut stalls_per_block = Vec::with_capacity(blocks.len());
 
     for (tm, order) in blocks {
-        assert_eq!(tm.pipeline_count, pipeline_count, "one machine per sequence");
+        assert_eq!(
+            tm.pipeline_count, pipeline_count,
+            "one machine per sequence"
+        );
         // Per-block issue times (the dependences are block-local).
         let mut issued: Vec<Option<u64>> = vec![None; tm.len()];
         let mut stalls = 0u64;

@@ -101,8 +101,7 @@ impl TeraProgram {
                 // Lookahead barrier.
                 if (i as u64) + u64::from(self.lookahead[i]) < j as u64 {
                     let u = self.order[i];
-                    earliest = earliest
-                        .max(issue_at[i] + u64::from(tm.result_delay[u.index()]));
+                    earliest = earliest.max(issue_at[i] + u64::from(tm.result_delay[u.index()]));
                 }
                 // Same-pipeline enqueue spacing is architectural (the pipe
                 // physically can't accept the op earlier).

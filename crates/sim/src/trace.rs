@@ -39,7 +39,10 @@ impl Trace {
 
     /// Number of bubble cycles.
     pub fn bubbles(&self) -> usize {
-        self.events.iter().filter(|e| matches!(e, Event::Bubble)).count()
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::Bubble))
+            .count()
     }
 
     /// Total cycles.

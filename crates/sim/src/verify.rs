@@ -2,8 +2,9 @@
 
 use std::fmt;
 
-use pipesched_ir::{analysis::verify_schedule as verify_topological, BasicBlock, DepDag, IrError,
-                   TupleId};
+use pipesched_ir::{
+    analysis::verify_schedule as verify_topological, BasicBlock, DepDag, IrError, TupleId,
+};
 use pipesched_machine::Machine;
 
 use crate::issue::{issue_times, total_nops};
@@ -51,7 +52,14 @@ impl fmt::Display for SimError {
     }
 }
 
-impl std::error::Error for SimError {}
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Illegal(e) => Some(e),
+            SimError::Hazard { .. } | SimError::EtaMismatch { .. } => None,
+        }
+    }
+}
 
 impl From<IrError> for SimError {
     fn from(e: IrError) -> Self {
@@ -133,5 +141,18 @@ mod tests {
         let order = [1u32, 0, 2].map(TupleId);
         let err = validate_schedule(&block, &dag, &machine, &order, &[0, 0, 0]).unwrap_err();
         assert!(matches!(err, SimError::Illegal(_)));
+    }
+
+    #[test]
+    fn illegal_exposes_the_ir_error_as_source() {
+        use std::error::Error as _;
+        let (block, dag, machine) = chain();
+        let order = [1u32, 0, 2].map(TupleId);
+        let err = validate_schedule(&block, &dag, &machine, &order, &[0, 0, 0]).unwrap_err();
+        let source = err.source().expect("Illegal wraps an IrError");
+        assert!(source.downcast_ref::<IrError>().is_some());
+        // Boxing through `?` preserves the chain.
+        let boxed: Box<dyn std::error::Error> = Box::new(err);
+        assert!(boxed.source().is_some());
     }
 }

@@ -7,9 +7,7 @@ use proptest::prelude::*;
 
 use pipesched_ir::{BasicBlock, BlockBuilder, DepDag, Op, TupleId};
 use pipesched_machine::{presets, Machine};
-use pipesched_sim::{
-    pad_schedule, simulate_interlock, tag_schedule, issue_times, TimingModel,
-};
+use pipesched_sim::{issue_times, pad_schedule, simulate_interlock, tag_schedule, TimingModel};
 
 /// Deterministic random block from a byte script (valid by construction).
 fn block_from_script(script: &[u8]) -> BasicBlock {
@@ -33,7 +31,9 @@ fn block_from_script(script: &[u8]) -> BasicBlock {
                 // Reference the most recent value-producing tuple(s).
                 let producers: Vec<TupleId> = {
                     let blk = b.clone().finish_unchecked();
-                    blk.ids().filter(|&i| blk.tuple(i).op.produces_value()).collect()
+                    blk.ids()
+                        .filter(|&i| blk.tuple(i).op.produces_value())
+                        .collect()
                 };
                 if producers.is_empty() {
                     b.load(vars[y as usize % vars.len()]);
@@ -71,9 +71,7 @@ fn random_topo_order(dag: &DepDag, selectors: &[u8]) -> Vec<TupleId> {
     let mut placed = vec![false; n];
     let mut order = Vec::with_capacity(n);
     for step in 0..n {
-        let ready: Vec<usize> = (0..n)
-            .filter(|&i| !placed[i] && pending[i] == 0)
-            .collect();
+        let ready: Vec<usize> = (0..n).filter(|&i| !placed[i] && pending[i] == 0).collect();
         let sel = selectors.get(step).copied().unwrap_or(0) as usize % ready.len();
         let pick = ready[sel];
         placed[pick] = true;

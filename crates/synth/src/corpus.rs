@@ -52,10 +52,9 @@ impl CorpusSpec {
     pub fn config(&self, k: usize) -> GeneratorConfig {
         // Derive per-run parameters from a splitmix-style hash of the seed
         // so the sweep covers the ranges uniformly but reproducibly.
-        let mut rng = StdRng::seed_from_u64(self.base_seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        let pick = |rng: &mut StdRng, (lo, hi): (usize, usize)| -> usize {
-            rng.gen_range(lo..=hi)
-        };
+        let mut rng =
+            StdRng::seed_from_u64(self.base_seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let pick = |rng: &mut StdRng, (lo, hi): (usize, usize)| -> usize { rng.gen_range(lo..=hi) };
         let mut statements = pick(&mut rng, self.statements);
         let mut variables = pick(&mut rng, self.variables);
         let constants = pick(&mut rng, self.constants);
@@ -151,7 +150,11 @@ mod tests {
             "mean {} too far from the paper's 20.6",
             stats.mean_size
         );
-        assert!(stats.max_size >= 35, "no large-block tail: {}", stats.max_size);
+        assert!(
+            stats.max_size >= 35,
+            "no large-block tail: {}",
+            stats.max_size
+        );
         assert!(stats.min_size >= 1);
     }
 

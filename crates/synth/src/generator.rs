@@ -4,8 +4,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use pipesched_frontend::ast::{Assign, BinOp, Expr, Program};
-use pipesched_frontend::opt::{optimize, OptConfig};
 use pipesched_frontend::lower;
+use pipesched_frontend::opt::{optimize, OptConfig};
 use pipesched_ir::BasicBlock;
 
 use crate::freq::{FrequencyTable, StatementKind};

@@ -13,7 +13,7 @@ use pipesched::frontend::{compile, compile_unoptimized, interpret};
 use pipesched::ir::DepDag;
 use pipesched::machine::presets;
 use pipesched::regalloc::{allocate, emit, max_pressure};
-use pipesched::sim::{Trace, TimingModel};
+use pipesched::sim::{TimingModel, Trace};
 
 const SOURCE: &str = "\
 // dot-product step with a redundant subexpression

@@ -20,7 +20,11 @@ fn main() {
     let dag = DepDag::build(&block);
     let machine = presets::paper_simulation();
 
-    println!("block of {} instructions on `{}`\n", block.len(), machine.name);
+    println!(
+        "block of {} instructions on `{}`\n",
+        block.len(),
+        machine.name
+    );
     println!(
         "{:>12} {:>11} {:>9} {:>10}",
         "lambda", "final NOPs", "Ω used", "status"
@@ -28,7 +32,9 @@ fn main() {
 
     // Use the paper-exact configuration so λ is the only safety net — the
     // default config's lower-bound termination would end the sweep early.
-    for lambda in [10u64, 50, 100, 500, 1_000, 5_000, 50_000, 500_000, 5_000_000] {
+    for lambda in [
+        10u64, 50, 100, 500, 1_000, 5_000, 50_000, 500_000, 5_000_000,
+    ] {
         let search_cfg = SearchConfig {
             lambda,
             ..SearchConfig::paper_exact()
@@ -50,6 +56,10 @@ fn main() {
         "\nwith the default critical-path bound: {} NOPs in {} Ω calls ({})",
         smart.nops,
         smart.stats.omega_calls,
-        if smart.optimal { "optimal" } else { "truncated" }
+        if smart.optimal {
+            "optimal"
+        } else {
+            "truncated"
+        }
     );
 }

@@ -3,6 +3,9 @@
 //! ```text
 //! pipesched <input> [--machine NAME|FILE.json] [--emit WHAT] [--lambda N]
 //!                   [--window N] [--parallel] [--no-optimize] [--regs N]
+//! pipesched lint [INPUT ...] [--machine NAME|FILE] [--json] [--no-optimize]
+//! pipesched certify <input> [--machine NAME|FILE] [--lambda N] [--window N]
+//!                   [--parallel] [--json] [--no-optimize]
 //!
 //! <input>      a source file of assignment statements, a tuple file
 //!              (first line `;; tuples`), or `-` for stdin
@@ -21,8 +24,9 @@
 use std::io::Read;
 use std::process::ExitCode;
 
+use pipesched::analyze;
 use pipesched::core::{search, windowed_schedule, SchedContext, Scheduler, SearchConfig};
-use pipesched::frontend::{compile, compile_unoptimized};
+use pipesched::frontend::{compile, compile_sequence, compile_unoptimized};
 use pipesched::ir::{dot, parse::parse_block, BasicBlock, DepDag};
 use pipesched::machine::{config as machine_config, presets, Machine};
 use pipesched::regalloc::{allocate, emit, max_pressure};
@@ -42,7 +46,10 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: pipesched <input> [--machine NAME|FILE.json] [--emit asm|padded|trace|gantt|tuples|dot|stats]\n\
-         \x20                [--lambda N] [--window N] [--parallel] [--no-optimize] [--regs N]"
+         \x20                [--lambda N] [--window N] [--parallel] [--no-optimize] [--regs N]\n\
+         \x20      pipesched lint [INPUT ...] [--machine NAME|FILE] [--json] [--no-optimize]\n\
+         \x20      pipesched certify <input> [--machine NAME|FILE] [--lambda N] [--window N]\n\
+         \x20                [--parallel] [--json] [--no-optimize]"
     );
     std::process::exit(2)
 }
@@ -67,15 +74,17 @@ fn parse_options() -> Result<Options, String> {
             "--emit" => opts.emit = value()?,
             "--lambda" => opts.lambda = value()?.parse().map_err(|e| format!("--lambda: {e}"))?,
             "--window" => {
-                opts.window = Some(value()?.parse().map_err(|e| format!("--window: {e}"))?)
+                let w: usize = value()?.parse().map_err(|e| format!("--window: {e}"))?;
+                if w == 0 {
+                    return Err("--window must be at least 1".into());
+                }
+                opts.window = Some(w);
             }
             "--regs" => opts.regs = Some(value()?.parse().map_err(|e| format!("--regs: {e}"))?),
             "--parallel" => opts.parallel = true,
             "--no-optimize" => opts.optimize = false,
             "--help" | "-h" => usage(),
-            other if input.is_none() && !other.starts_with('-') => {
-                input = Some(other.to_string())
-            }
+            other if input.is_none() && !other.starts_with('-') => input = Some(other.to_string()),
             "-" if input.is_none() => input = Some("-".into()),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -93,13 +102,11 @@ fn load_machine(spec: &str) -> Result<Machine, String> {
         "section2-example" => Ok(presets::section2_example()),
         "unpipelined" => Ok(presets::unpipelined()),
         path if path.ends_with(".json") => {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
             machine_config::from_json(&text).map_err(|e| e.to_string())
         }
         path if path.ends_with(".mach") => {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
             pipesched::machine::textfmt::parse(&text).map_err(|e| e.to_string())
         }
         other => Err(format!(
@@ -109,34 +116,204 @@ fn load_machine(spec: &str) -> Result<Machine, String> {
 }
 
 fn load_block(opts: &Options) -> Result<BasicBlock, String> {
-    let text = if opts.input == "-" {
+    load_block_from(&opts.input, opts.optimize)
+}
+
+fn load_block_from(input: &str, optimize: bool) -> Result<BasicBlock, String> {
+    let text = if input == "-" {
         let mut buf = String::new();
         std::io::stdin()
             .read_to_string(&mut buf)
             .map_err(|e| format!("stdin: {e}"))?;
         buf
     } else {
-        std::fs::read_to_string(&opts.input).map_err(|e| format!("read {}: {e}", opts.input))?
+        std::fs::read_to_string(input).map_err(|e| format!("read {input}: {e}"))?
     };
     // Tuple files start with a `;; tuples` marker; everything else is
     // source text.
     if text.trim_start().starts_with(";; tuples") {
-        parse_block("input", &text).map_err(|e| e.to_string())
-    } else if opts.optimize {
-        compile("input", &text).map_err(|e| e.to_string())
+        parse_block(input, &text).map_err(|e| e.to_string())
+    } else if optimize {
+        compile(input, &text).map_err(|e| e.to_string())
     } else {
-        compile_unoptimized("input", &text).map_err(|e| e.to_string())
+        compile_unoptimized(input, &text).map_err(|e| e.to_string())
     }
 }
 
 fn main() -> ExitCode {
-    match run() {
-        Ok(()) => ExitCode::SUCCESS,
+    // `lint` and `certify` are subcommands with their own option grammar;
+    // everything else is the original scheduling pipeline.
+    let dispatch = match std::env::args().nth(1).as_deref() {
+        Some("lint") => run_lint(),
+        Some("certify") => run_certify(),
+        _ => run().map(|()| ExitCode::SUCCESS),
+    };
+    match dispatch {
+        Ok(code) => code,
         Err(e) => {
             eprintln!("pipesched: {e}");
             ExitCode::FAILURE
         }
     }
+}
+
+/// Shared option grammar of the `lint` and `certify` subcommands.
+struct AnalyzeOptions {
+    inputs: Vec<String>,
+    machine: String,
+    json: bool,
+    optimize: bool,
+    lambda: u64,
+    window: Option<usize>,
+    parallel: bool,
+}
+
+fn parse_analyze_options() -> Result<AnalyzeOptions, String> {
+    let mut opts = AnalyzeOptions {
+        inputs: Vec::new(),
+        machine: "paper-simulation".into(),
+        json: false,
+        optimize: true,
+        lambda: 50_000,
+        window: None,
+        parallel: false,
+    };
+    let mut args = std::env::args().skip(2);
+    while let Some(a) = args.next() {
+        let mut value = || args.next().ok_or_else(|| format!("{a} requires a value"));
+        match a.as_str() {
+            "--machine" => opts.machine = value()?,
+            "--lambda" => opts.lambda = value()?.parse().map_err(|e| format!("--lambda: {e}"))?,
+            "--window" => {
+                let w: usize = value()?.parse().map_err(|e| format!("--window: {e}"))?;
+                if w == 0 {
+                    return Err("--window must be at least 1".into());
+                }
+                opts.window = Some(w);
+            }
+            "--json" => opts.json = true,
+            "--parallel" => opts.parallel = true,
+            "--no-optimize" => opts.optimize = false,
+            "--help" | "-h" => usage(),
+            "-" => opts.inputs.push("-".into()),
+            other if !other.starts_with('-') => opts.inputs.push(other.to_string()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Print reports (text or a JSON array); exit 1 when any has errors.
+fn emit_reports(reports: &[analyze::Report], json: bool) -> ExitCode {
+    let failed = reports.iter().any(analyze::Report::has_errors);
+    if json {
+        let arr =
+            pipesched::json::Json::Array(reports.iter().map(analyze::Report::to_json).collect());
+        println!("{}", arr.to_pretty());
+    } else {
+        for r in reports {
+            print!("{}", r.render_text());
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Load every block of an input: a tuple file holds one block; labeled
+/// source programs compile to one block per region.
+fn load_blocks_from(input: &str, optimize: bool) -> Result<Vec<BasicBlock>, String> {
+    let text = if input == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(input).map_err(|e| format!("read {input}: {e}"))?
+    };
+    if text.trim_start().starts_with(";; tuples") {
+        return Ok(vec![parse_block(input, &text).map_err(|e| e.to_string())?]);
+    }
+    if optimize {
+        compile_sequence(&text).map_err(|e| e.to_string())
+    } else {
+        Ok(vec![
+            compile_unoptimized(input, &text).map_err(|e| e.to_string())?
+        ])
+    }
+}
+
+/// `pipesched lint`: machine-description lints plus IR checks per input.
+fn run_lint() -> Result<ExitCode, String> {
+    let opts = parse_analyze_options()?;
+    let machine = load_machine(&opts.machine)?;
+    let mut reports = vec![analyze::check_machine(&machine)];
+    for input in &opts.inputs {
+        for block in load_blocks_from(input, opts.optimize)? {
+            reports.push(analyze::check_block(&block));
+        }
+    }
+    Ok(emit_reports(&reports, opts.json))
+}
+
+/// `pipesched certify`: schedule each input, certify the result against
+/// the independent re-derivation, and cross-check all schedulers.
+fn run_certify() -> Result<ExitCode, String> {
+    let opts = parse_analyze_options()?;
+    if opts.inputs.is_empty() {
+        return Err("certify needs at least one input".into());
+    }
+    let machine = load_machine(&opts.machine)?;
+    let mut reports = Vec::new();
+    let blocks: Vec<BasicBlock> = opts
+        .inputs
+        .iter()
+        .map(|input| load_blocks_from(input, opts.optimize))
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .flatten()
+        .collect();
+    for block in &blocks {
+        let dag = DepDag::build(block);
+        let ctx = SchedContext::new(block, &dag, &machine);
+        let cert = if let Some(window) = opts.window {
+            let w = windowed_schedule(&ctx, window, opts.lambda);
+            analyze::certify::certify(
+                block,
+                &machine,
+                analyze::Claim {
+                    order: &w.order,
+                    etas: Some(&w.etas),
+                    nops: Some(w.nops),
+                    ..analyze::Claim::default()
+                },
+            )
+        } else if opts.parallel {
+            let out = pipesched::core::parallel::parallel_search(&ctx, opts.lambda, 0);
+            analyze::certify::certify(
+                block,
+                &machine,
+                analyze::Claim {
+                    order: &out.order,
+                    assignment: Some(&out.assignment),
+                    etas: Some(&out.etas),
+                    nops: Some(out.nops),
+                },
+            )
+        } else {
+            let out = Scheduler::new(machine.clone())
+                .with_lambda(opts.lambda)
+                .schedule(block);
+            analyze::certify_scheduled(block, &machine, &out)
+        };
+        let mut report = cert.report;
+        report.merge(analyze::cross_check(block, &machine, opts.lambda));
+        reports.push(report);
+    }
+    Ok(emit_reports(&reports, opts.json))
 }
 
 fn run() -> Result<(), String> {
@@ -188,6 +365,26 @@ fn run() -> Result<(), String> {
         )
     };
 
+    // Debug builds certify every schedule the CLI emits: the independent
+    // re-derivation in `pipesched-analyze` must agree with the scheduler.
+    if cfg!(debug_assertions) {
+        let cert = analyze::certify::certify(
+            &block,
+            &machine,
+            analyze::Claim {
+                order: &order,
+                etas: Some(&etas),
+                nops: Some(nops),
+                assignment: None,
+            },
+        );
+        assert!(
+            cert.is_certified(),
+            "schedule failed certification:\n{}",
+            cert.report
+        );
+    }
+
     match opts.emit.as_str() {
         "tuples" => {
             println!(";; tuples");
@@ -231,7 +428,10 @@ fn run() -> Result<(), String> {
             print!("{structure}");
             println!("initial (list) NOPs:{:>6}", out.initial_nops);
             println!("final NOPs:         {:>6}", out.nops);
-            println!("total cycles:       {:>6}", block.len() as u64 + u64::from(out.nops));
+            println!(
+                "total cycles:       {:>6}",
+                block.len() as u64 + u64::from(out.nops)
+            );
             println!("omega calls:        {:>6}", out.stats.omega_calls);
             println!("provably optimal:   {}", out.optimal);
             return Ok(());

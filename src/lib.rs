@@ -1,9 +1,11 @@
 #![warn(missing_docs)]
 
 //! Umbrella crate re-exporting the `pipesched` workspace public API.
+pub use pipesched_analyze as analyze;
 pub use pipesched_core as core;
 pub use pipesched_frontend as frontend;
 pub use pipesched_ir as ir;
+pub use pipesched_json as json;
 pub use pipesched_machine as machine;
 pub use pipesched_regalloc as regalloc;
 pub use pipesched_sim as sim;

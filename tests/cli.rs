@@ -19,7 +19,11 @@ const SOURCE: &str = "p = a * b;\nq = c * d;\nr = p + q;\n";
 fn emits_asm_with_registers() {
     let src = write_temp("asm.src", SOURCE);
     let out = bin().arg(&src).args(["--emit", "asm"]).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("Load  R0,a"), "{text}");
     assert!(text.contains("Nop"), "{text}");
@@ -60,7 +64,11 @@ fn tuple_round_trip_through_stdin() {
         .write_all(tuple_text.as_bytes())
         .unwrap();
     let out = child.wait_with_output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("Load #a"), "{text}");
 }
@@ -97,7 +105,8 @@ fn windowed_and_parallel_modes_run() {
 fn machine_json_file_is_accepted() {
     let machine = pipesched::machine::presets::deep_pipeline();
     let json = pipesched::machine::config::to_json(&machine).unwrap();
-    let path = std::env::temp_dir().join(format!("pipesched-cli-machine-{}.json", std::process::id()));
+    let path =
+        std::env::temp_dir().join(format!("pipesched-cli-machine-{}.json", std::process::id()));
     std::fs::write(&path, json).unwrap();
     let src = write_temp("mj.src", SOURCE);
     let out = bin()
@@ -106,7 +115,11 @@ fn machine_json_file_is_accepted() {
         .arg(&path)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("deep-pipeline"), "{text}");
 }
@@ -120,9 +133,17 @@ fn bad_inputs_fail_cleanly() {
     assert!(err.contains("expected"), "{err}");
 
     let src2 = write_temp("ok.src", SOURCE);
-    let out = bin().arg(&src2).args(["--machine", "nonexistent"]).output().unwrap();
+    let out = bin()
+        .arg(&src2)
+        .args(["--machine", "nonexistent"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
-    let out = bin().arg(&src2).args(["--emit", "nonsense"]).output().unwrap();
+    let out = bin()
+        .arg(&src2)
+        .args(["--emit", "nonsense"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 }
 
@@ -142,7 +163,11 @@ map Load -> loader
         .arg(&path)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("tiny"), "{text}");
 }

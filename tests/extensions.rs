@@ -3,9 +3,7 @@
 //! encodings, and the Gantt view — all cross-validated against the
 //! independent simulator.
 
-use pipesched::core::{
-    schedule_sequence, search, windowed_schedule, SchedContext, SearchConfig,
-};
+use pipesched::core::{schedule_sequence, search, windowed_schedule, SchedContext, SearchConfig};
 use pipesched::frontend::compile_sequence;
 use pipesched::ir::{analysis::verify_schedule, DepDag};
 use pipesched::machine::presets;
@@ -121,7 +119,10 @@ fn gantt_is_consistent_with_the_schedule() {
         .map(|p| p.function.clone())
         .collect();
     let gantt = pipesched::sim::chart(&tm, &out.order, &labels);
-    assert_eq!(gantt.cycles as u64, block.len() as u64 + u64::from(out.nops));
+    assert_eq!(
+        gantt.cycles as u64,
+        block.len() as u64 + u64::from(out.nops)
+    );
     // Every instruction appears exactly once in the issue row.
     let issued = gantt.issue_row.iter().filter(|c| c.is_some()).count();
     assert_eq!(issued, block.len());

@@ -21,7 +21,10 @@ fn section21_dependence_example() {
         .iter()
         .position(|&t| block.tuple(t).op == Op::Add)
         .unwrap();
-    assert_eq!(etas[add_pos], 2, "load@0, const@1, add must wait to cycle 4");
+    assert_eq!(
+        etas[add_pos], 2,
+        "load@0, const@1, add must wait to cycle 4"
+    );
 }
 
 /// §2.1: two loads through a MAR held for 2 cycles need 1 delay tick.
@@ -41,7 +44,11 @@ fn section21_conflict_example() {
     assert_eq!(loads.len(), 2);
     let mut engine = pipesched::core::TimingEngine::new(&ctx);
     assert_eq!(engine.push_default(loads[0]), 0);
-    assert_eq!(engine.push_default(loads[1]), 1, "MAR conflict inserts 1 NOP");
+    assert_eq!(
+        engine.push_default(loads[1]),
+        1,
+        "MAR conflict inserts 1 NOP"
+    );
 }
 
 /// Figure 3: `b = 15; a = b * a;` lowers to exactly the paper's 5 tuples.
@@ -49,7 +56,10 @@ fn section21_conflict_example() {
 fn figure3_tuples() {
     let block = compile_unoptimized("fig3", "b = 15;\na = b * a;\n").unwrap();
     let ops: Vec<Op> = block.tuples().iter().map(|t| t.op).collect();
-    assert_eq!(ops, vec![Op::Const, Op::Store, Op::Load, Op::Mul, Op::Store]);
+    assert_eq!(
+        ops,
+        vec![Op::Const, Op::Store, Op::Load, Op::Mul, Op::Store]
+    );
 }
 
 /// §5.3: the corpus averages ~20.6 instructions per block, and blocks past
@@ -58,7 +68,11 @@ fn figure3_tuples() {
 fn corpus_statistics_match_section53() {
     let spec = CorpusSpec::paper_default();
     let stats = CorpusStats::measure(&spec, 600);
-    assert!((stats.mean_size - 20.6).abs() < 3.0, "mean {}", stats.mean_size);
+    assert!(
+        (stats.mean_size - 20.6).abs() < 3.0,
+        "mean {}",
+        stats.mean_size
+    );
     let past_40: usize = stats.histogram.iter().skip(41).sum();
     assert!(past_40 > 0, "no blocks past 40 instructions");
     assert!(
