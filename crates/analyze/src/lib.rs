@@ -29,7 +29,7 @@ pub mod diag;
 pub mod ir_checks;
 pub mod machine_checks;
 
-pub use certify::{certify_scheduled, Certification, Claim};
+pub use certify::{certify, certify_scheduled, Certification, Claim};
 pub use cross::cross_check;
 pub use diag::{DiagCode, Diagnostic, Report, Severity};
 pub use ir_checks::check_block;
@@ -55,6 +55,22 @@ pub fn lint(block: &BasicBlock, machine: &Machine) -> Report {
 pub fn debug_assert_certified(block: &BasicBlock, machine: &Machine, scheduled: &ScheduledBlock) {
     if cfg!(debug_assertions) {
         let cert = certify::certify_scheduled(block, machine, scheduled);
+        assert!(
+            cert.is_certified(),
+            "schedule failed certification:\n{}",
+            cert.report
+        );
+    }
+}
+
+/// [`debug_assert_certified`] for callers that hold a raw [`Claim`] rather
+/// than a [`ScheduledBlock`] — the scheduling service certifies every
+/// response (including cache hits replayed onto a renamed block) through
+/// this hook.
+#[inline]
+pub fn debug_assert_claim_certified(block: &BasicBlock, machine: &Machine, claim: Claim<'_>) {
+    if cfg!(debug_assertions) {
+        let cert = certify::certify(block, machine, claim);
         assert!(
             cert.is_certified(),
             "schedule failed certification:\n{}",

@@ -8,6 +8,7 @@
 //! repro ablation  [--runs N]
 //! repro windowed  [--runs N]
 //! repro encodings [--runs N]
+//! repro serve     [--runs N] [--threads T]   # memoized serving throughput
 //! repro verify    [--runs N]   # full end-to-end invariant gate
 //! ```
 //!
@@ -20,7 +21,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use pipesched_bench::experiments::{ablation, encodings, sweep, table1, verify_sweep, windowed};
+use pipesched_bench::experiments::{
+    ablation, encodings, serve, sweep, table1, verify_sweep, windowed,
+};
 use pipesched_bench::report::{f, percentile, TextTable};
 use pipesched_bench::{run_sweep, RunRecord, SweepConfig, SweepResult};
 use pipesched_synth::CorpusSpec;
@@ -87,6 +90,7 @@ fn main() -> ExitCode {
         "ablation" => run_ablation(&args),
         "windowed" => run_windowed(&args),
         "encodings" => run_encodings(&args),
+        "serve" => run_serve(&args),
         "verify" => {
             let runs = args.runs.min(2_000);
             eprintln!("verify: full end-to-end gate over {runs} blocks...");
@@ -112,11 +116,12 @@ fn main() -> ExitCode {
             run_ablation(&ablation_args);
             run_windowed(&ablation_args);
             run_encodings(&ablation_args);
+            run_serve(&ablation_args);
         }
         other => {
             eprintln!(
                 "repro: unknown command `{other}`\n\
-                 commands: all table1 table7 fig1 fig4 fig5 fig6 fig7 ablation windowed encodings verify"
+                 commands: all table1 table7 fig1 fig4 fig5 fig6 fig7 ablation windowed encodings serve verify"
             );
             return ExitCode::FAILURE;
         }
@@ -393,6 +398,28 @@ fn run_windowed(args: &Args) {
         "windowed",
         &table,
         "Windowed scheduling (section 5.3 future work): quality vs window size on large blocks",
+    );
+}
+
+fn run_serve(args: &Args) {
+    let requests = args.runs.clamp(40, 2_000);
+    let shapes = (requests / 10).clamp(4, 32);
+    let workers = if args.threads == 0 { 4 } else { args.threads };
+    eprintln!("serve: {requests} requests over {shapes} shapes, {workers} workers...");
+    let report = serve::run(requests, shapes, workers);
+    println!(
+        "serve: {} requests in {:.1} ms — {:.0} req/s, {} cache hits, mean hit/miss speedup {:.1}x",
+        report.requests,
+        report.wall_micros as f64 / 1_000.0,
+        report.throughput_rps,
+        report.cache_hits,
+        report.speedup()
+    );
+    save(
+        args,
+        "serve_throughput",
+        &report.table(),
+        "Serving throughput: cache hits vs live searches on a repeated-shapes workload",
     );
 }
 

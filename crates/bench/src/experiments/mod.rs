@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod blocks;
 pub mod encodings;
+pub mod serve;
 pub mod sweep;
 pub mod table1;
 pub mod verify_sweep;

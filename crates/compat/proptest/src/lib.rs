@@ -462,11 +462,29 @@ macro_rules! prop_oneof {
 #[macro_export]
 macro_rules! __proptest_items {
     (($cfg:expr)) => {};
-    (($cfg:expr)
-     $(#[$meta:meta])*
+    (($cfg:expr) $($rest:tt)+) => {
+        $crate::__proptest_one!(($cfg) [] $($rest)+);
+    };
+}
+
+/// One-item muncher: collects the attributes preceding a property function,
+/// dropping any user-written `#[test]`. The real proptest crate expects an
+/// explicit `#[test]` on each property and *replaces* it; re-emitting it
+/// alongside the expansion's own `#[test]` gave every property two test
+/// attributes, so libtest registered (and ran) each one twice.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_one {
+    (($cfg:expr) [$($kept:tt)*] #[test] $($rest:tt)*) => {
+        $crate::__proptest_one!(($cfg) [$($kept)*] $($rest)*);
+    };
+    (($cfg:expr) [$($kept:tt)*] #[$meta:meta] $($rest:tt)*) => {
+        $crate::__proptest_one!(($cfg) [$($kept)* #[$meta]] $($rest)*);
+    };
+    (($cfg:expr) [$($kept:tt)*]
      fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
      $($rest:tt)*) => {
-        $(#[$meta])*
+        $($kept)*
         #[test]
         fn $name() {
             let config: $crate::test_runner::ProptestConfig = $cfg;

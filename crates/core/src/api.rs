@@ -23,7 +23,7 @@ use pipesched_machine::{Machine, PipelineId};
 
 use crate::bnb::{search, SearchConfig, SearchStats};
 use crate::context::SchedContext;
-use crate::parallel::parallel_search;
+use crate::parallel::parallel_search_bounded;
 
 /// A configured scheduler bound to a target machine.
 #[derive(Debug, Clone)]
@@ -55,6 +55,12 @@ impl Scheduler {
         self
     }
 
+    /// Set an anytime wall-clock deadline for every schedule call.
+    pub fn with_deadline(mut self, deadline: Option<std::time::Instant>) -> Self {
+        self.config.deadline = deadline;
+        self
+    }
+
     /// Use the parallel branch-and-bound with `threads` workers
     /// (0 ⇒ one per CPU). The parallel variant ignores the non-default
     /// bound/equivalence/selection knobs.
@@ -82,9 +88,19 @@ impl Scheduler {
     /// Schedule a block whose DAG the caller already built.
     pub fn schedule_with_dag(&self, block: &BasicBlock, dag: &DepDag) -> ScheduledBlock {
         let ctx = SchedContext::new(block, dag, &self.machine);
+        self.schedule_context(&ctx)
+    }
+
+    /// Schedule from a prebuilt [`SchedContext`] — the cheapest entry point
+    /// when one block is scheduled repeatedly (escalation tiers, serving):
+    /// the DAG, dependence analysis and machine tables are all reused. The
+    /// context must target the same machine as this scheduler.
+    pub fn schedule_context(&self, ctx: &SchedContext<'_>) -> ScheduledBlock {
         let outcome = match self.parallel_threads {
-            Some(threads) => parallel_search(&ctx, self.config.lambda, threads),
-            None => search(&ctx, &self.config),
+            Some(threads) => {
+                parallel_search_bounded(ctx, self.config.lambda, threads, self.config.deadline)
+            }
+            None => search(ctx, &self.config),
         };
         ScheduledBlock {
             order: outcome.order,

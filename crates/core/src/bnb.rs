@@ -102,7 +102,17 @@ pub struct SearchConfig {
     /// never changes which schedule is found, only how quickly the search
     /// can prove it optimal instead of exhausting the space).
     pub terminate_on_lower_bound: bool,
+    /// Wall-clock deadline: the search stops (anytime, returning the
+    /// incumbent with `optimal = false`) once `Instant::now()` passes it.
+    /// Checked every [`DEADLINE_CHECK_INTERVAL`] Ω calls so the hot path
+    /// never reads the clock. `None` disables the deadline (the default).
+    pub deadline: Option<std::time::Instant>,
 }
+
+/// Ω calls between wall-clock reads when a deadline is set. A power of two
+/// so the throttle is a mask; small enough that the overshoot past the
+/// deadline stays in the tens of microseconds on any realistic block.
+pub const DEADLINE_CHECK_INTERVAL: u64 = 512;
 
 impl Default for SearchConfig {
     fn default() -> Self {
@@ -117,6 +127,7 @@ impl Default for SearchConfig {
             quick_check: true,
             initial: InitialHeuristic::MaxDistance,
             terminate_on_lower_bound: true,
+            deadline: None,
         }
     }
 }
@@ -128,6 +139,12 @@ impl SearchConfig {
             lambda,
             ..Self::default()
         }
+    }
+
+    /// Builder-style deadline override (see [`SearchConfig::deadline`]).
+    pub fn with_deadline(mut self, deadline: Option<std::time::Instant>) -> Self {
+        self.deadline = deadline;
+        self
     }
 
     /// The paper's algorithm exactly as §4.2.3 describes it: plain α-β
@@ -162,8 +179,12 @@ pub struct SearchStats {
     pub pruned_bound: u64,
     /// Pipeline-unit choices skipped by symmetry breaking.
     pub pruned_symmetry: u64,
-    /// True when λ was exhausted before the search completed.
+    /// True when λ or the wall-clock deadline was exhausted before the
+    /// search completed.
     pub truncated: bool,
+    /// True when the truncation was caused by the wall-clock deadline
+    /// (implies `truncated`).
+    pub deadline_hit: bool,
     /// True when the search stopped early because the incumbent reached the
     /// admissible global lower bound (still a proof of optimality).
     pub proved_by_bound: bool,
@@ -273,7 +294,13 @@ pub fn search_with_boundary(
         initial_nops,
     );
     s.global_lb = global_lb;
-    s.dfs(0);
+    if cfg.deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+        // Already out of time: the incumbent is the answer (anytime).
+        s.stats.truncated = true;
+        s.stats.deadline_hit = true;
+    } else {
+        s.dfs(0);
+    }
 
     let optimal = !s.stats.truncated;
     let (best_etas, best_nops) =
@@ -490,6 +517,19 @@ impl<'c, 'a> Search<'c, 'a> {
         if self.stats.omega_calls >= self.cfg.lambda {
             self.stats.truncated = true;
             self.stop = true;
+        }
+        // Anytime deadline (throttled so the hot path never reads the clock).
+        if let Some(deadline) = self.cfg.deadline {
+            if self
+                .stats
+                .omega_calls
+                .is_multiple_of(DEADLINE_CHECK_INTERVAL)
+                && std::time::Instant::now() >= deadline
+            {
+                self.stats.truncated = true;
+                self.stats.deadline_hit = true;
+                self.stop = true;
+            }
         }
 
         self.engine.push(xi, pipe);
@@ -718,6 +758,57 @@ mod tests {
         // Still returns a legal schedule no worse than the list schedule.
         verify_schedule(&block, &dag, &out.order).unwrap();
         assert!(out.nops <= out.initial_nops);
+    }
+
+    #[test]
+    fn expired_deadline_returns_incumbent_anytime() {
+        let mut b = BlockBuilder::new("deadline");
+        for i in 0..5 {
+            let l = b.load(&format!("x{i}"));
+            let m = b.mul(l, l);
+            b.store(&format!("y{i}"), m);
+        }
+        let block = b.finish().unwrap();
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let ctx = ctx_for(&block, &dag, &machine);
+        // A deadline already in the past: the search must return the list
+        // incumbent immediately, flagged non-optimal.
+        let cfg = SearchConfig {
+            terminate_on_lower_bound: false,
+            ..SearchConfig::default()
+        }
+        .with_deadline(Some(
+            std::time::Instant::now() - std::time::Duration::from_millis(1),
+        ));
+        let out = search(&ctx, &cfg);
+        assert!(!out.optimal);
+        assert!(out.stats.truncated);
+        assert!(out.stats.deadline_hit);
+        assert_eq!(out.stats.omega_calls, 0);
+        assert_eq!(out.nops, out.initial_nops);
+        verify_schedule(&block, &dag, &out.order).unwrap();
+    }
+
+    #[test]
+    fn future_deadline_does_not_disturb_search() {
+        let mut b = BlockBuilder::new("far");
+        let x = b.load("x");
+        let y = b.load("y");
+        let m = b.mul(x, y);
+        b.store("r", m);
+        let block = b.finish().unwrap();
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let ctx = ctx_for(&block, &dag, &machine);
+        let base = search(&ctx, &SearchConfig::default());
+        let cfg = SearchConfig::default().with_deadline(Some(
+            std::time::Instant::now() + std::time::Duration::from_secs(600),
+        ));
+        let out = search(&ctx, &cfg);
+        assert!(out.optimal);
+        assert!(!out.stats.deadline_hit);
+        assert_eq!(out.nops, base.nops);
     }
 
     #[test]

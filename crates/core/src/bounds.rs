@@ -146,6 +146,30 @@ impl LowerBound {
     }
 }
 
+/// Admissible lower bound on μ for the whole block, scheduled from a cold
+/// boundary with each op on its default unit. This is the bound `search`
+/// uses for its optimality pre-check; callers that obtain a schedule by
+/// other means (a cache hit, a heuristic tier) can compare against it to
+/// prove optimality without running the branch-and-bound at all.
+pub fn global_lower_bound(ctx: &SchedContext<'_>) -> u32 {
+    let n = ctx.len();
+    if n == 0 {
+        return 0;
+    }
+    let lb = LowerBound::new(ctx);
+    let engine = TimingEngine::new(ctx);
+    let ready = (0..n as u32)
+        .map(TupleId)
+        .filter(|t| ctx.preds[t.index()].is_empty());
+    let mut counts = vec![0u32; ctx.machine.pipeline_count()];
+    for i in 0..n {
+        if let Some(p) = ctx.sigma[i] {
+            counts[p.index()] += 1;
+        }
+    }
+    lb.bound(ctx, &engine, ready, &counts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -45,8 +45,10 @@ pub use bnb::{
     search, search_with_boundary, BoundKind, EquivalenceMode, InitialHeuristic, SearchConfig,
     SearchOutcome, SearchStats,
 };
+pub use bounds::global_lower_bound;
 pub use context::SchedContext;
 pub use list_sched::list_schedule;
+pub use parallel::{parallel_search, parallel_search_bounded};
 pub use sequence::{schedule_sequence, ScheduledRegion, SequenceOutcome};
 pub use timing::{BoundaryState, TimingEngine};
-pub use windowed::{windowed_schedule, WindowedOutcome};
+pub use windowed::{windowed_schedule, windowed_schedule_bounded, WindowedOutcome};

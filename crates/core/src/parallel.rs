@@ -30,6 +30,9 @@ struct Shared {
     best_nops: AtomicU32,
     omega_used: AtomicU64,
     lambda: u64,
+    /// Anytime wall-clock deadline shared by all workers.
+    deadline: Option<std::time::Instant>,
+    deadline_hit: AtomicBool,
     /// Admissible lower bound on μ for the whole block; an incumbent at or
     /// below it is provably optimal and stops all workers early.
     global_lb: u32,
@@ -41,6 +44,18 @@ struct Shared {
 /// Run the branch-and-bound search with `threads` workers (0 ⇒ one per
 /// available CPU). Returns the same NOP count as the serial default search.
 pub fn parallel_search(ctx: &SchedContext<'_>, lambda: u64, threads: usize) -> SearchOutcome {
+    parallel_search_bounded(ctx, lambda, threads, None)
+}
+
+/// [`parallel_search`] with an anytime wall-clock deadline: all workers
+/// stop once it passes and the incumbent is returned with `optimal=false`
+/// and `stats.deadline_hit` set.
+pub fn parallel_search_bounded(
+    ctx: &SchedContext<'_>,
+    lambda: u64,
+    threads: usize,
+    deadline: Option<std::time::Instant>,
+) -> SearchOutcome {
     let n = ctx.len();
     let initial_order = list_schedule(ctx.dag, &ctx.analysis);
     let (_, initial_nops) = evaluate_schedule(ctx, &initial_order);
@@ -120,10 +135,31 @@ pub fn parallel_search(ctx: &SchedContext<'_>, lambda: u64, threads: usize) -> S
         };
     }
 
+    if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+        // Out of time before any exploration: the list schedule answers.
+        let (etas, nops) = evaluate_schedule(ctx, &initial_order);
+        return SearchOutcome {
+            order: initial_order.clone(),
+            assignment: ctx.sigma.clone(),
+            etas,
+            nops,
+            initial_order,
+            initial_nops,
+            optimal: false,
+            stats: SearchStats {
+                truncated: true,
+                deadline_hit: true,
+                ..SearchStats::default()
+            },
+        };
+    }
+
     let shared = Shared {
         best_nops: AtomicU32::new(initial_nops),
         omega_used: AtomicU64::new(0),
         lambda,
+        deadline,
+        deadline_hit: AtomicBool::new(false),
         global_lb,
         stop: AtomicBool::new(false),
         proved: AtomicBool::new(false),
@@ -152,9 +188,10 @@ pub fn parallel_search(ctx: &SchedContext<'_>, lambda: u64, threads: usize) -> S
 
     let mut stats = *stats_acc.lock();
     stats.proved_by_bound = shared.proved.load(Ordering::Relaxed);
+    stats.deadline_hit = !stats.proved_by_bound && shared.deadline_hit.load(Ordering::Relaxed);
     stats.truncated = !stats.proved_by_bound
         && shared.stop.load(Ordering::Relaxed)
-        && shared.omega_used.load(Ordering::Relaxed) >= lambda;
+        && (stats.deadline_hit || shared.omega_used.load(Ordering::Relaxed) >= lambda);
     let (best_order, best_nops) = shared.best.into_inner();
     let (etas, check) = evaluate_schedule(ctx, &best_order);
     debug_assert_eq!(check, best_nops);
@@ -181,6 +218,7 @@ fn merge(into: &mut SearchStats, from: &SearchStats) {
     into.pruned_bound += from.pruned_bound;
     into.pruned_symmetry += from.pruned_symmetry;
     into.truncated |= from.truncated;
+    into.deadline_hit |= from.deadline_hit;
 }
 
 struct Worker<'c, 'a, 's> {
@@ -307,6 +345,19 @@ impl<'c, 'a, 's> Worker<'c, 'a, 's> {
             if used >= self.shared.lambda {
                 self.stats.truncated = true;
                 self.shared.stop.store(true, Ordering::Relaxed);
+            }
+            if let Some(deadline) = self.shared.deadline {
+                if self
+                    .stats
+                    .omega_calls
+                    .is_multiple_of(crate::bnb::DEADLINE_CHECK_INTERVAL)
+                    && std::time::Instant::now() >= deadline
+                {
+                    self.stats.truncated = true;
+                    self.stats.deadline_hit = true;
+                    self.shared.deadline_hit.store(true, Ordering::Relaxed);
+                    self.shared.stop.store(true, Ordering::Relaxed);
+                }
             }
 
             self.place(t);

@@ -43,8 +43,20 @@ pub struct WindowedOutcome {
 }
 
 /// Schedule `ctx`'s block by locally-optimal windows of `window`
-/// instructions (λ applies *per window*).
+/// instructions (λ is a whole-block budget shared by the windows).
 pub fn windowed_schedule(ctx: &SchedContext<'_>, window: usize, lambda: u64) -> WindowedOutcome {
+    windowed_schedule_bounded(ctx, window, lambda, None)
+}
+
+/// [`windowed_schedule`] with an anytime wall-clock deadline: windows whose
+/// search exhausts the deadline (and all later windows) fall back to the
+/// list-schedule order, so a legal full schedule is always returned.
+pub fn windowed_schedule_bounded(
+    ctx: &SchedContext<'_>,
+    window: usize,
+    lambda: u64,
+    deadline: Option<std::time::Instant>,
+) -> WindowedOutcome {
     assert!(window >= 1, "window must be at least 1 instruction");
     let n = ctx.len();
     let base = list_schedule(ctx.dag, &ctx.analysis);
@@ -58,7 +70,7 @@ pub fn windowed_schedule(ctx: &SchedContext<'_>, window: usize, lambda: u64) -> 
 
     for chunk in base.chunks(window) {
         windows += 1;
-        let best = optimize_window(ctx, &mut engine, chunk, lambda, &mut stats);
+        let best = optimize_window(ctx, &mut engine, chunk, lambda, deadline, &mut stats);
         // Commit the window's best order permanently.
         for &t in &best {
             let eta = engine.push_default(t);
@@ -88,10 +100,17 @@ fn optimize_window<'c, 'a>(
     engine: &mut TimingEngine<'c, 'a>,
     chunk: &[TupleId],
     lambda: u64,
+    deadline: Option<std::time::Instant>,
     stats: &mut SearchStats,
 ) -> Vec<TupleId> {
     let k = chunk.len();
     if k <= 1 {
+        return chunk.to_vec();
+    }
+    if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+        // Out of time: keep the list order for this and later windows.
+        stats.truncated = true;
+        stats.deadline_hit = true;
         return chunk.to_vec();
     }
 
@@ -130,6 +149,7 @@ fn optimize_window<'c, 'a>(
         best_order: chunk.to_vec(),
         best_mu: base_mu,
         lambda,
+        deadline,
         stats,
         stop: false,
     };
@@ -147,6 +167,7 @@ struct WindowDfs<'w, 'c, 'a> {
     best_order: Vec<TupleId>,
     best_mu: u32,
     lambda: u64,
+    deadline: Option<std::time::Instant>,
     stats: &'w mut SearchStats,
     stop: bool,
 }
@@ -188,6 +209,18 @@ impl WindowDfs<'_, '_, '_> {
             if self.stats.omega_calls >= self.lambda {
                 self.stats.truncated = true;
                 self.stop = true;
+            }
+            if let Some(deadline) = self.deadline {
+                if self
+                    .stats
+                    .omega_calls
+                    .is_multiple_of(crate::bnb::DEADLINE_CHECK_INTERVAL)
+                    && std::time::Instant::now() >= deadline
+                {
+                    self.stats.truncated = true;
+                    self.stats.deadline_hit = true;
+                    self.stop = true;
+                }
             }
 
             self.placed[i] = true;

@@ -1,0 +1,239 @@
+//! Batch replay: push a request file through the full serving path and
+//! measure what came back.
+//!
+//! `run_batch` feeds an NDJSON request text through [`serve_stream`] (so
+//! the worker pool, cache, and response rendering are all exercised — this
+//! is the same code path a TCP client hits), times the run, and summarizes
+//! it. With `check` enabled every response is re-parsed and certified
+//! against its request by `pipesched-analyze`'s independent re-derivation,
+//! turning the batch runner into an end-to-end smoke test: the CI gate
+//! replays a canned workload and requires 100% certifier-clean responses
+//! plus a non-zero cache-hit count.
+
+use std::time::Instant;
+
+use pipesched_analyze::{certify, Claim};
+use pipesched_ir::TupleId;
+use pipesched_json::{json_object, Json};
+use pipesched_machine::PipelineId;
+
+use crate::engine::ServiceEngine;
+use crate::request::parse_request;
+use crate::serve::{serve_stream, ServeConfig};
+
+/// What a batch replay did.
+#[derive(Debug)]
+pub struct BatchSummary {
+    /// Request lines fed in.
+    pub requests: u64,
+    /// Successful responses.
+    pub ok: u64,
+    /// Error responses.
+    pub errors: u64,
+    /// Validated cache hits.
+    pub cache_hits: u64,
+    /// Responses flagged `optimal=false`.
+    pub truncated: u64,
+    /// Responses that passed independent certification (only counted when
+    /// `check` was on).
+    pub certified: u64,
+    /// Responses that failed certification.
+    pub certify_failures: u64,
+    /// Wall-clock for the whole replay, microseconds.
+    pub wall_micros: u64,
+    /// The response lines, in request order.
+    pub responses: Vec<String>,
+}
+
+impl BatchSummary {
+    /// Requests per second over the whole replay.
+    pub fn throughput(&self) -> f64 {
+        if self.wall_micros == 0 {
+            0.0
+        } else {
+            self.requests as f64 * 1e6 / self.wall_micros as f64
+        }
+    }
+
+    /// Summary as a JSON object (responses excluded).
+    pub fn to_json(&self) -> Json {
+        json_object![
+            ("requests", self.requests as i64),
+            ("ok", self.ok as i64),
+            ("errors", self.errors as i64),
+            ("cache_hits", self.cache_hits as i64),
+            ("truncated", self.truncated as i64),
+            ("certified", self.certified as i64),
+            ("certify_failures", self.certify_failures as i64),
+            ("wall_micros", self.wall_micros as i64),
+            ("throughput_rps", self.throughput()),
+        ]
+    }
+}
+
+/// Replay `input` (NDJSON request text) through `engine`. When `check` is
+/// set, every successful response is certified against its request line.
+pub fn run_batch(
+    engine: &ServiceEngine,
+    input: &str,
+    config: &ServeConfig,
+    check: bool,
+) -> std::io::Result<BatchSummary> {
+    let hits_before = engine.cache().hits();
+    let start = Instant::now();
+    let mut out = Vec::new();
+    let requests = serve_stream(engine, input.as_bytes(), &mut out, config)?;
+    let wall_micros = start.elapsed().as_micros() as u64;
+
+    let responses: Vec<String> = String::from_utf8_lossy(&out)
+        .lines()
+        .map(str::to_string)
+        .collect();
+    let mut summary = BatchSummary {
+        requests,
+        ok: 0,
+        errors: 0,
+        cache_hits: engine.cache().hits() - hits_before,
+        truncated: 0,
+        certified: 0,
+        certify_failures: 0,
+        wall_micros,
+        responses,
+    };
+
+    let request_lines: Vec<&str> = input.lines().filter(|l| !l.trim().is_empty()).collect();
+    for (line, request_line) in summary.responses.iter().zip(&request_lines) {
+        let Ok(doc) = pipesched_json::parse(line) else {
+            summary.errors += 1;
+            continue;
+        };
+        if doc.get("ok").and_then(Json::as_bool) != Some(true) {
+            summary.errors += 1;
+            continue;
+        }
+        summary.ok += 1;
+        if doc.get("optimal").and_then(Json::as_bool) == Some(false) {
+            summary.truncated += 1;
+        }
+        if check {
+            if certify_response(request_line, &doc) {
+                summary.certified += 1;
+            } else {
+                summary.certify_failures += 1;
+            }
+        }
+    }
+    Ok(summary)
+}
+
+/// Re-parse a request/response pair and certify the response schedule
+/// against the request block with the independent certifier.
+fn certify_response(request_line: &str, response: &Json) -> bool {
+    let Ok(req) = parse_request(request_line) else {
+        return false;
+    };
+    let Some(order_json) = response.get("order").and_then(Json::as_array) else {
+        return false;
+    };
+    // Responses carry 1-based tuple numbers (matching the tuple text).
+    let mut order = Vec::with_capacity(order_json.len());
+    for v in order_json {
+        match v.as_i64() {
+            Some(k) if k >= 1 => order.push(TupleId(k as u32 - 1)),
+            _ => return false,
+        }
+    }
+    let n = req.block.len();
+    let mut assignment: Vec<Option<PipelineId>> = vec![None; n];
+    let pipes = response.get("pipes").and_then(Json::as_array);
+    if let Some(pipes) = pipes {
+        if pipes.len() != order.len() {
+            return false;
+        }
+        for (pos, v) in pipes.iter().enumerate() {
+            let t = order[pos];
+            if t.index() >= n {
+                return false;
+            }
+            assignment[t.index()] = match v {
+                Json::Null => None,
+                other => match other.as_i64() {
+                    Some(p) if p >= 0 => Some(PipelineId(p as u32)),
+                    _ => return false,
+                },
+            };
+        }
+    }
+    let etas: Option<Vec<u32>> = response.get("etas").and_then(Json::as_array).map(|a| {
+        a.iter()
+            .filter_map(|v| v.as_i64().and_then(|e| u32::try_from(e).ok()))
+            .collect()
+    });
+    let nops = response
+        .get("nops")
+        .and_then(Json::as_i64)
+        .and_then(|n| u32::try_from(n).ok());
+    let cert = certify(
+        &req.block,
+        &req.machine,
+        Claim {
+            order: &order,
+            assignment: Some(&assignment),
+            etas: etas.as_deref(),
+            nops,
+        },
+    );
+    cert.is_certified()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+
+    fn engine() -> ServiceEngine {
+        ServiceEngine::new(EngineConfig::default(), 64, 4)
+    }
+
+    fn workload(repeats: usize) -> String {
+        // Two shapes, renamed per repeat: ≥50% repeated block shapes.
+        let mut text = String::new();
+        for i in 0..repeats {
+            text.push_str(&format!(
+                "{{\"id\": {}, \"block\": \"1: Load #a{i}\\n2: Mul @1, @1\\n3: Store #b{i}, @2\", \"machine\": \"paper-simulation\"}}\n",
+                2 * i
+            ));
+            text.push_str(&format!(
+                "{{\"id\": {}, \"block\": \"1: Load #p{i}\\n2: Load #q{i}\\n3: Add @1, @2\\n4: Store #r{i}, @3\", \"machine\": \"paper-simulation\"}}\n",
+                2 * i + 1
+            ));
+        }
+        text
+    }
+
+    #[test]
+    fn batch_replay_hits_and_certifies() {
+        let eng = engine();
+        let summary = run_batch(&eng, &workload(5), &ServeConfig { workers: 2 }, true).unwrap();
+        assert_eq!(summary.requests, 10);
+        assert_eq!(summary.ok, 10);
+        assert_eq!(summary.errors, 0);
+        assert_eq!(summary.certified, 10, "all responses certifier-clean");
+        assert_eq!(summary.certify_failures, 0);
+        // Two shapes, ten requests: at least eight validated hits.
+        assert!(summary.cache_hits >= 8, "hits = {}", summary.cache_hits);
+        let doc = summary.to_json();
+        assert_eq!(doc.get("requests").and_then(Json::as_i64), Some(10));
+        assert!(summary.throughput() > 0.0);
+    }
+
+    #[test]
+    fn batch_counts_error_lines() {
+        let eng = engine();
+        let input = format!("{}garbage\n", workload(1));
+        let summary = run_batch(&eng, &input, &ServeConfig::default(), false).unwrap();
+        assert_eq!(summary.requests, 3);
+        assert_eq!(summary.ok, 2);
+        assert_eq!(summary.errors, 1);
+    }
+}

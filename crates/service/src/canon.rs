@@ -1,0 +1,370 @@
+//! Canonical-DAG cache keys.
+//!
+//! Two scheduling requests deserve the same cache entry when their blocks
+//! are *schedule-isomorphic*: same dependence structure, same operation
+//! kinds, same pipeline binding — regardless of variable names, immediate
+//! values, or tuple numbering. The NOP-minimization problem (§4.2) sees
+//! nothing else, so the cache key is built from exactly that data:
+//!
+//! 1. every node gets an initial label from its operation kind and the
+//!    pipeline units the machine allows for it (the "latency class");
+//! 2. labels are refined iteratively (Weisfeiler–Leman style): each round
+//!    re-hashes a node's label with the sorted labels of its dependence
+//!    predecessors and successors, tagged with the edge kind, until the
+//!    label partition stabilizes;
+//! 3. nodes are sorted into a canonical order by final label, and the key
+//!    hashes the labels plus every edge rewritten into canonical indices,
+//!    together with the machine fingerprint.
+//!
+//! Iterative refinement is not a complete isomorphism test, so a key match
+//! is a *candidate* only: the cache validates every hit by translating the
+//! stored schedule through the canonical permutation and re-verifying it on
+//! the new block (see `engine::translate_hit`). A hash collision therefore
+//! costs a wasted validation, never a wrong answer.
+//!
+//! All hashing is FNV-1a over 64 bits: unlike `std`'s `DefaultHasher`, its
+//! output is stable across Rust releases, which the on-disk cache layer
+//! relies on.
+
+use pipesched_core::SchedContext;
+use pipesched_ir::{DepKind, TupleId};
+use pipesched_machine::Machine;
+
+/// A canonical cache key: the refined structure hash, the block length,
+/// and the target-machine fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CanonKey {
+    /// Refined structure hash of the canonicalized DAG.
+    pub hash: u64,
+    /// Number of instructions (cheap first-line discriminator).
+    pub n: u32,
+    /// Fingerprint of the machine description (timing + mapping, no names).
+    pub machine_fp: u64,
+}
+
+/// A block's canonical form: the key plus the permutation linking canonical
+/// indices back to the block's tuple ids. The permutation is what lets a
+/// schedule cached for one block be replayed on an isomorphic one.
+#[derive(Debug, Clone)]
+pub struct CanonForm {
+    /// The cache key.
+    pub key: CanonKey,
+    /// `perm[c]` is the tuple occupying canonical index `c`.
+    pub perm: Vec<TupleId>,
+}
+
+impl CanonForm {
+    /// Inverse permutation: tuple id → canonical index.
+    pub fn inverse(&self) -> Vec<u32> {
+        let mut inv = vec![0u32; self.perm.len()];
+        for (c, t) in self.perm.iter().enumerate() {
+            inv[t.index()] = c as u32;
+        }
+        inv
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// FNV-1a accumulator (build-stable, unlike `DefaultHasher`).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    pub(crate) fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.byte(b);
+        }
+    }
+
+    pub(crate) fn str(&mut self, s: &str) {
+        for b in s.bytes() {
+            self.byte(b);
+        }
+        self.byte(0xFF); // terminator so "ab","c" ≠ "a","bc"
+    }
+
+    pub(crate) fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Fingerprint a machine description: pipeline timing rows in id order and
+/// the op → pipeline-id mapping. Pipeline *identities* (not just latency
+/// classes) are hashed because structural conflicts are per-unit; names are
+/// excluded so cosmetic renames don't split the cache.
+pub fn machine_fingerprint(machine: &Machine) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(machine.pipeline_count() as u64);
+    for p in machine.pipelines() {
+        h.u64(u64::from(p.latency));
+        h.u64(u64::from(p.enqueue));
+    }
+    for (op, pipes) in machine.mapping() {
+        h.str(op.mnemonic());
+        h.u64(pipes.len() as u64);
+        for p in pipes {
+            h.u64(p.index() as u64);
+        }
+    }
+    h.finish()
+}
+
+fn combine(parts: &[u64]) -> u64 {
+    let mut h = Fnv::new();
+    for &p in parts {
+        h.u64(p);
+    }
+    h.finish()
+}
+
+fn edge_tag(kind: DepKind) -> u64 {
+    match kind {
+        DepKind::Flow => 1,
+        DepKind::Anti => 2,
+        DepKind::Output => 3,
+    }
+}
+
+/// Compute the canonical form of `ctx`'s block on `ctx`'s machine.
+pub fn canonicalize(ctx: &SchedContext<'_>) -> CanonForm {
+    let machine_fp = machine_fingerprint(ctx.machine);
+    let n = ctx.len();
+    if n == 0 {
+        return CanonForm {
+            key: CanonKey {
+                hash: combine(&[machine_fp]),
+                n: 0,
+                machine_fp,
+            },
+            perm: Vec::new(),
+        };
+    }
+
+    // Initial labels: op kind + the exact pipeline units allowed for it.
+    // (σ is derived from `allowed`, so hashing `allowed` covers both.)
+    let mut labels: Vec<u64> = (0..n)
+        .map(|i| {
+            let t = ctx.block.tuple(TupleId(i as u32));
+            let mut h = Fnv::new();
+            h.str(t.op.mnemonic());
+            for p in &ctx.allowed[i] {
+                h.u64(p.index() as u64);
+            }
+            h.finish()
+        })
+        .collect();
+
+    // Iterative refinement until the partition stops splitting (bounded by
+    // n rounds; in practice O(diameter) ≈ O(log n) rounds suffice).
+    refine(ctx, &mut labels);
+
+    // Refinement alone cannot separate automorphic substructures (five
+    // parallel Const→Store chains leave one Const class and one Store
+    // class, and sorting each class independently would scramble the
+    // pairing). Individualize-and-refine: while some class has ties, give
+    // one member a unique mark and re-refine, which propagates the split
+    // to everything reachable. The *class* is chosen by minimal label
+    // value — an isomorphism-invariant choice; the *member* by original
+    // id, which is canonical exactly when the tied nodes are automorphic
+    // (the common case; a miss here costs a cache miss, never a wrong
+    // answer, thanks to validate-on-hit).
+    for round in 0..n {
+        let Some(tied_label) = smallest_tied_label(&labels) else {
+            break;
+        };
+        let pick = (0..n).find(|&i| labels[i] == tied_label).unwrap();
+        labels[pick] = combine(&[labels[pick], 0xD15C, round as u64]);
+        refine(ctx, &mut labels);
+    }
+
+    // Canonical order: by the (now individually distinct, or at worst
+    // orbit-consistent) refined labels, ties by original tuple id.
+    let mut perm: Vec<TupleId> = (0..n as u32).map(TupleId).collect();
+    perm.sort_by_key(|t| (labels[t.index()], t.0));
+    let mut inv = vec![0u32; n];
+    for (c, t) in perm.iter().enumerate() {
+        inv[t.index()] = c as u32;
+    }
+
+    // Final hash: labels in canonical order + every edge in canonical
+    // coordinates + the machine fingerprint.
+    let mut h = Fnv::new();
+    h.u64(n as u64);
+    for &t in &perm {
+        h.u64(labels[t.index()]);
+    }
+    let mut edges: Vec<(u32, u32, u64)> = ctx
+        .dag
+        .edges()
+        .map(|e| (inv[e.from.index()], inv[e.to.index()], edge_tag(e.kind)))
+        .collect();
+    edges.sort_unstable();
+    h.u64(edges.len() as u64);
+    for (f, t, k) in edges {
+        h.u64(u64::from(f));
+        h.u64(u64::from(t));
+        h.u64(k);
+    }
+    h.u64(machine_fp);
+
+    CanonForm {
+        key: CanonKey {
+            hash: h.finish(),
+            n: n as u32,
+            machine_fp,
+        },
+        perm,
+    }
+}
+
+fn count_distinct(labels: &[u64]) -> usize {
+    let mut sorted = labels.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    sorted.len()
+}
+
+/// The smallest label value shared by at least two nodes, if any.
+fn smallest_tied_label(labels: &[u64]) -> Option<u64> {
+    let mut sorted = labels.to_vec();
+    sorted.sort_unstable();
+    sorted.windows(2).find(|w| w[0] == w[1]).map(|w| w[0])
+}
+
+/// One Weisfeiler–Leman pass per round until the partition stops
+/// splitting: each node's label is re-hashed with the sorted multisets of
+/// its tagged predecessor and successor labels.
+fn refine(ctx: &SchedContext<'_>, labels: &mut Vec<u64>) {
+    let n = labels.len();
+    let mut classes = count_distinct(labels);
+    let mut scratch: Vec<u64> = Vec::with_capacity(8);
+    for _ in 0..n {
+        let mut next = vec![0u64; n];
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            let t = TupleId(i as u32);
+            let mut h = Fnv::new();
+            h.u64(labels[i]);
+            scratch.clear();
+            for e in ctx.dag.preds(t) {
+                scratch.push(combine(&[edge_tag(e.kind), labels[e.from.index()]]));
+            }
+            scratch.sort_unstable();
+            h.u64(scratch.len() as u64);
+            for &s in &scratch {
+                h.u64(s);
+            }
+            scratch.clear();
+            for e in ctx.dag.succs(t) {
+                scratch.push(combine(&[edge_tag(e.kind), labels[e.to.index()]]));
+            }
+            scratch.sort_unstable();
+            h.u64(scratch.len() as u64);
+            for &s in &scratch {
+                h.u64(s);
+            }
+            next[i] = h.finish();
+        }
+        *labels = next;
+        let next_classes = count_distinct(labels);
+        if next_classes == classes {
+            break;
+        }
+        classes = next_classes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipesched_ir::{BlockBuilder, DepDag};
+    use pipesched_machine::presets;
+
+    fn form_of(block: &pipesched_ir::BasicBlock, machine: &Machine) -> CanonForm {
+        let dag = DepDag::build(block);
+        let ctx = SchedContext::new(block, &dag, machine);
+        canonicalize(&ctx)
+    }
+
+    fn chain_block(names: [&str; 3]) -> pipesched_ir::BasicBlock {
+        let mut b = BlockBuilder::new("c");
+        let x = b.load(names[0]);
+        let y = b.load(names[1]);
+        let m = b.mul(x, y);
+        b.store(names[2], m);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn renamed_variables_share_a_key() {
+        let machine = presets::paper_simulation();
+        let a = form_of(&chain_block(["x", "y", "r"]), &machine);
+        let b = form_of(&chain_block(["alpha", "beta", "out"]), &machine);
+        assert_eq!(a.key, b.key);
+    }
+
+    #[test]
+    fn different_structure_changes_the_key() {
+        let machine = presets::paper_simulation();
+        let a = form_of(&chain_block(["x", "y", "r"]), &machine);
+        let mut bb = BlockBuilder::new("d");
+        let x = bb.load("x");
+        let y = bb.load("y");
+        let m = bb.add(x, y); // add instead of mul
+        bb.store("r", m);
+        let b = form_of(&bb.finish().unwrap(), &machine);
+        assert_ne!(a.key, b.key);
+    }
+
+    #[test]
+    fn machine_changes_the_key() {
+        let block = chain_block(["x", "y", "r"]);
+        let a = form_of(&block, &presets::paper_simulation());
+        let b = form_of(&block, &presets::deep_pipeline());
+        assert_ne!(a.key, b.key);
+        assert_ne!(a.key.machine_fp, b.key.machine_fp);
+    }
+
+    #[test]
+    fn fingerprint_ignores_names_but_not_timing() {
+        let base = presets::paper_simulation();
+        let mut renamed = base.clone();
+        renamed.name = "different-name".into();
+        assert_eq!(machine_fingerprint(&base), machine_fingerprint(&renamed));
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let machine = presets::paper_simulation();
+        let form = form_of(&chain_block(["x", "y", "r"]), &machine);
+        let mut seen = vec![false; form.perm.len()];
+        for t in &form.perm {
+            assert!(!seen[t.index()]);
+            seen[t.index()] = true;
+        }
+        let inv = form.inverse();
+        for (c, t) in form.perm.iter().enumerate() {
+            assert_eq!(inv[t.index()], c as u32);
+        }
+    }
+
+    #[test]
+    fn empty_block_canonicalizes() {
+        let machine = presets::paper_simulation();
+        let block = BlockBuilder::new("e").finish().unwrap();
+        let form = form_of(&block, &machine);
+        assert_eq!(form.key.n, 0);
+        assert!(form.perm.is_empty());
+    }
+}

@@ -1,0 +1,591 @@
+//! The answering engine: canonical-cache lookup, then tier escalation.
+//!
+//! A request is answered by the cheapest tier that can justify its result:
+//!
+//! 1. **cache** — canonical lookup (O(1)) plus an O(n + edges) validation:
+//!    the stored canonical schedule is translated through the request
+//!    block's canonical permutation, re-verified for legality, and
+//!    re-timed; any disagreement (a refinement-hash collision) falls
+//!    through to a live search and replaces the bogus entry.
+//! 2. **list** — the machine-independent list schedule, answered as
+//!    *optimal* when it meets the admissible whole-block lower bound
+//!    (`global_lower_bound`), costing zero search nodes.
+//! 3. **windowed** — for blocks longer than the window, a locally-optimal
+//!    windowed pass on a quarter of the node budget (§5.3's future-work
+//!    splitting heuristic) produces a strong incumbent fast.
+//! 4. **bnb** — the paper's branch-and-bound spends the remaining budget
+//!    under the request deadline; if it completes, the answer is provably
+//!    optimal, otherwise the best incumbent across tiers is returned with
+//!    `optimal = false`.
+//!
+//! All tiers share one [`SchedContext`] — the DAG, dependence analysis and
+//! machine tables are built once per request, never per tier.
+
+use std::time::Instant;
+
+use pipesched_core::{
+    global_lower_bound, search, windowed_schedule_bounded, SchedContext, SearchConfig,
+};
+use pipesched_ir::{analysis::verify_schedule, BasicBlock, DepDag, TupleId};
+use pipesched_machine::{Machine, PipelineId};
+
+use crate::cache::{CacheEntry, ScheduleCache};
+use crate::canon::{canonicalize, CanonForm};
+use crate::metrics::Metrics;
+
+/// Which tier produced an answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Validated canonical-cache hit.
+    Cache,
+    /// List schedule proven optimal by the global lower bound.
+    List,
+    /// Windowed locally-optimal schedule.
+    Windowed,
+    /// Branch-and-bound (complete or budget-truncated).
+    Bnb,
+}
+
+impl Tier {
+    /// Stable name used in responses and the persisted cache.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Cache => "cache",
+            Tier::List => "list",
+            Tier::Windowed => "windowed",
+            Tier::Bnb => "bnb",
+        }
+    }
+
+    /// Parse a stable name back.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "cache" => Some(Tier::Cache),
+            "list" => Some(Tier::List),
+            "windowed" => Some(Tier::Windowed),
+            "bnb" => Some(Tier::Bnb),
+            _ => None,
+        }
+    }
+
+    /// Dense index for per-tier counters.
+    pub fn index(self) -> usize {
+        match self {
+            Tier::Cache => 0,
+            Tier::List => 1,
+            Tier::Windowed => 2,
+            Tier::Bnb => 3,
+        }
+    }
+}
+
+/// Per-request resource limits.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Search-node (Ω-call) budget across the escalation tiers.
+    pub nodes: u64,
+    /// Wall-clock deadline, if any.
+    pub deadline: Option<Instant>,
+}
+
+impl Budget {
+    /// An effectively unlimited budget.
+    pub fn unlimited() -> Self {
+        Budget {
+            nodes: u64::MAX,
+            deadline: None,
+        }
+    }
+}
+
+/// A served schedule plus its provenance.
+#[derive(Debug, Clone)]
+pub struct Answer {
+    /// Instruction order (tuple ids of the request block).
+    pub order: Vec<TupleId>,
+    /// Pipeline per tuple id.
+    pub assignment: Vec<Option<PipelineId>>,
+    /// η per position of `order`.
+    pub etas: Vec<u32>,
+    /// Total NOPs μ.
+    pub nops: u32,
+    /// True when the schedule is provably optimal.
+    pub optimal: bool,
+    /// True when the answer came from the cache.
+    pub cache_hit: bool,
+    /// Tier that produced the schedule.
+    pub tier: Tier,
+    /// Ω calls spent answering (0 for cache hits and proven list answers).
+    pub omega_calls: u64,
+    /// True when the wall-clock deadline cut the search short.
+    pub deadline_hit: bool,
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Default node budget for requests that specify none.
+    pub default_nodes: u64,
+    /// Window length for the windowed tier (blocks no longer than this
+    /// skip straight to branch-and-bound).
+    pub window: usize,
+    /// Fraction denominator of the budget the windowed tier may spend
+    /// (budget / `windowed_share`).
+    pub windowed_share: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            default_nodes: 50_000,
+            window: 12,
+            windowed_share: 4,
+        }
+    }
+}
+
+/// The shared, thread-safe answering engine.
+pub struct ServiceEngine {
+    cache: ScheduleCache,
+    metrics: Metrics,
+    config: EngineConfig,
+}
+
+impl ServiceEngine {
+    /// An engine with a cache of `cache_capacity` entries over
+    /// `cache_shards` shards.
+    pub fn new(config: EngineConfig, cache_capacity: usize, cache_shards: usize) -> Self {
+        ServiceEngine {
+            cache: ScheduleCache::new(cache_capacity, cache_shards),
+            metrics: Metrics::new(),
+            config,
+        }
+    }
+
+    /// The engine's metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The engine's cache.
+    pub fn cache(&self) -> &ScheduleCache {
+        &self.cache
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Answer one scheduling request. `budget.nodes == 0` is clamped to 1
+    /// so the anytime contract (a legal schedule always comes back) holds.
+    pub fn answer(&self, block: &BasicBlock, machine: &Machine, budget: Budget) -> Answer {
+        let start = Instant::now();
+        // One DAG + context for the whole request: every tier below reuses
+        // it (and the canonicalizer shares its `allowed` table).
+        let dag = DepDag::build(block);
+        let ctx = SchedContext::new(block, &dag, machine);
+        let form = canonicalize(&ctx);
+        let nodes = budget.nodes.max(1);
+
+        if let Some(entry) = self.cache.get(&form.key, nodes) {
+            match translate_hit(&ctx, &form, &entry) {
+                Some(mut answer) => {
+                    self.certify_debug(block, machine, &answer);
+                    answer.cache_hit = true;
+                    self.metrics.record_answer(
+                        Tier::Cache,
+                        true,
+                        false,
+                        start.elapsed().as_micros() as u64,
+                    );
+                    return answer;
+                }
+                None => {
+                    // Refinement-hash collision: the entry belongs to a
+                    // structurally different block. Drop it and re-search.
+                    self.cache.remove(&form.key);
+                }
+            }
+        }
+
+        let answer = self.escalate(&ctx, budget.deadline, nodes);
+        self.certify_debug(block, machine, &answer);
+        self.store(&form, &answer, nodes);
+        self.metrics.record_answer(
+            answer.tier,
+            false,
+            !answer.optimal,
+            start.elapsed().as_micros() as u64,
+        );
+        answer
+    }
+
+    /// The tier cascade on a cache miss.
+    fn escalate(&self, ctx: &SchedContext<'_>, deadline: Option<Instant>, nodes: u64) -> Answer {
+        // Tier "list": λ=1 lets the search return after the lower-bound
+        // pre-check — if the list schedule meets the bound it is optimal
+        // and free (zero Ω calls); otherwise we get the incumbent to beat.
+        let list_cfg = SearchConfig {
+            lambda: 1,
+            deadline,
+            ..SearchConfig::default()
+        };
+        let list = search(ctx, &list_cfg);
+        if list.optimal {
+            return answer_from_search(&list, Tier::List, 0);
+        }
+        let mut omega_spent = list.stats.omega_calls;
+
+        // Tier "windowed": only worthwhile when the block is longer than
+        // the window; spends a bounded share of the budget.
+        let windowed = if ctx.len() > self.config.window && nodes > 1 {
+            let w_nodes = (nodes / self.config.windowed_share).max(1);
+            let w = windowed_schedule_bounded(ctx, self.config.window, w_nodes, deadline);
+            omega_spent += w.stats.omega_calls;
+            Some(w)
+        } else {
+            None
+        };
+        let global_lb = global_lower_bound(ctx);
+        if let Some(w) = &windowed {
+            if w.nops <= global_lb {
+                // The windowed schedule meets the admissible bound: optimal.
+                let (etas, nops) = pipesched_core::timing::evaluate_schedule(ctx, &w.order);
+                debug_assert_eq!(nops, w.nops);
+                return Answer {
+                    order: w.order.clone(),
+                    assignment: ctx.sigma.clone(),
+                    etas,
+                    nops,
+                    optimal: true,
+                    cache_hit: false,
+                    tier: Tier::Windowed,
+                    omega_calls: omega_spent,
+                    deadline_hit: false,
+                };
+            }
+        }
+
+        // Tier "bnb": the remaining budget under the request deadline.
+        let bnb_cfg = SearchConfig {
+            lambda: nodes.saturating_sub(omega_spent).max(1),
+            deadline,
+            ..SearchConfig::default()
+        };
+        let bnb = search(ctx, &bnb_cfg);
+        omega_spent += bnb.stats.omega_calls;
+
+        // The B&B starts from the list incumbent, so it can only tie or
+        // beat the list tier; the windowed candidate may still be better
+        // when the B&B was truncated early.
+        if let Some(w) = windowed {
+            if !bnb.optimal && w.nops < bnb.nops {
+                let (etas, nops) = pipesched_core::timing::evaluate_schedule(ctx, &w.order);
+                debug_assert_eq!(nops, w.nops);
+                return Answer {
+                    order: w.order,
+                    assignment: ctx.sigma.clone(),
+                    etas,
+                    nops,
+                    optimal: false,
+                    cache_hit: false,
+                    tier: Tier::Windowed,
+                    omega_calls: omega_spent,
+                    deadline_hit: bnb.stats.deadline_hit || w.stats.deadline_hit,
+                };
+            }
+        }
+        answer_from_search(&bnb, Tier::Bnb, omega_spent)
+    }
+
+    /// Memoize an answer in canonical coordinates.
+    fn store(&self, form: &CanonForm, answer: &Answer, nodes: u64) {
+        let inv = form.inverse();
+        let order_c: Vec<u32> = answer.order.iter().map(|t| inv[t.index()]).collect();
+        let mut assignment_c = vec![u32::MAX; form.perm.len()];
+        for (id, a) in answer.assignment.iter().enumerate() {
+            assignment_c[inv[id] as usize] = a.map_or(u32::MAX, |p| p.index() as u32);
+        }
+        self.cache.insert(
+            form.key,
+            CacheEntry {
+                order_c,
+                assignment_c,
+                etas: answer.etas.clone(),
+                nops: answer.nops,
+                optimal: answer.optimal,
+                budget_nodes: if answer.optimal { u64::MAX } else { nodes },
+                tier: answer.tier,
+            },
+        );
+    }
+
+    /// Debug-build certification of every served schedule against the
+    /// independent re-derivation in `pipesched-analyze`.
+    fn certify_debug(&self, block: &BasicBlock, machine: &Machine, answer: &Answer) {
+        pipesched_analyze::debug_assert_claim_certified(
+            block,
+            machine,
+            pipesched_analyze::Claim {
+                order: &answer.order,
+                assignment: Some(&answer.assignment),
+                etas: Some(&answer.etas),
+                nops: Some(answer.nops),
+            },
+        );
+    }
+}
+
+fn answer_from_search(out: &pipesched_core::SearchOutcome, tier: Tier, omega_calls: u64) -> Answer {
+    Answer {
+        order: out.order.clone(),
+        assignment: out.assignment.clone(),
+        etas: out.etas.clone(),
+        nops: out.nops,
+        optimal: out.optimal,
+        cache_hit: false,
+        tier,
+        omega_calls,
+        deadline_hit: out.stats.deadline_hit,
+    }
+}
+
+/// Replay a cached canonical schedule on a (possibly different) block with
+/// the same canonical form. Returns `None` — treat as a miss — unless the
+/// translated order is verifiably legal on *this* block's DAG and re-timing
+/// it reproduces the stored η/μ exactly.
+pub(crate) fn translate_hit(
+    ctx: &SchedContext<'_>,
+    form: &CanonForm,
+    entry: &CacheEntry,
+) -> Option<Answer> {
+    let n = ctx.len();
+    if entry.order_c.len() != n {
+        return None;
+    }
+    let order: Vec<TupleId> = entry
+        .order_c
+        .iter()
+        .map(|&c| form.perm.get(c as usize).copied())
+        .collect::<Option<_>>()?;
+    let mut assignment: Vec<Option<PipelineId>> = vec![None; n];
+    let pipes = ctx.machine.pipeline_count();
+    for (c, &a) in entry.assignment_c.iter().enumerate() {
+        let id = form.perm.get(c)?.index();
+        assignment[id] = if a == u32::MAX {
+            None
+        } else if (a as usize) < pipes {
+            Some(PipelineId(a))
+        } else {
+            return None;
+        };
+    }
+    verify_schedule(ctx.block, ctx.dag, &order).ok()?;
+    // Re-time with the translated assignment; the replayed schedule must
+    // reproduce the stored padding bit for bit, else the hit is bogus.
+    let mut engine = pipesched_core::TimingEngine::new(ctx);
+    let etas: Vec<u32> = order
+        .iter()
+        .map(|&t| engine.push(t, assignment[t.index()]))
+        .collect();
+    let nops = engine.total_nops();
+    if nops != entry.nops || etas != entry.etas {
+        return None;
+    }
+    Some(Answer {
+        order,
+        assignment,
+        etas,
+        nops,
+        optimal: entry.optimal,
+        cache_hit: true,
+        tier: Tier::Cache,
+        omega_calls: 0,
+        deadline_hit: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipesched_ir::BlockBuilder;
+    use pipesched_machine::presets;
+
+    fn engine() -> ServiceEngine {
+        ServiceEngine::new(EngineConfig::default(), 64, 4)
+    }
+
+    fn block_with(names: [&str; 4]) -> BasicBlock {
+        let mut b = BlockBuilder::new("e2e");
+        let x = b.load(names[0]);
+        let y = b.load(names[1]);
+        let m = b.mul(x, y);
+        let a = b.add(x, y);
+        b.store(names[2], m);
+        b.store(names[3], a);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn second_request_hits_the_cache() {
+        let eng = engine();
+        let machine = presets::paper_simulation();
+        let first = eng.answer(
+            &block_with(["x", "y", "m", "a"]),
+            &machine,
+            Budget::unlimited(),
+        );
+        assert!(!first.cache_hit);
+        // Renamed block: isomorphic, must hit.
+        let second = eng.answer(
+            &block_with(["p", "q", "r", "s"]),
+            &machine,
+            Budget::unlimited(),
+        );
+        assert!(second.cache_hit);
+        assert_eq!(second.tier, Tier::Cache);
+        assert_eq!(second.nops, first.nops);
+        assert_eq!(second.optimal, first.optimal);
+        assert_eq!(second.omega_calls, 0);
+        assert_eq!(eng.cache().hits(), 1);
+    }
+
+    #[test]
+    fn unlimited_budget_matches_serial_bnb() {
+        let eng = engine();
+        let machine = presets::paper_simulation();
+        let block = block_with(["x", "y", "m", "a"]);
+        let dag = DepDag::build(&block);
+        let ctx = SchedContext::new(&block, &dag, &machine);
+        let reference = search(&ctx, &SearchConfig::with_lambda(u64::MAX));
+        let served = eng.answer(&block, &machine, Budget::unlimited());
+        assert!(served.optimal && reference.optimal);
+        assert_eq!(served.nops, reference.nops);
+        assert_eq!(served.order, reference.order, "bit-identical schedule");
+        assert_eq!(served.etas, reference.etas);
+    }
+
+    #[test]
+    fn tiny_budget_still_returns_a_legal_schedule() {
+        let eng = engine();
+        let machine = presets::paper_simulation();
+        // Contended block that cannot be proven optimal in 2 nodes.
+        let mut b = BlockBuilder::new("hard");
+        for i in 0..5 {
+            let l = b.load(&format!("x{i}"));
+            let m = b.mul(l, l);
+            b.store(&format!("y{i}"), m);
+        }
+        let block = b.finish().unwrap();
+        let answer = eng.answer(
+            &block,
+            &machine,
+            Budget {
+                nodes: 2,
+                deadline: None,
+            },
+        );
+        assert!(!answer.optimal);
+        let dag = DepDag::build(&block);
+        verify_schedule(&block, &dag, &answer.order).unwrap();
+        assert_eq!(answer.etas.iter().sum::<u32>(), answer.nops);
+    }
+
+    #[test]
+    fn expired_deadline_still_returns_a_legal_schedule() {
+        let eng = engine();
+        let machine = presets::paper_simulation();
+        let block = block_with(["x", "y", "m", "a"]);
+        let answer = eng.answer(
+            &block,
+            &machine,
+            Budget {
+                nodes: u64::MAX,
+                deadline: Some(Instant::now() - std::time::Duration::from_millis(1)),
+            },
+        );
+        let dag = DepDag::build(&block);
+        verify_schedule(&block, &dag, &answer.order).unwrap();
+        // Either the pre-check proved the list schedule optimal before the
+        // clock was read, or the answer is flagged truncated.
+        if !answer.optimal {
+            assert!(answer.deadline_hit);
+        }
+    }
+
+    #[test]
+    fn bigger_budget_is_not_answered_by_a_truncated_entry() {
+        let eng = engine();
+        let machine = presets::paper_simulation();
+        let mut b = BlockBuilder::new("re");
+        for i in 0..5 {
+            let l = b.load(&format!("x{i}"));
+            let m = b.mul(l, l);
+            b.store(&format!("y{i}"), m);
+        }
+        let block = b.finish().unwrap();
+        let small = eng.answer(
+            &block,
+            &machine,
+            Budget {
+                nodes: 2,
+                deadline: None,
+            },
+        );
+        assert!(!small.optimal);
+        let big = eng.answer(&block, &machine, Budget::unlimited());
+        assert!(!big.cache_hit, "truncated entry must not answer");
+        assert!(big.optimal);
+        assert!(big.nops <= small.nops);
+        // And now the optimal entry serves any budget.
+        let again = eng.answer(
+            &block,
+            &machine,
+            Budget {
+                nodes: 2,
+                deadline: None,
+            },
+        );
+        assert!(again.cache_hit);
+        assert!(again.optimal);
+    }
+
+    #[test]
+    fn different_machines_do_not_share_entries() {
+        let eng = engine();
+        let block = block_with(["x", "y", "m", "a"]);
+        let a = eng.answer(&block, &presets::paper_simulation(), Budget::unlimited());
+        let b = eng.answer(&block, &presets::deep_pipeline(), Budget::unlimited());
+        assert!(!a.cache_hit && !b.cache_hit);
+        assert_eq!(eng.cache().len(), 2);
+    }
+
+    #[test]
+    fn windowed_tier_answers_long_blocks_with_small_budget() {
+        let cfg = EngineConfig {
+            window: 4,
+            ..Default::default()
+        };
+        let eng = ServiceEngine::new(cfg, 16, 2);
+        let machine = presets::paper_simulation();
+        let mut b = BlockBuilder::new("long");
+        for i in 0..8 {
+            let l = b.load(&format!("x{i}"));
+            let m = b.mul(l, l);
+            b.store(&format!("y{i}"), m);
+        }
+        let block = b.finish().unwrap();
+        let answer = eng.answer(
+            &block,
+            &machine,
+            Budget {
+                nodes: 400,
+                deadline: None,
+            },
+        );
+        let dag = DepDag::build(&block);
+        verify_schedule(&block, &dag, &answer.order).unwrap();
+        assert!(answer.omega_calls <= 400 + 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! Lock-cheap service counters.
+//!
+//! Every counter is a relaxed atomic — the request hot path never takes a
+//! lock to record metrics. Latency lands in a fixed log₂-bucketed histogram
+//! (1 µs … ~17 min), from which p50/p99 are estimated at dump time by
+//! linear interpolation inside the winning bucket.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pipesched_json::Json;
+
+use crate::engine::Tier;
+
+const BUCKETS: usize = 30; // bucket b covers [2^b, 2^(b+1)) microseconds
+
+/// Log₂-bucketed latency histogram over microseconds.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// Record one observation.
+    pub fn record(&self, micros: u64) {
+        let b = (63 - micros.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> u64 {
+        self.sum_micros
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
+    }
+
+    /// Estimated `q`-quantile (0 < q ≤ 1) in microseconds, interpolated
+    /// within the winning bucket. Returns 0 when empty.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut seen = 0u64;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            let c = bucket.load(Ordering::Relaxed);
+            if seen + c >= rank {
+                let lo = 1u64 << b;
+                let width = lo; // bucket spans [lo, 2*lo)
+                let into = (rank - seen) as f64 / c.max(1) as f64;
+                return lo + (width as f64 * into) as u64;
+            }
+            seen += c;
+        }
+        1u64 << (BUCKETS - 1)
+    }
+}
+
+/// Service-wide counters, dumped as JSON on demand or at shutdown.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests received (including failed ones).
+    pub requests: AtomicU64,
+    /// Requests that failed to parse or schedule.
+    pub errors: AtomicU64,
+    /// Validated cache hits.
+    pub cache_hits: AtomicU64,
+    /// Cache lookups that missed (or failed hit validation).
+    pub cache_misses: AtomicU64,
+    /// Answers produced per tier (cache/list/windowed/bnb).
+    pub tier_answers: [AtomicU64; 4],
+    /// Requests whose search budget or deadline expired (answer was the
+    /// incumbent, `optimal=false`).
+    pub budget_exhausted: AtomicU64,
+    /// Per-request wall-clock latency.
+    pub latency: LatencyHistogram,
+}
+
+impl Metrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Count one received request.
+    pub fn record_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one failed request.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a completed answer: its tier, cache outcome, truncation, and
+    /// latency.
+    pub fn record_answer(&self, tier: Tier, cache_hit: bool, truncated: bool, micros: u64) {
+        self.tier_answers[tier.index()].fetch_add(1, Ordering::Relaxed);
+        if cache_hit {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        if truncated {
+            self.budget_exhausted.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency.record(micros);
+    }
+
+    /// Dump every counter as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let tier = |t: Tier| self.tier_answers[t.index()].load(Ordering::Relaxed);
+        pipesched_json::json_object![
+            ("requests", self.requests.load(Ordering::Relaxed) as i64),
+            ("errors", self.errors.load(Ordering::Relaxed) as i64),
+            ("cache_hits", self.cache_hits.load(Ordering::Relaxed) as i64),
+            (
+                "cache_misses",
+                self.cache_misses.load(Ordering::Relaxed) as i64
+            ),
+            (
+                "budget_exhausted",
+                self.budget_exhausted.load(Ordering::Relaxed) as i64
+            ),
+            (
+                "tier_answers",
+                pipesched_json::json_object![
+                    ("cache", tier(Tier::Cache) as i64),
+                    ("list", tier(Tier::List) as i64),
+                    ("windowed", tier(Tier::Windowed) as i64),
+                    ("bnb", tier(Tier::Bnb) as i64),
+                ]
+            ),
+            (
+                "latency_micros",
+                pipesched_json::json_object![
+                    ("count", self.latency.count() as i64),
+                    ("mean", self.latency.mean_micros() as i64),
+                    ("p50", self.latency.quantile_micros(0.50) as i64),
+                    ("p99", self.latency.quantile_micros(0.99) as i64),
+                ]
+            ),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_observations() {
+        let h = LatencyHistogram::default();
+        for micros in [10u64, 20, 30, 40, 1000] {
+            h.record(micros);
+        }
+        assert_eq!(h.count(), 5);
+        let p50 = h.quantile_micros(0.5);
+        assert!((16..64).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile_micros(0.99);
+        assert!((512..2048).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.mean_micros(), (10 + 20 + 30 + 40 + 1000) / 5);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_micros(0.5), 0);
+        assert_eq!(h.mean_micros(), 0);
+    }
+
+    #[test]
+    fn metrics_json_has_every_counter() {
+        let m = Metrics::new();
+        m.record_request();
+        m.record_answer(Tier::Cache, true, false, 12);
+        m.record_answer(Tier::Bnb, false, true, 90_000);
+        let doc = m.to_json();
+        assert_eq!(doc.get("requests").and_then(Json::as_i64), Some(1));
+        assert_eq!(doc.get("cache_hits").and_then(Json::as_i64), Some(1));
+        assert_eq!(doc.get("budget_exhausted").and_then(Json::as_i64), Some(1));
+        let tiers = doc.get("tier_answers").unwrap();
+        assert_eq!(tiers.get("cache").and_then(Json::as_i64), Some(1));
+        assert_eq!(tiers.get("bnb").and_then(Json::as_i64), Some(1));
+        assert_eq!(
+            doc.get("latency_micros")
+                .and_then(|l| l.get("count"))
+                .and_then(Json::as_i64),
+            Some(2)
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! NDJSON request/response envelope.
+//!
+//! One request per line, one response per line, pairable by `id`:
+//!
+//! ```json
+//! {"id": 7, "block": "1: Load #x\n2: Mul @1, @1\n3: Store #y, @2",
+//!  "machine": "paper-simulation", "budget_nodes": 50000, "deadline_ms": 25}
+//! ```
+//!
+//! `block` is either the textual tuple format (detected by a leading
+//! `;; tuples` marker or a `<id>:` prefix) or expression source compiled by
+//! the frontend. `machine` is a preset name or an inline machine-config
+//! object. `budget_nodes` and `deadline_ms` are optional; omitting both
+//! requests a provably optimal answer.
+//!
+//! ```json
+//! {"id": 7, "ok": true, "nops": 2, "optimal": true, "cache_hit": false,
+//!  "tier": "bnb", "order": [1, 3, 2], "pipes": [0, 2, 1], "etas": [0, 0, 2],
+//!  "omega_calls": 14, "deadline_hit": false, "micros": 312}
+//! ```
+//!
+//! Failures come back on the same line protocol: `{"id": 7, "ok": false,
+//! "error": "..."}` — a bad request never tears the connection down.
+
+use std::time::{Duration, Instant};
+
+use pipesched_ir::BasicBlock;
+use pipesched_json::{json_object, Json};
+use pipesched_machine::{config as machine_config, presets, Machine};
+
+use crate::engine::{Answer, Budget};
+
+/// A parsed scheduling request.
+#[derive(Debug)]
+pub struct Request {
+    /// Caller-chosen correlation id, echoed in the response.
+    pub id: Option<i64>,
+    /// The block to schedule.
+    pub block: BasicBlock,
+    /// The target machine.
+    pub machine: Machine,
+    /// Ω-call budget (`None` ⇒ engine default / unlimited).
+    pub budget_nodes: Option<u64>,
+    /// Wall-clock allowance in milliseconds.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Request {
+    /// Materialize the per-request [`Budget`], anchoring the deadline at
+    /// `now` (the moment the request is picked up, not parsed).
+    pub fn budget(&self, default_nodes: u64, now: Instant) -> Budget {
+        Budget {
+            nodes: self.budget_nodes.unwrap_or(default_nodes),
+            deadline: self.deadline_ms.map(|ms| now + Duration::from_millis(ms)),
+        }
+    }
+}
+
+/// Parse one NDJSON request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let doc = pipesched_json::parse(line).map_err(|e| format!("bad JSON: {e}"))?;
+    let id = doc.get("id").and_then(Json::as_i64);
+
+    let block_text = doc
+        .get("block")
+        .and_then(Json::as_str)
+        .ok_or("missing string field `block`")?;
+    let block = parse_block_text("request", block_text)?;
+
+    let machine = match doc.get("machine") {
+        None => return Err("missing field `machine`".into()),
+        Some(Json::Str(name)) => preset_machine(name)?,
+        Some(obj @ Json::Object(_)) => {
+            machine_config::from_json(&obj.to_compact()).map_err(|e| e.to_string())?
+        }
+        Some(_) => return Err("`machine` must be a preset name or an object".into()),
+    };
+
+    let budget_nodes = match doc.get("budget_nodes") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(
+            v.as_i64()
+                .filter(|&n| n >= 0)
+                .ok_or("`budget_nodes` must be a non-negative integer")? as u64,
+        ),
+    };
+    let deadline_ms = match doc.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(
+            v.as_i64()
+                .filter(|&n| n >= 0)
+                .ok_or("`deadline_ms` must be a non-negative integer")? as u64,
+        ),
+    };
+
+    Ok(Request {
+        id,
+        block,
+        machine,
+        budget_nodes,
+        deadline_ms,
+    })
+}
+
+/// Parse request block text: tuple format when it looks like one,
+/// otherwise expression source through the frontend (unoptimized, so the
+/// request text maps 1:1 onto tuples).
+fn parse_block_text(name: &str, text: &str) -> Result<BasicBlock, String> {
+    let head = text.trim_start();
+    if head.starts_with(";; tuples") || head.starts_with("1:") {
+        pipesched_ir::parse::parse_block(name, text).map_err(|e| e.to_string())
+    } else {
+        pipesched_frontend::compile_unoptimized(name, text).map_err(|e| e.to_string())
+    }
+}
+
+/// Resolve a preset machine by its CLI name.
+pub fn preset_machine(name: &str) -> Result<Machine, String> {
+    match name {
+        "paper-simulation" => Ok(presets::paper_simulation()),
+        "paper-table2" => Ok(presets::table2_example()),
+        "deep-pipeline" => Ok(presets::deep_pipeline()),
+        "functional-units" => Ok(presets::functional_units()),
+        "section2-example" => Ok(presets::section2_example()),
+        "unpipelined" => Ok(presets::unpipelined()),
+        other => Err(format!("unknown machine preset `{other}`")),
+    }
+}
+
+/// Render a success response line (without trailing newline).
+pub fn response_json(id: Option<i64>, answer: &Answer, micros: u64) -> Json {
+    let order: Vec<Json> = answer
+        .order
+        .iter()
+        .map(|t| Json::Int(i64::from(t.0) + 1)) // 1-based, matching tuple text
+        .collect();
+    let pipes: Vec<Json> = answer
+        .order
+        .iter()
+        .map(|t| match answer.assignment[t.index()] {
+            Some(p) => Json::Int(p.index() as i64),
+            None => Json::Null,
+        })
+        .collect();
+    let etas: Vec<Json> = answer
+        .etas
+        .iter()
+        .map(|&e| Json::Int(i64::from(e)))
+        .collect();
+    json_object![
+        ("id", id.map_or(Json::Null, Json::Int)),
+        ("ok", true),
+        ("nops", i64::from(answer.nops)),
+        ("optimal", answer.optimal),
+        ("cache_hit", answer.cache_hit),
+        ("tier", answer.tier.name()),
+        ("order", Json::Array(order)),
+        ("pipes", Json::Array(pipes)),
+        ("etas", Json::Array(etas)),
+        ("omega_calls", answer.omega_calls as i64),
+        ("deadline_hit", answer.deadline_hit),
+        ("micros", micros as i64),
+    ]
+}
+
+/// Render an error response line.
+pub fn error_json(id: Option<i64>, message: &str) -> Json {
+    json_object![
+        ("id", id.map_or(Json::Null, Json::Int)),
+        ("ok", false),
+        ("error", message),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tuple_block_and_preset() {
+        let req = parse_request(
+            r#"{"id": 3, "block": "1: Load #x\n2: Mul @1, @1\n3: Store #y, @2",
+                "machine": "paper-simulation", "budget_nodes": 100, "deadline_ms": 5}"#,
+        )
+        .unwrap();
+        assert_eq!(req.id, Some(3));
+        assert_eq!(req.block.len(), 3);
+        assert_eq!(req.machine.name, "paper-simulation");
+        assert_eq!(req.budget_nodes, Some(100));
+        let now = Instant::now();
+        let budget = req.budget(999, now);
+        assert_eq!(budget.nodes, 100);
+        assert_eq!(budget.deadline, Some(now + Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn parses_source_block_and_inline_machine() {
+        let machine_json = machine_config::to_json(&presets::paper_simulation()).unwrap();
+        let line = json_object![
+            ("block", "r = a * b + c;"),
+            ("machine", pipesched_json::parse(&machine_json).unwrap()),
+        ]
+        .to_compact();
+        let req = parse_request(&line).unwrap();
+        assert!(req.block.len() >= 4);
+        assert_eq!(req.id, None);
+        assert_eq!(req.budget(777, Instant::now()).nodes, 777);
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"machine": "paper-simulation"}"#).is_err());
+        assert!(parse_request(r#"{"block": "1: Load #x"}"#).is_err());
+        assert!(parse_request(r#"{"block": "1: Load #x", "machine": "no-such"}"#).is_err());
+        assert!(parse_request(
+            r#"{"block": "1: Load #x", "machine": "paper-simulation", "budget_nodes": -1}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn error_json_round_trips() {
+        let doc = error_json(Some(9), "boom");
+        assert_eq!(doc.get("id").and_then(Json::as_i64), Some(9));
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(doc.get("error").and_then(Json::as_str), Some("boom"));
+    }
+}

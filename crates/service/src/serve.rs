@@ -1,0 +1,300 @@
+//! The serving front end: a blocking worker pool over NDJSON streams.
+//!
+//! [`serve_stream`] reads request lines from any `BufRead`, fans them out
+//! to a fixed pool of worker threads sharing one [`ServiceEngine`], and
+//! writes one response line per request **in input order** (workers finish
+//! out of order; a reorder buffer holds completed lines until their turn).
+//!
+//! [`serve_tcp`] accepts NDJSON connections on a TCP listener and runs
+//! `serve_stream` per connection, so `nc host port < requests.ndjson`
+//! works as a remote batch interface.
+//!
+//! The vendored `crossbeam` shim has no channels and the `parking_lot`
+//! shim no `Condvar`, so the job queue is a plain `std::sync` mutex +
+//! condvar pair — adequate here because each job carries milliseconds of
+//! scheduling work, not nanoseconds of queue traffic.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use crate::engine::ServiceEngine;
+use crate::request::{error_json, parse_request, response_json};
+
+/// Front-end configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads handling requests concurrently.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { workers: 4 }
+    }
+}
+
+enum Job {
+    Line { seq: u64, line: String },
+    Shutdown,
+}
+
+struct Queue {
+    jobs: Mutex<Vec<Job>>,
+    ready: Condvar,
+}
+
+impl Queue {
+    fn new() -> Self {
+        Queue {
+            jobs: Mutex::new(Vec::new()),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, job: Job) {
+        self.jobs.lock().unwrap().push(job);
+        self.ready.notify_one();
+    }
+
+    fn pop(&self) -> Job {
+        let mut jobs = self.jobs.lock().unwrap();
+        loop {
+            // FIFO: jobs were pushed in input order, take from the front.
+            if !jobs.is_empty() {
+                return jobs.remove(0);
+            }
+            jobs = self.ready.wait(jobs).unwrap();
+        }
+    }
+}
+
+/// Reorder buffer: responses are written strictly in request order.
+struct Reorder<W: Write> {
+    out: W,
+    next: u64,
+    pending: BTreeMap<u64, String>,
+}
+
+impl<W: Write> Reorder<W> {
+    fn emit(&mut self, seq: u64, line: String) -> std::io::Result<()> {
+        self.pending.insert(seq, line);
+        while let Some(line) = self.pending.remove(&self.next) {
+            self.out.write_all(line.as_bytes())?;
+            self.out.write_all(b"\n")?;
+            self.out.flush()?;
+            self.next += 1;
+        }
+        Ok(())
+    }
+}
+
+/// Serve every NDJSON line of `input`, writing ordered responses to
+/// `output`. Returns the number of requests handled (including failures).
+pub fn serve_stream<R: BufRead, W: Write + Send>(
+    engine: &ServiceEngine,
+    input: R,
+    output: W,
+    config: &ServeConfig,
+) -> std::io::Result<u64> {
+    let workers = config.workers.max(1);
+    let queue = Queue::new();
+    let sink = Mutex::new(Reorder {
+        out: output,
+        next: 0,
+        pending: BTreeMap::new(),
+    });
+    let io_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+    let mut handled = 0u64;
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let (seq, line) = match queue.pop() {
+                    Job::Shutdown => return,
+                    Job::Line { seq, line } => (seq, line),
+                };
+                let rendered = handle_line(engine, &line);
+                let mut sink = sink.lock().unwrap();
+                if let Err(e) = sink.emit(seq, rendered) {
+                    io_error.lock().unwrap().get_or_insert(e);
+                    return;
+                }
+            });
+        }
+
+        let mut seq = 0u64;
+        for line in input.lines() {
+            match line {
+                Ok(line) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    queue.push(Job::Line { seq, line });
+                    seq += 1;
+                }
+                Err(e) => {
+                    io_error.lock().unwrap().get_or_insert(e);
+                    break;
+                }
+            }
+        }
+        handled = seq;
+        for _ in 0..workers {
+            queue.push(Job::Shutdown);
+        }
+    });
+
+    match io_error.into_inner().unwrap() {
+        Some(e) => Err(e),
+        None => Ok(handled),
+    }
+}
+
+/// Answer one request line, returning the rendered response line.
+fn handle_line(engine: &ServiceEngine, line: &str) -> String {
+    engine.metrics().record_request();
+    let start = Instant::now();
+    match parse_request(line) {
+        Ok(req) => {
+            let budget = req.budget(engine.config().default_nodes, start);
+            let answer = engine.answer(&req.block, &req.machine, budget);
+            response_json(req.id, &answer, start.elapsed().as_micros() as u64).to_compact()
+        }
+        Err(message) => {
+            engine.metrics().record_error();
+            // Salvage the id for correlation even when the rest is bad.
+            let id = pipesched_json::parse(line)
+                .ok()
+                .and_then(|d| d.get("id").and_then(pipesched_json::Json::as_i64));
+            error_json(id, &message).to_compact()
+        }
+    }
+}
+
+/// Accept NDJSON connections on `listener`; each connection is served by
+/// its own `serve_stream` over the shared engine. Stops after
+/// `max_conns` connections when given (used by tests), otherwise loops
+/// until the listener errors.
+pub fn serve_tcp(
+    engine: &ServiceEngine,
+    listener: TcpListener,
+    config: &ServeConfig,
+    max_conns: Option<u64>,
+) -> std::io::Result<u64> {
+    let mut served = 0u64;
+    for conn in listener.incoming() {
+        let stream = conn?;
+        let reader = BufReader::new(stream.try_clone()?);
+        // Connections are handled sequentially; within one connection the
+        // worker pool still answers requests concurrently.
+        serve_stream(engine, reader, stream, config)?;
+        served += 1;
+        if max_conns.is_some_and(|m| served >= m) {
+            break;
+        }
+    }
+    Ok(served)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use pipesched_json::Json;
+
+    fn engine() -> ServiceEngine {
+        ServiceEngine::new(EngineConfig::default(), 64, 4)
+    }
+
+    const REQ: &str = r#"{"id": 1, "block": "1: Load #x\n2: Mul @1, @1\n3: Store #y, @2", "machine": "paper-simulation"}"#;
+
+    #[test]
+    fn serves_a_stream_in_input_order() {
+        let eng = engine();
+        let mut input = String::new();
+        for i in 0..8 {
+            input.push_str(&REQ.replace(r#""id": 1"#, &format!(r#""id": {i}"#)));
+            input.push('\n');
+        }
+        let mut out = Vec::new();
+        let handled = serve_stream(
+            &eng,
+            input.as_bytes(),
+            &mut out,
+            &ServeConfig { workers: 3 },
+        )
+        .unwrap();
+        assert_eq!(handled, 8);
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().trim().lines().collect();
+        assert_eq!(lines.len(), 8);
+        for (i, line) in lines.iter().enumerate() {
+            let doc = pipesched_json::parse(line).unwrap();
+            assert_eq!(doc.get("id").and_then(Json::as_i64), Some(i as i64));
+            assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+        }
+        // 8 identical shapes → 1 miss, 7 validated hits.
+        assert_eq!(eng.cache().hits(), 7);
+        assert_eq!(
+            eng.metrics()
+                .requests
+                .load(std::sync::atomic::Ordering::Relaxed),
+            8
+        );
+    }
+
+    #[test]
+    fn bad_lines_get_error_responses_not_disconnects() {
+        let eng = engine();
+        let input = format!("{REQ}\nnot json at all\n{{\"id\": 5, \"block\": \"1: Load #x\"}}\n");
+        let mut out = Vec::new();
+        let handled =
+            serve_stream(&eng, input.as_bytes(), &mut out, &ServeConfig::default()).unwrap();
+        assert_eq!(handled, 3);
+        let lines: Vec<&str> = std::str::from_utf8(&out).unwrap().trim().lines().collect();
+        assert_eq!(lines.len(), 3);
+        let second = pipesched_json::parse(lines[1]).unwrap();
+        assert_eq!(second.get("ok").and_then(Json::as_bool), Some(false));
+        let third = pipesched_json::parse(lines[2]).unwrap();
+        assert_eq!(third.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(third.get("id").and_then(Json::as_i64), Some(5));
+        assert_eq!(
+            eng.metrics()
+                .errors
+                .load(std::sync::atomic::Ordering::Relaxed),
+            2
+        );
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        let eng = engine();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::scope(|scope| {
+            let eng = &eng;
+            let server = scope.spawn(move || {
+                serve_tcp(eng, listener, &ServeConfig { workers: 2 }, Some(1)).unwrap()
+            });
+            let client = scope.spawn(move || {
+                let mut stream = std::net::TcpStream::connect(addr).unwrap();
+                stream.write_all(REQ.as_bytes()).unwrap();
+                stream.write_all(b"\n").unwrap();
+                stream.shutdown(std::net::Shutdown::Write).unwrap();
+                let mut reply = String::new();
+                BufReader::new(stream).read_line(&mut reply).unwrap();
+                reply
+            });
+            let reply = client.join().unwrap();
+            assert_eq!(server.join().unwrap(), 1);
+            let doc = pipesched_json::parse(&reply).unwrap();
+            assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+            assert_eq!(
+                doc.get("nops").and_then(Json::as_i64).map(|n| n >= 0),
+                Some(true)
+            );
+        });
+    }
+}

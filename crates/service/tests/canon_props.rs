@@ -1,0 +1,263 @@
+//! Property tests for canonical-DAG cache keys.
+//!
+//! The cache is only sound if (a) schedule-isomorphic blocks — renamed
+//! variables, reordered-but-dependence-equivalent statements — collapse to
+//! one key, and (b) anything the NOP-minimization problem can *see* (an
+//! edge, an operation kind, a latency class) splits the key. Both halves
+//! are exercised here over randomized blocks from `pipesched-synth`, plus
+//! the end-to-end regression: a validated cache hit must hand back a
+//! schedule the independent certifier accepts on the *new* block.
+
+use pipesched_core::SchedContext;
+use pipesched_ir::{BasicBlock, DepDag, Op, Operand, TupleId};
+use pipesched_machine::{presets, Machine};
+use pipesched_service::canon::{canonicalize, machine_fingerprint, CanonForm};
+use pipesched_service::{Budget, EngineConfig, ServiceEngine};
+use pipesched_synth::generator::{generate_block, GeneratorConfig};
+use proptest::proptest;
+use rand::{Rng, SeedableRng};
+
+fn form_of(block: &BasicBlock, machine: &Machine) -> CanonForm {
+    let dag = DepDag::build(block);
+    let ctx = SchedContext::new(block, &dag, machine);
+    canonicalize(&ctx)
+}
+
+fn synth_block(seed: u64) -> BasicBlock {
+    let statements = 4 + (seed % 13) as usize;
+    generate_block(&GeneratorConfig::new(statements, 5, 3, seed))
+}
+
+/// Rebuild `block` with every variable renamed and the statements permuted
+/// into a random topological order of the *dependence DAG* (not just the
+/// operand references). Respecting all flow/anti/output edges keeps every
+/// relative order the dependence analysis cares about, so the result is
+/// schedule-isomorphic to the input by construction.
+fn isomorphic_shuffle(block: &BasicBlock, seed: u64) -> BasicBlock {
+    let dag = DepDag::build(block);
+    let n = block.len();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+    let mut indegree: Vec<usize> = (0..n).map(|i| dag.preds(TupleId(i as u32)).len()).collect();
+    let mut ready: Vec<u32> = (0..n as u32)
+        .filter(|&i| indegree[i as usize] == 0)
+        .collect();
+    let mut topo: Vec<TupleId> = Vec::with_capacity(n);
+    while !ready.is_empty() {
+        let pick = rng.gen_range(0..ready.len());
+        let t = TupleId(ready.swap_remove(pick));
+        topo.push(t);
+        for e in dag.succs(t) {
+            indegree[e.to.index()] -= 1;
+            if indegree[e.to.index()] == 0 {
+                ready.push(e.to.0);
+            }
+        }
+    }
+    assert_eq!(topo.len(), n, "dependence DAG must be acyclic");
+
+    let mut renamed = BasicBlock::new(format!("{}-shuffled", block.name));
+    let mut new_id = vec![TupleId(0); n];
+    for (pos, &old) in topo.iter().enumerate() {
+        let t = block.tuple(old);
+        let mut map_operand = |o: Operand| match o {
+            Operand::Tuple(r) => Operand::Tuple(new_id[r.index()]),
+            Operand::Var(v) => {
+                let name = block.symbols().name(v).unwrap();
+                Operand::Var(renamed.intern(&format!("renamed_{name}_x")))
+            }
+            other => other,
+        };
+        let (a, b) = (map_operand(t.a), map_operand(t.b));
+        new_id[old.index()] = renamed.push(t.op, a, b);
+        debug_assert_eq!(new_id[old.index()].index(), pos);
+    }
+    renamed.verify().expect("shuffled block stays well-formed");
+    renamed
+}
+
+/// Bump one pipeline's latency by one, keeping everything else identical.
+fn bump_latency(machine: &Machine, which: usize) -> Machine {
+    let mut b = Machine::builder(machine.name.clone());
+    for (i, p) in machine.pipelines().iter().enumerate() {
+        let latency = if i == which % machine.pipeline_count() {
+            p.latency + 1
+        } else {
+            p.latency
+        };
+        b.pipeline(&p.function, latency, p.enqueue);
+    }
+    for (op, pipes) in machine.mapping() {
+        b.map(*op, pipes);
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    /// (a) Renamed + dependence-respecting reordered blocks share a key.
+    #[test]
+    fn isomorphic_blocks_share_a_key(seed in 0u64..500, shuffle_seed in 0u64..500) {
+        let machine = presets::paper_simulation();
+        let block = synth_block(seed);
+        let twin = isomorphic_shuffle(&block, shuffle_seed);
+        let a = form_of(&block, &machine);
+        let b = form_of(&twin, &machine);
+        assert_eq!(a.key, b.key, "isomorphic blocks must collide:\n{block}\nvs\n{twin}");
+    }
+
+    /// (b1) A single latency-class mutation changes the key.
+    #[test]
+    fn latency_mutation_changes_the_key(seed in 0u64..300, which in 0usize..8) {
+        let machine = presets::paper_simulation();
+        let block = synth_block(seed);
+        let mutated = bump_latency(&machine, which);
+        assert_ne!(machine_fingerprint(&machine), machine_fingerprint(&mutated));
+        assert_ne!(form_of(&block, &machine).key, form_of(&block, &mutated).key);
+    }
+
+    /// (b2) A single op-kind mutation (one Add↔Mul flip) changes the key.
+    #[test]
+    fn op_kind_mutation_changes_the_key(seed in 0u64..300) {
+        let machine = presets::paper_simulation();
+        let block = synth_block(seed);
+        let Some(pos) = block
+            .tuples()
+            .iter()
+            .position(|t| matches!(t.op, Op::Add | Op::Mul))
+        else {
+            return Ok(()); // no mutable site in this sample
+        };
+        let mut mutated = BasicBlock::new(block.name.clone());
+        for (i, t) in block.tuples().iter().enumerate() {
+            let mut map_operand = |o: Operand| match o {
+                Operand::Var(v) => {
+                    Operand::Var(mutated.intern(block.symbols().name(v).unwrap()))
+                }
+                other => other,
+            };
+            let op = if i == pos {
+                if t.op == Op::Add { Op::Mul } else { Op::Add }
+            } else {
+                t.op
+            };
+            let (a, b) = (map_operand(t.a), map_operand(t.b));
+            mutated.push(op, a, b);
+        }
+        mutated.verify().unwrap();
+        assert_ne!(form_of(&block, &machine).key, form_of(&mutated, &machine).key);
+    }
+
+    /// (b3) Rewiring a single flow edge to a producer of a different op
+    /// kind changes the key.
+    #[test]
+    fn edge_mutation_changes_the_key(seed in 0u64..300, pick in 0usize..16) {
+        let machine = presets::paper_simulation();
+        let block = synth_block(seed);
+        // Find a binary tuple with a rewirable operand: slot `a` holds
+        // tuple `t`, slot `b` does not reference `t`, and some earlier
+        // tuple `u` has a different op kind and is not already an operand.
+        let mut site = None;
+        'outer: for (i, tup) in block.tuples().iter().enumerate().skip(pick % 4) {
+            let Operand::Tuple(t) = tup.a else { continue };
+            if tup.b == Operand::Tuple(t) {
+                continue; // both slots reference t; the edge would survive
+            }
+            for u in 0..i {
+                let u = TupleId(u as u32);
+                if u == t
+                    || block.tuple(u).op == block.tuple(t).op
+                    || tup.b == Operand::Tuple(u)
+                    || block.tuple(u).op == Op::Store
+                {
+                    continue;
+                }
+                site = Some((i, u));
+                break 'outer;
+            }
+        }
+        let Some((pos, u)) = site else {
+            return Ok(()); // nothing rewirable in this sample
+        };
+        let mut mutated = BasicBlock::new(block.name.clone());
+        for (i, t) in block.tuples().iter().enumerate() {
+            let mut map_operand = |o: Operand| match o {
+                Operand::Var(v) => {
+                    Operand::Var(mutated.intern(block.symbols().name(v).unwrap()))
+                }
+                other => other,
+            };
+            let a = if i == pos {
+                Operand::Tuple(u)
+            } else {
+                map_operand(t.a)
+            };
+            let b = map_operand(t.b);
+            mutated.push(t.op, a, b);
+        }
+        mutated.verify().unwrap();
+        assert_ne!(
+            form_of(&block, &machine).key,
+            form_of(&mutated, &machine).key,
+            "edge rewire {pos} -> @{u:?} must split the key:\n{block}\nvs\n{mutated}"
+        );
+    }
+}
+
+/// With no budget or deadline the service must reproduce the serial
+/// branch-and-bound result bit for bit on the paper's running examples.
+#[test]
+fn paper_examples_bit_match_serial_bnb() {
+    const FIG3: &str = "1: Const 15\n2: Store #b, @1\n3: Load #a\n4: Mul @1, @3\n5: Store #a, @4\n";
+    for machine in [presets::paper_simulation(), presets::table2_example()] {
+        let block = pipesched_ir::parse::parse_block("fig3", FIG3).unwrap();
+        let dag = DepDag::build(&block);
+        let ctx = SchedContext::new(&block, &dag, &machine);
+        let reference =
+            pipesched_core::search(&ctx, &pipesched_core::SearchConfig::with_lambda(u64::MAX));
+        assert!(reference.optimal);
+
+        let engine = ServiceEngine::new(EngineConfig::default(), 16, 2);
+        let served = engine.answer(&block, &machine, Budget::unlimited());
+        assert!(served.optimal, "machine {}", machine.name);
+        assert_eq!(served.order, reference.order, "machine {}", machine.name);
+        assert_eq!(served.assignment, reference.assignment);
+        assert_eq!(served.etas, reference.etas);
+        assert_eq!(served.nops, reference.nops);
+    }
+}
+
+/// Regression: a cache hit replayed onto a *renamed, reordered* block must
+/// pass the independent certifier on that new block — in release builds
+/// too, where the engine's internal debug hook is compiled out.
+#[test]
+fn cache_hit_certifies_on_the_new_block() {
+    let machine = presets::paper_simulation();
+    let engine = ServiceEngine::new(EngineConfig::default(), 128, 4);
+    let mut hits = 0u64;
+    for seed in 0..20u64 {
+        let block = synth_block(seed);
+        let first = engine.answer(&block, &machine, Budget::unlimited());
+        assert!(!first.cache_hit);
+        let twin = isomorphic_shuffle(&block, seed.wrapping_mul(7919));
+        let second = engine.answer(&twin, &machine, Budget::unlimited());
+        assert!(second.cache_hit, "isomorphic twin must hit (seed {seed})");
+        assert_eq!(second.nops, first.nops);
+        let cert = pipesched_analyze::certify(
+            &twin,
+            &machine,
+            pipesched_analyze::Claim {
+                order: &second.order,
+                assignment: Some(&second.assignment),
+                etas: Some(&second.etas),
+                nops: Some(second.nops),
+            },
+        );
+        assert!(
+            cert.is_certified(),
+            "cache hit failed certification on the new block (seed {seed}):\n{}",
+            cert.report
+        );
+        hits += 1;
+    }
+    assert_eq!(engine.cache().hits(), hits);
+}

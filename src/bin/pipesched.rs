@@ -41,15 +41,20 @@ struct Options {
     parallel: bool,
     optimize: bool,
     regs: Option<usize>,
+    json: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pipesched <input> [--machine NAME|FILE.json] [--emit asm|padded|trace|gantt|tuples|dot|stats]\n\
-         \x20                [--lambda N] [--window N] [--parallel] [--no-optimize] [--regs N]\n\
+        "usage: pipesched [schedule] <input> [--machine NAME|FILE.json] [--emit asm|padded|trace|gantt|tuples|dot|stats]\n\
+         \x20                [--lambda N] [--window N] [--parallel] [--no-optimize] [--regs N] [--json]\n\
          \x20      pipesched lint [INPUT ...] [--machine NAME|FILE] [--json] [--no-optimize]\n\
          \x20      pipesched certify <input> [--machine NAME|FILE] [--lambda N] [--window N]\n\
-         \x20                [--parallel] [--json] [--no-optimize]"
+         \x20                [--parallel] [--json] [--no-optimize]\n\
+         \x20      pipesched serve [--workers N] [--nodes N] [--cache N] [--shards N]\n\
+         \x20                [--tcp ADDR[:PORT]] [--conns N] [--cache-file FILE] [--metrics]\n\
+         \x20      pipesched batch <requests.ndjson> [--workers N] [--nodes N] [--cache N]\n\
+         \x20                [--check] [--require-hits] [--json] [--quiet]"
     );
     std::process::exit(2)
 }
@@ -65,8 +70,16 @@ fn parse_options() -> Result<Options, String> {
         parallel: false,
         optimize: true,
         regs: None,
+        json: false,
     };
-    let mut args = std::env::args().skip(1);
+    // `pipesched schedule <input>` is an explicit alias for the default
+    // scheduling pipeline.
+    let skip = if std::env::args().nth(1).as_deref() == Some("schedule") {
+        2
+    } else {
+        1
+    };
+    let mut args = std::env::args().skip(skip);
     while let Some(a) = args.next() {
         let mut value = || args.next().ok_or_else(|| format!("{a} requires a value"));
         match a.as_str() {
@@ -81,6 +94,7 @@ fn parse_options() -> Result<Options, String> {
                 opts.window = Some(w);
             }
             "--regs" => opts.regs = Some(value()?.parse().map_err(|e| format!("--regs: {e}"))?),
+            "--json" => opts.json = true,
             "--parallel" => opts.parallel = true,
             "--no-optimize" => opts.optimize = false,
             "--help" | "-h" => usage(),
@@ -146,6 +160,8 @@ fn main() -> ExitCode {
     let dispatch = match std::env::args().nth(1).as_deref() {
         Some("lint") => run_lint(),
         Some("certify") => run_certify(),
+        Some("serve") => run_serve(),
+        Some("batch") => run_batch_cmd(),
         _ => run().map(|()| ExitCode::SUCCESS),
     };
     match dispatch {
@@ -306,7 +322,7 @@ fn run_certify() -> Result<ExitCode, String> {
         } else {
             let out = Scheduler::new(machine.clone())
                 .with_lambda(opts.lambda)
-                .schedule(block);
+                .schedule_with_dag(block, &dag);
             analyze::certify_scheduled(block, &machine, &out)
         };
         let mut report = cert.report;
@@ -328,19 +344,15 @@ fn run() -> Result<(), String> {
     let block = load_block(&opts)?;
     let dag = DepDag::build(&block);
 
-    // Schedule.
-    let (order, etas, nops, initial_nops, optimal, omega) = if let Some(window) = opts.window {
+    // Schedule. All three paths reuse the DAG built above — the facade's
+    // `schedule_with_dag` entry point exists so the CLI never pays for a
+    // second dependence analysis.
+    let sched_start = std::time::Instant::now();
+    let (order, etas, nops, initial_nops, optimal, stats) = if let Some(window) = opts.window {
         let ctx = SchedContext::new(&block, &dag, &machine);
         let w = windowed_schedule(&ctx, window, opts.lambda);
         let truncated = w.stats.truncated;
-        (
-            w.order,
-            w.etas,
-            w.nops,
-            w.initial_nops,
-            !truncated,
-            w.stats.omega_calls,
-        )
+        (w.order, w.etas, w.nops, w.initial_nops, !truncated, w.stats)
     } else if opts.parallel {
         let ctx = SchedContext::new(&block, &dag, &machine);
         let out = pipesched::core::parallel::parallel_search(&ctx, opts.lambda, 0);
@@ -350,20 +362,22 @@ fn run() -> Result<(), String> {
             out.nops,
             out.initial_nops,
             out.optimal,
-            out.stats.omega_calls,
+            out.stats,
         )
     } else {
         let scheduler = Scheduler::new(machine.clone()).with_lambda(opts.lambda);
-        let out = scheduler.schedule(&block);
+        let out = scheduler.schedule_with_dag(&block, &dag);
         (
             out.order,
             out.etas,
             out.nops,
             out.initial_nops,
             out.optimal,
-            out.stats.omega_calls,
+            out.stats,
         )
     };
+    let wall_micros = sched_start.elapsed().as_micros() as u64;
+    let omega = stats.omega_calls;
 
     // Debug builds certify every schedule the CLI emits: the independent
     // re-derivation in `pipesched-analyze` must agree with the scheduler.
@@ -383,6 +397,38 @@ fn run() -> Result<(), String> {
             "schedule failed certification:\n{}",
             cert.report
         );
+    }
+
+    // `--json`: machine-readable result with wall-clock and search-node
+    // stats; replaces the `--emit` listing.
+    if opts.json {
+        let order_json: Vec<pipesched::json::Json> = order
+            .iter()
+            .map(|t| pipesched::json::Json::Int(i64::from(t.0) + 1))
+            .collect();
+        let etas_json: Vec<pipesched::json::Json> = etas
+            .iter()
+            .map(|&e| pipesched::json::Json::Int(i64::from(e)))
+            .collect();
+        let doc = pipesched::json::json_object![
+            ("input", opts.input.as_str()),
+            ("machine", machine.name.as_str()),
+            ("instructions", block.len()),
+            ("order", pipesched::json::Json::Array(order_json)),
+            ("etas", pipesched::json::Json::Array(etas_json)),
+            ("nops", nops),
+            ("initial_nops", initial_nops),
+            ("total_cycles", block.len() as i64 + i64::from(nops)),
+            ("optimal", optimal),
+            ("omega_calls", omega as i64),
+            ("pruned_bound", stats.pruned_bound as i64),
+            ("pruned_equivalence", stats.pruned_equivalence as i64),
+            ("truncated", stats.truncated),
+            ("deadline_hit", stats.deadline_hit),
+            ("wall_micros", wall_micros as i64),
+        ];
+        println!("{}", doc.to_pretty());
+        return Ok(());
     }
 
     match opts.emit.as_str() {
@@ -448,4 +494,177 @@ fn run() -> Result<(), String> {
         if optimal { "optimal" } else { "truncated" }
     );
     Ok(())
+}
+
+/// `pipesched serve`: answer NDJSON scheduling requests from stdin or TCP.
+fn run_serve() -> Result<ExitCode, String> {
+    let mut workers = 4usize;
+    let mut nodes = pipesched::service::EngineConfig::default().default_nodes;
+    let mut cache_capacity = 1024usize;
+    let mut shards = 8usize;
+    let mut tcp: Option<String> = None;
+    let mut conns: Option<u64> = None;
+    let mut cache_file: Option<String> = None;
+    let mut dump_metrics = false;
+
+    let mut args = std::env::args().skip(2);
+    while let Some(a) = args.next() {
+        let mut value = || args.next().ok_or_else(|| format!("{a} requires a value"));
+        match a.as_str() {
+            "--workers" => workers = value()?.parse().map_err(|e| format!("--workers: {e}"))?,
+            "--nodes" => nodes = value()?.parse().map_err(|e| format!("--nodes: {e}"))?,
+            "--cache" => cache_capacity = value()?.parse().map_err(|e| format!("--cache: {e}"))?,
+            "--shards" => shards = value()?.parse().map_err(|e| format!("--shards: {e}"))?,
+            "--tcp" => tcp = Some(value()?),
+            "--conns" => conns = Some(value()?.parse().map_err(|e| format!("--conns: {e}"))?),
+            "--cache-file" => cache_file = Some(value()?),
+            "--metrics" => dump_metrics = true,
+            "--help" | "-h" => usage(),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+
+    let engine = pipesched::service::ServiceEngine::new(
+        pipesched::service::EngineConfig {
+            default_nodes: nodes,
+            ..Default::default()
+        },
+        cache_capacity,
+        shards,
+    );
+    if let Some(path) = &cache_file {
+        let loaded = engine.cache().load_from_path(path)?;
+        if loaded > 0 {
+            eprintln!("; loaded {loaded} cached schedules from {path}");
+        }
+    }
+    let config = pipesched::service::ServeConfig { workers };
+
+    let handled = if let Some(addr) = tcp {
+        let listener =
+            std::net::TcpListener::bind(&addr).map_err(|e| format!("bind {addr}: {e}"))?;
+        eprintln!(
+            "; serving on {}",
+            listener.local_addr().map_err(|e| e.to_string())?
+        );
+        pipesched::service::serve_tcp(&engine, listener, &config, conns)
+            .map_err(|e| e.to_string())?
+    } else {
+        let stdin = std::io::stdin();
+        pipesched::service::serve_stream(&engine, stdin.lock(), std::io::stdout(), &config)
+            .map_err(|e| e.to_string())?
+    };
+
+    if let Some(path) = &cache_file {
+        engine.cache().save_to_path(path)?;
+        eprintln!(
+            "; saved {} cached schedules to {path}",
+            engine.cache().len()
+        );
+    }
+    if dump_metrics {
+        eprintln!("{}", engine.metrics().to_json().to_pretty());
+    }
+    eprintln!("; {handled} requests served");
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `pipesched batch`: replay an NDJSON request file, print throughput, and
+/// optionally gate on certification and cache behaviour (the CI smoke).
+fn run_batch_cmd() -> Result<ExitCode, String> {
+    let mut input: Option<String> = None;
+    let mut workers = 4usize;
+    let mut nodes = pipesched::service::EngineConfig::default().default_nodes;
+    let mut cache_capacity = 1024usize;
+    let mut check = false;
+    let mut require_hits = false;
+    let mut json = false;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(2);
+    while let Some(a) = args.next() {
+        let mut value = || args.next().ok_or_else(|| format!("{a} requires a value"));
+        match a.as_str() {
+            "--workers" => workers = value()?.parse().map_err(|e| format!("--workers: {e}"))?,
+            "--nodes" => nodes = value()?.parse().map_err(|e| format!("--nodes: {e}"))?,
+            "--cache" => cache_capacity = value()?.parse().map_err(|e| format!("--cache: {e}"))?,
+            "--check" => check = true,
+            "--require-hits" => require_hits = true,
+            "--json" => json = true,
+            "--quiet" => quiet = true,
+            "--help" | "-h" => usage(),
+            "-" if input.is_none() => input = Some("-".into()),
+            other if input.is_none() && !other.starts_with('-') => input = Some(other.to_string()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let input = input.ok_or("missing request file")?;
+    let text = if input == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(&input).map_err(|e| format!("read {input}: {e}"))?
+    };
+
+    let engine = pipesched::service::ServiceEngine::new(
+        pipesched::service::EngineConfig {
+            default_nodes: nodes,
+            ..Default::default()
+        },
+        cache_capacity,
+        8,
+    );
+    let summary = pipesched::service::run_batch(
+        &engine,
+        &text,
+        &pipesched::service::ServeConfig { workers },
+        check,
+    )
+    .map_err(|e| e.to_string())?;
+
+    if !quiet {
+        for line in &summary.responses {
+            println!("{line}");
+        }
+    }
+    if json {
+        eprintln!("{}", summary.to_json().to_pretty());
+    } else {
+        eprintln!(
+            "; {} requests in {:.1} ms ({:.0} req/s): {} ok, {} errors, {} cache hits, {} truncated{}",
+            summary.requests,
+            summary.wall_micros as f64 / 1000.0,
+            summary.throughput(),
+            summary.ok,
+            summary.errors,
+            summary.cache_hits,
+            summary.truncated,
+            if check {
+                format!(
+                    ", {} certified / {} failed",
+                    summary.certified, summary.certify_failures
+                )
+            } else {
+                String::new()
+            }
+        );
+    }
+
+    let mut failed = summary.errors > 0;
+    if check && (summary.certify_failures > 0 || summary.certified != summary.ok) {
+        eprintln!("pipesched: certification gate failed");
+        failed = true;
+    }
+    if require_hits && summary.cache_hits == 0 {
+        eprintln!("pipesched: expected cache hits, saw none");
+        failed = true;
+    }
+    Ok(if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
 }

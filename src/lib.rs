@@ -8,5 +8,6 @@ pub use pipesched_ir as ir;
 pub use pipesched_json as json;
 pub use pipesched_machine as machine;
 pub use pipesched_regalloc as regalloc;
+pub use pipesched_service as service;
 pub use pipesched_sim as sim;
 pub use pipesched_synth as synth;
