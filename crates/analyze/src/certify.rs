@@ -221,10 +221,18 @@ fn effective_assignment(
 }
 
 /// One merged dependence: `to` may not issue before `cycle(from) + delay`.
+///
+/// Public so the `pipesched-proof` certificate checker can replay prefix
+/// timing against the same independently extracted dependences.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Dep {
-    from: TupleId,
-    delay: u64,
+pub struct Dep {
+    /// The producing (earlier) tuple.
+    pub from: TupleId,
+    /// Minimum ticks between issuing `from` and the dependent tuple.
+    pub delay: u64,
+    /// True when any merged constituent is a *flow* dependence (value use
+    /// or load-after-store); anti and output dependences leave it false.
+    pub flow: bool,
 }
 
 /// Re-extract dependences from the raw tuples, independent of `DepDag`.
@@ -233,8 +241,10 @@ struct Dep {
 /// store to the same variable) delays the consumer by the producer's
 /// result latency; *anti* (store after load) and *output* (store after
 /// store) dependences only force issue order, a delay of one tick.
-/// Multiple dependences between the same pair merge by maximum delay.
-fn extract_deps(
+/// Multiple dependences between the same pair merge by maximum delay
+/// (and the union of their flow flags). Returns the immediate
+/// predecessors of each tuple, indexed by tuple id.
+pub fn extract_deps(
     block: &BasicBlock,
     machine: &Machine,
     sigma: &[Option<PipelineId>],
@@ -248,21 +258,24 @@ fn extract_deps(
     let mut preds: Vec<Vec<Dep>> = vec![Vec::new(); block.len()];
 
     for t in block.tuples() {
-        let mut add = |to: TupleId, from: TupleId, delay: u64| {
+        let mut add = |to: TupleId, from: TupleId, delay: u64, flow: bool| {
             let list = &mut preds[to.index()];
             match list.iter_mut().find(|d| d.from == from) {
-                Some(d) => d.delay = d.delay.max(delay),
-                None => list.push(Dep { from, delay }),
+                Some(d) => {
+                    d.delay = d.delay.max(delay);
+                    d.flow |= flow;
+                }
+                None => list.push(Dep { from, delay, flow }),
             }
         };
         for r in t.tuple_refs() {
-            add(t.id, r, result_delay(r));
+            add(t.id, r, result_delay(r), true);
         }
         match t.op {
             Op::Load => {
                 if let Some(v) = t.a.as_var() {
                     if let Some(s) = last_store[v.0 as usize] {
-                        add(t.id, s, result_delay(s));
+                        add(t.id, s, result_delay(s), true);
                     }
                     loads_since[v.0 as usize].push(t.id);
                 }
@@ -270,10 +283,10 @@ fn extract_deps(
             Op::Store => {
                 if let Some(v) = t.a.as_var() {
                     if let Some(s) = last_store[v.0 as usize] {
-                        add(t.id, s, 1);
+                        add(t.id, s, 1, false);
                     }
                     for &l in &loads_since[v.0 as usize] {
-                        add(t.id, l, 1);
+                        add(t.id, l, 1, false);
                     }
                     last_store[v.0 as usize] = Some(t.id);
                     loads_since[v.0 as usize].clear();
@@ -308,7 +321,9 @@ fn check_order(block: &BasicBlock, position: &[usize], deps: &[Vec<Dep>], report
 
 /// Event-driven issue-time derivation (see the module docs for the
 /// recurrence). Assumes the order already passed the legality checks.
-fn derive_issue_times(
+/// Public so the certificate checker can reuse this third timing
+/// implementation without touching the scheduler's engine.
+pub fn derive_issue_times(
     machine: &Machine,
     order: &[TupleId],
     sigma: &[Option<PipelineId>],

@@ -62,9 +62,11 @@ macro_rules! diag_codes {
         /// Stable diagnostic codes.
         ///
         /// `A01xx` are IR well-formedness checks, `A02xx` machine-description
-        /// lints, `A03xx` schedule-certification failures. The textual form
-        /// (e.g. `"A0302"`) is a stable contract: tests and downstream
-        /// tooling match on it, so codes are never renumbered or reused.
+        /// lints, `A03xx` schedule-certification failures, `A04xx`
+        /// optimality-certificate rejections (emitted by the
+        /// `pipesched-proof` checker). The textual form (e.g. `"A0302"`) is
+        /// a stable contract: tests and downstream tooling match on it, so
+        /// codes are never renumbered or reused.
         #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
         pub enum DiagCode {
             $( $(#[$meta])* $name, )*
@@ -162,6 +164,30 @@ diag_codes! {
     IllegalAssignment = ("A0305", Error, "tuple assigned a pipeline that cannot execute it"),
     /// Two schedulers produced contradictory results.
     SchedulerDisagreement = ("A0306", Error, "schedulers produced contradictory results"),
+
+    /// An optimality certificate is syntactically or structurally invalid.
+    CertificateMalformed = ("A0401", Error, "optimality certificate is malformed"),
+    /// The certificate's case analysis has a gap: some unexplored
+    /// extension is covered by no recorded prune, or the transcript is
+    /// truncated.
+    ProofCoverageGap = ("A0402", Error, "certificate case analysis does not cover every extension"),
+    /// A recorded bound-prune's μ or chain/resource derivation disagrees
+    /// with the checker's independent re-derivation.
+    BoundArithmeticMismatch = ("A0403", Error, "recorded bound derivation disagrees with re-derivation"),
+    /// A bound prune whose recorded bound would not actually dominate the
+    /// incumbent at that point of the search.
+    UnjustifiedBoundPrune = ("A0404", Error, "bound prune does not dominate the incumbent"),
+    /// An equivalence prune whose witness pair fails the interchangeability
+    /// conditions (freeness or identical successor sets) on the DAG.
+    StaleEquivalenceWitness = ("A0405", Error, "equivalence-prune witness fails interchangeability"),
+    /// The incumbent chain is inconsistent (a non-improving `Improve`, a μ
+    /// that disagrees with replayed timing, or a trailer μ mismatch).
+    IncumbentRegression = ("A0406", Error, "certificate incumbent chain is inconsistent"),
+    /// The certificate places an instruction before its dependences allow.
+    IllegalPlacement = ("A0407", Error, "certificate places an instruction illegally"),
+    /// A `ProvedByBound` event's global lower bound does not match the
+    /// checker's re-derivation, or the incumbent does not reach it.
+    LowerBoundMismatch = ("A0408", Error, "claimed global lower bound fails re-derivation"),
 }
 
 impl fmt::Display for DiagCode {

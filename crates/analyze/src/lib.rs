@@ -29,7 +29,9 @@ pub mod diag;
 pub mod ir_checks;
 pub mod machine_checks;
 
-pub use certify::{certify, certify_scheduled, Certification, Claim};
+pub use certify::{
+    certify, certify_scheduled, derive_issue_times, extract_deps, Certification, Claim, Dep,
+};
 pub use cross::cross_check;
 pub use diag::{DiagCode, Diagnostic, Report, Severity};
 pub use ir_checks::check_block;

@@ -9,6 +9,7 @@
 //! repro windowed  [--runs N]
 //! repro encodings [--runs N]
 //! repro serve     [--runs N] [--threads T]   # memoized serving throughput
+//! repro prove     [--runs N]   # proof-logging overhead + checker throughput
 //! repro verify    [--runs N]   # full end-to-end invariant gate
 //! ```
 //!
@@ -22,7 +23,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use pipesched_bench::experiments::{
-    ablation, encodings, serve, sweep, table1, verify_sweep, windowed,
+    ablation, encodings, prove, serve, sweep, table1, verify_sweep, windowed,
 };
 use pipesched_bench::report::{f, percentile, TextTable};
 use pipesched_bench::{run_sweep, RunRecord, SweepConfig, SweepResult};
@@ -91,6 +92,7 @@ fn main() -> ExitCode {
         "windowed" => run_windowed(&args),
         "encodings" => run_encodings(&args),
         "serve" => run_serve(&args),
+        "prove" => run_prove(&args),
         "verify" => {
             let runs = args.runs.min(2_000);
             eprintln!("verify: full end-to-end gate over {runs} blocks...");
@@ -117,11 +119,12 @@ fn main() -> ExitCode {
             run_windowed(&ablation_args);
             run_encodings(&ablation_args);
             run_serve(&ablation_args);
+            run_prove(&ablation_args);
         }
         other => {
             eprintln!(
                 "repro: unknown command `{other}`\n\
-                 commands: all table1 table7 fig1 fig4 fig5 fig6 fig7 ablation windowed encodings serve verify"
+                 commands: all table1 table7 fig1 fig4 fig5 fig6 fig7 ablation windowed encodings serve prove verify"
             );
             return ExitCode::FAILURE;
         }
@@ -420,6 +423,37 @@ fn run_serve(args: &Args) {
         "serve_throughput",
         &report.table(),
         "Serving throughput: cache hits vs live searches on a repeated-shapes workload",
+    );
+}
+
+fn run_prove(args: &Args) {
+    let runs = args.runs.min(300);
+    eprintln!("prove: {runs} blocks x {{plain, logged, plain}} + checker replay...");
+    let report = prove::run(runs, args.lambda);
+    println!(
+        "prove: {} certificates accepted, {} rejected, {} truncated — \
+         disabled-path delta {:.2}%, logging overhead {:.2}%, checker {:.0} events/s",
+        report.proved,
+        report.rejected,
+        report.truncated,
+        report.disabled_overhead_pct(),
+        report.logging_overhead_pct(),
+        report.checker_events_per_sec()
+    );
+    if report.rejected > 0 {
+        eprintln!("prove: GATE FAILED — the checker rejected a search certificate");
+    }
+    if report.disabled_overhead_pct() >= 2.0 {
+        eprintln!(
+            "prove: note — disabled-path delta {:.2}% exceeds the 2% budget (noisy machine?)",
+            report.disabled_overhead_pct()
+        );
+    }
+    save(
+        args,
+        "prove_overhead",
+        &prove::render(&report),
+        "Optimality certificates: logging overhead and checker throughput",
     );
 }
 

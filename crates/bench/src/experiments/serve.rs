@@ -112,7 +112,7 @@ pub fn workload(requests: usize, shapes: usize) -> String {
 pub fn run(requests: usize, shapes: usize, workers: usize) -> ServeReport {
     let input = workload(requests, shapes);
     let engine = ServiceEngine::new(EngineConfig::default(), 4096, 8);
-    let summary = run_batch(&engine, &input, &ServeConfig { workers }, false)
+    let summary = run_batch(&engine, &input, &ServeConfig { workers }, false, false)
         .expect("in-memory batch replay cannot fail on IO");
 
     let mut hit_micros = Vec::new();

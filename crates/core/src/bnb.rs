@@ -50,6 +50,9 @@ pub use crate::bounds::BoundKind;
 use crate::bounds::LowerBound;
 use crate::context::SchedContext;
 use crate::list_sched::list_schedule;
+use crate::proof::{
+    trailer_for, Certificate, CertificateHeader, ProofEvent, ProofLogger, ProofOutput,
+};
 use crate::timing::{evaluate_schedule_from, BoundaryState, TimingEngine};
 
 /// Which heuristic seeds the search's initial incumbent (step [1]).
@@ -77,6 +80,13 @@ pub enum EquivalenceMode {
     /// dependence-free.
     #[default]
     Paper,
+    /// The paper's rule [5c] exactly as printed — **without** the
+    /// identical-successor-set restriction the module docs explain. This
+    /// rule is *unsound* (it can prune the only optimal schedules); the
+    /// variant exists so the proof checker's rejection of over-pruning
+    /// certificates can be demonstrated and tested, and for ablation.
+    /// Never use it to produce schedules you intend to trust.
+    UnrestrictedPaper,
     /// Structural interchangeability classes (strict superset of `Paper`).
     Structural,
 }
@@ -163,6 +173,11 @@ impl SearchConfig {
 /// Counters describing one search run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SearchStats {
+    /// Search-tree nodes visited: one per committed prefix whose
+    /// extensions were enumerated (the root counts; complete schedules
+    /// count). For a completed, non-stopped, non-selection search this
+    /// satisfies `nodes_visited == 1 + omega_calls - pruned_bound`.
+    pub nodes_visited: u64,
     /// Ω calls: incremental NOP-insertion evaluations (one per placement).
     pub omega_calls: u64,
     /// Complete schedules reached.
@@ -224,8 +239,67 @@ pub fn search_with_boundary(
     cfg: &SearchConfig,
     boundary: &BoundaryState,
 ) -> SearchOutcome {
+    search_impl(ctx, cfg, boundary, None)
+}
+
+/// Run the search while recording a machine-checkable optimality
+/// certificate into `logger` (see [`crate::proof`]). Returns the outcome
+/// together with what the logger produced — the [`Certificate`] itself for
+/// in-memory loggers, or the digest/event count for streamed ones.
+///
+/// Proof logging implies a cold block boundary (a certificate is a claim
+/// about the block in isolation) and is incompatible with the
+/// pipeline-selection extension (the checker replays fixed-σ timing only).
+///
+/// # Panics
+///
+/// Panics if `cfg.pipeline_selection` is set.
+pub fn search_with_proof(
+    ctx: &SchedContext<'_>,
+    cfg: &SearchConfig,
+    mut logger: ProofLogger,
+) -> (SearchOutcome, ProofOutput) {
+    assert!(
+        !cfg.pipeline_selection,
+        "proof logging does not support the pipeline-selection extension"
+    );
+    let boundary = BoundaryState::cold(ctx.machine.pipeline_count());
+    let outcome = search_impl(ctx, cfg, &boundary, Some(&mut logger));
+    let proof = logger.finish(trailer_for(&outcome));
+    (outcome, proof)
+}
+
+/// [`search_with_proof`] with an in-memory logger: returns the certificate
+/// directly.
+///
+/// # Panics
+///
+/// Panics if `cfg.pipeline_selection` is set.
+pub fn prove(ctx: &SchedContext<'_>, cfg: &SearchConfig) -> (SearchOutcome, Certificate) {
+    let (outcome, proof) = search_with_proof(ctx, cfg, ProofLogger::in_memory());
+    let cert = proof
+        .certificate
+        .expect("in-memory proof logger always yields a certificate");
+    (outcome, cert)
+}
+
+fn search_impl(
+    ctx: &SchedContext<'_>,
+    cfg: &SearchConfig,
+    boundary: &BoundaryState,
+    mut proof: Option<&mut ProofLogger>,
+) -> SearchOutcome {
     let n = ctx.len();
     if n == 0 {
+        if let Some(p) = proof.as_deref_mut() {
+            p.begin(CertificateHeader {
+                n: 0,
+                bound: cfg.bound,
+                equivalence: cfg.equivalence,
+                initial_order: Vec::new(),
+                initial_nops: 0,
+            });
+        }
         return SearchOutcome {
             order: Vec::new(),
             assignment: Vec::new(),
@@ -245,6 +319,16 @@ pub fn search_with_boundary(
         InitialHeuristic::Greedy => crate::baselines::greedy_schedule(ctx).0,
     };
     let (initial_etas, initial_nops) = evaluate_schedule_from(ctx, boundary, &initial_order);
+
+    if let Some(p) = proof.as_deref_mut() {
+        p.begin(CertificateHeader {
+            n: n as u32,
+            bound: cfg.bound,
+            equivalence: cfg.equivalence,
+            initial_order: initial_order.iter().map(|t| t.0).collect(),
+            initial_nops,
+        });
+    }
 
     // Admissible lower bound on μ for the whole block: when an incumbent
     // matches it, optimality is proven without exhausting the space.
@@ -269,6 +353,9 @@ pub fn search_with_boundary(
     if let Some(lb) = global_lb {
         if initial_nops <= lb {
             // The list schedule is already provably optimal.
+            if let Some(p) = proof.as_deref_mut() {
+                p.log(ProofEvent::ProvedByBound { lb });
+            }
             return SearchOutcome {
                 order: initial_order.clone(),
                 assignment: ctx.sigma.clone(),
@@ -294,6 +381,7 @@ pub fn search_with_boundary(
         initial_nops,
     );
     s.global_lb = global_lb;
+    s.proof = proof;
     if cfg.deadline.is_some_and(|d| std::time::Instant::now() >= d) {
         // Already out of time: the incumbent is the answer (anytime).
         s.stats.truncated = true;
@@ -337,6 +425,8 @@ fn evaluate_with_assignment(
 }
 
 struct Search<'c, 'a> {
+    /// Certificate transcript recorder; `None` when proofs are off.
+    proof: Option<&'c mut ProofLogger>,
     ctx: &'c SchedContext<'a>,
     cfg: SearchConfig,
     engine: TimingEngine<'c, 'a>,
@@ -392,6 +482,7 @@ impl<'c, 'a> Search<'c, 'a> {
         };
         let best_assign: Vec<Option<PipelineId>> = ctx.sigma.clone();
         Search {
+            proof: None,
             ctx,
             cfg: *cfg,
             engine: TimingEngine::with_boundary(ctx, boundary),
@@ -409,8 +500,17 @@ impl<'c, 'a> Search<'c, 'a> {
         }
     }
 
+    /// Append `ev` to the proof transcript when logging is on.
+    #[inline]
+    fn log(&mut self, ev: ProofEvent) {
+        if let Some(p) = self.proof.as_deref_mut() {
+            p.log(ev);
+        }
+    }
+
     fn dfs(&mut self, depth: usize) {
         let n = self.ctx.len();
+        self.stats.nodes_visited += 1;
         if depth == n {
             // Step [3]: complete schedule.
             self.stats.complete_schedules += 1;
@@ -422,20 +522,26 @@ impl<'c, 'a> Search<'c, 'a> {
                 for (i, a) in self.best_assign.iter_mut().enumerate() {
                     *a = self.engine.assigned_pipeline(TupleId(i as u32));
                 }
+                self.log(ProofEvent::Improve { mu });
                 if let Some(lb) = self.global_lb {
                     if self.best_nops <= lb {
                         // Provably optimal: no schedule can beat the bound.
                         self.stats.proved_by_bound = true;
                         self.stop = true;
+                        self.log(ProofEvent::ProvedByBound { lb });
                     }
                 }
+            } else {
+                self.log(ProofEvent::Complete { mu });
             }
             return;
         }
 
         let kappa = self.order[depth];
-        // Structural classes already tried at this depth.
-        let mut tried_classes: Vec<u32> = Vec::new();
+        // Structural classes already tried at this depth, with the first
+        // member placed for each — the equivalence witness the certificate
+        // records.
+        let mut tried_classes: Vec<(u32, TupleId)> = Vec::new();
 
         for j in depth..n {
             if self.stop {
@@ -446,11 +552,13 @@ impl<'c, 'a> Search<'c, 'a> {
             // [5a] quick approximate legality check.
             if self.cfg.quick_check && self.ctx.analysis.earliest(xi) as usize > depth {
                 self.stats.pruned_quick += 1;
+                self.log(ProofEvent::LegalityPrune { candidate: xi.0 });
                 continue;
             }
             // [5b] real legality: every predecessor already scheduled.
             if self.pending_preds[xi.index()] > 0 {
                 self.stats.pruned_legality += 1;
+                self.log(ProofEvent::LegalityPrune { candidate: xi.0 });
                 continue;
             }
             // [5c] equivalence filtering.
@@ -459,16 +567,42 @@ impl<'c, 'a> Search<'c, 'a> {
                 EquivalenceMode::Paper => {
                     if j != depth && self.ctx.interchangeable_free(kappa, xi) {
                         self.stats.pruned_equivalence += 1;
+                        // κ is free, hence legal here, hence was placed at
+                        // j == depth: a valid witness.
+                        self.log(ProofEvent::EquivalencePrune {
+                            candidate: xi.0,
+                            witness: kappa.0,
+                        });
+                        continue;
+                    }
+                }
+                EquivalenceMode::UnrestrictedPaper => {
+                    // The paper's printed rule: both free, no successor
+                    // condition. Unsound — kept for ablation and for
+                    // exercising the checker's rejection path.
+                    if j != depth
+                        && self.ctx.is_free_instruction(kappa)
+                        && self.ctx.is_free_instruction(xi)
+                    {
+                        self.stats.pruned_equivalence += 1;
+                        self.log(ProofEvent::EquivalencePrune {
+                            candidate: xi.0,
+                            witness: kappa.0,
+                        });
                         continue;
                     }
                 }
                 EquivalenceMode::Structural => {
                     let class = self.equiv_class[xi.index()];
-                    if tried_classes.contains(&class) {
+                    if let Some(&(_, witness)) = tried_classes.iter().find(|(c, _)| *c == class) {
                         self.stats.pruned_equivalence += 1;
+                        self.log(ProofEvent::EquivalencePrune {
+                            candidate: xi.0,
+                            witness: witness.0,
+                        });
                         continue;
                     }
-                    tried_classes.push(class);
+                    tried_classes.push((class, xi));
                 }
             }
 
@@ -479,6 +613,8 @@ impl<'c, 'a> Search<'c, 'a> {
                 return;
             }
         }
+        // Every unscheduled instruction was dispositioned: close the node.
+        self.log(ProofEvent::Leave);
     }
 
     /// Place `xi` at `depth` on each viable pipeline unit and recurse.
@@ -535,6 +671,8 @@ impl<'c, 'a> Search<'c, 'a> {
         self.engine.push(xi, pipe);
 
         let counted_pipe = self.counted_pipe(xi);
+        // Chain/resource terms of the bound, captured for the certificate.
+        let mut proof_terms: Option<(i64, i64)> = None;
         let bound = match (&self.lower_bound, self.cfg.bound) {
             (Some(lb), BoundKind::CriticalPath) => {
                 // Account for the placement before computing the bound.
@@ -542,13 +680,24 @@ impl<'c, 'a> Search<'c, 'a> {
                     self.remaining_per_pipe[p.index()] -= 1;
                 }
                 let ready = self.ready_after(xi);
-                let b = lb.bound_with_selection(
-                    self.ctx,
-                    &self.engine,
-                    ready.into_iter(),
-                    &self.remaining_per_pipe,
-                    self.cfg.pipeline_selection,
-                );
+                let b = if self.proof.is_some() {
+                    let (chain, resource, b) = lb.terms(
+                        self.ctx,
+                        &self.engine,
+                        ready.into_iter(),
+                        &self.remaining_per_pipe,
+                    );
+                    proof_terms = Some((chain, resource));
+                    b
+                } else {
+                    lb.bound_with_selection(
+                        self.ctx,
+                        &self.engine,
+                        ready.into_iter(),
+                        &self.remaining_per_pipe,
+                        self.cfg.pipeline_selection,
+                    )
+                };
                 if let Some(p) = counted_pipe {
                     self.remaining_per_pipe[p.index()] += 1;
                 }
@@ -560,6 +709,7 @@ impl<'c, 'a> Search<'c, 'a> {
         // Step [6]: α-β prune (strict <, matching the paper).
         if bound < self.best_nops && !self.stop {
             // Commit: update readiness and recurse.
+            self.log(ProofEvent::Enter { candidate: xi.0 });
             for e in self.ctx.dag.succs(xi) {
                 self.pending_preds[e.to.index()] -= 1;
             }
@@ -575,6 +725,15 @@ impl<'c, 'a> Search<'c, 'a> {
             }
         } else if !self.stop {
             self.stats.pruned_bound += 1;
+            let mu = self.engine.total_nops();
+            let (chain, resource) = (proof_terms.map(|t| t.0), proof_terms.map(|t| t.1));
+            self.log(ProofEvent::BoundPrune {
+                candidate: xi.0,
+                mu,
+                bound,
+                chain,
+                resource,
+            });
         }
 
         self.engine.pop();

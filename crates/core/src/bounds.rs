@@ -144,6 +144,49 @@ impl LowerBound {
 
         (t_final - (n - 1)).max(0) as u32
     }
+
+    /// The critical-path bound together with the concrete derivation the
+    /// proof logger records: `(chain, resource, bound)`, where `chain` is
+    /// the chain-term maximum and `resource` the resource-term maximum,
+    /// both folded over the shared base `t_prev + remaining` so that
+    /// `bound = max(0, max(chain, resource) - (n - 1))`.
+    ///
+    /// Mirrors [`LowerBound::bound`] exactly (pipeline selection off —
+    /// proof logging does not support selection); the independent
+    /// certificate checker re-derives the same three values from the
+    /// analyze crate's timing oracle and compares them term by term.
+    pub fn terms(
+        &self,
+        ctx: &SchedContext<'_>,
+        engine: &TimingEngine<'_, '_>,
+        ready: impl Iterator<Item = TupleId>,
+        remaining_per_pipe: &[u32],
+    ) -> (i64, i64, u32) {
+        let n = ctx.len() as i64;
+        let placed = engine.placed() as i64;
+        let remaining = n - placed;
+        let t_prev = i64::from(engine.total_nops()) + placed - 1;
+        if remaining == 0 {
+            // Degenerate (fully placed): bound = μ; record the base alone.
+            return (t_prev, t_prev, engine.total_nops());
+        }
+        let base = t_prev + remaining;
+        let mut chain = base;
+        for t in ready {
+            let est = engine.earliest_issue(t, ctx.sigma(t));
+            chain = chain.max(est + self.tail(t));
+        }
+        let mut resource = base;
+        for (p, &k) in remaining_per_pipe.iter().enumerate() {
+            if k == 0 {
+                continue;
+            }
+            let enq = i64::from(ctx.pipe_enqueue[p]);
+            resource = resource.max(t_prev + 1 + enq * (i64::from(k) - 1));
+        }
+        let bound = (chain.max(resource) - (n - 1)).max(0) as u32;
+        (chain, resource, bound)
+    }
 }
 
 /// Admissible lower bound on μ for the whole block, scheduled from a cold
@@ -237,5 +280,53 @@ mod tests {
         engine.push_default(TupleId(1));
         let bound = lb.bound(&ctx, &engine, std::iter::empty(), &[0, 0, 0]);
         assert_eq!(bound, engine.total_nops());
+    }
+
+    #[test]
+    fn terms_agree_with_bound() {
+        let mut b = BlockBuilder::new("terms");
+        let x = b.load("x");
+        let y = b.load("y");
+        let m = b.mul(x, y);
+        let a = b.add(m, x);
+        b.store("z", a);
+        let block = b.finish().unwrap();
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let ctx = SchedContext::new(&block, &dag, &machine);
+        let lb = LowerBound::new(&ctx);
+        let mut engine = TimingEngine::new(&ctx);
+        let mut remaining = vec![0u32; machine.pipeline_count()];
+        for i in 0..ctx.len() {
+            if let Some(p) = ctx.sigma[i] {
+                remaining[p.index()] += 1;
+            }
+        }
+        // Compare on every prefix of program order (it is a legal order).
+        for placed in 0..=ctx.len() {
+            let ready: Vec<TupleId> = (0..ctx.len() as u32)
+                .map(TupleId)
+                .filter(|t| engine.issue_time(*t).is_none())
+                .filter(|t| {
+                    ctx.preds[t.index()]
+                        .iter()
+                        .all(|p| engine.issue_time(TupleId(p.from)).is_some())
+                })
+                .collect();
+            let plain = lb.bound(&ctx, &engine, ready.iter().copied(), &remaining);
+            let (chain, resource, bound) = lb.terms(&ctx, &engine, ready.into_iter(), &remaining);
+            assert_eq!(bound, plain, "terms bound diverges at prefix {placed}");
+            let n = ctx.len() as i64;
+            if placed < ctx.len() {
+                assert_eq!(bound, (chain.max(resource) - (n - 1)).max(0) as u32);
+            }
+            if placed < ctx.len() {
+                let t = TupleId(placed as u32);
+                engine.push_default(t);
+                if let Some(p) = ctx.sigma(t) {
+                    remaining[p.index()] -= 1;
+                }
+            }
+        }
     }
 }

@@ -27,6 +27,8 @@
 //! * [`sequence`] — footnote 1's block-interaction machinery: scheduling a
 //!   straight-line sequence of blocks with pipeline state carried across
 //!   each boundary;
+//! * [`proof`] — recording-side types for machine-checkable optimality
+//!   certificates (the independent checker lives in `pipesched-proof`);
 //! * [`api`] — the high-level [`Scheduler`](api::Scheduler) facade.
 
 pub mod api;
@@ -36,19 +38,24 @@ pub mod bounds;
 pub mod context;
 pub mod list_sched;
 pub mod parallel;
+pub mod proof;
 pub mod sequence;
 pub mod timing;
 pub mod windowed;
 
 pub use api::{ScheduledBlock, Scheduler};
 pub use bnb::{
-    search, search_with_boundary, BoundKind, EquivalenceMode, InitialHeuristic, SearchConfig,
-    SearchOutcome, SearchStats,
+    prove, search, search_with_boundary, search_with_proof, BoundKind, EquivalenceMode,
+    InitialHeuristic, SearchConfig, SearchOutcome, SearchStats,
 };
 pub use bounds::global_lower_bound;
 pub use context::SchedContext;
 pub use list_sched::list_schedule;
 pub use parallel::{parallel_search, parallel_search_bounded};
+pub use proof::{
+    trailer_for, Certificate, CertificateHeader, CertificateTrailer, ProofEvent, ProofLogger,
+    ProofOutput,
+};
 pub use sequence::{schedule_sequence, ScheduledRegion, SequenceOutcome};
 pub use timing::{BoundaryState, TimingEngine};
 pub use windowed::{windowed_schedule, windowed_schedule_bounded, WindowedOutcome};

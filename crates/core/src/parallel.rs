@@ -209,6 +209,7 @@ pub fn parallel_search_bounded(
 }
 
 fn merge(into: &mut SearchStats, from: &SearchStats) {
+    into.nodes_visited += from.nodes_visited;
     into.omega_calls += from.omega_calls;
     into.complete_schedules += from.complete_schedules;
     into.improvements += from.improvements;

@@ -91,6 +91,7 @@ pub fn schedule_sequence(
 }
 
 fn merge_stats(into: &mut SearchStats, from: &SearchStats) {
+    into.nodes_visited += from.nodes_visited;
     into.omega_calls += from.omega_calls;
     into.complete_schedules += from.complete_schedules;
     into.improvements += from.improvements;

@@ -221,6 +221,7 @@ fn rule_5c_counterexample_regression() {
     let block = b.finish().unwrap();
     let dag = DepDag::build(&block);
 
+    let mut some_machine_rejects = false;
     for machine in machines() {
         let ctx = SchedContext::new(&block, &dag, &machine);
         let brute = enumerate_legal(&ctx, u64::MAX);
@@ -237,6 +238,91 @@ fn rule_5c_counterexample_regression() {
                 "{equivalence:?} lost the optimum on {}",
                 machine.name
             );
+
+            // The sound rules' searches also certify: the checker accepts
+            // their transcripts and confirms the brute-force μ.
+            let (out, cert) = pipesched_core::prove(&ctx, &cfg);
+            assert!(out.optimal);
+            let check = pipesched_proof::check_certificate(&block, &machine, &cert);
+            assert!(
+                check.is_certified(),
+                "{equivalence:?} certificate rejected on {}:\n{}",
+                machine.name,
+                check.report
+            );
+            assert_eq!(
+                check.verdict,
+                pipesched_proof::ProofVerdict::OptimalCertified {
+                    nops: brute.best_nops
+                }
+            );
         }
+
+        // The paper's rule [5c] *as printed* must not sneak an optimality
+        // certificate past the checker. On machines where the unrestricted
+        // swap is harmless here, its prunes still satisfy the restricted
+        // condition and the certificate checks; where it over-prunes, the
+        // checker rejects with A0405 (stale equivalence witness). It must
+        // never certify a μ above the brute-force optimum.
+        let cfg = SearchConfig {
+            equivalence: EquivalenceMode::UnrestrictedPaper,
+            lambda: u64::MAX,
+            ..SearchConfig::default()
+        };
+        let (_, forged) = pipesched_core::prove(&ctx, &cfg);
+        let check = pipesched_proof::check_certificate(&block, &machine, &forged);
+        match check.verdict {
+            pipesched_proof::ProofVerdict::OptimalCertified { nops } => {
+                assert_eq!(
+                    nops, brute.best_nops,
+                    "unrestricted rule certified a non-optimum on {}",
+                    machine.name
+                );
+            }
+            pipesched_proof::ProofVerdict::Rejected => {
+                some_machine_rejects = true;
+                assert!(
+                    check
+                        .report
+                        .has_code(pipesched_analyze::DiagCode::StaleEquivalenceWitness),
+                    "expected A0405 on {}:\n{}",
+                    machine.name,
+                    check.report
+                );
+            }
+        }
+    }
+    // The counterexample earns its name: at least one machine's
+    // unrestricted-rule certificate must actually be rejected.
+    assert!(some_machine_rejects);
+}
+
+/// The per-device prune counters account for every visited node: each Ω
+/// call either descends (a new node) or is cut by the bound test, so a
+/// completed fixed-σ search satisfies
+/// `nodes_visited == 1 + omega_calls - pruned_bound`.
+#[test]
+fn prune_counters_sum_to_nodes_visited() {
+    for (seed, machine) in machines().into_iter().enumerate() {
+        let script: Vec<u8> = (0..30u16)
+            .map(|i| (i * 37 + seed as u16 * 11) as u8)
+            .collect();
+        let block = block_from_script(&script, 8);
+        let dag = DepDag::build(&block);
+        let ctx = SchedContext::new(&block, &dag, &machine);
+        let cfg = SearchConfig {
+            lambda: u64::MAX,
+            terminate_on_lower_bound: false,
+            ..SearchConfig::default()
+        };
+        let out = search(&ctx, &cfg);
+        assert!(out.optimal && !out.stats.truncated);
+        assert_eq!(
+            out.stats.nodes_visited,
+            1 + out.stats.omega_calls - out.stats.pruned_bound,
+            "counter identity broken on {}: {:?}",
+            machine.name,
+            out.stats
+        );
     }
 }

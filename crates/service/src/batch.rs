@@ -39,6 +39,13 @@ pub struct BatchSummary {
     pub certified: u64,
     /// Responses that failed certification.
     pub certify_failures: u64,
+    /// Optimal responses whose claim survived a full proof replay: a fresh
+    /// certificate-logged search plus the independent checker (only
+    /// counted when `prove` was on).
+    pub proved: u64,
+    /// Optimal responses whose proof replay was rejected or disagreed with
+    /// the response μ.
+    pub proof_failures: u64,
     /// Wall-clock for the whole replay, microseconds.
     pub wall_micros: u64,
     /// The response lines, in request order.
@@ -65,6 +72,8 @@ impl BatchSummary {
             ("truncated", self.truncated as i64),
             ("certified", self.certified as i64),
             ("certify_failures", self.certify_failures as i64),
+            ("proved", self.proved as i64),
+            ("proof_failures", self.proof_failures as i64),
             ("wall_micros", self.wall_micros as i64),
             ("throughput_rps", self.throughput()),
         ]
@@ -72,12 +81,17 @@ impl BatchSummary {
 }
 
 /// Replay `input` (NDJSON request text) through `engine`. When `check` is
-/// set, every successful response is certified against its request line.
+/// set, every successful response is certified against its request line;
+/// when `prove` is also set, every response claiming `optimal` is
+/// escalated to a full proof replay — a certificate-logged search of the
+/// request block, checked by the independent `pipesched-proof` checker,
+/// whose certified μ must equal the response's.
 pub fn run_batch(
     engine: &ServiceEngine,
     input: &str,
     config: &ServeConfig,
     check: bool,
+    prove: bool,
 ) -> std::io::Result<BatchSummary> {
     let hits_before = engine.cache().hits();
     let start = Instant::now();
@@ -97,6 +111,8 @@ pub fn run_batch(
         truncated: 0,
         certified: 0,
         certify_failures: 0,
+        proved: 0,
+        proof_failures: 0,
         wall_micros,
         responses,
     };
@@ -122,8 +138,44 @@ pub fn run_batch(
                 summary.certify_failures += 1;
             }
         }
+        if prove && doc.get("optimal").and_then(Json::as_bool) == Some(true) {
+            if prove_response(request_line, &doc) {
+                summary.proved += 1;
+            } else {
+                summary.proof_failures += 1;
+            }
+        }
     }
     Ok(summary)
+}
+
+/// Escalate an `optimal` response to a full proof replay: search the
+/// request block again with certificate logging, run the certificate
+/// through the independent checker, and require the certified μ to equal
+/// the response's claimed μ.
+fn prove_response(request_line: &str, response: &Json) -> bool {
+    let Ok(req) = parse_request(request_line) else {
+        return false;
+    };
+    let Some(claimed) = response
+        .get("nops")
+        .and_then(Json::as_i64)
+        .and_then(|n| u32::try_from(n).ok())
+    else {
+        return false;
+    };
+    let dag = pipesched_ir::DepDag::build(&req.block);
+    let ctx = pipesched_core::SchedContext::new(&req.block, &dag, &req.machine);
+    let cfg = pipesched_core::SearchConfig {
+        lambda: u64::MAX,
+        ..pipesched_core::SearchConfig::default()
+    };
+    let (_, cert) = pipesched_core::prove(&ctx, &cfg);
+    let check = pipesched_proof::check_certificate(&req.block, &req.machine, &cert);
+    match check.verdict {
+        pipesched_proof::ProofVerdict::OptimalCertified { nops } => nops == claimed,
+        pipesched_proof::ProofVerdict::Rejected => false,
+    }
 }
 
 /// Re-parse a request/response pair and certify the response schedule
@@ -214,7 +266,8 @@ mod tests {
     #[test]
     fn batch_replay_hits_and_certifies() {
         let eng = engine();
-        let summary = run_batch(&eng, &workload(5), &ServeConfig { workers: 2 }, true).unwrap();
+        let summary =
+            run_batch(&eng, &workload(5), &ServeConfig { workers: 2 }, true, false).unwrap();
         assert_eq!(summary.requests, 10);
         assert_eq!(summary.ok, 10);
         assert_eq!(summary.errors, 0);
@@ -231,9 +284,34 @@ mod tests {
     fn batch_counts_error_lines() {
         let eng = engine();
         let input = format!("{}garbage\n", workload(1));
-        let summary = run_batch(&eng, &input, &ServeConfig::default(), false).unwrap();
+        let summary = run_batch(&eng, &input, &ServeConfig::default(), false, false).unwrap();
         assert_eq!(summary.requests, 3);
         assert_eq!(summary.ok, 2);
         assert_eq!(summary.errors, 1);
+    }
+
+    #[test]
+    fn batch_prove_escalates_optimal_responses() {
+        let eng = ServiceEngine::new(
+            EngineConfig {
+                prove: true,
+                ..EngineConfig::default()
+            },
+            64,
+            4,
+        );
+        let summary = run_batch(&eng, &workload(3), &ServeConfig::default(), true, true).unwrap();
+        assert_eq!(summary.ok, 6);
+        assert_eq!(summary.proved, 6, "every optimal response replays");
+        assert_eq!(summary.proof_failures, 0);
+        // A proving engine attaches a certificate digest to every response.
+        for line in &summary.responses {
+            let doc = pipesched_json::parse(line).unwrap();
+            let digest = doc.get("proof_digest").and_then(Json::as_str).unwrap();
+            assert_eq!(digest.len(), 16, "digest is 16 hex digits: {digest}");
+        }
+        let doc = summary.to_json();
+        assert_eq!(doc.get("proved").and_then(Json::as_i64), Some(6));
+        assert_eq!(doc.get("proof_failures").and_then(Json::as_i64), Some(0));
     }
 }

@@ -39,6 +39,10 @@ pub struct CacheEntry {
     pub budget_nodes: u64,
     /// Which tier produced the entry.
     pub tier: Tier,
+    /// Digest of the optimality certificate backing the entry, when the
+    /// producing engine ran with proving enabled (see
+    /// [`crate::engine::EngineConfig::prove`]).
+    pub proof_digest: Option<u64>,
 }
 
 impl CacheEntry {
@@ -174,7 +178,7 @@ impl ScheduleCache {
         for shard in &self.shards {
             let shard = shard.lock();
             for (key, (entry, _)) in shard.map.iter() {
-                entries.push(pipesched_json::json_object![
+                let mut doc = pipesched_json::json_object![
                     ("hash", format!("{:016x}", key.hash)),
                     ("n", key.n),
                     ("machine_fp", format!("{:016x}", key.machine_fp)),
@@ -185,7 +189,16 @@ impl ScheduleCache {
                     ("optimal", entry.optimal),
                     ("budget", format!("{:x}", entry.budget_nodes)),
                     ("tier", entry.tier.name()),
-                ]);
+                ];
+                if let Some(digest) = entry.proof_digest {
+                    if let Json::Object(pairs) = &mut doc {
+                        pairs.push((
+                            "proof_digest".to_string(),
+                            Json::Str(format!("{digest:016x}")),
+                        ));
+                    }
+                }
+                entries.push(doc);
             }
         }
         pipesched_json::json_object![("version", 1i64), ("entries", Json::Array(entries)),]
@@ -266,6 +279,8 @@ fn parse_entry(e: &Json) -> Option<(CanonKey, CacheEntry)> {
         optimal: e.get("optimal")?.as_bool()?,
         budget_nodes: hex_u64(e, "budget")?,
         tier: Tier::from_name(e.get("tier")?.as_str()?)?,
+        // Optional: entries persisted by a non-proving engine have none.
+        proof_digest: hex_u64(e, "proof_digest"),
     };
     Some((key, entry))
 }
@@ -291,6 +306,7 @@ mod tests {
             optimal,
             budget_nodes: 100,
             tier: Tier::Bnb,
+            proof_digest: None,
         }
     }
 
@@ -331,6 +347,18 @@ mod tests {
         assert!(cache.get(&key(1), u64::MAX).is_some());
         assert!(cache.get(&key(2), u64::MAX).is_none(), "LRU was evicted");
         assert!(cache.get(&key(3), u64::MAX).is_some());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_proof_digest() {
+        let cache = ScheduleCache::new(8, 1);
+        let mut with_proof = entry(2, true);
+        with_proof.proof_digest = Some(0x0123_4567_89ab_cdef);
+        cache.insert(key(11), with_proof.clone());
+        let parsed = pipesched_json::parse(&cache.to_json().to_compact()).unwrap();
+        let other = ScheduleCache::new(8, 1);
+        assert_eq!(other.load_json(&parsed).unwrap(), 1);
+        assert_eq!(other.get(&key(11), u64::MAX), Some(with_proof));
     }
 
     #[test]

@@ -23,8 +23,10 @@
 
 use std::time::Instant;
 
+use pipesched_core::proof::{Certificate, ProofLogger};
 use pipesched_core::{
-    global_lower_bound, search, windowed_schedule_bounded, SchedContext, SearchConfig,
+    global_lower_bound, search, search_with_proof, windowed_schedule_bounded, SchedContext,
+    SearchConfig,
 };
 use pipesched_ir::{analysis::verify_schedule, BasicBlock, DepDag, TupleId};
 use pipesched_machine::{Machine, PipelineId};
@@ -119,6 +121,11 @@ pub struct Answer {
     pub omega_calls: u64,
     /// True when the wall-clock deadline cut the search short.
     pub deadline_hit: bool,
+    /// FNV-1a digest of the optimality certificate backing this answer
+    /// (only when the engine runs with [`EngineConfig::prove`] and the
+    /// answer is provably optimal). Cache hits inherit the digest the
+    /// entry was stored with.
+    pub proof_digest: Option<u64>,
 }
 
 /// Engine configuration.
@@ -132,6 +139,11 @@ pub struct EngineConfig {
     /// Fraction denominator of the budget the windowed tier may spend
     /// (budget / `windowed_share`).
     pub windowed_share: u64,
+    /// Record an optimality certificate for every provably optimal answer
+    /// and attach its digest to the response and the cache entry. The
+    /// branch-and-bound tier logs its own search; tiers proven by the
+    /// global lower bound emit the shortcut by-bound certificate.
+    pub prove: bool,
 }
 
 impl Default for EngineConfig {
@@ -140,6 +152,7 @@ impl Default for EngineConfig {
             default_nodes: 50_000,
             window: 12,
             windowed_share: 4,
+            prove: false,
         }
     }
 }
@@ -233,7 +246,11 @@ impl ServiceEngine {
         };
         let list = search(ctx, &list_cfg);
         if list.optimal {
-            return answer_from_search(&list, Tier::List, 0);
+            let mut answer = answer_from_search(&list, Tier::List, 0);
+            if self.config.prove {
+                answer.proof_digest = Some(prove_digest(ctx, &answer.order, answer.nops));
+            }
+            return answer;
         }
         let mut omega_spent = list.stats.omega_calls;
 
@@ -253,6 +270,7 @@ impl ServiceEngine {
                 // The windowed schedule meets the admissible bound: optimal.
                 let (etas, nops) = pipesched_core::timing::evaluate_schedule(ctx, &w.order);
                 debug_assert_eq!(nops, w.nops);
+                let proof_digest = self.config.prove.then(|| prove_digest(ctx, &w.order, nops));
                 return Answer {
                     order: w.order.clone(),
                     assignment: ctx.sigma.clone(),
@@ -263,6 +281,7 @@ impl ServiceEngine {
                     tier: Tier::Windowed,
                     omega_calls: omega_spent,
                     deadline_hit: false,
+                    proof_digest,
                 };
             }
         }
@@ -273,7 +292,14 @@ impl ServiceEngine {
             deadline,
             ..SearchConfig::default()
         };
-        let bnb = search(ctx, &bnb_cfg);
+        let (bnb, bnb_digest) = if self.config.prove {
+            let (out, proof) = search_with_proof(ctx, &bnb_cfg, ProofLogger::in_memory());
+            // A truncated transcript is not a proof; attach nothing.
+            let digest = out.optimal.then_some(proof.digest);
+            (out, digest)
+        } else {
+            (search(ctx, &bnb_cfg), None)
+        };
         omega_spent += bnb.stats.omega_calls;
 
         // The B&B starts from the list incumbent, so it can only tie or
@@ -293,10 +319,13 @@ impl ServiceEngine {
                     tier: Tier::Windowed,
                     omega_calls: omega_spent,
                     deadline_hit: bnb.stats.deadline_hit || w.stats.deadline_hit,
+                    proof_digest: None,
                 };
             }
         }
-        answer_from_search(&bnb, Tier::Bnb, omega_spent)
+        let mut answer = answer_from_search(&bnb, Tier::Bnb, omega_spent);
+        answer.proof_digest = bnb_digest;
+        answer
     }
 
     /// Memoize an answer in canonical coordinates.
@@ -317,6 +346,7 @@ impl ServiceEngine {
                 optimal: answer.optimal,
                 budget_nodes: if answer.optimal { u64::MAX } else { nodes },
                 tier: answer.tier,
+                proof_digest: answer.proof_digest,
             },
         );
     }
@@ -348,7 +378,27 @@ fn answer_from_search(out: &pipesched_core::SearchOutcome, tier: Tier, omega_cal
         tier,
         omega_calls,
         deadline_hit: out.stats.deadline_hit,
+        proof_digest: None,
     }
+}
+
+/// Certificate digest for an answer already proven optimal without a full
+/// search transcript: when the schedule meets the admissible whole-block
+/// lower bound, the shortcut by-bound certificate suffices; otherwise (a
+/// tiny block whose λ=1 search completed exhaustively) a fresh fully-logged
+/// search is cheap.
+fn prove_digest(ctx: &SchedContext<'_>, order: &[TupleId], nops: u32) -> u64 {
+    let lb = global_lower_bound(ctx);
+    if nops == lb {
+        let order: Vec<u32> = order.iter().map(|t| t.0).collect();
+        return Certificate::by_bound(ctx.len() as u32, order, nops, lb).digest();
+    }
+    let cfg = SearchConfig {
+        lambda: u64::MAX,
+        ..SearchConfig::default()
+    };
+    let (_, cert) = pipesched_core::prove(ctx, &cfg);
+    cert.digest()
 }
 
 /// Replay a cached canonical schedule on a (possibly different) block with
@@ -403,6 +453,7 @@ pub(crate) fn translate_hit(
         tier: Tier::Cache,
         omega_calls: 0,
         deadline_hit: false,
+        proof_digest: entry.proof_digest,
     })
 }
 

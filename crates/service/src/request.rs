@@ -147,7 +147,7 @@ pub fn response_json(id: Option<i64>, answer: &Answer, micros: u64) -> Json {
         .iter()
         .map(|&e| Json::Int(i64::from(e)))
         .collect();
-    json_object![
+    let mut doc = json_object![
         ("id", id.map_or(Json::Null, Json::Int)),
         ("ok", true),
         ("nops", i64::from(answer.nops)),
@@ -160,7 +160,16 @@ pub fn response_json(id: Option<i64>, answer: &Answer, micros: u64) -> Json {
         ("omega_calls", answer.omega_calls as i64),
         ("deadline_hit", answer.deadline_hit),
         ("micros", micros as i64),
-    ]
+    ];
+    if let Some(digest) = answer.proof_digest {
+        if let Json::Object(pairs) = &mut doc {
+            pairs.push((
+                "proof_digest".to_string(),
+                Json::Str(format!("{digest:016x}")),
+            ));
+        }
+    }
+    doc
 }
 
 /// Render an error response line.

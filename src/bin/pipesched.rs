@@ -25,7 +25,10 @@ use std::io::Read;
 use std::process::ExitCode;
 
 use pipesched::analyze;
-use pipesched::core::{search, windowed_schedule, SchedContext, Scheduler, SearchConfig};
+use pipesched::core::proof::{Certificate, ProofLogger};
+use pipesched::core::{
+    search, search_with_proof, windowed_schedule, SchedContext, Scheduler, SearchConfig,
+};
 use pipesched::frontend::{compile, compile_sequence, compile_unoptimized};
 use pipesched::ir::{dot, parse::parse_block, BasicBlock, DepDag};
 use pipesched::machine::{config as machine_config, presets, Machine};
@@ -42,19 +45,23 @@ struct Options {
     optimize: bool,
     regs: Option<usize>,
     json: bool,
+    proof: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: pipesched [schedule] <input> [--machine NAME|FILE.json] [--emit asm|padded|trace|gantt|tuples|dot|stats]\n\
          \x20                [--lambda N] [--window N] [--parallel] [--no-optimize] [--regs N] [--json]\n\
+         \x20                [--proof FILE.ndjson]\n\
          \x20      pipesched lint [INPUT ...] [--machine NAME|FILE] [--json] [--no-optimize]\n\
          \x20      pipesched certify <input> [--machine NAME|FILE] [--lambda N] [--window N]\n\
-         \x20                [--parallel] [--json] [--no-optimize]\n\
+         \x20                [--parallel] [--json] [--no-optimize] [--proof FILE.ndjson]\n\
+         \x20      pipesched prove [INPUT ...] [--machine NAME|FILE] [--lambda N] [--json]\n\
+         \x20                [--no-optimize] [--proof FILE.ndjson]\n\
          \x20      pipesched serve [--workers N] [--nodes N] [--cache N] [--shards N]\n\
          \x20                [--tcp ADDR[:PORT]] [--conns N] [--cache-file FILE] [--metrics]\n\
          \x20      pipesched batch <requests.ndjson> [--workers N] [--nodes N] [--cache N]\n\
-         \x20                [--check] [--require-hits] [--json] [--quiet]"
+         \x20                [--check] [--prove] [--require-hits] [--json] [--quiet]"
     );
     std::process::exit(2)
 }
@@ -71,6 +78,7 @@ fn parse_options() -> Result<Options, String> {
         optimize: true,
         regs: None,
         json: false,
+        proof: None,
     };
     // `pipesched schedule <input>` is an explicit alias for the default
     // scheduling pipeline.
@@ -95,6 +103,7 @@ fn parse_options() -> Result<Options, String> {
             }
             "--regs" => opts.regs = Some(value()?.parse().map_err(|e| format!("--regs: {e}"))?),
             "--json" => opts.json = true,
+            "--proof" => opts.proof = Some(value()?),
             "--parallel" => opts.parallel = true,
             "--no-optimize" => opts.optimize = false,
             "--help" | "-h" => usage(),
@@ -160,6 +169,7 @@ fn main() -> ExitCode {
     let dispatch = match std::env::args().nth(1).as_deref() {
         Some("lint") => run_lint(),
         Some("certify") => run_certify(),
+        Some("prove") => run_prove(),
         Some("serve") => run_serve(),
         Some("batch") => run_batch_cmd(),
         _ => run().map(|()| ExitCode::SUCCESS),
@@ -182,6 +192,7 @@ struct AnalyzeOptions {
     lambda: u64,
     window: Option<usize>,
     parallel: bool,
+    proof: Option<String>,
 }
 
 fn parse_analyze_options() -> Result<AnalyzeOptions, String> {
@@ -193,6 +204,7 @@ fn parse_analyze_options() -> Result<AnalyzeOptions, String> {
         lambda: 50_000,
         window: None,
         parallel: false,
+        proof: None,
     };
     let mut args = std::env::args().skip(2);
     while let Some(a) = args.next() {
@@ -208,6 +220,7 @@ fn parse_analyze_options() -> Result<AnalyzeOptions, String> {
                 opts.window = Some(w);
             }
             "--json" => opts.json = true,
+            "--proof" => opts.proof = Some(value()?),
             "--parallel" => opts.parallel = true,
             "--no-optimize" => opts.optimize = false,
             "--help" | "-h" => usage(),
@@ -282,6 +295,11 @@ fn run_certify() -> Result<ExitCode, String> {
     if opts.inputs.is_empty() {
         return Err("certify needs at least one input".into());
     }
+    if opts.proof.is_some() && (opts.window.is_some() || opts.parallel) {
+        return Err(
+            "--proof requires the plain branch-and-bound (drop --window/--parallel)".into(),
+        );
+    }
     let machine = load_machine(&opts.machine)?;
     let mut reports = Vec::new();
     let blocks: Vec<BasicBlock> = opts
@@ -292,6 +310,9 @@ fn run_certify() -> Result<ExitCode, String> {
         .into_iter()
         .flatten()
         .collect();
+    if opts.proof.is_some() && blocks.len() != 1 {
+        return Err("--proof expects exactly one block".into());
+    }
     for block in &blocks {
         let dag = DepDag::build(block);
         let ctx = SchedContext::new(block, &dag, &machine);
@@ -325,11 +346,170 @@ fn run_certify() -> Result<ExitCode, String> {
                 .schedule_with_dag(block, &dag);
             analyze::certify_scheduled(block, &machine, &out)
         };
+        let claimed_nops = cert.derived_nops;
         let mut report = cert.report;
         report.merge(analyze::cross_check(block, &machine, opts.lambda));
+
+        // `--proof FILE`: escalate from certification to an optimality
+        // proof — stream a certificate, read it back, and replay it
+        // through the independent checker; its verdict (and any A04xx
+        // rejection) joins the report.
+        if let Some(path) = &opts.proof {
+            let (check, trailer_nops) = prove_to_file(&ctx, block, &machine, opts.lambda, path)?;
+            if check.is_certified() {
+                if let (Some(claimed), Some(trailer)) = (claimed_nops, trailer_nops) {
+                    if claimed != u64::from(trailer) {
+                        report.push(analyze::Diagnostic::new(
+                            analyze::DiagCode::IncumbentRegression,
+                            format!(
+                                "certified schedule claims μ {claimed} but the \
+                                     optimality certificate proves μ {trailer}"
+                            ),
+                        ));
+                    }
+                }
+            }
+            report.merge(check.report);
+        }
         reports.push(report);
     }
     Ok(emit_reports(&reports, opts.json))
+}
+
+/// Run the certificate-logged search streaming to `path`, read the file
+/// back, and check it. Returns the checker's result plus the certificate's
+/// claimed μ.
+fn prove_to_file(
+    ctx: &SchedContext<'_>,
+    block: &BasicBlock,
+    machine: &Machine,
+    lambda: u64,
+    path: &str,
+) -> Result<(pipesched::proof::ProofCheck, Option<u32>), String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+    let logger = ProofLogger::streaming(Box::new(std::io::BufWriter::new(file)));
+    let cfg = SearchConfig {
+        lambda,
+        ..SearchConfig::default()
+    };
+    let (_, proof) = search_with_proof(ctx, &cfg, logger);
+    if let Some(e) = proof.io_error {
+        return Err(format!("write {path}: {e}"));
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let cert = Certificate::from_ndjson(&text).map_err(|e| format!("{path}: {e}"))?;
+    if cert.digest() != proof.digest {
+        return Err(format!("{path}: digest mismatch after round trip"));
+    }
+    let trailer_nops = cert.trailer.nops;
+    Ok((
+        pipesched::proof::check_certificate(block, machine, &cert),
+        Some(trailer_nops),
+    ))
+}
+
+/// `pipesched prove`: schedule each input with certificate logging and
+/// verify the transcript with the independent checker. Exit failure unless
+/// every block comes back `OptimalCertified`.
+fn run_prove() -> Result<ExitCode, String> {
+    let opts = parse_analyze_options()?;
+    if opts.inputs.is_empty() {
+        return Err("prove needs at least one input".into());
+    }
+    if opts.window.is_some() || opts.parallel {
+        return Err("prove uses the plain branch-and-bound (drop --window/--parallel)".into());
+    }
+    let machine = load_machine(&opts.machine)?;
+    let mut blocks: Vec<(String, BasicBlock)> = Vec::new();
+    for input in &opts.inputs {
+        for block in load_blocks_from(input, opts.optimize)? {
+            let label = if block.name.is_empty() {
+                input.clone()
+            } else {
+                format!("{input}:{}", block.name)
+            };
+            blocks.push((label, block));
+        }
+    }
+    if opts.proof.is_some() && blocks.len() != 1 {
+        return Err("--proof expects exactly one block".into());
+    }
+
+    let mut failed = false;
+    let mut results = Vec::new();
+    for (label, block) in &blocks {
+        let dag = DepDag::build(block);
+        let ctx = SchedContext::new(block, &dag, &machine);
+        let (check, digest, events) = if let Some(path) = &opts.proof {
+            let (check, _) = prove_to_file(&ctx, block, &machine, opts.lambda, path)?;
+            (check, None, None)
+        } else {
+            let cfg = SearchConfig {
+                lambda: opts.lambda,
+                ..SearchConfig::default()
+            };
+            let (_, cert) = pipesched::core::prove(&ctx, &cfg);
+            let digest = cert.digest();
+            let events = cert.events.len() as u64;
+            (
+                pipesched::proof::check_certificate(block, &machine, &cert),
+                Some(digest),
+                Some(events),
+            )
+        };
+        let (verdict, nops) = match check.verdict {
+            pipesched::proof::ProofVerdict::OptimalCertified { nops } => {
+                ("optimal-certified", Some(nops))
+            }
+            pipesched::proof::ProofVerdict::Rejected => {
+                failed = true;
+                ("rejected", None)
+            }
+        };
+        if opts.json {
+            results.push(pipesched::json::json_object![
+                ("input", label.as_str()),
+                ("machine", machine.name.as_str()),
+                ("instructions", block.len()),
+                ("verdict", verdict),
+                (
+                    "nops",
+                    nops.map_or(pipesched::json::Json::Null, |n| pipesched::json::Json::Int(
+                        i64::from(n)
+                    ))
+                ),
+                (
+                    "digest",
+                    digest.map_or(pipesched::json::Json::Null, |d| pipesched::json::Json::Str(
+                        format!("{d:016x}")
+                    ))
+                ),
+                ("report", check.report.to_json()),
+            ]);
+        } else {
+            match nops {
+                Some(n) => {
+                    let extra = match (digest, events) {
+                        (Some(d), Some(ev)) => format!(" ({ev} events, digest {d:016x})"),
+                        _ => String::new(),
+                    };
+                    println!("{label}: optimal-certified, {n} NOPs{extra}");
+                }
+                None => {
+                    println!("{label}: REJECTED");
+                    print!("{}", check.report.render_text());
+                }
+            }
+        }
+    }
+    if opts.json {
+        println!("{}", pipesched::json::Json::Array(results).to_pretty());
+    }
+    Ok(if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn run() -> Result<(), String> {
@@ -341,6 +521,11 @@ fn run() -> Result<(), String> {
         }
     };
     let machine = load_machine(&opts.machine)?;
+    if opts.proof.is_some() && (opts.window.is_some() || opts.parallel) {
+        return Err(
+            "--proof requires the plain branch-and-bound (drop --window/--parallel)".into(),
+        );
+    }
     let block = load_block(&opts)?;
     let dag = DepDag::build(&block);
 
@@ -356,6 +541,32 @@ fn run() -> Result<(), String> {
     } else if opts.parallel {
         let ctx = SchedContext::new(&block, &dag, &machine);
         let out = pipesched::core::parallel::parallel_search(&ctx, opts.lambda, 0);
+        (
+            out.order,
+            out.etas,
+            out.nops,
+            out.initial_nops,
+            out.optimal,
+            out.stats,
+        )
+    } else if let Some(path) = &opts.proof {
+        // Same search, but streaming an optimality certificate to disk as
+        // NDJSON while it runs.
+        let ctx = SchedContext::new(&block, &dag, &machine);
+        let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+        let logger = ProofLogger::streaming(Box::new(std::io::BufWriter::new(file)));
+        let cfg = SearchConfig {
+            lambda: opts.lambda,
+            ..SearchConfig::default()
+        };
+        let (out, proof) = search_with_proof(&ctx, &cfg, logger);
+        if let Some(e) = proof.io_error {
+            return Err(format!("write {path}: {e}"));
+        }
+        eprintln!(
+            "; certificate: {} events, digest {:016x} -> {path}",
+            proof.events, proof.digest
+        );
         (
             out.order,
             out.etas,
@@ -421,8 +632,15 @@ fn run() -> Result<(), String> {
             ("total_cycles", block.len() as i64 + i64::from(nops)),
             ("optimal", optimal),
             ("omega_calls", omega as i64),
-            ("pruned_bound", stats.pruned_bound as i64),
+            ("nodes_visited", stats.nodes_visited as i64),
+            ("pruned_quick", stats.pruned_quick as i64),
+            ("pruned_legality", stats.pruned_legality as i64),
             ("pruned_equivalence", stats.pruned_equivalence as i64),
+            ("pruned_bound", stats.pruned_bound as i64),
+            ("pruned_symmetry", stats.pruned_symmetry as i64),
+            ("complete_schedules", stats.complete_schedules as i64),
+            ("improvements", stats.improvements as i64),
+            ("proved_by_bound", stats.proved_by_bound),
             ("truncated", stats.truncated),
             ("deadline_hit", stats.deadline_hit),
             ("wall_micros", wall_micros as i64),
@@ -577,6 +795,7 @@ fn run_batch_cmd() -> Result<ExitCode, String> {
     let mut nodes = pipesched::service::EngineConfig::default().default_nodes;
     let mut cache_capacity = 1024usize;
     let mut check = false;
+    let mut prove = false;
     let mut require_hits = false;
     let mut json = false;
     let mut quiet = false;
@@ -589,6 +808,7 @@ fn run_batch_cmd() -> Result<ExitCode, String> {
             "--nodes" => nodes = value()?.parse().map_err(|e| format!("--nodes: {e}"))?,
             "--cache" => cache_capacity = value()?.parse().map_err(|e| format!("--cache: {e}"))?,
             "--check" => check = true,
+            "--prove" => prove = true,
             "--require-hits" => require_hits = true,
             "--json" => json = true,
             "--quiet" => quiet = true,
@@ -599,6 +819,9 @@ fn run_batch_cmd() -> Result<ExitCode, String> {
         }
     }
     let input = input.ok_or("missing request file")?;
+    if prove && !check {
+        return Err("--prove requires --check".into());
+    }
     let text = if input == "-" {
         let mut buf = String::new();
         std::io::stdin()
@@ -612,6 +835,7 @@ fn run_batch_cmd() -> Result<ExitCode, String> {
     let engine = pipesched::service::ServiceEngine::new(
         pipesched::service::EngineConfig {
             default_nodes: nodes,
+            prove,
             ..Default::default()
         },
         cache_capacity,
@@ -622,6 +846,7 @@ fn run_batch_cmd() -> Result<ExitCode, String> {
         &text,
         &pipesched::service::ServeConfig { workers },
         check,
+        prove,
     )
     .map_err(|e| e.to_string())?;
 
@@ -644,8 +869,17 @@ fn run_batch_cmd() -> Result<ExitCode, String> {
             summary.truncated,
             if check {
                 format!(
-                    ", {} certified / {} failed",
-                    summary.certified, summary.certify_failures
+                    ", {} certified / {} failed{}",
+                    summary.certified,
+                    summary.certify_failures,
+                    if prove {
+                        format!(
+                            ", {} proved / {} proof failures",
+                            summary.proved, summary.proof_failures
+                        )
+                    } else {
+                        String::new()
+                    }
                 )
             } else {
                 String::new()
@@ -656,6 +890,10 @@ fn run_batch_cmd() -> Result<ExitCode, String> {
     let mut failed = summary.errors > 0;
     if check && (summary.certify_failures > 0 || summary.certified != summary.ok) {
         eprintln!("pipesched: certification gate failed");
+        failed = true;
+    }
+    if prove && summary.proof_failures > 0 {
+        eprintln!("pipesched: proof-replay gate failed");
         failed = true;
     }
     if require_hits && summary.cache_hits == 0 {

@@ -7,6 +7,7 @@ pub use pipesched_frontend as frontend;
 pub use pipesched_ir as ir;
 pub use pipesched_json as json;
 pub use pipesched_machine as machine;
+pub use pipesched_proof as proof;
 pub use pipesched_regalloc as regalloc;
 pub use pipesched_service as service;
 pub use pipesched_sim as sim;

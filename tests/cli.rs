@@ -182,3 +182,41 @@ fn gantt_emitter_renders_lanes() {
     assert!(text.contains("multiplier"), "{text}");
     assert!(text.starts_with("cycle"), "{text}");
 }
+
+#[test]
+fn prove_certifies_and_streams_a_checkable_certificate() {
+    let src = write_temp("prove.src", SOURCE);
+    let out = bin().arg("prove").arg(&src).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("optimal-certified"), "{text}");
+    assert!(text.contains("digest"), "{text}");
+
+    // Stream the certificate to a file and re-check it independently.
+    let cert_path =
+        std::env::temp_dir().join(format!("pipesched-cli-prove-{}.ndjson", std::process::id()));
+    let out = bin()
+        .arg("prove")
+        .arg(&src)
+        .arg("--proof")
+        .arg(&cert_path)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let ndjson = std::fs::read_to_string(&cert_path).unwrap();
+    let cert = pipesched::core::proof::Certificate::from_ndjson(&ndjson).unwrap();
+    // `prove` compiles through the optimizing sequence path; mirror it.
+    let blocks = pipesched::frontend::compile_sequence(SOURCE).unwrap();
+    let block = &blocks[0];
+    let machine = pipesched::machine::presets::paper_simulation();
+    let check = pipesched::proof::check_certificate(block, &machine, &cert);
+    assert!(check.is_certified(), "{:?}", check.report);
+}

@@ -1,0 +1,71 @@
+//! The README's diagnostic-code table is a contract: every code the
+//! analyzer can emit must be documented, with the right severity and
+//! summary, and the table must not advertise codes that no longer exist.
+//! This test parses the table out of README.md and diffs it against
+//! [`DiagCode::ALL`].
+
+use std::collections::BTreeMap;
+
+use pipesched::analyze::DiagCode;
+
+/// Extract `(code, severity, meaning)` rows from the README's
+/// diagnostic-code table (rows shaped `| `A0101` | error | ... |`).
+fn readme_rows() -> BTreeMap<String, (String, String)> {
+    let readme = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/README.md"))
+        .expect("README.md is readable");
+    let mut rows = BTreeMap::new();
+    for line in readme.lines() {
+        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+        // A table row splits into ["", code, severity, meaning, ""].
+        if cells.len() != 5 || !cells[1].starts_with("`A0") {
+            continue;
+        }
+        let code = cells[1].trim_matches('`').to_string();
+        let dup = rows.insert(code.clone(), (cells[2].to_string(), cells[3].to_string()));
+        assert!(dup.is_none(), "README documents {code} twice");
+    }
+    rows
+}
+
+#[test]
+fn readme_diagnostic_table_matches_the_analyzer() {
+    let rows = readme_rows();
+    assert!(
+        !rows.is_empty(),
+        "no diagnostic-code table rows found in README.md"
+    );
+
+    let mut missing = Vec::new();
+    let mut wrong = Vec::new();
+    for &code in DiagCode::ALL {
+        match rows.get(code.as_str()) {
+            None => missing.push(code.as_str()),
+            Some((severity, meaning)) => {
+                if severity != &code.severity().to_string() || meaning != code.summary() {
+                    wrong.push(format!(
+                        "{}: README says `{severity}` / \"{meaning}\", analyzer says `{}` / \"{}\"",
+                        code.as_str(),
+                        code.severity(),
+                        code.summary()
+                    ));
+                }
+            }
+        }
+    }
+    let stale: Vec<&String> = rows
+        .keys()
+        .filter(|code| code.parse::<DiagCode>().is_err())
+        .collect();
+
+    assert!(
+        missing.is_empty() && wrong.is_empty() && stale.is_empty(),
+        "README diagnostic table out of sync with crates/analyze/src/diag.rs\n\
+         undocumented codes: {missing:?}\n\
+         mismatched rows: {wrong:#?}\n\
+         stale rows (no such code): {stale:?}"
+    );
+
+    // The table and the registry are the same size, so the checks above
+    // were exhaustive in both directions.
+    assert_eq!(rows.len(), DiagCode::ALL.len());
+}
