@@ -10,6 +10,7 @@
 //! repro encodings [--runs N]
 //! repro serve     [--runs N] [--threads T]   # memoized serving throughput
 //! repro prove     [--runs N]   # proof-logging overhead + checker throughput
+//! repro observe   [--runs N] [--quick]   # tracing overhead gate + BENCH_sched.json
 //! repro verify    [--runs N]   # full end-to-end invariant gate
 //! ```
 //!
@@ -23,7 +24,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use pipesched_bench::experiments::{
-    ablation, encodings, prove, serve, sweep, table1, verify_sweep, windowed,
+    ablation, encodings, observe, prove, serve, sweep, table1, verify_sweep, windowed,
 };
 use pipesched_bench::report::{f, percentile, TextTable};
 use pipesched_bench::{run_sweep, RunRecord, SweepConfig, SweepResult};
@@ -35,6 +36,7 @@ struct Args {
     lambda: u64,
     threads: usize,
     out: PathBuf,
+    quick: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -46,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
         lambda: 50_000,
         threads: 0,
         out: PathBuf::from("results"),
+        quick: false,
     };
     while let Some(flag) = args.next() {
         let mut value = || {
@@ -59,6 +62,7 @@ fn parse_args() -> Result<Args, String> {
                 parsed.threads = value()?.parse().map_err(|e| format!("--threads: {e}"))?
             }
             "--out" => parsed.out = PathBuf::from(value()?),
+            "--quick" => parsed.quick = true,
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -93,6 +97,11 @@ fn main() -> ExitCode {
         "encodings" => run_encodings(&args),
         "serve" => run_serve(&args),
         "prove" => run_prove(&args),
+        "observe" => {
+            if !run_observe(&args) {
+                return ExitCode::FAILURE;
+            }
+        }
         "verify" => {
             let runs = args.runs.min(2_000);
             eprintln!("verify: full end-to-end gate over {runs} blocks...");
@@ -120,11 +129,12 @@ fn main() -> ExitCode {
             run_encodings(&ablation_args);
             run_serve(&ablation_args);
             run_prove(&ablation_args);
+            run_observe(&ablation_args);
         }
         other => {
             eprintln!(
                 "repro: unknown command `{other}`\n\
-                 commands: all table1 table7 fig1 fig4 fig5 fig6 fig7 ablation windowed encodings serve prove verify"
+                 commands: all table1 table7 fig1 fig4 fig5 fig6 fig7 ablation windowed encodings serve prove observe verify"
             );
             return ExitCode::FAILURE;
         }
@@ -139,6 +149,7 @@ fn copy_args(a: &Args) -> Args {
         lambda: a.lambda,
         threads: a.threads,
         out: a.out.clone(),
+        quick: a.quick,
     }
 }
 
@@ -455,6 +466,59 @@ fn run_prove(args: &Args) {
         &prove::render(&report),
         "Optimality certificates: logging overhead and checker throughput",
     );
+}
+
+/// Tracing-overhead gate. Returns `false` when the replay itself failed
+/// (errors or a broken search identity) — measurement noise on the
+/// overhead delta only warns, like `prove`.
+fn run_observe(args: &Args) -> bool {
+    let requests = if args.quick {
+        60
+    } else {
+        args.runs.clamp(40, 2_000)
+    };
+    let shapes = (requests / 10).clamp(4, 32);
+    let workers = if args.threads == 0 { 4 } else { args.threads };
+    eprintln!(
+        "observe: {requests} requests over {shapes} shapes, {workers} workers, \
+         5 x {{off, off, on}} replays..."
+    );
+    let report = observe::run(requests, shapes, workers);
+    println!(
+        "observe: {} req/s, p90 {} µs — disabled-path delta {:.2}%, tracing-on overhead {:.2}%",
+        f(report.throughput_rps, 0),
+        report.p90_micros,
+        report.disabled_overhead_pct(),
+        report.traced_overhead_pct()
+    );
+    let mut ok = true;
+    if report.errors > 0 {
+        eprintln!("observe: GATE FAILED — {} error responses", report.errors);
+        ok = false;
+    }
+    if !report.identity_ok {
+        eprintln!("observe: GATE FAILED — aggregate search identity broken");
+        ok = false;
+    }
+    if report.disabled_overhead_pct() >= 2.0 {
+        eprintln!(
+            "observe: note — disabled-path delta {:.2}% exceeds the 2% budget (noisy machine?)",
+            report.disabled_overhead_pct()
+        );
+    }
+    save(
+        args,
+        "observe",
+        &report.table(),
+        "Tracing: disabled-path delta, tracing-on overhead, fleet-wide metrics",
+    );
+    std::fs::write(
+        "BENCH_sched.json",
+        format!("{}\n", report.to_json().to_pretty()),
+    )
+    .expect("write BENCH_sched.json");
+    println!("(benchmark summary saved to BENCH_sched.json)");
+    ok
 }
 
 fn run_ablation(args: &Args) {

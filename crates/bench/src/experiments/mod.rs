@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod blocks;
 pub mod encodings;
+pub mod observe;
 pub mod prove;
 pub mod serve;
 pub mod sweep;

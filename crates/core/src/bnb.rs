@@ -50,6 +50,7 @@ pub use crate::bounds::BoundKind;
 use crate::bounds::LowerBound;
 use crate::context::SchedContext;
 use crate::list_sched::list_schedule;
+use crate::profile::{DepthStats, SearchProfile};
 use crate::proof::{
     trailer_for, Certificate, CertificateHeader, ProofEvent, ProofLogger, ProofOutput,
 };
@@ -239,7 +240,20 @@ pub fn search_with_boundary(
     cfg: &SearchConfig,
     boundary: &BoundaryState,
 ) -> SearchOutcome {
-    search_impl(ctx, cfg, boundary, None)
+    search_impl(ctx, cfg, boundary, None, None)
+}
+
+/// [`search`] while filling `profile` with a per-depth breakdown of the
+/// run: nodes, Ω calls, prune counts by rule, and inclusive wall time per
+/// depth (see [`crate::profile`]). The profile never changes the search
+/// result — only plain `search` plus observation.
+pub fn search_with_profile(
+    ctx: &SchedContext<'_>,
+    cfg: &SearchConfig,
+    profile: &mut SearchProfile,
+) -> SearchOutcome {
+    let boundary = BoundaryState::cold(ctx.machine.pipeline_count());
+    search_impl(ctx, cfg, &boundary, None, Some(profile))
 }
 
 /// Run the search while recording a machine-checkable optimality
@@ -264,7 +278,7 @@ pub fn search_with_proof(
         "proof logging does not support the pipeline-selection extension"
     );
     let boundary = BoundaryState::cold(ctx.machine.pipeline_count());
-    let outcome = search_impl(ctx, cfg, &boundary, Some(&mut logger));
+    let outcome = search_impl(ctx, cfg, &boundary, Some(&mut logger), None);
     let proof = logger.finish(trailer_for(&outcome));
     (outcome, proof)
 }
@@ -288,6 +302,7 @@ fn search_impl(
     cfg: &SearchConfig,
     boundary: &BoundaryState,
     mut proof: Option<&mut ProofLogger>,
+    profile: Option<&mut SearchProfile>,
 ) -> SearchOutcome {
     let n = ctx.len();
     if n == 0 {
@@ -382,6 +397,7 @@ fn search_impl(
     );
     s.global_lb = global_lb;
     s.proof = proof;
+    s.profile = profile;
     if cfg.deadline.is_some_and(|d| std::time::Instant::now() >= d) {
         // Already out of time: the incumbent is the answer (anytime).
         s.stats.truncated = true;
@@ -427,6 +443,8 @@ fn evaluate_with_assignment(
 struct Search<'c, 'a> {
     /// Certificate transcript recorder; `None` when proofs are off.
     proof: Option<&'c mut ProofLogger>,
+    /// Per-depth profile collector; `None` when profiling is off.
+    profile: Option<&'c mut SearchProfile>,
     ctx: &'c SchedContext<'a>,
     cfg: SearchConfig,
     engine: TimingEngine<'c, 'a>,
@@ -483,6 +501,7 @@ impl<'c, 'a> Search<'c, 'a> {
         let best_assign: Vec<Option<PipelineId>> = ctx.sigma.clone();
         Search {
             proof: None,
+            profile: None,
             ctx,
             cfg: *cfg,
             engine: TimingEngine::with_boundary(ctx, boundary),
@@ -508,9 +527,31 @@ impl<'c, 'a> Search<'c, 'a> {
         }
     }
 
+    /// Bump a per-depth profile counter when profiling is on.
+    #[inline]
+    fn prof(&mut self, depth: usize, bump: impl FnOnce(&mut DepthStats)) {
+        if let Some(p) = self.profile.as_deref_mut() {
+            bump(p.at(depth));
+        }
+    }
+
+    /// Profiling wrapper around [`Search::dfs_inner`]: times the call
+    /// inclusively per depth. Without a profile it is a plain tail call,
+    /// so the un-profiled search never reads the clock here.
     fn dfs(&mut self, depth: usize) {
+        if self.profile.is_none() {
+            return self.dfs_inner(depth);
+        }
+        let start = std::time::Instant::now();
+        self.dfs_inner(depth);
+        let elapsed = start.elapsed().as_nanos() as u64;
+        self.prof(depth, |d| d.time_ns += elapsed);
+    }
+
+    fn dfs_inner(&mut self, depth: usize) {
         let n = self.ctx.len();
         self.stats.nodes_visited += 1;
+        self.prof(depth, |d| d.nodes += 1);
         if depth == n {
             // Step [3]: complete schedule.
             self.stats.complete_schedules += 1;
@@ -552,12 +593,14 @@ impl<'c, 'a> Search<'c, 'a> {
             // [5a] quick approximate legality check.
             if self.cfg.quick_check && self.ctx.analysis.earliest(xi) as usize > depth {
                 self.stats.pruned_quick += 1;
+                self.prof(depth, |d| d.pruned_quick += 1);
                 self.log(ProofEvent::LegalityPrune { candidate: xi.0 });
                 continue;
             }
             // [5b] real legality: every predecessor already scheduled.
             if self.pending_preds[xi.index()] > 0 {
                 self.stats.pruned_legality += 1;
+                self.prof(depth, |d| d.pruned_legality += 1);
                 self.log(ProofEvent::LegalityPrune { candidate: xi.0 });
                 continue;
             }
@@ -567,6 +610,7 @@ impl<'c, 'a> Search<'c, 'a> {
                 EquivalenceMode::Paper => {
                     if j != depth && self.ctx.interchangeable_free(kappa, xi) {
                         self.stats.pruned_equivalence += 1;
+                        self.prof(depth, |d| d.pruned_equivalence += 1);
                         // κ is free, hence legal here, hence was placed at
                         // j == depth: a valid witness.
                         self.log(ProofEvent::EquivalencePrune {
@@ -585,6 +629,7 @@ impl<'c, 'a> Search<'c, 'a> {
                         && self.ctx.is_free_instruction(xi)
                     {
                         self.stats.pruned_equivalence += 1;
+                        self.prof(depth, |d| d.pruned_equivalence += 1);
                         self.log(ProofEvent::EquivalencePrune {
                             candidate: xi.0,
                             witness: kappa.0,
@@ -596,6 +641,7 @@ impl<'c, 'a> Search<'c, 'a> {
                     let class = self.equiv_class[xi.index()];
                     if let Some(&(_, witness)) = tried_classes.iter().find(|(c, _)| *c == class) {
                         self.stats.pruned_equivalence += 1;
+                        self.prof(depth, |d| d.pruned_equivalence += 1);
                         self.log(ProofEvent::EquivalencePrune {
                             candidate: xi.0,
                             witness: witness.0,
@@ -650,6 +696,7 @@ impl<'c, 'a> Search<'c, 'a> {
     fn place_and_recurse(&mut self, depth: usize, xi: TupleId, pipe: Option<PipelineId>) {
         // Step [4]: curtail point.
         self.stats.omega_calls += 1;
+        self.prof(depth, |d| d.omega_calls += 1);
         if self.stats.omega_calls >= self.cfg.lambda {
             self.stats.truncated = true;
             self.stop = true;
@@ -725,6 +772,7 @@ impl<'c, 'a> Search<'c, 'a> {
             }
         } else if !self.stop {
             self.stats.pruned_bound += 1;
+            self.prof(depth, |d| d.pruned_bound += 1);
             let mu = self.engine.total_nops();
             let (chain, resource) = (proof_terms.map(|t| t.0), proof_terms.map(|t| t.1));
             self.log(ProofEvent::BoundPrune {
@@ -1098,5 +1146,71 @@ mod tests {
         assert!(out.optimal);
         assert_eq!(out.nops, 0);
         assert!(out.order.is_empty());
+    }
+
+    #[test]
+    fn profile_sums_match_search_stats() {
+        // Contended multiplier chains force real exploration so every
+        // counter is exercised.
+        let mut b = BlockBuilder::new("profiled");
+        for i in 0..4 {
+            let l = b.load(&format!("x{i}"));
+            let m = b.mul(l, l);
+            b.store(&format!("y{i}"), m);
+        }
+        let block = b.finish().unwrap();
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let ctx = ctx_for(&block, &dag, &machine);
+        let cfg = SearchConfig {
+            terminate_on_lower_bound: false,
+            ..SearchConfig::default()
+        };
+
+        let plain = search(&ctx, &cfg);
+        let mut profile = SearchProfile::new();
+        let out = search_with_profile(&ctx, &cfg, &mut profile);
+
+        // Profiling must be pure observation.
+        assert_eq!(out.nops, plain.nops);
+        assert_eq!(out.order, plain.order);
+        assert_eq!(out.stats, plain.stats);
+
+        // Every per-depth column sums to its whole-run counter.
+        let sum = |f: fn(&DepthStats) -> u64| profile.depths.iter().map(f).sum::<u64>();
+        assert_eq!(profile.total_nodes(), out.stats.nodes_visited);
+        assert_eq!(sum(|d| d.omega_calls), out.stats.omega_calls);
+        assert_eq!(sum(|d| d.pruned_quick), out.stats.pruned_quick);
+        assert_eq!(sum(|d| d.pruned_legality), out.stats.pruned_legality);
+        assert_eq!(sum(|d| d.pruned_equivalence), out.stats.pruned_equivalence);
+        assert_eq!(sum(|d| d.pruned_bound), out.stats.pruned_bound);
+        assert!(out.stats.nodes_visited > 1, "search did not explore");
+
+        // Inclusive time: depth d+1 nests inside depth d.
+        for w in profile.depths.windows(2) {
+            assert!(w[0].time_ns >= w[1].time_ns);
+        }
+
+        // JSON rendering covers every depth.
+        if let pipesched_json::Json::Array(rows) = profile.to_json() {
+            assert_eq!(rows.len(), profile.depths.len());
+        } else {
+            panic!("profile JSON is an array");
+        }
+    }
+
+    #[test]
+    fn profile_of_trivial_searches_stays_consistent() {
+        // The n == 0 and proved-by-bound early returns record nothing;
+        // the sum identity must still hold (both sides zero).
+        let block = BlockBuilder::new("empty").finish().unwrap();
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let ctx = ctx_for(&block, &dag, &machine);
+        let mut profile = SearchProfile::new();
+        let out = search_with_profile(&ctx, &SearchConfig::default(), &mut profile);
+        assert!(out.optimal);
+        assert_eq!(profile.total_nodes(), out.stats.nodes_visited);
+        assert_eq!(profile.total_nodes(), 0);
     }
 }

@@ -22,6 +22,8 @@
 //!   Gross-style greedy scheduler, used by the paper's Table 1 comparison;
 //! * [`parallel`] — a parallel branch-and-bound variant (extension) sharing
 //!   an atomic incumbent across threads;
+//! * [`profile`] — per-depth search profiling (nodes, prune counts, time),
+//!   attached through an `Option`-gated hook like the proof logger;
 //! * [`windowed`] — §5.3's future-work feature: locally-optimal scheduling
 //!   of very large blocks by partitioning the list schedule into windows;
 //! * [`sequence`] — footnote 1's block-interaction machinery: scheduling a
@@ -38,6 +40,7 @@ pub mod bounds;
 pub mod context;
 pub mod list_sched;
 pub mod parallel;
+pub mod profile;
 pub mod proof;
 pub mod sequence;
 pub mod timing;
@@ -45,13 +48,14 @@ pub mod windowed;
 
 pub use api::{ScheduledBlock, Scheduler};
 pub use bnb::{
-    prove, search, search_with_boundary, search_with_proof, BoundKind, EquivalenceMode,
-    InitialHeuristic, SearchConfig, SearchOutcome, SearchStats,
+    prove, search, search_with_boundary, search_with_profile, search_with_proof, BoundKind,
+    EquivalenceMode, InitialHeuristic, SearchConfig, SearchOutcome, SearchStats,
 };
 pub use bounds::global_lower_bound;
 pub use context::SchedContext;
 pub use list_sched::list_schedule;
 pub use parallel::{parallel_search, parallel_search_bounded};
+pub use profile::{DepthStats, SearchProfile};
 pub use proof::{
     trailer_for, Certificate, CertificateHeader, CertificateTrailer, ProofEvent, ProofLogger,
     ProofOutput,

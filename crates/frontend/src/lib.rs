@@ -39,8 +39,14 @@ use pipesched_ir::BasicBlock;
 /// Compile source text into an optimized basic block
 /// (parse → lower → optimize with defaults).
 pub fn compile(name: &str, source: &str) -> Result<BasicBlock, FrontendError> {
-    let program = parse_program(source)?;
-    let block = lower(name, &program);
+    let program = {
+        let _s = pipesched_trace::span("frontend.parse");
+        parse_program(source)?
+    };
+    let block = {
+        let _s = pipesched_trace::span("frontend.lower");
+        lower(name, &program)
+    };
     let (optimized, _) = optimize(&block, &OptConfig::default());
     Ok(optimized)
 }
@@ -48,7 +54,11 @@ pub fn compile(name: &str, source: &str) -> Result<BasicBlock, FrontendError> {
 /// Compile without running the optimizer (for comparing optimization
 /// effects, as §3.1 discusses).
 pub fn compile_unoptimized(name: &str, source: &str) -> Result<BasicBlock, FrontendError> {
-    let program = parse_program(source)?;
+    let program = {
+        let _s = pipesched_trace::span("frontend.parse");
+        parse_program(source)?
+    };
+    let _s = pipesched_trace::span("frontend.lower");
     Ok(lower(name, &program))
 }
 

@@ -77,6 +77,7 @@ pub struct OptStats {
 /// statistics. The input block must verify.
 pub fn optimize(block: &BasicBlock, config: &OptConfig) -> (BasicBlock, OptStats) {
     debug_assert!(block.verify().is_ok());
+    let _opt = pipesched_trace::span_with("frontend.optimize", block.len() as i64);
     let mut current = block.clone();
     let mut stats = OptStats {
         tuples_before: block.len(),
@@ -86,6 +87,7 @@ pub fn optimize(block: &BasicBlock, config: &OptConfig) -> (BasicBlock, OptStats
     for _ in 0..config.max_iterations {
         let mut changed = false;
         if config.constant_fold {
+            let _s = pipesched_trace::span_with("opt.constant_fold", i64::from(stats.iterations));
             if let Some(next) = constant_fold::run(&current) {
                 current = next;
                 stats.constant_folds += 1;
@@ -93,6 +95,7 @@ pub fn optimize(block: &BasicBlock, config: &OptConfig) -> (BasicBlock, OptStats
             }
         }
         if config.cse {
+            let _s = pipesched_trace::span_with("opt.cse", i64::from(stats.iterations));
             if let Some(next) = cse::run(&current) {
                 current = next;
                 stats.cse_hits += 1;
@@ -100,6 +103,7 @@ pub fn optimize(block: &BasicBlock, config: &OptConfig) -> (BasicBlock, OptStats
             }
         }
         if config.peephole {
+            let _s = pipesched_trace::span_with("opt.peephole", i64::from(stats.iterations));
             if let Some(next) = peephole::run(&current) {
                 current = next;
                 stats.peephole_hits += 1;
@@ -107,6 +111,7 @@ pub fn optimize(block: &BasicBlock, config: &OptConfig) -> (BasicBlock, OptStats
             }
         }
         if config.dce {
+            let _s = pipesched_trace::span_with("opt.dce", i64::from(stats.iterations));
             if let Some(next) = dce::run(&current) {
                 current = next;
                 stats.dce_removals += 1;

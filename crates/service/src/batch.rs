@@ -48,6 +48,16 @@ pub struct BatchSummary {
     pub proof_failures: u64,
     /// Wall-clock for the whole replay, microseconds.
     pub wall_micros: u64,
+    /// Search-tree nodes visited answering this batch (delta of the
+    /// engine's fleet-wide [`crate::metrics::SearchAggregate`]).
+    pub search_nodes: u64,
+    /// Ω calls spent answering this batch.
+    pub search_omega: u64,
+    /// Candidates pruned answering this batch, summed over every rule.
+    pub search_pruned: u64,
+    /// Whether the engine's aggregate `1 + Ω − bound-pruned == nodes`
+    /// identity still held after the replay.
+    pub identity_ok: bool,
     /// The response lines, in request order.
     pub responses: Vec<String>,
 }
@@ -76,6 +86,10 @@ impl BatchSummary {
             ("proof_failures", self.proof_failures as i64),
             ("wall_micros", self.wall_micros as i64),
             ("throughput_rps", self.throughput()),
+            ("search_nodes", self.search_nodes as i64),
+            ("search_omega", self.search_omega as i64),
+            ("search_pruned", self.search_pruned as i64),
+            ("identity_ok", self.identity_ok),
         ]
     }
 }
@@ -94,30 +108,69 @@ pub fn run_batch(
     prove: bool,
 ) -> std::io::Result<BatchSummary> {
     let hits_before = engine.cache().hits();
+    let load = |c: &std::sync::atomic::AtomicU64| c.load(std::sync::atomic::Ordering::Relaxed);
+    let agg = &engine.metrics().search;
+    let nodes_before = load(&agg.nodes_visited);
+    let omega_before = load(&agg.omega_calls);
+    let pruned =
+        |a: &crate::metrics::SearchAggregate| a.prune_totals().iter().map(|(_, n)| n).sum::<u64>();
+    let pruned_before = pruned(agg);
     let start = Instant::now();
     let mut out = Vec::new();
-    let requests = serve_stream(engine, input.as_bytes(), &mut out, config)?;
+    serve_stream(engine, input.as_bytes(), &mut out, config)?;
     let wall_micros = start.elapsed().as_micros() as u64;
 
     let responses: Vec<String> = String::from_utf8_lossy(&out)
         .lines()
         .map(str::to_string)
         .collect();
+    let mut summary = summarize_responses(
+        input,
+        responses,
+        wall_micros,
+        engine.cache().hits() - hits_before,
+        check,
+        prove,
+    );
+    summary.search_nodes = load(&agg.nodes_visited) - nodes_before;
+    summary.search_omega = load(&agg.omega_calls) - omega_before;
+    summary.search_pruned = pruned(agg) - pruned_before;
+    summary.identity_ok = agg.identity_holds();
+    Ok(summary)
+}
+
+/// Build a [`BatchSummary`] from the request text and the response lines
+/// it produced. Used by `run_batch` and by remote replays (the CLI's
+/// `batch --tcp` client mode) where only the response text is available —
+/// there the search-effort fields stay zero (the effort happened in the
+/// server process) and `identity_ok` stays vacuously true.
+pub fn summarize_responses(
+    input: &str,
+    responses: Vec<String>,
+    wall_micros: u64,
+    cache_hits: u64,
+    check: bool,
+    prove: bool,
+) -> BatchSummary {
+    let request_lines: Vec<&str> = input.lines().filter(|l| !l.trim().is_empty()).collect();
     let mut summary = BatchSummary {
-        requests,
+        requests: request_lines.len() as u64,
         ok: 0,
         errors: 0,
-        cache_hits: engine.cache().hits() - hits_before,
+        cache_hits,
         truncated: 0,
         certified: 0,
         certify_failures: 0,
         proved: 0,
         proof_failures: 0,
         wall_micros,
+        search_nodes: 0,
+        search_omega: 0,
+        search_pruned: 0,
+        identity_ok: true,
         responses,
     };
 
-    let request_lines: Vec<&str> = input.lines().filter(|l| !l.trim().is_empty()).collect();
     for (line, request_line) in summary.responses.iter().zip(&request_lines) {
         let Ok(doc) = pipesched_json::parse(line) else {
             summary.errors += 1;
@@ -146,7 +199,7 @@ pub fn run_batch(
             }
         }
     }
-    Ok(summary)
+    summary
 }
 
 /// Escalate an `optimal` response to a full proof replay: search the
@@ -278,6 +331,12 @@ mod tests {
         let doc = summary.to_json();
         assert_eq!(doc.get("requests").and_then(Json::as_i64), Some(10));
         assert!(summary.throughput() > 0.0);
+        // The misses searched; the batch reports that fleet-wide effort
+        // and the aggregate identity still holds over it.
+        assert!(summary.search_nodes > 0);
+        assert!(summary.search_omega > 0);
+        assert!(summary.identity_ok);
+        assert_eq!(doc.get("identity_ok").and_then(Json::as_bool), Some(true));
     }
 
     #[test]

@@ -157,6 +157,16 @@ impl ScheduleCache {
         self.len() == 0
     }
 
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Live entries per shard (for the stats exposition; shows skew).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.lock().map.len()).collect()
+    }
+
     /// Lifetime hit count.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)

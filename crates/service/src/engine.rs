@@ -25,11 +25,13 @@ use std::time::Instant;
 
 use pipesched_core::proof::{Certificate, ProofLogger};
 use pipesched_core::{
-    global_lower_bound, search, search_with_proof, windowed_schedule_bounded, SchedContext,
-    SearchConfig,
+    global_lower_bound, search, search_with_profile, search_with_proof, windowed_schedule_bounded,
+    SchedContext, SearchConfig, SearchProfile,
 };
 use pipesched_ir::{analysis::verify_schedule, BasicBlock, DepDag, TupleId};
+use pipesched_json::{json_object, Json};
 use pipesched_machine::{Machine, PipelineId};
+use pipesched_trace::{point2, span};
 
 use crate::cache::{CacheEntry, ScheduleCache};
 use crate::canon::{canonicalize, CanonForm};
@@ -190,18 +192,82 @@ impl ServiceEngine {
         &self.config
     }
 
+    /// One-stop stats snapshot: engine metrics, cache occupancy (total,
+    /// per shard) and configuration — the `/stats` payload and the local
+    /// `pipesched stats` dump.
+    pub fn stats_json(&self) -> Json {
+        let shard_sizes: Vec<Json> = self
+            .cache
+            .shard_sizes()
+            .into_iter()
+            .map(|n| Json::Int(n as i64))
+            .collect();
+        json_object![
+            ("metrics", self.metrics.to_json()),
+            (
+                "cache",
+                json_object![
+                    ("entries", self.cache.len() as i64),
+                    ("hits", self.cache.hits() as i64),
+                    ("misses", self.cache.misses() as i64),
+                    ("evictions", self.cache.evictions() as i64),
+                    ("shards", self.cache.shard_count() as i64),
+                    ("shard_sizes", Json::Array(shard_sizes)),
+                ]
+            ),
+            (
+                "config",
+                json_object![
+                    ("default_nodes", self.config.default_nodes as i64),
+                    ("window", self.config.window as i64),
+                    ("windowed_share", self.config.windowed_share as i64),
+                    ("prove", self.config.prove),
+                ]
+            ),
+        ]
+    }
+
+    /// The `/metrics` payload: engine metrics plus cache gauges in
+    /// Prometheus text exposition.
+    pub fn prometheus(&self) -> String {
+        let mut w = pipesched_trace::prom::PromWriter::new();
+        self.metrics.write_prometheus(&mut w);
+        w.gauge(
+            "pipesched_cache_entries",
+            "Live schedule-cache entries.",
+            self.cache.len() as f64,
+        );
+        w.counter(
+            "pipesched_cache_evictions_total",
+            "Schedule-cache LRU evictions.",
+            self.cache.evictions(),
+        );
+        w.finish()
+    }
+
     /// Answer one scheduling request. `budget.nodes == 0` is clamped to 1
     /// so the anytime contract (a legal schedule always comes back) holds.
     pub fn answer(&self, block: &BasicBlock, machine: &Machine, budget: Budget) -> Answer {
         let start = Instant::now();
         // One DAG + context for the whole request: every tier below reuses
         // it (and the canonicalizer shares its `allowed` table).
-        let dag = DepDag::build(block);
+        let dag = {
+            let _s = span("dag_build");
+            DepDag::build(block)
+        };
         let ctx = SchedContext::new(block, &dag, machine);
-        let form = canonicalize(&ctx);
+        let form = {
+            let _s = span("canonicalize");
+            canonicalize(&ctx)
+        };
         let nodes = budget.nodes.max(1);
 
-        if let Some(entry) = self.cache.get(&form.key, nodes) {
+        let hit = {
+            let _s = span("cache_lookup");
+            self.cache.get(&form.key, nodes)
+        };
+        if let Some(entry) = hit {
+            let _s = span("cache_translate");
             match translate_hit(&ctx, &form, &entry) {
                 Some(mut answer) => {
                     self.certify_debug(block, machine, &answer);
@@ -211,6 +277,7 @@ impl ServiceEngine {
                         true,
                         false,
                         start.elapsed().as_micros() as u64,
+                        0,
                     );
                     return answer;
                 }
@@ -224,12 +291,16 @@ impl ServiceEngine {
 
         let answer = self.escalate(&ctx, budget.deadline, nodes);
         self.certify_debug(block, machine, &answer);
-        self.store(&form, &answer, nodes);
+        {
+            let _s = span("cache_store");
+            self.store(&form, &answer, nodes);
+        }
         self.metrics.record_answer(
             answer.tier,
             false,
             !answer.optimal,
             start.elapsed().as_micros() as u64,
+            answer.omega_calls,
         );
         answer
     }
@@ -244,7 +315,11 @@ impl ServiceEngine {
             deadline,
             ..SearchConfig::default()
         };
-        let list = search(ctx, &list_cfg);
+        let list = {
+            let _s = span("tier_list");
+            search(ctx, &list_cfg)
+        };
+        self.metrics.search.record(&list.stats, true);
         if list.optimal {
             let mut answer = answer_from_search(&list, Tier::List, 0);
             if self.config.prove {
@@ -257,8 +332,12 @@ impl ServiceEngine {
         // Tier "windowed": only worthwhile when the block is longer than
         // the window; spends a bounded share of the budget.
         let windowed = if ctx.len() > self.config.window && nodes > 1 {
+            let _s = span("tier_windowed");
             let w_nodes = (nodes / self.config.windowed_share).max(1);
             let w = windowed_schedule_bounded(ctx, self.config.window, w_nodes, deadline);
+            // Windowed stats aggregate several per-window searches, so they
+            // never join the identity-eligible set.
+            self.metrics.search.record(&w.stats, false);
             omega_spent += w.stats.omega_calls;
             Some(w)
         } else {
@@ -293,13 +372,33 @@ impl ServiceEngine {
             ..SearchConfig::default()
         };
         let (bnb, bnb_digest) = if self.config.prove {
+            let _s = span("tier_bnb");
             let (out, proof) = search_with_proof(ctx, &bnb_cfg, ProofLogger::in_memory());
             // A truncated transcript is not a proof; attach nothing.
             let digest = out.optimal.then_some(proof.digest);
             (out, digest)
+        } else if pipesched_trace::active() {
+            // A trace is recording: run the profiled search (identical
+            // result, per-depth counters) and attach the depth breakdown
+            // to the tier span as points.
+            let _s = span("tier_bnb");
+            let mut profile = SearchProfile::new();
+            let out = search_with_profile(ctx, &bnb_cfg, &mut profile);
+            for (depth, d) in profile.depths.iter().enumerate() {
+                point2("bnb_depth_nodes", depth as i64, d.nodes as i64);
+                point2("bnb_depth_omega", depth as i64, d.omega_calls as i64);
+                point2(
+                    "bnb_depth_pruned_bound",
+                    depth as i64,
+                    d.pruned_bound as i64,
+                );
+            }
+            (out, None)
         } else {
+            let _s = span("tier_bnb");
             (search(ctx, &bnb_cfg), None)
         };
+        self.metrics.search.record(&bnb.stats, true);
         omega_spent += bnb.stats.omega_calls;
 
         // The B&B starts from the list incumbent, so it can only tie or
@@ -388,6 +487,7 @@ fn answer_from_search(out: &pipesched_core::SearchOutcome, tier: Tier, omega_cal
 /// tiny block whose λ=1 search completed exhaustively) a fresh fully-logged
 /// search is cheap.
 fn prove_digest(ctx: &SchedContext<'_>, order: &[TupleId], nops: u32) -> u64 {
+    let _s = span("prove");
     let lb = global_lower_bound(ctx);
     if nops == lb {
         let order: Vec<u32> = order.iter().map(|t| t.0).collect();

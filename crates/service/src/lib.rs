@@ -23,9 +23,13 @@
 //!   schedule, flagged `optimal: false`; unlimited budgets reproduce the
 //!   serial B&B result bit for bit.
 //! * [`request`]/[`serve`] speak an NDJSON line protocol over stdin or
-//!   TCP through a blocking worker pool; [`batch`] replays a request file
-//!   and reports throughput, and [`metrics`] keeps lock-cheap counters
-//!   (per-tier answers, hit rates, latency quantiles) dumped as JSON.
+//!   TCP through a blocking worker pool — the TCP port also answers HTTP
+//!   `GET /metrics` (Prometheus text), `/stats` (JSON) and `/trace/<id>`
+//!   (NDJSON span dumps); [`batch`] replays a request file and reports
+//!   throughput plus fleet-wide search effort, and [`metrics`] keeps
+//!   lock-cheap counters (per-tier answers, hit rates, latency quantiles,
+//!   aggregated prune counters with the `1 + Ω − bound-pruned == nodes`
+//!   identity re-checked on the fleet totals).
 //!
 //! The `pipesched serve` and `pipesched batch` CLI subcommands are thin
 //! wrappers over this crate.
@@ -38,10 +42,10 @@ pub mod metrics;
 pub mod request;
 pub mod serve;
 
-pub use batch::{run_batch, BatchSummary};
+pub use batch::{run_batch, summarize_responses, BatchSummary};
 pub use cache::{CacheEntry, ScheduleCache};
 pub use canon::{canonicalize, machine_fingerprint, CanonForm, CanonKey};
 pub use engine::{Answer, Budget, EngineConfig, ServiceEngine, Tier};
-pub use metrics::{LatencyHistogram, Metrics};
+pub use metrics::{LatencyHistogram, Metrics, SearchAggregate};
 pub use request::{error_json, parse_request, response_json, Request};
 pub use serve::{serve_stream, serve_tcp, ServeConfig};

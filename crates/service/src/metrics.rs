@@ -2,12 +2,18 @@
 //!
 //! Every counter is a relaxed atomic — the request hot path never takes a
 //! lock to record metrics. Latency lands in a fixed log₂-bucketed histogram
-//! (1 µs … ~17 min), from which p50/p99 are estimated at dump time by
-//! linear interpolation inside the winning bucket.
+//! (1 µs … ~17 min), from which p50/p90/p99 are estimated at dump time by
+//! midpoint interpolation inside the winning bucket. [`SearchAggregate`]
+//! folds every [`SearchStats`] the engine produces into fleet-wide search
+//! effort, re-checking the `1 + Ω − bound-pruned == nodes` identity on the
+//! aggregate, and [`Metrics::write_prometheus`] renders the whole snapshot
+//! as Prometheus text for the `/metrics` endpoint.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use pipesched_core::SearchStats;
 use pipesched_json::Json;
+use pipesched_trace::prom::PromWriter;
 
 use crate::engine::Tier;
 
@@ -35,6 +41,11 @@ impl LatencyHistogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Sum of all observations, microseconds.
+    pub fn sum_micros(&self) -> u64 {
+        self.sum_micros.load(Ordering::Relaxed)
+    }
+
     /// Mean latency in microseconds (0 when empty).
     pub fn mean_micros(&self) -> u64 {
         self.sum_micros
@@ -43,8 +54,12 @@ impl LatencyHistogram {
             .unwrap_or(0)
     }
 
-    /// Estimated `q`-quantile (0 < q ≤ 1) in microseconds, interpolated
-    /// within the winning bucket. Returns 0 when empty.
+    /// Estimated `q`-quantile (0 < q ≤ 1) in microseconds. The rank-`r`
+    /// observation is placed at the midpoint of its 1/c share of the
+    /// winning bucket (`(r − seen − ½)/c` of the way through), so a
+    /// single-observation bucket answers its middle rather than its upper
+    /// edge — the upper-edge answer overstated p50/p99 by up to 2×.
+    /// Returns 0 when empty.
     pub fn quantile_micros(&self, q: f64) -> u64 {
         let n = self.count();
         if n == 0 {
@@ -57,12 +72,121 @@ impl LatencyHistogram {
             if seen + c >= rank {
                 let lo = 1u64 << b;
                 let width = lo; // bucket spans [lo, 2*lo)
-                let into = (rank - seen) as f64 / c.max(1) as f64;
+                let into = ((rank - seen) as f64 - 0.5) / c.max(1) as f64;
                 return lo + (width as f64 * into) as u64;
             }
             seen += c;
         }
         1u64 << (BUCKETS - 1)
+    }
+}
+
+/// Fleet-wide search effort: every [`SearchStats`] the engine produces,
+/// summed. The raw columns count *all* searches (list probes, windowed
+/// sub-searches, full B&B runs); the `eligible_*` mirrors count only the
+/// completed single searches for which the paper's node identity
+/// `nodes == 1 + Ω − bound-pruned` holds per run, so the identity can be
+/// re-checked on the aggregate:
+/// `eligible_nodes == eligible_searches + eligible_Ω − eligible_pruned`.
+#[derive(Debug, Default)]
+pub struct SearchAggregate {
+    /// Searches recorded (all kinds).
+    pub searches: AtomicU64,
+    /// Total search-tree nodes visited.
+    pub nodes_visited: AtomicU64,
+    /// Total Ω calls.
+    pub omega_calls: AtomicU64,
+    /// Complete schedules reached.
+    pub complete_schedules: AtomicU64,
+    /// Incumbent improvements.
+    pub improvements: AtomicU64,
+    /// Candidates rejected by the quick [5a] check.
+    pub pruned_quick: AtomicU64,
+    /// Candidates rejected by the readiness test [5b].
+    pub pruned_legality: AtomicU64,
+    /// Candidates rejected by the equivalence filter [5c].
+    pub pruned_equivalence: AtomicU64,
+    /// Subtrees abandoned by the α-β / lower-bound test [6].
+    pub pruned_bound: AtomicU64,
+    /// Pipeline-unit choices skipped by symmetry breaking.
+    pub pruned_symmetry: AtomicU64,
+    /// Identity-eligible searches (single, completed, not proved early).
+    pub eligible_searches: AtomicU64,
+    /// Nodes visited by identity-eligible searches.
+    pub eligible_nodes: AtomicU64,
+    /// Ω calls made by identity-eligible searches.
+    pub eligible_omega: AtomicU64,
+    /// Bound prunes of identity-eligible searches.
+    pub eligible_pruned_bound: AtomicU64,
+}
+
+impl SearchAggregate {
+    /// Fold one run's counters in. `single_search` distinguishes a plain
+    /// single-rooted search from multi-root aggregates (the windowed tier
+    /// sums its per-window stats, which breaks the per-run identity); a
+    /// run joins the eligible set only when it is single, ran to
+    /// completion, and did not stop early on the global lower bound.
+    pub fn record(&self, stats: &SearchStats, single_search: bool) {
+        let add = |c: &AtomicU64, v: u64| {
+            c.fetch_add(v, Ordering::Relaxed);
+        };
+        add(&self.searches, 1);
+        add(&self.nodes_visited, stats.nodes_visited);
+        add(&self.omega_calls, stats.omega_calls);
+        add(&self.complete_schedules, stats.complete_schedules);
+        add(&self.improvements, stats.improvements);
+        add(&self.pruned_quick, stats.pruned_quick);
+        add(&self.pruned_legality, stats.pruned_legality);
+        add(&self.pruned_equivalence, stats.pruned_equivalence);
+        add(&self.pruned_bound, stats.pruned_bound);
+        add(&self.pruned_symmetry, stats.pruned_symmetry);
+        if single_search && !stats.truncated && !stats.proved_by_bound && stats.nodes_visited > 0 {
+            add(&self.eligible_searches, 1);
+            add(&self.eligible_nodes, stats.nodes_visited);
+            add(&self.eligible_omega, stats.omega_calls);
+            add(&self.eligible_pruned_bound, stats.pruned_bound);
+        }
+    }
+
+    /// Re-check the paper's node identity on the eligible aggregate:
+    /// summing `nodes == 1 + Ω − bound-pruned` over k eligible runs gives
+    /// `nodes == k + Ω − bound-pruned`. Vacuously true with no eligible
+    /// runs.
+    pub fn identity_holds(&self) -> bool {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        load(&self.eligible_nodes) + load(&self.eligible_pruned_bound)
+            == load(&self.eligible_searches) + load(&self.eligible_omega)
+    }
+
+    /// Per-rule prune totals in a fixed order (for label iteration).
+    pub fn prune_totals(&self) -> [(&'static str, u64); 5] {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        [
+            ("quick", load(&self.pruned_quick)),
+            ("legality", load(&self.pruned_legality)),
+            ("equivalence", load(&self.pruned_equivalence)),
+            ("bound", load(&self.pruned_bound)),
+            ("symmetry", load(&self.pruned_symmetry)),
+        ]
+    }
+
+    /// Dump the aggregate as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed) as i64;
+        pipesched_json::json_object![
+            ("searches", load(&self.searches)),
+            ("nodes_visited", load(&self.nodes_visited)),
+            ("omega_calls", load(&self.omega_calls)),
+            ("complete_schedules", load(&self.complete_schedules)),
+            ("improvements", load(&self.improvements)),
+            ("pruned_quick", load(&self.pruned_quick)),
+            ("pruned_legality", load(&self.pruned_legality)),
+            ("pruned_equivalence", load(&self.pruned_equivalence)),
+            ("pruned_bound", load(&self.pruned_bound)),
+            ("pruned_symmetry", load(&self.pruned_symmetry)),
+            ("eligible_searches", load(&self.eligible_searches)),
+            ("identity_holds", self.identity_holds()),
+        ]
     }
 }
 
@@ -79,11 +203,15 @@ pub struct Metrics {
     pub cache_misses: AtomicU64,
     /// Answers produced per tier (cache/list/windowed/bnb).
     pub tier_answers: [AtomicU64; 4],
+    /// Ω calls spent per answering tier (cache answers spend none).
+    pub tier_omega: [AtomicU64; 4],
     /// Requests whose search budget or deadline expired (answer was the
     /// incumbent, `optimal=false`).
     pub budget_exhausted: AtomicU64,
     /// Per-request wall-clock latency.
     pub latency: LatencyHistogram,
+    /// Fleet-wide search effort across every tier's searches.
+    pub search: SearchAggregate,
 }
 
 impl Metrics {
@@ -102,10 +230,18 @@ impl Metrics {
         self.errors.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Record a completed answer: its tier, cache outcome, truncation, and
-    /// latency.
-    pub fn record_answer(&self, tier: Tier, cache_hit: bool, truncated: bool, micros: u64) {
+    /// Record a completed answer: its tier, cache outcome, truncation,
+    /// latency, and the Ω calls it spent.
+    pub fn record_answer(
+        &self,
+        tier: Tier,
+        cache_hit: bool,
+        truncated: bool,
+        micros: u64,
+        omega: u64,
+    ) {
         self.tier_answers[tier.index()].fetch_add(1, Ordering::Relaxed);
+        self.tier_omega[tier.index()].fetch_add(omega, Ordering::Relaxed);
         if cache_hit {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -120,6 +256,7 @@ impl Metrics {
     /// Dump every counter as a JSON object.
     pub fn to_json(&self) -> Json {
         let tier = |t: Tier| self.tier_answers[t.index()].load(Ordering::Relaxed);
+        let omega = |t: Tier| self.tier_omega[t.index()].load(Ordering::Relaxed);
         pipesched_json::json_object![
             ("requests", self.requests.load(Ordering::Relaxed) as i64),
             ("errors", self.errors.load(Ordering::Relaxed) as i64),
@@ -142,15 +279,132 @@ impl Metrics {
                 ]
             ),
             (
+                "tier_omega",
+                pipesched_json::json_object![
+                    ("cache", omega(Tier::Cache) as i64),
+                    ("list", omega(Tier::List) as i64),
+                    ("windowed", omega(Tier::Windowed) as i64),
+                    ("bnb", omega(Tier::Bnb) as i64),
+                ]
+            ),
+            (
                 "latency_micros",
                 pipesched_json::json_object![
                     ("count", self.latency.count() as i64),
                     ("mean", self.latency.mean_micros() as i64),
                     ("p50", self.latency.quantile_micros(0.50) as i64),
+                    ("p90", self.latency.quantile_micros(0.90) as i64),
                     ("p99", self.latency.quantile_micros(0.99) as i64),
                 ]
             ),
+            ("search", self.search.to_json()),
         ]
+    }
+
+    /// Write the snapshot as Prometheus text exposition (the `/metrics`
+    /// payload; see the README's name/label schema).
+    pub fn write_prometheus(&self, w: &mut PromWriter) {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        w.counter(
+            "pipesched_requests_total",
+            "Scheduling requests received.",
+            load(&self.requests),
+        );
+        w.counter(
+            "pipesched_errors_total",
+            "Requests that failed to parse or schedule.",
+            load(&self.errors),
+        );
+        w.counter(
+            "pipesched_cache_hits_total",
+            "Validated schedule-cache hits.",
+            load(&self.cache_hits),
+        );
+        w.counter(
+            "pipesched_cache_misses_total",
+            "Schedule-cache misses (or failed hit validation).",
+            load(&self.cache_misses),
+        );
+        w.counter(
+            "pipesched_budget_exhausted_total",
+            "Requests whose node budget or deadline expired.",
+            load(&self.budget_exhausted),
+        );
+        w.header(
+            "pipesched_tier_answers_total",
+            "Answers produced, by escalation tier.",
+            "counter",
+        );
+        for t in [Tier::Cache, Tier::List, Tier::Windowed, Tier::Bnb] {
+            w.sample_labeled(
+                "pipesched_tier_answers_total",
+                &[("tier", t.name())],
+                load(&self.tier_answers[t.index()]) as f64,
+            );
+        }
+        w.header(
+            "pipesched_tier_omega_total",
+            "Omega calls spent, by answering tier.",
+            "counter",
+        );
+        for t in [Tier::Cache, Tier::List, Tier::Windowed, Tier::Bnb] {
+            w.sample_labeled(
+                "pipesched_tier_omega_total",
+                &[("tier", t.name())],
+                load(&self.tier_omega[t.index()]) as f64,
+            );
+        }
+        w.counter(
+            "pipesched_search_nodes_total",
+            "Search-tree nodes visited across all searches.",
+            load(&self.search.nodes_visited),
+        );
+        w.counter(
+            "pipesched_search_omega_total",
+            "Omega calls across all searches.",
+            load(&self.search.omega_calls),
+        );
+        w.header(
+            "pipesched_search_pruned_total",
+            "Candidates pruned, by rule.",
+            "counter",
+        );
+        for (rule, total) in self.search.prune_totals() {
+            w.sample_labeled(
+                "pipesched_search_pruned_total",
+                &[("rule", rule)],
+                total as f64,
+            );
+        }
+        w.gauge(
+            "pipesched_search_identity_ok",
+            "1 when the aggregate satisfies nodes == searches + omega - bound-pruned.",
+            if self.search.identity_holds() {
+                1.0
+            } else {
+                0.0
+            },
+        );
+        w.header(
+            "pipesched_request_latency_micros",
+            "Per-request wall-clock latency, microseconds.",
+            "summary",
+        );
+        for (label, q) in [("0.5", 0.50), ("0.9", 0.90), ("0.99", 0.99)] {
+            w.sample_labeled(
+                "pipesched_request_latency_micros",
+                &[("quantile", label)],
+                self.latency.quantile_micros(q) as f64,
+            );
+        }
+        w.sample(
+            "pipesched_request_latency_micros_sum",
+            self.latency.sum_micros() as f64,
+        );
+        w.sample(
+            "pipesched_request_latency_micros_count",
+            self.latency.count() as f64,
+        );
     }
 }
 
@@ -180,11 +434,41 @@ mod tests {
     }
 
     #[test]
+    fn interpolated_quantiles_track_exact_quantiles() {
+        // Uniform 1..=1000 µs: exact p50 = 500, p90 = 900, p99 = 990.
+        // A log₂ histogram cannot be exact, but midpoint interpolation
+        // must land within a few percent; the old upper-edge answer gave
+        // p50 = 512..768-ish errors up to 2×.
+        let h = LatencyHistogram::default();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        for (q, exact) in [(0.50, 500.0), (0.90, 900.0), (0.99, 990.0)] {
+            let est = h.quantile_micros(q) as f64;
+            let err = (est - exact).abs() / exact;
+            assert!(err < 0.05, "q={q}: est {est} vs exact {exact} ({err:.3})");
+        }
+        // Monotone in q.
+        assert!(h.quantile_micros(0.5) <= h.quantile_micros(0.9));
+        assert!(h.quantile_micros(0.9) <= h.quantile_micros(0.99));
+    }
+
+    #[test]
+    fn single_observation_answers_its_own_bucket_midpoint() {
+        let h = LatencyHistogram::default();
+        h.record(300); // bucket [256, 512)
+        let p50 = h.quantile_micros(0.5);
+        assert!((256..512).contains(&p50), "p50 = {p50}");
+        // Midpoint, not upper edge.
+        assert_eq!(p50, 256 + 128);
+    }
+
+    #[test]
     fn metrics_json_has_every_counter() {
         let m = Metrics::new();
         m.record_request();
-        m.record_answer(Tier::Cache, true, false, 12);
-        m.record_answer(Tier::Bnb, false, true, 90_000);
+        m.record_answer(Tier::Cache, true, false, 12, 0);
+        m.record_answer(Tier::Bnb, false, true, 90_000, 417);
         let doc = m.to_json();
         assert_eq!(doc.get("requests").and_then(Json::as_i64), Some(1));
         assert_eq!(doc.get("cache_hits").and_then(Json::as_i64), Some(1));
@@ -192,11 +476,102 @@ mod tests {
         let tiers = doc.get("tier_answers").unwrap();
         assert_eq!(tiers.get("cache").and_then(Json::as_i64), Some(1));
         assert_eq!(tiers.get("bnb").and_then(Json::as_i64), Some(1));
+        let omega = doc.get("tier_omega").unwrap();
+        assert_eq!(omega.get("bnb").and_then(Json::as_i64), Some(417));
         assert_eq!(
             doc.get("latency_micros")
                 .and_then(|l| l.get("count"))
                 .and_then(Json::as_i64),
             Some(2)
         );
+        assert!(doc
+            .get("latency_micros")
+            .and_then(|l| l.get("p90"))
+            .and_then(Json::as_i64)
+            .is_some());
+        let search = doc.get("search").unwrap();
+        assert_eq!(
+            search.get("identity_holds").and_then(Json::as_bool),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn aggregate_identity_holds_over_eligible_searches() {
+        let agg = SearchAggregate::default();
+        // Three completed single searches obeying the per-run identity.
+        for (nodes, omega, pruned) in [(10, 12, 3), (1, 0, 0), (100, 120, 21)] {
+            let stats = SearchStats {
+                nodes_visited: nodes,
+                omega_calls: omega,
+                pruned_bound: pruned,
+                ..SearchStats::default()
+            };
+            agg.record(&stats, true);
+        }
+        // A truncated run and a windowed (multi-root) aggregate: counted
+        // raw, excluded from the identity.
+        agg.record(
+            &SearchStats {
+                nodes_visited: 7,
+                omega_calls: 99,
+                truncated: true,
+                ..SearchStats::default()
+            },
+            true,
+        );
+        agg.record(
+            &SearchStats {
+                nodes_visited: 55,
+                omega_calls: 60,
+                pruned_bound: 1,
+                ..SearchStats::default()
+            },
+            false,
+        );
+        assert!(agg.identity_holds());
+        assert_eq!(agg.searches.load(Ordering::Relaxed), 5);
+        assert_eq!(agg.eligible_searches.load(Ordering::Relaxed), 3);
+        assert_eq!(
+            agg.nodes_visited.load(Ordering::Relaxed),
+            10 + 1 + 100 + 7 + 55
+        );
+        // Violating the identity is detected.
+        agg.record(
+            &SearchStats {
+                nodes_visited: 5,
+                omega_calls: 5,
+                pruned_bound: 5,
+                ..SearchStats::default()
+            },
+            true,
+        );
+        assert!(!agg.identity_holds());
+    }
+
+    #[test]
+    fn prometheus_exposition_is_parseable_and_complete() {
+        let m = Metrics::new();
+        m.record_request();
+        m.record_answer(Tier::Bnb, false, false, 250, 31);
+        m.search.record(
+            &SearchStats {
+                nodes_visited: 32,
+                omega_calls: 40,
+                pruned_bound: 9,
+                ..SearchStats::default()
+            },
+            true,
+        );
+        let mut w = PromWriter::new();
+        m.write_prometheus(&mut w);
+        let text = w.finish();
+        pipesched_trace::prom::validate(&text).expect("exposition must parse");
+        assert!(text.contains("pipesched_requests_total 1"));
+        assert!(text.contains("pipesched_tier_answers_total{tier=\"bnb\"} 1"));
+        assert!(text.contains("pipesched_tier_omega_total{tier=\"bnb\"} 31"));
+        assert!(text.contains("pipesched_search_pruned_total{rule=\"bound\"} 9"));
+        assert!(text.contains("pipesched_search_identity_ok 1"));
+        assert!(text.contains("pipesched_request_latency_micros_count 1"));
     }
 }

@@ -127,8 +127,10 @@ pub fn preset_machine(name: &str) -> Result<Machine, String> {
     }
 }
 
-/// Render a success response line (without trailing newline).
-pub fn response_json(id: Option<i64>, answer: &Answer, micros: u64) -> Json {
+/// Render a success response line (without trailing newline). `trace_id`
+/// is attached when the server recorded a trace for this request, so the
+/// client can fetch the span dump via `GET /trace/<id>`.
+pub fn response_json(id: Option<i64>, answer: &Answer, micros: u64, trace_id: Option<u64>) -> Json {
     let order: Vec<Json> = answer
         .order
         .iter()
@@ -167,6 +169,11 @@ pub fn response_json(id: Option<i64>, answer: &Answer, micros: u64) -> Json {
                 "proof_digest".to_string(),
                 Json::Str(format!("{digest:016x}")),
             ));
+        }
+    }
+    if let Some(trace) = trace_id {
+        if let Json::Object(pairs) = &mut doc {
+            pairs.push(("trace_id".to_string(), Json::Int(trace as i64)));
         }
     }
     doc

@@ -5,9 +5,17 @@
 //! writes one response line per request **in input order** (workers finish
 //! out of order; a reorder buffer holds completed lines until their turn).
 //!
-//! [`serve_tcp`] accepts NDJSON connections on a TCP listener and runs
-//! `serve_stream` per connection, so `nc host port < requests.ndjson`
-//! works as a remote batch interface.
+//! [`serve_tcp`] accepts connections on a TCP listener and sniffs the
+//! first line: `GET ...` connections are answered as one-shot HTTP
+//! (`/metrics` Prometheus text, `/stats` JSON, `/trace/<id>` NDJSON span
+//! dumps), anything else runs `serve_stream` over the connection, so
+//! `nc host port < requests.ndjson` works as a remote batch interface and
+//! `curl` can scrape the same port. A connection that closes without
+//! sending a byte is treated as a liveness probe and not counted.
+//!
+//! When tracing is enabled ([`pipesched_trace::set_enabled`]), every
+//! request records a span tree through parse → cache → tier escalation
+//! and the response carries its `trace_id`.
 //!
 //! The vendored `crossbeam` shim has no channels and the `parking_lot`
 //! shim no `Condvar`, so the job queue is a plain `std::sync` mutex +
@@ -15,7 +23,7 @@
 //! scheduling work, not nanoseconds of queue traffic.
 
 use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Cursor, Read, Write};
 use std::net::TcpListener;
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
@@ -153,15 +161,35 @@ pub fn serve_stream<R: BufRead, W: Write + Send>(
     }
 }
 
-/// Answer one request line, returning the rendered response line.
-fn handle_line(engine: &ServiceEngine, line: &str) -> String {
+/// Answer one request line, returning the rendered response line. When
+/// tracing is on, the whole request records one trace (published to the
+/// in-process store, fetchable via `GET /trace/<id>`) and the response
+/// carries its id.
+pub(crate) fn handle_line(engine: &ServiceEngine, line: &str) -> String {
     engine.metrics().record_request();
+    let trace_id = if pipesched_trace::enabled() {
+        let id = pipesched_trace::begin("request");
+        (id != 0).then_some(id)
+    } else {
+        None
+    };
     let start = Instant::now();
-    match parse_request(line) {
+    let parsed = {
+        let _s = pipesched_trace::span("parse");
+        parse_request(line)
+    };
+    let rendered = match parsed {
         Ok(req) => {
             let budget = req.budget(engine.config().default_nodes, start);
             let answer = engine.answer(&req.block, &req.machine, budget);
-            response_json(req.id, &answer, start.elapsed().as_micros() as u64).to_compact()
+            let _s = pipesched_trace::span("respond");
+            response_json(
+                req.id,
+                &answer,
+                start.elapsed().as_micros() as u64,
+                trace_id,
+            )
+            .to_compact()
         }
         Err(message) => {
             engine.metrics().record_error();
@@ -171,13 +199,19 @@ fn handle_line(engine: &ServiceEngine, line: &str) -> String {
                 .and_then(|d| d.get("id").and_then(pipesched_json::Json::as_i64));
             error_json(id, &message).to_compact()
         }
+    };
+    if trace_id.is_some() {
+        pipesched_trace::end();
     }
+    rendered
 }
 
-/// Accept NDJSON connections on `listener`; each connection is served by
-/// its own `serve_stream` over the shared engine. Stops after
-/// `max_conns` connections when given (used by tests), otherwise loops
-/// until the listener errors.
+/// Accept connections on `listener`; the first line decides the protocol.
+/// `GET` lines get one-shot HTTP (`/metrics`, `/stats`, `/trace/<id>`),
+/// everything else is an NDJSON stream served by `serve_stream` over the
+/// shared engine. Stops after `max_conns` counted connections when given
+/// (used by tests), otherwise loops until the listener errors. Empty
+/// connections (port probes) are served as a no-op and **not** counted.
 pub fn serve_tcp(
     engine: &ServiceEngine,
     listener: TcpListener,
@@ -187,16 +221,82 @@ pub fn serve_tcp(
     let mut served = 0u64;
     for conn in listener.incoming() {
         let stream = conn?;
-        let reader = BufReader::new(stream.try_clone()?);
-        // Connections are handled sequentially; within one connection the
-        // worker pool still answers requests concurrently.
-        serve_stream(engine, reader, stream, config)?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut first = String::new();
+        if reader.read_line(&mut first)? == 0 {
+            // Liveness probe: the peer connected and closed without
+            // sending anything. Not a served connection.
+            continue;
+        }
+        if first.starts_with("GET ") {
+            handle_http(engine, &mut reader, stream, &first)?;
+        } else {
+            // Connections are handled sequentially; within one connection
+            // the worker pool still answers requests concurrently. The
+            // sniffed first line is replayed ahead of the rest.
+            let input = Cursor::new(first.into_bytes()).chain(reader);
+            serve_stream(engine, input, stream, config)?;
+        }
         served += 1;
         if max_conns.is_some_and(|m| served >= m) {
             break;
         }
     }
     Ok(served)
+}
+
+/// Answer one HTTP GET on a sniffed connection and close it.
+fn handle_http<R: BufRead, W: Write>(
+    engine: &ServiceEngine,
+    reader: &mut R,
+    mut out: W,
+    request_line: &str,
+) -> std::io::Result<()> {
+    // Drain the request headers; a GET carries no body worth reading.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let path = request_line.split_whitespace().nth(1).unwrap_or("/");
+    let (status, content_type, body) = route_http(engine, path);
+    write!(
+        out,
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    out.write_all(body.as_bytes())?;
+    out.flush()
+}
+
+/// The observability routes exposed on the serving port.
+fn route_http(engine: &ServiceEngine, path: &str) -> (&'static str, &'static str, String) {
+    match path {
+        "/metrics" => ("200 OK", "text/plain; version=0.0.4", engine.prometheus()),
+        "/stats" => (
+            "200 OK",
+            "application/json",
+            engine.stats_json().to_pretty() + "\n",
+        ),
+        _ => match path
+            .strip_prefix("/trace/")
+            .and_then(|id| id.parse::<u64>().ok())
+            .and_then(pipesched_trace::store::get)
+        {
+            Some(trace) => (
+                "200 OK",
+                "application/x-ndjson",
+                pipesched_trace::render::to_ndjson(&trace),
+            ),
+            None => (
+                "404 Not Found",
+                "text/plain",
+                "unknown path; try /metrics, /stats, or /trace/<id>\n".to_string(),
+            ),
+        },
+    }
 }
 
 #[cfg(test)]
@@ -266,6 +366,106 @@ mod tests {
                 .load(std::sync::atomic::Ordering::Relaxed),
             2
         );
+    }
+
+    fn http_get(addr: std::net::SocketAddr, path: &str) -> String {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        text
+    }
+
+    #[test]
+    fn http_endpoints_share_the_serving_port() {
+        let eng = engine();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::scope(|scope| {
+            let eng = &eng;
+            let server = scope.spawn(move || {
+                serve_tcp(eng, listener, &ServeConfig { workers: 2 }, Some(3)).unwrap()
+            });
+            // A probe (connect + close, no bytes) must not count.
+            drop(std::net::TcpStream::connect(addr).unwrap());
+            // Counted connection 1: one NDJSON request.
+            {
+                let mut stream = std::net::TcpStream::connect(addr).unwrap();
+                stream.write_all(REQ.as_bytes()).unwrap();
+                stream.write_all(b"\n").unwrap();
+                stream.shutdown(std::net::Shutdown::Write).unwrap();
+                let mut reply = String::new();
+                BufReader::new(stream).read_line(&mut reply).unwrap();
+                let doc = pipesched_json::parse(&reply).unwrap();
+                assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+            }
+            // Counted connections 2 and 3: HTTP scrapes of the same port.
+            let metrics = http_get(addr, "/metrics");
+            let stats = http_get(addr, "/stats");
+            assert_eq!(server.join().unwrap(), 3);
+
+            assert!(metrics.starts_with("HTTP/1.0 200 OK\r\n"), "{metrics}");
+            let body = metrics.split("\r\n\r\n").nth(1).unwrap();
+            pipesched_trace::prom::validate(body).expect("exposition must parse");
+            assert!(body.contains("pipesched_requests_total 1"), "{body}");
+            assert!(body.contains("pipesched_cache_entries 1"), "{body}");
+
+            let body = stats.split("\r\n\r\n").nth(1).unwrap();
+            let doc = pipesched_json::parse(body).unwrap();
+            assert_eq!(
+                doc.get("metrics")
+                    .and_then(|m| m.get("requests"))
+                    .and_then(Json::as_i64),
+                Some(1)
+            );
+            assert_eq!(
+                doc.get("cache")
+                    .and_then(|c| c.get("entries"))
+                    .and_then(Json::as_i64),
+                Some(1)
+            );
+        });
+    }
+
+    #[test]
+    fn unknown_http_path_is_a_404_not_a_crash() {
+        let eng = engine();
+        let (status, _, body) = route_http(&eng, "/nope");
+        assert_eq!(status, "404 Not Found");
+        assert!(body.contains("/metrics"));
+        let (status, _, _) = route_http(&eng, "/trace/notanumber");
+        assert_eq!(status, "404 Not Found");
+        let (status, _, _) = route_http(&eng, "/trace/999999999");
+        assert_eq!(status, "404 Not Found");
+    }
+
+    #[test]
+    fn traced_requests_expose_span_dumps() {
+        let eng = engine();
+        pipesched_trace::set_enabled(true);
+        let rendered = handle_line(&eng, REQ);
+        pipesched_trace::set_enabled(false);
+        let doc = pipesched_json::parse(&rendered).unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+        let trace_id = doc
+            .get("trace_id")
+            .and_then(Json::as_i64)
+            .expect("traced response carries its trace id") as u64;
+        let trace = pipesched_trace::store::get(trace_id).expect("trace was published");
+        for name in ["parse", "dag_build", "canonicalize", "cache_lookup"] {
+            assert!(
+                trace.events.iter().any(|e| e.name == name),
+                "span `{name}` missing from the request trace"
+            );
+        }
+        // The span dump is served over HTTP.
+        let (status, ct, body) = route_http(&eng, &format!("/trace/{trace_id}"));
+        assert_eq!(status, "200 OK");
+        assert_eq!(ct, "application/x-ndjson");
+        assert!(body.lines().count() > 4, "{body}");
+        for line in body.lines() {
+            pipesched_json::parse(line).expect("every dump line is JSON");
+        }
     }
 
     #[test]

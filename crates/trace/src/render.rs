@@ -1,0 +1,324 @@
+//! Trace rendering: span trees, NDJSON dumps, and folded flamegraph stacks.
+
+use pipesched_json::{json_object, Json};
+
+use crate::{EventKind, Trace, NO_PARENT};
+
+/// One reconstructed span: its timing, nested children, and point events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Span name.
+    pub name: &'static str,
+    /// Span id within the trace.
+    pub span: u32,
+    /// Argument recorded at enter (0 when none was given).
+    pub arg: i64,
+    /// Enter timestamp, ns since the trace epoch.
+    pub start_ns: u64,
+    /// Exit timestamp, ns since the trace epoch.
+    pub end_ns: u64,
+    /// Nested child spans in open order.
+    pub children: Vec<Node>,
+    /// Points recorded directly on this span: (name, arg, value).
+    pub points: Vec<(&'static str, i64, i64)>,
+}
+
+impl Node {
+    /// Inclusive wall time of the span, nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Inclusive time minus the inclusive time of the direct children —
+    /// the span's own share, the quantity folded stacks attribute to it.
+    pub fn self_ns(&self) -> u64 {
+        let children: u64 = self.children.iter().map(Node::duration_ns).sum();
+        self.duration_ns().saturating_sub(children)
+    }
+}
+
+/// Rebuild the span forest of a trace by replaying its event list. The
+/// recorder guarantees matched enter/exit, so the replay stack empties by
+/// the final event; stray events from force-exits are tolerated anyway.
+pub fn tree(trace: &Trace) -> Vec<Node> {
+    let mut roots: Vec<Node> = Vec::new();
+    let mut stack: Vec<Node> = Vec::new();
+    for ev in &trace.events {
+        match ev.kind {
+            EventKind::Enter => stack.push(Node {
+                name: ev.name,
+                span: ev.span,
+                arg: ev.arg,
+                start_ns: ev.t_ns,
+                end_ns: ev.t_ns,
+                children: Vec::new(),
+                points: Vec::new(),
+            }),
+            EventKind::Exit => {
+                let Some(pos) = stack.iter().rposition(|n| n.span == ev.span) else {
+                    continue;
+                };
+                while stack.len() > pos {
+                    let mut done = stack.pop().expect("pos < len");
+                    done.end_ns = ev.t_ns;
+                    attach(&mut stack, &mut roots, done);
+                }
+            }
+            EventKind::Point => {
+                if let Some(n) = stack.iter_mut().rev().find(|n| n.span == ev.span) {
+                    n.points.push((ev.name, ev.arg, ev.value));
+                }
+            }
+        }
+    }
+    while let Some(done) = stack.pop() {
+        attach(&mut stack, &mut roots, done);
+    }
+    roots
+}
+
+fn attach(stack: &mut [Node], roots: &mut Vec<Node>, node: Node) {
+    match stack.last_mut() {
+        Some(parent) => parent.children.push(node),
+        None => roots.push(node),
+    }
+}
+
+/// Render a trace as an indented span tree with µs timings, the default
+/// output of `pipesched trace`.
+pub fn render_text(trace: &Trace) -> String {
+    let mut out = format!(
+        "trace {} \"{}\": {} events, {} dropped\n",
+        trace.id,
+        trace.label,
+        trace.events.len(),
+        trace.dropped
+    );
+    for root in tree(trace) {
+        render_node(&root, 0, &mut out);
+    }
+    out
+}
+
+fn render_node(node: &Node, depth: usize, out: &mut String) {
+    let label = if node.arg != 0 {
+        format!("{}({})", node.name, node.arg)
+    } else {
+        node.name.to_string()
+    };
+    out.push_str(&format!(
+        "{:indent$}{label:<width$} {:>10.1} µs\n",
+        "",
+        node.duration_ns() as f64 / 1e3,
+        indent = depth * 2,
+        width = 32usize.saturating_sub(depth * 2),
+    ));
+    for &(name, arg, value) in &node.points {
+        out.push_str(&format!(
+            "{:indent$}· {name}[{arg}] = {value}\n",
+            "",
+            indent = depth * 2 + 2,
+        ));
+    }
+    for child in &node.children {
+        render_node(child, depth + 1, out);
+    }
+}
+
+/// Serialize a trace as NDJSON: one header line (`trace`, `label`,
+/// `events`, `dropped`) followed by one line per event. This is the
+/// payload of `GET /trace/<id>` and `pipesched trace --ndjson`.
+pub fn to_ndjson(trace: &Trace) -> String {
+    let mut out = json_object![
+        ("trace", trace.id as i64),
+        ("label", trace.label.as_str()),
+        ("events", trace.events.len() as i64),
+        ("dropped", trace.dropped as i64),
+    ]
+    .to_compact();
+    out.push('\n');
+    for ev in &trace.events {
+        let kind = match ev.kind {
+            EventKind::Enter => "enter",
+            EventKind::Exit => "exit",
+            EventKind::Point => "point",
+        };
+        let mut doc = json_object![("k", kind), ("name", ev.name), ("t_ns", ev.t_ns as i64)];
+        if let Json::Object(pairs) = &mut doc {
+            match ev.kind {
+                EventKind::Enter | EventKind::Exit => {
+                    pairs.push(("span".into(), Json::Int(i64::from(ev.span))));
+                    if ev.parent != NO_PARENT {
+                        pairs.push(("parent".into(), Json::Int(i64::from(ev.parent))));
+                    }
+                    if ev.kind == EventKind::Enter && ev.arg != 0 {
+                        pairs.push(("arg".into(), Json::Int(ev.arg)));
+                    }
+                }
+                EventKind::Point => {
+                    if ev.span != NO_PARENT {
+                        pairs.push(("span".into(), Json::Int(i64::from(ev.span))));
+                    }
+                    pairs.push(("arg".into(), Json::Int(ev.arg)));
+                    pairs.push(("value".into(), Json::Int(ev.value)));
+                }
+            }
+        }
+        out.push_str(&doc.to_compact());
+        out.push('\n');
+    }
+    out
+}
+
+/// Collapse a trace into folded flamegraph stacks: semicolon-joined span
+/// paths mapped to *self* time in microseconds, mergeable by standard
+/// flamegraph tooling. Paths appear in first-visit order.
+pub fn folded(trace: &Trace) -> Vec<(String, u64)> {
+    fn walk(node: &Node, prefix: &str, out: &mut Vec<(String, u64)>) {
+        let path = if prefix.is_empty() {
+            node.name.to_string()
+        } else {
+            format!("{prefix};{}", node.name)
+        };
+        let self_us = node.self_ns() / 1_000;
+        match out.iter_mut().find(|(p, _)| *p == path) {
+            Some(entry) => entry.1 += self_us,
+            None => out.push((path.clone(), self_us)),
+        }
+        for child in &node.children {
+            walk(child, &path, out);
+        }
+    }
+    let mut out = Vec::new();
+    for root in tree(trace) {
+        walk(&root, "", &mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Event, EventKind};
+
+    /// Hand-built trace: root(0..1000) { a(100..400) { b(200..300) },
+    /// a(500..900) } with a point on the first `a`.
+    fn sample() -> Trace {
+        let ev = |kind, name, span, parent, t_ns, arg, value| Event {
+            kind,
+            name,
+            span,
+            parent,
+            t_ns,
+            arg,
+            value,
+        };
+        Trace {
+            id: 7,
+            label: "sample".into(),
+            events: vec![
+                ev(EventKind::Enter, "root", 0, NO_PARENT, 0, 0, 0),
+                ev(EventKind::Enter, "a", 1, 0, 100, 3, 0),
+                ev(EventKind::Point, "n", 1, NO_PARENT, 150, 2, 17),
+                ev(EventKind::Enter, "b", 2, 1, 200, 0, 0),
+                ev(EventKind::Exit, "b", 2, 1, 300, 0, 0),
+                ev(EventKind::Exit, "a", 1, 0, 400, 0, 0),
+                ev(EventKind::Enter, "a", 3, 0, 500, 0, 0),
+                ev(EventKind::Exit, "a", 3, 0, 900, 0, 0),
+                ev(EventKind::Exit, "root", 0, NO_PARENT, 1000, 0, 0),
+            ],
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn tree_rebuilds_nesting_and_points() {
+        let roots = tree(&sample());
+        assert_eq!(roots.len(), 1);
+        let root = &roots[0];
+        assert_eq!(root.name, "root");
+        assert_eq!(root.duration_ns(), 1000);
+        assert_eq!(root.children.len(), 2);
+        let a = &root.children[0];
+        assert_eq!((a.name, a.arg, a.duration_ns()), ("a", 3, 300));
+        assert_eq!(a.points, vec![("n", 2, 17)]);
+        assert_eq!(a.children[0].name, "b");
+        // root self = 1000 - (300 + 400); a self = 300 - 100
+        assert_eq!(root.self_ns(), 300);
+        assert_eq!(a.self_ns(), 200);
+    }
+
+    #[test]
+    fn folded_merges_equal_paths_on_self_time() {
+        // Times are ns; folded reports µs, so scale the sample up.
+        let mut t = sample();
+        for ev in &mut t.events {
+            ev.t_ns *= 1000;
+        }
+        let stacks = folded(&t);
+        assert_eq!(
+            stacks,
+            vec![
+                ("root".to_string(), 300),
+                ("root;a".to_string(), 200 + 400), // both `a` spans merge
+                ("root;a;b".to_string(), 100),
+            ]
+        );
+    }
+
+    #[test]
+    fn text_render_shows_spans_and_points() {
+        let text = render_text(&sample());
+        assert!(text.starts_with("trace 7 \"sample\": 9 events, 0 dropped"));
+        assert!(text.contains("root"));
+        assert!(text.contains("a(3)"));
+        assert!(text.contains("· n[2] = 17"));
+    }
+
+    #[test]
+    fn ndjson_round_trips_through_the_json_parser() {
+        let dump = to_ndjson(&sample());
+        let mut lines = dump.lines();
+        let header = pipesched_json::parse(lines.next().unwrap()).unwrap();
+        assert_eq!(header.get("trace").and_then(Json::as_i64), Some(7));
+        assert_eq!(header.get("events").and_then(Json::as_i64), Some(9));
+        let mut points = 0;
+        for line in lines {
+            let doc = pipesched_json::parse(line).unwrap();
+            let kind = doc.get("k").and_then(Json::as_str).unwrap();
+            assert!(["enter", "exit", "point"].contains(&kind));
+            if kind == "point" {
+                points += 1;
+                assert_eq!(doc.get("value").and_then(Json::as_i64), Some(17));
+            }
+        }
+        assert_eq!(points, 1);
+    }
+
+    #[test]
+    fn unmatched_events_from_force_exits_do_not_derail_the_tree() {
+        let mut t = sample();
+        // An exit for a span never entered, then a trailing unclosed span.
+        t.events.push(Event {
+            kind: EventKind::Exit,
+            name: "ghost",
+            span: 99,
+            parent: NO_PARENT,
+            t_ns: 1100,
+            arg: 0,
+            value: 0,
+        });
+        t.events.push(Event {
+            kind: EventKind::Enter,
+            name: "open",
+            span: 100,
+            parent: NO_PARENT,
+            t_ns: 1200,
+            arg: 0,
+            value: 0,
+        });
+        let roots = tree(&t);
+        assert_eq!(roots.len(), 2);
+        assert_eq!(roots[1].name, "open");
+    }
+}

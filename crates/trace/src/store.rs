@@ -1,0 +1,74 @@
+//! Process-wide ring of recently completed traces.
+//!
+//! [`crate::end`] publishes each finished trace here; `GET /trace/<id>`
+//! and `pipesched trace` read them back. The ring keeps the most recent
+//! [`CAPACITY`] traces — old entries fall off the front, matching the
+//! service's "recent requests are the interesting ones" access pattern.
+
+use std::collections::VecDeque;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use crate::Trace;
+
+/// Completed traces retained for lookup.
+pub const CAPACITY: usize = 128;
+
+static STORE: Mutex<VecDeque<Trace>> = Mutex::new(VecDeque::new());
+
+fn store() -> MutexGuard<'static, VecDeque<Trace>> {
+    STORE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Add a completed trace, evicting the oldest past [`CAPACITY`].
+pub fn put(trace: Trace) {
+    let mut s = store();
+    if s.len() >= CAPACITY {
+        s.pop_front();
+    }
+    s.push_back(trace);
+}
+
+/// Look up a retained trace by id.
+pub fn get(id: u64) -> Option<Trace> {
+    store().iter().find(|t| t.id == id).cloned()
+}
+
+/// Ids of retained traces, oldest first.
+pub fn recent_ids() -> Vec<u64> {
+    store().iter().map(|t| t.id).collect()
+}
+
+/// Drop every retained trace (tests and long-lived servers).
+pub fn clear() {
+    store().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake(id: u64) -> Trace {
+        Trace {
+            id,
+            label: "t".into(),
+            events: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_traces() {
+        let _l = crate::test_lock();
+        clear();
+        for id in 1..=(CAPACITY as u64 + 5) {
+            put(fake(id));
+        }
+        let ids = recent_ids();
+        assert_eq!(ids.len(), CAPACITY);
+        assert_eq!(ids[0], 6); // 1..=5 evicted
+        assert!(get(3).is_none());
+        assert_eq!(get(6).map(|t| t.id), Some(6));
+        clear();
+        assert!(recent_ids().is_empty());
+    }
+}

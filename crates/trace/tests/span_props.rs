@@ -1,0 +1,149 @@
+//! Property tests: every trace the recorder emits is well-formed — matched
+//! LIFO enter/exit pairs, nondecreasing timestamps, and acyclic parent
+//! links — even when several worker threads record concurrently and guards
+//! leak past `end()`.
+
+use proptest::prelude::*;
+
+use pipesched_trace::{
+    begin, end, point2, set_enabled, span_with, EventKind, SpanGuard, Trace, NO_PARENT,
+};
+
+/// One scripted recorder action.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Open a span named from a static pool.
+    Push(u8),
+    /// Drop the innermost still-held guard.
+    Pop,
+    /// Record a point value.
+    Point(i64),
+}
+
+const NAMES: [&str; 4] = ["alpha", "beta", "gamma", "delta"];
+
+fn decode(raw: u8) -> Op {
+    match raw % 8 {
+        0..=3 => Op::Push(raw % 4),
+        4 | 5 => Op::Pop,
+        _ => Op::Point(i64::from(raw)),
+    }
+}
+
+/// Run one script on the current thread inside its own trace; `leak`
+/// leaves any still-open guards for `end()` to force-exit.
+fn record(script: &[u8], leak: bool) -> Trace {
+    begin("prop");
+    let mut guards: Vec<SpanGuard> = Vec::new();
+    for &raw in script {
+        match decode(raw) {
+            Op::Push(name) => guards.push(span_with(NAMES[name as usize], i64::from(name))),
+            Op::Pop => {
+                guards.pop();
+            }
+            Op::Point(v) => point2("p", 0, v),
+        }
+    }
+    if !leak {
+        guards.clear();
+    }
+    // With `leak`, the guards are still alive here: `end()` must force-exit
+    // their spans, and the late guard drops must then be no-ops.
+    let trace = end().expect("trace was open");
+    drop(guards);
+    trace
+}
+
+/// Replay a trace and check the three well-formedness invariants.
+fn check_well_formed(trace: &Trace) -> Result<(), String> {
+    let mut stack: Vec<u32> = Vec::new();
+    let mut last_t = 0u64;
+    let mut enters = 0usize;
+    let mut exits = 0usize;
+    for (i, ev) in trace.events.iter().enumerate() {
+        if ev.t_ns < last_t {
+            return Err(format!("event {i}: timestamp went backwards"));
+        }
+        last_t = ev.t_ns;
+        match ev.kind {
+            EventKind::Enter => {
+                enters += 1;
+                // Acyclic parent links: the parent is exactly the innermost
+                // open span (or NO_PARENT at the root), so following parent
+                // links walks down the open stack and terminates.
+                let expect = stack.last().copied().unwrap_or(NO_PARENT);
+                if ev.parent != expect {
+                    return Err(format!(
+                        "event {i}: span {} claims parent {} but {} is open",
+                        ev.span, ev.parent, expect
+                    ));
+                }
+                if stack.contains(&ev.span) {
+                    return Err(format!("event {i}: span {} re-entered", ev.span));
+                }
+                stack.push(ev.span);
+            }
+            EventKind::Exit => {
+                exits += 1;
+                match stack.pop() {
+                    Some(open) if open == ev.span => {}
+                    Some(open) => {
+                        return Err(format!(
+                            "event {i}: exit {} out of LIFO order (span {open} open)",
+                            ev.span
+                        ))
+                    }
+                    None => return Err(format!("event {i}: exit {} with no span open", ev.span)),
+                }
+            }
+            EventKind::Point => {
+                let expect = stack.last().copied().unwrap_or(NO_PARENT);
+                if ev.span != expect {
+                    return Err(format!("event {i}: point attached to a closed span"));
+                }
+            }
+        }
+    }
+    if enters != exits {
+        return Err(format!("{enters} enters vs {exits} exits"));
+    }
+    if !stack.is_empty() {
+        return Err(format!("{} spans never exited", stack.len()));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    fn concurrent_traces_are_well_formed(
+        scripts in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..48),
+            4,
+        ),
+        leak in any::<bool>(),
+    ) {
+        set_enabled(true);
+        let traces: Vec<Trace> = std::thread::scope(|scope| {
+            let handles: Vec<_> = scripts
+                .iter()
+                .map(|script| scope.spawn(move || record(script, leak)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("recorder thread panicked"))
+                .collect()
+        });
+        set_enabled(false);
+        // Concurrent threads must have received distinct trace ids.
+        let mut ids: Vec<u64> = traces.iter().map(|t| t.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), traces.len(), "trace ids collided");
+        for trace in &traces {
+            if let Err(msg) = check_well_formed(trace) {
+                prop_assert!(false, "trace {} malformed: {}", trace.id, msg);
+            }
+        }
+    }
+}

@@ -21,7 +21,7 @@
 //!              schedule's pressure)
 //! ```
 
-use std::io::Read;
+use std::io::{Read, Write};
 use std::process::ExitCode;
 
 use pipesched::analyze;
@@ -60,8 +60,14 @@ fn usage() -> ! {
          \x20                [--no-optimize] [--proof FILE.ndjson]\n\
          \x20      pipesched serve [--workers N] [--nodes N] [--cache N] [--shards N]\n\
          \x20                [--tcp ADDR[:PORT]] [--conns N] [--cache-file FILE] [--metrics]\n\
+         \x20                [--trace]\n\
          \x20      pipesched batch <requests.ndjson> [--workers N] [--nodes N] [--cache N]\n\
-         \x20                [--check] [--prove] [--require-hits] [--json] [--quiet]"
+         \x20                [--check] [--prove] [--require-hits] [--json] [--quiet]\n\
+         \x20                [--tcp ADDR[:PORT]]\n\
+         \x20      pipesched stats [<requests.ndjson> | --tcp ADDR[:PORT]] [--json | --prom]\n\
+         \x20                [--workers N] [--nodes N]\n\
+         \x20      pipesched trace <input> [--machine NAME|FILE] [--lambda N] [--no-optimize]\n\
+         \x20                [--flame | --ndjson]"
     );
     std::process::exit(2)
 }
@@ -172,6 +178,8 @@ fn main() -> ExitCode {
         Some("prove") => run_prove(),
         Some("serve") => run_serve(),
         Some("batch") => run_batch_cmd(),
+        Some("stats") => run_stats(),
+        Some("trace") => run_trace(),
         _ => run().map(|()| ExitCode::SUCCESS),
     };
     match dispatch {
@@ -724,6 +732,7 @@ fn run_serve() -> Result<ExitCode, String> {
     let mut conns: Option<u64> = None;
     let mut cache_file: Option<String> = None;
     let mut dump_metrics = false;
+    let mut trace = false;
 
     let mut args = std::env::args().skip(2);
     while let Some(a) = args.next() {
@@ -737,9 +746,15 @@ fn run_serve() -> Result<ExitCode, String> {
             "--conns" => conns = Some(value()?.parse().map_err(|e| format!("--conns: {e}"))?),
             "--cache-file" => cache_file = Some(value()?),
             "--metrics" => dump_metrics = true,
+            "--trace" => trace = true,
             "--help" | "-h" => usage(),
             other => return Err(format!("unknown argument `{other}`")),
         }
+    }
+    if trace {
+        // Every request records a span tree; responses carry `trace_id`
+        // and `GET /trace/<id>` on the TCP port serves the dump.
+        pipesched::trace::set_enabled(true);
     }
 
     let engine = pipesched::service::ServiceEngine::new(
@@ -799,6 +814,7 @@ fn run_batch_cmd() -> Result<ExitCode, String> {
     let mut require_hits = false;
     let mut json = false;
     let mut quiet = false;
+    let mut tcp: Option<String> = None;
 
     let mut args = std::env::args().skip(2);
     while let Some(a) = args.next() {
@@ -812,6 +828,7 @@ fn run_batch_cmd() -> Result<ExitCode, String> {
             "--require-hits" => require_hits = true,
             "--json" => json = true,
             "--quiet" => quiet = true,
+            "--tcp" => tcp = Some(value()?),
             "--help" | "-h" => usage(),
             "-" if input.is_none() => input = Some("-".into()),
             other if input.is_none() && !other.starts_with('-') => input = Some(other.to_string()),
@@ -832,23 +849,32 @@ fn run_batch_cmd() -> Result<ExitCode, String> {
         std::fs::read_to_string(&input).map_err(|e| format!("read {input}: {e}"))?
     };
 
-    let engine = pipesched::service::ServiceEngine::new(
-        pipesched::service::EngineConfig {
-            default_nodes: nodes,
+    let summary = if let Some(addr) = &tcp {
+        // Client mode: replay the file against a running `pipesched serve
+        // --tcp` and summarize the responses here. Certification (and even
+        // proof replay) work client-side — both only need the request and
+        // response text — but the search-effort fields stay zero: that
+        // work happened in the server process (scrape its /metrics).
+        replay_tcp(addr, &text, check, prove)?
+    } else {
+        let engine = pipesched::service::ServiceEngine::new(
+            pipesched::service::EngineConfig {
+                default_nodes: nodes,
+                prove,
+                ..Default::default()
+            },
+            cache_capacity,
+            8,
+        );
+        pipesched::service::run_batch(
+            &engine,
+            &text,
+            &pipesched::service::ServeConfig { workers },
+            check,
             prove,
-            ..Default::default()
-        },
-        cache_capacity,
-        8,
-    );
-    let summary = pipesched::service::run_batch(
-        &engine,
-        &text,
-        &pipesched::service::ServeConfig { workers },
-        check,
-        prove,
-    )
-    .map_err(|e| e.to_string())?;
+        )
+        .map_err(|e| e.to_string())?
+    };
 
     if !quiet {
         for line in &summary.responses {
@@ -905,4 +931,317 @@ fn run_batch_cmd() -> Result<ExitCode, String> {
     } else {
         ExitCode::SUCCESS
     })
+}
+
+/// Stream a request file to a running `pipesched serve --tcp` server and
+/// summarize the responses client-side. A writer thread feeds the socket
+/// while the main thread drains responses, so large files cannot deadlock
+/// on filled kernel buffers.
+fn replay_tcp(
+    addr: &str,
+    text: &str,
+    check: bool,
+    prove: bool,
+) -> Result<pipesched::service::BatchSummary, String> {
+    let start = std::time::Instant::now();
+    let stream = std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut writer = stream.try_clone().map_err(|e| e.to_string())?;
+    let responses_text = std::thread::scope(|scope| -> Result<String, String> {
+        let feeder = scope.spawn(move || -> std::io::Result<()> {
+            writer.write_all(text.as_bytes())?;
+            writer.flush()?;
+            writer.shutdown(std::net::Shutdown::Write)
+        });
+        let mut buf = String::new();
+        std::io::BufReader::new(stream)
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("read {addr}: {e}"))?;
+        feeder
+            .join()
+            .expect("request feeder panicked")
+            .map_err(|e| format!("write {addr}: {e}"))?;
+        Ok(buf)
+    })?;
+    let wall_micros = start.elapsed().as_micros() as u64;
+    let responses: Vec<String> = responses_text.lines().map(str::to_string).collect();
+    // The per-response flag is the only hit signal available remotely.
+    let cache_hits = responses
+        .iter()
+        .filter(|line| {
+            pipesched::json::parse(line)
+                .ok()
+                .and_then(|d| d.get("cache_hit").and_then(pipesched::json::Json::as_bool))
+                == Some(true)
+        })
+        .count() as u64;
+    Ok(pipesched::service::summarize_responses(
+        text,
+        responses,
+        wall_micros,
+        cache_hits,
+        check,
+        prove,
+    ))
+}
+
+/// One HTTP/1.0 GET against a serving port; returns the response body or
+/// an error for any non-200 status.
+fn http_get_body(addr: &str, path: &str) -> Result<String, String> {
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: pipesched\r\n\r\n")
+        .map_err(|e| format!("write {addr}: {e}"))?;
+    let mut text = String::new();
+    std::io::BufReader::new(stream)
+        .read_to_string(&mut text)
+        .map_err(|e| format!("read {addr}: {e}"))?;
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("{addr}: malformed HTTP response"))?;
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains(" 200 ") {
+        return Err(format!("{addr}: server answered `{status}` for {path}"));
+    }
+    Ok(body.to_string())
+}
+
+/// Indented `key: value` rendering of a stats JSON document.
+fn render_stats_human(doc: &pipesched::json::Json, indent: usize, out: &mut String) {
+    if let pipesched::json::Json::Object(pairs) = doc {
+        for (key, value) in pairs {
+            match value {
+                pipesched::json::Json::Object(_) => {
+                    out.push_str(&format!("{}{key}:\n", " ".repeat(indent)));
+                    render_stats_human(value, indent + 2, out);
+                }
+                scalar => {
+                    out.push_str(&format!(
+                        "{}{key}: {}\n",
+                        " ".repeat(indent),
+                        scalar.to_compact()
+                    ));
+                }
+            }
+        }
+    } else {
+        out.push_str(&doc.to_compact());
+        out.push('\n');
+    }
+}
+
+/// `pipesched stats`: engine metrics, cache shards, and prune-rule totals —
+/// either by replaying a request file locally or by scraping a running
+/// server's `/stats` (or `/metrics` with `--prom`) endpoint.
+fn run_stats() -> Result<ExitCode, String> {
+    let mut input: Option<String> = None;
+    let mut tcp: Option<String> = None;
+    let mut json = false;
+    let mut prom = false;
+    let mut workers = 4usize;
+    let mut nodes = pipesched::service::EngineConfig::default().default_nodes;
+
+    let mut args = std::env::args().skip(2);
+    while let Some(a) = args.next() {
+        let mut value = || args.next().ok_or_else(|| format!("{a} requires a value"));
+        match a.as_str() {
+            "--tcp" => tcp = Some(value()?),
+            "--json" => json = true,
+            "--prom" => prom = true,
+            "--workers" => workers = value()?.parse().map_err(|e| format!("--workers: {e}"))?,
+            "--nodes" => nodes = value()?.parse().map_err(|e| format!("--nodes: {e}"))?,
+            "--help" | "-h" => usage(),
+            "-" if input.is_none() => input = Some("-".into()),
+            other if input.is_none() && !other.starts_with('-') => input = Some(other.to_string()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if json && prom {
+        return Err("--json and --prom are mutually exclusive".into());
+    }
+
+    if let Some(addr) = &tcp {
+        if prom {
+            print!("{}", http_get_body(addr, "/metrics")?);
+        } else {
+            let body = http_get_body(addr, "/stats")?;
+            if json {
+                print!("{body}");
+            } else {
+                let doc = pipesched::json::parse(&body)
+                    .map_err(|e| format!("{addr}: bad /stats JSON: {e}"))?;
+                let mut text = String::new();
+                render_stats_human(&doc, 0, &mut text);
+                print!("{text}");
+            }
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    // Local mode: replay a request file through a fresh engine, then dump
+    // that engine's stats.
+    let input = input.ok_or("stats needs a request file or --tcp ADDR")?;
+    let text = if input == "-" {
+        let mut buf = String::new();
+        std::io::stdin()
+            .read_to_string(&mut buf)
+            .map_err(|e| format!("stdin: {e}"))?;
+        buf
+    } else {
+        std::fs::read_to_string(&input).map_err(|e| format!("read {input}: {e}"))?
+    };
+    let engine = pipesched::service::ServiceEngine::new(
+        pipesched::service::EngineConfig {
+            default_nodes: nodes,
+            ..Default::default()
+        },
+        1024,
+        8,
+    );
+    pipesched::service::run_batch(
+        &engine,
+        &text,
+        &pipesched::service::ServeConfig { workers },
+        false,
+        false,
+    )
+    .map_err(|e| e.to_string())?;
+
+    if prom {
+        print!("{}", engine.prometheus());
+    } else if json {
+        println!("{}", engine.stats_json().to_pretty());
+    } else {
+        let mut out = String::new();
+        render_stats_human(&engine.stats_json(), 0, &mut out);
+        print!("{out}");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `pipesched trace`: schedule one input with tracing and per-depth search
+/// profiling enabled, then render the span tree (default), folded
+/// flamegraph stacks (`--flame`), or the raw NDJSON dump (`--ndjson`).
+fn run_trace() -> Result<ExitCode, String> {
+    let mut input: Option<String> = None;
+    let mut machine_spec = "paper-simulation".to_string();
+    let mut lambda = 50_000u64;
+    let mut optimize = true;
+    let mut flame = false;
+    let mut ndjson = false;
+
+    let mut args = std::env::args().skip(2);
+    while let Some(a) = args.next() {
+        let mut value = || args.next().ok_or_else(|| format!("{a} requires a value"));
+        match a.as_str() {
+            "--machine" => machine_spec = value()?,
+            "--lambda" => lambda = value()?.parse().map_err(|e| format!("--lambda: {e}"))?,
+            "--no-optimize" => optimize = false,
+            "--flame" => flame = true,
+            "--ndjson" => ndjson = true,
+            "--help" | "-h" => usage(),
+            "-" if input.is_none() => input = Some("-".into()),
+            other if input.is_none() && !other.starts_with('-') => input = Some(other.to_string()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let input = input.ok_or("trace needs an input")?;
+    if flame && ndjson {
+        return Err("--flame and --ndjson are mutually exclusive".into());
+    }
+    let machine = load_machine(&machine_spec)?;
+
+    // Record the whole pipeline under one trace: frontend passes fire
+    // their own spans inside `compile`, and the search runs with the
+    // per-depth profile attached — the same search (same λ, same default
+    // config) the `schedule` pipeline runs, so node counts line up with
+    // `pipesched <input> --json`.
+    pipesched::trace::set_enabled(true);
+    pipesched::trace::begin(&input);
+    let mut profile = pipesched::core::SearchProfile::new();
+    let outcome = {
+        let _root = pipesched::trace::span("pipesched");
+        let block = load_block_from(&input, optimize)?;
+        let dag = {
+            let _s = pipesched::trace::span("dag_build");
+            DepDag::build(&block)
+        };
+        let ctx = SchedContext::new(&block, &dag, &machine);
+        let _s = pipesched::trace::span("search");
+        let out = pipesched::core::search_with_profile(
+            &ctx,
+            &SearchConfig::with_lambda(lambda),
+            &mut profile,
+        );
+        for (depth, d) in profile.depths.iter().enumerate() {
+            pipesched::trace::point2("bnb_depth_nodes", depth as i64, d.nodes as i64);
+            pipesched::trace::point2("bnb_depth_omega", depth as i64, d.omega_calls as i64);
+            pipesched::trace::point2(
+                "bnb_depth_pruned_bound",
+                depth as i64,
+                d.pruned_bound as i64,
+            );
+        }
+        out
+    };
+    let trace = pipesched::trace::end().ok_or("trace recorder returned nothing")?;
+    pipesched::trace::set_enabled(false);
+
+    if ndjson {
+        print!("{}", pipesched::trace::render::to_ndjson(&trace));
+        return Ok(ExitCode::SUCCESS);
+    }
+    if flame {
+        // Folded stacks from span self-times, with the search frame broken
+        // down further into per-depth frames from the profile.
+        let depth_us: Vec<u64> = (0..profile.depths.len())
+            .map(|d| profile.self_time_ns(d) / 1_000)
+            .collect();
+        let depths_total: u64 = depth_us.iter().sum();
+        let mut stacks = pipesched::trace::render::folded(&trace);
+        for (path, us) in stacks.iter_mut() {
+            if path == "pipesched;search" {
+                *us = us.saturating_sub(depths_total);
+            }
+        }
+        for (d, us) in depth_us.iter().enumerate() {
+            stacks.push((format!("pipesched;search;depth_{d:02}"), *us));
+        }
+        for (path, us) in &stacks {
+            println!("{path} {us}");
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    print!("{}", pipesched::trace::render::render_text(&trace));
+    println!();
+    println!("per-depth search profile:");
+    println!(
+        "{:>5} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "depth", "nodes", "omega", "quick", "legality", "equiv", "bound", "self_us"
+    );
+    for (d, s) in profile.depths.iter().enumerate() {
+        println!(
+            "{:>5} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            d,
+            s.nodes,
+            s.omega_calls,
+            s.pruned_quick,
+            s.pruned_legality,
+            s.pruned_equivalence,
+            s.pruned_bound,
+            profile.self_time_ns(d) / 1_000,
+        );
+    }
+    println!(
+        "total: {} nodes, {} omega calls; schedule: {} NOPs, {}",
+        profile.total_nodes(),
+        outcome.stats.omega_calls,
+        outcome.nops,
+        if outcome.optimal {
+            "optimal"
+        } else {
+            "truncated"
+        }
+    );
+    Ok(ExitCode::SUCCESS)
 }

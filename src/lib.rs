@@ -12,3 +12,4 @@ pub use pipesched_regalloc as regalloc;
 pub use pipesched_service as service;
 pub use pipesched_sim as sim;
 pub use pipesched_synth as synth;
+pub use pipesched_trace as trace;

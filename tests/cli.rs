@@ -220,3 +220,223 @@ fn prove_certifies_and_streams_a_checkable_certificate() {
     let check = pipesched::proof::check_certificate(block, &machine, &cert);
     assert!(check.is_certified(), "{:?}", check.report);
 }
+
+#[test]
+fn trace_depth_counts_sum_to_schedule_nodes() {
+    // Acceptance gate: the per-depth B&B node counts `pipesched trace`
+    // emits must sum to exactly the `nodes_visited` that `schedule --json`
+    // reports for the same input — same λ, same search, no sampling.
+    let src = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/data/dotproduct.src");
+
+    let traced = bin().args(["trace", src, "--ndjson"]).output().unwrap();
+    assert!(
+        traced.status.success(),
+        "{}",
+        String::from_utf8_lossy(&traced.stderr)
+    );
+    let mut depth_nodes = 0i64;
+    for line in String::from_utf8(traced.stdout).unwrap().lines() {
+        let doc = pipesched::json::parse(line).unwrap();
+        if doc.get("name").and_then(pipesched::json::Json::as_str) == Some("bnb_depth_nodes") {
+            depth_nodes += doc
+                .get("value")
+                .and_then(pipesched::json::Json::as_i64)
+                .unwrap();
+        }
+    }
+    assert!(depth_nodes > 0, "trace emitted no per-depth node counts");
+
+    let scheduled = bin().args(["schedule", src, "--json"]).output().unwrap();
+    assert!(scheduled.status.success());
+    let doc = pipesched::json::parse(&String::from_utf8(scheduled.stdout).unwrap()).unwrap();
+    let nodes_visited = doc
+        .get("nodes_visited")
+        .and_then(pipesched::json::Json::as_i64)
+        .unwrap();
+    assert_eq!(
+        depth_nodes, nodes_visited,
+        "per-depth counts must sum to the search's nodes_visited"
+    );
+}
+
+#[test]
+fn trace_flame_breaks_search_into_depth_frames() {
+    let src = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/data/dotproduct.src");
+    let out = bin().args(["trace", src, "--flame"]).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("pipesched;search;depth_00 "), "{text}");
+    assert!(text.contains("pipesched;frontend.parse "), "{text}");
+    // Folded format: every line is `semicolon;separated;path <count>`.
+    for line in text.lines() {
+        let (path, count) = line.rsplit_once(' ').expect(line);
+        assert!(!path.is_empty());
+        count.parse::<u64>().expect(line);
+    }
+}
+
+/// A small NDJSON workload: two shapes, six requests, isomorphic repeats.
+fn cli_requests() -> String {
+    let shapes = [
+        "1: Load #x\n2: Mul @1, @1\n3: Store #y, @2",
+        "1: Load #a\n2: Load #b\n3: Add @1, @2\n4: Store #c, @3",
+    ];
+    (0..6)
+        .map(|i| {
+            let block = shapes[i % 2].replace('#', &format!("#q{i}_"));
+            format!(
+                "{}\n",
+                pipesched::json::json_object![
+                    ("id", i as i64),
+                    ("block", block.as_str()),
+                    ("machine", "paper-simulation"),
+                ]
+                .to_compact()
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn stats_reports_fleet_search_effort() {
+    let reqs = write_temp("stats.ndjson", &cli_requests());
+    let out = bin()
+        .arg("stats")
+        .arg(&reqs)
+        .args(["--workers", "1", "--json"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = pipesched::json::parse(&String::from_utf8(out.stdout).unwrap()).unwrap();
+    let metrics = doc.get("metrics").unwrap();
+    assert_eq!(
+        metrics
+            .get("requests")
+            .and_then(pipesched::json::Json::as_i64),
+        Some(6)
+    );
+    let search = metrics.get("search").unwrap();
+    assert!(
+        search
+            .get("nodes_visited")
+            .and_then(pipesched::json::Json::as_i64)
+            .unwrap()
+            > 0
+    );
+    assert_eq!(
+        search
+            .get("identity_holds")
+            .and_then(pipesched::json::Json::as_bool),
+        Some(true)
+    );
+    // 2 distinct shapes -> 2 cache entries, 4 isomorphic hits.
+    let cache = doc.get("cache").unwrap();
+    assert_eq!(
+        cache.get("entries").and_then(pipesched::json::Json::as_i64),
+        Some(2)
+    );
+    assert_eq!(
+        cache.get("hits").and_then(pipesched::json::Json::as_i64),
+        Some(4)
+    );
+
+    // The Prometheus rendering of the same replay must validate.
+    let out = bin()
+        .arg("stats")
+        .arg(&reqs)
+        .args(["--workers", "1", "--prom"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    pipesched::trace::prom::validate(&text).unwrap();
+    assert!(text.contains("pipesched_requests_total 6"), "{text}");
+}
+
+#[test]
+fn tcp_serve_answers_batch_and_metrics_scrapes() {
+    // End-to-end over a real socket: a traced server, an NDJSON batch
+    // replay through `batch --tcp`, then a `/metrics` scrape through
+    // `stats --tcp --prom`. `--conns 2` makes the server exit on its own.
+    let port = 40_000 + std::process::id() % 20_000;
+    let addr = format!("127.0.0.1:{port}");
+    let mut server = bin()
+        .args([
+            "serve",
+            "--tcp",
+            &addr,
+            "--conns",
+            "2",
+            "--workers",
+            "1",
+            "--trace",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+
+    // Wait for the listener; probe connections are not counted.
+    let mut up = false;
+    for _ in 0..100 {
+        if std::net::TcpStream::connect(&addr).is_ok() {
+            up = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert!(up, "server never opened {addr}");
+
+    let reqs = write_temp("tcp.ndjson", &cli_requests());
+    let out = bin()
+        .arg("batch")
+        .arg(&reqs)
+        .args(["--tcp", &addr, "--check", "--json", "--quiet"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // `--quiet` suppresses the response lines on stdout; the `--json`
+    // summary goes to stderr so responses stay pipeable.
+    let doc = pipesched::json::parse(&String::from_utf8(out.stderr).unwrap()).unwrap();
+    assert_eq!(
+        doc.get("requests").and_then(pipesched::json::Json::as_i64),
+        Some(6)
+    );
+    assert_eq!(
+        doc.get("errors").and_then(pipesched::json::Json::as_i64),
+        Some(0)
+    );
+    assert_eq!(
+        doc.get("cache_hits")
+            .and_then(pipesched::json::Json::as_i64),
+        Some(4)
+    );
+
+    let out = bin()
+        .args(["stats", "--tcp", &addr, "--prom"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    pipesched::trace::prom::validate(&text).unwrap();
+    assert!(text.contains("pipesched_requests_total 6"), "{text}");
+    assert!(text.contains("pipesched_search_identity_ok 1"), "{text}");
+
+    assert!(server.wait().unwrap().success());
+}
