@@ -1,0 +1,735 @@
+//! A generic dataflow-analysis framework over the tuple IR, plus the
+//! `A05xx` dataflow lints built on it.
+//!
+//! The framework is a classic worklist solver specialized to the IR's
+//! single-basic-block programs: program points `0..=n` sit between
+//! consecutive tuples (point `p` lies after tuple `p-1` and before tuple
+//! `p`), a [`Analysis::transfer`] function pushes facts across one tuple,
+//! and the solver iterates a worklist until the facts reach a fixpoint.
+//! Straight-line code has no joins, so every analysis converges in one
+//! sweep — but the solver does not rely on that, and analyses state their
+//! lattice explicitly through `Fact: PartialEq` (change detection *is*
+//! the lattice order check for these finite-height facts).
+//!
+//! Seed analyses:
+//!
+//! * [`ReachingDefs`] — which definition of each variable (a `Store` or
+//!   the block entry) reaches each point;
+//! * [`Liveness`] — *coupled* variable/value liveness: which variables
+//!   and which tuple values are still needed at each point, with dead
+//!   loads reviving nothing (see [`live_tuples`]);
+//! * [`AvailableValues`] — which tuple values have been computed at each
+//!   point (tuple values are immutable, so the classic kill set is empty
+//!   and availability reduces to definedness; the *expression*-level
+//!   availability CSE validation needs is [`value_numbers`]).
+//!
+//! On top of the framework, [`value_numbers`] assigns congruence-based
+//! value numbers (available-expression analysis in its value-numbering
+//! form) and [`constants`] derives per-tuple compile-time constants.
+//! [`check_dataflow`] turns all of this into lint diagnostics
+//! (`A0501`–`A0504`); the translation validator
+//! ([`crate::opt_validate`]) replays optimizer witnesses against the
+//! same facts.
+
+use std::collections::{HashMap, VecDeque};
+
+use pipesched_ir::{
+    BasicBlock, BlockAnalysis, DepDag, DepKind, Op, Operand, Tuple, TupleId, VarId,
+};
+
+use crate::diag::{DiagCode, Diagnostic, Report};
+
+/// Which way facts flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Facts flow from block entry towards the exit.
+    Forward,
+    /// Facts flow from block exit towards the entry.
+    Backward,
+}
+
+/// One dataflow analysis: a fact lattice (via `Clone + PartialEq`), a
+/// boundary fact, and a transfer function across one tuple.
+///
+/// `transfer` receives the tuple's *position* `index` separately from the
+/// tuple so analyses stay well-defined on malformed blocks whose ids
+/// disagree with their positions (the `A0502` lint runs before
+/// structural soundness is established).
+pub trait Analysis {
+    /// The fact attached to every program point.
+    type Fact: Clone + PartialEq;
+
+    /// Which way this analysis propagates.
+    const DIRECTION: Direction;
+
+    /// The fact at the boundary point (entry for forward analyses, exit
+    /// for backward ones).
+    fn boundary(&self, block: &BasicBlock) -> Self::Fact;
+
+    /// Push `fact` across `tuple` (at position `index`), mutating it from
+    /// the fact on the incoming side to the fact on the outgoing side.
+    fn transfer(&self, block: &BasicBlock, index: usize, tuple: &Tuple, fact: &mut Self::Fact);
+}
+
+/// The fixpoint: one fact per program point `0..=n`.
+#[derive(Debug, Clone)]
+pub struct Solution<F> {
+    facts: Vec<F>,
+}
+
+impl<F> Solution<F> {
+    /// The fact at the point just before tuple `i`.
+    pub fn before(&self, i: usize) -> &F {
+        &self.facts[i]
+    }
+
+    /// The fact at the point just after tuple `i`.
+    pub fn after(&self, i: usize) -> &F {
+        &self.facts[i + 1]
+    }
+
+    /// The fact at block entry.
+    pub fn entry(&self) -> &F {
+        &self.facts[0]
+    }
+
+    /// The fact at block exit.
+    pub fn exit(&self) -> &F {
+        &self.facts[self.facts.len() - 1]
+    }
+}
+
+/// Run `analysis` over `block` with a worklist until the facts stabilize.
+pub fn solve<A: Analysis>(analysis: &A, block: &BasicBlock) -> Solution<A::Fact> {
+    let n = block.len();
+    let boundary = analysis.boundary(block);
+    let mut facts: Vec<A::Fact> = vec![boundary; n + 1];
+
+    // Seed every transfer once, in propagation order; re-queue a transfer
+    // whenever its input fact changes. For straight-line blocks this
+    // converges in the first sweep.
+    let mut work: VecDeque<usize> = match A::DIRECTION {
+        Direction::Forward => (0..n).collect(),
+        Direction::Backward => (0..n).rev().collect(),
+    };
+    let mut queued = vec![true; n];
+    while let Some(i) = work.pop_front() {
+        queued[i] = false;
+        let (src, dst) = match A::DIRECTION {
+            Direction::Forward => (i, i + 1),
+            Direction::Backward => (i + 1, i),
+        };
+        let mut fact = facts[src].clone();
+        analysis.transfer(block, i, &block.tuples()[i], &mut fact);
+        if fact != facts[dst] {
+            facts[dst] = fact;
+            let dependent = match A::DIRECTION {
+                Direction::Forward => (i + 1 < n).then_some(i + 1),
+                Direction::Backward => i.checked_sub(1),
+            };
+            if let Some(d) = dependent {
+                if !queued[d] {
+                    queued[d] = true;
+                    work.push_back(d);
+                }
+            }
+        }
+    }
+    Solution { facts }
+}
+
+// ---------------------------------------------------------------------
+// Reaching definitions
+// ---------------------------------------------------------------------
+
+/// The definition of a variable that reaches a program point. In
+/// straight-line code the reaching-definition set is always a singleton:
+/// either the block entry or the most recent `Store`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarDef {
+    /// The variable's value on block entry reaches this point.
+    Entry,
+    /// This `Store` is the unique reaching definition.
+    Store(TupleId),
+}
+
+/// Forward reaching-definitions analysis; the fact is one [`VarDef`] per
+/// variable (indexed by [`VarId`]).
+pub struct ReachingDefs;
+
+impl Analysis for ReachingDefs {
+    type Fact = Vec<VarDef>;
+    const DIRECTION: Direction = Direction::Forward;
+
+    fn boundary(&self, block: &BasicBlock) -> Self::Fact {
+        vec![VarDef::Entry; block.symbols().len()]
+    }
+
+    fn transfer(&self, _block: &BasicBlock, _index: usize, tuple: &Tuple, fact: &mut Self::Fact) {
+        if tuple.op == Op::Store {
+            if let Some(v) = tuple.a.as_var() {
+                if let Some(slot) = fact.get_mut(v.0 as usize) {
+                    *slot = VarDef::Store(tuple.id);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Coupled liveness
+// ---------------------------------------------------------------------
+
+/// The liveness fact: which variables and which tuple values are needed
+/// at (i.e. after) a program point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiveFact {
+    /// `vars[v]` — variable `v`'s current memory value is read later.
+    pub vars: Vec<bool>,
+    /// `values[i]` — tuple `i`'s result is consumed by a live tuple later.
+    pub values: Vec<bool>,
+}
+
+/// Backward coupled variable/value liveness.
+///
+/// The coupling is the point: a `Load` makes its variable live **only
+/// when the load's own value is live**, so a store read exclusively by
+/// dead loads is itself dead. Every variable is live at block exit (the
+/// block's final memory state is its observable result), so the last
+/// store to each variable is always live.
+pub struct Liveness;
+
+impl Analysis for Liveness {
+    type Fact = LiveFact;
+    const DIRECTION: Direction = Direction::Backward;
+
+    fn boundary(&self, block: &BasicBlock) -> Self::Fact {
+        LiveFact {
+            vars: vec![true; block.symbols().len()],
+            values: vec![false; block.len()],
+        }
+    }
+
+    fn transfer(&self, _block: &BasicBlock, index: usize, tuple: &Tuple, fact: &mut Self::Fact) {
+        match tuple.op {
+            Op::Store => {
+                if let Some(v) = tuple.a.as_var() {
+                    let v = v.0 as usize;
+                    if fact.vars[v] {
+                        if let Some(src) = tuple.b.as_tuple() {
+                            if src.index() < fact.values.len() {
+                                fact.values[src.index()] = true;
+                            }
+                        }
+                    }
+                    fact.vars[v] = false;
+                }
+            }
+            Op::Load => {
+                if fact.values[index] {
+                    if let Some(v) = tuple.a.as_var() {
+                        fact.vars[v.0 as usize] = true;
+                    }
+                }
+            }
+            _ => {
+                if fact.values[index] {
+                    for r in tuple.tuple_refs() {
+                        if r.index() < fact.values.len() {
+                            fact.values[r.index()] = true;
+                        }
+                    }
+                }
+            }
+        }
+        // Before this point the tuple's own value cannot be live: it has
+        // not been computed yet.
+        fact.values[index] = false;
+    }
+}
+
+/// Per-tuple liveness derived from [`Liveness`]: `true` when the tuple's
+/// effect is needed (a `Store` whose variable is read or reaches block
+/// exit; any other tuple whose value a live tuple consumes).
+pub fn live_tuples(block: &BasicBlock) -> Vec<bool> {
+    let solution = solve(&Liveness, block);
+    block
+        .tuples()
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let after = solution.after(i);
+            match t.op {
+                Op::Store => {
+                    t.a.as_var()
+                        .is_some_and(|v| after.vars.get(v.0 as usize).copied().unwrap_or(true))
+                }
+                _ => after.values[i],
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Available values
+// ---------------------------------------------------------------------
+
+/// Forward availability of tuple values, positional (`fact[i]` — the
+/// value of the tuple at position `i` has been computed). Tuple values
+/// are immutable, so nothing is ever killed; what this buys over "index
+/// is smaller" is robustness on malformed blocks, which is exactly where
+/// the `A0502` lint needs it.
+pub struct AvailableValues;
+
+impl Analysis for AvailableValues {
+    type Fact = Vec<bool>;
+    const DIRECTION: Direction = Direction::Forward;
+
+    fn boundary(&self, block: &BasicBlock) -> Self::Fact {
+        vec![false; block.len()]
+    }
+
+    fn transfer(&self, _block: &BasicBlock, index: usize, tuple: &Tuple, fact: &mut Self::Fact) {
+        if tuple.op.produces_value() {
+            fact[index] = true;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Value numbering and constants (derived forward analyses)
+// ---------------------------------------------------------------------
+
+/// An operand as the value-numbering congruence sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum VnOperand {
+    None,
+    Imm(i64),
+    Var(VarId),
+    Vn(u32),
+}
+
+/// Congruence-based value numbers: `value_numbers(block)[i] == ..[j]`
+/// implies tuples `i` and `j` compute the same value. Two tuples are
+/// congruent when they apply the same operation to congruent operands
+/// (canonically ordered for commutative ops); `Load`s additionally key on
+/// the variable's store epoch, `Mov`s are transparent, operands that are
+/// compile-time constants key on the constant itself, and `Store`s get a
+/// fresh number each (effects never merge). This is at least as strong
+/// as the CSE pass's syntactic value numbering, which is what lets the
+/// validator check `Merge` witnesses against it.
+pub fn value_numbers(block: &BasicBlock) -> Vec<u32> {
+    let n = block.len();
+    let konst = constants(block);
+    let mut epoch: Vec<u32> = vec![0; block.symbols().len()];
+    let mut table: HashMap<(Op, u32, VnOperand, VnOperand), u32> = HashMap::new();
+    let mut vn: Vec<u32> = vec![0; n];
+    let mut next = 0u32;
+
+    for (i, t) in block.tuples().iter().enumerate() {
+        let classify = |o: Operand| -> VnOperand {
+            match o {
+                Operand::None => VnOperand::None,
+                Operand::Imm(v) => VnOperand::Imm(v),
+                Operand::Var(v) => VnOperand::Var(v),
+                Operand::Tuple(r) => match konst.get(r.index()).copied().flatten() {
+                    Some(c) => VnOperand::Imm(c),
+                    None => VnOperand::Vn(vn.get(r.index()).copied().unwrap_or(u32::MAX)),
+                },
+            }
+        };
+        let fresh = |next: &mut u32| {
+            let v = *next;
+            *next += 1;
+            v
+        };
+        vn[i] = match t.op {
+            Op::Store => {
+                if let Some(v) = t.a.as_var() {
+                    epoch[v.0 as usize] += 1;
+                }
+                fresh(&mut next)
+            }
+            Op::Mov => match t.a {
+                // Copies are congruent to their source.
+                Operand::Tuple(r) => vn[r.index()],
+                _ => fresh(&mut next),
+            },
+            op => {
+                // Constants (from any op that folds to one) key on value.
+                let key = if let Some(c) = konst[i] {
+                    (Op::Const, 0, VnOperand::Imm(c), VnOperand::None)
+                } else {
+                    let ep = match (op, t.a.as_var()) {
+                        (Op::Load, Some(v)) => epoch[v.0 as usize],
+                        _ => 0,
+                    };
+                    let (mut a, mut b) = (classify(t.a), classify(t.b));
+                    if op.is_commutative() && format_order(a) > format_order(b) {
+                        std::mem::swap(&mut a, &mut b);
+                    }
+                    (op, ep, a, b)
+                };
+                *table.entry(key).or_insert_with(|| {
+                    let v = next;
+                    next += 1;
+                    v
+                })
+            }
+        };
+    }
+    vn
+}
+
+/// A stable ordering key for canonicalizing commutative operands.
+fn format_order(o: VnOperand) -> (u8, i64, u32) {
+    match o {
+        VnOperand::None => (0, 0, 0),
+        VnOperand::Imm(v) => (1, v, 0),
+        VnOperand::Var(v) => (2, 0, v.0),
+        VnOperand::Vn(v) => (3, 0, v),
+    }
+}
+
+/// Per-tuple compile-time constants, derived independently of the
+/// constant-folding pass: `Const` tuples are their immediate, pure ops
+/// fold known operands with checked arithmetic, and a `Load` whose
+/// unique in-block reaching store wrote a known value is that value.
+pub fn constants(block: &BasicBlock) -> Vec<Option<i64>> {
+    let n = block.len();
+    let reaching = solve(&ReachingDefs, block);
+    let mut konst: Vec<Option<i64>> = vec![None; n];
+    for (i, t) in block.tuples().iter().enumerate() {
+        let operand_const = |o: Operand, konst: &[Option<i64>]| -> Option<i64> {
+            match o {
+                Operand::Imm(v) => Some(v),
+                Operand::Tuple(r) => konst.get(r.index()).copied().flatten(),
+                _ => None,
+            }
+        };
+        konst[i] = match t.op {
+            Op::Const => t.a.as_imm(),
+            Op::Load => {
+                let v = t.a.as_var();
+                match v.and_then(|v| reaching.before(i).get(v.0 as usize).copied()) {
+                    Some(VarDef::Store(s)) if s.index() < i => {
+                        operand_const(block.tuples()[s.index()].b, &konst)
+                    }
+                    _ => None,
+                }
+            }
+            Op::Add | Op::Sub | Op::Mul | Op::Div => {
+                match (operand_const(t.a, &konst), operand_const(t.b, &konst)) {
+                    (Some(a), Some(b)) => t.op.fold(a, b),
+                    _ => None,
+                }
+            }
+            Op::Neg | Op::Mov => operand_const(t.a, &konst).and_then(|a| t.op.fold_unary(a)),
+            Op::Store | Op::Nop => None,
+        };
+    }
+    konst
+}
+
+// ---------------------------------------------------------------------
+// A05xx lints
+// ---------------------------------------------------------------------
+
+/// `A0502`: every tuple operand must reference a value computed strictly
+/// earlier. Independent of the structural `A0101`/`A0102` checks (which
+/// compare indices syntactically), this replays the question through the
+/// [`AvailableValues`] dataflow — defense in depth, and safe to run on
+/// structurally unsound blocks.
+pub fn check_defined_values(block: &BasicBlock, report: &mut Report) {
+    let n = block.len();
+    let solution = solve(&AvailableValues, block);
+    for (i, t) in block.tuples().iter().enumerate() {
+        for r in t.tuple_refs() {
+            let available = r.index() < n && solution.before(i)[r.index()];
+            if !available {
+                report.push(
+                    Diagnostic::new(
+                        DiagCode::UndefinedUse,
+                        format!(
+                            "operand @{r} of tuple {} uses a value not yet computed",
+                            t.id
+                        ),
+                    )
+                    .at(TupleId(i as u32))
+                    .with_hint("dataflow: no earlier tuple makes this value available"),
+                );
+            }
+        }
+    }
+}
+
+/// The dataflow lints that require a structurally sound block:
+/// `A0501` (liveness-dead store), `A0503` (transitively dead tuple) and
+/// `A0504` (transitively implied dependence edge).
+pub fn check_dataflow(block: &BasicBlock, report: &mut Report) {
+    let live = live_tuples(block);
+
+    // Stores the simple overwrite scan (A0109) already flags; A0501 only
+    // reports what *needed* the liveness coupling to find.
+    let mut simple_dead = vec![false; block.len()];
+    {
+        let mut last_store: HashMap<VarId, TupleId> = HashMap::new();
+        for t in block.tuples() {
+            match t.op {
+                Op::Load => {
+                    if let Some(v) = t.a.as_var() {
+                        last_store.remove(&v);
+                    }
+                }
+                Op::Store => {
+                    if let Some(v) = t.a.as_var() {
+                        if let Some(prev) = last_store.insert(v, t.id) {
+                            simple_dead[prev.index()] = true;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let mut used = vec![false; block.len()];
+    for t in block.tuples() {
+        for r in t.tuple_refs() {
+            used[r.index()] = true;
+        }
+    }
+
+    for (i, t) in block.tuples().iter().enumerate() {
+        if live[i] {
+            continue;
+        }
+        if t.op == Op::Store {
+            if !simple_dead[i] {
+                let name = t.a.as_var().map_or_else(
+                    || "?".to_string(),
+                    |v| {
+                        block
+                            .symbols()
+                            .name(v)
+                            .map_or_else(|| format!("#v{}", v.0), str::to_string)
+                    },
+                );
+                report.push(
+                    Diagnostic::new(
+                        DiagCode::DeadStoreLiveness,
+                        format!(
+                            "store {} to `{name}` is dead: only dead loads read it before it is overwritten",
+                            t.id
+                        ),
+                    )
+                    .at(t.id)
+                    .with_hint("liveness: no live tuple observes this store's value"),
+                );
+            }
+        } else if used[i] {
+            // Unused values are A0105's; *used but transitively dead*
+            // tuples are the dataflow-only finding.
+            report.push(
+                Diagnostic::new(
+                    DiagCode::OrphanTuple,
+                    format!(
+                        "tuple {} ({}) is transitively dead: every consumer chain ends in dead code",
+                        t.id, t.op
+                    ),
+                )
+                .at(t.id)
+                .with_hint("liveness: unreachable from any live store"),
+            );
+        }
+    }
+
+    // A0504: an Anti/Output edge u→w is redundant when some other path
+    // u→m→…→w already orders the pair. Flow edges are exempt: they carry
+    // latency constraints beyond ordering.
+    let dag = DepDag::build(block);
+    let analysis = BlockAnalysis::compute(&dag);
+    for e in dag.edges() {
+        if e.kind == DepKind::Flow || e.from >= e.to {
+            continue;
+        }
+        let implied = dag
+            .succs(e.from)
+            .iter()
+            .any(|m| m.to != e.to && m.to != e.from && analysis.depends_on(e.to, m.to));
+        if implied {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::RedundantDependence,
+                    format!(
+                        "{:?} edge {} → {} is transitively implied by other dependences",
+                        e.kind, e.from, e.to
+                    ),
+                )
+                .at(e.to),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipesched_ir::BlockBuilder;
+
+    fn block_with_dead_load_store() -> BasicBlock {
+        // 1: Const 1; 2: Store x @1; 3: Load x (dead); 4: Const 2;
+        // 5: Store x @4 — store 2 is dead but the overwrite scan misses
+        // it because of the intervening (dead) load.
+        let mut b = BlockBuilder::new("t");
+        let c1 = b.constant(1);
+        b.store("x", c1);
+        let _l = b.load("x");
+        let c2 = b.constant(2);
+        b.store("x", c2);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn reaching_defs_track_last_store() {
+        let block = block_with_dead_load_store();
+        let sol = solve(&ReachingDefs, &block);
+        let x = block.symbols().lookup("x").unwrap();
+        assert_eq!(sol.entry()[x.0 as usize], VarDef::Entry);
+        // Before the load (index 2) the first store (id 1) reaches.
+        assert_eq!(sol.before(2)[x.0 as usize], VarDef::Store(TupleId(1)));
+        assert_eq!(sol.exit()[x.0 as usize], VarDef::Store(TupleId(4)));
+    }
+
+    #[test]
+    fn coupled_liveness_kills_store_held_by_dead_load() {
+        let block = block_with_dead_load_store();
+        let live = live_tuples(&block);
+        assert_eq!(live, vec![false, false, false, true, true]);
+    }
+
+    #[test]
+    fn live_load_keeps_store_alive() {
+        let mut b = BlockBuilder::new("t");
+        let c1 = b.constant(1);
+        b.store("x", c1);
+        let l = b.load("x");
+        b.store("y", l);
+        let c2 = b.constant(2);
+        b.store("x", c2);
+        let block = b.finish().unwrap();
+        assert!(live_tuples(&block).iter().all(|&l| l));
+    }
+
+    #[test]
+    fn constants_flow_through_stores_and_loads() {
+        let mut b = BlockBuilder::new("t");
+        let c = b.constant(21);
+        b.store("x", c);
+        let l = b.load("x");
+        let s = b.add(l, l);
+        b.store("y", s);
+        let block = b.finish().unwrap();
+        let k = constants(&block);
+        assert_eq!(k[2], Some(21)); // the load
+        assert_eq!(k[3], Some(42)); // the add
+    }
+
+    #[test]
+    fn constants_respect_checked_arithmetic() {
+        let mut b = BlockBuilder::new("t");
+        let big = b.constant(i64::MAX);
+        let one = b.constant(1);
+        let s = b.add(big, one);
+        b.store("x", s);
+        let block = b.finish().unwrap();
+        assert_eq!(constants(&block)[2], None);
+    }
+
+    #[test]
+    fn value_numbers_respect_epochs_and_commutativity() {
+        let mut b = BlockBuilder::new("t");
+        let x = b.load("x");
+        let y = b.load("y");
+        let a1 = b.add(x, y);
+        let a2 = b.add(y, x);
+        b.store("x", a1);
+        let x2 = b.load("x");
+        b.store("r", a2);
+        b.store("s", x2);
+        let block = b.finish().unwrap();
+        let vn = value_numbers(&block);
+        assert_eq!(vn[2], vn[3], "commutative adds are congruent");
+        assert_ne!(vn[0], vn[5], "loads across a store are not congruent");
+    }
+
+    #[test]
+    fn undefined_use_flagged_by_dataflow() {
+        use pipesched_ir::{Operand, Tuple, VarId};
+        let mut b = BasicBlock::new("raw");
+        b.intern("x");
+        b.replace_tuples(vec![
+            Tuple {
+                id: TupleId(0),
+                op: Op::Store,
+                a: Operand::Var(VarId(0)),
+                b: Operand::Imm(1),
+            },
+            Tuple {
+                id: TupleId(1),
+                op: Op::Neg,
+                a: Operand::Tuple(TupleId(0)), // store produces no value
+                b: Operand::None,
+            },
+            Tuple {
+                id: TupleId(2),
+                op: Op::Neg,
+                a: Operand::Tuple(TupleId(2)), // self reference
+                b: Operand::None,
+            },
+        ]);
+        let mut report = Report::new("t");
+        check_defined_values(&b, &mut report);
+        assert_eq!(report.count(crate::Severity::Error), 2, "{report}");
+        assert!(report.has_code(DiagCode::UndefinedUse));
+    }
+
+    #[test]
+    fn dataflow_lints_fire_on_dead_and_redundant() {
+        let block = block_with_dead_load_store();
+        let mut report = Report::new("t");
+        check_dataflow(&block, &mut report);
+        assert!(report.has_code(DiagCode::DeadStoreLiveness), "{report}");
+        assert!(report.has_code(DiagCode::OrphanTuple), "{report}");
+        assert!(!report.has_errors());
+    }
+
+    #[test]
+    fn redundant_output_edge_flagged() {
+        // Store x; Load x; Store x — the Output edge store→store is
+        // implied by store→load→store.
+        let mut b = BlockBuilder::new("t");
+        let c = b.constant(5);
+        b.store("x", c);
+        let l = b.load("x");
+        b.store("x", l);
+        let block = b.finish().unwrap();
+        let mut report = Report::new("t");
+        check_dataflow(&block, &mut report);
+        assert!(report.has_code(DiagCode::RedundantDependence), "{report}");
+    }
+
+    #[test]
+    fn clean_block_has_no_dataflow_findings() {
+        let mut b = BlockBuilder::new("t");
+        let x = b.load("x");
+        let y = b.load("y");
+        let s = b.add(x, y);
+        b.store("r", s);
+        let block = b.finish().unwrap();
+        let mut report = Report::new("t");
+        check_defined_values(&block, &mut report);
+        check_dataflow(&block, &mut report);
+        assert!(report.is_clean(), "{report}");
+    }
+}

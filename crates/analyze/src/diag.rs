@@ -64,7 +64,9 @@ macro_rules! diag_codes {
         /// `A01xx` are IR well-formedness checks, `A02xx` machine-description
         /// lints, `A03xx` schedule-certification failures, `A04xx`
         /// optimality-certificate rejections (emitted by the
-        /// `pipesched-proof` checker). The textual form (e.g. `"A0302"`) is
+        /// `pipesched-proof` checker), `A05xx` dataflow lints and
+        /// translation-validation rejections of the front-end optimizer.
+        /// The textual form (e.g. `"A0302"`) is
         /// a stable contract: tests and downstream tooling match on it, so
         /// codes are never renumbered or reused.
         #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -188,6 +190,39 @@ diag_codes! {
     /// A `ProvedByBound` event's global lower bound does not match the
     /// checker's re-derivation, or the incumbent does not reach it.
     LowerBoundMismatch = ("A0408", Error, "claimed global lower bound fails re-derivation"),
+
+    /// A store no live tuple ever reads (found by the coupled liveness
+    /// dataflow; fires only where the simple overwrite scan `A0109`
+    /// cannot see the deadness).
+    DeadStoreLiveness = ("A0501", Warning, "store is dead: no live tuple reads its value"),
+    /// An operand uses a value the dataflow says is not yet computed at
+    /// the use point (defense in depth over `A0101`/`A0102`).
+    UndefinedUse = ("A0502", Error, "operand uses a value not computed at its use point"),
+    /// A tuple that is referenced but transitively dead: every chain of
+    /// consumers ends in dead code, so no live store observes it.
+    OrphanTuple = ("A0503", Warning, "tuple is transitively dead: no live store observes it"),
+    /// An `Anti`/`Output` dependence edge already implied by a transitive
+    /// path of other dependences.
+    RedundantDependence = ("A0504", Info, "dependence edge is transitively implied"),
+    /// An optimizer rewrite witness is structurally unusable: bad tuple
+    /// ids, a rewrite kind foreign to the pass that claims it, several
+    /// rewrites of one tuple, or a replay that dangles a reference.
+    WitnessMalformed = ("A0505", Error, "optimizer rewrite witness is malformed"),
+    /// A constant-fold witness whose claimed value disagrees with the
+    /// validator's independently derived dataflow constants.
+    FoldWitnessInvalid = ("A0506", Error, "fold witness disagrees with dataflow constants"),
+    /// A CSE witness merging tuples the validator's value numbering does
+    /// not consider congruent, or merging forwards.
+    CseWitnessInvalid = ("A0507", Error, "CSE witness merges non-congruent tuples"),
+    /// A DCE witness deleting a tuple the validator's liveness analysis
+    /// still considers live.
+    DceWitnessInvalid = ("A0508", Error, "DCE witness deletes a live tuple"),
+    /// A peephole witness whose claimed algebraic identity fails its
+    /// pattern precondition on the pre-pass block.
+    PeepholeWitnessInvalid = ("A0509", Error, "peephole witness fails its precondition"),
+    /// Replaying the witness transcript does not reproduce the block the
+    /// optimizer returned (unwitnessed or misreported rewrites).
+    ReplayMismatch = ("A0510", Error, "witness replay does not reproduce the optimized block"),
 }
 
 impl fmt::Display for DiagCode {
@@ -207,6 +242,8 @@ pub struct Diagnostic {
     pub message: String,
     /// The tuple the diagnostic is anchored to, if any.
     pub tuple: Option<TupleId>,
+    /// A source anchor (`file:line`), when the tuple's provenance is known.
+    pub location: Option<String>,
     /// A suggestion for fixing the problem, if one is known.
     pub hint: Option<String>,
 }
@@ -219,6 +256,7 @@ impl Diagnostic {
             severity: code.severity(),
             message: message.into(),
             tuple: None,
+            location: None,
             hint: None,
         }
     }
@@ -226,6 +264,12 @@ impl Diagnostic {
     /// Anchor the diagnostic to a tuple.
     pub fn at(mut self, tuple: TupleId) -> Self {
         self.tuple = Some(tuple);
+        self
+    }
+
+    /// Anchor the diagnostic to a source location (`file:line`).
+    pub fn at_location(mut self, location: impl Into<String>) -> Self {
+        self.location = Some(location.into());
         self
     }
 
@@ -241,6 +285,9 @@ impl fmt::Display for Diagnostic {
         write!(f, "{} [{}] {}", self.severity, self.code, self.message)?;
         if let Some(t) = self.tuple {
             write!(f, " (tuple {t})")?;
+        }
+        if let Some(loc) = &self.location {
+            write!(f, " --> {loc}")?;
         }
         if let Some(h) = &self.hint {
             write!(f, "\n    hint: {h}")?;
@@ -274,6 +321,18 @@ impl Report {
     /// Append every diagnostic of `other`, keeping this report's context.
     pub fn merge(&mut self, other: Report) {
         self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Attach source anchors: every tuple-anchored diagnostic without a
+    /// location gets one from `locate` (which may decline).
+    pub fn annotate_locations(&mut self, locate: impl Fn(TupleId) -> Option<String>) {
+        for d in &mut self.diagnostics {
+            if d.location.is_none() {
+                if let Some(t) = d.tuple {
+                    d.location = locate(t);
+                }
+            }
+        }
     }
 
     /// All diagnostics, in the order they were found.
@@ -336,6 +395,10 @@ impl Report {
                         "tuple",
                         d.tuple.map_or(Json::Null, |t| Json::from(i64::from(t.0)))
                     ),
+                    (
+                        "location",
+                        d.location.as_deref().map_or(Json::Null, Json::from)
+                    ),
                     ("hint", d.hint.as_deref().map_or(Json::Null, Json::from)),
                 ]
             })
@@ -362,6 +425,11 @@ impl Report {
                 Json::Null => None,
                 j => Some(TupleId(u32::try_from(j.as_i64()?).ok()?)),
             };
+            // Absent (pre-A05xx documents) and null both mean "none".
+            let location = match d.get("location") {
+                None | Some(Json::Null) => None,
+                Some(j) => Some(j.as_str()?.to_string()),
+            };
             let hint = match d.get("hint")? {
                 Json::Null => None,
                 j => Some(j.as_str()?.to_string()),
@@ -371,6 +439,7 @@ impl Report {
                 severity,
                 message,
                 tuple,
+                location,
                 hint,
             });
         }
@@ -425,9 +494,35 @@ mod tests {
     }
 
     #[test]
+    fn location_anchors_render_and_annotate() {
+        let mut r = Report::new("loc");
+        r.push(Diagnostic::new(DiagCode::DeadStore, "dead").at(TupleId(2)));
+        r.push(Diagnostic::new(DiagCode::UnusedValue, "unused"));
+        r.annotate_locations(|t| (t == TupleId(2)).then(|| "prog.src:4".to_string()));
+        let text = r.render_text();
+        assert!(text.contains("--> prog.src:4"), "{text}");
+        assert_eq!(r.diagnostics()[1].location, None);
+    }
+
+    #[test]
+    fn from_json_accepts_documents_without_location() {
+        let doc = pipesched_json::parse(
+            r#"{"context": "x", "diagnostics": [{"code": "A0109", "severity": "warning",
+                "message": "m", "tuple": null, "hint": null}]}"#,
+        )
+        .unwrap();
+        let report = Report::from_json(&doc).unwrap();
+        assert_eq!(report.diagnostics()[0].location, None);
+    }
+
+    #[test]
     fn json_round_trips() {
         let mut r = Report::new("roundtrip");
-        r.push(Diagnostic::new(DiagCode::DeadStore, "store to a overwritten").at(TupleId(7)));
+        r.push(
+            Diagnostic::new(DiagCode::DeadStore, "store to a overwritten")
+                .at(TupleId(7))
+                .at_location("prog.src:3"),
+        );
         r.push(
             Diagnostic::new(DiagCode::NopCountMismatch, "claimed 3, derived 5")
                 .with_hint("etas do not sum to μ"),

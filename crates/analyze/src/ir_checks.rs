@@ -23,6 +23,7 @@ pub fn check_block(block: &BasicBlock) -> Report {
         format!("block `{}`", block.name)
     });
     check_structure(block, &mut report);
+    crate::dataflow::check_defined_values(block, &mut report);
     if report.has_errors() {
         // The DAG and analysis are only defined for structurally sound
         // blocks; stop before constructing them over garbage.
@@ -33,6 +34,7 @@ pub fn check_block(block: &BasicBlock) -> Report {
     check_consistency(block, &dag, &analysis, &mut report);
     check_duplicates(block, &mut report);
     check_liveness(block, &mut report);
+    crate::dataflow::check_dataflow(block, &mut report);
     report
 }
 

@@ -9,6 +9,16 @@
 //!   blocks (codes `A01xx`): dangling or forward operand references,
 //!   dependence-DAG and slack-bound consistency, duplicate and unused
 //!   tuples, dead stores;
+//! * [`dataflow`] — a generic worklist dataflow solver over straight-line
+//!   tuple IR (reaching definitions, coupled liveness, available values,
+//!   value numbering, constants) feeding deeper `A05xx` lints:
+//!   liveness-dead stores, undefined uses, orphan tuples, transitively
+//!   implied dependence edges;
+//! * [`opt_validate`] — translation validation of the front-end
+//!   optimizer (codes `A0505`–`A0510`): every pass emits a rewrite
+//!   witness transcript, and [`opt_validate::validate_transcript`]
+//!   replays it against independently derived dataflow facts, rejecting
+//!   unjustified or unwitnessed rewrites;
 //! * [`machine_checks`] — lints over machine descriptions (codes `A02xx`):
 //!   zero or absurd latencies, unreachable pipelines, operations no
 //!   pipeline executes, degenerate descriptions;
@@ -25,9 +35,11 @@
 
 pub mod certify;
 pub mod cross;
+pub mod dataflow;
 pub mod diag;
 pub mod ir_checks;
 pub mod machine_checks;
+pub mod opt_validate;
 
 pub use certify::{
     certify, certify_scheduled, derive_issue_times, extract_deps, Certification, Claim, Dep,
@@ -36,6 +48,7 @@ pub use cross::cross_check;
 pub use diag::{DiagCode, Diagnostic, Report, Severity};
 pub use ir_checks::check_block;
 pub use machine_checks::check_machine;
+pub use opt_validate::{optimize_verified, validate_transcript, verify_opt_forced, OptRejection};
 
 use pipesched_core::ScheduledBlock;
 use pipesched_ir::BasicBlock;

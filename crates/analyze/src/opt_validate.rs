@@ -1,0 +1,661 @@
+//! Translation validation of the front-end optimizer (codes `A0505`–
+//! `A0510`).
+//!
+//! Each optimizer pass emits a [`RewriteWitness`] log; this module is the
+//! *independent* side of the contract, mirroring how `pipesched-proof`
+//! replays B&B transcripts. For every pass execution it
+//!
+//! 1. checks the witness list is structurally usable (`A0505`),
+//! 2. discharges each witness's semantic obligation against dataflow
+//!    facts of the **pre-pass** block, re-derived here and never taken
+//!    from the pass: dataflow constants for folds (`A0506`), value
+//!    numbering for CSE merges (`A0507`), coupled liveness for deletions
+//!    (`A0508`), pattern preconditions for peephole identities
+//!    (`A0509`), and
+//! 3. replays the witnesses with its own applier and requires the final
+//!    block to be exactly what the optimizer returned (`A0510`) — an
+//!    unwitnessed rewrite has nowhere to hide.
+//!
+//! [`optimize_verified`] packages the round trip: run the optimizer,
+//! validate the transcript, reject on any error.
+
+use std::fmt;
+
+use pipesched_frontend::{
+    optimize_with_transcript, OptConfig, OptStats, OptTranscript, PassKind, PassWitness,
+    PeepholeRule, RewriteWitness,
+};
+use pipesched_ir::{BasicBlock, Op, Operand, Tuple, TupleId};
+
+use crate::dataflow::{self, solve, ReachingDefs, VarDef};
+use crate::diag::{DiagCode, Diagnostic, Report};
+
+/// The optimizer's output was rejected: the witness transcript could not
+/// justify it. Carries the full diagnostic report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptRejection {
+    /// Why the transcript was rejected (at least one `A05xx` error).
+    pub report: Report,
+}
+
+impl OptRejection {
+    /// The stable codes of the rejection's errors, deduplicated, in order.
+    pub fn codes(&self) -> Vec<DiagCode> {
+        let mut codes = Vec::new();
+        for d in self.report.diagnostics() {
+            if !codes.contains(&d.code) {
+                codes.push(d.code);
+            }
+        }
+        codes
+    }
+}
+
+impl fmt::Display for OptRejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "optimizer translation validation failed\n{}",
+            self.report
+        )
+    }
+}
+
+/// True when the `PIPESCHED_VERIFY_OPT` environment variable forces
+/// translation validation on (any value but `0`); CI's debug test runs
+/// set it so the whole suite exercises [`optimize_verified`].
+pub fn verify_opt_forced() -> bool {
+    std::env::var_os("PIPESCHED_VERIFY_OPT").is_some_and(|v| v != "0")
+}
+
+/// Optimize `block` under translation validation: run the optimizer with
+/// its witness transcript, replay and check the transcript, and return
+/// the optimized block only if every rewrite is justified.
+pub fn optimize_verified(
+    block: &BasicBlock,
+    config: &OptConfig,
+) -> Result<(BasicBlock, OptStats), OptRejection> {
+    let (optimized, stats, transcript) = optimize_with_transcript(block, config);
+    let report = validate_transcript(block, &optimized, &transcript);
+    if report.has_errors() {
+        Err(OptRejection { report })
+    } else {
+        Ok((optimized, stats))
+    }
+}
+
+/// Validate `transcript` as an explanation of how `original` became
+/// `optimized`. The returned report is error-free exactly when every
+/// rewrite is justified and the replay reproduces `optimized`.
+pub fn validate_transcript(
+    original: &BasicBlock,
+    optimized: &BasicBlock,
+    transcript: &OptTranscript,
+) -> Report {
+    let mut report = Report::new(format!("optimizer transcript for `{}`", original.name));
+    if original.verify().is_err() {
+        report.push(Diagnostic::new(
+            DiagCode::WitnessMalformed,
+            "pre-optimization block fails verification; nothing to validate against",
+        ));
+        return report;
+    }
+    let mut current = original.clone();
+    for pw in &transcript.passes {
+        check_pass(&current, pw, &mut report);
+        if report.has_errors() {
+            return report;
+        }
+        match replay_pass(&current, pw) {
+            Ok(next) => {
+                if let Err(e) = next.verify() {
+                    report.push(Diagnostic::new(
+                        DiagCode::ReplayMismatch,
+                        format!("block replayed after `{}` fails verification: {e}", pw.pass),
+                    ));
+                    return report;
+                }
+                current = next;
+            }
+            Err(msg) => {
+                report.push(Diagnostic::new(
+                    DiagCode::WitnessMalformed,
+                    format!("`{}` witnesses do not replay: {msg}", pw.pass),
+                ));
+                return report;
+            }
+        }
+    }
+    if current != *optimized {
+        report.push(Diagnostic::new(
+            DiagCode::ReplayMismatch,
+            format!(
+                "replaying the transcript yields {} tuple(s), the optimizer returned {}; \
+                 some rewrite is unwitnessed or misreported",
+                current.len(),
+                optimized.len()
+            ),
+        ));
+    }
+    report
+}
+
+/// The tuple a witness rewrites (the one that changes or disappears).
+fn rewritten_tuple(w: &RewriteWitness) -> TupleId {
+    match *w {
+        RewriteWitness::Fold { tuple, .. }
+        | RewriteWitness::Delete { tuple }
+        | RewriteWitness::Identity { tuple, .. }
+        | RewriteWitness::Annul { tuple, .. } => tuple,
+        RewriteWitness::Forward { load, .. } => load,
+        RewriteWitness::Merge { dup, .. } => dup,
+    }
+}
+
+/// Every tuple id a witness mentions.
+fn mentioned_tuples(w: &RewriteWitness) -> Vec<TupleId> {
+    match *w {
+        RewriteWitness::Fold { tuple, .. }
+        | RewriteWitness::Delete { tuple }
+        | RewriteWitness::Annul { tuple, .. } => vec![tuple],
+        RewriteWitness::Forward { load, store, src } => vec![load, store, src],
+        RewriteWitness::Merge { dup, into } => vec![dup, into],
+        RewriteWitness::Identity { tuple, target, .. } => vec![tuple, target],
+    }
+}
+
+/// Does this rewrite kind belong to the pass that claims it?
+fn kind_fits_pass(pass: PassKind, w: &RewriteWitness) -> bool {
+    match w {
+        RewriteWitness::Fold { .. } | RewriteWitness::Forward { .. } => {
+            pass == PassKind::ConstantFold
+        }
+        RewriteWitness::Merge { .. } => pass == PassKind::Cse,
+        RewriteWitness::Delete { .. } => pass == PassKind::Dce,
+        RewriteWitness::Identity { .. } | RewriteWitness::Annul { .. } => {
+            pass == PassKind::Peephole
+        }
+    }
+}
+
+/// Check one pass's witnesses against the pre-pass block `block`.
+fn check_pass(block: &BasicBlock, pw: &PassWitness, report: &mut Report) {
+    let n = block.len();
+
+    // Structural usability (A0505) first; semantic checks assume it.
+    let mut rewritten = vec![false; n];
+    for w in &pw.rewrites {
+        if let Some(bad) = mentioned_tuples(w).into_iter().find(|t| t.index() >= n) {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::WitnessMalformed,
+                    format!(
+                        "`{}` witness `{w}` mentions out-of-range tuple {bad}",
+                        pw.pass
+                    ),
+                )
+                .at(rewritten_tuple(w)),
+            );
+            continue;
+        }
+        if !kind_fits_pass(pw.pass, w) {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::WitnessMalformed,
+                    format!("rewrite `{w}` cannot be produced by the `{}` pass", pw.pass),
+                )
+                .at(rewritten_tuple(w)),
+            );
+        }
+        let t = rewritten_tuple(w);
+        if std::mem::replace(&mut rewritten[t.index()], true) {
+            report.push(
+                Diagnostic::new(
+                    DiagCode::WitnessMalformed,
+                    format!(
+                        "tuple {t} is rewritten more than once in one `{}` pass",
+                        pw.pass
+                    ),
+                )
+                .at(t),
+            );
+        }
+    }
+    if report.has_errors() {
+        return;
+    }
+
+    match pw.pass {
+        PassKind::ConstantFold => check_constant_fold(block, pw, report),
+        PassKind::Cse => check_cse(block, pw, report),
+        PassKind::Peephole => check_peephole(block, pw, report),
+        PassKind::Dce => check_dce(block, pw, report),
+    }
+}
+
+/// `A0506`: folds must agree with independently derived constants, and
+/// forwards must name the unique reaching store of the loaded variable.
+fn check_constant_fold(block: &BasicBlock, pw: &PassWitness, report: &mut Report) {
+    let konst = dataflow::constants(block);
+    let reaching = solve(&ReachingDefs, block);
+    for w in &pw.rewrites {
+        match *w {
+            RewriteWitness::Fold { tuple, value } if konst[tuple.index()] != Some(value) => {
+                report.push(
+                    Diagnostic::new(
+                        DiagCode::FoldWitnessInvalid,
+                        format!(
+                            "fold of tuple {tuple} to {value} disagrees with dataflow \
+                             constants ({:?})",
+                            konst[tuple.index()]
+                        ),
+                    )
+                    .at(tuple),
+                );
+            }
+            RewriteWitness::Fold { .. } => {}
+            RewriteWitness::Forward { load, store, src } => {
+                let lt = &block.tuples()[load.index()];
+                let st = &block.tuples()[store.index()];
+                let var = lt.a.as_var();
+                let ok = lt.op == Op::Load
+                    && st.op == Op::Store
+                    && var.is_some()
+                    && st.a.as_var() == var
+                    && st.b == Operand::Tuple(src)
+                    && var.map(|v| reaching.before(load.index()).get(v.0 as usize).copied())
+                        == Some(Some(VarDef::Store(store)));
+                if !ok {
+                    report.push(
+                        Diagnostic::new(
+                            DiagCode::FoldWitnessInvalid,
+                            format!(
+                                "forwarding of load {load} from store {store} (src {src}) fails: \
+                                 the store is not the unique reaching definition of that variable"
+                            ),
+                        )
+                        .at(load),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `A0507`: merges must redirect a later tuple onto an earlier congruent
+/// one (same value number under the validator's own numbering).
+fn check_cse(block: &BasicBlock, pw: &PassWitness, report: &mut Report) {
+    let vn = dataflow::value_numbers(block);
+    for w in &pw.rewrites {
+        if let RewriteWitness::Merge { dup, into } = *w {
+            let ok = into.index() < dup.index()
+                && block.tuples()[dup.index()].op.produces_value()
+                && block.tuples()[into.index()].op.produces_value()
+                && vn[dup.index()] == vn[into.index()];
+            if !ok {
+                report.push(
+                    Diagnostic::new(
+                        DiagCode::CseWitnessInvalid,
+                        format!(
+                            "merge of tuple {dup} into {into} fails: value numbers {} vs {}",
+                            vn[dup.index()],
+                            vn[into.index()]
+                        ),
+                    )
+                    .at(dup),
+                );
+            }
+        }
+    }
+}
+
+/// `A0508`: deletions must hit tuples the validator's coupled liveness
+/// already considers dead.
+fn check_dce(block: &BasicBlock, pw: &PassWitness, report: &mut Report) {
+    let live = dataflow::live_tuples(block);
+    for w in &pw.rewrites {
+        if let RewriteWitness::Delete { tuple } = *w {
+            if live[tuple.index()] {
+                report.push(
+                    Diagnostic::new(
+                        DiagCode::DceWitnessInvalid,
+                        format!("deletion of tuple {tuple} fails: liveness says it is still live"),
+                    )
+                    .at(tuple),
+                );
+            }
+        }
+    }
+}
+
+/// `A0509`: each claimed identity's pattern precondition must hold on the
+/// pre-pass block (constant-ness established through dataflow constants).
+fn check_peephole(block: &BasicBlock, pw: &PassWitness, report: &mut Report) {
+    let konst = dataflow::constants(block);
+    let opconst = |o: Operand| -> Option<i64> {
+        match o {
+            Operand::Imm(v) => Some(v),
+            Operand::Tuple(r) => konst[r.index()],
+            _ => None,
+        }
+    };
+    for w in &pw.rewrites {
+        match *w {
+            RewriteWitness::Identity {
+                tuple,
+                target,
+                rule,
+            } => {
+                let t = &block.tuples()[tuple.index()];
+                let is = |o: Operand| o == Operand::Tuple(target);
+                let ok = match rule {
+                    PeepholeRule::AddZero => {
+                        t.op == Op::Add
+                            && ((is(t.a) && opconst(t.b) == Some(0))
+                                || (is(t.b) && opconst(t.a) == Some(0)))
+                    }
+                    PeepholeRule::SubZero => t.op == Op::Sub && is(t.a) && opconst(t.b) == Some(0),
+                    PeepholeRule::MulOne => {
+                        t.op == Op::Mul
+                            && ((is(t.a) && opconst(t.b) == Some(1))
+                                || (is(t.b) && opconst(t.a) == Some(1)))
+                    }
+                    PeepholeRule::DivOne => t.op == Op::Div && is(t.a) && opconst(t.b) == Some(1),
+                    PeepholeRule::NegNeg => {
+                        t.op == Op::Neg
+                            && t.a.as_tuple().is_some_and(|inner| {
+                                let it = &block.tuples()[inner.index()];
+                                it.op == Op::Neg && is(it.a)
+                            })
+                    }
+                    PeepholeRule::MovCopy => t.op == Op::Mov && is(t.a),
+                    // Annihilation never redirects to a target tuple.
+                    PeepholeRule::MulZero => false,
+                };
+                if !ok {
+                    report.push(
+                        Diagnostic::new(
+                            DiagCode::PeepholeWitnessInvalid,
+                            format!(
+                                "identity `{}` on tuple {tuple} (target {target}) fails its \
+                                 precondition",
+                                rule.name()
+                            ),
+                        )
+                        .at(tuple),
+                    );
+                }
+            }
+            RewriteWitness::Annul { tuple, value } => {
+                let t = &block.tuples()[tuple.index()];
+                let ok = t.op == Op::Mul
+                    && value == 0
+                    && (opconst(t.a) == Some(0) || opconst(t.b) == Some(0));
+                if !ok {
+                    report.push(
+                        Diagnostic::new(
+                            DiagCode::PeepholeWitnessInvalid,
+                            format!(
+                                "annihilation of tuple {tuple} to {value} fails its precondition"
+                            ),
+                        )
+                        .at(tuple),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Apply one pass's witnesses to `block` with the validator's own
+/// applier (redirect chains, removals, in-place replacements, renumber).
+/// Structurally impossible witness sets (dangling references, redirect
+/// cycles) return an error instead of panicking.
+fn replay_pass(block: &BasicBlock, pw: &PassWitness) -> Result<BasicBlock, String> {
+    let n = block.len();
+    let mut redirect: Vec<Option<TupleId>> = vec![None; n];
+    let mut removed = vec![false; n];
+    let mut replaced: Vec<Option<Tuple>> = vec![None; n];
+    for w in &pw.rewrites {
+        match *w {
+            RewriteWitness::Fold { tuple, value } | RewriteWitness::Annul { tuple, value } => {
+                replaced[tuple.index()] = Some(Tuple {
+                    id: tuple,
+                    op: Op::Const,
+                    a: Operand::Imm(value),
+                    b: Operand::None,
+                });
+            }
+            RewriteWitness::Forward { load, src, .. } => {
+                replaced[load.index()] = Some(Tuple {
+                    id: load,
+                    op: Op::Mov,
+                    a: Operand::Tuple(src),
+                    b: Operand::None,
+                });
+            }
+            RewriteWitness::Merge { dup, into } => {
+                redirect[dup.index()] = Some(into);
+                removed[dup.index()] = true;
+            }
+            RewriteWitness::Identity { tuple, target, .. } => {
+                redirect[tuple.index()] = Some(target);
+                removed[tuple.index()] = true;
+            }
+            RewriteWitness::Delete { tuple } => removed[tuple.index()] = true,
+        }
+    }
+
+    let resolve = |start: TupleId| -> Result<TupleId, String> {
+        let mut t = start;
+        let mut hops = 0usize;
+        while let Some(next) = redirect[t.index()] {
+            t = next;
+            hops += 1;
+            if hops > n {
+                return Err(format!("redirect cycle starting at tuple {start}"));
+            }
+        }
+        if removed[t.index()] {
+            Err(format!(
+                "tuple {start} redirects to removed tuple {t} with no further target"
+            ))
+        } else {
+            Ok(t)
+        }
+    };
+
+    let mut new_id: Vec<Option<TupleId>> = vec![None; n];
+    let mut live_count = 0u32;
+    for (i, slot) in new_id.iter_mut().enumerate() {
+        if !removed[i] {
+            *slot = Some(TupleId(live_count));
+            live_count += 1;
+        }
+    }
+
+    let mut out_tuples = Vec::with_capacity(live_count as usize);
+    for (i, orig) in block.tuples().iter().enumerate() {
+        if removed[i] {
+            continue;
+        }
+        let t = replaced[i].unwrap_or(*orig);
+        let map = |o: Operand| -> Result<Operand, String> {
+            match o {
+                Operand::Tuple(r) => {
+                    let kept = resolve(r)?;
+                    let id = new_id[kept.index()]
+                        .ok_or_else(|| format!("operand of tuple {} dangles", orig.id))?;
+                    Ok(Operand::Tuple(id))
+                }
+                other => Ok(other),
+            }
+        };
+        out_tuples.push(Tuple {
+            id: new_id[i].expect("kept tuples are renumbered"),
+            op: t.op,
+            a: map(t.a)?,
+            b: map(t.b)?,
+        });
+    }
+    let mut out = block.clone();
+    out.replace_tuples(out_tuples);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipesched_frontend::{lower, parse_program};
+
+    fn block(src: &str) -> BasicBlock {
+        lower("t", &parse_program(src).unwrap())
+    }
+
+    fn verified(src: &str) -> (BasicBlock, BasicBlock, OptTranscript) {
+        let b = block(src);
+        let (o, _, tr) = optimize_with_transcript(&b, &OptConfig::default());
+        (b, o, tr)
+    }
+
+    #[test]
+    fn honest_runs_validate() {
+        for src in [
+            "x = 2 + 3;\ny = x * 4;\n",
+            "x = a + b;\ny = a + b;\nz = x * y;\n",
+            "a = b * 1 + 0;\nc = a / 1;\nd = c - 0;\ne = d + d;\nf = e * 0;\n",
+            "x = 1;\nx = 2;\nx = 3;\n",
+        ] {
+            let (b, o, tr) = verified(src);
+            let report = validate_transcript(&b, &o, &tr);
+            assert!(!report.has_errors(), "{src}\n{report}");
+            assert!(optimize_verified(&b, &OptConfig::default()).is_ok());
+        }
+    }
+
+    #[test]
+    fn corrupted_fold_constant_rejected() {
+        let (b, o, mut tr) = verified("x = 2 + 3;\n");
+        for pw in &mut tr.passes {
+            for w in &mut pw.rewrites {
+                if let RewriteWitness::Fold { value, .. } = w {
+                    *value += 1;
+                }
+            }
+        }
+        let report = validate_transcript(&b, &o, &tr);
+        assert!(report.has_code(DiagCode::FoldWitnessInvalid), "{report}");
+    }
+
+    #[test]
+    fn dropped_delete_witness_rejected() {
+        let (b, o, mut tr) = verified("x = a;\ny = a;\nx = b;\n");
+        let mut dropped = false;
+        for pw in &mut tr.passes {
+            if pw.pass == PassKind::Dce && !pw.rewrites.is_empty() {
+                pw.rewrites.pop();
+                dropped = true;
+                break;
+            }
+        }
+        assert!(dropped, "expected the optimizer to run DCE:\n{tr}");
+        let report = validate_transcript(&b, &o, &tr);
+        assert!(report.has_code(DiagCode::ReplayMismatch), "{report}");
+    }
+
+    #[test]
+    fn forged_cse_merge_rejected() {
+        let (b, o, mut tr) = verified("x = a + b;\ny = a + b;\nz = x - y;\n");
+        let mut forged = false;
+        for pw in &mut tr.passes {
+            for w in &mut pw.rewrites {
+                if let RewriteWitness::Merge { into, .. } = w {
+                    // Tuple 0 is the Load of `a`: definitely not congruent
+                    // to the Add being merged.
+                    *into = TupleId(0);
+                    forged = true;
+                }
+            }
+        }
+        assert!(forged, "expected a CSE merge:\n{tr}");
+        let report = validate_transcript(&b, &o, &tr);
+        assert!(report.has_code(DiagCode::CseWitnessInvalid), "{report}");
+    }
+
+    #[test]
+    fn deleting_live_tuple_rejected() {
+        let b = block("r = a + b;\n");
+        let tr = OptTranscript {
+            passes: vec![PassWitness {
+                pass: PassKind::Dce,
+                rewrites: vec![RewriteWitness::Delete { tuple: TupleId(2) }],
+            }],
+        };
+        let report = validate_transcript(&b, &b, &tr);
+        assert!(report.has_code(DiagCode::DceWitnessInvalid), "{report}");
+    }
+
+    #[test]
+    fn wrong_pass_kind_rejected() {
+        let b = block("r = a + b;\n");
+        let tr = OptTranscript {
+            passes: vec![PassWitness {
+                pass: PassKind::Cse,
+                rewrites: vec![RewriteWitness::Delete { tuple: TupleId(2) }],
+            }],
+        };
+        let report = validate_transcript(&b, &b, &tr);
+        assert!(report.has_code(DiagCode::WitnessMalformed), "{report}");
+    }
+
+    #[test]
+    fn bogus_peephole_identity_rejected() {
+        let b = block("r = a + b;\n");
+        let tr = OptTranscript {
+            passes: vec![PassWitness {
+                pass: PassKind::Peephole,
+                rewrites: vec![RewriteWitness::Identity {
+                    tuple: TupleId(2),
+                    target: TupleId(0),
+                    rule: PeepholeRule::AddZero,
+                }],
+            }],
+        };
+        let report = validate_transcript(&b, &b, &tr);
+        assert!(
+            report.has_code(DiagCode::PeepholeWitnessInvalid),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_witness_rejected() {
+        let b = block("r = a;\n");
+        let tr = OptTranscript {
+            passes: vec![PassWitness {
+                pass: PassKind::Dce,
+                rewrites: vec![RewriteWitness::Delete { tuple: TupleId(99) }],
+            }],
+        };
+        let report = validate_transcript(&b, &b, &tr);
+        assert!(report.has_code(DiagCode::WitnessMalformed), "{report}");
+    }
+
+    #[test]
+    fn rejection_lists_stable_codes() {
+        let (b, _, mut tr) = verified("x = 2 + 3;\n");
+        for pw in &mut tr.passes {
+            for w in &mut pw.rewrites {
+                if let RewriteWitness::Fold { value, .. } = w {
+                    *value = 0;
+                }
+            }
+        }
+        let report = validate_transcript(&b, &b, &tr);
+        let rej = OptRejection { report };
+        assert!(rej.codes().contains(&DiagCode::FoldWitnessInvalid));
+        assert!(rej.to_string().contains("A0506"));
+    }
+}

@@ -14,6 +14,8 @@ pub struct Assign {
     pub target: String,
     /// The right-hand side.
     pub value: Expr,
+    /// 1-based source line of the statement (0 when synthesized).
+    pub line: usize,
 }
 
 /// Expressions.

@@ -30,8 +30,9 @@ pub mod token;
 
 pub use error::FrontendError;
 pub use interp::{interpret, Interpretation};
-pub use lower::lower;
-pub use opt::{optimize, OptConfig, OptStats};
+pub use lower::{lower, lower_with_lines};
+pub use opt::witness::{OptTranscript, PassKind, PassWitness, PeepholeRule, RewriteWitness};
+pub use opt::{optimize, optimize_with_transcript, OptConfig, OptStats};
 pub use parser::{parse_labeled_program, parse_program};
 
 use pipesched_ir::BasicBlock;

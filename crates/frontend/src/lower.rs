@@ -16,19 +16,31 @@ use crate::ast::{BinOp, Expr, Program};
 
 /// Lower `program` into a (verified) basic block named `name`.
 pub fn lower(name: &str, program: &Program) -> BasicBlock {
+    lower_with_lines(name, program).0
+}
+
+/// [`lower`], additionally returning the 1-based source line each tuple
+/// was generated from (parallel to the block's tuples; 0 for tuples of
+/// synthesized statements). Diagnostics use this to anchor findings to
+/// `file:line` instead of tuple ids.
+pub fn lower_with_lines(name: &str, program: &Program) -> (BasicBlock, Vec<usize>) {
     let mut block = BasicBlock::new(name);
     // Variable → tuple currently holding its value.
     let mut env: HashMap<String, TupleId> = HashMap::new();
+    let mut lines = Vec::new();
 
     for stmt in &program.statements {
+        let before = block.len();
         let value = lower_expr(&mut block, &mut env, &stmt.value);
         let var = block.intern(&stmt.target);
         block.push(Op::Store, Operand::Var(var), Operand::Tuple(value));
         env.insert(stmt.target.clone(), value);
+        lines.extend(std::iter::repeat_n(stmt.line, block.len() - before));
     }
 
     debug_assert!(block.verify().is_ok(), "lowering must produce valid IR");
-    block
+    debug_assert_eq!(lines.len(), block.len());
+    (block, lines)
 }
 
 fn lower_expr(block: &mut BasicBlock, env: &mut HashMap<String, TupleId>, expr: &Expr) -> TupleId {

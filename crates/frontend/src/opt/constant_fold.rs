@@ -10,13 +10,17 @@
 
 use pipesched_ir::{BasicBlock, Op, Operand, Tuple};
 
-/// Run one folding pass. `None` if nothing changed.
-pub fn run(block: &BasicBlock) -> Option<BasicBlock> {
+use super::witness::RewriteWitness;
+
+/// Run one folding pass. `None` if nothing changed; otherwise the new
+/// block plus one witness per rewritten tuple.
+pub fn run(block: &BasicBlock) -> Option<(BasicBlock, Vec<RewriteWitness>)> {
     let n = block.len();
     let mut known: Vec<Option<i64>> = vec![None; n];
     let mut last_store: Vec<Option<pipesched_ir::TupleId>> = vec![None; block.symbols().len()];
+    let mut store_id: Vec<Option<pipesched_ir::TupleId>> = vec![None; block.symbols().len()];
     let mut tuples: Vec<Tuple> = block.tuples().to_vec();
-    let mut changed = false;
+    let mut witnesses = Vec::new();
 
     for i in 0..n {
         let t = tuples[i];
@@ -40,12 +44,17 @@ pub fn run(block: &BasicBlock) -> Option<BasicBlock> {
                         b: Operand::None,
                     };
                     known[i] = known[src.index()];
-                    changed = true;
+                    witnesses.push(RewriteWitness::Forward {
+                        load: t.id,
+                        store: store_id[v].expect("forwarding implies a prior store"),
+                        src,
+                    });
                 }
             }
             Op::Store => {
                 let v = t.a.as_var().expect("verified").0 as usize;
                 last_store[v] = t.b.as_tuple();
+                store_id[v] = Some(t.id);
             }
             Op::Add | Op::Sub | Op::Mul | Op::Div => {
                 if let (Some(a), Some(b)) = (const_of(t.a, &known), const_of(t.b, &known)) {
@@ -60,7 +69,10 @@ pub fn run(block: &BasicBlock) -> Option<BasicBlock> {
                             b: Operand::None,
                         };
                         known[i] = Some(folded);
-                        changed = true;
+                        witnesses.push(RewriteWitness::Fold {
+                            tuple: t.id,
+                            value: folded,
+                        });
                     }
                 }
             }
@@ -74,7 +86,10 @@ pub fn run(block: &BasicBlock) -> Option<BasicBlock> {
                             b: Operand::None,
                         };
                         known[i] = Some(folded);
-                        changed = true;
+                        witnesses.push(RewriteWitness::Fold {
+                            tuple: t.id,
+                            value: folded,
+                        });
                     }
                 }
             }
@@ -82,13 +97,13 @@ pub fn run(block: &BasicBlock) -> Option<BasicBlock> {
         }
     }
 
-    if !changed {
+    if witnesses.is_empty() {
         return None;
     }
     let mut out = block.clone();
     out.replace_tuples(tuples);
     debug_assert!(out.verify().is_ok());
-    Some(out)
+    Some((out, witnesses))
 }
 
 #[cfg(test)]
@@ -98,7 +113,7 @@ mod tests {
     use crate::parser::parse_program;
 
     fn fold_src(src: &str) -> Option<BasicBlock> {
-        run(&lower("t", &parse_program(src).unwrap()))
+        run(&lower("t", &parse_program(src).unwrap())).map(|(b, _)| b)
     }
 
     #[test]
@@ -119,8 +134,16 @@ mod tests {
         let l = b.load("x");
         b.store("y", l);
         let block = b.finish().unwrap();
-        let out = run(&block).unwrap();
+        let (out, wits) = run(&block).unwrap();
         assert_eq!(out.tuple(pipesched_ir::TupleId(2)).op, Op::Mov);
+        assert_eq!(
+            wits,
+            vec![RewriteWitness::Forward {
+                load: pipesched_ir::TupleId(2),
+                store: pipesched_ir::TupleId(1),
+                src: pipesched_ir::TupleId(0),
+            }]
+        );
     }
 
     #[test]

@@ -11,8 +11,11 @@ use std::collections::HashMap;
 use pipesched_ir::rewrite::Rewriter;
 use pipesched_ir::{BasicBlock, Op, Operand, TupleId};
 
-/// Run one CSE pass. `None` if nothing changed.
-pub fn run(block: &BasicBlock) -> Option<BasicBlock> {
+use super::witness::RewriteWitness;
+
+/// Run one CSE pass. `None` if nothing changed; otherwise the new block
+/// plus one `Merge` witness per eliminated duplicate.
+pub fn run(block: &BasicBlock) -> Option<(BasicBlock, Vec<RewriteWitness>)> {
     let mut store_epoch: Vec<u32> = vec![0; block.symbols().len()];
     // Value-number key → first tuple computing it.
     let mut table: HashMap<(Op, u32, Operand, Operand), TupleId> = HashMap::new();
@@ -20,7 +23,7 @@ pub fn run(block: &BasicBlock) -> Option<BasicBlock> {
     // Resolved replacement for each tuple (identity unless CSE'd), so later
     // keys compare post-replacement operands.
     let mut resolved: Vec<TupleId> = block.ids().collect();
-    let mut changed = false;
+    let mut witnesses = Vec::new();
 
     for t in block.tuples() {
         let resolve = |o: Operand, resolved: &[TupleId]| -> Operand {
@@ -47,7 +50,10 @@ pub fn run(block: &BasicBlock) -> Option<BasicBlock> {
                     rewriter.redirect(t.id, first);
                     rewriter.remove(t.id);
                     resolved[t.id.index()] = first;
-                    changed = true;
+                    witnesses.push(RewriteWitness::Merge {
+                        dup: t.id,
+                        into: first,
+                    });
                 } else {
                     table.insert(key, t.id);
                 }
@@ -67,7 +73,10 @@ pub fn run(block: &BasicBlock) -> Option<BasicBlock> {
                     rewriter.redirect(t.id, first);
                     rewriter.remove(t.id);
                     resolved[t.id.index()] = first;
-                    changed = true;
+                    witnesses.push(RewriteWitness::Merge {
+                        dup: t.id,
+                        into: first,
+                    });
                 } else {
                     table.insert(key, t.id);
                 }
@@ -75,18 +84,22 @@ pub fn run(block: &BasicBlock) -> Option<BasicBlock> {
         }
     }
 
-    if !changed {
+    if witnesses.is_empty() {
         return None;
     }
     let out = rewriter.apply(block);
     debug_assert!(out.verify().is_ok());
-    Some(out)
+    Some((out, witnesses))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pipesched_ir::BlockBuilder;
+
+    fn run1(block: &BasicBlock) -> Option<BasicBlock> {
+        run(block).map(|(b, _)| b)
+    }
 
     #[test]
     fn merges_identical_binaries() {
@@ -98,7 +111,7 @@ mod tests {
         let m = b.mul(a1, a2);
         b.store("r", m);
         let block = b.finish().unwrap();
-        let out = run(&block).unwrap();
+        let out = run1(&block).unwrap();
         let adds = out.tuples().iter().filter(|t| t.op == Op::Add).count();
         assert_eq!(adds, 1);
         // The mul now squares the single add.
@@ -116,7 +129,7 @@ mod tests {
         let s = b.sub(a1, a2);
         b.store("r", s);
         let block = b.finish().unwrap();
-        let out = run(&block).unwrap();
+        let out = run1(&block).unwrap();
         assert_eq!(out.tuples().iter().filter(|t| t.op == Op::Add).count(), 1);
     }
 
@@ -157,7 +170,7 @@ mod tests {
         let a = b.add(l1, l2);
         b.store("r", a);
         let block = b.finish().unwrap();
-        let out = run(&block).unwrap();
+        let out = run1(&block).unwrap();
         assert_eq!(out.tuples().iter().filter(|t| t.op == Op::Load).count(), 1);
     }
 
@@ -175,7 +188,7 @@ mod tests {
         let s = b.sub(m1, m2);
         b.store("r", s);
         let block = b.finish().unwrap();
-        let out = run(&block).unwrap();
+        let out = run1(&block).unwrap();
         assert_eq!(
             out.tuples().iter().filter(|t| t.op == Op::Mul).count(),
             1,
@@ -191,7 +204,7 @@ mod tests {
         let a = b.add(c1, c2);
         b.store("r", a);
         let block = b.finish().unwrap();
-        let out = run(&block).unwrap();
+        let out = run1(&block).unwrap();
         assert_eq!(out.tuples().iter().filter(|t| t.op == Op::Const).count(), 1);
     }
 }

@@ -1,76 +1,92 @@
 //! Dead-code and dead-store elimination.
 //!
-//! Roots are the *live stores*: the last store to each variable, plus any
-//! store followed by a load of that variable before the next store. Every
-//! tuple transitively reachable from a root through operand references is
-//! live; everything else is removed.
+//! One backward *coupled liveness* scan tracks variable liveness and tuple
+//! (value) liveness together:
+//!
+//! * at block end every variable is live-out (its final value is
+//!   observable memory), so the last store to each variable is live;
+//! * a `Store` is live iff its variable is live after it, and kills the
+//!   variable's liveness for earlier tuples;
+//! * a `Load` revives its variable's liveness **only if the load itself is
+//!   live** — a load whose value nobody live consumes keeps nothing alive;
+//! * a pure tuple is live iff some live tuple reads its value.
+//!
+//! Coupling the two directions closes the classic blind spot of running
+//! dead-store and dead-value analysis separately: a store whose only
+//! readers are dead loads is itself dead, and the whole chain falls in a
+//! single pass instead of ratcheting down one fixpoint iteration at a
+//! time (or surviving entirely when the chain is cyclic through memory).
 
 use pipesched_ir::rewrite::Rewriter;
 use pipesched_ir::{BasicBlock, Op, TupleId};
 
-/// Run one DCE pass. `None` if nothing changed.
-pub fn run(block: &BasicBlock) -> Option<BasicBlock> {
+use super::witness::RewriteWitness;
+
+/// Run one DCE pass. `None` if nothing changed; otherwise the new block
+/// plus one `Delete` witness per removed tuple.
+pub fn run(block: &BasicBlock) -> Option<(BasicBlock, Vec<RewriteWitness>)> {
     let n = block.len();
     let nvars = block.symbols().len();
 
-    // 1. Find live stores: walk backwards; a store is dead if a later store
-    //    to the same variable occurs with no intervening load of it.
-    let mut overwritten = vec![false; nvars];
-    let mut store_live = vec![true; n];
-    for t in block.tuples().iter().rev() {
+    let mut var_live = vec![true; nvars];
+    let mut value_live = vec![false; n];
+    let mut keep = vec![false; n];
+    for (i, t) in block.tuples().iter().enumerate().rev() {
         match t.op {
             Op::Store => {
                 let v = t.a.as_var().expect("verified").0 as usize;
-                if overwritten[v] {
-                    store_live[t.id.index()] = false;
-                } else {
-                    overwritten[v] = true;
+                if var_live[v] {
+                    keep[i] = true;
+                    if let Some(src) = t.b.as_tuple() {
+                        value_live[src.index()] = true;
+                    }
                 }
+                var_live[v] = false;
             }
             Op::Load => {
-                let v = t.a.as_var().expect("verified").0 as usize;
-                overwritten[v] = false;
+                if value_live[i] {
+                    keep[i] = true;
+                    let v = t.a.as_var().expect("verified").0 as usize;
+                    var_live[v] = true;
+                }
             }
-            _ => {}
-        }
-    }
-
-    // 2. Mark liveness from live stores backwards through operands.
-    let mut live = vec![false; n];
-    #[allow(clippy::needless_range_loop)]
-    for i in (0..n).rev() {
-        let t = &block.tuples()[i];
-        let is_root = t.op == Op::Store && store_live[i];
-        if is_root {
-            live[i] = true;
-        }
-        if live[i] {
-            for r in t.tuple_refs() {
-                live[r.index()] = true;
+            _ => {
+                if value_live[i] {
+                    keep[i] = true;
+                    for r in t.tuple_refs() {
+                        value_live[r.index()] = true;
+                    }
+                }
             }
         }
     }
 
     let mut rewriter = Rewriter::new(n);
-    let mut changed = false;
-    for (i, &alive) in live.iter().enumerate() {
-        if !alive {
+    let mut witnesses = Vec::new();
+    for (i, &kept) in keep.iter().enumerate() {
+        if !kept {
             rewriter.remove(TupleId(i as u32));
-            changed = true;
+            witnesses.push(RewriteWitness::Delete {
+                tuple: TupleId(i as u32),
+            });
         }
     }
-    if !changed {
+    if witnesses.is_empty() {
         return None;
     }
     let out = rewriter.apply(block);
     debug_assert!(out.verify().is_ok());
-    Some(out)
+    Some((out, witnesses))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use pipesched_ir::BlockBuilder;
+
+    fn run1(block: &BasicBlock) -> Option<BasicBlock> {
+        run(block).map(|(b, _)| b)
+    }
 
     #[test]
     fn removes_unused_computation() {
@@ -80,7 +96,7 @@ mod tests {
         let _unused = b.mul(x, y);
         b.store("r", x);
         let block = b.finish().unwrap();
-        let out = run(&block).unwrap();
+        let out = run1(&block).unwrap();
         // Mul and the load of y both die.
         assert_eq!(out.len(), 2, "\n{out}");
     }
@@ -104,7 +120,7 @@ mod tests {
         let c2 = b.constant(2);
         b.store("x", c2);
         let block = b.finish().unwrap();
-        let out = run(&block).unwrap();
+        let out = run1(&block).unwrap();
         // First store (and its const) die.
         assert_eq!(out.len(), 2, "\n{out}");
         assert_eq!(out.tuple(TupleId(0)).a.as_imm(), Some(2));
@@ -120,8 +136,53 @@ mod tests {
         let c2 = b.constant(2);
         b.store("x", c2);
         let block = b.finish().unwrap();
-        // The first store of x is read by the load before the overwrite.
+        // The first store of x is read by a *live* load (it feeds the
+        // final store of y) before the overwrite.
         assert!(run(&block).is_none());
+    }
+
+    #[test]
+    fn store_kept_only_by_dead_load_dies_in_one_pass() {
+        // store x, (dead) load x, store x: the load's value is never
+        // consumed, so it must not keep the first store alive. The old
+        // two-phase DCE kept all of this; coupled liveness removes the
+        // first store, its const, and the dead load together.
+        let mut b = BlockBuilder::new("blind");
+        let c1 = b.constant(1);
+        b.store("x", c1);
+        let _l = b.load("x");
+        let c2 = b.constant(2);
+        b.store("x", c2);
+        let block = b.finish().unwrap();
+        let (out, wits) = run(&block).unwrap();
+        assert_eq!(out.len(), 2, "\n{out}");
+        assert_eq!(out.tuple(TupleId(0)).a.as_imm(), Some(2));
+        assert_eq!(wits.len(), 3);
+        assert!(wits
+            .iter()
+            .all(|w| matches!(w, RewriteWitness::Delete { .. })));
+    }
+
+    #[test]
+    fn dead_load_chain_through_memory_dies_together() {
+        // store x <- c; load x -> neg -> store y; store y <- c2; store x <- c3
+        // The store of y via the neg is overwritten, so the neg, the load
+        // and the first store of x are all dead — a chain that needs the
+        // coupled scan to fall in one pass.
+        let mut b = BlockBuilder::new("chainmem");
+        let c = b.constant(1);
+        b.store("x", c);
+        let l = b.load("x");
+        let ng = b.neg(l);
+        b.store("y", ng);
+        let c2 = b.constant(2);
+        b.store("y", c2);
+        let c3 = b.constant(3);
+        b.store("x", c3);
+        let block = b.finish().unwrap();
+        let (out, _) = run(&block).unwrap();
+        // Only c2/store y and c3/store x survive.
+        assert_eq!(out.len(), 4, "\n{out}");
     }
 
     #[test]
@@ -133,7 +194,7 @@ mod tests {
         let _n3 = b.neg(n2);
         b.store("r", x);
         let block = b.finish().unwrap();
-        let out = run(&block).unwrap();
+        let out = run1(&block).unwrap();
         assert_eq!(out.len(), 2);
     }
 }

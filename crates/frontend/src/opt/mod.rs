@@ -10,8 +10,11 @@ pub mod constant_fold;
 pub mod cse;
 pub mod dce;
 pub mod peephole;
+pub mod witness;
 
 use pipesched_ir::BasicBlock;
+
+use witness::{OptTranscript, PassKind, PassWitness, RewriteWitness};
 
 /// Which passes to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,11 +74,58 @@ pub struct OptStats {
     pub peephole_hits: u32,
     /// Times DCE changed the block.
     pub dce_removals: u32,
+    /// Individual tuples folded to constants (`Fold` witnesses).
+    pub fold_rewrites: u32,
+    /// Individual store-to-load forwardings (`Forward` witnesses).
+    pub forward_rewrites: u32,
+    /// Individual duplicates merged by CSE (`Merge` witnesses).
+    pub cse_merges: u32,
+    /// Individual peephole identities applied (`Identity`/`Annul`).
+    pub peephole_rewrites: u32,
+    /// Individual tuples deleted by DCE (`Delete` witnesses).
+    pub dce_deletions: u32,
+}
+
+impl OptStats {
+    /// Total individual rewrites across all passes and iterations.
+    pub fn total_rewrites(&self) -> u32 {
+        self.fold_rewrites
+            + self.forward_rewrites
+            + self.cse_merges
+            + self.peephole_rewrites
+            + self.dce_deletions
+    }
+
+    /// Tally one pass's witness list into the per-rewrite counters.
+    fn count_rewrites(&mut self, rewrites: &[RewriteWitness]) {
+        for w in rewrites {
+            match w {
+                RewriteWitness::Fold { .. } => self.fold_rewrites += 1,
+                RewriteWitness::Forward { .. } => self.forward_rewrites += 1,
+                RewriteWitness::Merge { .. } => self.cse_merges += 1,
+                RewriteWitness::Identity { .. } | RewriteWitness::Annul { .. } => {
+                    self.peephole_rewrites += 1;
+                }
+                RewriteWitness::Delete { .. } => self.dce_deletions += 1,
+            }
+        }
+    }
 }
 
 /// Run the configured passes to a fixpoint. Returns the optimized block and
 /// statistics. The input block must verify.
 pub fn optimize(block: &BasicBlock, config: &OptConfig) -> (BasicBlock, OptStats) {
+    let (optimized, stats, _) = optimize_with_transcript(block, config);
+    (optimized, stats)
+}
+
+/// [`optimize`], additionally returning the full rewrite-witness
+/// transcript for translation validation (`pipesched-analyze` replays it
+/// against independent dataflow facts of the input block).
+pub fn optimize_with_transcript(
+    block: &BasicBlock,
+    config: &OptConfig,
+) -> (BasicBlock, OptStats, OptTranscript) {
     debug_assert!(block.verify().is_ok());
     let _opt = pipesched_trace::span_with("frontend.optimize", block.len() as i64);
     let mut current = block.clone();
@@ -83,38 +133,52 @@ pub fn optimize(block: &BasicBlock, config: &OptConfig) -> (BasicBlock, OptStats
         tuples_before: block.len(),
         ..OptStats::default()
     };
+    let mut transcript = OptTranscript::default();
+
+    // Record one changed pass: tally rewrite counters, emit the per-pass
+    // rewrite count on the trace, append to the transcript.
+    let mut record =
+        |pass: PassKind, rewrites: Vec<RewriteWitness>, iteration: u32, stats: &mut OptStats| {
+            stats.count_rewrites(&rewrites);
+            pipesched_trace::point2("opt.rewrites", i64::from(iteration), rewrites.len() as i64);
+            transcript.passes.push(PassWitness { pass, rewrites });
+        };
 
     for _ in 0..config.max_iterations {
         let mut changed = false;
         if config.constant_fold {
             let _s = pipesched_trace::span_with("opt.constant_fold", i64::from(stats.iterations));
-            if let Some(next) = constant_fold::run(&current) {
+            if let Some((next, wits)) = constant_fold::run(&current) {
                 current = next;
                 stats.constant_folds += 1;
+                record(PassKind::ConstantFold, wits, stats.iterations, &mut stats);
                 changed = true;
             }
         }
         if config.cse {
             let _s = pipesched_trace::span_with("opt.cse", i64::from(stats.iterations));
-            if let Some(next) = cse::run(&current) {
+            if let Some((next, wits)) = cse::run(&current) {
                 current = next;
                 stats.cse_hits += 1;
+                record(PassKind::Cse, wits, stats.iterations, &mut stats);
                 changed = true;
             }
         }
         if config.peephole {
             let _s = pipesched_trace::span_with("opt.peephole", i64::from(stats.iterations));
-            if let Some(next) = peephole::run(&current) {
+            if let Some((next, wits)) = peephole::run(&current) {
                 current = next;
                 stats.peephole_hits += 1;
+                record(PassKind::Peephole, wits, stats.iterations, &mut stats);
                 changed = true;
             }
         }
         if config.dce {
             let _s = pipesched_trace::span_with("opt.dce", i64::from(stats.iterations));
-            if let Some(next) = dce::run(&current) {
+            if let Some((next, wits)) = dce::run(&current) {
                 current = next;
                 stats.dce_removals += 1;
+                record(PassKind::Dce, wits, stats.iterations, &mut stats);
                 changed = true;
             }
         }
@@ -126,7 +190,7 @@ pub fn optimize(block: &BasicBlock, config: &OptConfig) -> (BasicBlock, OptStats
 
     debug_assert!(current.verify().is_ok(), "optimizer broke the block");
     stats.tuples_after = current.len();
-    (current, stats)
+    (current, stats, transcript)
 }
 
 #[cfg(test)]

@@ -11,8 +11,11 @@
 use pipesched_ir::rewrite::Rewriter;
 use pipesched_ir::{BasicBlock, Op, Operand, Tuple, TupleId};
 
-/// Run one peephole pass. `None` if nothing changed.
-pub fn run(block: &BasicBlock) -> Option<BasicBlock> {
+use super::witness::{PeepholeRule, RewriteWitness};
+
+/// Run one peephole pass. `None` if nothing changed; otherwise the new
+/// block plus one witness per applied identity.
+pub fn run(block: &BasicBlock) -> Option<(BasicBlock, Vec<RewriteWitness>)> {
     let n = block.len();
     let const_val = |o: Operand| -> Option<i64> {
         match o {
@@ -27,45 +30,45 @@ pub fn run(block: &BasicBlock) -> Option<BasicBlock> {
 
     let mut rewriter = Rewriter::new(n);
     let mut replace_inplace: Vec<Option<Tuple>> = vec![None; n];
-    let mut changed = false;
+    let mut witnesses = Vec::new();
 
     for t in block.tuples() {
         let redirect_to = |target: Operand| -> Option<TupleId> { target.as_tuple() };
+        // Redirect `t` to `x` under `rule`, recording the witness.
+        let mut identity = |x: TupleId, rule: PeepholeRule, w: &mut Vec<RewriteWitness>| {
+            rewriter.redirect(t.id, x);
+            rewriter.remove(t.id);
+            w.push(RewriteWitness::Identity {
+                tuple: t.id,
+                target: x,
+                rule,
+            });
+        };
         match t.op {
             Op::Add => {
                 if const_val(t.b) == Some(0) {
                     if let Some(x) = redirect_to(t.a) {
-                        rewriter.redirect(t.id, x);
-                        rewriter.remove(t.id);
-                        changed = true;
+                        identity(x, PeepholeRule::AddZero, &mut witnesses);
                     }
                 } else if const_val(t.a) == Some(0) {
                     if let Some(x) = redirect_to(t.b) {
-                        rewriter.redirect(t.id, x);
-                        rewriter.remove(t.id);
-                        changed = true;
+                        identity(x, PeepholeRule::AddZero, &mut witnesses);
                     }
                 }
             }
             Op::Sub if const_val(t.b) == Some(0) => {
                 if let Some(x) = redirect_to(t.a) {
-                    rewriter.redirect(t.id, x);
-                    rewriter.remove(t.id);
-                    changed = true;
+                    identity(x, PeepholeRule::SubZero, &mut witnesses);
                 }
             }
             Op::Mul => {
                 if const_val(t.b) == Some(1) {
                     if let Some(x) = redirect_to(t.a) {
-                        rewriter.redirect(t.id, x);
-                        rewriter.remove(t.id);
-                        changed = true;
+                        identity(x, PeepholeRule::MulOne, &mut witnesses);
                     }
                 } else if const_val(t.a) == Some(1) {
                     if let Some(x) = redirect_to(t.b) {
-                        rewriter.redirect(t.id, x);
-                        rewriter.remove(t.id);
-                        changed = true;
+                        identity(x, PeepholeRule::MulOne, &mut witnesses);
                     }
                 } else if const_val(t.a) == Some(0) || const_val(t.b) == Some(0) {
                     replace_inplace[t.id.index()] = Some(Tuple {
@@ -74,14 +77,15 @@ pub fn run(block: &BasicBlock) -> Option<BasicBlock> {
                         a: Operand::Imm(0),
                         b: Operand::None,
                     });
-                    changed = true;
+                    witnesses.push(RewriteWitness::Annul {
+                        tuple: t.id,
+                        value: 0,
+                    });
                 }
             }
             Op::Div if const_val(t.b) == Some(1) => {
                 if let Some(x) = redirect_to(t.a) {
-                    rewriter.redirect(t.id, x);
-                    rewriter.remove(t.id);
-                    changed = true;
+                    identity(x, PeepholeRule::DivOne, &mut witnesses);
                 }
             }
             Op::Neg => {
@@ -89,25 +93,21 @@ pub fn run(block: &BasicBlock) -> Option<BasicBlock> {
                     let it = block.tuple(inner);
                     if it.op == Op::Neg {
                         if let Some(x) = it.a.as_tuple() {
-                            rewriter.redirect(t.id, x);
-                            rewriter.remove(t.id);
-                            changed = true;
+                            identity(x, PeepholeRule::NegNeg, &mut witnesses);
                         }
                     }
                 }
             }
             Op::Mov => {
                 if let Some(x) = t.a.as_tuple() {
-                    rewriter.redirect(t.id, x);
-                    rewriter.remove(t.id);
-                    changed = true;
+                    identity(x, PeepholeRule::MovCopy, &mut witnesses);
                 }
             }
             _ => {}
         }
     }
 
-    if !changed {
+    if witnesses.is_empty() {
         return None;
     }
 
@@ -122,7 +122,7 @@ pub fn run(block: &BasicBlock) -> Option<BasicBlock> {
     staged.replace_tuples(tuples);
     let out = rewriter.apply(&staged);
     debug_assert!(out.verify().is_ok());
-    Some(out)
+    Some((out, witnesses))
 }
 
 #[cfg(test)]
@@ -134,6 +134,10 @@ mod tests {
         block.tuples().iter().map(|t| t.op).collect()
     }
 
+    fn run1(block: &BasicBlock) -> Option<BasicBlock> {
+        run(block).map(|(b, _)| b)
+    }
+
     #[test]
     fn add_zero_vanishes() {
         let mut b = BlockBuilder::new("p");
@@ -142,7 +146,7 @@ mod tests {
         let a = b.add(x, z);
         b.store("r", a);
         let block = b.finish().unwrap();
-        let out = run(&block).unwrap();
+        let out = run1(&block).unwrap();
         assert!(!ops(&out).contains(&Op::Add), "\n{out}");
         // Store now references the load directly.
         let store = out.tuples().last().unwrap();
@@ -157,7 +161,7 @@ mod tests {
         let m = b.mul(x, z);
         b.store("r", m);
         let block = b.finish().unwrap();
-        let out = run(&block).unwrap();
+        let out = run1(&block).unwrap();
         let consts = out.tuples().iter().filter(|t| t.op == Op::Const).count();
         assert_eq!(consts, 2);
         assert!(!ops(&out).contains(&Op::Mul));
@@ -171,7 +175,7 @@ mod tests {
         let n2 = b.neg(n1);
         b.store("r", n2);
         let block = b.finish().unwrap();
-        let out = run(&block).unwrap();
+        let out = run1(&block).unwrap();
         // Outer neg is gone; inner neg is now dead (DCE's job).
         let store = out.tuples().last().unwrap();
         assert_eq!(store.b, Operand::Tuple(TupleId(0)));
@@ -184,7 +188,7 @@ mod tests {
         let m = b.mov(x);
         b.store("r", m);
         let block = b.finish().unwrap();
-        let out = run(&block).unwrap();
+        let out = run1(&block).unwrap();
         assert!(!ops(&out).contains(&Op::Mov));
     }
 
@@ -198,7 +202,7 @@ mod tests {
         let s = b.sub(d, zero);
         b.store("r", s);
         let block = b.finish().unwrap();
-        let out = run(&block).unwrap();
+        let out = run1(&block).unwrap();
         assert!(!ops(&out).contains(&Op::Div));
         assert!(!ops(&out).contains(&Op::Sub));
     }

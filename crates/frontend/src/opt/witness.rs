@@ -1,0 +1,231 @@
+//! Rewrite witnesses: the optimizer's machine-checkable work log.
+//!
+//! Every pass records *what* it rewrote and *why* as a list of
+//! [`RewriteWitness`] events over the tuple ids of the block the pass ran
+//! on (the *pre*-pass block). An independent validator in
+//! `pipesched-analyze` replays the witnesses against its own dataflow
+//! facts and rejects any rewrite it cannot justify — the same
+//! transcript-replay discipline `pipesched-proof` applies to the B&B
+//! search. Witnesses carry only claims that can be re-derived: the
+//! validator never trusts the pass that produced them.
+
+use std::fmt;
+
+use pipesched_ir::TupleId;
+
+/// Which optimizer pass produced a witness list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PassKind {
+    /// Constant folding + store-to-load forwarding.
+    ConstantFold,
+    /// Common subexpression elimination.
+    Cse,
+    /// Algebraic peephole rewrites.
+    Peephole,
+    /// Dead-code and dead-store elimination.
+    Dce,
+}
+
+impl PassKind {
+    /// Lower-case pass name, as used in trace spans and stats.
+    pub fn name(self) -> &'static str {
+        match self {
+            PassKind::ConstantFold => "constant_fold",
+            PassKind::Cse => "cse",
+            PassKind::Peephole => "peephole",
+            PassKind::Dce => "dce",
+        }
+    }
+}
+
+impl fmt::Display for PassKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The algebraic identity a peephole rewrite claims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PeepholeRule {
+    /// `x + 0` or `0 + x` → `x`.
+    AddZero,
+    /// `x - 0` → `x`.
+    SubZero,
+    /// `x * 1` or `1 * x` → `x`.
+    MulOne,
+    /// `x / 1` → `x`.
+    DivOne,
+    /// `Neg(Neg(x))` → `x`.
+    NegNeg,
+    /// `Mov x` → `x` (copy propagation).
+    MovCopy,
+    /// `x * 0` or `0 * x` → `Const 0`.
+    MulZero,
+}
+
+impl PeepholeRule {
+    /// Short rule name for messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            PeepholeRule::AddZero => "x+0",
+            PeepholeRule::SubZero => "x-0",
+            PeepholeRule::MulOne => "x*1",
+            PeepholeRule::DivOne => "x/1",
+            PeepholeRule::NegNeg => "neg(neg(x))",
+            PeepholeRule::MovCopy => "mov(x)",
+            PeepholeRule::MulZero => "x*0",
+        }
+    }
+}
+
+/// One rewrite a pass performed, in terms of *pre*-pass tuple ids.
+///
+/// Each variant states exactly the obligation the validator must
+/// discharge; the only numeric claim (`Fold::value`, `Annul::value`) is
+/// re-derived independently from dataflow constants, never trusted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RewriteWitness {
+    /// Tuple `tuple` was replaced in place by `Const value`.
+    Fold {
+        /// The folded tuple.
+        tuple: TupleId,
+        /// The claimed constant value.
+        value: i64,
+    },
+    /// `Load` tuple `load` was replaced by `Mov src` because `store` is
+    /// the unique in-block reaching store of the loaded variable and it
+    /// stored the value of tuple `src`.
+    Forward {
+        /// The rewritten load.
+        load: TupleId,
+        /// The justifying (unique reaching) store.
+        store: TupleId,
+        /// The tuple whose value the store wrote.
+        src: TupleId,
+    },
+    /// Tuple `dup` was removed and its uses redirected to `into`, because
+    /// both compute the same value (same value number).
+    Merge {
+        /// The removed duplicate.
+        dup: TupleId,
+        /// The surviving tuple uses are redirected to.
+        into: TupleId,
+    },
+    /// Tuple `tuple` was removed because it is dead: no live store
+    /// transitively reads its value.
+    Delete {
+        /// The removed tuple.
+        tuple: TupleId,
+    },
+    /// Tuple `tuple` was removed and its uses redirected to `target`
+    /// under an algebraic identity (`rule`).
+    Identity {
+        /// The removed tuple.
+        tuple: TupleId,
+        /// The tuple the identity reduces to.
+        target: TupleId,
+        /// The claimed identity.
+        rule: PeepholeRule,
+    },
+    /// Tuple `tuple` was replaced in place by `Const value` under an
+    /// annihilating identity (`x * 0`).
+    Annul {
+        /// The rewritten tuple.
+        tuple: TupleId,
+        /// The claimed constant value (always 0 today).
+        value: i64,
+    },
+}
+
+impl fmt::Display for RewriteWitness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            RewriteWitness::Fold { tuple, value } => write!(f, "fold @{tuple} -> {value}"),
+            RewriteWitness::Forward { load, store, src } => {
+                write!(f, "forward @{load} <- store @{store} (src @{src})")
+            }
+            RewriteWitness::Merge { dup, into } => write!(f, "merge @{dup} -> @{into}"),
+            RewriteWitness::Delete { tuple } => write!(f, "delete @{tuple}"),
+            RewriteWitness::Identity {
+                tuple,
+                target,
+                rule,
+            } => write!(f, "identity @{tuple} -> @{target} [{}]", rule.name()),
+            RewriteWitness::Annul { tuple, value } => {
+                write!(f, "annul @{tuple} -> {value} [x*0]")
+            }
+        }
+    }
+}
+
+/// One pass execution: which pass ran and what it rewrote.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassWitness {
+    /// The pass that ran.
+    pub pass: PassKind,
+    /// Its rewrites, in program order of the rewritten tuples.
+    pub rewrites: Vec<RewriteWitness>,
+}
+
+/// The full work log of one `optimize` invocation: every pass execution
+/// that changed the block, in the order the pass manager ran them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OptTranscript {
+    /// Pass executions in order. Passes that changed nothing are omitted.
+    pub passes: Vec<PassWitness>,
+}
+
+impl OptTranscript {
+    /// Total number of individual rewrites across all passes.
+    pub fn rewrite_count(&self) -> usize {
+        self.passes.iter().map(|p| p.rewrites.len()).sum()
+    }
+}
+
+impl fmt::Display for OptTranscript {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for pw in &self.passes {
+            write!(f, "{}:", pw.pass)?;
+            for w in &pw.rewrites {
+                write!(f, " {w};")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transcript_counts_and_renders() {
+        let t = OptTranscript {
+            passes: vec![
+                PassWitness {
+                    pass: PassKind::ConstantFold,
+                    rewrites: vec![
+                        RewriteWitness::Fold {
+                            tuple: TupleId(2),
+                            value: 5,
+                        },
+                        RewriteWitness::Forward {
+                            load: TupleId(4),
+                            store: TupleId(3),
+                            src: TupleId(2),
+                        },
+                    ],
+                },
+                PassWitness {
+                    pass: PassKind::Dce,
+                    rewrites: vec![RewriteWitness::Delete { tuple: TupleId(0) }],
+                },
+            ],
+        };
+        assert_eq!(t.rewrite_count(), 3);
+        let text = t.to_string();
+        assert!(text.contains("constant_fold: fold @3 -> 5;"), "{text}");
+        assert!(text.contains("dce: delete @1;"), "{text}");
+    }
+}

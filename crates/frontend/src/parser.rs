@@ -113,6 +113,7 @@ impl Parser {
     }
 
     fn statement(&mut self) -> Result<Assign, FrontendError> {
+        let line = self.peek().line;
         let target = match &self.peek().kind {
             TokenKind::Ident(name) => {
                 let name = name.clone();
@@ -124,7 +125,11 @@ impl Parser {
         self.expect(TokenKind::Assign, "`=`")?;
         let value = self.expr()?;
         self.expect(TokenKind::Semi, "`;`")?;
-        Ok(Assign { target, value })
+        Ok(Assign {
+            target,
+            value,
+            line,
+        })
     }
 
     fn expr(&mut self) -> Result<Expr, FrontendError> {

@@ -42,6 +42,7 @@ fn arb_expr(depth: u32) -> impl Strategy<Value = Expr> {
 fn arb_program() -> impl Strategy<Value = Program> {
     proptest::collection::vec(
         ((0usize..VARS.len()), arb_expr(3)).prop_map(|(t, value)| Assign {
+            line: 0,
             target: VARS[t].to_string(),
             value,
         }),

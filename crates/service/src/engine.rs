@@ -146,6 +146,12 @@ pub struct EngineConfig {
     /// branch-and-bound tier logs its own search; tiers proven by the
     /// global lower bound emit the shortcut by-bound certificate.
     pub prove: bool,
+    /// Gate every request block through the front-end optimizer under
+    /// translation validation: requests whose blocks the validator
+    /// rejects (`A05xx`) are refused. The request block itself is still
+    /// the one scheduled — responses index the tuples the client sent.
+    /// Defaults on when `PIPESCHED_VERIFY_OPT` is set.
+    pub verify_opt: bool,
 }
 
 impl Default for EngineConfig {
@@ -155,6 +161,7 @@ impl Default for EngineConfig {
             window: 12,
             windowed_share: 4,
             prove: false,
+            verify_opt: pipesched_analyze::verify_opt_forced(),
         }
     }
 }
@@ -222,6 +229,7 @@ impl ServiceEngine {
                     ("window", self.config.window as i64),
                     ("windowed_share", self.config.windowed_share as i64),
                     ("prove", self.config.prove),
+                    ("verify_opt", self.config.verify_opt),
                 ]
             ),
         ]

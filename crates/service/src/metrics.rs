@@ -208,6 +208,11 @@ pub struct Metrics {
     /// Requests whose search budget or deadline expired (answer was the
     /// incumbent, `optimal=false`).
     pub budget_exhausted: AtomicU64,
+    /// Request blocks that passed the optimizer translation-validation
+    /// gate (`verify_opt` on).
+    pub opt_verified: AtomicU64,
+    /// Request blocks the translation validator rejected (`A05xx`).
+    pub opt_rejected: AtomicU64,
     /// Per-request wall-clock latency.
     pub latency: LatencyHistogram,
     /// Fleet-wide search effort across every tier's searches.
@@ -228,6 +233,16 @@ impl Metrics {
     /// Count one failed request.
     pub fn record_error(&self) {
         self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one request block that passed the optimizer validation gate.
+    pub fn record_opt_verified(&self) {
+        self.opt_verified.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one request block the translation validator rejected.
+    pub fn record_opt_rejected(&self) {
+        self.opt_rejected.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record a completed answer: its tier, cache outcome, truncation,
@@ -268,6 +283,14 @@ impl Metrics {
             (
                 "budget_exhausted",
                 self.budget_exhausted.load(Ordering::Relaxed) as i64
+            ),
+            (
+                "opt_verified",
+                self.opt_verified.load(Ordering::Relaxed) as i64
+            ),
+            (
+                "opt_rejected",
+                self.opt_rejected.load(Ordering::Relaxed) as i64
             ),
             (
                 "tier_answers",
@@ -329,6 +352,16 @@ impl Metrics {
             "pipesched_budget_exhausted_total",
             "Requests whose node budget or deadline expired.",
             load(&self.budget_exhausted),
+        );
+        w.counter(
+            "pipesched_opt_verified_total",
+            "Request blocks that passed the optimizer validation gate.",
+            load(&self.opt_verified),
+        );
+        w.counter(
+            "pipesched_opt_rejected_total",
+            "Request blocks rejected by the translation validator.",
+            load(&self.opt_rejected),
         );
         w.header(
             "pipesched_tier_answers_total",

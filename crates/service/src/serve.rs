@@ -179,17 +179,54 @@ pub(crate) fn handle_line(engine: &ServiceEngine, line: &str) -> String {
         parse_request(line)
     };
     let rendered = match parsed {
-        Ok(req) => {
+        Ok(req) => 'ok: {
+            // Optimizer admission gate: run the front-end optimizer under
+            // translation validation and refuse blocks whose transcript
+            // the validator rejects. The gate never substitutes the
+            // optimized block — the response's order/pipes/etas must
+            // index the tuples the client sent.
+            let verified = if engine.config().verify_opt {
+                let _s = pipesched_trace::span("verify_opt");
+                match pipesched_analyze::optimize_verified(
+                    &req.block,
+                    &pipesched_frontend::OptConfig::default(),
+                ) {
+                    Ok(_) => {
+                        engine.metrics().record_opt_verified();
+                        true
+                    }
+                    Err(rej) => {
+                        engine.metrics().record_opt_rejected();
+                        engine.metrics().record_error();
+                        let codes: Vec<&str> = rej.codes().iter().map(|c| c.as_str()).collect();
+                        break 'ok error_json(
+                            req.id,
+                            &format!(
+                                "optimizer translation validation rejected the block [{}]",
+                                codes.join(", ")
+                            ),
+                        )
+                        .to_compact();
+                    }
+                }
+            } else {
+                false
+            };
             let budget = req.budget(engine.config().default_nodes, start);
             let answer = engine.answer(&req.block, &req.machine, budget);
             let _s = pipesched_trace::span("respond");
-            response_json(
+            let mut doc = response_json(
                 req.id,
                 &answer,
                 start.elapsed().as_micros() as u64,
                 trace_id,
-            )
-            .to_compact()
+            );
+            if verified {
+                if let pipesched_json::Json::Object(pairs) = &mut doc {
+                    pairs.push(("opt_verified".to_string(), pipesched_json::Json::Bool(true)));
+                }
+            }
+            doc.to_compact()
         }
         Err(message) => {
             engine.metrics().record_error();
@@ -425,6 +462,55 @@ mod tests {
                 Some(1)
             );
         });
+    }
+
+    #[test]
+    fn verify_opt_gate_accepts_and_marks_responses() {
+        let eng = ServiceEngine::new(
+            EngineConfig {
+                verify_opt: true,
+                ..EngineConfig::default()
+            },
+            64,
+            4,
+        );
+        let reply = handle_line(&eng, REQ);
+        let doc = pipesched_json::parse(&reply).unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("opt_verified").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            eng.metrics()
+                .opt_verified
+                .load(std::sync::atomic::Ordering::Relaxed),
+            1
+        );
+        assert_eq!(
+            eng.metrics()
+                .opt_rejected
+                .load(std::sync::atomic::Ordering::Relaxed),
+            0
+        );
+        // The gate never rewrites the scheduled block: the order still
+        // indexes the three tuples the client sent.
+        let order = doc.get("order").unwrap();
+        if let Json::Array(items) = order {
+            assert_eq!(items.len(), 3);
+        } else {
+            panic!("order must be an array");
+        }
+    }
+
+    #[test]
+    fn verify_opt_off_leaves_responses_unmarked() {
+        let eng = engine();
+        if eng.config().verify_opt {
+            // PIPESCHED_VERIFY_OPT forced the default on; nothing to test.
+            return;
+        }
+        let reply = handle_line(&eng, REQ);
+        let doc = pipesched_json::parse(&reply).unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+        assert!(doc.get("opt_verified").is_none());
     }
 
     #[test]

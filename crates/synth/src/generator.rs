@@ -83,7 +83,11 @@ pub fn generate_program(config: &GeneratorConfig) -> Program {
                 }
             }
         };
-        statements.push(Assign { target, value });
+        statements.push(Assign {
+            target,
+            value,
+            line: 0,
+        });
     }
     Program { statements }
 }

@@ -4,11 +4,13 @@
 //! pipesched <input> [--machine NAME|FILE.json] [--emit WHAT] [--lambda N]
 //!                   [--window N] [--parallel] [--no-optimize] [--regs N]
 //! pipesched lint [INPUT ...] [--machine NAME|FILE] [--json] [--no-optimize]
+//!                [--frontend] [--strict]
 //! pipesched certify <input> [--machine NAME|FILE] [--lambda N] [--window N]
 //!                   [--parallel] [--json] [--no-optimize]
 //!
 //! <input>      a source file of assignment statements, a tuple file
-//!              (first line `;; tuples`), or `-` for stdin
+//!              (first line `;; tuples`), `-` for stdin, or (for lint) a
+//!              directory searched recursively for .src/.tuples files
 //! --machine    preset name (paper-simulation, paper-table2, deep-pipeline,
 //!              functional-units, section2-example, unpipelined) or a JSON
 //!              machine description; default paper-simulation
@@ -29,7 +31,9 @@ use pipesched::core::proof::{Certificate, ProofLogger};
 use pipesched::core::{
     search, search_with_proof, windowed_schedule, SchedContext, Scheduler, SearchConfig,
 };
-use pipesched::frontend::{compile, compile_sequence, compile_unoptimized};
+use pipesched::frontend::{
+    compile_unoptimized, lower_with_lines, parse_labeled_program, OptConfig, OptStats,
+};
 use pipesched::ir::{dot, parse::parse_block, BasicBlock, DepDag};
 use pipesched::machine::{config as machine_config, presets, Machine};
 use pipesched::regalloc::{allocate, emit, max_pressure};
@@ -53,17 +57,18 @@ fn usage() -> ! {
         "usage: pipesched [schedule] <input> [--machine NAME|FILE.json] [--emit asm|padded|trace|gantt|tuples|dot|stats]\n\
          \x20                [--lambda N] [--window N] [--parallel] [--no-optimize] [--regs N] [--json]\n\
          \x20                [--proof FILE.ndjson]\n\
-         \x20      pipesched lint [INPUT ...] [--machine NAME|FILE] [--json] [--no-optimize]\n\
+         \x20      pipesched lint [INPUT|DIR ...] [--machine NAME|FILE] [--json] [--no-optimize]\n\
+         \x20                [--frontend] [--strict]\n\
          \x20      pipesched certify <input> [--machine NAME|FILE] [--lambda N] [--window N]\n\
          \x20                [--parallel] [--json] [--no-optimize] [--proof FILE.ndjson]\n\
          \x20      pipesched prove [INPUT ...] [--machine NAME|FILE] [--lambda N] [--json]\n\
          \x20                [--no-optimize] [--proof FILE.ndjson]\n\
          \x20      pipesched serve [--workers N] [--nodes N] [--cache N] [--shards N]\n\
          \x20                [--tcp ADDR[:PORT]] [--conns N] [--cache-file FILE] [--metrics]\n\
-         \x20                [--trace]\n\
+         \x20                [--trace] [--verify-opt]\n\
          \x20      pipesched batch <requests.ndjson> [--workers N] [--nodes N] [--cache N]\n\
          \x20                [--check] [--prove] [--require-hits] [--json] [--quiet]\n\
-         \x20                [--tcp ADDR[:PORT]]\n\
+         \x20                [--tcp ADDR[:PORT]] [--verify-opt]\n\
          \x20      pipesched stats [<requests.ndjson> | --tcp ADDR[:PORT]] [--json | --prom]\n\
          \x20                [--workers N] [--nodes N]\n\
          \x20      pipesched trace <input> [--machine NAME|FILE] [--lambda N] [--no-optimize]\n\
@@ -144,28 +149,48 @@ fn load_machine(spec: &str) -> Result<Machine, String> {
     }
 }
 
-fn load_block(opts: &Options) -> Result<BasicBlock, String> {
-    load_block_from(&opts.input, opts.optimize)
-}
-
-fn load_block_from(input: &str, optimize: bool) -> Result<BasicBlock, String> {
-    let text = if input == "-" {
+/// Read an input argument (`-` for stdin) into a string.
+fn read_input(input: &str) -> Result<String, String> {
+    if input == "-" {
         let mut buf = String::new();
         std::io::stdin()
             .read_to_string(&mut buf)
             .map_err(|e| format!("stdin: {e}"))?;
-        buf
+        Ok(buf)
     } else {
-        std::fs::read_to_string(input).map_err(|e| format!("read {input}: {e}"))?
-    };
+        std::fs::read_to_string(input).map_err(|e| format!("read {input}: {e}"))
+    }
+}
+
+/// Optimize under translation validation: every rewrite the optimizer
+/// performs must be justified by its witness transcript, or the CLI
+/// refuses the block outright with the `A05xx` report.
+fn optimize_checked(block: &BasicBlock) -> Result<(BasicBlock, OptStats), String> {
+    analyze::optimize_verified(block, &OptConfig::default()).map_err(|rej| rej.to_string())
+}
+
+fn load_block_from(input: &str, optimize: bool) -> Result<BasicBlock, String> {
+    load_block_with_stats(input, optimize).map(|(block, _)| block)
+}
+
+/// [`load_block_from`], additionally returning the optimizer statistics
+/// when the front-end optimizer ran (source input with optimization on).
+fn load_block_with_stats(
+    input: &str,
+    optimize: bool,
+) -> Result<(BasicBlock, Option<OptStats>), String> {
+    let text = read_input(input)?;
     // Tuple files start with a `;; tuples` marker; everything else is
     // source text.
     if text.trim_start().starts_with(";; tuples") {
-        parse_block(input, &text).map_err(|e| e.to_string())
-    } else if optimize {
-        compile(input, &text).map_err(|e| e.to_string())
+        return Ok((parse_block(input, &text).map_err(|e| e.to_string())?, None));
+    }
+    let block = compile_unoptimized(input, &text).map_err(|e| e.to_string())?;
+    if optimize {
+        let (optimized, stats) = optimize_checked(&block)?;
+        Ok((optimized, Some(stats)))
     } else {
-        compile_unoptimized(input, &text).map_err(|e| e.to_string())
+        Ok((block, None))
     }
 }
 
@@ -201,6 +226,11 @@ struct AnalyzeOptions {
     window: Option<usize>,
     parallel: bool,
     proof: Option<String>,
+    /// `lint --frontend`: validate the optimizer transcript and lint the
+    /// optimized block too.
+    frontend: bool,
+    /// `lint --strict`: warnings also fail the exit code.
+    strict: bool,
 }
 
 fn parse_analyze_options() -> Result<AnalyzeOptions, String> {
@@ -213,6 +243,8 @@ fn parse_analyze_options() -> Result<AnalyzeOptions, String> {
         window: None,
         parallel: false,
         proof: None,
+        frontend: false,
+        strict: false,
     };
     let mut args = std::env::args().skip(2);
     while let Some(a) = args.next() {
@@ -231,6 +263,8 @@ fn parse_analyze_options() -> Result<AnalyzeOptions, String> {
             "--proof" => opts.proof = Some(value()?),
             "--parallel" => opts.parallel = true,
             "--no-optimize" => opts.optimize = false,
+            "--frontend" => opts.frontend = true,
+            "--strict" => opts.strict = true,
             "--help" | "-h" => usage(),
             "-" => opts.inputs.push("-".into()),
             other if !other.starts_with('-') => opts.inputs.push(other.to_string()),
@@ -240,9 +274,12 @@ fn parse_analyze_options() -> Result<AnalyzeOptions, String> {
     Ok(opts)
 }
 
-/// Print reports (text or a JSON array); exit 1 when any has errors.
-fn emit_reports(reports: &[analyze::Report], json: bool) -> ExitCode {
-    let failed = reports.iter().any(analyze::Report::has_errors);
+/// Print reports (text or a JSON array); exit 1 when any has errors —
+/// or, under `--strict`, any warnings.
+fn emit_reports(reports: &[analyze::Report], json: bool, strict: bool) -> ExitCode {
+    let failed = reports
+        .iter()
+        .any(|r| r.has_errors() || (strict && r.count(analyze::Severity::Warning) > 0));
     if json {
         let arr =
             pipesched::json::Json::Array(reports.iter().map(analyze::Report::to_json).collect());
@@ -260,22 +297,22 @@ fn emit_reports(reports: &[analyze::Report], json: bool) -> ExitCode {
 }
 
 /// Load every block of an input: a tuple file holds one block; labeled
-/// source programs compile to one block per region.
+/// source programs compile to one block per region. Optimized blocks go
+/// through [`optimize_checked`] (translation validation).
 fn load_blocks_from(input: &str, optimize: bool) -> Result<Vec<BasicBlock>, String> {
-    let text = if input == "-" {
-        let mut buf = String::new();
-        std::io::stdin()
-            .read_to_string(&mut buf)
-            .map_err(|e| format!("stdin: {e}"))?;
-        buf
-    } else {
-        std::fs::read_to_string(input).map_err(|e| format!("read {input}: {e}"))?
-    };
+    let text = read_input(input)?;
     if text.trim_start().starts_with(";; tuples") {
         return Ok(vec![parse_block(input, &text).map_err(|e| e.to_string())?]);
     }
     if optimize {
-        compile_sequence(&text).map_err(|e| e.to_string())
+        let regions = parse_labeled_program(&text).map_err(|e| e.to_string())?;
+        regions
+            .into_iter()
+            .map(|(name, program)| {
+                let block = pipesched::frontend::lower(&name, &program);
+                optimize_checked(&block).map(|(optimized, _)| optimized)
+            })
+            .collect()
     } else {
         Ok(vec![
             compile_unoptimized(input, &text).map_err(|e| e.to_string())?
@@ -283,17 +320,117 @@ fn load_blocks_from(input: &str, optimize: bool) -> Result<Vec<BasicBlock>, Stri
     }
 }
 
+/// Recursively collect `.src` and `.tuples` files under `dir`.
+fn collect_source_files(dir: &std::path::Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        if path.is_dir() {
+            collect_source_files(&path, out)?;
+        } else if matches!(
+            path.extension().and_then(|e| e.to_str()),
+            Some("src") | Some("tuples")
+        ) {
+            out.push(path.display().to_string());
+        }
+    }
+    Ok(())
+}
+
+/// Expand lint inputs: directories become their (sorted) `.src`/`.tuples`
+/// files; plain files and `-` pass through.
+fn expand_inputs(inputs: &[String]) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    for input in inputs {
+        let path = std::path::Path::new(input);
+        if input != "-" && path.is_dir() {
+            let mut files = Vec::new();
+            collect_source_files(path, &mut files)?;
+            files.sort();
+            if files.is_empty() {
+                return Err(format!("{input}: no .src or .tuples files found"));
+            }
+            out.extend(files);
+        } else {
+            out.push(input.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// Line number (1-based) of each tuple row in a `;; tuples` file, for
+/// anchoring diagnostics to `file:line`.
+fn tuple_line_numbers(text: &str) -> Vec<usize> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| {
+            let t = line.trim_start();
+            !t.is_empty() && !t.starts_with(";;") && t.contains(':')
+        })
+        .map(|(i, _)| i + 1)
+        .collect()
+}
+
+/// Lint one input file: one report per block/region, with diagnostics
+/// anchored to `file:line` wherever the source position is known. With
+/// optimization on, the optimizer runs under translation validation and
+/// a rejected transcript joins the reports; `--frontend` additionally
+/// lints the optimized block.
+fn lint_input(input: &str, opts: &AnalyzeOptions) -> Result<Vec<analyze::Report>, String> {
+    let text = read_input(input)?;
+    let mut reports = Vec::new();
+    if text.trim_start().starts_with(";; tuples") {
+        let block = parse_block(input, &text).map_err(|e| e.to_string())?;
+        let lines = tuple_line_numbers(&text);
+        let mut report = analyze::check_block(&block);
+        report.context = format!("{input}: {}", report.context);
+        report.annotate_locations(|t| lines.get(t.index()).map(|l| format!("{input}:{l}")));
+        reports.push(report);
+        return Ok(reports);
+    }
+    let regions = parse_labeled_program(&text).map_err(|e| e.to_string())?;
+    for (name, program) in regions {
+        let (block, lines) = lower_with_lines(&name, &program);
+        let mut report = analyze::check_block(&block);
+        report.context = format!("{input}: {}", report.context);
+        report.annotate_locations(|t| {
+            lines
+                .get(t.index())
+                .filter(|&&l| l != 0)
+                .map(|l| format!("{input}:{l}"))
+        });
+        reports.push(report);
+        if opts.optimize {
+            match analyze::optimize_verified(&block, &OptConfig::default()) {
+                Ok((optimized, _)) => {
+                    if opts.frontend {
+                        let mut opt_report = analyze::check_block(&optimized);
+                        opt_report.context = format!("{input}: optimized {}", opt_report.context);
+                        reports.push(opt_report);
+                    }
+                }
+                Err(rej) => {
+                    let mut report = rej.report;
+                    report.context = format!("{input}: {}", report.context);
+                    reports.push(report);
+                }
+            }
+        }
+    }
+    Ok(reports)
+}
+
 /// `pipesched lint`: machine-description lints plus IR checks per input.
+/// Inputs may be files, directories (searched recursively for `.src` and
+/// `.tuples`), or `-`; each block gets its own report.
 fn run_lint() -> Result<ExitCode, String> {
     let opts = parse_analyze_options()?;
     let machine = load_machine(&opts.machine)?;
     let mut reports = vec![analyze::check_machine(&machine)];
-    for input in &opts.inputs {
-        for block in load_blocks_from(input, opts.optimize)? {
-            reports.push(analyze::check_block(&block));
-        }
+    for input in &expand_inputs(&opts.inputs)? {
+        reports.extend(lint_input(input, &opts)?);
     }
-    Ok(emit_reports(&reports, opts.json))
+    Ok(emit_reports(&reports, opts.json, opts.strict))
 }
 
 /// `pipesched certify`: schedule each input, certify the result against
@@ -381,7 +518,7 @@ fn run_certify() -> Result<ExitCode, String> {
         }
         reports.push(report);
     }
-    Ok(emit_reports(&reports, opts.json))
+    Ok(emit_reports(&reports, opts.json, opts.strict))
 }
 
 /// Run the certificate-logged search streaming to `path`, read the file
@@ -534,7 +671,7 @@ fn run() -> Result<(), String> {
             "--proof requires the plain branch-and-bound (drop --window/--parallel)".into(),
         );
     }
-    let block = load_block(&opts)?;
+    let (block, opt_stats) = load_block_with_stats(&opts.input, opts.optimize)?;
     let dag = DepDag::build(&block);
 
     // Schedule. All three paths reuse the DAG built above — the facade's
@@ -652,6 +789,27 @@ fn run() -> Result<(), String> {
             ("truncated", stats.truncated),
             ("deadline_hit", stats.deadline_hit),
             ("wall_micros", wall_micros as i64),
+            (
+                "opt",
+                match &opt_stats {
+                    Some(s) => pipesched::json::json_object![
+                        ("iterations", i64::from(s.iterations)),
+                        ("tuples_before", s.tuples_before as i64),
+                        ("tuples_after", s.tuples_after as i64),
+                        ("constant_folds", i64::from(s.constant_folds)),
+                        ("cse_hits", i64::from(s.cse_hits)),
+                        ("peephole_hits", i64::from(s.peephole_hits)),
+                        ("dce_removals", i64::from(s.dce_removals)),
+                        ("fold_rewrites", i64::from(s.fold_rewrites)),
+                        ("forward_rewrites", i64::from(s.forward_rewrites)),
+                        ("cse_merges", i64::from(s.cse_merges)),
+                        ("peephole_rewrites", i64::from(s.peephole_rewrites)),
+                        ("dce_deletions", i64::from(s.dce_deletions)),
+                        ("total_rewrites", i64::from(s.total_rewrites())),
+                    ],
+                    None => pipesched::json::Json::Null,
+                }
+            ),
         ];
         println!("{}", doc.to_pretty());
         return Ok(());
@@ -733,6 +891,7 @@ fn run_serve() -> Result<ExitCode, String> {
     let mut cache_file: Option<String> = None;
     let mut dump_metrics = false;
     let mut trace = false;
+    let mut verify_opt = false;
 
     let mut args = std::env::args().skip(2);
     while let Some(a) = args.next() {
@@ -747,6 +906,7 @@ fn run_serve() -> Result<ExitCode, String> {
             "--cache-file" => cache_file = Some(value()?),
             "--metrics" => dump_metrics = true,
             "--trace" => trace = true,
+            "--verify-opt" => verify_opt = true,
             "--help" | "-h" => usage(),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -757,14 +917,12 @@ fn run_serve() -> Result<ExitCode, String> {
         pipesched::trace::set_enabled(true);
     }
 
-    let engine = pipesched::service::ServiceEngine::new(
-        pipesched::service::EngineConfig {
-            default_nodes: nodes,
-            ..Default::default()
-        },
-        cache_capacity,
-        shards,
-    );
+    let mut engine_config = pipesched::service::EngineConfig {
+        default_nodes: nodes,
+        ..Default::default()
+    };
+    engine_config.verify_opt |= verify_opt;
+    let engine = pipesched::service::ServiceEngine::new(engine_config, cache_capacity, shards);
     if let Some(path) = &cache_file {
         let loaded = engine.cache().load_from_path(path)?;
         if loaded > 0 {
@@ -815,6 +973,7 @@ fn run_batch_cmd() -> Result<ExitCode, String> {
     let mut json = false;
     let mut quiet = false;
     let mut tcp: Option<String> = None;
+    let mut verify_opt = false;
 
     let mut args = std::env::args().skip(2);
     while let Some(a) = args.next() {
@@ -829,6 +988,7 @@ fn run_batch_cmd() -> Result<ExitCode, String> {
             "--json" => json = true,
             "--quiet" => quiet = true,
             "--tcp" => tcp = Some(value()?),
+            "--verify-opt" => verify_opt = true,
             "--help" | "-h" => usage(),
             "-" if input.is_none() => input = Some("-".into()),
             other if input.is_none() && !other.starts_with('-') => input = Some(other.to_string()),
@@ -857,15 +1017,13 @@ fn run_batch_cmd() -> Result<ExitCode, String> {
         // work happened in the server process (scrape its /metrics).
         replay_tcp(addr, &text, check, prove)?
     } else {
-        let engine = pipesched::service::ServiceEngine::new(
-            pipesched::service::EngineConfig {
-                default_nodes: nodes,
-                prove,
-                ..Default::default()
-            },
-            cache_capacity,
-            8,
-        );
+        let mut engine_config = pipesched::service::EngineConfig {
+            default_nodes: nodes,
+            prove,
+            ..Default::default()
+        };
+        engine_config.verify_opt |= verify_opt;
+        let engine = pipesched::service::ServiceEngine::new(engine_config, cache_capacity, 8);
         pipesched::service::run_batch(
             &engine,
             &text,

@@ -69,3 +69,34 @@ fn readme_diagnostic_table_matches_the_analyzer() {
     // were exhaustive in both directions.
     assert_eq!(rows.len(), DiagCode::ALL.len());
 }
+
+/// The dataflow/translation-validation family (`A05xx`) specifically:
+/// every code the analyzer registers is documented, and every documented
+/// `A05` row names a registered code — in both directions, independently
+/// of the full-table check above.
+#[test]
+fn a05xx_table_complete_both_directions() {
+    let rows = readme_rows();
+    let registered: Vec<&str> = DiagCode::ALL
+        .iter()
+        .map(|c| c.as_str())
+        .filter(|s| s.starts_with("A05"))
+        .collect();
+    assert!(
+        !registered.is_empty(),
+        "analyzer registers no A05xx codes — dataflow lints missing"
+    );
+    let documented: Vec<&String> = rows.keys().filter(|c| c.starts_with("A05")).collect();
+    for code in &registered {
+        assert!(
+            rows.contains_key(*code),
+            "A05xx code {code} is not documented in README.md"
+        );
+    }
+    assert_eq!(
+        documented.len(),
+        registered.len(),
+        "README documents A05xx rows for codes the analyzer does not register:\n\
+         documented {documented:?}\nregistered {registered:?}"
+    );
+}

@@ -1,0 +1,270 @@
+//! Translation validation of the front-end optimizer, end to end:
+//!
+//! * honest optimizer runs — any config, any random program — always
+//!   produce a transcript the independent validator accepts;
+//! * a single tampered witness (dropped deletion, forged merge target,
+//!   corrupted fold constant, bogus identity, witness in the wrong pass)
+//!   is rejected with the expected stable `A05xx` code;
+//! * the optimized block is interpreter-equivalent to the original on
+//!   random inputs (differential check through `optimize_verified`);
+//! * every checked-in example program passes the verified pipeline.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use pipesched::analyze::{optimize_verified, validate_transcript, DiagCode};
+use pipesched::frontend::ast::{Assign, BinOp, Expr, Program};
+use pipesched::frontend::{
+    interpret, lower, optimize_with_transcript, parse_labeled_program, OptConfig, PassKind,
+    RewriteWitness,
+};
+use pipesched::ir::{BasicBlock, TupleId};
+
+const VARS: [&str; 5] = ["a", "b", "c", "d", "e"];
+
+fn arb_expr(depth: u32) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(Expr::Literal),
+        (0usize..VARS.len()).prop_map(|i| Expr::Var(VARS[i].to_string())),
+    ];
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|e| Expr::Neg(Box::new(e))),
+            (
+                inner.clone(),
+                inner,
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div)
+                ]
+            )
+                .prop_map(|(lhs, rhs, op)| Expr::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                }),
+        ]
+    })
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    proptest::collection::vec(
+        ((0usize..VARS.len()), arb_expr(3)).prop_map(|(t, value)| Assign {
+            line: 0,
+            target: VARS[t].to_string(),
+            value,
+        }),
+        1..10,
+    )
+    .prop_map(|statements| Program { statements })
+}
+
+fn configs() -> Vec<OptConfig> {
+    let full = OptConfig::default();
+    vec![
+        full,
+        OptConfig { cse: false, ..full },
+        OptConfig {
+            constant_fold: false,
+            ..full
+        },
+        OptConfig {
+            peephole: false,
+            ..full
+        },
+        OptConfig { dce: false, ..full },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Honest runs always validate: whatever the optimizer did, the
+    /// transcript justifies it and the verified entry point accepts.
+    #[test]
+    fn honest_optimizer_runs_always_validate(program in arb_program()) {
+        let block = lower("prop", &program);
+        for cfg in configs() {
+            let (optimized, _, transcript) = optimize_with_transcript(&block, &cfg);
+            let report = validate_transcript(&block, &optimized, &transcript);
+            prop_assert!(
+                !report.has_errors(),
+                "honest transcript rejected under {cfg:?}:\n{report}\nblock:\n{block}"
+            );
+            prop_assert!(optimize_verified(&block, &cfg).is_ok());
+        }
+    }
+
+    /// Differential check: the verified-optimized block computes the same
+    /// final memory as the original on random inputs.
+    #[test]
+    fn verified_optimization_preserves_semantics(
+        program in arb_program(),
+        inputs in proptest::collection::vec(-100i64..100, VARS.len()),
+    ) {
+        let initial: HashMap<String, i64> = VARS
+            .iter()
+            .zip(&inputs)
+            .map(|(k, &v)| (k.to_string(), v))
+            .collect();
+        let block = lower("prop", &program);
+        let reference = interpret(&block, &initial);
+        let (optimized, _) = optimize_verified(&block, &OptConfig::default())
+            .expect("honest optimization must verify");
+        let got = interpret(&optimized, &initial);
+        for (var, &v) in &reference.memory {
+            let opt_v = got
+                .memory
+                .get(var)
+                .copied()
+                .unwrap_or_else(|| initial.get(var).copied().unwrap_or(0));
+            prop_assert_eq!(opt_v, v, "`{}` diverged:\n{}\nvs\n{}", var, block, optimized);
+        }
+    }
+}
+
+/// Lower + optimize a source snippet, returning everything the tampering
+/// tests need.
+fn transcript_of(src: &str) -> (BasicBlock, BasicBlock, pipesched::frontend::OptTranscript) {
+    let block = lower(
+        "tamper",
+        &pipesched::frontend::parse_program(src).expect("test source parses"),
+    );
+    let (optimized, _, transcript) = optimize_with_transcript(&block, &OptConfig::default());
+    (block, optimized, transcript)
+}
+
+#[test]
+fn dropping_a_dce_witness_is_rejected_as_replay_mismatch() {
+    // `y` is stored then overwritten unread, so DCE must delete tuples.
+    let (block, optimized, mut transcript) = transcript_of("y = a;\nz = a;\ny = b;\n");
+    let pass = transcript
+        .passes
+        .iter_mut()
+        .find(|p| p.pass == PassKind::Dce && !p.rewrites.is_empty())
+        .expect("optimizer ran DCE");
+    pass.rewrites.pop();
+    let report = validate_transcript(&block, &optimized, &transcript);
+    assert!(report.has_code(DiagCode::ReplayMismatch), "{report}");
+}
+
+#[test]
+fn forging_a_cse_merge_target_is_rejected() {
+    let (block, optimized, mut transcript) = transcript_of("x = a + b;\ny = a + b;\nz = x - y;\n");
+    let mut forged = false;
+    for pass in &mut transcript.passes {
+        for w in &mut pass.rewrites {
+            if let RewriteWitness::Merge { into, .. } = w {
+                // Tuple 1 is the Load of `a` — not congruent to the Add.
+                *into = TupleId(0);
+                forged = true;
+            }
+        }
+    }
+    assert!(forged, "optimizer must have merged the duplicate add");
+    let report = validate_transcript(&block, &optimized, &transcript);
+    assert!(report.has_code(DiagCode::CseWitnessInvalid), "{report}");
+}
+
+#[test]
+fn corrupting_a_fold_constant_is_rejected() {
+    let (block, optimized, mut transcript) = transcript_of("x = 6 * 7;\n");
+    let mut corrupted = false;
+    for pass in &mut transcript.passes {
+        for w in &mut pass.rewrites {
+            if let RewriteWitness::Fold { value, .. } = w {
+                *value += 1;
+                corrupted = true;
+            }
+        }
+    }
+    assert!(corrupted, "optimizer must have folded 6 * 7");
+    let report = validate_transcript(&block, &optimized, &transcript);
+    assert!(report.has_code(DiagCode::FoldWitnessInvalid), "{report}");
+}
+
+#[test]
+fn claiming_a_live_tuple_dead_is_rejected() {
+    let block = lower(
+        "live",
+        &pipesched::frontend::parse_program("r = a + b;\n").unwrap(),
+    );
+    let transcript = pipesched::frontend::OptTranscript {
+        passes: vec![pipesched::frontend::PassWitness {
+            pass: PassKind::Dce,
+            rewrites: vec![RewriteWitness::Delete { tuple: TupleId(2) }],
+        }],
+    };
+    let report = validate_transcript(&block, &block, &transcript);
+    assert!(report.has_code(DiagCode::DceWitnessInvalid), "{report}");
+}
+
+#[test]
+fn bogus_peephole_identity_is_rejected() {
+    let block = lower(
+        "peep",
+        &pipesched::frontend::parse_program("r = a + b;\n").unwrap(),
+    );
+    let transcript = pipesched::frontend::OptTranscript {
+        passes: vec![pipesched::frontend::PassWitness {
+            pass: PassKind::Peephole,
+            rewrites: vec![RewriteWitness::Identity {
+                tuple: TupleId(2),
+                target: TupleId(0),
+                rule: pipesched::frontend::PeepholeRule::AddZero,
+            }],
+        }],
+    };
+    let report = validate_transcript(&block, &block, &transcript);
+    assert!(
+        report.has_code(DiagCode::PeepholeWitnessInvalid),
+        "{report}"
+    );
+}
+
+#[test]
+fn witness_in_the_wrong_pass_is_rejected_as_malformed() {
+    let block = lower(
+        "wrong",
+        &pipesched::frontend::parse_program("y = a;\nz = a;\ny = b;\n").unwrap(),
+    );
+    // A deletion claimed by the CSE pass: structurally impossible.
+    let transcript = pipesched::frontend::OptTranscript {
+        passes: vec![pipesched::frontend::PassWitness {
+            pass: PassKind::Cse,
+            rewrites: vec![RewriteWitness::Delete { tuple: TupleId(0) }],
+        }],
+    };
+    let report = validate_transcript(&block, &block, &transcript);
+    assert!(report.has_code(DiagCode::WitnessMalformed), "{report}");
+}
+
+/// Every checked-in example program must pass the verified pipeline:
+/// the optimizer's transcript validates on each labeled region.
+#[test]
+fn all_example_programs_optimize_verified() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/data");
+    let mut checked = 0usize;
+    for entry in std::fs::read_dir(dir).expect("examples/data exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("src") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("example is readable");
+        for (name, program) in parse_labeled_program(&text).expect("example parses") {
+            let block = lower(&name, &program);
+            let result = optimize_verified(&block, &OptConfig::default());
+            assert!(
+                result.is_ok(),
+                "{}:{name} rejected:\n{}",
+                path.display(),
+                result.unwrap_err()
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "no example programs found under {dir}");
+}
