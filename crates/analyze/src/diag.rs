@@ -65,7 +65,9 @@ macro_rules! diag_codes {
         /// lints, `A03xx` schedule-certification failures, `A04xx`
         /// optimality-certificate rejections (emitted by the
         /// `pipesched-proof` checker), `A05xx` dataflow lints and
-        /// translation-validation rejections of the front-end optimizer.
+        /// translation-validation rejections of the front-end optimizer,
+        /// `A06xx` SAT-backend audit failures (emitted by the
+        /// `pipesched-solve` outcome audit and backend cross-check).
         /// The textual form (e.g. `"A0302"`) is
         /// a stable contract: tests and downstream tooling match on it, so
         /// codes are never renumbered or reused.
@@ -223,6 +225,25 @@ diag_codes! {
     /// Replaying the witness transcript does not reproduce the block the
     /// optimizer returned (unwitnessed or misreported rewrites).
     ReplayMismatch = ("A0510", Error, "witness replay does not reproduce the optimized block"),
+
+    /// A SAT backend outcome whose query trail is internally inconsistent:
+    /// a recorded horizon that does not equal `n + budget`, or budgets
+    /// that do not strictly descend.
+    SolveEncodingInconsistent = ("A0601", Error, "SAT time-index encoding is internally inconsistent"),
+    /// A recorded SAT model that fails re-checking: not exactly one issue
+    /// cycle per tuple, an out-of-window cycle, an illegal decoded order,
+    /// or a violated clause of the independently rebuilt encoding.
+    SolveModelInvalid = ("A0602", Error, "decoded SAT model violates the rebuilt encoding"),
+    /// A recorded SAT model whose decoded schedule replays to more NOPs
+    /// than the feasibility query it claims to answer allowed.
+    SolveBudgetMissed = ("A0603", Error, "decoded SAT schedule misses its query's NOP budget"),
+    /// An optimality claim with no proof: the NOP count is above the
+    /// global lower bound, yet no UNSAT query at one NOP fewer is on
+    /// record.
+    SolveOptimalityUnproved = ("A0604", Error, "SAT optimality claim lacks a refuting UNSAT query"),
+    /// Two exact backends disagree on the optimal NOP count — one of them
+    /// is wrong, and the portfolio treats this as a hard failure.
+    BackendDisagreement = ("A0605", Error, "SAT and branch-and-bound disagree on the optimal NOP count"),
 }
 
 impl fmt::Display for DiagCode {

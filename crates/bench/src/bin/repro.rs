@@ -10,6 +10,7 @@
 //! repro encodings [--runs N]
 //! repro serve     [--runs N] [--threads T]   # memoized serving throughput
 //! repro prove     [--runs N]   # proof-logging overhead + checker throughput
+//! repro solve     [--runs N] [--quick]   # SAT-vs-B&B cross-certification + BENCH_solve.json
 //! repro observe   [--runs N] [--quick]   # tracing overhead gate + BENCH_sched.json
 //! repro verify    [--runs N]   # full end-to-end invariant gate
 //! ```
@@ -24,7 +25,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use pipesched_bench::experiments::{
-    ablation, encodings, observe, prove, serve, sweep, table1, verify_sweep, windowed,
+    ablation, encodings, observe, prove, serve, solve, sweep, table1, verify_sweep, windowed,
 };
 use pipesched_bench::report::{f, percentile, TextTable};
 use pipesched_bench::{run_sweep, RunRecord, SweepConfig, SweepResult};
@@ -97,6 +98,11 @@ fn main() -> ExitCode {
         "encodings" => run_encodings(&args),
         "serve" => run_serve(&args),
         "prove" => run_prove(&args),
+        "solve" => {
+            if !run_solve(&args) {
+                return ExitCode::FAILURE;
+            }
+        }
         "observe" => {
             if !run_observe(&args) {
                 return ExitCode::FAILURE;
@@ -129,12 +135,13 @@ fn main() -> ExitCode {
             run_encodings(&ablation_args);
             run_serve(&ablation_args);
             run_prove(&ablation_args);
+            run_solve(&ablation_args);
             run_observe(&ablation_args);
         }
         other => {
             eprintln!(
                 "repro: unknown command `{other}`\n\
-                 commands: all table1 table7 fig1 fig4 fig5 fig6 fig7 ablation windowed encodings serve prove observe verify"
+                 commands: all table1 table7 fig1 fig4 fig5 fig6 fig7 ablation windowed encodings serve prove solve observe verify"
             );
             return ExitCode::FAILURE;
         }
@@ -466,6 +473,54 @@ fn run_prove(args: &Args) {
         &prove::render(&report),
         "Optimality certificates: logging overhead and checker throughput",
     );
+}
+
+/// Backend-portfolio gate: SAT and B&B must agree on every proven-optimal
+/// μ and every SAT outcome must audit clean. Returns `false` when either
+/// gate fails; performance numbers only inform.
+fn run_solve(args: &Args) -> bool {
+    let runs = if args.quick { 40 } else { args.runs.min(300) };
+    eprintln!("solve: {runs} blocks x {{branch-and-bound, SAT descent}} + cross-certification...");
+    let report = solve::run(runs, args.lambda);
+    println!(
+        "solve: {} comparable blocks, {} agreements, {} disagreements, {} audit failures — \
+         SAT faster on {}, B&B faster on {} ({} closed by bound)",
+        report.both_optimal,
+        report.agreements,
+        report.disagreements,
+        report.audit_failures,
+        report.sat_faster,
+        report.bnb_faster,
+        report.proved_by_bound
+    );
+    let mut ok = true;
+    if report.disagreements > 0 {
+        eprintln!(
+            "solve: GATE FAILED — {} blocks where SAT and B&B disagree on the optimal NOP count",
+            report.disagreements
+        );
+        ok = false;
+    }
+    if report.audit_failures > 0 {
+        eprintln!(
+            "solve: GATE FAILED — {} SAT outcomes rejected by the independent audit",
+            report.audit_failures
+        );
+        ok = false;
+    }
+    save(
+        args,
+        "solve_portfolio",
+        &report.table(),
+        "Backend portfolio: SAT descent vs branch-and-bound, cross-certified",
+    );
+    std::fs::write(
+        "BENCH_solve.json",
+        format!("{}\n", report.to_json().to_pretty()),
+    )
+    .expect("write BENCH_solve.json");
+    println!("(benchmark summary saved to BENCH_solve.json)");
+    ok
 }
 
 /// Tracing-overhead gate. Returns `false` when the replay itself failed

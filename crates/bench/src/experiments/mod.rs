@@ -6,6 +6,7 @@ pub mod encodings;
 pub mod observe;
 pub mod prove;
 pub mod serve;
+pub mod solve;
 pub mod sweep;
 pub mod table1;
 pub mod verify_sweep;

@@ -25,6 +25,56 @@ use crate::bnb::{search, SearchConfig, SearchStats};
 use crate::context::SchedContext;
 use crate::parallel::parallel_search_bounded;
 
+/// Which exact scheduling backend answers a request.
+///
+/// `pipesched-core` implements the classic search family (serial and
+/// parallel branch-and-bound, windowed); the SAT portfolio lives in
+/// `pipesched-solve`, which depends on this crate. The selector therefore
+/// lives here — the lowest layer every consumer (CLI, service, bench)
+/// already sees — while dispatch happens at call sites that can see both
+/// backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Backend {
+    /// The paper's branch-and-bound search (default).
+    #[default]
+    Bnb,
+    /// The CDCL SAT backend: descending time-indexed feasibility queries.
+    Sat,
+    /// Race branch-and-bound against SAT; first provably-optimal answer
+    /// wins and, when both finish, their optima are cross-checked.
+    Race,
+}
+
+impl Backend {
+    /// Stable lowercase name, used in JSON records and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Bnb => "bnb",
+            Backend::Sat => "sat",
+            Backend::Race => "race",
+        }
+    }
+
+    /// Parse a backend from its stable name.
+    pub fn from_name(name: &str) -> Option<Backend> {
+        match name {
+            "bnb" => Some(Backend::Bnb),
+            "sat" => Some(Backend::Sat),
+            "race" => Some(Backend::Race),
+            _ => None,
+        }
+    }
+
+    /// All backends, in stable order.
+    pub const ALL: [Backend; 3] = [Backend::Bnb, Backend::Sat, Backend::Race];
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A configured scheduler bound to a target machine.
 #[derive(Debug, Clone)]
 pub struct Scheduler {

@@ -49,12 +49,11 @@ use pipesched_machine::PipelineId;
 pub use crate::bounds::BoundKind;
 use crate::bounds::LowerBound;
 use crate::context::SchedContext;
-use crate::list_sched::list_schedule;
 use crate::profile::{DepthStats, SearchProfile};
 use crate::proof::{
     trailer_for, Certificate, CertificateHeader, ProofEvent, ProofLogger, ProofOutput,
 };
-use crate::timing::{evaluate_schedule_from, BoundaryState, TimingEngine};
+use crate::timing::{BoundaryState, TimingEngine};
 
 /// Which heuristic seeds the search's initial incumbent (step [1]).
 /// §3.2 notes that "any other scheduling technique proposed in the
@@ -327,13 +326,13 @@ fn search_impl(
         };
     }
 
-    // Step [1]: initial incumbent from the configured heuristic.
-    let initial_order = match cfg.initial {
-        InitialHeuristic::MaxDistance => list_schedule(ctx.dag, &ctx.analysis),
-        InitialHeuristic::SourceOrder => ctx.block.ids().collect(),
-        InitialHeuristic::Greedy => crate::baselines::greedy_schedule(ctx).0,
-    };
-    let (initial_etas, initial_nops) = evaluate_schedule_from(ctx, boundary, &initial_order);
+    // Step [1]: initial incumbent from the configured heuristic, plus the
+    // admissible whole-block lower bound — the prologue shared by every
+    // exact backend (see `crate::seed`).
+    let seed = crate::seed::seed_incumbent(ctx, cfg.initial, boundary, cfg.pipeline_selection);
+    let initial_order = seed.order;
+    let initial_etas = seed.etas;
+    let initial_nops = seed.nops;
 
     if let Some(p) = proof.as_deref_mut() {
         p.begin(CertificateHeader {
@@ -345,25 +344,9 @@ fn search_impl(
         });
     }
 
-    // Admissible lower bound on μ for the whole block: when an incumbent
-    // matches it, optimality is proven without exhausting the space.
-    let global_lb = cfg.terminate_on_lower_bound.then(|| {
-        let lb = LowerBound::new(ctx);
-        let engine = TimingEngine::with_boundary(ctx, boundary);
-        let ready = (0..n as u32)
-            .map(TupleId)
-            .filter(|t| ctx.preds[t.index()].is_empty());
-        let mut counts = vec![0u32; ctx.machine.pipeline_count()];
-        for i in 0..n {
-            if cfg.pipeline_selection && ctx.allowed[i].len() > 1 {
-                continue;
-            }
-            if let Some(p) = ctx.sigma[i] {
-                counts[p.index()] += 1;
-            }
-        }
-        lb.bound_with_selection(ctx, &engine, ready, &counts, cfg.pipeline_selection)
-    });
+    // When an incumbent matches the lower bound, optimality is proven
+    // without exhausting the space.
+    let global_lb = cfg.terminate_on_lower_bound.then_some(seed.global_lb);
 
     if let Some(lb) = global_lb {
         if initial_nops <= lb {

@@ -29,6 +29,8 @@
 //! * [`sequence`] — footnote 1's block-interaction machinery: scheduling a
 //!   straight-line sequence of blocks with pipeline state carried across
 //!   each boundary;
+//! * [`seed`] — the shared search prologue (heuristic incumbent + global
+//!   lower bound) every exact backend starts from;
 //! * [`proof`] — recording-side types for machine-checkable optimality
 //!   certificates (the independent checker lives in `pipesched-proof`);
 //! * [`api`] — the high-level [`Scheduler`](api::Scheduler) facade.
@@ -42,11 +44,12 @@ pub mod list_sched;
 pub mod parallel;
 pub mod profile;
 pub mod proof;
+pub mod seed;
 pub mod sequence;
 pub mod timing;
 pub mod windowed;
 
-pub use api::{ScheduledBlock, Scheduler};
+pub use api::{Backend, ScheduledBlock, Scheduler};
 pub use bnb::{
     prove, search, search_with_boundary, search_with_profile, search_with_proof, BoundKind,
     EquivalenceMode, InitialHeuristic, SearchConfig, SearchOutcome, SearchStats,
@@ -60,6 +63,7 @@ pub use proof::{
     trailer_for, Certificate, CertificateHeader, CertificateTrailer, ProofEvent, ProofLogger,
     ProofOutput,
 };
+pub use seed::{seed_incumbent, SearchSeed};
 pub use sequence::{schedule_sequence, ScheduledRegion, SequenceOutcome};
 pub use timing::{BoundaryState, TimingEngine};
 pub use windowed::{windowed_schedule, windowed_schedule_bounded, WindowedOutcome};

@@ -23,8 +23,7 @@ use pipesched_ir::TupleId;
 
 use crate::bnb::{SearchOutcome, SearchStats};
 use crate::context::SchedContext;
-use crate::list_sched::list_schedule;
-use crate::timing::{evaluate_schedule, TimingEngine};
+use crate::timing::{evaluate_schedule, BoundaryState, TimingEngine};
 
 struct Shared {
     best_nops: AtomicU32,
@@ -57,15 +56,22 @@ pub fn parallel_search_bounded(
     deadline: Option<std::time::Instant>,
 ) -> SearchOutcome {
     let n = ctx.len();
-    let initial_order = list_schedule(ctx.dag, &ctx.analysis);
-    let (_, initial_nops) = evaluate_schedule(ctx, &initial_order);
+    // Shared search prologue (see `crate::seed`): heuristic incumbent +
+    // the same admissible whole-block lower bound as the serial search.
+    let seed = crate::seed::seed_incumbent(
+        ctx,
+        crate::bnb::InitialHeuristic::MaxDistance,
+        &BoundaryState::cold(ctx.machine.pipeline_count()),
+        false,
+    );
+    let initial_order = seed.order;
+    let initial_nops = seed.nops;
     if n <= 1 {
-        let (etas, nops) = evaluate_schedule(ctx, &initial_order);
         return SearchOutcome {
             order: initial_order.clone(),
             assignment: ctx.sigma.clone(),
-            etas,
-            nops,
+            etas: seed.etas,
+            nops: seed.nops,
             initial_order,
             initial_nops,
             optimal: true,
@@ -102,29 +108,15 @@ pub fn parallel_search_bounded(
         roots.push(t);
     }
 
-    // Same admissible whole-block lower bound as the serial search: an
-    // incumbent matching it is provably optimal.
-    let global_lb = {
-        let lb = crate::bounds::LowerBound::new(ctx);
-        let engine = TimingEngine::new(ctx);
-        let ready = (0..n as u32)
-            .map(TupleId)
-            .filter(|t| ctx.preds[t.index()].is_empty());
-        let mut counts = vec![0u32; ctx.machine.pipeline_count()];
-        for i in 0..n {
-            if let Some(p) = ctx.sigma[i] {
-                counts[p.index()] += 1;
-            }
-        }
-        lb.bound(ctx, &engine, ready, &counts)
-    };
+    // An incumbent matching the whole-block lower bound is provably
+    // optimal without any exploration.
+    let global_lb = seed.global_lb;
     if initial_nops <= global_lb {
-        let (etas, nops) = evaluate_schedule(ctx, &initial_order);
         return SearchOutcome {
             order: initial_order.clone(),
             assignment: ctx.sigma.clone(),
-            etas,
-            nops,
+            etas: seed.etas,
+            nops: seed.nops,
             initial_order,
             initial_nops,
             optimal: true,
@@ -137,12 +129,11 @@ pub fn parallel_search_bounded(
 
     if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
         // Out of time before any exploration: the list schedule answers.
-        let (etas, nops) = evaluate_schedule(ctx, &initial_order);
         return SearchOutcome {
             order: initial_order.clone(),
             assignment: ctx.sigma.clone(),
-            etas,
-            nops,
+            etas: seed.etas,
+            nops: seed.nops,
             initial_order,
             initial_nops,
             optimal: false,

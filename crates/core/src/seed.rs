@@ -1,0 +1,134 @@
+//! Shared incumbent seeding for every exact backend.
+//!
+//! All exact schedulers — the serial branch-and-bound, the parallel
+//! branch-and-bound, and the SAT portfolio backend in `pipesched-solve` —
+//! start the same way: build an initial schedule from a heuristic (step
+//! [1] of §4.2.3), price it with the timing engine to obtain the incumbent
+//! μ, and compute the admissible whole-block lower bound that lets an
+//! incumbent be *proved* optimal without exploring anything. This module is
+//! that common prologue, hoisted out of the individual search kernels so
+//! the three backends cannot drift apart (first slice of the ROADMAP's
+//! kernel unification).
+
+use pipesched_ir::TupleId;
+
+use crate::bnb::InitialHeuristic;
+use crate::bounds::LowerBound;
+use crate::context::SchedContext;
+use crate::list_sched::list_schedule;
+use crate::timing::{evaluate_schedule_from, BoundaryState, TimingEngine};
+
+/// The common starting state of an exact search: the heuristic incumbent
+/// and the admissible lower bound it is measured against.
+#[derive(Debug, Clone)]
+pub struct SearchSeed {
+    /// The initial (heuristic) instruction order.
+    pub order: Vec<TupleId>,
+    /// η per position of `order` under the default pipeline assignment.
+    pub etas: Vec<u32>,
+    /// μ of the initial schedule — the incumbent the search must beat.
+    pub nops: u32,
+    /// Admissible lower bound on μ over *all* legal schedules of the
+    /// block from `boundary`: an incumbent at or below it is provably
+    /// optimal before any search runs.
+    pub global_lb: u32,
+}
+
+impl SearchSeed {
+    /// True when the incumbent already matches the lower bound, i.e. the
+    /// seed schedule is provably optimal without any search.
+    pub fn proved_by_bound(&self) -> bool {
+        self.nops <= self.global_lb
+    }
+}
+
+/// Build the incumbent + lower-bound seed every exact backend starts from.
+///
+/// `pipeline_selection` must mirror the search's own setting: when the
+/// search may choose among several units, ops with a choice are excluded
+/// from the per-pipe resource counts and ready instructions are priced at
+/// their cheapest unit, keeping the bound admissible (exactly the rule the
+/// branch-and-bound kernels applied individually before this was hoisted).
+pub fn seed_incumbent(
+    ctx: &SchedContext<'_>,
+    initial: InitialHeuristic,
+    boundary: &BoundaryState,
+    pipeline_selection: bool,
+) -> SearchSeed {
+    let n = ctx.len();
+    let order = match initial {
+        InitialHeuristic::MaxDistance => list_schedule(ctx.dag, &ctx.analysis),
+        InitialHeuristic::SourceOrder => ctx.block.ids().collect(),
+        InitialHeuristic::Greedy => crate::baselines::greedy_schedule(ctx).0,
+    };
+    let (etas, nops) = evaluate_schedule_from(ctx, boundary, &order);
+
+    let global_lb = {
+        let lb = LowerBound::new(ctx);
+        let engine = TimingEngine::with_boundary(ctx, boundary);
+        let ready = (0..n as u32)
+            .map(TupleId)
+            .filter(|t| ctx.preds[t.index()].is_empty());
+        let mut counts = vec![0u32; ctx.machine.pipeline_count()];
+        for i in 0..n {
+            if pipeline_selection && ctx.allowed[i].len() > 1 {
+                continue;
+            }
+            if let Some(p) = ctx.sigma[i] {
+                counts[p.index()] += 1;
+            }
+        }
+        lb.bound_with_selection(ctx, &engine, ready, &counts, pipeline_selection)
+    };
+
+    SearchSeed {
+        order,
+        etas,
+        nops,
+        global_lb,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bnb::{search, SearchConfig};
+    use pipesched_ir::{BlockBuilder, DepDag};
+    use pipesched_machine::presets;
+
+    #[test]
+    fn seed_matches_search_prologue() {
+        let mut b = BlockBuilder::new("seed");
+        let x = b.load("x");
+        let y = b.load("y");
+        let m = b.mul(x, y);
+        b.store("z", m);
+        let block = b.finish().unwrap();
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let ctx = SchedContext::new(&block, &dag, &machine);
+        let boundary = BoundaryState::cold(machine.pipeline_count());
+
+        let seed = seed_incumbent(&ctx, InitialHeuristic::MaxDistance, &boundary, false);
+        let out = search(&ctx, &SearchConfig::default());
+        assert_eq!(seed.order, out.initial_order);
+        assert_eq!(seed.nops, out.initial_nops);
+        // The lower bound is admissible: the proven optimum respects it.
+        assert!(out.optimal);
+        assert!(seed.global_lb <= out.nops);
+        assert_eq!(seed.global_lb, crate::bounds::global_lower_bound(&ctx));
+    }
+
+    #[test]
+    fn seed_on_empty_block() {
+        let block = BlockBuilder::new("e").finish().unwrap();
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let ctx = SchedContext::new(&block, &dag, &machine);
+        let boundary = BoundaryState::cold(machine.pipeline_count());
+        let seed = seed_incumbent(&ctx, InitialHeuristic::MaxDistance, &boundary, false);
+        assert!(seed.order.is_empty());
+        assert_eq!(seed.nops, 0);
+        assert!(seed.proved_by_bound());
+    }
+}

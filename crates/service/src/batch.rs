@@ -34,6 +34,10 @@ pub struct BatchSummary {
     pub cache_hits: u64,
     /// Responses flagged `optimal=false`.
     pub truncated: u64,
+    /// Successful responses answered by the branch-and-bound backend.
+    pub backend_bnb: u64,
+    /// Successful responses answered by the SAT backend.
+    pub backend_sat: u64,
     /// Responses that passed independent certification (only counted when
     /// `check` was on).
     pub certified: u64,
@@ -80,6 +84,13 @@ impl BatchSummary {
             ("errors", self.errors as i64),
             ("cache_hits", self.cache_hits as i64),
             ("truncated", self.truncated as i64),
+            (
+                "backend_answers",
+                json_object![
+                    ("bnb", self.backend_bnb as i64),
+                    ("sat", self.backend_sat as i64),
+                ]
+            ),
             ("certified", self.certified as i64),
             ("certify_failures", self.certify_failures as i64),
             ("proved", self.proved as i64),
@@ -159,6 +170,8 @@ pub fn summarize_responses(
         errors: 0,
         cache_hits,
         truncated: 0,
+        backend_bnb: 0,
+        backend_sat: 0,
         certified: 0,
         certify_failures: 0,
         proved: 0,
@@ -183,6 +196,12 @@ pub fn summarize_responses(
         summary.ok += 1;
         if doc.get("optimal").and_then(Json::as_bool) == Some(false) {
             summary.truncated += 1;
+        }
+        match doc.get("backend").and_then(Json::as_str) {
+            Some("sat") => summary.backend_sat += 1,
+            // Pre-portfolio servers send no backend field; everything
+            // they answer is the B&B.
+            _ => summary.backend_bnb += 1,
         }
         if check {
             if certify_response(request_line, &doc) {
@@ -337,6 +356,32 @@ mod tests {
         assert!(summary.search_omega > 0);
         assert!(summary.identity_ok);
         assert_eq!(doc.get("identity_ok").and_then(Json::as_bool), Some(true));
+        // A default engine answers everything with the B&B backend.
+        assert_eq!(summary.backend_bnb, 10);
+        assert_eq!(summary.backend_sat, 0);
+        let backends = doc.get("backend_answers").unwrap();
+        assert_eq!(backends.get("bnb").and_then(Json::as_i64), Some(10));
+    }
+
+    #[test]
+    fn sat_engine_batches_certify_and_report_the_backend() {
+        let eng = ServiceEngine::new(
+            EngineConfig {
+                backend: pipesched_core::Backend::Sat,
+                ..EngineConfig::default()
+            },
+            64,
+            4,
+        );
+        let summary =
+            run_batch(&eng, &workload(3), &ServeConfig { workers: 2 }, true, false).unwrap();
+        assert_eq!(summary.ok, 6);
+        assert_eq!(summary.certified, 6, "SAT answers are certifier-clean");
+        assert_eq!(summary.certify_failures, 0);
+        // Every response records a concrete backend; the split depends on
+        // which tier answered (list-tier answers stay B&B), so only the
+        // total is stable.
+        assert_eq!(summary.backend_bnb + summary.backend_sat, 6);
     }
 
     #[test]

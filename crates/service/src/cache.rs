@@ -16,6 +16,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
+use pipesched_core::Backend;
 use pipesched_json::Json;
 
 use crate::canon::CanonKey;
@@ -39,6 +40,9 @@ pub struct CacheEntry {
     pub budget_nodes: u64,
     /// Which tier produced the entry.
     pub tier: Tier,
+    /// Which solving backend produced the entry (B&B for the heuristic
+    /// tiers; SAT when the portfolio answered). Hits inherit it.
+    pub backend: Backend,
     /// Digest of the optimality certificate backing the entry, when the
     /// producing engine ran with proving enabled (see
     /// [`crate::engine::EngineConfig::prove`]).
@@ -199,6 +203,7 @@ impl ScheduleCache {
                     ("optimal", entry.optimal),
                     ("budget", format!("{:x}", entry.budget_nodes)),
                     ("tier", entry.tier.name()),
+                    ("backend", entry.backend.name()),
                 ];
                 if let Some(digest) = entry.proof_digest {
                     if let Json::Object(pairs) = &mut doc {
@@ -289,6 +294,13 @@ fn parse_entry(e: &Json) -> Option<(CanonKey, CacheEntry)> {
         optimal: e.get("optimal")?.as_bool()?,
         budget_nodes: hex_u64(e, "budget")?,
         tier: Tier::from_name(e.get("tier")?.as_str()?)?,
+        // Optional: caches persisted before the SAT portfolio existed
+        // carry no backend field; everything back then was the B&B.
+        backend: e
+            .get("backend")
+            .and_then(Json::as_str)
+            .and_then(Backend::from_name)
+            .unwrap_or(Backend::Bnb),
         // Optional: entries persisted by a non-proving engine have none.
         proof_digest: hex_u64(e, "proof_digest"),
     };
@@ -316,6 +328,7 @@ mod tests {
             optimal,
             budget_nodes: 100,
             tier: Tier::Bnb,
+            backend: Backend::Bnb,
             proof_digest: None,
         }
     }
@@ -357,6 +370,35 @@ mod tests {
         assert!(cache.get(&key(1), u64::MAX).is_some());
         assert!(cache.get(&key(2), u64::MAX).is_none(), "LRU was evicted");
         assert!(cache.get(&key(3), u64::MAX).is_some());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_backend_and_legacy_entries_default_to_bnb() {
+        let cache = ScheduleCache::new(8, 1);
+        let mut sat_entry = entry(2, true);
+        sat_entry.backend = Backend::Sat;
+        cache.insert(key(21), sat_entry.clone());
+        let parsed = pipesched_json::parse(&cache.to_json().to_compact()).unwrap();
+        let other = ScheduleCache::new(8, 1);
+        assert_eq!(other.load_json(&parsed).unwrap(), 1);
+        assert_eq!(other.get(&key(21), u64::MAX), Some(sat_entry));
+        // A pre-portfolio document without the field loads as B&B.
+        let legacy = r#"{"version": 1, "entries": [{
+            "hash": "0000000000000015", "n": 3, "machine_fp": "0000000000000007",
+            "order": [0, 1, 2], "assignment": [0, 4294967295, 1],
+            "etas": [0, 1, 0], "nops": 2, "optimal": true,
+            "budget": "64", "tier": "bnb"}]}"#;
+        let third = ScheduleCache::new(8, 1);
+        assert_eq!(
+            third
+                .load_json(&pipesched_json::parse(legacy).unwrap())
+                .unwrap(),
+            1
+        );
+        assert_eq!(
+            third.get(&key(0x15), u64::MAX).unwrap().backend,
+            Backend::Bnb
+        );
     }
 
     #[test]

@@ -26,7 +26,7 @@ use std::time::Instant;
 use pipesched_core::proof::{Certificate, ProofLogger};
 use pipesched_core::{
     global_lower_bound, search, search_with_profile, search_with_proof, windowed_schedule_bounded,
-    SchedContext, SearchConfig, SearchProfile,
+    Backend, SchedContext, SearchConfig, SearchProfile,
 };
 use pipesched_ir::{analysis::verify_schedule, BasicBlock, DepDag, TupleId};
 use pipesched_json::{json_object, Json};
@@ -46,7 +46,10 @@ pub enum Tier {
     List,
     /// Windowed locally-optimal schedule.
     Windowed,
-    /// Branch-and-bound (complete or budget-truncated).
+    /// The final exact tier (complete or budget-truncated). Historically
+    /// named after the branch-and-bound; under [`EngineConfig::backend`]
+    /// the SAT portfolio can answer here too — the [`Answer::backend`]
+    /// field says which engine actually produced the schedule.
     Bnb,
 }
 
@@ -119,6 +122,11 @@ pub struct Answer {
     pub cache_hit: bool,
     /// Tier that produced the schedule.
     pub tier: Tier,
+    /// Concrete solving backend behind the answer: `Bnb` for the search
+    /// tiers (cache hits inherit the producing entry's backend), `Sat`
+    /// when the SAT portfolio answered. Never `Race` — a race resolves to
+    /// whichever side won.
+    pub backend: Backend,
     /// Ω calls spent answering (0 for cache hits and proven list answers).
     pub omega_calls: u64,
     /// True when the wall-clock deadline cut the search short.
@@ -152,6 +160,12 @@ pub struct EngineConfig {
     /// the one scheduled — responses index the tuples the client sent.
     /// Defaults on when `PIPESCHED_VERIFY_OPT` is set.
     pub verify_opt: bool,
+    /// Which engine answers the final exact tier: the paper's
+    /// branch-and-bound (default), the SAT portfolio's descending
+    /// feasibility queries, or a race of the two under the shared
+    /// deadline (the loser is cancelled once the winner proves
+    /// optimality).
+    pub backend: Backend,
 }
 
 impl Default for EngineConfig {
@@ -162,6 +176,7 @@ impl Default for EngineConfig {
             windowed_share: 4,
             prove: false,
             verify_opt: pipesched_analyze::verify_opt_forced(),
+            backend: Backend::Bnb,
         }
     }
 }
@@ -230,6 +245,7 @@ impl ServiceEngine {
                     ("windowed_share", self.config.windowed_share as i64),
                     ("prove", self.config.prove),
                     ("verify_opt", self.config.verify_opt),
+                    ("backend", self.config.backend.name()),
                 ]
             ),
         ]
@@ -282,6 +298,7 @@ impl ServiceEngine {
                     answer.cache_hit = true;
                     self.metrics.record_answer(
                         Tier::Cache,
+                        answer.backend,
                         true,
                         false,
                         start.elapsed().as_micros() as u64,
@@ -305,6 +322,7 @@ impl ServiceEngine {
         }
         self.metrics.record_answer(
             answer.tier,
+            answer.backend,
             false,
             !answer.optimal,
             start.elapsed().as_micros() as u64,
@@ -366,6 +384,7 @@ impl ServiceEngine {
                     optimal: true,
                     cache_hit: false,
                     tier: Tier::Windowed,
+                    backend: Backend::Bnb,
                     omega_calls: omega_spent,
                     deadline_hit: false,
                     proof_digest,
@@ -373,9 +392,105 @@ impl ServiceEngine {
             }
         }
 
-        // Tier "bnb": the remaining budget under the request deadline.
+        // The final exact tier: the remaining budget under the request
+        // deadline goes to the configured backend — the paper's
+        // branch-and-bound, the SAT portfolio's descending feasibility
+        // queries, or a race of the two.
+        let lambda = nodes.saturating_sub(omega_spent).max(1);
+        let answer = match self.config.backend {
+            Backend::Bnb => self.bnb_tier(ctx, deadline, lambda, &mut omega_spent),
+            Backend::Sat => {
+                let _s = span("tier_sat");
+                let solve_cfg = pipesched_solve::SolveConfig {
+                    deadline,
+                    ..Default::default()
+                };
+                let out = pipesched_solve::solve_schedule(ctx, &solve_cfg);
+                self.metrics.record_sat_effort(
+                    out.stats.conflicts,
+                    out.stats.decisions,
+                    out.stats.propagations,
+                );
+                self.answer_from_solve(ctx, out, omega_spent)
+            }
+            Backend::Race => {
+                let _s = span("tier_race");
+                let race_cfg = pipesched_solve::RaceConfig {
+                    lambda,
+                    deadline,
+                    // Serving latency beats cross-certification here: the
+                    // loser is cancelled the moment the winner proves
+                    // optimality. The CLI's race mode keeps both for the
+                    // full agreement check.
+                    cancel_loser: true,
+                    ..Default::default()
+                };
+                let out = pipesched_solve::race(ctx, &race_cfg);
+                self.metrics.search.record(&out.bnb.stats, true);
+                self.metrics.record_sat_effort(
+                    out.sat.stats.conflicts,
+                    out.sat.stats.decisions,
+                    out.sat.stats.propagations,
+                );
+                omega_spent += out.bnb.stats.omega_calls;
+                point2("race_bnb_micros", 0, out.bnb_micros as i64);
+                point2("race_sat_micros", 0, out.sat_micros as i64);
+                // A disagreement between two optimality proofs means one
+                // of them is wrong; `race` already refuses to answer from
+                // the SAT side in that case, and the certifier rejects the
+                // served schedule in debug builds.
+                debug_assert!(
+                    !out.disagreement,
+                    "SAT and branch-and-bound disagree on the optimal NOP count"
+                );
+                if out.winner == Backend::Sat {
+                    self.answer_from_solve(ctx, out.sat, omega_spent)
+                } else {
+                    let mut a = answer_from_search(&out.bnb, Tier::Bnb, omega_spent);
+                    if self.config.prove && a.optimal {
+                        a.proof_digest = Some(prove_digest(ctx, &a.order, a.nops));
+                    }
+                    a
+                }
+            }
+        };
+
+        // The final tier starts from the list incumbent, so it can only
+        // tie or beat the list tier; the windowed candidate may still be
+        // better when the exact search was truncated early.
+        if let Some(w) = windowed {
+            if !answer.optimal && w.nops < answer.nops {
+                let (etas, nops) = pipesched_core::timing::evaluate_schedule(ctx, &w.order);
+                debug_assert_eq!(nops, w.nops);
+                return Answer {
+                    order: w.order,
+                    assignment: ctx.sigma.clone(),
+                    etas,
+                    nops,
+                    optimal: false,
+                    cache_hit: false,
+                    tier: Tier::Windowed,
+                    backend: Backend::Bnb,
+                    omega_calls: answer.omega_calls,
+                    deadline_hit: answer.deadline_hit || w.stats.deadline_hit,
+                    proof_digest: None,
+                };
+            }
+        }
+        answer
+    }
+
+    /// The branch-and-bound variant of the final tier: proving, profiled,
+    /// or plain depending on configuration and whether a trace records.
+    fn bnb_tier(
+        &self,
+        ctx: &SchedContext<'_>,
+        deadline: Option<Instant>,
+        lambda: u64,
+        omega_spent: &mut u64,
+    ) -> Answer {
         let bnb_cfg = SearchConfig {
-            lambda: nodes.saturating_sub(omega_spent).max(1),
+            lambda,
             deadline,
             ..SearchConfig::default()
         };
@@ -407,32 +522,37 @@ impl ServiceEngine {
             (search(ctx, &bnb_cfg), None)
         };
         self.metrics.search.record(&bnb.stats, true);
-        omega_spent += bnb.stats.omega_calls;
-
-        // The B&B starts from the list incumbent, so it can only tie or
-        // beat the list tier; the windowed candidate may still be better
-        // when the B&B was truncated early.
-        if let Some(w) = windowed {
-            if !bnb.optimal && w.nops < bnb.nops {
-                let (etas, nops) = pipesched_core::timing::evaluate_schedule(ctx, &w.order);
-                debug_assert_eq!(nops, w.nops);
-                return Answer {
-                    order: w.order,
-                    assignment: ctx.sigma.clone(),
-                    etas,
-                    nops,
-                    optimal: false,
-                    cache_hit: false,
-                    tier: Tier::Windowed,
-                    omega_calls: omega_spent,
-                    deadline_hit: bnb.stats.deadline_hit || w.stats.deadline_hit,
-                    proof_digest: None,
-                };
-            }
-        }
-        let mut answer = answer_from_search(&bnb, Tier::Bnb, omega_spent);
+        *omega_spent += bnb.stats.omega_calls;
+        let mut answer = answer_from_search(&bnb, Tier::Bnb, *omega_spent);
         answer.proof_digest = bnb_digest;
         answer
+    }
+
+    /// Package a SAT-portfolio outcome as a served answer. The proof
+    /// digest, when proving is on, comes from the by-bound shortcut or a
+    /// fresh certificate-logged search — the SAT query trail itself is
+    /// audited by `pipesched-solve`, not persisted as a certificate.
+    fn answer_from_solve(
+        &self,
+        ctx: &SchedContext<'_>,
+        out: pipesched_solve::SolveOutcome,
+        omega_calls: u64,
+    ) -> Answer {
+        let proof_digest =
+            (self.config.prove && out.optimal).then(|| prove_digest(ctx, &out.order, out.nops));
+        Answer {
+            order: out.order,
+            assignment: out.assignment,
+            etas: out.etas,
+            nops: out.nops,
+            optimal: out.optimal,
+            cache_hit: false,
+            tier: Tier::Bnb,
+            backend: Backend::Sat,
+            omega_calls,
+            deadline_hit: out.stats.deadline_hit,
+            proof_digest,
+        }
     }
 
     /// Memoize an answer in canonical coordinates.
@@ -453,6 +573,7 @@ impl ServiceEngine {
                 optimal: answer.optimal,
                 budget_nodes: if answer.optimal { u64::MAX } else { nodes },
                 tier: answer.tier,
+                backend: answer.backend,
                 proof_digest: answer.proof_digest,
             },
         );
@@ -483,6 +604,7 @@ fn answer_from_search(out: &pipesched_core::SearchOutcome, tier: Tier, omega_cal
         optimal: out.optimal,
         cache_hit: false,
         tier,
+        backend: Backend::Bnb,
         omega_calls,
         deadline_hit: out.stats.deadline_hit,
         proof_digest: None,
@@ -559,6 +681,7 @@ pub(crate) fn translate_hit(
         optimal: entry.optimal,
         cache_hit: true,
         tier: Tier::Cache,
+        backend: entry.backend,
         omega_calls: 0,
         deadline_hit: false,
         proof_digest: entry.proof_digest,
@@ -746,5 +869,94 @@ mod tests {
         let dag = DepDag::build(&block);
         verify_schedule(&block, &dag, &answer.order).unwrap();
         assert!(answer.omega_calls <= 400 + 1);
+    }
+
+    #[test]
+    fn sat_backend_matches_the_default_engine() {
+        let machine = presets::paper_simulation();
+        let block = block_with(["x", "y", "m", "a"]);
+        let reference = engine().answer(&block, &machine, Budget::unlimited());
+        let sat_engine = ServiceEngine::new(
+            EngineConfig {
+                backend: Backend::Sat,
+                ..EngineConfig::default()
+            },
+            64,
+            4,
+        );
+        let served = sat_engine.answer(&block, &machine, Budget::unlimited());
+        assert!(served.optimal && reference.optimal);
+        assert_eq!(served.nops, reference.nops);
+        // The list tier answers with the B&B backend even on a SAT engine;
+        // only answers from the exact tier carry `Backend::Sat`. Either
+        // way the backend is recorded in the metrics and the cache.
+        if served.tier == Tier::Bnb {
+            assert_eq!(served.backend, Backend::Sat);
+        } else {
+            assert_eq!(served.backend, Backend::Bnb);
+        }
+        let dag = DepDag::build(&block);
+        verify_schedule(&block, &dag, &served.order).unwrap();
+        // A renamed repeat hits the cache and inherits the entry backend.
+        let repeat = sat_engine.answer(
+            &block_with(["p", "q", "r", "s"]),
+            &machine,
+            Budget::unlimited(),
+        );
+        assert!(repeat.cache_hit);
+        assert_eq!(repeat.backend, served.backend);
+    }
+
+    #[test]
+    fn sat_backend_answers_contended_blocks_optimally() {
+        // A block the list tier cannot prove by the bound, forcing the
+        // exact tier to actually run the descending SAT queries.
+        let machine = presets::deep_pipeline();
+        let mut b = BlockBuilder::new("contended");
+        for i in 0..4 {
+            let l = b.load(&format!("x{i}"));
+            let m = b.mul(l, l);
+            b.store(&format!("y{i}"), m);
+        }
+        let block = b.finish().unwrap();
+        let reference = engine().answer(&block, &machine, Budget::unlimited());
+        let sat_engine = ServiceEngine::new(
+            EngineConfig {
+                backend: Backend::Sat,
+                ..EngineConfig::default()
+            },
+            64,
+            4,
+        );
+        let served = sat_engine.answer(&block, &machine, Budget::unlimited());
+        assert!(served.optimal && reference.optimal);
+        assert_eq!(served.nops, reference.nops);
+    }
+
+    #[test]
+    fn race_backend_agrees_and_records_a_winner() {
+        let machine = presets::paper_simulation();
+        let mut b = BlockBuilder::new("raced");
+        for i in 0..3 {
+            let l = b.load(&format!("x{i}"));
+            let m = b.mul(l, l);
+            b.store(&format!("y{i}"), m);
+        }
+        let block = b.finish().unwrap();
+        let reference = engine().answer(&block, &machine, Budget::unlimited());
+        let race_engine = ServiceEngine::new(
+            EngineConfig {
+                backend: Backend::Race,
+                ..EngineConfig::default()
+            },
+            64,
+            4,
+        );
+        let served = race_engine.answer(&block, &machine, Budget::unlimited());
+        assert!(served.optimal && reference.optimal);
+        assert_eq!(served.nops, reference.nops);
+        assert_ne!(served.backend, Backend::Race, "race resolves to a side");
+        let dag = DepDag::build(&block);
+        verify_schedule(&block, &dag, &served.order).unwrap();
     }
 }

@@ -18,10 +18,13 @@
 //!   optional JSON persistence, so a warmed cache survives restarts.
 //! * [`engine`] escalates each miss through answer tiers — list schedule
 //!   (free when the lower bound proves it), windowed search on a budget
-//!   slice, then the paper's branch-and-bound under a node budget and
-//!   wall-clock deadline. Budget exhaustion still returns a legal
-//!   schedule, flagged `optimal: false`; unlimited budgets reproduce the
-//!   serial B&B result bit for bit.
+//!   slice, then the final exact tier under a node budget and wall-clock
+//!   deadline: the paper's branch-and-bound by default, the SAT
+//!   portfolio's descending feasibility queries, or a race of the two
+//!   ([`EngineConfig::backend`]); answers, cache entries, and metrics all
+//!   record which backend produced the schedule. Budget exhaustion still
+//!   returns a legal schedule, flagged `optimal: false`; unlimited
+//!   budgets reproduce the serial B&B result bit for bit.
 //! * [`request`]/[`serve`] speak an NDJSON line protocol over stdin or
 //!   TCP through a blocking worker pool — the TCP port also answers HTTP
 //!   `GET /metrics` (Prometheus text), `/stats` (JSON) and `/trace/<id>`
@@ -47,5 +50,6 @@ pub use cache::{CacheEntry, ScheduleCache};
 pub use canon::{canonicalize, machine_fingerprint, CanonForm, CanonKey};
 pub use engine::{Answer, Budget, EngineConfig, ServiceEngine, Tier};
 pub use metrics::{LatencyHistogram, Metrics, SearchAggregate};
+pub use pipesched_core::Backend;
 pub use request::{error_json, parse_request, response_json, Request};
 pub use serve::{serve_stream, serve_tcp, ServeConfig};

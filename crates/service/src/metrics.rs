@@ -11,7 +11,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use pipesched_core::SearchStats;
+use pipesched_core::{Backend, SearchStats};
 use pipesched_json::Json;
 use pipesched_trace::prom::PromWriter;
 
@@ -205,6 +205,16 @@ pub struct Metrics {
     pub tier_answers: [AtomicU64; 4],
     /// Ω calls spent per answering tier (cache answers spend none).
     pub tier_omega: [AtomicU64; 4],
+    /// Answers produced per concrete solving backend (bnb/sat). A raced
+    /// answer counts for the side that won; cache hits count for the
+    /// backend that populated the entry.
+    pub backend_answers: [AtomicU64; 2],
+    /// CDCL conflicts across every SAT query the engine ran.
+    pub sat_conflicts: AtomicU64,
+    /// CDCL decisions across every SAT query.
+    pub sat_decisions: AtomicU64,
+    /// CDCL unit propagations across every SAT query.
+    pub sat_propagations: AtomicU64,
     /// Requests whose search budget or deadline expired (answer was the
     /// incumbent, `optimal=false`).
     pub budget_exhausted: AtomicU64,
@@ -245,11 +255,31 @@ impl Metrics {
         self.opt_rejected.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Record a completed answer: its tier, cache outcome, truncation,
-    /// latency, and the Ω calls it spent.
+    /// Dense counter slot for a concrete backend. `Race` never reaches
+    /// the metrics — the engine resolves every race to the winning side
+    /// before recording — but map it to the B&B slot defensively.
+    fn backend_index(backend: Backend) -> usize {
+        match backend {
+            Backend::Sat => 1,
+            Backend::Bnb | Backend::Race => 0,
+        }
+    }
+
+    /// Record the CDCL effort of one SAT-backend run (or the SAT side of
+    /// a race).
+    pub fn record_sat_effort(&self, conflicts: u64, decisions: u64, propagations: u64) {
+        self.sat_conflicts.fetch_add(conflicts, Ordering::Relaxed);
+        self.sat_decisions.fetch_add(decisions, Ordering::Relaxed);
+        self.sat_propagations
+            .fetch_add(propagations, Ordering::Relaxed);
+    }
+
+    /// Record a completed answer: its tier and backend, cache outcome,
+    /// truncation, latency, and the Ω calls it spent.
     pub fn record_answer(
         &self,
         tier: Tier,
+        backend: Backend,
         cache_hit: bool,
         truncated: bool,
         micros: u64,
@@ -257,6 +287,7 @@ impl Metrics {
     ) {
         self.tier_answers[tier.index()].fetch_add(1, Ordering::Relaxed);
         self.tier_omega[tier.index()].fetch_add(omega, Ordering::Relaxed);
+        self.backend_answers[Self::backend_index(backend)].fetch_add(1, Ordering::Relaxed);
         if cache_hit {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -308,6 +339,36 @@ impl Metrics {
                     ("list", omega(Tier::List) as i64),
                     ("windowed", omega(Tier::Windowed) as i64),
                     ("bnb", omega(Tier::Bnb) as i64),
+                ]
+            ),
+            (
+                "backend_answers",
+                pipesched_json::json_object![
+                    (
+                        "bnb",
+                        self.backend_answers[0].load(Ordering::Relaxed) as i64
+                    ),
+                    (
+                        "sat",
+                        self.backend_answers[1].load(Ordering::Relaxed) as i64
+                    ),
+                ]
+            ),
+            (
+                "sat",
+                pipesched_json::json_object![
+                    (
+                        "conflicts",
+                        self.sat_conflicts.load(Ordering::Relaxed) as i64
+                    ),
+                    (
+                        "decisions",
+                        self.sat_decisions.load(Ordering::Relaxed) as i64
+                    ),
+                    (
+                        "propagations",
+                        self.sat_propagations.load(Ordering::Relaxed) as i64
+                    ),
                 ]
             ),
             (
@@ -387,6 +448,33 @@ impl Metrics {
                 load(&self.tier_omega[t.index()]) as f64,
             );
         }
+        w.header(
+            "pipesched_backend_answers_total",
+            "Answers produced, by concrete solving backend.",
+            "counter",
+        );
+        for (label, slot) in [("bnb", 0usize), ("sat", 1)] {
+            w.sample_labeled(
+                "pipesched_backend_answers_total",
+                &[("backend", label)],
+                load(&self.backend_answers[slot]) as f64,
+            );
+        }
+        w.counter(
+            "pipesched_sat_conflicts_total",
+            "CDCL conflicts across every SAT-backend query.",
+            load(&self.sat_conflicts),
+        );
+        w.counter(
+            "pipesched_sat_decisions_total",
+            "CDCL decisions across every SAT-backend query.",
+            load(&self.sat_decisions),
+        );
+        w.counter(
+            "pipesched_sat_propagations_total",
+            "CDCL unit propagations across every SAT-backend query.",
+            load(&self.sat_propagations),
+        );
         w.counter(
             "pipesched_search_nodes_total",
             "Search-tree nodes visited across all searches.",
@@ -500,8 +588,9 @@ mod tests {
     fn metrics_json_has_every_counter() {
         let m = Metrics::new();
         m.record_request();
-        m.record_answer(Tier::Cache, true, false, 12, 0);
-        m.record_answer(Tier::Bnb, false, true, 90_000, 417);
+        m.record_answer(Tier::Cache, Backend::Bnb, true, false, 12, 0);
+        m.record_answer(Tier::Bnb, Backend::Sat, false, true, 90_000, 417);
+        m.record_sat_effort(321, 77, 9001);
         let doc = m.to_json();
         assert_eq!(doc.get("requests").and_then(Json::as_i64), Some(1));
         assert_eq!(doc.get("cache_hits").and_then(Json::as_i64), Some(1));
@@ -511,6 +600,12 @@ mod tests {
         assert_eq!(tiers.get("bnb").and_then(Json::as_i64), Some(1));
         let omega = doc.get("tier_omega").unwrap();
         assert_eq!(omega.get("bnb").and_then(Json::as_i64), Some(417));
+        let backends = doc.get("backend_answers").unwrap();
+        assert_eq!(backends.get("bnb").and_then(Json::as_i64), Some(1));
+        assert_eq!(backends.get("sat").and_then(Json::as_i64), Some(1));
+        let sat = doc.get("sat").unwrap();
+        assert_eq!(sat.get("conflicts").and_then(Json::as_i64), Some(321));
+        assert_eq!(sat.get("propagations").and_then(Json::as_i64), Some(9001));
         assert_eq!(
             doc.get("latency_micros")
                 .and_then(|l| l.get("count"))
@@ -586,7 +681,8 @@ mod tests {
     fn prometheus_exposition_is_parseable_and_complete() {
         let m = Metrics::new();
         m.record_request();
-        m.record_answer(Tier::Bnb, false, false, 250, 31);
+        m.record_answer(Tier::Bnb, Backend::Sat, false, false, 250, 31);
+        m.record_sat_effort(5, 2, 40);
         m.search.record(
             &SearchStats {
                 nodes_visited: 32,
@@ -603,6 +699,10 @@ mod tests {
         assert!(text.contains("pipesched_requests_total 1"));
         assert!(text.contains("pipesched_tier_answers_total{tier=\"bnb\"} 1"));
         assert!(text.contains("pipesched_tier_omega_total{tier=\"bnb\"} 31"));
+        assert!(text.contains("pipesched_backend_answers_total{backend=\"sat\"} 1"));
+        assert!(text.contains("pipesched_backend_answers_total{backend=\"bnb\"} 0"));
+        assert!(text.contains("pipesched_sat_conflicts_total 5"));
+        assert!(text.contains("pipesched_sat_propagations_total 40"));
         assert!(text.contains("pipesched_search_pruned_total{rule=\"bound\"} 9"));
         assert!(text.contains("pipesched_search_identity_ok 1"));
         assert!(text.contains("pipesched_request_latency_micros_count 1"));

@@ -15,8 +15,8 @@
 //!
 //! ```json
 //! {"id": 7, "ok": true, "nops": 2, "optimal": true, "cache_hit": false,
-//!  "tier": "bnb", "order": [1, 3, 2], "pipes": [0, 2, 1], "etas": [0, 0, 2],
-//!  "omega_calls": 14, "deadline_hit": false, "micros": 312}
+//!  "tier": "bnb", "backend": "bnb", "order": [1, 3, 2], "pipes": [0, 2, 1],
+//!  "etas": [0, 0, 2], "omega_calls": 14, "deadline_hit": false, "micros": 312}
 //! ```
 //!
 //! Failures come back on the same line protocol: `{"id": 7, "ok": false,
@@ -156,6 +156,7 @@ pub fn response_json(id: Option<i64>, answer: &Answer, micros: u64, trace_id: Op
         ("optimal", answer.optimal),
         ("cache_hit", answer.cache_hit),
         ("tier", answer.tier.name()),
+        ("backend", answer.backend.name()),
         ("order", Json::Array(order)),
         ("pipes", Json::Array(pipes)),
         ("etas", Json::Array(etas)),

@@ -1,0 +1,212 @@
+//! Independent audit of a finished SAT-backend run (stable `A06xx` codes).
+//!
+//! [`audit_outcome`] trusts nothing in the [`SolveOutcome`] it is handed:
+//! the final schedule goes through the full `pipesched-analyze` certifier,
+//! the encoding for every recorded query is rebuilt from the block and
+//! machine description, every recorded model is re-checked clause by
+//! clause and replayed through the timing engine, and an optimality claim
+//! must be backed by either the global lower bound or an on-record UNSAT
+//! query at one NOP below the answer. [`cross_check`] adds the portfolio
+//! invariant: two backends that both claim a proven optimum must agree on
+//! it.
+
+use pipesched_analyze::{certify, Claim, DiagCode, Diagnostic, Report};
+use pipesched_core::bounds::global_lower_bound;
+use pipesched_core::timing::evaluate_schedule;
+use pipesched_core::SchedContext;
+use pipesched_ir::{BasicBlock, DepDag};
+use pipesched_machine::Machine;
+
+use crate::encode::Encoding;
+use crate::{QueryResult, SolveOutcome};
+
+/// Re-check a SAT-backend outcome from scratch. An empty-error report
+/// means the schedule is certified *and* the query trail genuinely
+/// justifies whatever the outcome claims.
+pub fn audit_outcome(block: &BasicBlock, machine: &Machine, outcome: &SolveOutcome) -> Report {
+    let mut report = Report::new(format!(
+        "sat-backend audit of `{}` on `{}`",
+        block.name, machine.name
+    ));
+
+    // The final schedule must survive full certification (A03xx codes).
+    let cert = certify(
+        block,
+        machine,
+        Claim {
+            order: &outcome.order,
+            assignment: Some(&outcome.assignment),
+            etas: Some(&outcome.etas),
+            nops: Some(outcome.nops),
+        },
+    );
+    report.merge(cert.report);
+
+    let dag = DepDag::build(block);
+    let ctx = SchedContext::new(block, &dag, machine);
+    let n = ctx.len();
+
+    if let Some(fault) = &outcome.encode_fault {
+        report.push(Diagnostic::new(
+            DiagCode::SolveEncodingInconsistent,
+            format!("run recorded an encoder fault: {fault}"),
+        ));
+    }
+
+    // Query-trail shape: horizons must match `n + budget` and budgets must
+    // strictly descend (each query is asked below the then-best schedule).
+    let mut prev_budget: Option<u32> = None;
+    for (i, q) in outcome.queries.iter().enumerate() {
+        if q.horizon != n as u32 + q.budget {
+            report.push(Diagnostic::new(
+                DiagCode::SolveEncodingInconsistent,
+                format!(
+                    "query {i} records horizon {} for budget {} on {n} instructions \
+                     (expected {})",
+                    q.horizon,
+                    q.budget,
+                    n as u32 + q.budget
+                ),
+            ));
+        }
+        if prev_budget.is_some_and(|p| q.budget >= p) {
+            report.push(Diagnostic::new(
+                DiagCode::SolveEncodingInconsistent,
+                format!("query {i} budget {} does not descend", q.budget),
+            ));
+        }
+        prev_budget = Some(q.budget);
+    }
+
+    // Every recorded model must satisfy an independently rebuilt encoding
+    // and replay within its query's budget.
+    for (i, q) in outcome.queries.iter().enumerate() {
+        let QueryResult::Sat { cycles } = &q.result else {
+            continue;
+        };
+        let enc = Encoding::build(&ctx, q.budget);
+        if let Err(e) = enc.check_cycles(&ctx, cycles) {
+            report.push(Diagnostic::new(
+                DiagCode::SolveModelInvalid,
+                format!("query {i} (budget {}): {e}", q.budget),
+            ));
+        }
+        let order = Encoding::order_of_cycles(cycles);
+        if let Err(e) = pipesched_ir::analysis::verify_schedule(block, &dag, &order) {
+            report.push(Diagnostic::new(
+                DiagCode::SolveModelInvalid,
+                format!(
+                    "query {i} (budget {}): decoded order is illegal: {e}",
+                    q.budget
+                ),
+            ));
+            continue; // replaying an illegal order is meaningless
+        }
+        let (_, nops) = evaluate_schedule(&ctx, &order);
+        if nops > q.budget {
+            report.push(Diagnostic::new(
+                DiagCode::SolveBudgetMissed,
+                format!(
+                    "query {i} claims a schedule with μ ≤ {} but its model replays to μ = {nops}",
+                    q.budget
+                ),
+            ));
+        }
+    }
+
+    // An optimality claim needs a proof: the global lower bound, or an
+    // UNSAT query exactly one NOP below the answer.
+    if outcome.optimal && outcome.nops > global_lower_bound(&ctx) {
+        let refuted = outcome.nops > 0
+            && outcome
+                .queries
+                .iter()
+                .any(|q| q.result == QueryResult::Unsat && q.budget == outcome.nops - 1);
+        if !refuted {
+            report.push(Diagnostic::new(
+                DiagCode::SolveOptimalityUnproved,
+                format!(
+                    "outcome claims μ = {} is optimal but no UNSAT query at budget {} is on record",
+                    outcome.nops,
+                    outcome.nops.saturating_sub(1)
+                ),
+            ));
+        }
+    }
+
+    // A recorded UNSAT at or above the final μ is refuted by the final
+    // schedule itself — the answer is a witness that the query was SAT.
+    for (i, q) in outcome.queries.iter().enumerate() {
+        if q.result == QueryResult::Unsat && q.budget >= outcome.nops {
+            report.push(Diagnostic::new(
+                DiagCode::SolveEncodingInconsistent,
+                format!(
+                    "query {i} claims UNSAT at budget {} but the final schedule has μ = {}",
+                    q.budget, outcome.nops
+                ),
+            ));
+        }
+    }
+
+    report
+}
+
+/// The portfolio invariant: two backends that both *prove* optimality on
+/// the same block must agree on the optimal μ. Returns a report carrying
+/// [`DiagCode::BackendDisagreement`] when they do not.
+pub fn cross_check(
+    block: &BasicBlock,
+    bnb_optimal: bool,
+    bnb_nops: u32,
+    sat_optimal: bool,
+    sat_nops: u32,
+) -> Report {
+    let mut report = Report::new(format!("backend cross-check of `{}`", block.name));
+    if bnb_optimal && sat_optimal && bnb_nops != sat_nops {
+        report.push(Diagnostic::new(
+            DiagCode::BackendDisagreement,
+            format!("branch-and-bound proves μ = {bnb_nops} optimal, SAT proves μ = {sat_nops}"),
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{solve_schedule, SolveConfig};
+    use pipesched_ir::BlockBuilder;
+    use pipesched_machine::presets;
+
+    fn honest_outcome() -> (BasicBlock, Machine, SolveOutcome) {
+        let mut b = BlockBuilder::new("audit");
+        let x = b.load("x");
+        let y = b.load("y");
+        let m = b.mul(x, y);
+        let a = b.add(x, y);
+        b.store("m", m);
+        b.store("a", a);
+        let block = b.finish().unwrap();
+        let machine = presets::paper_simulation();
+        let dag = DepDag::build(&block);
+        let outcome = {
+            let ctx = SchedContext::new(&block, &dag, &machine);
+            solve_schedule(&ctx, &SolveConfig::default())
+        };
+        (block, machine, outcome)
+    }
+
+    #[test]
+    fn honest_outcomes_audit_clean() {
+        let (block, machine, outcome) = honest_outcome();
+        let report = audit_outcome(&block, &machine, &outcome);
+        assert!(!report.has_errors(), "clean run rejected: {report:?}");
+    }
+
+    #[test]
+    fn agreement_cross_checks_clean() {
+        let (block, _machine, outcome) = honest_outcome();
+        let report = cross_check(&block, true, outcome.nops, true, outcome.nops);
+        assert!(!report.has_errors());
+    }
+}

@@ -1,0 +1,625 @@
+//! A zero-dependency CDCL SAT solver.
+//!
+//! Implements the standard conflict-driven clause-learning loop in the
+//! repo's vendored-shim ethos (no external solver binary, no crates.io
+//! dependency): two watched literals per clause, first-UIP conflict
+//! analysis with non-chronological backjumping, VSIDS-style exponential
+//! variable activities, phase saving, and Luby-sequence restarts. It is
+//! deliberately small — the scheduling encodings it solves have at most a
+//! few thousand variables — and favours being auditable over shaving
+//! constants: decisions pick the max-activity unassigned variable by
+//! linear scan instead of maintaining a heap.
+//!
+//! Literal convention: variable `v`'s positive literal is `2v`, its
+//! negative literal `2v+1` (MiniSat's encoding).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A propositional variable, numbered from 0.
+pub type Var = u32;
+
+/// A literal: `var << 1 | sign` with sign 1 meaning negated.
+pub type Lit = u32;
+
+/// Build a literal from a variable and a sign (`negated = true` ⇒ ¬v).
+#[inline]
+pub fn lit(v: Var, negated: bool) -> Lit {
+    (v << 1) | u32::from(negated)
+}
+
+/// The variable of a literal.
+#[inline]
+pub fn var_of(l: Lit) -> Var {
+    l >> 1
+}
+
+/// True when the literal is negated.
+#[inline]
+pub fn is_neg(l: Lit) -> bool {
+    l & 1 == 1
+}
+
+/// The complement of a literal.
+#[inline]
+pub fn negate(l: Lit) -> Lit {
+    l ^ 1
+}
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveResult {
+    /// Satisfiable; the model gives one truth value per variable.
+    Sat(Vec<bool>),
+    /// Proven unsatisfiable.
+    Unsat,
+    /// Gave up: conflict budget, deadline, or external stop flag.
+    Unknown,
+}
+
+/// Search counters for one `solve` call (cumulative across calls).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SatStats {
+    /// Conflicts analyzed.
+    pub conflicts: u64,
+    /// Decision literals tried.
+    pub decisions: u64,
+    /// Literals propagated by unit propagation.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Clauses learned.
+    pub learned: u64,
+}
+
+/// Resource limits for a `solve` call.
+#[derive(Debug, Clone, Default)]
+pub struct SatLimits {
+    /// Give up after this many conflicts (`None` = unlimited).
+    pub max_conflicts: Option<u64>,
+    /// Give up once this instant passes.
+    pub deadline: Option<Instant>,
+    /// Cooperative cancellation: give up once this flag is set
+    /// (checked every few hundred conflicts, like the deadline).
+    pub stop: Option<Arc<AtomicBool>>,
+}
+
+const VAR_ACT_DECAY: f64 = 1.0 / 0.95;
+const VAR_ACT_RESCALE: f64 = 1e100;
+const RESTART_BASE: u64 = 64;
+/// Conflicts between deadline / stop-flag polls.
+const LIMIT_CHECK_INTERVAL: u64 = 256;
+
+/// A CDCL solver instance over a fixed set of variables.
+pub struct Solver {
+    num_vars: usize,
+    /// Clause arena: problem clauses first, learned clauses appended.
+    clauses: Vec<Vec<Lit>>,
+    /// `watches[l]` = indices of clauses currently watching literal `l`.
+    watches: Vec<Vec<u32>>,
+    /// Assignment per variable: `None` unassigned.
+    assign: Vec<Option<bool>>,
+    /// Decision level per variable (valid only while assigned).
+    level: Vec<u32>,
+    /// Antecedent clause per variable (`u32::MAX` ⇒ decision/none).
+    reason: Vec<u32>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+    /// Root-level contradiction discovered while adding clauses.
+    root_unsat: bool,
+    /// Cumulative counters across `solve` calls on this instance.
+    pub stats: SatStats,
+}
+
+const NO_REASON: u32 = u32::MAX;
+
+impl Solver {
+    /// Create a solver over `num_vars` variables, all initially free.
+    pub fn new(num_vars: usize) -> Solver {
+        Solver {
+            num_vars,
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); num_vars * 2],
+            assign: vec![None; num_vars],
+            level: vec![0; num_vars],
+            reason: vec![NO_REASON; num_vars],
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: vec![0.0; num_vars],
+            var_inc: 1.0,
+            // Default phase `false`: in the time-indexed scheduling
+            // encoding almost every x[t][c] is false in any model.
+            phase: vec![false; num_vars],
+            seen: vec![false; num_vars],
+            root_unsat: false,
+            stats: SatStats::default(),
+        }
+    }
+
+    /// Number of variables this solver was created with.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of problem + learned clauses currently stored.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    #[inline]
+    fn value(&self, l: Lit) -> Option<bool> {
+        self.assign[var_of(l) as usize].map(|v| v != is_neg(l))
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Add a problem clause. Must be called before `solve`; literals are
+    /// deduplicated and tautologies dropped. Returns `false` when the
+    /// clause makes the formula trivially unsatisfiable at the root.
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        if self.root_unsat {
+            return false;
+        }
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut c: Vec<Lit> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            debug_assert!((var_of(l) as usize) < self.num_vars);
+            if c.contains(&negate(l)) {
+                return true; // tautology: always satisfied
+            }
+            // Root-level simplification against already-fixed literals.
+            match self.value(l) {
+                Some(true) => return true,
+                Some(false) => continue,
+                None => {
+                    if !c.contains(&l) {
+                        c.push(l);
+                    }
+                }
+            }
+        }
+        match c.len() {
+            0 => {
+                self.root_unsat = true;
+                false
+            }
+            1 => {
+                self.enqueue(c[0], NO_REASON);
+                if self.propagate().is_some() {
+                    self.root_unsat = true;
+                    false
+                } else {
+                    true
+                }
+            }
+            _ => {
+                let idx = self.clauses.len() as u32;
+                self.watches[c[0] as usize].push(idx);
+                self.watches[c[1] as usize].push(idx);
+                self.clauses.push(c);
+                true
+            }
+        }
+    }
+
+    #[inline]
+    fn enqueue(&mut self, l: Lit, reason: u32) {
+        let v = var_of(l) as usize;
+        debug_assert!(self.assign[v].is_none());
+        self.assign[v] = Some(!is_neg(l));
+        self.level[v] = self.decision_level();
+        self.reason[v] = reason;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation with two watched literals. Returns the index of a
+    /// conflicting clause, or `None` when a fixpoint is reached.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = negate(p);
+            // Clauses watching `false_lit` must find a new watch or fire.
+            let mut watch_list = std::mem::take(&mut self.watches[false_lit as usize]);
+            let mut i = 0;
+            while i < watch_list.len() {
+                let ci = watch_list[i];
+                let clause = &mut self.clauses[ci as usize];
+                // Normalize: the false watch sits at position 1.
+                if clause[0] == false_lit {
+                    clause.swap(0, 1);
+                }
+                debug_assert_eq!(clause[1], false_lit);
+                let first = clause[0];
+                if self.assign[var_of(first) as usize].map(|v| v != is_neg(first)) == Some(true) {
+                    i += 1; // clause already satisfied; keep watching
+                    continue;
+                }
+                // Look for a non-false literal to watch instead.
+                let mut moved = false;
+                for k in 2..clause.len() {
+                    let lk = clause[k];
+                    if self.assign[var_of(lk) as usize].map(|v| v != is_neg(lk)) != Some(false) {
+                        clause.swap(1, k);
+                        self.watches[lk as usize].push(ci);
+                        watch_list.swap_remove(i);
+                        moved = true;
+                        break;
+                    }
+                }
+                if moved {
+                    continue;
+                }
+                // No replacement: clause is unit or conflicting on `first`.
+                if self.assign[var_of(first) as usize].is_none() {
+                    self.enqueue(first, ci);
+                    i += 1;
+                } else {
+                    // Conflict: restore the remaining watch list.
+                    self.watches[false_lit as usize] = watch_list;
+                    self.qhead = self.trail.len();
+                    return Some(ci);
+                }
+            }
+            self.watches[false_lit as usize] = watch_list;
+        }
+        None
+    }
+
+    #[inline]
+    fn bump_var(&mut self, v: Var) {
+        let a = &mut self.activity[v as usize];
+        *a += self.var_inc;
+        if *a > VAR_ACT_RESCALE {
+            for act in &mut self.activity {
+                *act /= VAR_ACT_RESCALE;
+            }
+            self.var_inc /= VAR_ACT_RESCALE;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![0]; // slot 0 = asserting literal
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut idx = self.trail.len();
+        let cur_level = self.decision_level();
+        loop {
+            let clause_len = self.clauses[confl as usize].len();
+            let start = usize::from(p.is_some()); // skip the asserting slot
+            for k in start..clause_len {
+                let q = self.clauses[confl as usize][k];
+                let v = var_of(q);
+                if !self.seen[v as usize] && self.level[v as usize] > 0 {
+                    self.seen[v as usize] = true;
+                    self.bump_var(v);
+                    if self.level[v as usize] >= cur_level {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Walk the trail backwards to the next marked literal.
+            loop {
+                idx -= 1;
+                if self.seen[var_of(self.trail[idx]) as usize] {
+                    break;
+                }
+            }
+            let pl = self.trail[idx];
+            self.seen[var_of(pl) as usize] = false;
+            counter -= 1;
+            if counter == 0 {
+                learnt[0] = negate(pl);
+                break;
+            }
+            // Not the UIP: resolve with its antecedent. By construction a
+            // non-UIP marked literal at the current level was propagated,
+            // so it has a reason clause whose slot 0 is `pl`.
+            confl = self.reason[var_of(pl) as usize];
+            debug_assert_ne!(confl, NO_REASON);
+            debug_assert_eq!(self.clauses[confl as usize][0], pl);
+            p = Some(pl);
+        }
+        for &l in &learnt[1..] {
+            self.seen[var_of(l) as usize] = false;
+        }
+        // Backjump to the second-highest level in the learned clause.
+        let mut back = 0;
+        let mut at = 1usize;
+        for (k, &l) in learnt.iter().enumerate().skip(1) {
+            let lv = self.level[var_of(l) as usize];
+            if lv > back {
+                back = lv;
+                at = k;
+            }
+        }
+        if learnt.len() > 1 {
+            // Watch invariant: slot 1 holds a literal from the backjump
+            // level so it is the last to become false.
+            learnt.swap(1, at);
+        }
+        (learnt, back)
+    }
+
+    fn backtrack(&mut self, target: u32) {
+        while self.decision_level() > target {
+            let lim = self.trail_lim.pop().unwrap();
+            while self.trail.len() > lim {
+                let l = self.trail.pop().unwrap();
+                let v = var_of(l) as usize;
+                self.phase[v] = !is_neg(l);
+                self.assign[v] = None;
+                self.reason[v] = NO_REASON;
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch_var(&self) -> Option<Var> {
+        let mut best: Option<(Var, f64)> = None;
+        for v in 0..self.num_vars {
+            if self.assign[v].is_none() {
+                let a = self.activity[v];
+                if best.is_none_or(|(_, b)| a > b) {
+                    best = Some((v as Var, a));
+                }
+            }
+        }
+        best.map(|(v, _)| v)
+    }
+
+    /// Run the CDCL loop until SAT, UNSAT, or a limit fires.
+    pub fn solve(&mut self, limits: &SatLimits) -> SolveResult {
+        if self.root_unsat {
+            return SolveResult::Unsat;
+        }
+        if self.propagate().is_some() {
+            self.root_unsat = true;
+            return SolveResult::Unsat;
+        }
+        let start_conflicts = self.stats.conflicts;
+        let mut restart_limit = RESTART_BASE * luby(self.stats.restarts + 1);
+        let mut conflicts_since_restart = 0u64;
+        let mut since_check = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_since_restart += 1;
+                since_check += 1;
+                if self.decision_level() == 0 {
+                    self.root_unsat = true;
+                    return SolveResult::Unsat;
+                }
+                let (learnt, back) = self.analyze(confl);
+                self.backtrack(back);
+                if learnt.len() == 1 {
+                    self.enqueue(learnt[0], NO_REASON);
+                } else {
+                    let idx = self.clauses.len() as u32;
+                    self.watches[learnt[0] as usize].push(idx);
+                    self.watches[learnt[1] as usize].push(idx);
+                    let asserting = learnt[0];
+                    self.clauses.push(learnt);
+                    self.enqueue(asserting, idx);
+                }
+                self.stats.learned += 1;
+                self.var_inc *= VAR_ACT_DECAY;
+                if since_check >= LIMIT_CHECK_INTERVAL {
+                    since_check = 0;
+                    if limits.deadline.is_some_and(|d| Instant::now() >= d)
+                        || limits
+                            .stop
+                            .as_ref()
+                            .is_some_and(|s| s.load(Ordering::Relaxed))
+                    {
+                        self.backtrack(0);
+                        return SolveResult::Unknown;
+                    }
+                }
+                if limits
+                    .max_conflicts
+                    .is_some_and(|m| self.stats.conflicts - start_conflicts >= m)
+                {
+                    self.backtrack(0);
+                    return SolveResult::Unknown;
+                }
+            } else {
+                if conflicts_since_restart >= restart_limit {
+                    self.stats.restarts += 1;
+                    conflicts_since_restart = 0;
+                    restart_limit = RESTART_BASE * luby(self.stats.restarts + 1);
+                    self.backtrack(0);
+                    continue;
+                }
+                match self.pick_branch_var() {
+                    None => {
+                        let model = self.assign.iter().map(|a| a.unwrap()).collect();
+                        self.backtrack(0);
+                        return SolveResult::Sat(model);
+                    }
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(lit(v, !self.phase[v as usize]), NO_REASON);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The Luby restart sequence (1-indexed): 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 …
+fn luby(i: u64) -> u64 {
+    let mut x = i - 1;
+    let (mut size, mut seq) = (1u64, 0u32);
+    while size < x + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != x {
+        size = (size - 1) / 2;
+        seq -= 1;
+        x %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model_satisfies(clauses: &[Vec<Lit>], model: &[bool]) -> bool {
+        clauses
+            .iter()
+            .all(|c| c.iter().any(|&l| model[var_of(l) as usize] != is_neg(l)))
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let want = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &w) in want.iter().enumerate() {
+            assert_eq!(luby(i as u64 + 1), w, "luby({})", i + 1);
+        }
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = Solver::new(1);
+        assert!(s.add_clause(&[lit(0, false)]));
+        assert!(matches!(s.solve(&SatLimits::default()), SolveResult::Sat(m) if m[0]));
+
+        let mut s = Solver::new(1);
+        assert!(s.add_clause(&[lit(0, false)]));
+        assert!(!s.add_clause(&[lit(0, true)]));
+        assert_eq!(s.solve(&SatLimits::default()), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_three_into_two_is_unsat() {
+        // p[i][j]: pigeon i in hole j. 3 pigeons, 2 holes.
+        let v = |i: u32, j: u32| i * 2 + j;
+        let mut s = Solver::new(6);
+        for i in 0..3 {
+            s.add_clause(&[lit(v(i, 0), false), lit(v(i, 1), false)]);
+        }
+        for j in 0..2 {
+            for a in 0..3 {
+                for b in (a + 1)..3 {
+                    s.add_clause(&[lit(v(a, j), true), lit(v(b, j), true)]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&SatLimits::default()), SolveResult::Unsat);
+        assert!(s.stats.conflicts > 0);
+    }
+
+    #[test]
+    fn random_3sat_models_check_out() {
+        // Deterministic LCG so the test needs no RNG dependency.
+        let mut state = 0x2545F491_4F6CDD1Du64;
+        let mut next = move |bound: u32| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as u32) % bound
+        };
+        for round in 0..30 {
+            let nvars = 12 + round % 5;
+            let nclauses = 3 * nvars; // near the easy side of the threshold
+            let mut clauses: Vec<Vec<Lit>> = Vec::new();
+            for _ in 0..nclauses {
+                let mut c = Vec::new();
+                while c.len() < 3 {
+                    let l = lit(next(nvars), next(2) == 1);
+                    if !c.contains(&l) && !c.contains(&negate(l)) {
+                        c.push(l);
+                    }
+                }
+                clauses.push(c);
+            }
+            let mut s = Solver::new(nvars as usize);
+            let mut consistent = true;
+            for c in &clauses {
+                if !s.add_clause(c) {
+                    consistent = false;
+                    break;
+                }
+            }
+            if !consistent {
+                continue;
+            }
+            match s.solve(&SatLimits::default()) {
+                SolveResult::Sat(model) => {
+                    assert!(model_satisfies(&clauses, &model), "round {round}");
+                }
+                SolveResult::Unsat => {} // fine: trusted via the pigeonhole test
+                SolveResult::Unknown => panic!("no limits were set"),
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_budget_reports_unknown() {
+        // A hard pigeonhole instance with a tiny conflict budget.
+        let holes = 5u32;
+        let pigeons = holes + 1;
+        let v = |i: u32, j: u32| i * holes + j;
+        let mut s = Solver::new((pigeons * holes) as usize);
+        for i in 0..pigeons {
+            let c: Vec<Lit> = (0..holes).map(|j| lit(v(i, j), false)).collect();
+            s.add_clause(&c);
+        }
+        for j in 0..holes {
+            for a in 0..pigeons {
+                for b in (a + 1)..pigeons {
+                    s.add_clause(&[lit(v(a, j), true), lit(v(b, j), true)]);
+                }
+            }
+        }
+        let limits = SatLimits {
+            max_conflicts: Some(5),
+            ..SatLimits::default()
+        };
+        assert_eq!(s.solve(&limits), SolveResult::Unknown);
+    }
+
+    #[test]
+    fn stop_flag_cancels() {
+        let holes = 6u32;
+        let pigeons = holes + 1;
+        let v = |i: u32, j: u32| i * holes + j;
+        let mut s = Solver::new((pigeons * holes) as usize);
+        for i in 0..pigeons {
+            let c: Vec<Lit> = (0..holes).map(|j| lit(v(i, j), false)).collect();
+            s.add_clause(&c);
+        }
+        for j in 0..holes {
+            for a in 0..pigeons {
+                for b in (a + 1)..pigeons {
+                    s.add_clause(&[lit(v(a, j), true), lit(v(b, j), true)]);
+                }
+            }
+        }
+        let stop = Arc::new(AtomicBool::new(true)); // pre-set: cancel asap
+        let limits = SatLimits {
+            stop: Some(stop),
+            ..SatLimits::default()
+        };
+        assert_eq!(s.solve(&limits), SolveResult::Unknown);
+    }
+}

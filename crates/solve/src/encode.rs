@@ -1,0 +1,416 @@
+//! Time-indexed SAT encoding of the scheduling problem.
+//!
+//! The feasibility question "does a schedule with μ ≤ N exist?" is encoded
+//! over boolean variables `x[t][c]` — "tuple `t` issues at cycle `c`". A
+//! schedule of an `n`-instruction block with μ NOPs issues its last
+//! instruction at cycle `n − 1 + μ` (every η is the gap before one issue
+//! slot), so μ ≤ N is exactly "every instruction issues within the horizon
+//! `[0, n − 1 + N]`". The clauses are:
+//!
+//! * **exactly-one cycle per tuple** — at-least-one over the tuple's cycle
+//!   window plus pairwise at-most-one;
+//! * **at most one issue per cycle** — the single issue stream, pairwise
+//!   over tuples whose windows share the cycle;
+//! * **dependences** — for a dependence δ→ζ with delay `d` (the producer's
+//!   pipeline latency for flow dependences, 1 for anti/output or σ(δ)=∅),
+//!   `x[ζ][c] → ∨ x[δ][c′]` over the producer cycles `c′ ≤ c − d`;
+//! * **pipeline conflicts** — two operations on the same pipeline `p` with
+//!   enqueue time `q` must issue at least `q` cycles apart, as binary
+//!   no-good clauses over cycle pairs closer than `q`.
+//!
+//! Because the enqueue interval is uniform per pipeline, pairwise spacing
+//! is *equivalent* to the engine's `last_in_pipe + enqueue` rule, and the
+//! constraints are monotone: replaying the decoded order greedily through
+//! [`TimingEngine`] gives issue cycles pointwise ≤ the SAT-assigned ones,
+//! so the replayed μ never exceeds the query budget (soundness), while any
+//! real schedule's engine cycles satisfy every clause (completeness). An
+//! UNSAT answer at budget N therefore *proves* μ > N.
+//!
+//! Cycle windows are tightened per tuple with exact head/tail chain bounds
+//! (longest dependence path to and from the tuple), which both shrinks the
+//! variable count and lets impossible budgets fail without search.
+
+use pipesched_core::timing::TimingEngine;
+use pipesched_core::SchedContext;
+use pipesched_ir::TupleId;
+
+use crate::cdcl::{lit, Lit, Solver, Var};
+
+/// A built encoding: the variable layout for one `(block, budget)` query.
+#[derive(Debug, Clone)]
+pub struct Encoding {
+    /// Instruction count.
+    pub n: usize,
+    /// The NOP budget N this query asks about (μ ≤ N).
+    pub budget: u32,
+    /// Number of cycles in the window `[0, n − 1 + N]`.
+    pub horizon: u32,
+    /// True when some tuple's cycle window is empty: the chain bounds
+    /// alone refute the budget and no solver call is needed.
+    pub trivially_unsat: bool,
+    /// Inclusive cycle window per tuple.
+    win_lo: Vec<u32>,
+    win_hi: Vec<u32>,
+    /// First variable id per tuple (windows are laid out contiguously).
+    var_base: Vec<u32>,
+    /// Reverse map: variable → (tuple, cycle).
+    var_info: Vec<(u32, u32)>,
+}
+
+/// Dependence delay of producer `from` as the timing engine charges it.
+fn producer_delay(ctx: &SchedContext<'_>, from: u32, flow: bool) -> u32 {
+    if flow {
+        match ctx.sigma[from as usize] {
+            Some(p) => ctx.latency(p),
+            None => 1,
+        }
+    } else {
+        1
+    }
+}
+
+impl Encoding {
+    /// Lay out variables for the query "μ ≤ budget" on `ctx`'s block.
+    pub fn build(ctx: &SchedContext<'_>, budget: u32) -> Encoding {
+        let n = ctx.len();
+        let horizon = n as u32 + budget;
+        if n == 0 {
+            return Encoding {
+                n,
+                budget,
+                horizon,
+                trivially_unsat: false,
+                win_lo: Vec::new(),
+                win_hi: Vec::new(),
+                var_base: Vec::new(),
+                var_info: Vec::new(),
+            };
+        }
+        // Exact chain bounds. Tuple ids are source positions and DAG edges
+        // always point forward, so one pass each way suffices.
+        let mut head = vec![0u32; n];
+        for t in 0..n {
+            for dep in &ctx.preds[t] {
+                let d = producer_delay(ctx, dep.from, dep.flow);
+                head[t] = head[t].max(head[dep.from as usize] + d);
+            }
+        }
+        let mut tail = vec![0u32; n];
+        for t in (0..n).rev() {
+            for e in ctx.dag.succs(TupleId(t as u32)) {
+                let d = producer_delay(ctx, t as u32, e.kind == pipesched_ir::DepKind::Flow);
+                tail[t] = tail[t].max(d + tail[e.to.index()]);
+            }
+        }
+
+        let mut win_lo = vec![0u32; n];
+        let mut win_hi = vec![0u32; n];
+        let mut var_base = vec![0u32; n];
+        let mut var_info = Vec::new();
+        let mut trivially_unsat = false;
+        let mut next_var = 0u32;
+        for t in 0..n {
+            let lo = head[t];
+            let hi_limit = horizon - 1; // horizon ≥ n ≥ 1 here
+            if lo + tail[t] > hi_limit {
+                trivially_unsat = true;
+            }
+            let hi = hi_limit.saturating_sub(tail[t]).max(lo);
+            win_lo[t] = lo;
+            win_hi[t] = hi;
+            var_base[t] = next_var;
+            for c in lo..=hi {
+                var_info.push((t as u32, c));
+                next_var += 1;
+            }
+        }
+
+        Encoding {
+            n,
+            budget,
+            horizon,
+            trivially_unsat,
+            win_lo,
+            win_hi,
+            var_base,
+            var_info,
+        }
+    }
+
+    /// Total variable count.
+    pub fn num_vars(&self) -> usize {
+        self.var_info.len()
+    }
+
+    /// The variable for "tuple `t` issues at cycle `c`", if `c` is inside
+    /// `t`'s window.
+    pub fn var(&self, t: usize, c: u32) -> Option<Var> {
+        (self.win_lo[t]..=self.win_hi[t])
+            .contains(&c)
+            .then(|| self.var_base[t] + (c - self.win_lo[t]))
+    }
+
+    /// Generate every clause of the encoding. Deterministic; used both to
+    /// feed the solver and by the independent audit to re-check models.
+    pub fn clauses(&self, ctx: &SchedContext<'_>) -> Vec<Vec<Lit>> {
+        let n = self.n;
+        let mut out: Vec<Vec<Lit>> = Vec::new();
+        let pos = |t: usize, c: u32| lit(self.var(t, c).unwrap(), false);
+        let neg = |t: usize, c: u32| lit(self.var(t, c).unwrap(), true);
+
+        // Exactly one issue cycle per tuple.
+        for t in 0..n {
+            out.push(
+                (self.win_lo[t]..=self.win_hi[t])
+                    .map(|c| pos(t, c))
+                    .collect(),
+            );
+            for c1 in self.win_lo[t]..=self.win_hi[t] {
+                for c2 in (c1 + 1)..=self.win_hi[t] {
+                    out.push(vec![neg(t, c1), neg(t, c2)]);
+                }
+            }
+        }
+
+        // Single issue stream: at most one tuple per cycle.
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let lo = self.win_lo[a].max(self.win_lo[b]);
+                let hi = self.win_hi[a].min(self.win_hi[b]);
+                for c in lo..=hi {
+                    out.push(vec![neg(a, c), neg(b, c)]);
+                }
+            }
+        }
+
+        // Dependences: consumer at c needs the producer at least `delay`
+        // cycles earlier.
+        for t in 0..n {
+            for dep in &ctx.preds[t] {
+                let from = dep.from as usize;
+                let d = producer_delay(ctx, dep.from, dep.flow);
+                for c in self.win_lo[t]..=self.win_hi[t] {
+                    let mut clause = vec![neg(t, c)];
+                    let latest = c.checked_sub(d);
+                    if let Some(latest) = latest {
+                        for cp in self.win_lo[from]..=self.win_hi[from].min(latest) {
+                            clause.push(pos(from, cp));
+                        }
+                    }
+                    // With no possible producer cycle the clause is the
+                    // unit ¬x[t][c].
+                    out.push(clause);
+                }
+            }
+        }
+
+        // Pipeline conflicts: same-unit operations issue ≥ enqueue apart.
+        for a in 0..n {
+            let Some(p) = ctx.sigma[a] else { continue };
+            let q = ctx.enqueue(p);
+            if q < 2 {
+                continue; // spacing 1 ⇐ distinct cycles (single stream)
+            }
+            for b in (a + 1)..n {
+                if ctx.sigma[b] != Some(p) {
+                    continue;
+                }
+                for ca in self.win_lo[a]..=self.win_hi[a] {
+                    let lo = ca.saturating_sub(q - 1).max(self.win_lo[b]);
+                    let hi = (ca + q - 1).min(self.win_hi[b]);
+                    for cb in lo..=hi {
+                        if cb == ca {
+                            continue; // equality covered by the stream AMO
+                        }
+                        out.push(vec![neg(a, ca), neg(b, cb)]);
+                    }
+                }
+            }
+        }
+
+        out
+    }
+
+    /// Load the encoding into a fresh solver. Returns `false` when root
+    /// simplification already refutes the query.
+    pub fn emit_into(&self, ctx: &SchedContext<'_>, solver: &mut Solver) -> bool {
+        for clause in self.clauses(ctx) {
+            if !solver.add_clause(&clause) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Extract the issue cycle of every tuple from a model. Fails when the
+    /// model does not assign exactly one cycle per tuple.
+    pub fn decode(&self, model: &[bool]) -> Result<Vec<u32>, String> {
+        if model.len() != self.num_vars() {
+            return Err(format!(
+                "model has {} vars, encoding has {}",
+                model.len(),
+                self.num_vars()
+            ));
+        }
+        let mut cycles = vec![None; self.n];
+        for (v, &val) in model.iter().enumerate() {
+            if !val {
+                continue;
+            }
+            let (t, c) = self.var_info[v];
+            if let Some(prev) = cycles[t as usize] {
+                return Err(format!("tuple {t} issues at both cycle {prev} and {c}"));
+            }
+            cycles[t as usize] = Some(c);
+        }
+        cycles
+            .iter()
+            .enumerate()
+            .map(|(t, c)| c.ok_or_else(|| format!("tuple {t} has no issue cycle")))
+            .collect()
+    }
+
+    /// Semantic re-check used by the audit and the encoder self-test: do
+    /// these per-tuple issue cycles satisfy every clause of this encoding?
+    pub fn check_cycles(&self, ctx: &SchedContext<'_>, cycles: &[u32]) -> Result<(), String> {
+        if cycles.len() != self.n {
+            return Err(format!(
+                "cycle vector has {} entries for {} tuples",
+                cycles.len(),
+                self.n
+            ));
+        }
+        for (t, &c) in cycles.iter().enumerate() {
+            if !(self.win_lo[t]..=self.win_hi[t]).contains(&c) {
+                return Err(format!(
+                    "tuple {t} at cycle {c} is outside its window [{}, {}]",
+                    self.win_lo[t], self.win_hi[t]
+                ));
+            }
+        }
+        for (i, clause) in self.clauses(ctx).iter().enumerate() {
+            let satisfied = clause.iter().any(|&l| {
+                let (t, c) = self.var_info[(l >> 1) as usize];
+                (cycles[t as usize] == c) != crate::cdcl::is_neg(l)
+            });
+            if !satisfied {
+                return Err(format!("clause {i} of {} is violated", self.budget));
+            }
+        }
+        Ok(())
+    }
+
+    /// Turn per-tuple issue cycles into a schedule order.
+    pub fn order_of_cycles(cycles: &[u32]) -> Vec<TupleId> {
+        let mut order: Vec<TupleId> = (0..cycles.len() as u32).map(TupleId).collect();
+        order.sort_by_key(|t| cycles[t.index()]);
+        order
+    }
+}
+
+/// Issue cycle per tuple of `order` replayed from a cold boundary — the
+/// engine-side twin of a decoded model, used by the encoder self-check.
+pub fn issue_cycles(ctx: &SchedContext<'_>, order: &[TupleId]) -> Vec<u32> {
+    let mut engine = TimingEngine::new(ctx);
+    for &t in order {
+        engine.push_default(t);
+    }
+    (0..ctx.len())
+        .map(|t| engine.issue_time(TupleId(t as u32)).unwrap_or(0) as u32)
+        .collect()
+}
+
+#[cfg(test)]
+impl Encoding {
+    fn win_lo_of(&self, t: usize) -> u32 {
+        self.win_lo[t]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cdcl::{SatLimits, SolveResult};
+    use pipesched_core::timing::evaluate_schedule;
+    use pipesched_core::{search, SearchConfig};
+    use pipesched_ir::{BlockBuilder, DepDag};
+    use pipesched_machine::presets;
+
+    fn dotproduct_like() -> pipesched_ir::BasicBlock {
+        let mut b = BlockBuilder::new("enc");
+        let x = b.load("x");
+        let y = b.load("y");
+        let m = b.mul(x, y);
+        let a = b.add(m, x);
+        b.store("r", a);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn incumbent_satisfies_its_own_encoding() {
+        let block = dotproduct_like();
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let ctx = SchedContext::new(&block, &dag, &machine);
+        let order: Vec<TupleId> = block.ids().collect();
+        let (_, nops) = evaluate_schedule(&ctx, &order);
+        let enc = Encoding::build(&ctx, nops);
+        assert!(!enc.trivially_unsat);
+        let cycles = issue_cycles(&ctx, &order);
+        enc.check_cycles(&ctx, &cycles).unwrap();
+    }
+
+    #[test]
+    fn query_at_optimum_is_sat_and_below_is_unsat() {
+        let block = dotproduct_like();
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let ctx = SchedContext::new(&block, &dag, &machine);
+        let best = search(&ctx, &SearchConfig::default());
+        assert!(best.optimal);
+
+        // μ ≤ optimum must be SAT and decode to a schedule of that μ.
+        let enc = Encoding::build(&ctx, best.nops);
+        let mut solver = Solver::new(enc.num_vars());
+        assert!(enc.emit_into(&ctx, &mut solver));
+        match solver.solve(&SatLimits::default()) {
+            SolveResult::Sat(model) => {
+                let cycles = enc.decode(&model).unwrap();
+                enc.check_cycles(&ctx, &cycles).unwrap();
+                let order = Encoding::order_of_cycles(&cycles);
+                let (_, nops) = evaluate_schedule(&ctx, &order);
+                assert!(
+                    nops <= best.nops,
+                    "replayed μ {nops} > budget {}",
+                    best.nops
+                );
+            }
+            other => panic!("expected SAT at the optimum, got {other:?}"),
+        }
+
+        // μ ≤ optimum − 1 must be UNSAT (the independent optimality proof).
+        if best.nops > 0 {
+            let enc = Encoding::build(&ctx, best.nops - 1);
+            if !enc.trivially_unsat {
+                let mut solver = Solver::new(enc.num_vars());
+                if enc.emit_into(&ctx, &mut solver) {
+                    assert_eq!(solver.solve(&SatLimits::default()), SolveResult::Unsat);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_double_and_missing_assignments() {
+        let block = dotproduct_like();
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let ctx = SchedContext::new(&block, &dag, &machine);
+        let enc = Encoding::build(&ctx, 10);
+        let mut model = vec![false; enc.num_vars()];
+        assert!(enc.decode(&model).is_err(), "all-false has no cycles");
+        model[enc.var(0, enc.win_lo_of(0)).unwrap() as usize] = true;
+        model[enc.var(0, enc.win_lo_of(0) + 1).unwrap() as usize] = true;
+        assert!(enc.decode(&model).is_err(), "double assignment rejected");
+    }
+}

@@ -1,0 +1,229 @@
+//! The backend portfolio: race branch-and-bound against SAT on one block.
+//!
+//! Both backends start from the same list-schedule incumbent and run under
+//! a shared wall-clock deadline, each on its own thread. The winner is the
+//! first backend to produce a *provably optimal* answer; when only one
+//! proves optimality it wins regardless of speed, and when neither does
+//! the better μ wins (ties go to the branch-and-bound, the paper's
+//! algorithm). Every race cross-checks: if both backends prove optimality
+//! with different μ, the outcome is flagged as a disagreement — one of the
+//! two proofs is wrong, and callers treat it as a hard failure
+//! ([`crate::audit::cross_check`] turns it into `A0605`).
+//!
+//! Cancellation is asymmetric by design: the SAT side polls a cooperative
+//! stop flag (set when the branch-and-bound finishes first with a proof),
+//! while the branch-and-bound is bounded only by its λ budget and the
+//! shared deadline — its search loop has no injection point for an
+//! external flag, and adding one would thread a lifetime through every
+//! search signature. With `cancel_loser` off (the CI race gate), both
+//! backends always run to completion so the cross-check is meaningful on
+//! every block.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use pipesched_core::{search, Backend, SchedContext, SearchConfig, SearchOutcome};
+
+use crate::{solve_schedule, SolveConfig, SolveOutcome};
+
+/// Knobs for one [`race`] call.
+#[derive(Debug, Clone)]
+pub struct RaceConfig {
+    /// λ budget for the branch-and-bound side.
+    pub lambda: u64,
+    /// Conflict budget for the SAT side (`None` = unlimited).
+    pub max_conflicts: Option<u64>,
+    /// Shared wall-clock deadline for both sides.
+    pub deadline: Option<Instant>,
+    /// Cancel the SAT side as soon as the branch-and-bound proves
+    /// optimality. Leave off to always run both to completion (full
+    /// cross-certification, e.g. in CI gates); turn on when latency
+    /// matters more (the service portfolio tier).
+    pub cancel_loser: bool,
+}
+
+impl Default for RaceConfig {
+    fn default() -> Self {
+        RaceConfig {
+            lambda: SearchConfig::default().lambda,
+            max_conflicts: None,
+            deadline: None,
+            cancel_loser: false,
+        }
+    }
+}
+
+/// The result of racing both backends on one block.
+#[derive(Debug, Clone)]
+pub struct RaceOutcome {
+    /// Which backend's answer was taken.
+    pub winner: Backend,
+    /// The full branch-and-bound outcome.
+    pub bnb: SearchOutcome,
+    /// The full SAT outcome.
+    pub sat: SolveOutcome,
+    /// Wall-clock of the branch-and-bound side, in microseconds.
+    pub bnb_micros: u64,
+    /// Wall-clock of the SAT side, in microseconds.
+    pub sat_micros: u64,
+    /// Both backends proved optimality and their μ differ — a hard
+    /// failure; `order`/`nops` still carry the branch-and-bound answer so
+    /// callers can report before aborting.
+    pub disagreement: bool,
+}
+
+impl RaceOutcome {
+    /// The winning backend's schedule order.
+    pub fn order(&self) -> &[pipesched_ir::TupleId] {
+        match self.winner {
+            Backend::Sat => &self.sat.order,
+            _ => &self.bnb.order,
+        }
+    }
+
+    /// The winning backend's η vector.
+    pub fn etas(&self) -> &[u32] {
+        match self.winner {
+            Backend::Sat => &self.sat.etas,
+            _ => &self.bnb.etas,
+        }
+    }
+
+    /// The winning backend's μ.
+    pub fn nops(&self) -> u32 {
+        match self.winner {
+            Backend::Sat => self.sat.nops,
+            _ => self.bnb.nops,
+        }
+    }
+
+    /// True when the winning answer is provably optimal.
+    pub fn optimal(&self) -> bool {
+        match self.winner {
+            Backend::Sat => self.sat.optimal,
+            _ => self.bnb.optimal,
+        }
+    }
+}
+
+/// Run both exact backends on `ctx` and pick a winner (see module docs).
+pub fn race(ctx: &SchedContext<'_>, cfg: &RaceConfig) -> RaceOutcome {
+    let stop = Arc::new(AtomicBool::new(false));
+    let sat_cfg = SolveConfig {
+        max_conflicts: cfg.max_conflicts,
+        deadline: cfg.deadline,
+        stop: cfg.cancel_loser.then(|| Arc::clone(&stop)),
+    };
+    let bnb_cfg = SearchConfig {
+        lambda: cfg.lambda,
+        deadline: cfg.deadline,
+        ..SearchConfig::default()
+    };
+
+    let start = Instant::now();
+    let (bnb, bnb_micros, sat, sat_micros) = std::thread::scope(|scope| {
+        let sat_handle = scope.spawn(|| {
+            let t0 = Instant::now();
+            let out = solve_schedule(ctx, &sat_cfg);
+            (out, t0.elapsed().as_micros() as u64)
+        });
+        let t0 = Instant::now();
+        let bnb = search(ctx, &bnb_cfg);
+        let bnb_micros = t0.elapsed().as_micros() as u64;
+        if cfg.cancel_loser && bnb.optimal {
+            stop.store(true, Ordering::Relaxed);
+        }
+        let (sat, sat_micros) = sat_handle.join().expect("SAT backend thread panicked");
+        (bnb, bnb_micros, sat, sat_micros)
+    });
+    let _ = start; // spans are the caller's concern; only per-side times matter
+
+    let disagreement = bnb.optimal && sat.optimal && bnb.nops != sat.nops;
+    let winner = if disagreement {
+        Backend::Bnb // flagged; callers abort on `disagreement` anyway
+    } else {
+        match (bnb.optimal, sat.optimal) {
+            (true, true) => {
+                if sat_micros < bnb_micros {
+                    Backend::Sat
+                } else {
+                    Backend::Bnb
+                }
+            }
+            (true, false) => Backend::Bnb,
+            (false, true) => Backend::Sat,
+            (false, false) => {
+                if sat.nops < bnb.nops {
+                    Backend::Sat
+                } else {
+                    Backend::Bnb
+                }
+            }
+        }
+    };
+
+    RaceOutcome {
+        winner,
+        bnb,
+        sat,
+        bnb_micros,
+        sat_micros,
+        disagreement,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipesched_ir::{BlockBuilder, DepDag};
+    use pipesched_machine::presets;
+
+    #[test]
+    fn race_agrees_and_certifies() {
+        let mut b = BlockBuilder::new("race");
+        let x = b.load("x");
+        let y = b.load("y");
+        let z = b.load("z");
+        let m = b.mul(x, y);
+        let a = b.add(m, z);
+        b.store("r", a);
+        let block = b.finish().unwrap();
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let ctx = SchedContext::new(&block, &dag, &machine);
+
+        let out = race(&ctx, &RaceConfig::default());
+        assert!(!out.disagreement);
+        assert!(out.bnb.optimal && out.sat.optimal);
+        assert_eq!(out.bnb.nops, out.sat.nops);
+        assert!(out.optimal());
+        assert_eq!(out.nops(), out.bnb.nops);
+
+        let report = crate::audit::audit_outcome(&block, &machine, &out.sat);
+        assert!(!report.has_errors(), "{report:?}");
+    }
+
+    #[test]
+    fn cancel_loser_still_returns_an_answer() {
+        let mut b = BlockBuilder::new("cancel");
+        let x = b.load("x");
+        let y = b.load("y");
+        let m = b.mul(x, y);
+        b.store("r", m);
+        let block = b.finish().unwrap();
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let ctx = SchedContext::new(&block, &dag, &machine);
+
+        let cfg = RaceConfig {
+            cancel_loser: true,
+            ..RaceConfig::default()
+        };
+        let out = race(&ctx, &cfg);
+        assert!(!out.disagreement);
+        assert!(out.optimal());
+        // The winner's schedule is a permutation of the block.
+        assert_eq!(out.order().len(), block.len());
+    }
+}

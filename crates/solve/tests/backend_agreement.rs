@@ -1,0 +1,79 @@
+//! The portfolio's core invariant, property-tested: SAT, serial B&B, and
+//! parallel B&B must agree on the optimal NOP count of every block on
+//! every machine, and every SAT outcome must survive the independent
+//! audit (full certification + rebuilt-encoding model re-checks).
+
+use proptest::prelude::*;
+
+use pipesched_core::{parallel_search, search, SchedContext, SearchConfig};
+use pipesched_machine::{presets, Machine};
+use pipesched_solve::audit::{audit_outcome, cross_check};
+use pipesched_solve::{race, solve_schedule, QueryResult, RaceConfig, SolveConfig};
+use pipesched_synth::{generate_block, GeneratorConfig};
+
+fn machines() -> Vec<Machine> {
+    vec![
+        presets::paper_simulation(),
+        presets::deep_pipeline(),
+        presets::functional_units(),
+        presets::section2_example(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Three independent exact algorithms, one optimum.
+    #[test]
+    fn sat_bnb_and_parallel_agree(seed in 0u64..10_000, statements in 1usize..7,
+                                  machine_sel in 0usize..4) {
+        let block = generate_block(&GeneratorConfig::new(statements, 3, 2, seed));
+        let dag = pipesched_ir::DepDag::build(&block);
+        let machine = &machines()[machine_sel];
+        let ctx = SchedContext::new(&block, &dag, machine);
+
+        let bnb = search(&ctx, &SearchConfig::default());
+        let par = parallel_search(&ctx, u64::MAX, 2);
+        let sat = solve_schedule(&ctx, &SolveConfig::default());
+
+        prop_assert!(bnb.optimal && par.optimal && sat.optimal);
+        prop_assert!(sat.encode_fault.is_none(), "{:?}", sat.encode_fault);
+        prop_assert_eq!(bnb.nops, par.nops, "parallel B&B disagrees on\n{}", block);
+        let agree = cross_check(&block, bnb.optimal, bnb.nops, sat.optimal, sat.nops);
+        prop_assert!(!agree.has_errors(), "SAT disagrees with B&B on\n{}\n{:?}", block, agree);
+        prop_assert_eq!(bnb.nops, sat.nops);
+
+        // Every decoded schedule and the full query trail must audit clean.
+        let report = audit_outcome(&block, machine, &sat);
+        prop_assert!(!report.has_errors(), "audit rejected honest run on\n{}\n{:?}", block, report);
+
+        // Optimality justification is always on record: either the answer
+        // reached the global lower bound, or the last query is the
+        // refuting UNSAT one NOP below it.
+        if sat.nops > pipesched_core::global_lower_bound(&ctx) {
+            let last = sat.queries.last().expect("non-bound optimum needs queries");
+            prop_assert_eq!(&last.result, &QueryResult::Unsat);
+            prop_assert_eq!(last.budget + 1, sat.nops);
+        }
+    }
+
+    /// The race picks a provably-optimal winner and never disagrees.
+    #[test]
+    fn race_never_disagrees(seed in 0u64..10_000, statements in 1usize..7,
+                            machine_sel in 0usize..4) {
+        let block = generate_block(&GeneratorConfig::new(statements, 4, 2, seed));
+        let dag = pipesched_ir::DepDag::build(&block);
+        let machine = &machines()[machine_sel];
+        let ctx = SchedContext::new(&block, &dag, machine);
+
+        let out = race(&ctx, &RaceConfig::default());
+        prop_assert!(!out.disagreement);
+        prop_assert!(out.optimal());
+        prop_assert_eq!(out.bnb.nops, out.sat.nops);
+        prop_assert_eq!(out.nops(), out.bnb.nops);
+        prop_assert_eq!(out.etas().iter().sum::<u32>(), out.nops());
+
+        let report = audit_outcome(&block, machine, &out.sat);
+        prop_assert!(!report.has_errors(), "{:?}", report);
+    }
+}

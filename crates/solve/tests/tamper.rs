@@ -1,0 +1,195 @@
+//! Deterministic tamper tests: every way a SAT-backend outcome can lie
+//! maps to a stable `A06xx` rejection from the independent audit.
+
+use pipesched_analyze::DiagCode;
+use pipesched_core::{search, SchedContext, SearchConfig};
+use pipesched_ir::{BasicBlock, DepDag};
+use pipesched_machine::{presets, Machine};
+use pipesched_solve::audit::{audit_outcome, cross_check};
+use pipesched_solve::cdcl::{lit, SatLimits, SolveResult, Solver};
+use pipesched_solve::encode::{issue_cycles, Encoding};
+use pipesched_solve::{solve_schedule, QueryResult, SolveConfig, SolveOutcome};
+use pipesched_synth::{generate_block, GeneratorConfig};
+
+/// Scan the deterministic generator for a block whose honest SAT run both
+/// improves the incumbent (≥ 1 SAT query with a model) and needs a final
+/// UNSAT refutation (optimum above the global lower bound). All tamper
+/// tests work on this one witness run.
+fn interesting_run() -> (BasicBlock, Machine, SolveOutcome) {
+    for machine in [presets::deep_pipeline(), presets::paper_simulation()] {
+        for seed in 0..400u64 {
+            let block = generate_block(&GeneratorConfig::new(4 + (seed % 5) as usize, 3, 2, seed));
+            let dag = DepDag::build(&block);
+            let ctx = SchedContext::new(&block, &dag, &machine);
+            let out = solve_schedule(&ctx, &SolveConfig::default());
+            let has_sat = out
+                .queries
+                .iter()
+                .any(|q| matches!(q.result, QueryResult::Sat { .. }));
+            let ends_unsat = matches!(
+                out.queries.last().map(|q| &q.result),
+                Some(&QueryResult::Unsat)
+            );
+            if out.optimal && !out.stats.proved_by_bound && has_sat && ends_unsat {
+                return (block, machine, out);
+            }
+        }
+    }
+    panic!("no generator seed produced a run with both SAT and UNSAT queries");
+}
+
+fn codes(report: &pipesched_analyze::Report) -> Vec<DiagCode> {
+    report.diagnostics().iter().map(|d| d.code).collect()
+}
+
+#[test]
+fn honest_run_is_accepted() {
+    let (block, machine, out) = interesting_run();
+    let report = audit_outcome(&block, &machine, &out);
+    assert!(!report.has_errors(), "{report:?}");
+}
+
+#[test]
+fn corrupted_horizon_is_a0601() {
+    let (block, machine, mut out) = interesting_run();
+    out.queries[0].horizon += 1;
+    let report = audit_outcome(&block, &machine, &out);
+    assert!(codes(&report).contains(&DiagCode::SolveEncodingInconsistent));
+}
+
+#[test]
+fn non_descending_budgets_are_a0601() {
+    let (block, machine, mut out) = interesting_run();
+    let dup = out.queries[0].clone();
+    out.queries.insert(1, dup); // repeats the same budget: not descending
+    let report = audit_outcome(&block, &machine, &out);
+    assert!(codes(&report).contains(&DiagCode::SolveEncodingInconsistent));
+}
+
+#[test]
+fn corrupted_model_cycles_are_a0602() {
+    let (block, machine, mut out) = interesting_run();
+    let q = out
+        .queries
+        .iter_mut()
+        .find(|q| matches!(q.result, QueryResult::Sat { .. }))
+        .unwrap();
+    if let QueryResult::Sat { cycles } = &mut q.result {
+        // Two tuples in one issue slot violates the single-stream clause.
+        cycles[1] = cycles[0];
+    }
+    let report = audit_outcome(&block, &machine, &out);
+    assert!(
+        codes(&report).contains(&DiagCode::SolveModelInvalid),
+        "{report:?}"
+    );
+}
+
+#[test]
+fn budget_missing_model_is_a0603() {
+    let (block, machine, mut out) = interesting_run();
+    // Replace a SAT query's model with the *initial* schedule's cycles:
+    // a perfectly legal schedule, but one whose μ exceeds the query's
+    // budget (the query was asked strictly below the incumbent).
+    let dag = DepDag::build(&block);
+    let ctx = SchedContext::new(&block, &dag, &machine);
+    let initial_cycles = issue_cycles(&ctx, &out.initial_order);
+    let q = out
+        .queries
+        .iter_mut()
+        .find(|q| matches!(q.result, QueryResult::Sat { .. }))
+        .unwrap();
+    q.result = QueryResult::Sat {
+        cycles: initial_cycles,
+    };
+    let report = audit_outcome(&block, &machine, &out);
+    assert!(
+        codes(&report).contains(&DiagCode::SolveBudgetMissed),
+        "{report:?}"
+    );
+}
+
+#[test]
+fn truncated_unsat_query_is_a0604() {
+    let (block, machine, mut out) = interesting_run();
+    // Drop the refuting UNSAT while still claiming optimality.
+    assert!(matches!(
+        out.queries.pop().map(|q| q.result),
+        Some(QueryResult::Unsat)
+    ));
+    let report = audit_outcome(&block, &machine, &out);
+    assert!(
+        codes(&report).contains(&DiagCode::SolveOptimalityUnproved),
+        "{report:?}"
+    );
+}
+
+#[test]
+fn unsat_refuted_by_final_schedule_is_a0601() {
+    let (block, machine, mut out) = interesting_run();
+    // Forge an UNSAT at the final μ itself: the outcome's own schedule is
+    // a witness that the query was satisfiable.
+    let last = out.queries.last().unwrap().clone();
+    out.queries.retain(|q| q.budget > out.nops);
+    out.queries.push(pipesched_solve::QueryRecord {
+        budget: out.nops,
+        horizon: block.len() as u32 + out.nops,
+        ..last
+    });
+    let report = audit_outcome(&block, &machine, &out);
+    assert!(
+        codes(&report).contains(&DiagCode::SolveEncodingInconsistent),
+        "{report:?}"
+    );
+}
+
+/// The "corrupt a learned clause" scenario end to end: a clause the
+/// formula never implied flips a satisfiable query to UNSAT, the backend
+/// dutifully reports a too-high "optimum", and the cross-check against
+/// the branch-and-bound catches the disagreement as A0605.
+#[test]
+fn corrupt_clause_disagreement_is_a0605() {
+    let (block, machine, honest) = interesting_run();
+    let dag = DepDag::build(&block);
+    let ctx = SchedContext::new(&block, &dag, &machine);
+    let bnb = search(&ctx, &SearchConfig::default());
+    assert!(bnb.optimal);
+    assert_eq!(bnb.nops, honest.nops);
+
+    // The query at the true optimum is honestly SAT…
+    let enc = Encoding::build(&ctx, bnb.nops);
+    let mut clean = Solver::new(enc.num_vars());
+    assert!(enc.emit_into(&ctx, &mut clean));
+    assert!(matches!(
+        clean.solve(&SatLimits::default()),
+        SolveResult::Sat(_)
+    ));
+
+    // …until a corrupt clause (forcing tuple 0 out of every issue slot —
+    // something no sound learning step could derive) makes it "UNSAT".
+    let mut corrupt = Solver::new(enc.num_vars());
+    let mut consistent = enc.emit_into(&ctx, &mut corrupt);
+    for c in 0..enc.horizon {
+        if let Some(v) = enc.var(0, c) {
+            consistent &= corrupt.add_clause(&[lit(v, true)]);
+        }
+    }
+    let verdict = if consistent {
+        corrupt.solve(&SatLimits::default())
+    } else {
+        SolveResult::Unsat
+    };
+    assert_eq!(
+        verdict,
+        SolveResult::Unsat,
+        "corruption must flip the query"
+    );
+
+    // A backend built on the corrupted solver would claim μ = optimum + 1
+    // is optimal. The portfolio cross-check refuses to let that stand.
+    let report = cross_check(&block, bnb.optimal, bnb.nops, true, bnb.nops + 1);
+    assert!(codes(&report).contains(&DiagCode::BackendDisagreement));
+    // And agreement stays silent.
+    let ok = cross_check(&block, bnb.optimal, bnb.nops, true, bnb.nops);
+    assert!(!ok.has_errors());
+}

@@ -18,6 +18,9 @@
 //! --lambda     curtail point (default 50000)
 //! --window     windowed scheduling with the given window length
 //! --parallel   use the parallel branch-and-bound
+//! --backend    bnb (default) | sat | race — the exact engine: the paper's
+//!              branch-and-bound, the CDCL SAT portfolio, or both raced and
+//!              cross-certified (any disagreement is a hard error)
 //! --no-optimize  skip the front-end optimizer
 //! --regs       registers available for allocation (default: exactly the
 //!              schedule's pressure)
@@ -29,7 +32,7 @@ use std::process::ExitCode;
 use pipesched::analyze;
 use pipesched::core::proof::{Certificate, ProofLogger};
 use pipesched::core::{
-    search, search_with_proof, windowed_schedule, SchedContext, Scheduler, SearchConfig,
+    search, search_with_proof, windowed_schedule, Backend, SchedContext, Scheduler, SearchConfig,
 };
 use pipesched::frontend::{
     compile_unoptimized, lower_with_lines, parse_labeled_program, OptConfig, OptStats,
@@ -50,13 +53,14 @@ struct Options {
     regs: Option<usize>,
     json: bool,
     proof: Option<String>,
+    backend: Backend,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: pipesched [schedule] <input> [--machine NAME|FILE.json] [--emit asm|padded|trace|gantt|tuples|dot|stats]\n\
-         \x20                [--lambda N] [--window N] [--parallel] [--no-optimize] [--regs N] [--json]\n\
-         \x20                [--proof FILE.ndjson]\n\
+         \x20                [--lambda N] [--window N] [--parallel] [--backend bnb|sat|race]\n\
+         \x20                [--no-optimize] [--regs N] [--json] [--proof FILE.ndjson]\n\
          \x20      pipesched lint [INPUT|DIR ...] [--machine NAME|FILE] [--json] [--no-optimize]\n\
          \x20                [--frontend] [--strict]\n\
          \x20      pipesched certify <input> [--machine NAME|FILE] [--lambda N] [--window N]\n\
@@ -65,10 +69,10 @@ fn usage() -> ! {
          \x20                [--no-optimize] [--proof FILE.ndjson]\n\
          \x20      pipesched serve [--workers N] [--nodes N] [--cache N] [--shards N]\n\
          \x20                [--tcp ADDR[:PORT]] [--conns N] [--cache-file FILE] [--metrics]\n\
-         \x20                [--trace] [--verify-opt]\n\
+         \x20                [--trace] [--verify-opt] [--backend bnb|sat|race]\n\
          \x20      pipesched batch <requests.ndjson> [--workers N] [--nodes N] [--cache N]\n\
          \x20                [--check] [--prove] [--require-hits] [--json] [--quiet]\n\
-         \x20                [--tcp ADDR[:PORT]] [--verify-opt]\n\
+         \x20                [--tcp ADDR[:PORT]] [--verify-opt] [--backend bnb|sat|race]\n\
          \x20      pipesched stats [<requests.ndjson> | --tcp ADDR[:PORT]] [--json | --prom]\n\
          \x20                [--workers N] [--nodes N]\n\
          \x20      pipesched trace <input> [--machine NAME|FILE] [--lambda N] [--no-optimize]\n\
@@ -90,6 +94,7 @@ fn parse_options() -> Result<Options, String> {
         regs: None,
         json: false,
         proof: None,
+        backend: Backend::Bnb,
     };
     // `pipesched schedule <input>` is an explicit alias for the default
     // scheduling pipeline.
@@ -116,6 +121,11 @@ fn parse_options() -> Result<Options, String> {
             "--json" => opts.json = true,
             "--proof" => opts.proof = Some(value()?),
             "--parallel" => opts.parallel = true,
+            "--backend" => {
+                let name = value()?;
+                opts.backend = Backend::from_name(&name)
+                    .ok_or_else(|| format!("--backend: unknown backend `{name}` (bnb|sat|race)"))?;
+            }
             "--no-optimize" => opts.optimize = false,
             "--help" | "-h" => usage(),
             other if input.is_none() && !other.starts_with('-') => input = Some(other.to_string()),
@@ -657,6 +667,46 @@ fn run_prove() -> Result<ExitCode, String> {
     })
 }
 
+/// The SAT backend's effort and query trail as a JSON object: solver
+/// totals plus one record per descending feasibility query ("μ ≤ N?").
+fn solve_stats_json(out: &pipesched::solve::SolveOutcome) -> pipesched::json::Json {
+    use pipesched::json::Json;
+    let queries: Vec<Json> = out
+        .queries
+        .iter()
+        .map(|q| {
+            pipesched::json::json_object![
+                ("budget", i64::from(q.budget)),
+                ("horizon", i64::from(q.horizon)),
+                ("vars", q.vars as i64),
+                (
+                    "result",
+                    match q.result {
+                        pipesched::solve::QueryResult::Sat { .. } => "sat",
+                        pipesched::solve::QueryResult::Unsat => "unsat",
+                        pipesched::solve::QueryResult::Unknown => "unknown",
+                    }
+                ),
+                ("conflicts", q.conflicts as i64),
+                ("decisions", q.decisions as i64),
+                ("propagations", q.propagations as i64),
+            ]
+        })
+        .collect();
+    pipesched::json::json_object![
+        ("conflicts", out.stats.conflicts as i64),
+        ("decisions", out.stats.decisions as i64),
+        ("propagations", out.stats.propagations as i64),
+        ("restarts", out.stats.restarts as i64),
+        ("learned", out.stats.learned as i64),
+        ("queries_sat", i64::from(out.stats.queries_sat)),
+        ("queries_unsat", i64::from(out.stats.queries_unsat)),
+        ("queries_unknown", i64::from(out.stats.queries_unknown)),
+        ("proved_by_bound", out.stats.proved_by_bound),
+        ("queries", Json::Array(queries)),
+    ]
+}
+
 fn run() -> Result<(), String> {
     let opts = match parse_options() {
         Ok(o) => o,
@@ -671,14 +721,100 @@ fn run() -> Result<(), String> {
             "--proof requires the plain branch-and-bound (drop --window/--parallel)".into(),
         );
     }
+    if opts.backend != Backend::Bnb
+        && (opts.window.is_some() || opts.parallel || opts.proof.is_some())
+    {
+        return Err(
+            "--backend sat/race runs the plain pipeline (drop --window/--parallel/--proof)".into(),
+        );
+    }
     let (block, opt_stats) = load_block_with_stats(&opts.input, opts.optimize)?;
     let dag = DepDag::build(&block);
 
-    // Schedule. All three paths reuse the DAG built above — the facade's
+    // Schedule. All paths reuse the DAG built above — the facade's
     // `schedule_with_dag` entry point exists so the CLI never pays for a
     // second dependence analysis.
     let sched_start = std::time::Instant::now();
-    let (order, etas, nops, initial_nops, optimal, stats) = if let Some(window) = opts.window {
+    let mut sat_json = pipesched::json::Json::Null;
+    let mut race_json = pipesched::json::Json::Null;
+    let (order, etas, nops, initial_nops, optimal, stats) = if opts.backend == Backend::Sat {
+        let _s = pipesched::trace::span("backend_sat");
+        let ctx = SchedContext::new(&block, &dag, &machine);
+        let out = pipesched::solve::solve_schedule(&ctx, &pipesched::solve::SolveConfig::default());
+        // The SAT trail is independently audited — full certification of
+        // the answer plus model re-checks against a rebuilt encoding. A
+        // rejection here is a solver bug, never something to serve.
+        let report = pipesched::solve::audit::audit_outcome(&block, &machine, &out);
+        if report.has_errors() {
+            return Err(format!("SAT backend failed its audit:\n{report}"));
+        }
+        sat_json = solve_stats_json(&out);
+        (
+            out.order,
+            out.etas,
+            out.nops,
+            out.initial_nops,
+            out.optimal,
+            pipesched::core::SearchStats::default(),
+        )
+    } else if opts.backend == Backend::Race {
+        let _s = pipesched::trace::span("backend_race");
+        let ctx = SchedContext::new(&block, &dag, &machine);
+        let race_cfg = pipesched::solve::RaceConfig {
+            lambda: opts.lambda,
+            // Let both finish: the whole point of `--backend race` on the
+            // command line (and in CI) is the cross-certification.
+            cancel_loser: false,
+            ..Default::default()
+        };
+        let out = pipesched::solve::race(&ctx, &race_cfg);
+        let agree = pipesched::solve::audit::cross_check(
+            &block,
+            out.bnb.optimal,
+            out.bnb.nops,
+            out.sat.optimal,
+            out.sat.nops,
+        );
+        if out.disagreement || agree.has_errors() {
+            return Err(format!(
+                "backend disagreement: B&B proved {} NOPs, SAT proved {} NOPs\n{agree}",
+                out.bnb.nops, out.sat.nops
+            ));
+        }
+        let report = pipesched::solve::audit::audit_outcome(&block, &machine, &out.sat);
+        if report.has_errors() {
+            return Err(format!("SAT side of the race failed its audit:\n{report}"));
+        }
+        race_json = pipesched::json::json_object![
+            ("winner", out.winner.name()),
+            ("bnb_micros", out.bnb_micros as i64),
+            ("sat_micros", out.sat_micros as i64),
+            ("bnb_nops", i64::from(out.bnb.nops)),
+            ("sat_nops", i64::from(out.sat.nops)),
+        ];
+        sat_json = solve_stats_json(&out.sat);
+        if out.winner == Backend::Sat {
+            let sat = out.sat;
+            (
+                sat.order,
+                sat.etas,
+                sat.nops,
+                sat.initial_nops,
+                sat.optimal,
+                pipesched::core::SearchStats::default(),
+            )
+        } else {
+            let bnb = out.bnb;
+            (
+                bnb.order,
+                bnb.etas,
+                bnb.nops,
+                bnb.initial_nops,
+                bnb.optimal,
+                bnb.stats,
+            )
+        }
+    } else if let Some(window) = opts.window {
         let ctx = SchedContext::new(&block, &dag, &machine);
         let w = windowed_schedule(&ctx, window, opts.lambda);
         let truncated = w.stats.truncated;
@@ -776,6 +912,9 @@ fn run() -> Result<(), String> {
             ("initial_nops", initial_nops),
             ("total_cycles", block.len() as i64 + i64::from(nops)),
             ("optimal", optimal),
+            ("backend", opts.backend.name()),
+            ("sat", sat_json),
+            ("race", race_json),
             ("omega_calls", omega as i64),
             ("nodes_visited", stats.nodes_visited as i64),
             ("pruned_quick", stats.pruned_quick as i64),
@@ -870,12 +1009,17 @@ fn run() -> Result<(), String> {
     }
 
     eprintln!(
-        "; {} instructions, {} -> {} NOPs, {} Ω calls, {}",
+        "; {} instructions, {} -> {} NOPs, {} Ω calls, {}{}",
         block.len(),
         initial_nops,
         nops,
         omega,
-        if optimal { "optimal" } else { "truncated" }
+        if optimal { "optimal" } else { "truncated" },
+        if opts.backend == Backend::Bnb {
+            String::new()
+        } else {
+            format!(" via {}", opts.backend)
+        }
     );
     Ok(())
 }
@@ -892,6 +1036,7 @@ fn run_serve() -> Result<ExitCode, String> {
     let mut dump_metrics = false;
     let mut trace = false;
     let mut verify_opt = false;
+    let mut backend = Backend::Bnb;
 
     let mut args = std::env::args().skip(2);
     while let Some(a) = args.next() {
@@ -907,6 +1052,11 @@ fn run_serve() -> Result<ExitCode, String> {
             "--metrics" => dump_metrics = true,
             "--trace" => trace = true,
             "--verify-opt" => verify_opt = true,
+            "--backend" => {
+                let name = value()?;
+                backend = Backend::from_name(&name)
+                    .ok_or_else(|| format!("--backend: unknown backend `{name}` (bnb|sat|race)"))?;
+            }
             "--help" | "-h" => usage(),
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -919,6 +1069,7 @@ fn run_serve() -> Result<ExitCode, String> {
 
     let mut engine_config = pipesched::service::EngineConfig {
         default_nodes: nodes,
+        backend,
         ..Default::default()
     };
     engine_config.verify_opt |= verify_opt;
@@ -974,6 +1125,7 @@ fn run_batch_cmd() -> Result<ExitCode, String> {
     let mut quiet = false;
     let mut tcp: Option<String> = None;
     let mut verify_opt = false;
+    let mut backend = Backend::Bnb;
 
     let mut args = std::env::args().skip(2);
     while let Some(a) = args.next() {
@@ -989,6 +1141,11 @@ fn run_batch_cmd() -> Result<ExitCode, String> {
             "--quiet" => quiet = true,
             "--tcp" => tcp = Some(value()?),
             "--verify-opt" => verify_opt = true,
+            "--backend" => {
+                let name = value()?;
+                backend = Backend::from_name(&name)
+                    .ok_or_else(|| format!("--backend: unknown backend `{name}` (bnb|sat|race)"))?;
+            }
             "--help" | "-h" => usage(),
             "-" if input.is_none() => input = Some("-".into()),
             other if input.is_none() && !other.starts_with('-') => input = Some(other.to_string()),
@@ -1020,6 +1177,7 @@ fn run_batch_cmd() -> Result<ExitCode, String> {
         let mut engine_config = pipesched::service::EngineConfig {
             default_nodes: nodes,
             prove,
+            backend,
             ..Default::default()
         };
         engine_config.verify_opt |= verify_opt;

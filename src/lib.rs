@@ -11,5 +11,6 @@ pub use pipesched_proof as proof;
 pub use pipesched_regalloc as regalloc;
 pub use pipesched_service as service;
 pub use pipesched_sim as sim;
+pub use pipesched_solve as solve;
 pub use pipesched_synth as synth;
 pub use pipesched_trace as trace;

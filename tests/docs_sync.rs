@@ -100,3 +100,34 @@ fn a05xx_table_complete_both_directions() {
          documented {documented:?}\nregistered {registered:?}"
     );
 }
+
+/// The SAT-backend audit family (`A06xx`) specifically: every code the
+/// analyzer registers is documented, and every documented `A06` row
+/// names a registered code — in both directions, independently of the
+/// full-table check above.
+#[test]
+fn a06xx_table_complete_both_directions() {
+    let rows = readme_rows();
+    let registered: Vec<&str> = DiagCode::ALL
+        .iter()
+        .map(|c| c.as_str())
+        .filter(|s| s.starts_with("A06"))
+        .collect();
+    assert!(
+        !registered.is_empty(),
+        "analyzer registers no A06xx codes — SAT-backend audit codes missing"
+    );
+    let documented: Vec<&String> = rows.keys().filter(|c| c.starts_with("A06")).collect();
+    for code in &registered {
+        assert!(
+            rows.contains_key(*code),
+            "A06xx code {code} is not documented in README.md"
+        );
+    }
+    assert_eq!(
+        documented.len(),
+        registered.len(),
+        "README documents A06xx rows for codes the analyzer does not register:\n\
+         documented {documented:?}\nregistered {registered:?}"
+    );
+}
