@@ -16,7 +16,8 @@
 //! debug-build spot check, not a production path.
 
 use pipesched_core::{
-    list_schedule, parallel::parallel_search, search, windowed_schedule, SchedContext, SearchConfig,
+    list_schedule, parallel::parallel_search, search, windowed_schedule, ParallelConfig,
+    SchedContext, SearchConfig,
 };
 use pipesched_ir::{BasicBlock, BlockAnalysis, DepDag};
 use pipesched_machine::Machine;
@@ -69,7 +70,11 @@ pub fn cross_check(block: &BasicBlock, machine: &Machine, lambda: u64) -> Report
     report.merge(tagged(win_cert.report, "windowed"));
 
     // Parallel branch-and-bound with a couple of workers.
-    let par = parallel_search(&ctx, lambda, 2);
+    let par = parallel_search(
+        &ctx,
+        &SearchConfig::with_lambda(lambda),
+        &ParallelConfig::with_threads(2),
+    );
     let par_cert = certify_scheduled(block, machine, &to_scheduled(&par));
     report.merge(tagged(par_cert.report, "parallel"));
 

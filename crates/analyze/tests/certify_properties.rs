@@ -13,8 +13,8 @@ use proptest::prelude::*;
 use pipesched_analyze::certify::{certify, Claim};
 use pipesched_analyze::{certify_scheduled, DiagCode};
 use pipesched_core::{
-    list_schedule, parallel::parallel_search, search, windowed_schedule, SchedContext, Scheduler,
-    SearchConfig,
+    list_schedule, parallel::parallel_search, search, windowed_schedule, ParallelConfig,
+    SchedContext, Scheduler, SearchConfig,
 };
 use pipesched_ir::{BasicBlock, BlockAnalysis, BlockBuilder, DepDag, Op, TupleId};
 use pipesched_machine::presets;
@@ -98,7 +98,11 @@ proptest! {
         });
         prop_assert!(cert.is_certified(), "windowed:\n{}", cert.report);
 
-        let par = parallel_search(&ctx, 20_000, 2);
+        let par = parallel_search(
+            &ctx,
+            &SearchConfig::with_lambda(20_000),
+            &ParallelConfig::with_threads(2),
+        );
         let cert = certify(&block, machine, Claim {
             order: &par.order,
             assignment: Some(&par.assignment),

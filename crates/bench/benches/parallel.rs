@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pipesched_bench::experiments::blocks::block_of_size;
 use pipesched_bench::{run_sweep, SweepConfig};
 use pipesched_core::parallel::parallel_search;
-use pipesched_core::{search, SchedContext, SearchConfig};
+use pipesched_core::{search, ParallelConfig, SchedContext, SearchConfig};
 use pipesched_ir::DepDag;
 use pipesched_machine::presets;
 use pipesched_synth::CorpusSpec;
@@ -33,7 +33,11 @@ fn bench_parallel_search(c: &mut Criterion) {
             |b, &threads| {
                 b.iter(|| {
                     let ctx = SchedContext::new(&block, &dag, &machine);
-                    parallel_search(&ctx, 50_000, threads)
+                    parallel_search(
+                        &ctx,
+                        &SearchConfig::with_lambda(50_000),
+                        &ParallelConfig::with_threads(threads),
+                    )
                 })
             },
         );

@@ -11,6 +11,7 @@
 //! repro serve     [--runs N] [--threads T]   # memoized serving throughput
 //! repro prove     [--runs N]   # proof-logging overhead + checker throughput
 //! repro solve     [--runs N] [--quick]   # SAT-vs-B&B cross-certification + BENCH_solve.json
+//! repro parallel  [--runs N] [--quick]   # work-stealing speedup curve + BENCH_parallel.json
 //! repro observe   [--runs N] [--quick]   # tracing overhead gate + BENCH_sched.json
 //! repro verify    [--runs N]   # full end-to-end invariant gate
 //! ```
@@ -25,7 +26,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use pipesched_bench::experiments::{
-    ablation, encodings, observe, prove, serve, solve, sweep, table1, verify_sweep, windowed,
+    ablation, encodings, observe, parallel, prove, serve, solve, sweep, table1, verify_sweep,
+    windowed,
 };
 use pipesched_bench::report::{f, percentile, TextTable};
 use pipesched_bench::{run_sweep, RunRecord, SweepConfig, SweepResult};
@@ -108,6 +110,11 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        "parallel" => {
+            if !run_parallel(&args) {
+                return ExitCode::FAILURE;
+            }
+        }
         "verify" => {
             let runs = args.runs.min(2_000);
             eprintln!("verify: full end-to-end gate over {runs} blocks...");
@@ -137,11 +144,12 @@ fn main() -> ExitCode {
             run_prove(&ablation_args);
             run_solve(&ablation_args);
             run_observe(&ablation_args);
+            run_parallel(&ablation_args);
         }
         other => {
             eprintln!(
                 "repro: unknown command `{other}`\n\
-                 commands: all table1 table7 fig1 fig4 fig5 fig6 fig7 ablation windowed encodings serve prove solve observe verify"
+                 commands: all table1 table7 fig1 fig4 fig5 fig6 fig7 ablation windowed encodings serve prove solve observe parallel verify"
             );
             return ExitCode::FAILURE;
         }
@@ -573,6 +581,78 @@ fn run_observe(args: &Args) -> bool {
     )
     .expect("write BENCH_sched.json");
     println!("(benchmark summary saved to BENCH_sched.json)");
+    ok
+}
+
+/// Parallel-search gate: the pool must agree with the serial kernel on
+/// every corpus block, every merged multi-worker certificate must pass
+/// the independent checker, and — on hosts with at least 4 cores — the
+/// 4-worker speedup on the hard block must reach 2×. The full 1/2/4/8
+/// curve lands in `BENCH_parallel.json` either way.
+fn run_parallel(args: &Args) -> bool {
+    let (runs, curve_size) = if args.quick {
+        (24, 28)
+    } else {
+        (args.runs.min(120), 30)
+    };
+    eprintln!(
+        "parallel: {runs} corpus blocks serial-vs-pool + speedup curve on a {curve_size}-instruction block..."
+    );
+    let report = parallel::run(runs, args.lambda, curve_size);
+    println!(
+        "parallel: {} disagreements over {} blocks, {} of {} certificates rejected — \
+         speedups x2={:.2} x4={:.2} x8={:.2} on {} core(s)",
+        report.disagreements,
+        report.corpus_blocks,
+        report.certificates_rejected,
+        report.certificates_checked,
+        report.speedup_at(2),
+        report.speedup_at(4),
+        report.speedup_at(8),
+        report.cores
+    );
+    let mut ok = true;
+    if report.disagreements > 0 {
+        eprintln!(
+            "parallel: GATE FAILED — {} blocks where the pool disagrees with the serial kernel",
+            report.disagreements
+        );
+        ok = false;
+    }
+    if report.certificates_rejected > 0 {
+        eprintln!(
+            "parallel: GATE FAILED — {} merged certificates rejected by the checker",
+            report.certificates_rejected
+        );
+        ok = false;
+    }
+    if report.scaling_gate_applies() {
+        if report.speedup_at(4) < 2.0 {
+            eprintln!(
+                "parallel: GATE FAILED — {:.2}x at 4 workers is below the 2x floor on a {}-core host",
+                report.speedup_at(4),
+                report.cores
+            );
+            ok = false;
+        }
+    } else {
+        eprintln!(
+            "parallel: note — {} core(s) reported; the 2x-at-4-workers gate needs 4 and was skipped",
+            report.cores
+        );
+    }
+    save(
+        args,
+        "parallel_speedup",
+        &report.table(),
+        "Work-stealing parallel search: speedup curve and consistency gates",
+    );
+    std::fs::write(
+        "BENCH_parallel.json",
+        format!("{}\n", report.to_json().to_pretty()),
+    )
+    .expect("write BENCH_parallel.json");
+    println!("(benchmark summary saved to BENCH_parallel.json)");
     ok
 }
 

@@ -5,7 +5,8 @@
 use pipesched_core::baselines::greedy_schedule;
 use pipesched_core::parallel::parallel_search;
 use pipesched_core::{
-    search, BoundKind, EquivalenceMode, InitialHeuristic, SchedContext, SearchConfig,
+    search, BoundKind, EquivalenceMode, InitialHeuristic, ParallelConfig, SchedContext,
+    SearchConfig,
 };
 use pipesched_ir::DepDag;
 use pipesched_machine::presets;
@@ -146,7 +147,11 @@ pub fn run(runs: usize, lambda: u64) -> Vec<AblationRow> {
         let block = corpus.block(k);
         let dag = DepDag::build(&block);
         let ctx = SchedContext::new(&block, &dag, &machine);
-        let out = parallel_search(&ctx, lambda, 0);
+        let out = parallel_search(
+            &ctx,
+            &SearchConfig::with_lambda(lambda),
+            &ParallelConfig::default(),
+        );
         par_nops += f64::from(out.nops);
         par_optimal += usize::from(out.optimal);
     }

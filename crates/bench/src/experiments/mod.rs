@@ -4,6 +4,7 @@ pub mod ablation;
 pub mod blocks;
 pub mod encodings;
 pub mod observe;
+pub mod parallel;
 pub mod prove;
 pub mod serve;
 pub mod solve;

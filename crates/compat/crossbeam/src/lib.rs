@@ -56,6 +56,124 @@ pub mod thread {
 
 pub use thread::scope;
 
+/// Work-stealing deques (mirrors `crossbeam::deque` / `crossbeam-deque`).
+///
+/// API- and semantics-compatible subset of the Chase-Lev deque the real
+/// crate implements: the owning [`Worker`] pushes and pops LIFO at the
+/// bottom, any number of [`Stealer`] clones take FIFO from the top, and a
+/// steal can report [`Steal::Retry`] under contention. Behavioural
+/// difference vs the real crate: the storage is a mutex-guarded ring
+/// rather than a lock-free array — correct under the same protocol, with
+/// coarser contention behaviour. The workspace's workloads move whole
+/// search subtrees per element, so element-level lock cost is noise.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt (mirrors `crossbeam_deque::Steal`).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The deque was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// Lost a race with the owner or another thief; try again.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if the attempt succeeded.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+
+        /// True when the deque was observed empty.
+        pub fn is_empty(&self) -> bool {
+            matches!(self, Steal::Empty)
+        }
+    }
+
+    /// The owner's end of a work-stealing deque: LIFO push/pop at the
+    /// bottom, so the owner walks its own subtree depth-first while
+    /// thieves take the shallowest (largest) subtrees from the top.
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    /// A thief's handle: FIFO steal from the top. Cloneable and `Send`.
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Default for Worker<T> {
+        fn default() -> Self {
+            Self::new_lifo()
+        }
+    }
+
+    impl<T> Worker<T> {
+        /// A new empty LIFO deque (the Chase-Lev configuration).
+        pub fn new_lifo() -> Self {
+            Worker {
+                inner: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// A stealer handle for this deque.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+
+        /// Push a task at the bottom (owner end).
+        pub fn push(&self, task: T) {
+            self.inner.lock().expect("deque poisoned").push_back(task);
+        }
+
+        /// Pop the most recently pushed task (owner end, LIFO).
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().expect("deque poisoned").pop_back()
+        }
+
+        /// True when no tasks are queued.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().expect("deque poisoned").is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.inner.lock().expect("deque poisoned").len()
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal the oldest task (top end, FIFO).
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().expect("deque poisoned").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// True when no tasks are queued.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().expect("deque poisoned").is_empty()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -93,5 +211,47 @@ mod tests {
         let out =
             crate::scope(|scope| scope.spawn(|_| 6 * 7).join().expect("join")).expect("scope");
         assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn deque_owner_is_lifo_thief_is_fifo() {
+        let w = crate::deque::Worker::new_lifo();
+        let s = w.stealer();
+        w.push(1);
+        w.push(2);
+        w.push(3);
+        assert_eq!(s.steal().success(), Some(1), "thief takes the oldest");
+        assert_eq!(w.pop(), Some(3), "owner takes the newest");
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), None);
+        assert!(s.steal().is_empty());
+    }
+
+    #[test]
+    fn deque_steals_race_cleanly_across_threads() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let w = crate::deque::Worker::new_lifo();
+        for i in 0..1000 {
+            w.push(i);
+        }
+        let taken = AtomicUsize::new(0);
+        crate::scope(|scope| {
+            for _ in 0..4 {
+                let s = w.stealer();
+                let taken = &taken;
+                scope.spawn(move |_| loop {
+                    match s.steal() {
+                        crate::deque::Steal::Success(_) => {
+                            taken.fetch_add(1, Ordering::Relaxed);
+                        }
+                        crate::deque::Steal::Empty => break,
+                        crate::deque::Steal::Retry => {}
+                    }
+                });
+            }
+        })
+        .expect("worker panicked");
+        assert_eq!(taken.load(Ordering::Relaxed), 1000);
+        assert!(w.is_empty());
     }
 }

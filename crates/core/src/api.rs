@@ -23,7 +23,7 @@ use pipesched_machine::{Machine, PipelineId};
 
 use crate::bnb::{search, SearchConfig, SearchStats};
 use crate::context::SchedContext;
-use crate::parallel::parallel_search_bounded;
+use crate::parallel::{parallel_search, ParallelConfig};
 
 /// Which exact scheduling backend answers a request.
 ///
@@ -111,9 +111,9 @@ impl Scheduler {
         self
     }
 
-    /// Use the parallel branch-and-bound with `threads` workers
-    /// (0 ⇒ one per CPU). The parallel variant ignores the non-default
-    /// bound/equivalence/selection knobs.
+    /// Use the work-stealing parallel branch-and-bound with `threads`
+    /// workers (0 ⇒ one per CPU). The full search configuration — λ,
+    /// deadline, bound and equivalence ablations — applies unchanged.
     pub fn parallel(mut self, threads: usize) -> Self {
         self.parallel_threads = Some(threads);
         self
@@ -148,7 +148,7 @@ impl Scheduler {
     pub fn schedule_context(&self, ctx: &SchedContext<'_>) -> ScheduledBlock {
         let outcome = match self.parallel_threads {
             Some(threads) => {
-                parallel_search_bounded(ctx, self.config.lambda, threads, self.config.deadline)
+                parallel_search(ctx, &self.config, &ParallelConfig::with_threads(threads))
             }
             None => search(ctx, &self.config),
         };

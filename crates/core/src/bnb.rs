@@ -194,6 +194,12 @@ pub struct SearchStats {
     pub pruned_bound: u64,
     /// Pipeline-unit choices skipped by symmetry breaking.
     pub pruned_symmetry: u64,
+    /// Subtrees offloaded to a work-stealing pool at a split point
+    /// (always 0 in serial searches).
+    pub splits: u64,
+    /// Offloaded subtrees executed by a worker other than the one that
+    /// split them off (always 0 in serial searches).
+    pub steals: u64,
     /// True when λ or the wall-clock deadline was exhausted before the
     /// search completed.
     pub truncated: bool,
@@ -239,7 +245,7 @@ pub fn search_with_boundary(
     cfg: &SearchConfig,
     boundary: &BoundaryState,
 ) -> SearchOutcome {
-    search_impl(ctx, cfg, boundary, None, None)
+    search_impl(ctx, cfg, boundary, NullPolicy)
 }
 
 /// [`search`] while filling `profile` with a per-depth breakdown of the
@@ -252,7 +258,7 @@ pub fn search_with_profile(
     profile: &mut SearchProfile,
 ) -> SearchOutcome {
     let boundary = BoundaryState::cold(ctx.machine.pipeline_count());
-    search_impl(ctx, cfg, &boundary, None, Some(profile))
+    search_impl(ctx, cfg, &boundary, ProfilePolicy(profile))
 }
 
 /// Run the search while recording a machine-checkable optimality
@@ -277,7 +283,7 @@ pub fn search_with_proof(
         "proof logging does not support the pipeline-selection extension"
     );
     let boundary = BoundaryState::cold(ctx.machine.pipeline_count());
-    let outcome = search_impl(ctx, cfg, &boundary, Some(&mut logger), None);
+    let outcome = search_impl(ctx, cfg, &boundary, ProofPolicy(&mut logger));
     let proof = logger.finish(trailer_for(&outcome));
     (outcome, proof)
 }
@@ -296,17 +302,197 @@ pub fn prove(ctx: &SchedContext<'_>, cfg: &SearchConfig) -> (SearchOutcome, Cert
     (outcome, cert)
 }
 
-fn search_impl(
+/// Compile-time hook bundle the unified kernel is generic over.
+///
+/// One branch-and-bound implementation serves every entry point: the plain
+/// [`search`], the certificate-logged [`search_with_proof`], the per-depth
+/// profiled [`search_with_profile`], and the work-stealing parallel workers
+/// in [`crate::parallel`]. Each variant supplies a policy; hooks a policy
+/// leaves at their defaults monomorphize to nothing, so [`NullPolicy`]
+/// compiles to exactly the pre-unification plain search.
+///
+/// The hooks fall into three groups:
+///
+/// * **observation** — [`begin`](Self::begin)/[`log`](Self::log) record the
+///   proof transcript (gated on [`PROOF`](Self::PROOF)),
+///   [`prof`](Self::prof) bumps per-depth counters (gated on
+///   [`PROFILE`](Self::PROFILE)).
+/// * **shared budgets & bounds** — [`charge_omega`](Self::charge_omega)
+///   draws on a pool-wide λ, [`poll_stop`](Self::poll_stop) observes a
+///   pool-wide stop flag, [`shared_best`](Self::shared_best) tightens the
+///   local incumbent from the shared atomic, [`improved`](Self::improved)
+///   publishes a new incumbent, and [`stopping`](Self::stopping) propagates
+///   a local termination cause outward.
+/// * **work distribution** — [`spawn`](Self::spawn) may take ownership of a
+///   just-bounded subtree and defer it to a work-stealing deque.
+pub trait SearchPolicy {
+    /// True when the policy records a proof transcript; the kernel then
+    /// captures the bound's chain/resource terms for every placement.
+    const PROOF: bool = false;
+    /// True when the policy collects per-depth profiles; the kernel then
+    /// times each `dfs` call inclusively.
+    const PROFILE: bool = false;
+
+    /// The certificate header, emitted once before the search runs.
+    #[inline]
+    fn begin(&mut self, header: CertificateHeader) {
+        let _ = header;
+    }
+
+    /// One proof event, in replay order.
+    #[inline]
+    fn log(&mut self, ev: ProofEvent) {
+        let _ = ev;
+    }
+
+    /// Bump a per-depth profile counter.
+    #[inline]
+    fn prof(&mut self, depth: usize, bump: impl FnOnce(&mut DepthStats)) {
+        let _ = (depth, bump);
+    }
+
+    /// Charge one Ω call against a shared budget; return true when the
+    /// pool-wide budget is exhausted (the search truncates).
+    #[inline]
+    fn charge_omega(&mut self) -> bool {
+        false
+    }
+
+    /// Poll a shared stop flag (another worker finished or truncated).
+    #[inline]
+    fn poll_stop(&mut self) -> bool {
+        false
+    }
+
+    /// The tightest incumbent known anywhere, given the local one. The
+    /// serial identity keeps α-β behaviour untouched; parallel workers
+    /// read the shared atomic so bounds prune across subtrees.
+    #[inline]
+    fn shared_best(&mut self, local: u32) -> u32 {
+        local
+    }
+
+    /// A new incumbent `order` with `mu` NOPs was found locally.
+    #[inline]
+    fn improved(&mut self, mu: u32, order: &[TupleId]) {
+        let _ = (mu, order);
+    }
+
+    /// The search is stopping; `stats` carries the cause
+    /// (`truncated` / `deadline_hit` / `proved_by_bound`).
+    #[inline]
+    fn stopping(&mut self, stats: &SearchStats) {
+        let _ = stats;
+    }
+
+    /// Offer the subtree rooted at `order[..depth]` (whose placement bound
+    /// is `bound`) for deferred execution. Returning true transfers
+    /// ownership: the kernel neither descends nor prunes it.
+    #[inline]
+    fn spawn(&mut self, order: &[TupleId], depth: usize, bound: u32) -> bool {
+        let _ = (order, depth, bound);
+        false
+    }
+}
+
+/// Forwarding impl so a caller can lend a policy to one kernel run (e.g.
+/// [`run_subtree`] per work-stealing task) and keep using it afterwards.
+impl<P: SearchPolicy> SearchPolicy for &mut P {
+    const PROOF: bool = P::PROOF;
+    const PROFILE: bool = P::PROFILE;
+
+    #[inline]
+    fn begin(&mut self, header: CertificateHeader) {
+        (**self).begin(header);
+    }
+
+    #[inline]
+    fn log(&mut self, ev: ProofEvent) {
+        (**self).log(ev);
+    }
+
+    #[inline]
+    fn prof(&mut self, depth: usize, bump: impl FnOnce(&mut DepthStats)) {
+        (**self).prof(depth, bump);
+    }
+
+    #[inline]
+    fn charge_omega(&mut self) -> bool {
+        (**self).charge_omega()
+    }
+
+    #[inline]
+    fn poll_stop(&mut self) -> bool {
+        (**self).poll_stop()
+    }
+
+    #[inline]
+    fn shared_best(&mut self, local: u32) -> u32 {
+        (**self).shared_best(local)
+    }
+
+    #[inline]
+    fn improved(&mut self, mu: u32, order: &[TupleId]) {
+        (**self).improved(mu, order);
+    }
+
+    #[inline]
+    fn stopping(&mut self, stats: &SearchStats) {
+        (**self).stopping(stats);
+    }
+
+    #[inline]
+    fn spawn(&mut self, order: &[TupleId], depth: usize, bound: u32) -> bool {
+        (**self).spawn(order, depth, bound)
+    }
+}
+
+/// The no-op policy: plain serial search, bit-identical to the historical
+/// un-hooked implementation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullPolicy;
+
+impl SearchPolicy for NullPolicy {}
+
+/// Certificate-logging policy wrapping a [`ProofLogger`].
+pub struct ProofPolicy<'p>(pub &'p mut ProofLogger);
+
+impl SearchPolicy for ProofPolicy<'_> {
+    const PROOF: bool = true;
+
+    #[inline]
+    fn begin(&mut self, header: CertificateHeader) {
+        self.0.begin(header);
+    }
+
+    #[inline]
+    fn log(&mut self, ev: ProofEvent) {
+        self.0.log(ev);
+    }
+}
+
+/// Per-depth profiling policy wrapping a [`SearchProfile`].
+pub struct ProfilePolicy<'p>(pub &'p mut SearchProfile);
+
+impl SearchPolicy for ProfilePolicy<'_> {
+    const PROFILE: bool = true;
+
+    #[inline]
+    fn prof(&mut self, depth: usize, bump: impl FnOnce(&mut DepthStats)) {
+        bump(self.0.at(depth));
+    }
+}
+
+fn search_impl<P: SearchPolicy>(
     ctx: &SchedContext<'_>,
     cfg: &SearchConfig,
     boundary: &BoundaryState,
-    mut proof: Option<&mut ProofLogger>,
-    profile: Option<&mut SearchProfile>,
+    mut policy: P,
 ) -> SearchOutcome {
     let n = ctx.len();
     if n == 0 {
-        if let Some(p) = proof.as_deref_mut() {
-            p.begin(CertificateHeader {
+        if P::PROOF {
+            policy.begin(CertificateHeader {
                 n: 0,
                 bound: cfg.bound,
                 equivalence: cfg.equivalence,
@@ -334,8 +520,8 @@ fn search_impl(
     let initial_etas = seed.etas;
     let initial_nops = seed.nops;
 
-    if let Some(p) = proof.as_deref_mut() {
-        p.begin(CertificateHeader {
+    if P::PROOF {
+        policy.begin(CertificateHeader {
             n: n as u32,
             bound: cfg.bound,
             equivalence: cfg.equivalence,
@@ -351,8 +537,8 @@ fn search_impl(
     if let Some(lb) = global_lb {
         if initial_nops <= lb {
             // The list schedule is already provably optimal.
-            if let Some(p) = proof.as_deref_mut() {
-                p.log(ProofEvent::ProvedByBound { lb });
+            if P::PROOF {
+                policy.log(ProofEvent::ProvedByBound { lb });
             }
             return SearchOutcome {
                 order: initial_order.clone(),
@@ -377,14 +563,14 @@ fn search_impl(
         initial_order.clone(),
         initial_etas,
         initial_nops,
+        policy,
     );
     s.global_lb = global_lb;
-    s.proof = proof;
-    s.profile = profile;
     if cfg.deadline.is_some_and(|d| std::time::Instant::now() >= d) {
         // Already out of time: the incumbent is the answer (anytime).
         s.stats.truncated = true;
         s.stats.deadline_hit = true;
+        s.policy.stopping(&s.stats);
     } else {
         s.dfs(0);
     }
@@ -407,6 +593,51 @@ fn search_impl(
     }
 }
 
+/// Run the kernel on one subtree: the prefix `order[..depth]` is replayed
+/// as already-committed placements (no Ω charges — the splitting worker
+/// already paid for them), then the DFS explores everything below it.
+///
+/// This is the work-stealing pool's unit of execution. The local incumbent
+/// is seeded from `best_nops` (typically a snapshot of the shared atomic),
+/// so only the statistics are meaningful on return — improvements are
+/// published through [`SearchPolicy::improved`], not through the returned
+/// schedule.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_subtree<P: SearchPolicy>(
+    ctx: &SchedContext<'_>,
+    cfg: &SearchConfig,
+    boundary: &BoundaryState,
+    order: Vec<TupleId>,
+    depth: usize,
+    best_nops: u32,
+    global_lb: Option<u32>,
+    policy: P,
+) -> SearchStats {
+    debug_assert!(depth <= order.len());
+    let mut s = Search::new(ctx, cfg, boundary, order, Vec::new(), best_nops, policy);
+    s.global_lb = global_lb;
+    if cfg.deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+        s.stats.truncated = true;
+        s.stats.deadline_hit = true;
+        s.policy.stopping(&s.stats);
+        return s.stats;
+    }
+    // Replay the committed prefix: timing, readiness and resource-bound
+    // state exactly as `place_and_recurse` would have left them.
+    for d in 0..depth {
+        let xi = s.order[d];
+        s.engine.push(xi, s.ctx.sigma(xi));
+        for e in s.ctx.dag.succs(xi) {
+            s.pending_preds[e.to.index()] -= 1;
+        }
+        if let Some(p) = s.counted_pipe(xi) {
+            s.remaining_per_pipe[p.index()] -= 1;
+        }
+    }
+    s.dfs(depth);
+    s.stats
+}
+
 /// Evaluate a complete schedule under an explicit pipeline assignment.
 fn evaluate_with_assignment(
     ctx: &SchedContext<'_>,
@@ -423,11 +654,9 @@ fn evaluate_with_assignment(
     (etas, total)
 }
 
-struct Search<'c, 'a> {
-    /// Certificate transcript recorder; `None` when proofs are off.
-    proof: Option<&'c mut ProofLogger>,
-    /// Per-depth profile collector; `None` when profiling is off.
-    profile: Option<&'c mut SearchProfile>,
+struct Search<'c, 'a, P: SearchPolicy> {
+    /// The compile-time hook bundle (proof, profile, shared-state hooks).
+    policy: P,
     ctx: &'c SchedContext<'a>,
     cfg: SearchConfig,
     engine: TimingEngine<'c, 'a>,
@@ -448,7 +677,8 @@ struct Search<'c, 'a> {
     stop: bool,
 }
 
-impl<'c, 'a> Search<'c, 'a> {
+impl<'c, 'a, P: SearchPolicy> Search<'c, 'a, P> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         ctx: &'c SchedContext<'a>,
         cfg: &SearchConfig,
@@ -456,6 +686,7 @@ impl<'c, 'a> Search<'c, 'a> {
         initial_order: Vec<TupleId>,
         _initial_etas: Vec<u32>,
         initial_nops: u32,
+        policy: P,
     ) -> Self {
         let n = ctx.len();
         let pending_preds: Vec<u32> = (0..n).map(|i| ctx.preds[i].len() as u32).collect();
@@ -483,8 +714,7 @@ impl<'c, 'a> Search<'c, 'a> {
         };
         let best_assign: Vec<Option<PipelineId>> = ctx.sigma.clone();
         Search {
-            proof: None,
-            profile: None,
+            policy,
             ctx,
             cfg: *cfg,
             engine: TimingEngine::with_boundary(ctx, boundary),
@@ -505,16 +735,16 @@ impl<'c, 'a> Search<'c, 'a> {
     /// Append `ev` to the proof transcript when logging is on.
     #[inline]
     fn log(&mut self, ev: ProofEvent) {
-        if let Some(p) = self.proof.as_deref_mut() {
-            p.log(ev);
+        if P::PROOF {
+            self.policy.log(ev);
         }
     }
 
     /// Bump a per-depth profile counter when profiling is on.
     #[inline]
     fn prof(&mut self, depth: usize, bump: impl FnOnce(&mut DepthStats)) {
-        if let Some(p) = self.profile.as_deref_mut() {
-            bump(p.at(depth));
+        if P::PROFILE {
+            self.policy.prof(depth, bump);
         }
     }
 
@@ -522,7 +752,7 @@ impl<'c, 'a> Search<'c, 'a> {
     /// inclusively per depth. Without a profile it is a plain tail call,
     /// so the un-profiled search never reads the clock here.
     fn dfs(&mut self, depth: usize) {
-        if self.profile.is_none() {
+        if !P::PROFILE {
             return self.dfs_inner(depth);
         }
         let start = std::time::Instant::now();
@@ -539,6 +769,9 @@ impl<'c, 'a> Search<'c, 'a> {
             // Step [3]: complete schedule.
             self.stats.complete_schedules += 1;
             let mu = self.engine.total_nops();
+            // Under a shared incumbent another worker may have improved on
+            // ours since the last refresh; never publish a worse schedule.
+            self.best_nops = self.policy.shared_best(self.best_nops);
             if mu < self.best_nops {
                 self.stats.improvements += 1;
                 self.best_nops = mu;
@@ -547,12 +780,14 @@ impl<'c, 'a> Search<'c, 'a> {
                     *a = self.engine.assigned_pipeline(TupleId(i as u32));
                 }
                 self.log(ProofEvent::Improve { mu });
+                self.policy.improved(mu, &self.best_order);
                 if let Some(lb) = self.global_lb {
                     if self.best_nops <= lb {
                         // Provably optimal: no schedule can beat the bound.
                         self.stats.proved_by_bound = true;
                         self.stop = true;
                         self.log(ProofEvent::ProvedByBound { lb });
+                        self.policy.stopping(&self.stats);
                     }
                 }
             } else {
@@ -568,7 +803,8 @@ impl<'c, 'a> Search<'c, 'a> {
         let mut tried_classes: Vec<(u32, TupleId)> = Vec::new();
 
         for j in depth..n {
-            if self.stop {
+            if self.stop || self.policy.poll_stop() {
+                self.stop = true;
                 return;
             }
             let xi = self.order[j];
@@ -677,12 +913,15 @@ impl<'c, 'a> Search<'c, 'a> {
     }
 
     fn place_and_recurse(&mut self, depth: usize, xi: TupleId, pipe: Option<PipelineId>) {
-        // Step [4]: curtail point.
+        // Step [4]: curtail point. The shared budget (when the policy has
+        // one) is charged unconditionally so the pool-wide Ω counter stays
+        // exact even when a local limit also fires.
         self.stats.omega_calls += 1;
         self.prof(depth, |d| d.omega_calls += 1);
-        if self.stats.omega_calls >= self.cfg.lambda {
+        if self.policy.charge_omega() || self.stats.omega_calls >= self.cfg.lambda {
             self.stats.truncated = true;
             self.stop = true;
+            self.policy.stopping(&self.stats);
         }
         // Anytime deadline (throttled so the hot path never reads the clock).
         if let Some(deadline) = self.cfg.deadline {
@@ -695,6 +934,7 @@ impl<'c, 'a> Search<'c, 'a> {
                 self.stats.truncated = true;
                 self.stats.deadline_hit = true;
                 self.stop = true;
+                self.policy.stopping(&self.stats);
             }
         }
 
@@ -710,7 +950,7 @@ impl<'c, 'a> Search<'c, 'a> {
                     self.remaining_per_pipe[p.index()] -= 1;
                 }
                 let ready = self.ready_after(xi);
-                let b = if self.proof.is_some() {
+                let b = if P::PROOF {
                     let (chain, resource, b) = lb.terms(
                         self.ctx,
                         &self.engine,
@@ -736,8 +976,18 @@ impl<'c, 'a> Search<'c, 'a> {
             _ => self.engine.total_nops(),
         };
 
-        // Step [6]: α-β prune (strict <, matching the paper).
-        if bound < self.best_nops && !self.stop {
+        // Under a shared incumbent, pick up improvements published by other
+        // workers before deciding the prune (α-β propagates pool-wide).
+        self.best_nops = self.policy.shared_best(self.best_nops);
+
+        // Work distribution first: the policy may take ownership of this
+        // subtree and defer it to a deque (the bound-vs-incumbent decision
+        // then happens when the subtree is popped, against the incumbent of
+        // that moment); otherwise step [6], the α-β prune (strict <,
+        // matching the paper).
+        if !self.stop && self.policy.spawn(&self.order, depth + 1, bound) {
+            self.stats.splits += 1;
+        } else if bound < self.best_nops && !self.stop {
             // Commit: update readiness and recurse.
             self.log(ProofEvent::Enter { candidate: xi.0 });
             for e in self.ctx.dag.succs(xi) {
@@ -809,7 +1059,7 @@ impl<'c, 'a> Search<'c, 'a> {
 /// operation, identical predecessor edges and identical successor edges
 /// make two instructions interchangeable in any schedule.
 #[allow(clippy::type_complexity)]
-fn structural_classes(ctx: &SchedContext<'_>) -> Vec<u32> {
+pub(crate) fn structural_classes(ctx: &SchedContext<'_>) -> Vec<u32> {
     use std::collections::HashMap;
     let n = ctx.len();
     let mut table: HashMap<(pipesched_ir::Op, Vec<(u32, bool)>, Vec<(u32, bool)>), u32> =

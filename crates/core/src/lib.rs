@@ -57,7 +57,7 @@ pub use bnb::{
 pub use bounds::global_lower_bound;
 pub use context::SchedContext;
 pub use list_sched::list_schedule;
-pub use parallel::{parallel_search, parallel_search_bounded};
+pub use parallel::{parallel_prove, parallel_search, ParallelConfig, ParallelProof};
 pub use profile::{DepthStats, SearchProfile};
 pub use proof::{
     trailer_for, Certificate, CertificateHeader, CertificateTrailer, ProofEvent, ProofLogger,

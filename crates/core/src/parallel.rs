@@ -1,201 +1,273 @@
-//! Parallel branch-and-bound (extension; not in the paper).
+//! Work-stealing parallel branch-and-bound (extension; not in the paper).
 //!
-//! The serial search's first-level candidates are independent subtrees, so
-//! they parallelize naturally: each worker owns a private
-//! [`TimingEngine`] and explores one subtree, while the incumbent NOP count
-//! is shared through an `AtomicU32` so a bound discovered by any worker
-//! immediately prunes all others. The λ budget is likewise a shared atomic
-//! counter.
+//! Built on the unified policy-generic kernel in [`crate::bnb`]: every
+//! worker runs the *same* `dfs` as the serial search, with a
+//! [`SearchPolicy`] that (a) draws the λ budget from a pool-wide atomic,
+//! (b) reads and publishes the incumbent through a shared `AtomicU32` so
+//! an α-β bound discovered by any worker immediately prunes all others,
+//! and (c) intercepts shallow placements (depth ≤
+//! [`ParallelConfig::split_depth`]) as *subtree tasks* pushed onto the
+//! worker's own Chase-Lev-style deque. An idle worker pops its own deque
+//! LIFO (continuing depth-first where it left off) or steals FIFO from a
+//! peer's top — the classic work-stealing discipline, so thieves take the
+//! shallowest, largest subtrees.
 //!
-//! The parallel variant always runs the library's default configuration
-//! (critical-path bound, lower-bound termination, paper equivalence rule,
-//! no pipeline selection); ablations of the other knobs are a serial
-//! concern. It returns the same optimal NOP count as the serial search
-//! (asserted by the cross-check tests) — the *schedule* returned may be a
-//! different optimum when several exist, because workers race to improve
-//! the incumbent.
+//! Two properties worth stating precisely:
+//!
+//! * **Deferred bound decision.** A spawned task records the placement's
+//!   lower bound, but the bound-vs-incumbent comparison happens when the
+//!   task is *popped*, against the incumbent of that moment. This is both
+//!   tighter (the incumbent can only have improved since the spawn) and
+//!   exactly serial-equivalent at one thread: with LIFO task order the pop
+//!   sequence is the serial DFS order, so the comparison happens with
+//!   precisely the incumbent the serial search would have had. With
+//!   `lambda = u64::MAX`, no deadline and `terminate_on_lower_bound`
+//!   off, one-thread parallel search reproduces the serial node,
+//!   Ω-call and prune counters bit for bit (pinned by tests).
+//! * **Full [`SearchConfig`] support.** The kernel is shared, so every
+//!   ablation knob — bound kind, equivalence rule, quick check, λ,
+//!   deadline — flows through unchanged. The one exception is
+//!   `pipeline_selection`, whose per-unit symmetry state is not carried
+//!   by task snapshots: those searches delegate to the serial kernel.
+//!
+//! # Parallel proofs
+//!
+//! [`parallel_prove`] produces a machine-checkable certificate (see
+//! [`crate::proof`]) from a parallel run in two phases. Phase 1 is the
+//! plain work-stealing search above: it finds the optimal μ\* and a best
+//! order. Phase 2 re-derives the *transcript* with perfect foresight: the
+//! driver enumerates the root candidates exactly as the serial kernel
+//! would (legality, equivalence, bound terms), emits the best root
+//! subtree first — its worker is seeded with the *initial* incumbent, so
+//! its first descent logs `Improve{μ*}` before any other event — and
+//! runs every other entered root subtree with incumbent μ\*, one serial
+//! kernel per subtree, in parallel across subtrees. Because the replay
+//! incumbent is μ\* from the second part on, every recorded bound prune
+//! is justified, and the independent checker
+//! (`pipesched_proof::check_certificate`) accepts the concatenation
+//! unchanged. The per-subtree transcripts are exposed on
+//! [`ParallelProof`] so tests can verify that tampering with (e.g.
+//! dropping) any part is caught by the checker's coverage rules.
+//!
+//! The λ budget is shared across both phases: certification is search
+//! work, and a budget too small to certify truncates the certificate
+//! (`complete = false`, rejected by the checker) exactly like a truncated
+//! serial proof run.
 
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
+use crossbeam::deque::{Steal, Stealer, Worker as Deque};
 use parking_lot::Mutex;
 
 use pipesched_ir::TupleId;
 
-use crate::bnb::{SearchOutcome, SearchStats};
+use crate::bnb::{
+    run_subtree, structural_classes, EquivalenceMode, SearchConfig, SearchOutcome, SearchPolicy,
+    SearchStats,
+};
+use crate::bounds::{BoundKind, LowerBound};
 use crate::context::SchedContext;
+use crate::proof::{Certificate, CertificateHeader, CertificateTrailer, ProofEvent};
+use crate::seed::{seed_incumbent, SearchSeed};
 use crate::timing::{evaluate_schedule, BoundaryState, TimingEngine};
 
+/// Depth limit below which placements become stealable subtree tasks when
+/// the caller does not choose one. Depth 3 keeps the task count polynomial
+/// in the block size while exposing far more parallelism than the old
+/// first-level-only split.
+pub const DEFAULT_SPLIT_DEPTH: usize = 3;
+
+/// How a parallel search is distributed across workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Worker threads (0 ⇒ one per available CPU).
+    pub threads: usize,
+    /// Placements at depth ≤ this become stealable subtree tasks; deeper
+    /// subtrees run serially inside their worker. 0 disables splitting
+    /// (the whole search runs as one task); a value ≥ the block length
+    /// makes every single placement a task (the forced-steal stress mode).
+    pub split_depth: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            threads: 0,
+            split_depth: DEFAULT_SPLIT_DEPTH,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// Default splitting with an explicit thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelConfig {
+            threads,
+            ..ParallelConfig::default()
+        }
+    }
+
+    fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// One unit of stealable work: the subtree rooted at `order[..depth]`.
+struct Task {
+    /// Permutation of the block; positions < `depth` are the committed
+    /// prefix, the suffix is the unscheduled scratch set.
+    order: Vec<TupleId>,
+    /// First undecided position.
+    depth: usize,
+    /// Lower bound on any completion, computed when the subtree was split
+    /// off. Compared against the incumbent at *pop* time.
+    bound: u32,
+}
+
+/// State shared by every worker of a pool run.
 struct Shared {
+    /// The pool-wide incumbent μ; `fetch_min` keeps it tight.
     best_nops: AtomicU32,
+    /// Pool-wide Ω counter (the λ budget is charged here, not per worker).
     omega_used: AtomicU64,
     lambda: u64,
-    /// Anytime wall-clock deadline shared by all workers.
-    deadline: Option<std::time::Instant>,
-    deadline_hit: AtomicBool,
-    /// Admissible lower bound on μ for the whole block; an incumbent at or
-    /// below it is provably optimal and stops all workers early.
-    global_lb: u32,
+    /// `Some(lb)` when `terminate_on_lower_bound` is on.
+    global_lb: Option<u32>,
     stop: AtomicBool,
     proved: AtomicBool,
+    truncated: AtomicBool,
+    deadline_hit: AtomicBool,
+    /// Tasks queued or in flight; 0 ⇒ the search space is exhausted.
+    pending: AtomicU64,
+    /// The incumbent (order, μ) pair; the lock guards against torn updates.
     best: Mutex<(Vec<TupleId>, u32)>,
 }
 
-/// Run the branch-and-bound search with `threads` workers (0 ⇒ one per
-/// available CPU). Returns the same NOP count as the serial default search.
-pub fn parallel_search(ctx: &SchedContext<'_>, lambda: u64, threads: usize) -> SearchOutcome {
-    parallel_search_bounded(ctx, lambda, threads, None)
+impl Shared {
+    fn new(cfg: &SearchConfig, seed: &SearchSeed) -> Self {
+        Shared {
+            best_nops: AtomicU32::new(seed.nops),
+            omega_used: AtomicU64::new(0),
+            lambda: cfg.lambda,
+            global_lb: cfg.terminate_on_lower_bound.then_some(seed.global_lb),
+            stop: AtomicBool::new(false),
+            proved: AtomicBool::new(false),
+            truncated: AtomicBool::new(false),
+            deadline_hit: AtomicBool::new(false),
+            pending: AtomicU64::new(0),
+            best: Mutex::new((seed.order.clone(), seed.nops)),
+        }
+    }
+
+    /// Charge one Ω call against the pool budget; true ⇒ exhausted.
+    fn charge_omega(&self) -> bool {
+        self.omega_used.fetch_add(1, Ordering::Relaxed) + 1 >= self.lambda
+    }
+
+    /// Propagate a worker's local stop cause to the pool.
+    fn note_stop(&self, stats: &SearchStats) {
+        if stats.proved_by_bound {
+            self.proved.store(true, Ordering::Relaxed);
+        }
+        if stats.deadline_hit {
+            self.deadline_hit.store(true, Ordering::Relaxed);
+        }
+        if stats.truncated {
+            self.truncated.store(true, Ordering::Relaxed);
+        }
+        self.stop.store(true, Ordering::Relaxed);
+    }
 }
 
-/// [`parallel_search`] with an anytime wall-clock deadline: all workers
-/// stop once it passes and the incumbent is returned with `optimal=false`
-/// and `stats.deadline_hit` set.
-pub fn parallel_search_bounded(
-    ctx: &SchedContext<'_>,
-    lambda: u64,
-    threads: usize,
-    deadline: Option<std::time::Instant>,
-) -> SearchOutcome {
-    let n = ctx.len();
-    // Shared search prologue (see `crate::seed`): heuristic incumbent +
-    // the same admissible whole-block lower bound as the serial search.
-    let seed = crate::seed::seed_incumbent(
-        ctx,
-        crate::bnb::InitialHeuristic::MaxDistance,
-        &BoundaryState::cold(ctx.machine.pipeline_count()),
-        false,
-    );
-    let initial_order = seed.order;
-    let initial_nops = seed.nops;
-    if n <= 1 {
-        return SearchOutcome {
-            order: initial_order.clone(),
-            assignment: ctx.sigma.clone(),
-            etas: seed.etas,
-            nops: seed.nops,
-            initial_order,
-            initial_nops,
-            optimal: true,
-            stats: SearchStats::default(),
-        };
+/// The phase-1 worker policy: shared budget/bounds plus subtree spawning.
+struct PoolPolicy<'s> {
+    shared: &'s Shared,
+    split_depth: usize,
+    /// Tasks spawned while running the current node, in enumeration
+    /// order; flushed (reversed) onto the worker's deque afterwards so
+    /// LIFO pops preserve the serial DFS order.
+    spawned: Vec<Task>,
+}
+
+impl SearchPolicy for PoolPolicy<'_> {
+    #[inline]
+    fn charge_omega(&mut self) -> bool {
+        self.shared.charge_omega()
     }
 
-    let threads = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-    } else {
-        threads
-    };
+    #[inline]
+    fn poll_stop(&mut self) -> bool {
+        self.shared.stop.load(Ordering::Relaxed)
+    }
 
-    // First-level candidates: the ready instructions, with the initial
-    // schedule's first instruction first (it reconstructs the incumbent),
-    // and at most one representative per interchangeable-free class
-    // (restricted rule [5c]).
-    let mut roots: Vec<TupleId> = Vec::new();
-    let mut seen_classes: Vec<u32> = Vec::new();
-    let first = initial_order[0];
-    for &t in std::iter::once(&first).chain(
-        initial_order[1..]
-            .iter()
-            .filter(|&&t| ctx.preds[t.index()].is_empty()),
-    ) {
-        if let Some(class) = ctx.free_class[t.index()] {
-            if seen_classes.contains(&class) {
-                continue;
+    #[inline]
+    fn shared_best(&mut self, local: u32) -> u32 {
+        local.min(self.shared.best_nops.load(Ordering::Relaxed))
+    }
+
+    fn improved(&mut self, mu: u32, order: &[TupleId]) {
+        let prev = self.shared.best_nops.fetch_min(mu, Ordering::SeqCst);
+        if mu < prev {
+            let mut best = self.shared.best.lock();
+            if mu < best.1 {
+                best.0.clear();
+                best.0.extend_from_slice(order);
+                best.1 = mu;
             }
-            seen_classes.push(class);
         }
-        roots.push(t);
     }
 
-    // An incumbent matching the whole-block lower bound is provably
-    // optimal without any exploration.
-    let global_lb = seed.global_lb;
-    if initial_nops <= global_lb {
-        return SearchOutcome {
-            order: initial_order.clone(),
-            assignment: ctx.sigma.clone(),
-            etas: seed.etas,
-            nops: seed.nops,
-            initial_order,
-            initial_nops,
-            optimal: true,
-            stats: SearchStats {
-                proved_by_bound: true,
-                ..SearchStats::default()
-            },
-        };
+    fn stopping(&mut self, stats: &SearchStats) {
+        self.shared.note_stop(stats);
     }
 
-    if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
-        // Out of time before any exploration: the list schedule answers.
-        return SearchOutcome {
-            order: initial_order.clone(),
-            assignment: ctx.sigma.clone(),
-            etas: seed.etas,
-            nops: seed.nops,
-            initial_order,
-            initial_nops,
-            optimal: false,
-            stats: SearchStats {
-                truncated: true,
-                deadline_hit: true,
-                ..SearchStats::default()
-            },
-        };
-    }
-
-    let shared = Shared {
-        best_nops: AtomicU32::new(initial_nops),
-        omega_used: AtomicU64::new(0),
-        lambda,
-        deadline,
-        deadline_hit: AtomicBool::new(false),
-        global_lb,
-        stop: AtomicBool::new(false),
-        proved: AtomicBool::new(false),
-        best: Mutex::new((initial_order.clone(), initial_nops)),
-    };
-    let next_root = AtomicU64::new(0);
-    let stats_acc = Mutex::new(SearchStats::default());
-
-    crossbeam::scope(|scope| {
-        for _ in 0..threads.min(roots.len()) {
-            scope.spawn(|_| {
-                let mut worker = Worker::new(ctx, &shared);
-                loop {
-                    let k = next_root.fetch_add(1, Ordering::Relaxed) as usize;
-                    if k >= roots.len() || shared.stop.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    worker.run_root(roots[k]);
-                }
-                let mut acc = stats_acc.lock();
-                merge(&mut acc, &worker.stats);
+    fn spawn(&mut self, order: &[TupleId], depth: usize, bound: u32) -> bool {
+        if depth <= self.split_depth {
+            self.spawned.push(Task {
+                order: order.to_vec(),
+                depth,
+                bound,
             });
+            true
+        } else {
+            false
         }
-    })
-    .expect("worker panicked");
+    }
+}
 
-    let mut stats = *stats_acc.lock();
-    stats.proved_by_bound = shared.proved.load(Ordering::Relaxed);
-    stats.deadline_hit = !stats.proved_by_bound && shared.deadline_hit.load(Ordering::Relaxed);
-    stats.truncated = !stats.proved_by_bound
-        && shared.stop.load(Ordering::Relaxed)
-        && (stats.deadline_hit || shared.omega_used.load(Ordering::Relaxed) >= lambda);
-    let (best_order, best_nops) = shared.best.into_inner();
-    let (etas, check) = evaluate_schedule(ctx, &best_order);
-    debug_assert_eq!(check, best_nops);
+/// The phase-2 worker policy: serial kernel semantics (no shared
+/// incumbent) plus transcript capture and the shared λ/stop plumbing.
+struct ProvePolicy<'s> {
+    shared: &'s Shared,
+    events: Vec<ProofEvent>,
+}
 
-    SearchOutcome {
-        order: best_order,
-        assignment: ctx.sigma.clone(),
-        etas,
-        nops: best_nops,
-        initial_order,
-        initial_nops,
-        optimal: !stats.truncated,
-        stats,
+impl SearchPolicy for ProvePolicy<'_> {
+    const PROOF: bool = true;
+
+    #[inline]
+    fn log(&mut self, ev: ProofEvent) {
+        self.events.push(ev);
+    }
+
+    #[inline]
+    fn charge_omega(&mut self) -> bool {
+        self.shared.charge_omega()
+    }
+
+    #[inline]
+    fn poll_stop(&mut self) -> bool {
+        self.shared.stop.load(Ordering::Relaxed)
+    }
+
+    fn stopping(&mut self, stats: &SearchStats) {
+        self.shared.note_stop(stats);
     }
 }
 
@@ -209,161 +281,726 @@ fn merge(into: &mut SearchStats, from: &SearchStats) {
     into.pruned_equivalence += from.pruned_equivalence;
     into.pruned_bound += from.pruned_bound;
     into.pruned_symmetry += from.pruned_symmetry;
+    into.splits += from.splits;
+    into.steals += from.steals;
     into.truncated |= from.truncated;
     into.deadline_hit |= from.deadline_hit;
+    into.proved_by_bound |= from.proved_by_bound;
 }
 
-struct Worker<'c, 'a, 's> {
-    ctx: &'c SchedContext<'a>,
-    shared: &'s Shared,
-    engine: TimingEngine<'c, 'a>,
-    pending: Vec<u32>,
-    placed: Vec<bool>,
-    order: Vec<TupleId>,
-    /// Unscheduled instructions per pipeline (for the resource bound).
-    remaining: Vec<u32>,
-    lb: crate::bounds::LowerBound,
+/// Steal one task from any peer (FIFO from the top of their deque).
+fn steal_task(stealers: &[Stealer<Task>], me: usize, stats: &mut SearchStats) -> Option<Task> {
+    for (i, s) in stealers.iter().enumerate() {
+        if i == me {
+            continue;
+        }
+        loop {
+            match s.steal() {
+                Steal::Success(t) => {
+                    stats.steals += 1;
+                    return Some(t);
+                }
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+    }
+    None
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    ctx: &SchedContext<'_>,
+    cfg: &SearchConfig,
+    boundary: &BoundaryState,
+    shared: &Shared,
+    split_depth: usize,
+    own: &Deque<Task>,
+    stealers: &[Stealer<Task>],
+    me: usize,
+) -> SearchStats {
+    let mut stats = SearchStats::default();
+    let mut policy = PoolPolicy {
+        shared,
+        split_depth,
+        spawned: Vec::new(),
+    };
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let task = match own.pop() {
+            Some(t) => Some(t),
+            None => steal_task(stealers, me, &mut stats),
+        };
+        let Some(task) = task else {
+            if shared.pending.load(Ordering::Acquire) == 0 {
+                break;
+            }
+            std::thread::yield_now();
+            continue;
+        };
+        // Deferred step [6]: the bound recorded at split time against the
+        // incumbent of *this* moment (it can only have tightened since).
+        let best = shared.best_nops.load(Ordering::Relaxed);
+        if task.bound < best {
+            let st = run_subtree(
+                ctx,
+                cfg,
+                boundary,
+                task.order,
+                task.depth,
+                best,
+                shared.global_lb,
+                &mut policy,
+            );
+            merge(&mut stats, &st);
+            // Publish before completing the task so `pending` never dips
+            // to 0 while spawned work exists; reversed so LIFO pops keep
+            // the serial DFS order.
+            shared
+                .pending
+                .fetch_add(policy.spawned.len() as u64, Ordering::AcqRel);
+            for t in policy.spawned.drain(..).rev() {
+                own.push(t);
+            }
+        } else {
+            stats.pruned_bound += 1;
+        }
+        shared.pending.fetch_sub(1, Ordering::AcqRel);
+    }
+    stats
+}
+
+/// Result of the phase-1 pool run.
+struct PoolOutcome {
+    best_order: Vec<TupleId>,
+    best_nops: u32,
     stats: SearchStats,
+    proved: bool,
+    omega_used: u64,
 }
 
-impl<'c, 'a, 's> Worker<'c, 'a, 's> {
-    fn new(ctx: &'c SchedContext<'a>, shared: &'s Shared) -> Self {
-        let n = ctx.len();
-        let mut remaining = vec![0u32; ctx.machine.pipeline_count()];
-        for i in 0..n {
-            if let Some(p) = ctx.sigma[i] {
-                remaining[p.index()] += 1;
-            }
+/// Run the work-stealing pool over the whole tree (the root as one task).
+fn pool_phase(
+    ctx: &SchedContext<'_>,
+    cfg: &SearchConfig,
+    par: &ParallelConfig,
+    boundary: &BoundaryState,
+    seed: &SearchSeed,
+) -> PoolOutcome {
+    let threads = par.resolved_threads().max(1);
+    let shared = Shared::new(cfg, seed);
+    // The pool owns the λ budget; workers run the kernel with an infinite
+    // local λ and charge the shared counter through the policy.
+    let worker_cfg = SearchConfig {
+        lambda: u64::MAX,
+        ..*cfg
+    };
+
+    let deques: Vec<Deque<Task>> = (0..threads).map(|_| Deque::new_lifo()).collect();
+    let stealers: Vec<Stealer<Task>> = deques.iter().map(|d| d.stealer()).collect();
+    shared.pending.store(1, Ordering::Release);
+    deques[0].push(Task {
+        order: seed.order.clone(),
+        depth: 0,
+        bound: 0,
+    });
+
+    let stats_acc = Mutex::new(SearchStats::default());
+    crossbeam::scope(|scope| {
+        for (i, dq) in deques.iter().enumerate() {
+            let stealers = &stealers;
+            let shared = &shared;
+            let stats_acc = &stats_acc;
+            let worker_cfg = &worker_cfg;
+            scope.spawn(move |_| {
+                let st = worker_loop(
+                    ctx,
+                    worker_cfg,
+                    boundary,
+                    shared,
+                    par.split_depth,
+                    dq,
+                    stealers,
+                    i,
+                );
+                merge(&mut stats_acc.lock(), &st);
+            });
         }
-        Worker {
+    })
+    .expect("parallel search worker panicked");
+
+    let mut stats = *stats_acc.lock();
+    let proved = shared.proved.load(Ordering::Relaxed);
+    stats.proved_by_bound = proved;
+    stats.deadline_hit = !proved && shared.deadline_hit.load(Ordering::Relaxed);
+    stats.truncated = !proved && shared.truncated.load(Ordering::Relaxed);
+    let omega_used = shared.omega_used.load(Ordering::Relaxed);
+    let (best_order, best_nops) = shared.best.into_inner();
+    PoolOutcome {
+        best_order,
+        best_nops,
+        stats,
+        proved,
+        omega_used,
+    }
+}
+
+/// Build an outcome that simply returns the seed schedule.
+fn seed_outcome(
+    ctx: &SchedContext<'_>,
+    seed: SearchSeed,
+    optimal: bool,
+    stats: SearchStats,
+) -> SearchOutcome {
+    SearchOutcome {
+        order: seed.order.clone(),
+        assignment: ctx.sigma.clone(),
+        etas: seed.etas,
+        nops: seed.nops,
+        initial_order: seed.order,
+        initial_nops: seed.nops,
+        optimal,
+        stats,
+    }
+}
+
+/// Run the branch-and-bound search with a work-stealing worker pool.
+///
+/// Honors the full [`SearchConfig`] — bound kind, equivalence rule, quick
+/// check, λ budget (shared pool-wide) and deadline — and returns the same
+/// optimal NOP count as the serial [`crate::bnb::search`]. The *schedule*
+/// returned may be a different optimum when several exist, because
+/// workers race to improve the incumbent. `cfg.pipeline_selection`
+/// delegates to the serial kernel (the task snapshots do not carry the
+/// per-unit symmetry state).
+pub fn parallel_search(
+    ctx: &SchedContext<'_>,
+    cfg: &SearchConfig,
+    par: &ParallelConfig,
+) -> SearchOutcome {
+    if cfg.pipeline_selection {
+        return crate::bnb::search(ctx, cfg);
+    }
+    let boundary = BoundaryState::cold(ctx.machine.pipeline_count());
+    let seed = seed_incumbent(ctx, cfg.initial, &boundary, false);
+    let n = ctx.len();
+    if n <= 1 {
+        return seed_outcome(ctx, seed, true, SearchStats::default());
+    }
+    if cfg.terminate_on_lower_bound && seed.proved_by_bound() {
+        return seed_outcome(
             ctx,
-            shared,
-            engine: TimingEngine::new(ctx),
-            pending: (0..n).map(|i| ctx.preds[i].len() as u32).collect(),
-            placed: vec![false; n],
-            order: Vec::with_capacity(n),
-            remaining,
-            lb: crate::bounds::LowerBound::new(ctx),
+            seed,
+            true,
+            SearchStats {
+                proved_by_bound: true,
+                ..SearchStats::default()
+            },
+        );
+    }
+    if cfg.deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+        // Out of time before any exploration: the list schedule answers.
+        return seed_outcome(
+            ctx,
+            seed,
+            false,
+            SearchStats {
+                truncated: true,
+                deadline_hit: true,
+                ..SearchStats::default()
+            },
+        );
+    }
+
+    let pool = pool_phase(ctx, cfg, par, &boundary, &seed);
+    let (etas, check) = evaluate_schedule(ctx, &pool.best_order);
+    debug_assert_eq!(check, pool.best_nops);
+
+    SearchOutcome {
+        order: pool.best_order,
+        assignment: ctx.sigma.clone(),
+        etas,
+        nops: pool.best_nops,
+        initial_order: seed.order,
+        initial_nops: seed.nops,
+        optimal: !pool.stats.truncated,
+        stats: pool.stats,
+    }
+}
+
+/// The pieces of a parallel optimality proof, before merging.
+///
+/// `parts` holds the event transcript split at the root dispositions, in
+/// the order the merged certificate concatenates them: the best root
+/// subtree first (so its `Improve{μ*}` precedes every other event), then
+/// every other root candidate's disposition in serial enumeration order,
+/// then the closing root `Leave` (absent when the stream ends in
+/// `ProvedByBound`). Each entered subtree's part was produced by an
+/// independent serial kernel run — dropping or reordering parts breaks
+/// the checker's coverage replay, which is exactly what the tamper tests
+/// assert.
+#[derive(Debug, Clone)]
+pub struct ParallelProof {
+    /// Certificate header (identity + configuration of the run).
+    pub header: CertificateHeader,
+    /// Per-disposition event slices in merge order (see type docs).
+    pub parts: Vec<Vec<ProofEvent>>,
+    /// The final claim.
+    pub trailer: CertificateTrailer,
+}
+
+impl ParallelProof {
+    /// Concatenate the parts into the single certificate the independent
+    /// checker replays.
+    pub fn merge(&self) -> Certificate {
+        Certificate {
+            header: self.header.clone(),
+            events: self.parts.concat(),
+            trailer: self.trailer.clone(),
+        }
+    }
+}
+
+/// Root-level placement economics for one candidate: `(μ, bound, chain,
+/// resource)` exactly as the serial kernel's `place_and_recurse` would
+/// record them in a `BoundPrune`.
+fn root_bound(
+    ctx: &SchedContext<'_>,
+    boundary: &BoundaryState,
+    lower: Option<&LowerBound>,
+    base_remaining: &[u32],
+    xi: TupleId,
+) -> (u32, u32, Option<i64>, Option<i64>) {
+    let mut engine = TimingEngine::with_boundary(ctx, boundary);
+    engine.push(xi, ctx.sigma(xi));
+    let mu = engine.total_nops();
+    let Some(lb) = lower else {
+        return (mu, mu, None, None);
+    };
+    let mut remaining = base_remaining.to_vec();
+    if let Some(p) = ctx.sigma(xi) {
+        remaining[p.index()] -= 1;
+    }
+    let ready = (0..ctx.len()).filter_map(|i| {
+        let t = TupleId(i as u32);
+        if t == xi {
+            return None;
+        }
+        let pending = ctx.preds[i].len() - ctx.dag.preds(t).iter().filter(|e| e.from == xi).count();
+        (pending == 0).then_some(t)
+    });
+    let (chain, resource, bound) = lb.terms(ctx, &engine, ready, &remaining);
+    (mu, bound, Some(chain), Some(resource))
+}
+
+/// One root-candidate disposition of the phase-2 enumeration.
+enum RootDisp {
+    /// The candidate is pruned at the root; the event is final.
+    Prune(ProofEvent),
+    /// The candidate's subtree is entered and searched by a worker.
+    Enter {
+        candidate: TupleId,
+        /// Full permutation with the candidate at position 0.
+        order: Vec<TupleId>,
+        /// Incumbent the subtree kernel is seeded with (and the replay
+        /// incumbent the checker will hold when this part begins).
+        seed_nops: u32,
+        /// Lower-bound termination, passed only to the best subtree.
+        global_lb: Option<u32>,
+    },
+}
+
+/// [`parallel_search`] while producing a machine-checkable optimality
+/// certificate from per-subtree transcripts (see the module docs for the
+/// two-phase construction). The merged certificate is accepted by
+/// `pipesched_proof::check_certificate` unchanged whenever the run
+/// completes within λ/deadline.
+///
+/// # Panics
+///
+/// Panics if `cfg.pipeline_selection` is set (as for the serial
+/// [`crate::bnb::search_with_proof`]).
+pub fn parallel_prove(
+    ctx: &SchedContext<'_>,
+    cfg: &SearchConfig,
+    par: &ParallelConfig,
+) -> (SearchOutcome, ParallelProof) {
+    assert!(
+        !cfg.pipeline_selection,
+        "proof logging does not support the pipeline-selection extension"
+    );
+    let n = ctx.len();
+    let boundary = BoundaryState::cold(ctx.machine.pipeline_count());
+    if n == 0 {
+        let outcome = SearchOutcome {
+            order: Vec::new(),
+            assignment: Vec::new(),
+            etas: Vec::new(),
+            nops: 0,
+            initial_order: Vec::new(),
+            initial_nops: 0,
+            optimal: true,
             stats: SearchStats::default(),
-        }
+        };
+        let proof = ParallelProof {
+            header: CertificateHeader {
+                n: 0,
+                bound: cfg.bound,
+                equivalence: cfg.equivalence,
+                initial_order: Vec::new(),
+                initial_nops: 0,
+            },
+            parts: Vec::new(),
+            trailer: CertificateTrailer {
+                order: Vec::new(),
+                nops: 0,
+                complete: true,
+            },
+        };
+        return (outcome, proof);
     }
 
-    fn run_root(&mut self, root: TupleId) {
-        self.place(root);
-        self.dfs();
-        self.unplace(root);
+    let seed = seed_incumbent(ctx, cfg.initial, &boundary, false);
+    let header = CertificateHeader {
+        n: n as u32,
+        bound: cfg.bound,
+        equivalence: cfg.equivalence,
+        initial_order: seed.order.iter().map(|t| t.0).collect(),
+        initial_nops: seed.nops,
+    };
+
+    if cfg.terminate_on_lower_bound && seed.proved_by_bound() {
+        // Degenerate: the list schedule meets the whole-block lower bound.
+        let lb = seed.global_lb;
+        let trailer = CertificateTrailer {
+            order: header.initial_order.clone(),
+            nops: seed.nops,
+            complete: true,
+        };
+        let outcome = seed_outcome(
+            ctx,
+            seed,
+            true,
+            SearchStats {
+                proved_by_bound: true,
+                ..SearchStats::default()
+            },
+        );
+        let proof = ParallelProof {
+            header,
+            parts: vec![vec![ProofEvent::ProvedByBound { lb }]],
+            trailer,
+        };
+        return (outcome, proof);
     }
 
-    fn place(&mut self, t: TupleId) {
-        self.placed[t.index()] = true;
-        for e in self.ctx.dag.succs(t) {
-            self.pending[e.to.index()] -= 1;
-        }
-        if let Some(p) = self.ctx.sigma(t) {
-            self.remaining[p.index()] -= 1;
-        }
-        self.engine.push_default(t);
-        self.order.push(t);
+    if cfg.deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+        let trailer = CertificateTrailer {
+            order: header.initial_order.clone(),
+            nops: seed.nops,
+            complete: false,
+        };
+        let outcome = seed_outcome(
+            ctx,
+            seed,
+            false,
+            SearchStats {
+                truncated: true,
+                deadline_hit: true,
+                ..SearchStats::default()
+            },
+        );
+        let proof = ParallelProof {
+            header,
+            parts: Vec::new(),
+            trailer,
+        };
+        return (outcome, proof);
     }
 
-    fn unplace(&mut self, t: TupleId) {
-        self.order.pop();
-        self.engine.pop();
-        if let Some(p) = self.ctx.sigma(t) {
-            self.remaining[p.index()] += 1;
-        }
-        for e in self.ctx.dag.succs(t) {
-            self.pending[e.to.index()] += 1;
-        }
-        self.placed[t.index()] = false;
+    // ---- Phase 1: find μ* with the work-stealing pool. ----
+    let pool = pool_phase(ctx, cfg, par, &boundary, &seed);
+    let initial_order = seed.order.clone();
+    let initial_nops = seed.nops;
+
+    if pool.stats.truncated {
+        // No optimality claim to certify; the incomplete trailer makes the
+        // checker reject, exactly like a truncated serial proof run.
+        let trailer = CertificateTrailer {
+            order: pool.best_order.iter().map(|t| t.0).collect(),
+            nops: pool.best_nops,
+            complete: false,
+        };
+        let (etas, _) = evaluate_schedule(ctx, &pool.best_order);
+        let outcome = SearchOutcome {
+            order: pool.best_order.clone(),
+            assignment: ctx.sigma.clone(),
+            etas,
+            nops: pool.best_nops,
+            initial_order,
+            initial_nops,
+            optimal: false,
+            stats: pool.stats,
+        };
+        let proof = ParallelProof {
+            header,
+            parts: Vec::new(),
+            trailer,
+        };
+        return (outcome, proof);
     }
 
-    /// Critical-path lower bound on any completion of the current prefix
-    /// (same as the serial default search's bound).
-    fn bound(&self) -> u32 {
-        let n = self.ctx.len();
-        let ready = (0..n)
-            .filter(|&i| !self.placed[i] && self.pending[i] == 0)
-            .map(|i| TupleId(i as u32));
-        self.lb
-            .bound(self.ctx, &self.engine, ready, &self.remaining)
-    }
-
-    fn dfs(&mut self) {
-        let n = self.ctx.len();
-        if self.order.len() == n {
-            self.stats.complete_schedules += 1;
-            let mu = self.engine.total_nops();
-            // fetch_min keeps the atomic incumbent tight; the lock guards
-            // the (order, μ) pair against torn updates.
-            let prev = self.shared.best_nops.fetch_min(mu, Ordering::SeqCst);
-            if mu < prev {
-                self.stats.improvements += 1;
-                let mut best = self.shared.best.lock();
-                if mu < best.1 {
-                    best.0.clone_from(&self.order);
-                    best.1 = mu;
-                }
-                if mu <= self.shared.global_lb {
-                    // Provably optimal: stop every worker, not truncated.
-                    self.shared.proved.store(true, Ordering::Relaxed);
-                    self.shared.stop.store(true, Ordering::Relaxed);
-                }
-            }
-            return;
+    // ---- Phase 2: re-derive the transcript with perfect foresight. ----
+    let mu_star = pool.best_nops;
+    let best_order = pool.best_order.clone();
+    let kappa = initial_order[0];
+    let c_star = best_order[0];
+    let j_star = initial_order
+        .iter()
+        .position(|&t| t == c_star)
+        .expect("best root candidate is in the block");
+    let equiv_class =
+        (cfg.equivalence == EquivalenceMode::Structural).then(|| structural_classes(ctx));
+    let lower = (cfg.bound == BoundKind::CriticalPath).then(|| LowerBound::new(ctx));
+    let mut base_remaining = vec![0u32; ctx.machine.pipeline_count()];
+    for i in 0..n {
+        if let Some(p) = ctx.sigma[i] {
+            base_remaining[p.index()] += 1;
         }
-        let mut seen_classes: Vec<u32> = Vec::new();
-        for i in 0..n {
-            if self.shared.stop.load(Ordering::Relaxed) {
-                return;
-            }
-            if self.placed[i] || self.pending[i] > 0 {
-                self.stats.pruned_legality += 1;
-                continue;
-            }
-            let t = TupleId(i as u32);
-            // Restricted rule [5c] within the worker: one representative
-            // per interchangeable-free class.
-            if let Some(class) = self.ctx.free_class[i] {
-                if seen_classes.contains(&class) {
-                    self.stats.pruned_equivalence += 1;
+    }
+    let global_lb = cfg.terminate_on_lower_bound.then_some(seed.global_lb);
+
+    // Root dispositions in merge order: best subtree first, then the other
+    // candidates in the serial enumeration order.
+    let mut disps: Vec<RootDisp> = Vec::with_capacity(n);
+    disps.push(RootDisp::Enter {
+        candidate: c_star,
+        order: best_order.clone(),
+        seed_nops: initial_nops,
+        global_lb,
+    });
+    let mut tried_classes: Vec<(u32, TupleId)> = Vec::new();
+    if let Some(classes) = &equiv_class {
+        tried_classes.push((classes[c_star.index()], c_star));
+    }
+    for (j, &xi) in initial_order.iter().enumerate() {
+        if j == j_star {
+            continue;
+        }
+        // [5a]/[5b]: at the root both legality checks coincide (a
+        // candidate is placeable iff it has no predecessors).
+        if (cfg.quick_check && ctx.analysis.earliest(xi) > 0) || !ctx.preds[xi.index()].is_empty() {
+            disps.push(RootDisp::Prune(ProofEvent::LegalityPrune {
+                candidate: xi.0,
+            }));
+            continue;
+        }
+        // [5c]: mirror the serial kernel's equivalence filtering. The
+        // hoisted best candidate is a valid witness for its own class —
+        // its part precedes every prune in the merged stream.
+        match cfg.equivalence {
+            EquivalenceMode::Off => {}
+            EquivalenceMode::Paper => {
+                if j != 0 && ctx.interchangeable_free(kappa, xi) {
+                    disps.push(RootDisp::Prune(ProofEvent::EquivalencePrune {
+                        candidate: xi.0,
+                        witness: kappa.0,
+                    }));
                     continue;
                 }
-                seen_classes.push(class);
             }
-
-            self.stats.omega_calls += 1;
-            let used = self.shared.omega_used.fetch_add(1, Ordering::Relaxed) + 1;
-            if used >= self.shared.lambda {
-                self.stats.truncated = true;
-                self.shared.stop.store(true, Ordering::Relaxed);
-            }
-            if let Some(deadline) = self.shared.deadline {
-                if self
-                    .stats
-                    .omega_calls
-                    .is_multiple_of(crate::bnb::DEADLINE_CHECK_INTERVAL)
-                    && std::time::Instant::now() >= deadline
-                {
-                    self.stats.truncated = true;
-                    self.stats.deadline_hit = true;
-                    self.shared.deadline_hit.store(true, Ordering::Relaxed);
-                    self.shared.stop.store(true, Ordering::Relaxed);
+            EquivalenceMode::UnrestrictedPaper => {
+                if j != 0 && ctx.is_free_instruction(kappa) && ctx.is_free_instruction(xi) {
+                    disps.push(RootDisp::Prune(ProofEvent::EquivalencePrune {
+                        candidate: xi.0,
+                        witness: kappa.0,
+                    }));
+                    continue;
                 }
             }
-
-            self.place(t);
-            let bound = self.bound();
-            if bound < self.shared.best_nops.load(Ordering::Relaxed)
-                && !self.shared.stop.load(Ordering::Relaxed)
-            {
-                self.dfs();
-            } else {
-                self.stats.pruned_bound += 1;
+            EquivalenceMode::Structural => {
+                let classes = equiv_class.as_ref().expect("classes computed");
+                let class = classes[xi.index()];
+                if let Some(&(_, witness)) = tried_classes.iter().find(|(c, _)| *c == class) {
+                    disps.push(RootDisp::Prune(ProofEvent::EquivalencePrune {
+                        candidate: xi.0,
+                        witness: witness.0,
+                    }));
+                    continue;
+                }
+                tried_classes.push((class, xi));
             }
-            self.unplace(t);
+        }
+        // Step [6] against the replay incumbent, which is μ* from the
+        // second part on (the best subtree's Improve precedes these).
+        let (mu, bound, chain, resource) =
+            root_bound(ctx, &boundary, lower.as_ref(), &base_remaining, xi);
+        if bound < mu_star {
+            let mut order = initial_order.clone();
+            order.swap(0, j);
+            disps.push(RootDisp::Enter {
+                candidate: xi,
+                order,
+                seed_nops: mu_star,
+                global_lb: None,
+            });
+        } else {
+            disps.push(RootDisp::Prune(ProofEvent::BoundPrune {
+                candidate: xi.0,
+                mu,
+                bound,
+                chain,
+                resource,
+            }));
         }
     }
+
+    // Fresh shared state for phase 2 — same λ pool, counting on from
+    // phase 1's Ω spend; stop/proved flags reset so the subtree workers
+    // actually run.
+    let shared2 = Shared::new(cfg, &seed);
+    shared2.omega_used.store(pool.omega_used, Ordering::Relaxed);
+    let worker_cfg = SearchConfig {
+        lambda: u64::MAX,
+        ..*cfg
+    };
+
+    let mut phase2_stats = SearchStats::default();
+    let mut parts: Vec<Vec<ProofEvent>> = Vec::with_capacity(disps.len() + 1);
+
+    // The best subtree runs first (serially): if it proves optimality by
+    // bound, the certificate ends inside it and nothing else is emitted.
+    let proved_in_part0;
+    {
+        let RootDisp::Enter {
+            candidate,
+            order,
+            seed_nops,
+            global_lb,
+        } = &disps[0]
+        else {
+            unreachable!("part 0 is always the best subtree")
+        };
+        let mut policy = ProvePolicy {
+            shared: &shared2,
+            events: vec![ProofEvent::Enter {
+                candidate: candidate.0,
+            }],
+        };
+        let st = run_subtree(
+            ctx,
+            &worker_cfg,
+            &boundary,
+            order.clone(),
+            1,
+            *seed_nops,
+            *global_lb,
+            &mut policy,
+        );
+        merge(&mut phase2_stats, &st);
+        proved_in_part0 = st.proved_by_bound;
+        parts.push(policy.events);
+    }
+
+    if !proved_in_part0 && !shared2.stop.load(Ordering::Relaxed) {
+        // Every other disposition, in parallel across entered subtrees.
+        type SubtreeSlot = Mutex<Option<(Vec<ProofEvent>, SearchStats)>>;
+        let results: Vec<SubtreeSlot> = (0..disps.len()).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(1);
+        let threads = par.resolved_threads().max(1).min(disps.len().max(1));
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                let disps = &disps;
+                let results = &results;
+                let next = &next;
+                let shared2 = &shared2;
+                let worker_cfg = &worker_cfg;
+                let boundary = &boundary;
+                scope.spawn(move |_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= disps.len() {
+                        break;
+                    }
+                    let part = match &disps[i] {
+                        RootDisp::Prune(ev) => (vec![*ev], SearchStats::default()),
+                        RootDisp::Enter {
+                            candidate,
+                            order,
+                            seed_nops,
+                            global_lb,
+                        } => {
+                            let mut policy = ProvePolicy {
+                                shared: shared2,
+                                events: vec![ProofEvent::Enter {
+                                    candidate: candidate.0,
+                                }],
+                            };
+                            let st = run_subtree(
+                                ctx,
+                                worker_cfg,
+                                boundary,
+                                order.clone(),
+                                1,
+                                *seed_nops,
+                                *global_lb,
+                                &mut policy,
+                            );
+                            (policy.events, st)
+                        }
+                    };
+                    *results[i].lock() = Some(part);
+                });
+            }
+        })
+        .expect("parallel prove worker panicked");
+        for slot in results.into_iter().skip(1) {
+            let (events, st) = slot.into_inner().expect("every disposition was processed");
+            merge(&mut phase2_stats, &st);
+            parts.push(events);
+        }
+        parts.push(vec![ProofEvent::Leave]);
+    }
+
+    let phase2_truncated = !proved_in_part0 && shared2.truncated.load(Ordering::Relaxed);
+    let complete = !phase2_truncated;
+
+    let trailer = CertificateTrailer {
+        order: best_order.iter().map(|t| t.0).collect(),
+        nops: mu_star,
+        complete,
+    };
+    let (etas, check) = evaluate_schedule(ctx, &best_order);
+    debug_assert_eq!(check, mu_star);
+
+    let mut stats = pool.stats;
+    merge(&mut stats, &phase2_stats);
+    stats.proved_by_bound = pool.proved;
+    stats.truncated = phase2_truncated;
+    stats.deadline_hit = phase2_truncated && shared2.deadline_hit.load(Ordering::Relaxed);
+
+    let outcome = SearchOutcome {
+        order: best_order,
+        assignment: ctx.sigma.clone(),
+        etas,
+        nops: mu_star,
+        initial_order,
+        initial_nops,
+        // A truncated certification phase withdraws the optimality claim:
+        // μ* is known optimal internally, but the caller asked for a
+        // *checkable* run and the budget did not cover it.
+        optimal: complete,
+        stats,
+    };
+    (
+        outcome,
+        ParallelProof {
+            header,
+            parts,
+            trailer,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -390,22 +1027,73 @@ mod tests {
         let dag = DepDag::build(&block);
         let machine = presets::paper_simulation();
         let ctx = SchedContext::new(&block, &dag, &machine);
-        let serial = search(&ctx, &SearchConfig::with_lambda(u64::MAX));
-        let par = parallel_search(&ctx, u64::MAX / 2, 4);
+        let cfg = SearchConfig::with_lambda(u64::MAX);
+        let serial = search(&ctx, &cfg);
+        let par = parallel_search(&ctx, &cfg, &ParallelConfig::with_threads(4));
         assert!(serial.optimal && par.optimal);
         assert_eq!(par.nops, serial.nops);
         verify_schedule(&block, &dag, &par.order).unwrap();
     }
 
+    /// Satellite regression: ablation knobs flow through the parallel
+    /// search. A non-default configuration (the paper's α-β bound in
+    /// place of the critical-path bound) must change the serial and
+    /// one-thread-parallel node counts *identically* — before the kernel
+    /// unification, `parallel_search` silently ran the default
+    /// configuration.
     #[test]
-    fn single_thread_parallel_works() {
-        let block = sample_block(2);
+    fn ablations_flow_through_the_pool() {
+        let block = sample_block(3);
         let dag = DepDag::build(&block);
         let machine = presets::paper_simulation();
         let ctx = SchedContext::new(&block, &dag, &machine);
-        let serial = search(&ctx, &SearchConfig::with_lambda(u64::MAX));
-        let par = parallel_search(&ctx, u64::MAX / 2, 1);
-        assert_eq!(par.nops, serial.nops);
+        // One-thread parity needs the serial stop semantics untouched:
+        // no λ, no deadline, no early lower-bound termination (a serial
+        // mid-loop stop skips sibling Ω charges the pool pre-paid).
+        let base = SearchConfig {
+            lambda: u64::MAX,
+            terminate_on_lower_bound: false,
+            ..SearchConfig::default()
+        };
+        let off = SearchConfig {
+            bound: BoundKind::AlphaBeta,
+            ..base
+        };
+        let mut counts = Vec::new();
+        for cfg in [&base, &off] {
+            let serial = search(&ctx, cfg);
+            let par = parallel_search(
+                &ctx,
+                cfg,
+                &ParallelConfig {
+                    threads: 1,
+                    split_depth: 2,
+                },
+            );
+            assert_eq!(par.nops, serial.nops);
+            // Bit-exact counter parity at one thread.
+            assert_eq!(par.stats.nodes_visited, serial.stats.nodes_visited);
+            assert_eq!(par.stats.omega_calls, serial.stats.omega_calls);
+            assert_eq!(
+                par.stats.complete_schedules,
+                serial.stats.complete_schedules
+            );
+            assert_eq!(par.stats.improvements, serial.stats.improvements);
+            assert_eq!(par.stats.pruned_quick, serial.stats.pruned_quick);
+            assert_eq!(par.stats.pruned_legality, serial.stats.pruned_legality);
+            assert_eq!(
+                par.stats.pruned_equivalence,
+                serial.stats.pruned_equivalence
+            );
+            assert_eq!(par.stats.pruned_bound, serial.stats.pruned_bound);
+            counts.push(serial.stats.nodes_visited);
+        }
+        // And the ablation really changed the search: the weaker α-β
+        // bound prunes later, so the tree itself differs.
+        assert_ne!(
+            counts[0], counts[1],
+            "bound ablation should change the node count"
+        );
     }
 
     #[test]
@@ -416,7 +1104,11 @@ mod tests {
         let dag = DepDag::build(&block);
         let machine = presets::paper_simulation();
         let ctx = SchedContext::new(&block, &dag, &machine);
-        let par = parallel_search(&ctx, 100, 8);
+        let par = parallel_search(
+            &ctx,
+            &SearchConfig::with_lambda(100),
+            &ParallelConfig::with_threads(8),
+        );
         assert!(par.optimal);
         assert_eq!(par.order.len(), 1);
     }
@@ -427,10 +1119,110 @@ mod tests {
         let dag = DepDag::build(&block);
         let machine = presets::paper_simulation();
         let ctx = SchedContext::new(&block, &dag, &machine);
-        let par = parallel_search(&ctx, 5, 4);
+        let par = parallel_search(
+            &ctx,
+            &SearchConfig::with_lambda(5),
+            &ParallelConfig::with_threads(4),
+        );
         assert!(par.stats.truncated);
         assert!(!par.optimal);
         verify_schedule(&block, &dag, &par.order).unwrap();
         assert!(par.nops <= par.initial_nops);
+    }
+
+    /// Forced-steal stress: with every placement its own task, workers
+    /// other than the first can only obtain work by stealing.
+    #[test]
+    fn forced_steals_preserve_the_optimum() {
+        let block = sample_block(3);
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let ctx = SchedContext::new(&block, &dag, &machine);
+        let cfg = SearchConfig {
+            lambda: u64::MAX,
+            terminate_on_lower_bound: false,
+            ..SearchConfig::default()
+        };
+        let serial = search(&ctx, &cfg);
+        let par = ParallelConfig {
+            threads: 4,
+            split_depth: ctx.len(),
+        };
+        let mut saw_steal = false;
+        for _ in 0..20 {
+            let out = parallel_search(&ctx, &cfg, &par);
+            assert_eq!(out.nops, serial.nops);
+            assert!(out.optimal);
+            assert!(out.stats.splits > 0, "1-tuple splits must create tasks");
+            verify_schedule(&block, &dag, &out.order).unwrap();
+            if out.stats.steals > 0 {
+                saw_steal = true;
+                break;
+            }
+        }
+        assert!(
+            saw_steal,
+            "with single-placement tasks and 4 workers, at least one run must steal"
+        );
+    }
+
+    /// Deadline hit under contention: an already-expired deadline returns
+    /// the legal incumbent with `optimal = false`.
+    #[test]
+    fn deadline_under_contention_returns_legal_incumbent() {
+        let block = sample_block(4);
+        let dag = DepDag::build(&block);
+        let machine = presets::paper_simulation();
+        let ctx = SchedContext::new(&block, &dag, &machine);
+        let cfg = SearchConfig {
+            lambda: u64::MAX,
+            terminate_on_lower_bound: false,
+            deadline: Some(std::time::Instant::now()),
+            ..SearchConfig::default()
+        };
+        let out = parallel_search(&ctx, &cfg, &ParallelConfig::with_threads(4));
+        assert!(!out.optimal);
+        assert!(out.stats.deadline_hit);
+        verify_schedule(&block, &dag, &out.order).unwrap();
+        assert!(out.nops <= out.initial_nops);
+    }
+
+    #[test]
+    fn prove_parts_have_the_documented_shape() {
+        let block = sample_block(3);
+        let dag = DepDag::build(&block);
+        let machine = presets::functional_units();
+        let ctx = SchedContext::new(&block, &dag, &machine);
+        let cfg = SearchConfig {
+            lambda: u64::MAX,
+            terminate_on_lower_bound: false,
+            ..SearchConfig::default()
+        };
+        let (out, proof) = parallel_prove(&ctx, &cfg, &ParallelConfig::with_threads(2));
+        assert!(out.optimal);
+        let serial = search(&ctx, &cfg);
+        assert_eq!(out.nops, serial.nops);
+        // Part 0 is the best subtree: it starts with Enter{best root}.
+        assert!(matches!(
+            proof.parts[0].first(),
+            Some(ProofEvent::Enter { candidate }) if *candidate == out.order[0].0
+        ));
+        // If the pool improved on the seed, the best part contains the
+        // Improve{μ*} that justifies every later bound prune.
+        if out.nops < out.initial_nops {
+            assert!(proof.parts[0]
+                .iter()
+                .any(|e| matches!(e, ProofEvent::Improve { mu } if *mu == out.nops)));
+        }
+        // The last part closes the root node.
+        assert_eq!(proof.parts.last(), Some(&vec![ProofEvent::Leave]));
+        // The trailer claims exactly the returned schedule.
+        assert_eq!(proof.trailer.nops, out.nops);
+        assert!(proof.trailer.complete);
+        let merged = proof.merge();
+        assert_eq!(
+            merged.events.len(),
+            proof.parts.iter().map(Vec::len).sum::<usize>()
+        );
     }
 }

@@ -345,8 +345,11 @@ mod tests {
         assert_eq!(summary.errors, 0);
         assert_eq!(summary.certified, 10, "all responses certifier-clean");
         assert_eq!(summary.certify_failures, 0);
-        // Two shapes, ten requests: at least eight validated hits.
-        assert!(summary.cache_hits >= 8, "hits = {}", summary.cache_hits);
+        // Two shapes, ten requests, two workers: each shape misses once,
+        // plus at most one extra miss per shape when both workers are in
+        // flight on it before either insert lands — so at least six hits
+        // deterministically, usually eight.
+        assert!(summary.cache_hits >= 6, "hits = {}", summary.cache_hits);
         let doc = summary.to_json();
         assert_eq!(doc.get("requests").and_then(Json::as_i64), Some(10));
         assert!(summary.throughput() > 0.0);

@@ -25,8 +25,9 @@ use std::time::Instant;
 
 use pipesched_core::proof::{Certificate, ProofLogger};
 use pipesched_core::{
-    global_lower_bound, search, search_with_profile, search_with_proof, windowed_schedule_bounded,
-    Backend, SchedContext, SearchConfig, SearchProfile,
+    global_lower_bound, parallel_prove, parallel_search, search, search_with_profile,
+    search_with_proof, windowed_schedule_bounded, Backend, ParallelConfig, SchedContext,
+    SearchConfig, SearchProfile,
 };
 use pipesched_ir::{analysis::verify_schedule, BasicBlock, DepDag, TupleId};
 use pipesched_json::{json_object, Json};
@@ -166,6 +167,13 @@ pub struct EngineConfig {
     /// deadline (the loser is cancelled once the winner proves
     /// optimality).
     pub backend: Backend,
+    /// Worker threads for the branch-and-bound tier. `1` (the default)
+    /// runs the serial kernel; any other value escalates to the
+    /// work-stealing parallel search (`0` = one worker per CPU). The
+    /// parallel tier honours the full request configuration — deadline,
+    /// λ budget, proving — and, when proving, serves the digest of the
+    /// merged multi-worker certificate.
+    pub threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -177,6 +185,7 @@ impl Default for EngineConfig {
             prove: false,
             verify_opt: pipesched_analyze::verify_opt_forced(),
             backend: Backend::Bnb,
+            threads: 1,
         }
     }
 }
@@ -246,6 +255,7 @@ impl ServiceEngine {
                     ("prove", self.config.prove),
                     ("verify_opt", self.config.verify_opt),
                     ("backend", self.config.backend.name()),
+                    ("threads", self.config.threads as i64),
                 ]
             ),
         ]
@@ -494,6 +504,9 @@ impl ServiceEngine {
             deadline,
             ..SearchConfig::default()
         };
+        if self.config.threads != 1 {
+            return self.parallel_bnb_tier(ctx, &bnb_cfg, omega_spent);
+        }
         let (bnb, bnb_digest) = if self.config.prove {
             let _s = span("tier_bnb");
             let (out, proof) = search_with_proof(ctx, &bnb_cfg, ProofLogger::in_memory());
@@ -525,6 +538,35 @@ impl ServiceEngine {
         *omega_spent += bnb.stats.omega_calls;
         let mut answer = answer_from_search(&bnb, Tier::Bnb, *omega_spent);
         answer.proof_digest = bnb_digest;
+        answer
+    }
+
+    /// The work-stealing parallel variant of the final tier. Stats are
+    /// recorded without the single-search node identity (a pool's bound
+    /// prunes include deferred task drops), and the steal/split counters
+    /// feed the parallel gauges. When proving, the per-worker transcripts
+    /// are merged into one certificate and its digest attached.
+    fn parallel_bnb_tier(
+        &self,
+        ctx: &SchedContext<'_>,
+        bnb_cfg: &SearchConfig,
+        omega_spent: &mut u64,
+    ) -> Answer {
+        let par = ParallelConfig::with_threads(self.config.threads);
+        let _s = span("tier_bnb_parallel");
+        let (out, digest) = if self.config.prove {
+            let (out, proof) = parallel_prove(ctx, bnb_cfg, &par);
+            let digest = out.optimal.then(|| proof.merge().digest());
+            (out, digest)
+        } else {
+            (parallel_search(ctx, bnb_cfg, &par), None)
+        };
+        self.metrics.search.record(&out.stats, false);
+        self.metrics
+            .record_parallel(out.stats.steals, out.stats.splits);
+        *omega_spent += out.stats.omega_calls;
+        let mut answer = answer_from_search(&out, Tier::Bnb, *omega_spent);
+        answer.proof_digest = digest;
         answer
     }
 

@@ -223,6 +223,10 @@ pub struct Metrics {
     pub opt_verified: AtomicU64,
     /// Request blocks the translation validator rejected (`A05xx`).
     pub opt_rejected: AtomicU64,
+    /// Subtree tasks stolen by idle workers of the parallel B&B tier.
+    pub parallel_steals: AtomicU64,
+    /// Subtree tasks split off by workers of the parallel B&B tier.
+    pub parallel_splits: AtomicU64,
     /// Per-request wall-clock latency.
     pub latency: LatencyHistogram,
     /// Fleet-wide search effort across every tier's searches.
@@ -263,6 +267,12 @@ impl Metrics {
             Backend::Sat => 1,
             Backend::Bnb | Backend::Race => 0,
         }
+    }
+
+    /// Record the work-distribution counters of one parallel B&B run.
+    pub fn record_parallel(&self, steals: u64, splits: u64) {
+        self.parallel_steals.fetch_add(steals, Ordering::Relaxed);
+        self.parallel_splits.fetch_add(splits, Ordering::Relaxed);
     }
 
     /// Record the CDCL effort of one SAT-backend run (or the SAT side of
@@ -372,6 +382,19 @@ impl Metrics {
                 ]
             ),
             (
+                "parallel",
+                pipesched_json::json_object![
+                    (
+                        "steals",
+                        self.parallel_steals.load(Ordering::Relaxed) as i64
+                    ),
+                    (
+                        "splits",
+                        self.parallel_splits.load(Ordering::Relaxed) as i64
+                    ),
+                ]
+            ),
+            (
                 "latency_micros",
                 pipesched_json::json_object![
                     ("count", self.latency.count() as i64),
@@ -474,6 +497,16 @@ impl Metrics {
             "pipesched_sat_propagations_total",
             "CDCL unit propagations across every SAT-backend query.",
             load(&self.sat_propagations),
+        );
+        w.counter(
+            "pipesched_parallel_steals_total",
+            "Subtree tasks stolen by idle workers of the parallel search.",
+            load(&self.parallel_steals),
+        );
+        w.counter(
+            "pipesched_parallel_splits_total",
+            "Subtree tasks split off by workers of the parallel search.",
+            load(&self.parallel_splits),
         );
         w.counter(
             "pipesched_search_nodes_total",
@@ -683,6 +716,7 @@ mod tests {
         m.record_request();
         m.record_answer(Tier::Bnb, Backend::Sat, false, false, 250, 31);
         m.record_sat_effort(5, 2, 40);
+        m.record_parallel(3, 17);
         m.search.record(
             &SearchStats {
                 nodes_visited: 32,
@@ -703,6 +737,8 @@ mod tests {
         assert!(text.contains("pipesched_backend_answers_total{backend=\"bnb\"} 0"));
         assert!(text.contains("pipesched_sat_conflicts_total 5"));
         assert!(text.contains("pipesched_sat_propagations_total 40"));
+        assert!(text.contains("pipesched_parallel_steals_total 3"));
+        assert!(text.contains("pipesched_parallel_splits_total 17"));
         assert!(text.contains("pipesched_search_pruned_total{rule=\"bound\"} 9"));
         assert!(text.contains("pipesched_search_identity_ok 1"));
         assert!(text.contains("pipesched_request_latency_micros_count 1"));

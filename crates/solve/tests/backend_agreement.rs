@@ -5,7 +5,7 @@
 
 use proptest::prelude::*;
 
-use pipesched_core::{parallel_search, search, SchedContext, SearchConfig};
+use pipesched_core::{parallel_search, search, ParallelConfig, SchedContext, SearchConfig};
 use pipesched_machine::{presets, Machine};
 use pipesched_solve::audit::{audit_outcome, cross_check};
 use pipesched_solve::{race, solve_schedule, QueryResult, RaceConfig, SolveConfig};
@@ -33,7 +33,11 @@ proptest! {
         let ctx = SchedContext::new(&block, &dag, machine);
 
         let bnb = search(&ctx, &SearchConfig::default());
-        let par = parallel_search(&ctx, u64::MAX, 2);
+        let par = parallel_search(
+            &ctx,
+            &SearchConfig::with_lambda(u64::MAX),
+            &ParallelConfig::with_threads(2),
+        );
         let sat = solve_schedule(&ctx, &SolveConfig::default());
 
         prop_assert!(bnb.optimal && par.optimal && sat.optimal);

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! pipesched <input> [--machine NAME|FILE.json] [--emit WHAT] [--lambda N]
-//!                   [--window N] [--parallel] [--no-optimize] [--regs N]
+//!                   [--window N] [--parallel] [--threads N] [--no-optimize]
+//!                   [--regs N]
 //! pipesched lint [INPUT ...] [--machine NAME|FILE] [--json] [--no-optimize]
 //!                [--frontend] [--strict]
 //! pipesched certify <input> [--machine NAME|FILE] [--lambda N] [--window N]
@@ -17,7 +18,9 @@
 //! --emit       asm | padded | trace | gantt | tuples | dot | stats  (default asm)
 //! --lambda     curtail point (default 50000)
 //! --window     windowed scheduling with the given window length
-//! --parallel   use the parallel branch-and-bound
+//! --parallel   use the work-stealing parallel branch-and-bound
+//! --threads    worker threads for the parallel search (implies --parallel;
+//!              0 or omitted means one per CPU)
 //! --backend    bnb (default) | sat | race — the exact engine: the paper's
 //!              branch-and-bound, the CDCL SAT portfolio, or both raced and
 //!              cross-certified (any disagreement is a hard error)
@@ -49,6 +52,7 @@ struct Options {
     lambda: u64,
     window: Option<usize>,
     parallel: bool,
+    threads: usize,
     optimize: bool,
     regs: Option<usize>,
     json: bool,
@@ -59,20 +63,22 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: pipesched [schedule] <input> [--machine NAME|FILE.json] [--emit asm|padded|trace|gantt|tuples|dot|stats]\n\
-         \x20                [--lambda N] [--window N] [--parallel] [--backend bnb|sat|race]\n\
+         \x20                [--lambda N] [--window N] [--parallel] [--threads N]\n\
+         \x20                [--backend bnb|sat|race]\n\
          \x20                [--no-optimize] [--regs N] [--json] [--proof FILE.ndjson]\n\
          \x20      pipesched lint [INPUT|DIR ...] [--machine NAME|FILE] [--json] [--no-optimize]\n\
          \x20                [--frontend] [--strict]\n\
          \x20      pipesched certify <input> [--machine NAME|FILE] [--lambda N] [--window N]\n\
-         \x20                [--parallel] [--json] [--no-optimize] [--proof FILE.ndjson]\n\
+         \x20                [--parallel] [--threads N] [--json] [--no-optimize]\n\
+         \x20                [--proof FILE.ndjson]\n\
          \x20      pipesched prove [INPUT ...] [--machine NAME|FILE] [--lambda N] [--json]\n\
          \x20                [--no-optimize] [--proof FILE.ndjson]\n\
          \x20      pipesched serve [--workers N] [--nodes N] [--cache N] [--shards N]\n\
-         \x20                [--tcp ADDR[:PORT]] [--conns N] [--cache-file FILE] [--metrics]\n\
-         \x20                [--trace] [--verify-opt] [--backend bnb|sat|race]\n\
+         \x20                [--threads N] [--tcp ADDR[:PORT]] [--conns N] [--cache-file FILE]\n\
+         \x20                [--metrics] [--trace] [--verify-opt] [--backend bnb|sat|race]\n\
          \x20      pipesched batch <requests.ndjson> [--workers N] [--nodes N] [--cache N]\n\
-         \x20                [--check] [--prove] [--require-hits] [--json] [--quiet]\n\
-         \x20                [--tcp ADDR[:PORT]] [--verify-opt] [--backend bnb|sat|race]\n\
+         \x20                [--threads N] [--check] [--prove] [--require-hits] [--json]\n\
+         \x20                [--quiet] [--tcp ADDR[:PORT]] [--verify-opt] [--backend bnb|sat|race]\n\
          \x20      pipesched stats [<requests.ndjson> | --tcp ADDR[:PORT]] [--json | --prom]\n\
          \x20                [--workers N] [--nodes N]\n\
          \x20      pipesched trace <input> [--machine NAME|FILE] [--lambda N] [--no-optimize]\n\
@@ -90,6 +96,7 @@ fn parse_options() -> Result<Options, String> {
         lambda: 50_000,
         window: None,
         parallel: false,
+        threads: 0,
         optimize: true,
         regs: None,
         json: false,
@@ -121,6 +128,10 @@ fn parse_options() -> Result<Options, String> {
             "--json" => opts.json = true,
             "--proof" => opts.proof = Some(value()?),
             "--parallel" => opts.parallel = true,
+            "--threads" => {
+                opts.threads = value()?.parse().map_err(|e| format!("--threads: {e}"))?;
+                opts.parallel = true;
+            }
             "--backend" => {
                 let name = value()?;
                 opts.backend = Backend::from_name(&name)
@@ -235,6 +246,7 @@ struct AnalyzeOptions {
     lambda: u64,
     window: Option<usize>,
     parallel: bool,
+    threads: usize,
     proof: Option<String>,
     /// `lint --frontend`: validate the optimizer transcript and lint the
     /// optimized block too.
@@ -252,6 +264,7 @@ fn parse_analyze_options() -> Result<AnalyzeOptions, String> {
         lambda: 50_000,
         window: None,
         parallel: false,
+        threads: 0,
         proof: None,
         frontend: false,
         strict: false,
@@ -272,6 +285,10 @@ fn parse_analyze_options() -> Result<AnalyzeOptions, String> {
             "--json" => opts.json = true,
             "--proof" => opts.proof = Some(value()?),
             "--parallel" => opts.parallel = true,
+            "--threads" => {
+                opts.threads = value()?.parse().map_err(|e| format!("--threads: {e}"))?;
+                opts.parallel = true;
+            }
             "--no-optimize" => opts.optimize = false,
             "--frontend" => opts.frontend = true,
             "--strict" => opts.strict = true,
@@ -484,7 +501,11 @@ fn run_certify() -> Result<ExitCode, String> {
                 },
             )
         } else if opts.parallel {
-            let out = pipesched::core::parallel::parallel_search(&ctx, opts.lambda, 0);
+            let out = pipesched::core::parallel::parallel_search(
+                &ctx,
+                &SearchConfig::with_lambda(opts.lambda),
+                &pipesched::core::ParallelConfig::with_threads(opts.threads),
+            );
             analyze::certify::certify(
                 block,
                 &machine,
@@ -821,7 +842,11 @@ fn run() -> Result<(), String> {
         (w.order, w.etas, w.nops, w.initial_nops, !truncated, w.stats)
     } else if opts.parallel {
         let ctx = SchedContext::new(&block, &dag, &machine);
-        let out = pipesched::core::parallel::parallel_search(&ctx, opts.lambda, 0);
+        let out = pipesched::core::parallel::parallel_search(
+            &ctx,
+            &SearchConfig::with_lambda(opts.lambda),
+            &pipesched::core::ParallelConfig::with_threads(opts.threads),
+        );
         (
             out.order,
             out.etas,
@@ -1037,6 +1062,7 @@ fn run_serve() -> Result<ExitCode, String> {
     let mut trace = false;
     let mut verify_opt = false;
     let mut backend = Backend::Bnb;
+    let mut threads = 1usize;
 
     let mut args = std::env::args().skip(2);
     while let Some(a) = args.next() {
@@ -1044,6 +1070,7 @@ fn run_serve() -> Result<ExitCode, String> {
         match a.as_str() {
             "--workers" => workers = value()?.parse().map_err(|e| format!("--workers: {e}"))?,
             "--nodes" => nodes = value()?.parse().map_err(|e| format!("--nodes: {e}"))?,
+            "--threads" => threads = value()?.parse().map_err(|e| format!("--threads: {e}"))?,
             "--cache" => cache_capacity = value()?.parse().map_err(|e| format!("--cache: {e}"))?,
             "--shards" => shards = value()?.parse().map_err(|e| format!("--shards: {e}"))?,
             "--tcp" => tcp = Some(value()?),
@@ -1070,6 +1097,7 @@ fn run_serve() -> Result<ExitCode, String> {
     let mut engine_config = pipesched::service::EngineConfig {
         default_nodes: nodes,
         backend,
+        threads,
         ..Default::default()
     };
     engine_config.verify_opt |= verify_opt;
@@ -1126,6 +1154,7 @@ fn run_batch_cmd() -> Result<ExitCode, String> {
     let mut tcp: Option<String> = None;
     let mut verify_opt = false;
     let mut backend = Backend::Bnb;
+    let mut threads = 1usize;
 
     let mut args = std::env::args().skip(2);
     while let Some(a) = args.next() {
@@ -1133,6 +1162,7 @@ fn run_batch_cmd() -> Result<ExitCode, String> {
         match a.as_str() {
             "--workers" => workers = value()?.parse().map_err(|e| format!("--workers: {e}"))?,
             "--nodes" => nodes = value()?.parse().map_err(|e| format!("--nodes: {e}"))?,
+            "--threads" => threads = value()?.parse().map_err(|e| format!("--threads: {e}"))?,
             "--cache" => cache_capacity = value()?.parse().map_err(|e| format!("--cache: {e}"))?,
             "--check" => check = true,
             "--prove" => prove = true,
@@ -1178,6 +1208,7 @@ fn run_batch_cmd() -> Result<ExitCode, String> {
             default_nodes: nodes,
             prove,
             backend,
+            threads,
             ..Default::default()
         };
         engine_config.verify_opt |= verify_opt;
