@@ -67,7 +67,10 @@ macro_rules! diag_codes {
         /// `pipesched-proof` checker), `A05xx` dataflow lints and
         /// translation-validation rejections of the front-end optimizer,
         /// `A06xx` SAT-backend audit failures (emitted by the
-        /// `pipesched-solve` outcome audit and backend cross-check).
+        /// `pipesched-solve` outcome audit and backend cross-check),
+        /// `A07xx` concurrency findings (model-checker violations from
+        /// `pipesched-check` and the static lock-order scan behind
+        /// `pipesched lint --concurrency`).
         /// The textual form (e.g. `"A0302"`) is
         /// a stable contract: tests and downstream tooling match on it, so
         /// codes are never renumbered or reused.
@@ -244,6 +247,28 @@ diag_codes! {
     /// Two exact backends disagree on the optimal NOP count — one of them
     /// is wrong, and the portfolio treats this as a hard failure.
     BackendDisagreement = ("A0605", Error, "SAT and branch-and-bound disagree on the optimal NOP count"),
+
+    /// Two threads access the same location without a happens-before
+    /// edge and at least one access writes (vector-clock detection by
+    /// the `pipesched-check` model scheduler).
+    DataRace = ("A0701", Error, "conflicting accesses without a happens-before edge"),
+    /// The accumulated lock-acquisition graph has a cycle — two locks
+    /// are taken in opposite orders somewhere.
+    LockOrderCycle = ("A0702", Error, "locks are acquired in inconsistent orders"),
+    /// An explored schedule reached a state where every live thread was
+    /// blocked (mutual wait or lost wakeup).
+    DeadlockDetected = ("A0703", Error, "an interleaving deadlocks: all live threads blocked"),
+    /// An `Acquire` load observed a value whose store published nothing
+    /// (`Relaxed`), so the acquire synchronizes with nothing.
+    AcquireMisuse = ("A0704", Warning, "acquire load pairs with a non-release store"),
+    /// A harness invariant (assertion) failed on some explored schedule,
+    /// or exploration exceeded its step budget.
+    ConcurrencyInvariantViolated = ("A0705", Error, "a protocol invariant fails on some interleaving"),
+    /// A thread finished while still holding a lock guard.
+    LockLeaked = ("A0706", Error, "thread exited while holding a lock"),
+    /// One observed lock-order edge (static scan); advisory context for
+    /// `A0702` cycle reports.
+    LockOrderEdge = ("A0707", Info, "observed lock acquisition order (held -> acquired)"),
 }
 
 impl fmt::Display for DiagCode {

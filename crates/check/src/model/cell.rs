@@ -1,0 +1,69 @@
+//! [`RaceCell`]: a deliberately *unsynchronized* shared location. This
+//! is how a model program says "plain non-atomic data lives here" — the
+//! checker applies the FastTrack-style vector-clock discipline to every
+//! access and reports `A0701` when two conflicting accesses are
+//! concurrent (neither happens-before the other).
+
+use std::cell::UnsafeCell;
+
+use super::{op, register_object, IntentKind, ObjId, ObjectKind};
+
+/// A shared, unsynchronized, `Copy` location under race detection.
+#[derive(Debug)]
+pub struct RaceCell<T> {
+    id: ObjId,
+    name: String,
+    value: UnsafeCell<T>,
+}
+
+// Safety: the model coordinator serializes all accesses (each is an
+// `op`); the race *detector*, not UB, is what flags concurrent use.
+unsafe impl<T: Send> Send for RaceCell<T> {}
+unsafe impl<T: Send> Sync for RaceCell<T> {}
+
+impl<T: Copy> RaceCell<T> {
+    pub fn new(value: T) -> Self {
+        let id = register_object(ObjectKind::Cell);
+        RaceCell {
+            id,
+            name: format!("cell#{id}"),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// A cell with a stable name for race reports.
+    pub fn named(name: &str, value: T) -> Self {
+        let id = register_object(ObjectKind::Cell);
+        RaceCell {
+            id,
+            name: name.to_string(),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// Read the value (a scheduling point + read race check).
+    pub fn get(&self) -> T {
+        op(
+            IntentKind::Step,
+            format!("read {}", self.name),
+            |ctx, tid| {
+                ctx.cell_read(self.id, tid, &self.name);
+                // Safety: serialized by the coordinator grant.
+                unsafe { *self.value.get() }
+            },
+        )
+    }
+
+    /// Write the value (a scheduling point + write race check).
+    pub fn set(&self, v: T) {
+        op(
+            IntentKind::Step,
+            format!("write {}", self.name),
+            |ctx, tid| {
+                ctx.cell_write(self.id, tid, &self.name);
+                // Safety: serialized by the coordinator grant.
+                unsafe { *self.value.get() = v }
+            },
+        )
+    }
+}

@@ -1,0 +1,1010 @@
+//! The deterministic concurrency model checker.
+//!
+//! [`explore`] runs a closure — the *model program* — many times, once per
+//! schedulable interleaving of its synchronization operations. Model
+//! threads are real OS threads, but they only ever run one at a time: at
+//! every operation on a [`sync`] primitive the thread parks and hands
+//! control to the coordinator, which picks the next thread to step. The
+//! sequence of picks is the *schedule*; depth-first enumeration over all
+//! choice points explores every interleaving of the bounded program
+//! exhaustively (up to [`Builder::max_interleavings`]), after which a
+//! seeded xorshift sampler (no wall clock, no OS randomness — replays are
+//! deterministic) can keep probing.
+//!
+//! While a schedule runs, the checker maintains a vector clock per model
+//! thread and per object (see [`crate::vclock`]):
+//!
+//! * a `Release` (or stronger) atomic store publishes the writer's clock
+//!   on the atomic; an `Acquire` (or stronger) load of it joins that
+//!   clock into the reader — the C11 *synchronizes-with* edge. `Relaxed`
+//!   stores discard the published clock (they break the release
+//!   sequence); `Relaxed` read-modify-writes preserve it (they continue
+//!   it);
+//! * locking a [`sync::Mutex`] joins the clock its last unlock published;
+//! * [`thread::spawn`] seeds the child with the parent's clock and
+//!   [`thread::JoinHandle::join`] joins the child's final clock back.
+//!
+//! Unsynchronized data lives in a [`cell::RaceCell`]; two conflicting
+//! accesses whose clocks are incomparable are a data race (`A0701`).
+//! An `Acquire` load that observes a store which published no clock is
+//! release/acquire misuse (`A0704`, advisory). A schedule on which no
+//! thread can step is a deadlock (`A0703`); lock acquisitions made while
+//! another lock is held accumulate a lock-order graph whose cycles are
+//! `A0702`; a model thread that panics (a protocol invariant asserted by
+//! the harness) is `A0705`; finishing while still holding a lock is
+//! `A0706`. The first error-class violation stops the exploration and is
+//! reported with the interleaving's full operation trace.
+
+pub mod cell;
+pub mod sync;
+pub mod thread;
+
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, Once};
+
+use crate::vclock::VClock;
+use crate::{Violation, ViolationCode};
+
+pub(crate) type Tid = usize;
+pub(crate) type ObjId = usize;
+
+/// Exploration limits and determinism knobs.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Cap on depth-first (exhaustively enumerated, all-distinct)
+    /// interleavings.
+    pub max_interleavings: usize,
+    /// Extra seeded-random schedules to sample when the DFS budget ran
+    /// out before the space was exhausted.
+    pub random_fallback: usize,
+    /// Seed for the xorshift sampler (no OS entropy: runs are
+    /// reproducible).
+    pub seed: u64,
+    /// Per-interleaving operation budget; exceeding it is a violation
+    /// (catches unbounded spin loops in a model program).
+    pub max_steps: usize,
+    /// Maximum live model threads per interleaving.
+    pub max_threads: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            max_interleavings: 20_000,
+            random_fallback: 0,
+            seed: 0x9E37_79B9_7F4A_7C15,
+            max_steps: 20_000,
+            max_threads: 8,
+        }
+    }
+}
+
+impl Builder {
+    /// A builder with an explicit DFS cap and the other defaults.
+    pub fn with_cap(max_interleavings: usize) -> Self {
+        Builder {
+            max_interleavings,
+            ..Builder::default()
+        }
+    }
+}
+
+/// What an exploration found.
+#[derive(Debug, Clone)]
+pub struct ModelReport {
+    /// Distinct interleavings fully executed by the DFS enumeration.
+    pub interleavings: usize,
+    /// Additional seeded-random schedules sampled after the DFS cap.
+    pub sampled: usize,
+    /// True when the DFS enumerated the *entire* bounded schedule space.
+    pub exhausted: bool,
+    /// Error-class violations (the first one found stops the search).
+    pub violations: Vec<Violation>,
+    /// Advisory findings (release/acquire misuse), deduplicated.
+    pub advisories: Vec<Violation>,
+    /// Lock-order edges observed across all interleavings, as
+    /// `(held, acquired)` name pairs.
+    pub lock_edges: Vec<(String, String)>,
+}
+
+impl ModelReport {
+    /// True when no error-class violation was found.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The code of the first error-class violation, if any.
+    pub fn first_code(&self) -> Option<ViolationCode> {
+        self.violations.first().map(|v| v.code)
+    }
+
+    /// True when a violation or advisory with `code` was recorded.
+    pub fn has_code(&self, code: ViolationCode) -> bool {
+        self.violations
+            .iter()
+            .chain(self.advisories.iter())
+            .any(|v| v.code == code)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-execution state
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+enum Intent {
+    /// Always-enabled operation (atomic access, unlock, notify, spawn...).
+    Step,
+    /// Wants the mutex; enabled when unowned.
+    Lock(ObjId),
+    /// Wants a finished thread; enabled when the target is done.
+    Join(Tid),
+    /// Parked on a condvar, remembering the mutex to reacquire; never
+    /// enabled (a notify converts it to `Lock(mutex)`).
+    WaitNotify(ObjId, ObjId),
+}
+
+#[derive(Debug)]
+enum Status {
+    /// Executing user code; will arrive at a point or finish.
+    Running,
+    /// Parked at a scheduling point, waiting to be granted.
+    AtPoint(Intent),
+    /// Chosen by the coordinator; will apply its effect and resume.
+    Granted,
+    Finished,
+}
+
+struct ThreadSlot {
+    status: Status,
+    clock: VClock,
+    /// Locks currently held, as `(object, name)` — for lock-order edges
+    /// and the leak check at exit.
+    held: Vec<(ObjId, String)>,
+    /// Human description of the pending operation (trace rendering).
+    desc: String,
+}
+
+enum ObjState {
+    Atomic {
+        value: u64,
+        /// Clock published by the release sequence currently in effect.
+        sync_clock: Option<VClock>,
+        /// Thread of the most recent store, for misuse advisories.
+        last_writer: Option<Tid>,
+    },
+    Mutex {
+        owner: Option<Tid>,
+        /// Clock published by the last unlock.
+        clock: VClock,
+        name: String,
+    },
+    Cond,
+    Cell {
+        write_clock: VClock,
+        writer: Option<Tid>,
+        reads: VClock,
+    },
+}
+
+enum Mode {
+    Dfs,
+    Random,
+}
+
+struct ExecState {
+    threads: Vec<ThreadSlot>,
+    objects: Vec<ObjState>,
+    /// Choice prefix to replay (DFS input).
+    schedule: Vec<usize>,
+    /// `(runnable_count, chosen_index)` at every decision point.
+    trace: Vec<(usize, usize)>,
+    active: Option<Tid>,
+    failure: Option<Violation>,
+    advisories: Vec<Violation>,
+    lock_edges: BTreeSet<(String, String)>,
+    cancelling: bool,
+    mode: Mode,
+    rng: u64,
+    steps: usize,
+    max_steps: usize,
+    max_threads: usize,
+    op_log: Vec<String>,
+    real_handles: Vec<std::thread::JoinHandle<()>>,
+    spawned_real: usize,
+    joined_real: usize,
+}
+
+impl ExecState {
+    fn fail(&mut self, code: ViolationCode, message: String) {
+        if self.failure.is_none() {
+            self.failure = Some(Violation {
+                code,
+                message,
+                trace: self.op_log.clone(),
+            });
+        }
+    }
+
+    fn advise(&mut self, message: String) {
+        // Deduplicate by message: the same misuse site fires on many
+        // interleavings.
+        if !self.advisories.iter().any(|v| v.message == message) {
+            self.advisories.push(Violation {
+                code: ViolationCode::AcquireMisuse,
+                message,
+                trace: Vec::new(),
+            });
+        }
+    }
+
+    fn log(&mut self, tid: Tid, desc: &str) {
+        if self.op_log.len() < 256 {
+            self.op_log.push(format!("t{tid}: {desc}"));
+        }
+    }
+
+    fn alloc_object(&mut self, obj: ObjState) -> ObjId {
+        self.objects.push(obj);
+        self.objects.len() - 1
+    }
+}
+
+struct Exec {
+    state: StdMutex<ExecState>,
+    cv: StdCondvar,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Exec>, Tid)>> = const { RefCell::new(None) };
+}
+
+/// Panic payload used to unwind model threads during teardown.
+struct Cancelled;
+
+/// Install (once, process-wide) a panic hook that silences panics raised
+/// on model threads: cancellation unwinds and harness assertion failures
+/// are *expected* there — the report carries them; stderr should not.
+fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let in_model = CURRENT.try_with(|c| c.borrow().is_some()).unwrap_or(false);
+            if !in_model {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn with_current() -> (Arc<Exec>, Tid) {
+    CURRENT
+        .with(|c| c.borrow().clone())
+        .expect("pipesched-check model primitive used outside model::explore")
+}
+
+/// Render a panic payload for the report.
+fn payload_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked".to_string()
+    }
+}
+
+/// The single scheduling-point primitive every instrumented operation
+/// goes through: park with `intent`, wait to be granted, apply `effect`
+/// atomically (under the execution lock), resume.
+pub(crate) fn op<R>(
+    intent_kind: IntentKind,
+    desc: String,
+    effect: impl FnOnce(&mut dyn OpCtx, Tid) -> R,
+) -> R {
+    let (exec, tid) = with_current();
+    let mut st = exec.state.lock().unwrap();
+    // Teardown: while unwinding (guard drops during a panic) apply the
+    // effect silently — never park, never panic again.
+    if std::thread::panicking() {
+        return effect(&mut CtxImpl { st: &mut st }, tid);
+    }
+    if st.cancelling {
+        drop(st);
+        std::panic::panic_any(Cancelled);
+    }
+    let intent = match intent_kind {
+        IntentKind::Step => Intent::Step,
+        IntentKind::Lock(m) => Intent::Lock(m),
+        IntentKind::Join(t) => Intent::Join(t),
+    };
+    st.threads[tid].status = Status::AtPoint(intent);
+    st.threads[tid].desc = desc;
+    exec.cv.notify_all();
+    loop {
+        if st.cancelling {
+            drop(st);
+            std::panic::panic_any(Cancelled);
+        }
+        if matches!(st.threads[tid].status, Status::Granted) {
+            break;
+        }
+        st = exec.cv.wait(st).unwrap();
+    }
+    st.threads[tid].clock.tick(tid);
+    st.steps += 1;
+    let d = std::mem::take(&mut st.threads[tid].desc);
+    st.log(tid, &d);
+    let r = effect(&mut CtxImpl { st: &mut st }, tid);
+    st.threads[tid].status = Status::Running;
+    st.active = None;
+    exec.cv.notify_all();
+    r
+}
+
+/// Intent kinds exposed to the sync primitives.
+pub(crate) enum IntentKind {
+    Step,
+    Lock(ObjId),
+    Join(Tid),
+}
+
+/// The mutation surface an operation effect sees. A trait object keeps
+/// `ExecState` private to this module while letting `sync`/`cell`/
+/// `thread` implement their effects.
+pub(crate) trait OpCtx {
+    fn clock_of(&self, tid: Tid) -> VClock;
+    fn join_clock(&mut self, tid: Tid, other: &VClock);
+    fn atomic(&mut self, id: ObjId) -> (&mut u64, &mut Option<VClock>, &mut Option<Tid>);
+    fn mutex_acquire(&mut self, id: ObjId, tid: Tid);
+    fn mutex_try_acquire(&mut self, id: ObjId, tid: Tid) -> bool;
+    fn mutex_release(&mut self, id: ObjId, tid: Tid);
+    fn park_on_condvar(&mut self, tid: Tid, cv: ObjId, mutex: ObjId);
+    fn notify(&mut self, cv: ObjId, all: bool);
+    fn cell_read(&mut self, id: ObjId, tid: Tid, what: &str);
+    fn cell_write(&mut self, id: ObjId, tid: Tid, what: &str);
+    fn advise(&mut self, message: String);
+    fn spawn_thread(&mut self, parent: Tid) -> Tid;
+}
+
+struct CtxImpl<'a> {
+    st: &'a mut ExecState,
+}
+
+impl OpCtx for CtxImpl<'_> {
+    fn clock_of(&self, tid: Tid) -> VClock {
+        self.st.threads[tid].clock.clone()
+    }
+
+    fn join_clock(&mut self, tid: Tid, other: &VClock) {
+        self.st.threads[tid].clock.join(other);
+    }
+
+    fn atomic(&mut self, id: ObjId) -> (&mut u64, &mut Option<VClock>, &mut Option<Tid>) {
+        match &mut self.st.objects[id] {
+            ObjState::Atomic {
+                value,
+                sync_clock,
+                last_writer,
+            } => (value, sync_clock, last_writer),
+            _ => unreachable!("object {id} is not an atomic"),
+        }
+    }
+
+    fn mutex_acquire(&mut self, id: ObjId, tid: Tid) {
+        let (clock, name) = match &self.st.objects[id] {
+            ObjState::Mutex { clock, name, .. } => (clock.clone(), name.clone()),
+            _ => unreachable!("object {id} is not a mutex"),
+        };
+        // Lock-order edges: everything currently held precedes this lock.
+        let held: Vec<String> = self.st.threads[tid]
+            .held
+            .iter()
+            .map(|(_, n)| n.clone())
+            .collect();
+        for h in held {
+            if h != name {
+                self.st.lock_edges.insert((h, name.clone()));
+            }
+        }
+        self.st.threads[tid].clock.join(&clock);
+        self.st.threads[tid].held.push((id, name));
+        match &mut self.st.objects[id] {
+            ObjState::Mutex { owner, .. } => *owner = Some(tid),
+            _ => unreachable!(),
+        }
+    }
+
+    fn mutex_release(&mut self, id: ObjId, tid: Tid) {
+        let publish = self.st.threads[tid].clock.clone();
+        self.st.threads[tid].held.retain(|(o, _)| *o != id);
+        match &mut self.st.objects[id] {
+            ObjState::Mutex { owner, clock, .. } => {
+                *owner = None;
+                clock.join(&publish);
+            }
+            _ => unreachable!("object {id} is not a mutex"),
+        }
+    }
+
+    fn mutex_try_acquire(&mut self, id: ObjId, tid: Tid) -> bool {
+        let free = match &self.st.objects[id] {
+            ObjState::Mutex { owner, .. } => owner.is_none(),
+            _ => unreachable!("object {id} is not a mutex"),
+        };
+        if free {
+            self.mutex_acquire(id, tid);
+        }
+        free
+    }
+
+    fn park_on_condvar(&mut self, tid: Tid, cv: ObjId, mutex: ObjId) {
+        self.st.threads[tid].status = Status::AtPoint(Intent::WaitNotify(cv, mutex));
+    }
+
+    fn notify(&mut self, cv: ObjId, all: bool) {
+        // Deterministic wake order: lowest thread id first. Each waiter
+        // recorded the mutex it must reacquire when it parked.
+        for t in 0..self.st.threads.len() {
+            if let Status::AtPoint(Intent::WaitNotify(c, m)) = self.st.threads[t].status {
+                if c == cv {
+                    self.st.threads[t].status = Status::AtPoint(Intent::Lock(m));
+                    if !all {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn cell_read(&mut self, id: ObjId, tid: Tid, what: &str) {
+        let me = self.st.threads[tid].clock.clone();
+        let racy = match &self.st.objects[id] {
+            ObjState::Cell {
+                write_clock,
+                writer,
+                ..
+            } => writer.is_some_and(|w| w != tid) && !write_clock.le(&me),
+            _ => unreachable!("object {id} is not a cell"),
+        };
+        if racy {
+            self.st.fail(
+                ViolationCode::DataRace,
+                format!("data race: t{tid} reads {what} concurrently with its last write"),
+            );
+        }
+        let tick = me.get(tid);
+        if let ObjState::Cell { reads, .. } = &mut self.st.objects[id] {
+            if reads.get(tid) < tick {
+                reads.set(tid, tick);
+            }
+        }
+    }
+
+    fn cell_write(&mut self, id: ObjId, tid: Tid, what: &str) {
+        let me = self.st.threads[tid].clock.clone();
+        let racy = match &self.st.objects[id] {
+            ObjState::Cell {
+                write_clock,
+                writer,
+                reads,
+            } => (writer.is_some_and(|w| w != tid) && !write_clock.le(&me)) || !reads.le(&me),
+            _ => unreachable!("object {id} is not a cell"),
+        };
+        if racy {
+            self.st.fail(
+                ViolationCode::DataRace,
+                format!("data race: t{tid} writes {what} concurrently with another access"),
+            );
+        }
+        if let ObjState::Cell {
+            write_clock,
+            writer,
+            reads,
+        } = &mut self.st.objects[id]
+        {
+            *write_clock = me;
+            *writer = Some(tid);
+            *reads = VClock::new();
+        }
+    }
+
+    fn advise(&mut self, message: String) {
+        self.st.advise(message);
+    }
+
+    fn spawn_thread(&mut self, parent: Tid) -> Tid {
+        if self.st.threads.len() >= self.st.max_threads {
+            self.st.fail(
+                ViolationCode::InvariantViolated,
+                format!(
+                    "model spawned more than max_threads = {} threads",
+                    self.st.max_threads
+                ),
+            );
+        }
+        let clock = self.st.threads[parent].clock.clone();
+        self.st.threads.push(ThreadSlot {
+            status: Status::Running,
+            clock,
+            held: Vec::new(),
+            desc: String::new(),
+        });
+        self.st.spawned_real += 1;
+        self.st.threads.len() - 1
+    }
+}
+
+/// Allocate a sync object in the current execution.
+pub(crate) fn register_object(kind: ObjectKind) -> ObjId {
+    let (exec, _tid) = with_current();
+    let mut st = exec.state.lock().unwrap();
+    let obj = match kind {
+        ObjectKind::Atomic(value) => ObjState::Atomic {
+            value,
+            sync_clock: None,
+            last_writer: None,
+        },
+        ObjectKind::Mutex(name) => {
+            let id = st.objects.len();
+            ObjState::Mutex {
+                owner: None,
+                clock: VClock::new(),
+                name: name.unwrap_or_else(|| format!("mutex#{id}")),
+            }
+        }
+        ObjectKind::Cond => ObjState::Cond,
+        ObjectKind::Cell => ObjState::Cell {
+            write_clock: VClock::new(),
+            writer: None,
+            reads: VClock::new(),
+        },
+    };
+    st.alloc_object(obj)
+}
+
+pub(crate) enum ObjectKind {
+    Atomic(u64),
+    Mutex(Option<String>),
+    Cond,
+    Cell,
+}
+
+/// The two-stage condvar wait: one op releases the mutex and parks on
+/// the condvar; once a notify re-arms the thread as a lock waiter, the
+/// coordinator grants the reacquire like any other lock.
+pub(crate) fn condvar_wait(cv: ObjId, mutex: ObjId) {
+    let (exec, tid) = with_current();
+    let mut st = exec.state.lock().unwrap();
+    if std::thread::panicking() {
+        return;
+    }
+    if st.cancelling {
+        drop(st);
+        std::panic::panic_any(Cancelled);
+    }
+    // Stage 1: the wait-enter op (release + park).
+    st.threads[tid].status = Status::AtPoint(Intent::Step);
+    st.threads[tid].desc = format!("condvar#{cv} wait (release mutex#{mutex})");
+    exec.cv.notify_all();
+    loop {
+        if st.cancelling {
+            drop(st);
+            std::panic::panic_any(Cancelled);
+        }
+        if matches!(st.threads[tid].status, Status::Granted) {
+            break;
+        }
+        st = exec.cv.wait(st).unwrap();
+    }
+    st.threads[tid].clock.tick(tid);
+    st.steps += 1;
+    let d = std::mem::take(&mut st.threads[tid].desc);
+    st.log(tid, &d);
+    {
+        let ctx = &mut CtxImpl { st: &mut st };
+        ctx.mutex_release(mutex, tid);
+        ctx.park_on_condvar(tid, cv, mutex);
+    }
+    st.active = None;
+    exec.cv.notify_all();
+    // Stage 2: wait to be granted the reacquire (a notify converted the
+    // intent to Lock(mutex); the coordinator grants it when free).
+    loop {
+        if st.cancelling {
+            drop(st);
+            std::panic::panic_any(Cancelled);
+        }
+        if matches!(st.threads[tid].status, Status::Granted) {
+            break;
+        }
+        st = exec.cv.wait(st).unwrap();
+    }
+    st.threads[tid].clock.tick(tid);
+    st.steps += 1;
+    st.log(tid, &format!("condvar#{cv} woke (reacquire mutex#{mutex})"));
+    CtxImpl { st: &mut st }.mutex_acquire(mutex, tid);
+    st.threads[tid].status = Status::Running;
+    st.active = None;
+    exec.cv.notify_all();
+}
+
+/// Spawn a model thread running `f`; returns its model tid.
+pub(crate) fn spawn_model_thread(f: Box<dyn FnOnce() + Send>) -> Tid {
+    let (exec, _parent) = with_current();
+    let child = op(IntentKind::Step, "spawn".to_string(), |ctx, tid| {
+        ctx.spawn_thread(tid)
+    });
+    let exec2 = Arc::clone(&exec);
+    let handle = std::thread::Builder::new()
+        .name(format!("model-t{child}"))
+        .spawn(move || thread_main(exec2, child, f))
+        .expect("spawn model thread");
+    let mut st = exec.state.lock().unwrap();
+    st.real_handles.push(handle);
+    exec.cv.notify_all();
+    child
+}
+
+/// Join intent against a model thread.
+pub(crate) fn join_model_thread(target: Tid) {
+    op(
+        IntentKind::Join(target),
+        format!("join t{target}"),
+        |ctx, tid| {
+            let c = ctx.clock_of(target);
+            ctx.join_clock(tid, &c);
+        },
+    );
+}
+
+/// A pure scheduling point.
+pub(crate) fn yield_point() {
+    op(IntentKind::Step, "yield".to_string(), |_ctx, _tid| {});
+}
+
+fn thread_main(exec: Arc<Exec>, tid: Tid, f: Box<dyn FnOnce() + Send>) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), tid)));
+    let result = catch_unwind(AssertUnwindSafe(f));
+    let mut st = exec.state.lock().unwrap();
+    match result {
+        Ok(()) => {
+            st.threads[tid].clock.tick(tid);
+            if !st.threads[tid].held.is_empty() && !st.cancelling {
+                let names: Vec<String> = st.threads[tid]
+                    .held
+                    .iter()
+                    .map(|(_, n)| n.clone())
+                    .collect();
+                st.fail(
+                    ViolationCode::LockLeaked,
+                    format!("t{tid} finished while holding {}", names.join(", ")),
+                );
+            }
+        }
+        Err(payload) => {
+            if !payload.is::<Cancelled>() && !st.cancelling {
+                let msg = payload_message(payload.as_ref());
+                st.fail(
+                    ViolationCode::InvariantViolated,
+                    format!("t{tid} panicked: {msg}"),
+                );
+            }
+        }
+    }
+    st.threads[tid].status = Status::Finished;
+    drop(st);
+    exec.cv.notify_all();
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+fn intent_enabled(st: &ExecState, tid: Tid) -> bool {
+    match &st.threads[tid].status {
+        Status::AtPoint(Intent::Step) => true,
+        Status::AtPoint(Intent::Lock(m)) => match &st.objects[*m] {
+            ObjState::Mutex { owner, .. } => owner.is_none(),
+            _ => unreachable!("lock intent on non-mutex"),
+        },
+        Status::AtPoint(Intent::Join(t)) => matches!(st.threads[*t].status, Status::Finished),
+        Status::AtPoint(Intent::WaitNotify(..)) => false,
+        _ => false,
+    }
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Outcome of one executed schedule.
+struct RunOutcome {
+    trace: Vec<(usize, usize)>,
+    failure: Option<Violation>,
+    advisories: Vec<Violation>,
+    lock_edges: BTreeSet<(String, String)>,
+}
+
+fn run_once(
+    b: &Builder,
+    schedule: &[usize],
+    mode: Mode,
+    rng_seed: u64,
+    f: &Arc<dyn Fn() + Send + Sync>,
+) -> RunOutcome {
+    let exec = Arc::new(Exec {
+        state: StdMutex::new(ExecState {
+            threads: vec![ThreadSlot {
+                status: Status::Running,
+                clock: VClock::new(),
+                held: Vec::new(),
+                desc: String::new(),
+            }],
+            objects: Vec::new(),
+            schedule: schedule.to_vec(),
+            trace: Vec::new(),
+            active: None,
+            failure: None,
+            advisories: Vec::new(),
+            lock_edges: BTreeSet::new(),
+            cancelling: false,
+            mode,
+            rng: rng_seed,
+            steps: 0,
+            max_steps: b.max_steps,
+            max_threads: b.max_threads,
+            op_log: Vec::new(),
+            real_handles: Vec::new(),
+            spawned_real: 1,
+            joined_real: 0,
+        }),
+        cv: StdCondvar::new(),
+    });
+
+    // The root model thread.
+    let root_exec = Arc::clone(&exec);
+    let g = Arc::clone(f);
+    let root = std::thread::Builder::new()
+        .name("model-t0".to_string())
+        .spawn(move || thread_main(root_exec, 0, Box::new(move || g())))
+        .expect("spawn model root thread");
+    exec.state.lock().unwrap().real_handles.push(root);
+
+    // Coordinator loop.
+    let mut st = exec.state.lock().unwrap();
+    loop {
+        while st
+            .threads
+            .iter()
+            .any(|t| matches!(t.status, Status::Running | Status::Granted))
+            && st.failure.is_none()
+        {
+            st = exec.cv.wait(st).unwrap();
+        }
+        if st.failure.is_some() {
+            st.cancelling = true;
+            exec.cv.notify_all();
+            break;
+        }
+        if st
+            .threads
+            .iter()
+            .all(|t| matches!(t.status, Status::Finished))
+        {
+            break;
+        }
+        let runnable: Vec<Tid> = (0..st.threads.len())
+            .filter(|&t| intent_enabled(&st, t))
+            .collect();
+        if runnable.is_empty() {
+            let blocked: Vec<String> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !matches!(t.status, Status::Finished))
+                .map(|(i, t)| format!("t{i} ({})", t.desc))
+                .collect();
+            st.fail(
+                ViolationCode::Deadlock,
+                format!("deadlock: no thread can run ({})", blocked.join("; ")),
+            );
+            st.cancelling = true;
+            exec.cv.notify_all();
+            break;
+        }
+        if st.steps >= st.max_steps {
+            let budget = st.max_steps;
+            st.fail(
+                ViolationCode::InvariantViolated,
+                format!("interleaving exceeded the {budget}-operation budget"),
+            );
+            st.cancelling = true;
+            exec.cv.notify_all();
+            break;
+        }
+        let k = st.trace.len();
+        let chosen = if k < st.schedule.len() {
+            st.schedule[k].min(runnable.len() - 1)
+        } else {
+            match st.mode {
+                Mode::Dfs => 0,
+                Mode::Random => {
+                    let r = xorshift(&mut st.rng);
+                    (r as usize) % runnable.len()
+                }
+            }
+        };
+        st.trace.push((runnable.len(), chosen));
+        let tid = runnable[chosen];
+        st.threads[tid].status = Status::Granted;
+        st.active = Some(tid);
+        exec.cv.notify_all();
+    }
+
+    // Join every real thread (handles keep arriving until spawned ==
+    // joined; a spawn effect always precedes its handle push by a
+    // panic-free stretch of the parent).
+    loop {
+        let handle = {
+            if let Some(h) = st.real_handles.pop() {
+                st.joined_real += 1;
+                Some(h)
+            } else if st.joined_real >= st.spawned_real {
+                None
+            } else {
+                st = exec.cv.wait(st).unwrap();
+                continue;
+            }
+        };
+        match handle {
+            Some(h) => {
+                drop(st);
+                let _ = h.join();
+                st = exec.state.lock().unwrap();
+            }
+            None => break,
+        }
+    }
+
+    let state = &mut *st;
+    RunOutcome {
+        trace: std::mem::take(&mut state.trace),
+        failure: state.failure.take(),
+        advisories: std::mem::take(&mut state.advisories),
+        lock_edges: std::mem::take(&mut state.lock_edges),
+    }
+}
+
+/// Detect a cycle in the accumulated lock-order graph; returns one cycle
+/// as a name path when present.
+fn lock_cycle(edges: &BTreeSet<(String, String)>) -> Option<Vec<String>> {
+    let nodes: BTreeSet<&String> = edges.iter().flat_map(|(a, b)| [a, b]).collect();
+    // Iterative DFS with colors; deterministic order via BTreeSet.
+    fn visit<'a>(
+        node: &'a String,
+        edges: &'a BTreeSet<(String, String)>,
+        visiting: &mut Vec<&'a String>,
+        done: &mut BTreeSet<&'a String>,
+    ) -> Option<Vec<String>> {
+        if done.contains(node) {
+            return None;
+        }
+        if let Some(pos) = visiting.iter().position(|n| *n == node) {
+            let mut cycle: Vec<String> = visiting[pos..].iter().map(|s| (*s).clone()).collect();
+            cycle.push(node.clone());
+            return Some(cycle);
+        }
+        visiting.push(node);
+        for (a, b) in edges.iter() {
+            if a == node {
+                if let Some(c) = visit(b, edges, visiting, done) {
+                    return Some(c);
+                }
+            }
+        }
+        visiting.pop();
+        done.insert(node);
+        None
+    }
+    let mut done = BTreeSet::new();
+    for n in nodes {
+        let mut visiting = Vec::new();
+        if let Some(c) = visit(n, edges, &mut visiting, &mut done) {
+            return Some(c);
+        }
+    }
+    None
+}
+
+/// Explore every interleaving of the model program `f` (bounded by the
+/// builder), reporting violations, advisories, and the lock-order graph.
+///
+/// The first error-class violation stops the exploration: its report
+/// carries the full operation trace of the offending interleaving, which
+/// — because scheduling is deterministic — replays identically from the
+/// same builder.
+pub fn explore<F>(b: &Builder, f: F) -> ModelReport
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    install_quiet_hook();
+    let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+    let mut report = ModelReport {
+        interleavings: 0,
+        sampled: 0,
+        exhausted: false,
+        violations: Vec::new(),
+        advisories: Vec::new(),
+        lock_edges: Vec::new(),
+    };
+    let mut edges: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut schedule: Vec<usize> = Vec::new();
+    let mut failed = false;
+
+    // Phase 1: exhaustive DFS over choice points.
+    loop {
+        if report.interleavings >= b.max_interleavings {
+            break;
+        }
+        let out = run_once(b, &schedule, Mode::Dfs, b.seed, &f);
+        report.interleavings += 1;
+        for a in out.advisories {
+            if !report.advisories.iter().any(|v| v.message == a.message) {
+                report.advisories.push(a);
+            }
+        }
+        edges.extend(out.lock_edges);
+        if let Some(v) = out.failure {
+            report.violations.push(v);
+            failed = true;
+            break;
+        }
+        // Backtrack: deepest decision with an untried alternative.
+        match out.trace.iter().rposition(|&(n, chosen)| chosen + 1 < n) {
+            Some(i) => {
+                schedule = out.trace[..i].iter().map(|&(_, c)| c).collect();
+                schedule.push(out.trace[i].1 + 1);
+            }
+            None => {
+                report.exhausted = true;
+                break;
+            }
+        }
+    }
+
+    // Phase 2: seeded-random fallback when the DFS budget ran out.
+    if !failed && !report.exhausted {
+        let mut seed = b.seed | 1;
+        for _ in 0..b.random_fallback {
+            xorshift(&mut seed);
+            let out = run_once(b, &[], Mode::Random, seed, &f);
+            report.sampled += 1;
+            for a in out.advisories {
+                if !report.advisories.iter().any(|v| v.message == a.message) {
+                    report.advisories.push(a);
+                }
+            }
+            edges.extend(out.lock_edges);
+            if let Some(v) = out.failure {
+                report.violations.push(v);
+                break;
+            }
+        }
+    }
+
+    if let Some(cycle) = lock_cycle(&edges) {
+        report.violations.push(Violation {
+            code: ViolationCode::LockOrderCycle,
+            message: format!("lock-order cycle: {}", cycle.join(" -> ")),
+            trace: Vec::new(),
+        });
+    }
+    report.lock_edges = edges.into_iter().collect();
+    report
+}

@@ -1,0 +1,402 @@
+//! Instrumented synchronization primitives: every operation is a
+//! scheduling point in the model, and every access updates the vector
+//! clocks per the release/acquire subset of the C11 memory model (see
+//! the module docs on [`crate::model`]).
+//!
+//! These types exist on every build; `--cfg model` merely makes them the
+//! definition of [`crate::sync`], so production code compiled under the
+//! model cfg runs through them unchanged.
+
+use std::cell::UnsafeCell;
+
+use super::{op, register_object, IntentKind, ObjId, ObjectKind, Tid};
+
+/// Memory orderings, mirroring `std::sync::atomic::Ordering`. The model
+/// interprets them on the release/acquire axis only (it executes
+/// sequentially-consistent *values* but tracks which orderings would
+/// have transferred visibility).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ordering {
+    Relaxed,
+    Acquire,
+    Release,
+    AcqRel,
+    SeqCst,
+}
+
+impl Ordering {
+    fn acquires(self) -> bool {
+        matches!(
+            self,
+            Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+        )
+    }
+
+    fn releases(self) -> bool {
+        matches!(
+            self,
+            Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+        )
+    }
+}
+
+/// Shared effect body for atomic loads.
+fn atomic_load(id: ObjId, name: &str, ord: Ordering) -> u64 {
+    op(
+        IntentKind::Step,
+        format!("load {name} ({ord:?})"),
+        |ctx, tid| {
+            let (value, sync_clock, last_writer) = ctx.atomic(id);
+            let v = *value;
+            let published = sync_clock.clone();
+            let writer = *last_writer;
+            if ord.acquires() {
+                match published {
+                    Some(c) => ctx.join_clock(tid, &c),
+                    None => {
+                        if writer.is_some_and(|w| w != tid) {
+                            ctx.advise(format!(
+                                "acquire load of {name} observes a store that published \
+                                 no release: the load synchronizes with nothing"
+                            ));
+                        }
+                    }
+                }
+            }
+            v
+        },
+    )
+}
+
+/// Shared effect body for atomic stores.
+fn atomic_store(id: ObjId, name: &str, v: u64, ord: Ordering) {
+    op(
+        IntentKind::Step,
+        format!("store {name} ({ord:?})"),
+        |ctx, tid| {
+            let me = ctx.clock_of(tid);
+            let (value, sync_clock, last_writer) = ctx.atomic(id);
+            *value = v;
+            *last_writer = Some(tid);
+            // A plain store starts a new release sequence (releasing) or
+            // destroys the current one (relaxed).
+            *sync_clock = if ord.releases() { Some(me) } else { None };
+        },
+    )
+}
+
+/// Shared effect body for read-modify-writes. Returns the old value.
+fn atomic_rmw(id: ObjId, name: &str, what: &str, ord: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
+    op(
+        IntentKind::Step,
+        format!("{what} {name} ({ord:?})"),
+        |ctx, tid| {
+            let me = ctx.clock_of(tid);
+            let (value, sync_clock, last_writer) = ctx.atomic(id);
+            let old = *value;
+            let prev_writer = *last_writer;
+            let published = sync_clock.clone();
+            *value = f(old);
+            *last_writer = Some(tid);
+            if ord.releases() {
+                // A releasing RMW joins its clock into the sequence.
+                let mut c = published.clone().unwrap_or_default();
+                c.join(&me);
+                *sync_clock = Some(c);
+            }
+            // A relaxed RMW *continues* the existing release sequence:
+            // the published clock, if any, stays.
+            if ord.acquires() {
+                match published {
+                    Some(c) => ctx.join_clock(tid, &c),
+                    None => {
+                        if prev_writer.is_some_and(|w| w != tid) {
+                            ctx.advise(format!(
+                                "acquiring {what} of {name} observes a store that \
+                                 published no release"
+                            ));
+                        }
+                    }
+                }
+            }
+            old
+        },
+    )
+}
+
+macro_rules! int_atomic {
+    ($name:ident, $ty:ty) => {
+        /// Instrumented counterpart of the std atomic of the same name.
+        #[derive(Debug)]
+        pub struct $name {
+            id: ObjId,
+        }
+
+        impl $name {
+            pub fn new(v: $ty) -> Self {
+                $name {
+                    id: register_object(ObjectKind::Atomic(v as u64)),
+                }
+            }
+
+            fn label(&self) -> String {
+                format!(concat!(stringify!($name), "#{}"), self.id)
+            }
+
+            pub fn load(&self, ord: Ordering) -> $ty {
+                atomic_load(self.id, &self.label(), ord) as $ty
+            }
+
+            pub fn store(&self, v: $ty, ord: Ordering) {
+                atomic_store(self.id, &self.label(), v as u64, ord)
+            }
+
+            pub fn swap(&self, v: $ty, ord: Ordering) -> $ty {
+                atomic_rmw(self.id, &self.label(), "swap", ord, |_| v as u64) as $ty
+            }
+
+            pub fn fetch_add(&self, v: $ty, ord: Ordering) -> $ty {
+                atomic_rmw(self.id, &self.label(), "fetch_add", ord, |old| {
+                    (old as $ty).wrapping_add(v) as u64
+                }) as $ty
+            }
+
+            pub fn fetch_sub(&self, v: $ty, ord: Ordering) -> $ty {
+                atomic_rmw(self.id, &self.label(), "fetch_sub", ord, |old| {
+                    (old as $ty).wrapping_sub(v) as u64
+                }) as $ty
+            }
+
+            pub fn fetch_min(&self, v: $ty, ord: Ordering) -> $ty {
+                atomic_rmw(self.id, &self.label(), "fetch_min", ord, |old| {
+                    (old as $ty).min(v) as u64
+                }) as $ty
+            }
+
+            pub fn fetch_max(&self, v: $ty, ord: Ordering) -> $ty {
+                atomic_rmw(self.id, &self.label(), "fetch_max", ord, |old| {
+                    (old as $ty).max(v) as u64
+                }) as $ty
+            }
+
+            /// Success applies `success` ordering to the RMW; failure is
+            /// modeled as a load with the `failure` ordering.
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                let mut swapped = false;
+                let old = atomic_rmw(self.id, &self.label(), "compare_exchange", success, |old| {
+                    if old as $ty == current {
+                        swapped = true;
+                        new as u64
+                    } else {
+                        old
+                    }
+                }) as $ty;
+                if swapped {
+                    Ok(old)
+                } else {
+                    let _ = failure;
+                    Err(old)
+                }
+            }
+        }
+    };
+}
+
+int_atomic!(AtomicU32, u32);
+int_atomic!(AtomicU64, u64);
+int_atomic!(AtomicUsize, usize);
+
+/// Instrumented counterpart of `std::sync::atomic::AtomicBool`.
+#[derive(Debug)]
+pub struct AtomicBool {
+    id: ObjId,
+}
+
+impl AtomicBool {
+    pub fn new(v: bool) -> Self {
+        AtomicBool {
+            id: register_object(ObjectKind::Atomic(v as u64)),
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("AtomicBool#{}", self.id)
+    }
+
+    pub fn load(&self, ord: Ordering) -> bool {
+        atomic_load(self.id, &self.label(), ord) != 0
+    }
+
+    pub fn store(&self, v: bool, ord: Ordering) {
+        atomic_store(self.id, &self.label(), v as u64, ord)
+    }
+
+    pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+        atomic_rmw(self.id, &self.label(), "swap", ord, |_| v as u64) != 0
+    }
+
+    pub fn fetch_or(&self, v: bool, ord: Ordering) -> bool {
+        atomic_rmw(self.id, &self.label(), "fetch_or", ord, |old| {
+            old | v as u64
+        }) != 0
+    }
+
+    pub fn fetch_and(&self, v: bool, ord: Ordering) -> bool {
+        atomic_rmw(self.id, &self.label(), "fetch_and", ord, |old| {
+            old & v as u64
+        }) != 0
+    }
+}
+
+/// Instrumented mutex. Lock acquisition is a *blocking* intent — the
+/// coordinator only grants it while the mutex is free — so every
+/// lock/unlock interleaving is explored and a cycle of waiting threads
+/// is reported as a deadlock rather than hanging the test.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    id: ObjId,
+    name: String,
+    value: UnsafeCell<T>,
+}
+
+// Safety: the coordinator grants at most one thread between scheduling
+// points, and data access goes through the guard, which requires the
+// model-level acquisition.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Self {
+        let id = register_object(ObjectKind::Mutex(None));
+        Mutex {
+            id,
+            name: format!("mutex#{id}"),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    /// A mutex with a stable name for lock-order reporting.
+    pub fn named(name: &str, value: T) -> Self {
+        let id = register_object(ObjectKind::Mutex(Some(name.to_string())));
+        Mutex {
+            id,
+            name: name.to_string(),
+            value: UnsafeCell::new(value),
+        }
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        op(
+            IntentKind::Lock(self.id),
+            format!("lock {}", self.name),
+            |ctx, tid| ctx.mutex_acquire(self.id, tid),
+        );
+        MutexGuard { m: self }
+    }
+
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let got = op(
+            IntentKind::Step,
+            format!("try_lock {}", self.name),
+            |ctx, tid| ctx.mutex_try_acquire(self.id, tid),
+        );
+        if got {
+            Some(MutexGuard { m: self })
+        } else {
+            None
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.value.get_mut()
+    }
+}
+
+pub struct MutexGuard<'a, T> {
+    m: &'a Mutex<T>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: the model granted this thread the lock.
+        unsafe { &*self.m.value.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: as above, plus the guard is uniquely borrowed.
+        unsafe { &mut *self.m.value.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        op(
+            IntentKind::Step,
+            format!("unlock {}", self.m.name),
+            |ctx, tid: Tid| ctx.mutex_release(self.m.id, tid),
+        );
+    }
+}
+
+/// Instrumented condition variable. `wait` releases the guard's mutex
+/// and parks until a notify re-arms the thread as a lock waiter; a
+/// program whose only runnable threads are all parked here is a lost
+/// wakeup, reported as a deadlock.
+#[derive(Debug)]
+pub struct Condvar {
+    id: ObjId,
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl Condvar {
+    pub fn new() -> Self {
+        Condvar {
+            id: register_object(ObjectKind::Cond),
+        }
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let m = guard.m;
+        // The model releases the mutex inside the wait-enter op; the
+        // guard must not run its unlock Drop.
+        std::mem::forget(guard);
+        super::condvar_wait(self.id, m.id);
+        MutexGuard { m }
+    }
+
+    pub fn notify_one(&self) {
+        let id = self.id;
+        op(
+            IntentKind::Step,
+            format!("notify_one condvar#{id}"),
+            |ctx, _tid| ctx.notify(id, false),
+        );
+    }
+
+    pub fn notify_all(&self) {
+        let id = self.id;
+        op(
+            IntentKind::Step,
+            format!("notify_all condvar#{id}"),
+            |ctx, _tid| ctx.notify(id, true),
+        );
+    }
+}

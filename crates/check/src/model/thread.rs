@@ -1,0 +1,41 @@
+//! Model threads. [`spawn`] seeds the child with the parent's vector
+//! clock (everything the parent did happens-before the child's first
+//! step); [`JoinHandle::join`] joins the child's final clock back into
+//! the parent. Both are scheduling points.
+
+use super::{join_model_thread, spawn_model_thread, yield_point, Tid};
+
+/// Spawn a model thread running `f`. The closure runs on a real OS
+/// thread, but only when the model coordinator grants it a step.
+pub fn spawn<F>(f: F) -> JoinHandle
+where
+    F: FnOnce() + Send + 'static,
+{
+    JoinHandle {
+        tid: spawn_model_thread(Box::new(f)),
+    }
+}
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle {
+    tid: Tid,
+}
+
+impl JoinHandle {
+    /// Block (as a scheduling intent) until the thread finishes, then
+    /// join its clock: everything it did happens-before the return.
+    pub fn join(self) {
+        join_model_thread(self.tid);
+    }
+
+    /// The model thread id (t0 is the root).
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+}
+
+/// A pure scheduling point: gives the coordinator a choice without any
+/// effect. Useful to model "the thread does unrelated work here".
+pub fn yield_now() {
+    yield_point();
+}

@@ -1,0 +1,112 @@
+//! The synchronization facade production code imports from.
+//!
+//! On a normal build this is a zero-cost passthrough: the atomics *are*
+//! `std::sync::atomic` (plain re-exports) and `Mutex`/`Condvar` are
+//! `#[repr(transparent)]`-thin poison-free wrappers over std (the same
+//! surface the vendored `parking_lot` shim exposes). Under
+//! `RUSTFLAGS="--cfg model"` the whole module is swapped for the
+//! instrumented [`crate::model::sync`] types, so code written against
+//! this facade can be model-checked without modification.
+
+#[cfg(model)]
+pub use crate::model::sync::{
+    AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Condvar, Mutex, MutexGuard, Ordering,
+};
+
+#[cfg(not(model))]
+pub use real::{
+    AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Condvar, Mutex, MutexGuard, Ordering,
+};
+
+#[cfg(not(model))]
+mod real {
+    pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+    /// Poison-free mutex over std, parking-lot style: `lock()` returns
+    /// the guard directly.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        pub fn new(value: T) -> Self {
+            Mutex(std::sync::Mutex::new(value))
+        }
+
+        /// Same as [`Mutex::new`]; the name only matters to the model
+        /// build, where it labels lock-order and deadlock reports.
+        pub fn named(_name: &str, value: T) -> Self {
+            Mutex(std::sync::Mutex::new(value))
+        }
+
+        pub fn into_inner(self) -> T {
+            match self.0.into_inner() {
+                Ok(v) => v,
+                Err(p) => p.into_inner(),
+            }
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            MutexGuard(match self.0.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            })
+        }
+
+        pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+            match self.0.try_lock() {
+                Ok(g) => Some(MutexGuard(g)),
+                Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard(p.into_inner())),
+                Err(std::sync::TryLockError::WouldBlock) => None,
+            }
+        }
+
+        pub fn get_mut(&mut self) -> &mut T {
+            match self.0.get_mut() {
+                Ok(v) => v,
+                Err(p) => p.into_inner(),
+            }
+        }
+    }
+
+    pub struct MutexGuard<'a, T: ?Sized>(std::sync::MutexGuard<'a, T>);
+
+    impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.0
+        }
+    }
+
+    impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.0
+        }
+    }
+
+    /// Poison-free condvar over std.
+    #[derive(Debug, Default)]
+    pub struct Condvar(std::sync::Condvar);
+
+    impl Condvar {
+        pub fn new() -> Self {
+            Condvar(std::sync::Condvar::new())
+        }
+
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+            MutexGuard(match self.0.wait(guard.0) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            })
+        }
+
+        pub fn notify_one(&self) {
+            self.0.notify_one();
+        }
+
+        pub fn notify_all(&self) {
+            self.0.notify_all();
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Vector clocks: the partial order of "happens-before" over model
+//! threads.
+//!
+//! A [`VClock`] maps each model thread (by index) to the number of
+//! scheduler-visible operations of that thread it has transitively
+//! observed. Event *a* happens-before event *b* exactly when the clock at
+//! *a* is ≤ the clock at *b* component-wise; clocks that are incomparable
+//! in that order are *concurrent*, and two concurrent conflicting
+//! accesses to the same unsynchronized location are a data race.
+
+/// A vector clock over model-thread indices.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VClock {
+    ticks: Vec<u64>,
+}
+
+impl VClock {
+    /// The zero clock (observes nothing).
+    pub fn new() -> Self {
+        VClock::default()
+    }
+
+    /// The clock component for `tid` (0 when never set).
+    pub fn get(&self, tid: usize) -> u64 {
+        self.ticks.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Set the component for `tid`, growing the vector as needed.
+    pub fn set(&mut self, tid: usize, value: u64) {
+        if self.ticks.len() <= tid {
+            self.ticks.resize(tid + 1, 0);
+        }
+        self.ticks[tid] = value;
+    }
+
+    /// Advance `tid`'s own component by one (a new local event).
+    pub fn tick(&mut self, tid: usize) {
+        let v = self.get(tid) + 1;
+        self.set(tid, v);
+    }
+
+    /// Join: component-wise maximum (observe everything `other` observed).
+    pub fn join(&mut self, other: &VClock) {
+        if self.ticks.len() < other.ticks.len() {
+            self.ticks.resize(other.ticks.len(), 0);
+        }
+        for (i, &t) in other.ticks.iter().enumerate() {
+            if self.ticks[i] < t {
+                self.ticks[i] = t;
+            }
+        }
+    }
+
+    /// True when `self` ≤ `other` component-wise: every event `self` has
+    /// observed, `other` has observed too (`self` happens-before-or-equals
+    /// `other`).
+    pub fn le(&self, other: &VClock) -> bool {
+        self.ticks
+            .iter()
+            .enumerate()
+            .all(|(i, &t)| t <= other.get(i))
+    }
+
+    /// True when neither clock observes the other: the events are
+    /// concurrent.
+    pub fn concurrent_with(&self, other: &VClock) -> bool {
+        !self.le(other) && !other.le(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_order() {
+        let mut a = VClock::new();
+        a.tick(0);
+        a.tick(0);
+        let mut b = VClock::new();
+        b.tick(1);
+        assert!(a.concurrent_with(&b));
+        let mut c = b.clone();
+        c.join(&a);
+        assert!(a.le(&c) && b.le(&c));
+        assert_eq!(c.get(0), 2);
+        assert_eq!(c.get(1), 1);
+        assert!(!c.le(&a));
+    }
+
+    #[test]
+    fn zero_clock_precedes_everything() {
+        let zero = VClock::new();
+        let mut a = VClock::new();
+        a.tick(3);
+        assert!(zero.le(&a));
+        assert!(zero.le(&zero));
+        assert!(!a.le(&zero));
+    }
+}

@@ -1,0 +1,155 @@
+//! Protocol harness 1: work-stealing deque linearizability.
+//!
+//! The pool's deques (vendored `crossbeam` shim) must never lose or
+//! duplicate a task no matter how owner pops and thief steals
+//! interleave. Accounting: item `i` contributes `4^i` to a shared sum
+//! when taken, so the final total equals `Σ 4^i` exactly when every
+//! pushed item was taken exactly once — a lost item shorts the sum, a
+//! duplicated one overshoots, and no two distinct outcomes collide
+//! (each item is taken 0, 1, or 2 times, all < 4).
+//!
+//! The always-on test mirrors the shim's storage protocol (one mutex
+//! around a `VecDeque`: push_back/pop_back for the owner,
+//! pop_front for thieves) on the instrumented `model::sync::Mutex`.
+//! Under `--cfg model` a second test runs the *actual*
+//! `crossbeam::deque` shim code through the same schedule exploration,
+//! because its storage mutex is the `pipesched-check` facade.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use pipesched_check::model::sync::{AtomicU32, Mutex, Ordering};
+use pipesched_check::model::{explore, thread, Builder};
+
+const ITEMS: u32 = 4;
+
+fn expected_total() -> u32 {
+    (0..ITEMS).map(|i| 4u32.pow(i)).sum()
+}
+
+/// Mirror of the shim deque protocol on instrumented primitives.
+struct MirrorDeque {
+    inner: Mutex<VecDeque<u32>>,
+}
+
+impl MirrorDeque {
+    fn new() -> Self {
+        MirrorDeque {
+            inner: Mutex::named("deque", VecDeque::new()),
+        }
+    }
+
+    fn push(&self, v: u32) {
+        self.inner.lock().push_back(v);
+    }
+
+    fn pop(&self) -> Option<u32> {
+        self.inner.lock().pop_back()
+    }
+
+    fn steal(&self) -> Option<u32> {
+        self.inner.lock().pop_front()
+    }
+}
+
+#[test]
+fn deque_mirror_no_loss_no_duplication() {
+    let builder = Builder::with_cap(5000);
+    let report = explore(&builder, || {
+        let deque = Arc::new(MirrorDeque::new());
+        let total = Arc::new(AtomicU32::new(0));
+
+        let mut thieves = Vec::new();
+        for _ in 0..2 {
+            let (d, t) = (Arc::clone(&deque), Arc::clone(&total));
+            thieves.push(thread::spawn(move || {
+                let mut got = 0u32;
+                for _ in 0..3 {
+                    if let Some(i) = d.steal() {
+                        got += 4u32.pow(i);
+                    }
+                }
+                t.fetch_add(got, Ordering::Relaxed);
+            }));
+        }
+
+        for i in 0..ITEMS {
+            deque.push(i);
+        }
+        let mut got = 0u32;
+        while let Some(i) = deque.pop() {
+            got += 4u32.pow(i);
+        }
+        total.fetch_add(got, Ordering::Relaxed);
+
+        for t in thieves {
+            t.join();
+        }
+        assert_eq!(
+            total.load(Ordering::Relaxed),
+            expected_total(),
+            "every pushed task must be taken exactly once"
+        );
+    });
+    assert!(report.ok(), "violations: {:?}", report.violations);
+    assert!(
+        report.interleavings >= 1000,
+        "interleaving floor: got {}",
+        report.interleavings
+    );
+}
+
+/// The same protocol, but exercising the real vendored deque: only
+/// meaningful when the facade is instrumented (`--cfg model`), which is
+/// how the CI "Model check" gate runs this suite.
+#[cfg(model)]
+#[test]
+fn deque_shim_no_loss_no_duplication() {
+    use crossbeam::deque::{Steal, Worker};
+
+    let builder = Builder::with_cap(5000);
+    let report = explore(&builder, || {
+        let owner = Worker::new_lifo();
+        let total = Arc::new(AtomicU32::new(0));
+
+        let mut thieves = Vec::new();
+        for _ in 0..2 {
+            let stealer = owner.stealer();
+            let t = Arc::clone(&total);
+            thieves.push(thread::spawn(move || {
+                let mut got = 0u32;
+                for _ in 0..3 {
+                    match stealer.steal() {
+                        Steal::Success(i) => got += 4u32.pow(i),
+                        Steal::Empty | Steal::Retry => {}
+                    }
+                }
+                t.fetch_add(got, Ordering::Relaxed);
+            }));
+        }
+
+        for i in 0..ITEMS {
+            owner.push(i);
+        }
+        let mut got = 0u32;
+        while let Some(i) = owner.pop() {
+            got += 4u32.pow(i);
+        }
+        total.fetch_add(got, Ordering::Relaxed);
+
+        for t in thieves {
+            t.join();
+        }
+        assert_eq!(
+            total.load(Ordering::Relaxed),
+            expected_total(),
+            "every pushed task must be taken exactly once (real shim deque)"
+        );
+    });
+    assert!(report.ok(), "violations: {:?}", report.violations);
+    assert!(
+        report.interleavings >= 1000,
+        "interleaving floor: got {}",
+        report.interleavings
+    );
+}

@@ -1,0 +1,92 @@
+//! Protocol harness 2: incumbent publication.
+//!
+//! Mirrors `PoolPolicy::improved` in `crates/core/src/parallel.rs`: a
+//! worker that finds a better schedule publishes the bound with
+//! `best_nops.fetch_min(n, SeqCst)` and, only if it strictly improved,
+//! takes the payload mutex and *rechecks* before overwriting — the
+//! recheck is what makes two racing improvers converge on the best
+//! payload rather than the last-locked one.
+//!
+//! Invariants explored over every schedule:
+//! * the bound is monotone non-increasing under concurrent probes
+//!   (which is the invariant that makes `Relaxed` bound loads sound for
+//!   pruning);
+//! * at quiescence the payload agrees exactly with the published bound
+//!   and is the true optimum — no stale incumbent survives publication.
+
+use std::sync::Arc;
+
+use pipesched_check::model::sync::{AtomicU32, Mutex, Ordering};
+use pipesched_check::model::{explore, thread, Builder};
+
+struct Shared {
+    best_nops: AtomicU32,
+    /// `(worker id, nops)` payload guarded separately, like the pool's
+    /// `Mutex<(Vec<TupleId>, u32)>`.
+    best: Mutex<(u32, u32)>,
+}
+
+fn improve(sh: &Shared, id: u32, nops: u32) {
+    let prev = sh.best_nops.fetch_min(nops, Ordering::SeqCst);
+    if nops < prev {
+        let mut g = sh.best.lock();
+        // Recheck under the lock: a concurrent improver with an even
+        // better result may have published between our fetch_min and
+        // our lock acquisition.
+        if nops < g.1 {
+            *g = (id, nops);
+        }
+    }
+}
+
+#[test]
+fn incumbent_publication_is_never_stale() {
+    let builder = Builder::with_cap(5000);
+    let report = explore(&builder, || {
+        let sh = Arc::new(Shared {
+            best_nops: AtomicU32::new(10),
+            best: Mutex::named("best", (0, 10)),
+        });
+
+        let a = {
+            let sh = Arc::clone(&sh);
+            thread::spawn(move || improve(&sh, 1, 5))
+        };
+        let b = {
+            let sh = Arc::clone(&sh);
+            thread::spawn(move || improve(&sh, 2, 3))
+        };
+        let prober = {
+            let sh = Arc::clone(&sh);
+            thread::spawn(move || {
+                // The pool's deferred bound check: Relaxed loads are
+                // sound because fetch_min makes the bound monotone.
+                let b1 = sh.best_nops.load(Ordering::Relaxed);
+                let b2 = sh.best_nops.load(Ordering::Relaxed);
+                assert!(b2 <= b1, "published bound must be monotone: {b1} then {b2}");
+                assert!(
+                    b1 == 10 || b1 == 5 || b1 == 3,
+                    "bound must be one of the published values, got {b1}"
+                );
+            })
+        };
+
+        a.join();
+        b.join();
+        prober.join();
+
+        let g = sh.best.lock();
+        let bound = sh.best_nops.load(Ordering::Relaxed);
+        assert_eq!(
+            g.1, bound,
+            "payload and published bound must agree at quiescence"
+        );
+        assert_eq!(*g, (2, 3), "the best improver must own the payload");
+    });
+    assert!(report.ok(), "violations: {:?}", report.violations);
+    assert!(
+        report.interleavings >= 1000,
+        "interleaving floor: got {}",
+        report.interleavings
+    );
+}

@@ -1,0 +1,82 @@
+//! Protocol harness 4: two-phase `parallel_prove` merge completeness.
+//!
+//! Mirrors phase 2 of `parallel_prove` in `crates/core/src/parallel.rs`:
+//! root dispositions are claimed by index from a shared `next` counter,
+//! each claimed subtree is proved and its transcript *registered* into
+//! its result slot, and the run is certifiable only if every slot is
+//! filled — a spawned subtree whose transcript is never merged must make
+//! the merged certificate unbuildable, not silently vanish.
+//!
+//! The pending-counter shutdown protocol rides along: `pending` is
+//! incremented before work is visible and decremented after the
+//! transcript is registered (AcqRel, as in the pool), and the root
+//! asserts it reads exactly zero after joining — the Release half of
+//! every decrement is what makes the final Acquire read sound.
+
+use std::sync::Arc;
+
+use pipesched_check::model::sync::{AtomicU32, AtomicUsize, Mutex, Ordering};
+use pipesched_check::model::{explore, thread, Builder};
+
+const SUBTREES: usize = 3;
+
+struct Phase {
+    next: AtomicUsize,
+    pending: AtomicU32,
+    slots: Vec<Mutex<Option<u32>>>,
+}
+
+fn prover(ph: &Phase) {
+    loop {
+        let i = ph.next.fetch_add(1, Ordering::Relaxed);
+        if i >= SUBTREES {
+            return;
+        }
+        // "Prove" subtree i and register its transcript.
+        *ph.slots[i].lock() = Some(i as u32 * 10 + 7);
+        ph.pending.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[test]
+fn every_spawned_subtree_is_merged_or_not_certifiable() {
+    let builder = Builder::with_cap(5000);
+    let report = explore(&builder, || {
+        let ph = Arc::new(Phase {
+            next: AtomicUsize::new(0),
+            pending: AtomicU32::new(SUBTREES as u32),
+            slots: (0..SUBTREES).map(|_| Mutex::new(None)).collect(),
+        });
+
+        let provers: Vec<_> = (0..2)
+            .map(|_| {
+                let p = Arc::clone(&ph);
+                thread::spawn(move || prover(&p))
+            })
+            .collect();
+        for p in provers {
+            p.join();
+        }
+
+        assert_eq!(
+            ph.pending.load(Ordering::Acquire),
+            0,
+            "all claimed work must be accounted before merge"
+        );
+        // Merge: certifiable only when every transcript registered.
+        for (i, slot) in ph.slots.iter().enumerate() {
+            let t = slot.lock();
+            assert_eq!(
+                *t,
+                Some(i as u32 * 10 + 7),
+                "subtree {i} transcript missing from the merge"
+            );
+        }
+    });
+    assert!(report.ok(), "violations: {:?}", report.violations);
+    assert!(
+        report.interleavings >= 1000,
+        "interleaving floor: got {}",
+        report.interleavings
+    );
+}

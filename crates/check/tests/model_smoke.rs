@@ -1,0 +1,227 @@
+//! Sanity checks for the model runtime itself: interleaving counts on
+//! tiny programs with known schedule spaces, and one detector test per
+//! violation class. The four protocol harnesses live in their own
+//! files; this file pins the checker's own semantics.
+
+use std::sync::Arc;
+
+use pipesched_check::model::cell::RaceCell;
+use pipesched_check::model::sync::{AtomicU32, Mutex, Ordering};
+use pipesched_check::model::{explore, thread, Builder};
+use pipesched_check::ViolationCode;
+
+#[test]
+fn two_independent_ops_interleave_both_ways() {
+    // Each thread does one op on its own atomic: exactly the schedules
+    // of interleaving the spawn/join skeleton — small, but > 1 and
+    // exhaustively enumerated.
+    let report = explore(&Builder::default(), || {
+        let a = Arc::new(AtomicU32::new(0));
+        let b = Arc::new(AtomicU32::new(0));
+        let a2 = Arc::clone(&a);
+        let t = thread::spawn(move || {
+            a2.store(1, Ordering::Relaxed);
+        });
+        b.store(1, Ordering::Relaxed);
+        t.join();
+        assert_eq!(a.load(Ordering::Relaxed), 1);
+        assert_eq!(b.load(Ordering::Relaxed), 1);
+    });
+    assert!(report.ok(), "violations: {:?}", report.violations);
+    assert!(report.exhausted, "tiny program must be fully explored");
+    assert!(
+        report.interleavings >= 2,
+        "expected both orders, got {}",
+        report.interleavings
+    );
+}
+
+#[test]
+fn counter_increments_all_interleavings_sum() {
+    // Two threads each fetch_add 1: the total is 2 on every schedule
+    // (atomics don't lose updates), and multiple schedules exist.
+    let report = explore(&Builder::default(), || {
+        let n = Arc::new(AtomicU32::new(0));
+        let n2 = Arc::clone(&n);
+        let t = thread::spawn(move || {
+            n2.fetch_add(1, Ordering::Relaxed);
+        });
+        n.fetch_add(1, Ordering::Relaxed);
+        t.join();
+        assert_eq!(n.load(Ordering::Relaxed), 2);
+    });
+    assert!(report.ok(), "violations: {:?}", report.violations);
+    assert!(report.exhausted);
+    assert!(report.interleavings >= 2);
+}
+
+#[test]
+fn unsynchronized_cell_write_write_is_a_race() {
+    let report = explore(&Builder::default(), || {
+        let c = Arc::new(RaceCell::named("shared", 0u32));
+        let c2 = Arc::clone(&c);
+        let t = thread::spawn(move || {
+            c2.set(1);
+        });
+        c.set(2);
+        t.join();
+    });
+    assert_eq!(report.first_code(), Some(ViolationCode::DataRace));
+}
+
+#[test]
+fn release_acquire_protects_the_cell() {
+    // Classic message passing: write data, release-store flag; reader
+    // spins on acquire-load then reads data. No race on any schedule.
+    let report = explore(&Builder::default(), || {
+        let data = Arc::new(RaceCell::named("data", 0u32));
+        let flag = Arc::new(AtomicU32::new(0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d2.set(42);
+            f2.store(1, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(data.get(), 42);
+        }
+        t.join();
+    });
+    assert!(report.ok(), "violations: {:?}", report.violations);
+    assert!(
+        report.advisories.is_empty(),
+        "advisories: {:?}",
+        report.advisories
+    );
+    assert!(report.exhausted);
+}
+
+#[test]
+fn relaxed_flag_is_a_race_and_an_advisory() {
+    // Same shape but the flag store is Relaxed: the reader's acquire
+    // load synchronizes with nothing (A0704) and the data read races
+    // (A0701) on the schedule where the reader sees flag == 1.
+    let report = explore(&Builder::default(), || {
+        let data = Arc::new(RaceCell::named("data", 0u32));
+        let flag = Arc::new(AtomicU32::new(0));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d2.set(42);
+            f2.store(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            let _ = data.get();
+        }
+        t.join();
+    });
+    assert_eq!(report.first_code(), Some(ViolationCode::DataRace));
+    assert!(
+        report.has_code(ViolationCode::AcquireMisuse),
+        "expected the A0704 advisory too: {:?}",
+        report.advisories
+    );
+}
+
+#[test]
+fn ab_ba_locking_deadlocks_and_reports_the_cycle() {
+    let report = explore(&Builder::default(), || {
+        let a = Arc::new(Mutex::named("lock-a", ()));
+        let b = Arc::new(Mutex::named("lock-b", ()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = thread::spawn(move || {
+            let _ga = a2.lock();
+            let _gb = b2.lock();
+        });
+        let _gb = b.lock();
+        let _ga = a.lock();
+        drop(_ga);
+        drop(_gb);
+        t.join();
+    });
+    assert_eq!(report.first_code(), Some(ViolationCode::Deadlock));
+    assert!(
+        report.has_code(ViolationCode::LockOrderCycle),
+        "both orders were observed before the deadlock: {:?}",
+        report.lock_edges
+    );
+}
+
+#[test]
+fn leaking_a_guard_at_exit_is_flagged() {
+    let report = explore(&Builder::default(), || {
+        let m = Arc::new(Mutex::named("leaky", ()));
+        let m2 = Arc::clone(&m);
+        let t = thread::spawn(move || {
+            let g = m2.lock();
+            std::mem::forget(g);
+        });
+        t.join();
+    });
+    assert_eq!(report.first_code(), Some(ViolationCode::LockLeaked));
+}
+
+#[test]
+fn harness_assertion_failures_become_a0705() {
+    let report = explore(&Builder::default(), || {
+        let n = Arc::new(AtomicU32::new(0));
+        let n2 = Arc::clone(&n);
+        let t = thread::spawn(move || {
+            n2.store(1, Ordering::Relaxed);
+        });
+        // Wrong on the schedule where the spawned store wins the race.
+        assert_eq!(
+            n.load(Ordering::Relaxed),
+            0,
+            "store must not have happened yet"
+        );
+        t.join();
+    });
+    assert_eq!(report.first_code(), Some(ViolationCode::InvariantViolated));
+    let v = &report.violations[0];
+    assert!(
+        !v.trace.is_empty(),
+        "violation carries the interleaving trace"
+    );
+}
+
+#[test]
+fn condvar_handoff_has_no_lost_wakeup() {
+    use pipesched_check::model::sync::Condvar;
+    let report = explore(&Builder::default(), || {
+        let slot = Arc::new(Mutex::named("slot", None::<u32>));
+        let cv = Arc::new(Condvar::new());
+        let (s2, c2) = (Arc::clone(&slot), Arc::clone(&cv));
+        let t = thread::spawn(move || {
+            *s2.lock() = Some(7);
+            c2.notify_one();
+        });
+        let mut g = slot.lock();
+        while g.is_none() {
+            g = cv.wait(g);
+        }
+        assert_eq!(*g, Some(7));
+        drop(g);
+        t.join();
+    });
+    assert!(report.ok(), "violations: {:?}", report.violations);
+    assert!(report.exhausted);
+}
+
+#[test]
+fn exploration_is_deterministic() {
+    let run = || {
+        explore(&Builder::default(), || {
+            let n = Arc::new(AtomicU32::new(0));
+            let n2 = Arc::clone(&n);
+            let t = thread::spawn(move || {
+                n2.fetch_add(1, Ordering::AcqRel);
+                n2.fetch_add(1, Ordering::AcqRel);
+            });
+            n.fetch_add(1, Ordering::AcqRel);
+            t.join();
+        })
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.interleavings, b.interleavings);
+    assert_eq!(a.exhausted, b.exhausted);
+    assert_eq!(a.violations.len(), b.violations.len());
+}

@@ -1,0 +1,101 @@
+//! Protocol harness 3: λ/deadline/stop monotonicity.
+//!
+//! Mirrors the pool's global-stop protocol: a stopper thread records
+//! *why* the search is ending (deadline hit, bound proved) in plain
+//! data, then publishes `stop` with a Release store; workers poll with
+//! an Acquire load and charge Ω (the λ work counter) only while stop is
+//! unobserved. Explored invariants:
+//!
+//! * once a worker observes `stop`, it charges no further Ω — the total
+//!   Ω is bounded by the iterations workers ran before observation;
+//! * the reason data is fully visible to any observer of `stop`
+//!   (Release/Acquire message passing — the race detector proves the
+//!   edge is required: see the dropped-Release mutation in
+//!   `model_mutations.rs`);
+//! * `stop` is monotone: once set it stays set.
+
+use std::sync::Arc;
+
+use pipesched_check::model::cell::RaceCell;
+use pipesched_check::model::sync::{AtomicBool, AtomicU32, Ordering};
+use pipesched_check::model::{explore, thread, Builder};
+
+const ITERS: u32 = 3;
+
+struct Pool {
+    stop: AtomicBool,
+    /// Why the pool stopped: 0 = running, 1 = deadline, 2 = proved.
+    /// Deliberately unsynchronized data — only the Release/Acquire pair
+    /// on `stop` makes reading it safe.
+    reason: RaceCell<u32>,
+    omega_used: AtomicU32,
+}
+
+fn worker(pool: &Pool) -> u32 {
+    let mut charged = 0;
+    for _ in 0..ITERS {
+        if pool.stop.load(Ordering::Acquire) {
+            let why = pool.reason.get();
+            assert!(why != 0, "observed stop but reason not yet visible");
+            return charged;
+        }
+        pool.omega_used.fetch_add(1, Ordering::Relaxed);
+        charged += 1;
+    }
+    charged
+}
+
+#[test]
+fn stop_is_monotone_and_omega_is_bounded() {
+    let builder = Builder::with_cap(5000);
+    let report = explore(&builder, || {
+        let pool = Arc::new(Pool {
+            stop: AtomicBool::new(false),
+            reason: RaceCell::named("stop-reason", 0),
+            omega_used: AtomicU32::new(0),
+        });
+
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let p = Arc::clone(&pool);
+                thread::spawn(move || {
+                    worker(&p);
+                })
+            })
+            .collect();
+
+        let stopper = {
+            let p = Arc::clone(&pool);
+            thread::spawn(move || {
+                p.reason.set(1);
+                p.stop.store(true, Ordering::Release);
+            })
+        };
+
+        for w in workers {
+            w.join();
+        }
+        stopper.join();
+
+        assert!(
+            pool.stop.load(Ordering::Acquire),
+            "stop must stay set once published"
+        );
+        let omega = pool.omega_used.load(Ordering::Relaxed);
+        assert!(
+            omega <= 2 * ITERS,
+            "Ω must be bounded by pre-observation work, got {omega}"
+        );
+    });
+    assert!(report.ok(), "violations: {:?}", report.violations);
+    assert!(
+        report.advisories.is_empty(),
+        "release/acquire pairing must be clean: {:?}",
+        report.advisories
+    );
+    assert!(
+        report.interleavings >= 1000,
+        "interleaving floor: got {}",
+        report.interleavings
+    );
+}

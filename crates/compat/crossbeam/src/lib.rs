@@ -66,9 +66,16 @@ pub use thread::scope;
 /// rather than a lock-free array — correct under the same protocol, with
 /// coarser contention behaviour. The workspace's workloads move whole
 /// search subtrees per element, so element-level lock cost is noise.
+///
+/// The storage mutex is the `pipesched-check` facade: under
+/// `RUSTFLAGS="--cfg model"` every push/pop/steal becomes a scheduling
+/// point of the deterministic model checker, and the linearizability
+/// harness in `crates/check/tests/model_deque.rs` explores this very
+/// code's interleavings.
 pub mod deque {
+    use pipesched_check::sync::Mutex;
     use std::collections::VecDeque;
-    use std::sync::{Arc, Mutex};
+    use std::sync::Arc;
 
     /// Outcome of a steal attempt (mirrors `crossbeam_deque::Steal`).
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -139,29 +146,29 @@ pub mod deque {
 
         /// Push a task at the bottom (owner end).
         pub fn push(&self, task: T) {
-            self.inner.lock().expect("deque poisoned").push_back(task);
+            self.inner.lock().push_back(task);
         }
 
         /// Pop the most recently pushed task (owner end, LIFO).
         pub fn pop(&self) -> Option<T> {
-            self.inner.lock().expect("deque poisoned").pop_back()
+            self.inner.lock().pop_back()
         }
 
         /// True when no tasks are queued.
         pub fn is_empty(&self) -> bool {
-            self.inner.lock().expect("deque poisoned").is_empty()
+            self.inner.lock().is_empty()
         }
 
         /// Number of queued tasks.
         pub fn len(&self) -> usize {
-            self.inner.lock().expect("deque poisoned").len()
+            self.inner.lock().len()
         }
     }
 
     impl<T> Stealer<T> {
         /// Steal the oldest task (top end, FIFO).
         pub fn steal(&self) -> Steal<T> {
-            match self.inner.lock().expect("deque poisoned").pop_front() {
+            match self.inner.lock().pop_front() {
                 Some(t) => Steal::Success(t),
                 None => Steal::Empty,
             }
@@ -169,12 +176,16 @@ pub mod deque {
 
         /// True when no tasks are queued.
         pub fn is_empty(&self) -> bool {
-            self.inner.lock().expect("deque poisoned").is_empty()
+            self.inner.lock().is_empty()
         }
     }
 }
 
-#[cfg(test)]
+// The deque tests lock outside a model exploration, so they are compiled
+// out under `--cfg model` (the instrumented facade requires
+// `model::explore`); the model-mode coverage lives in
+// `crates/check/tests/model_deque.rs`.
+#[cfg(all(test, not(model)))]
 mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
 

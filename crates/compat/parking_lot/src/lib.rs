@@ -1,59 +1,26 @@
-//! Offline stand-in for `parking_lot`, backed by `std::sync`.
+//! Offline stand-in for `parking_lot`, backed by the `pipesched-check`
+//! synchronization facade.
 //!
 //! The only behavioural differences that matter to this workspace: `lock()`
 //! returns the guard directly (poisoning is swallowed, matching
 //! `parking_lot`'s poison-free semantics), and `into_inner()` is infallible.
-
-use std::sync::TryLockError;
+//!
+//! On a normal build the facade is a thin wrapper over `std::sync`; under
+//! `RUSTFLAGS="--cfg model"` every lock routes through the deterministic
+//! model checker's instrumented scheduler, so code using this shim can be
+//! model-checked without modification (see `crates/check`). `RwLock` stays
+//! std-backed — nothing the model harnesses cover uses it.
 
 /// Guard type returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+pub type MutexGuard<'a, T> = pipesched_check::sync::MutexGuard<'a, T>;
 
-/// A poison-free mutex with `parking_lot`'s calling convention.
-#[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+/// A poison-free mutex with `parking_lot`'s calling convention, routed
+/// through the `pipesched-check` facade.
+pub type Mutex<T> = pipesched_check::sync::Mutex<T>;
 
-impl<T> Mutex<T> {
-    /// Wrap a value.
-    pub fn new(value: T) -> Self {
-        Mutex(std::sync::Mutex::new(value))
-    }
-
-    /// Consume the mutex, returning the value.
-    pub fn into_inner(self) -> T {
-        match self.0.into_inner() {
-            Ok(v) => v,
-            Err(poison) => poison.into_inner(),
-        }
-    }
-}
-
-impl<T: ?Sized> Mutex<T> {
-    /// Acquire the lock, blocking until available.
-    pub fn lock(&self) -> MutexGuard<'_, T> {
-        match self.0.lock() {
-            Ok(g) => g,
-            Err(poison) => poison.into_inner(),
-        }
-    }
-
-    /// Try to acquire the lock without blocking.
-    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(g),
-            Err(TryLockError::Poisoned(poison)) => Some(poison.into_inner()),
-            Err(TryLockError::WouldBlock) => None,
-        }
-    }
-
-    /// Mutable access without locking (requires exclusive borrow).
-    pub fn get_mut(&mut self) -> &mut T {
-        match self.0.get_mut() {
-            Ok(v) => v,
-            Err(poison) => poison.into_inner(),
-        }
-    }
-}
+/// A condition variable with `parking_lot`'s poison-free convention,
+/// routed through the `pipesched-check` facade.
+pub type Condvar = pipesched_check::sync::Condvar;
 
 /// Guard type returned by [`RwLock::read`].
 pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
@@ -97,7 +64,7 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(model)))]
 mod tests {
     use super::*;
 

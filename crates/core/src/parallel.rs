@@ -53,8 +53,25 @@
 //! work, and a budget too small to certify truncates the certificate
 //! (`complete = false`, rejected by the checker) exactly like a truncated
 //! serial proof run.
+//!
+//! # Concurrency checking
+//!
+//! All synchronization here goes through the `pipesched_check::sync`
+//! facade (the atomics below, plus the `parking_lot`-shim mutex and the
+//! crossbeam-shim deques, which route through the same facade). On a
+//! normal build the facade is std; under `RUSTFLAGS="--cfg model"` every
+//! operation becomes a scheduling point of the deterministic model
+//! checker in `crates/check`, whose harnesses
+//! (`crates/check/tests/model_*.rs`) explore the four protocols this
+//! module relies on: deque push/pop/steal linearizability, incumbent
+//! publication (`PoolPolicy::improved`), λ/deadline/stop monotonicity
+//! (`note_stop`/`poll_stop`), and two-phase `parallel_prove` merge
+//! completeness. Every `Ordering` choice below carries either an upgrade
+//! demanded by those harnesses or a `relaxed-ok:` comment stating the
+//! invariant that keeps `Relaxed` sound (enforced by the
+//! `lint-atomics` source lint in CI).
 
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use pipesched_check::sync::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 use crossbeam::deque::{Steal, Stealer, Worker as Deque};
 use parking_lot::Mutex;
@@ -167,11 +184,18 @@ impl Shared {
 
     /// Charge one Ω call against the pool budget; true ⇒ exhausted.
     fn charge_omega(&self) -> bool {
+        // relaxed-ok: pure counter. The only decision made on the value is
+        // "budget exhausted", which every worker re-derives from its own
+        // fetch_add; the authoritative final read happens after scope join.
         self.omega_used.fetch_add(1, Ordering::Relaxed) + 1 >= self.lambda
     }
 
     /// Propagate a worker's local stop cause to the pool.
     fn note_stop(&self, stats: &SearchStats) {
+        // relaxed-ok: the cause flags are written before the Release store
+        // of `stop` below, so any worker (or the coordinator) that observes
+        // `stop` with Acquire also observes them; the final authoritative
+        // reads additionally happen after scope join.
         if stats.proved_by_bound {
             self.proved.store(true, Ordering::Relaxed);
         }
@@ -179,9 +203,14 @@ impl Shared {
             self.deadline_hit.store(true, Ordering::Relaxed);
         }
         if stats.truncated {
+            // relaxed-ok: cause flag, published by the Release below.
             self.truncated.store(true, Ordering::Relaxed);
         }
-        self.stop.store(true, Ordering::Relaxed);
+        // Release publishes the cause flags with the stop signal. The
+        // model checker's stop-protocol harness (and its dropped-Release
+        // mutation, pinned to A0701) demands exactly this pairing with the
+        // Acquire in `poll_stop`/`worker_loop`.
+        self.stop.store(true, Ordering::Release);
     }
 }
 
@@ -203,15 +232,27 @@ impl SearchPolicy for PoolPolicy<'_> {
 
     #[inline]
     fn poll_stop(&mut self) -> bool {
-        self.shared.stop.load(Ordering::Relaxed)
+        // Acquire pairs with the Release in `note_stop`: observing `stop`
+        // also makes the cause flags (and anything the stopper published
+        // before it) visible.
+        self.shared.stop.load(Ordering::Acquire)
     }
 
     #[inline]
     fn shared_best(&mut self, local: u32) -> u32 {
+        // relaxed-ok: the bound is only used to prune, and `fetch_min`
+        // makes it monotone non-increasing — a stale read is merely a
+        // looser bound, never an unsound one. Pinned by the incumbent
+        // harness's monotonicity probe in crates/check.
         local.min(self.shared.best_nops.load(Ordering::Relaxed))
     }
 
     fn improved(&mut self, mu: u32, order: &[TupleId]) {
+        // SeqCst gives all workers a single total order of incumbent
+        // publications, so exactly one improver wins `mu < prev` per
+        // value; the recheck under the payload lock below closes the
+        // window between publication and payload write (the unguarded
+        // variant is the A0705 mutation in crates/check).
         let prev = self.shared.best_nops.fetch_min(mu, Ordering::SeqCst);
         if mu < prev {
             let mut best = self.shared.best.lock();
@@ -263,7 +304,9 @@ impl SearchPolicy for ProvePolicy<'_> {
 
     #[inline]
     fn poll_stop(&mut self) -> bool {
-        self.shared.stop.load(Ordering::Relaxed)
+        // Acquire pairs with the Release in `note_stop` (see
+        // `PoolPolicy::poll_stop`).
+        self.shared.stop.load(Ordering::Acquire)
     }
 
     fn stopping(&mut self, stats: &SearchStats) {
@@ -326,7 +369,9 @@ fn worker_loop(
         spawned: Vec::new(),
     };
     loop {
-        if shared.stop.load(Ordering::Relaxed) {
+        // Acquire pairs with the Release in `note_stop`: a worker that
+        // exits on the stop signal also sees the cause flags.
+        if shared.stop.load(Ordering::Acquire) {
             break;
         }
         let task = match own.pop() {
@@ -334,6 +379,9 @@ fn worker_loop(
             None => steal_task(stealers, me, &mut stats),
         };
         let Some(task) = task else {
+            // Acquire pairs with the AcqRel counter updates below: a
+            // worker that reads 0 has seen every completed task's pushes,
+            // so an empty steal sweep really means the tree is done.
             if shared.pending.load(Ordering::Acquire) == 0 {
                 break;
             }
@@ -342,6 +390,9 @@ fn worker_loop(
         };
         // Deferred step [6]: the bound recorded at split time against the
         // incumbent of *this* moment (it can only have tightened since).
+        // relaxed-ok: monotone bound via fetch_min, used only to prune —
+        // a stale read admits a subtree the serial search would cut, but
+        // never cuts one it would keep.
         let best = shared.best_nops.load(Ordering::Relaxed);
         if task.bound < best {
             let st = run_subtree(
@@ -367,6 +418,11 @@ fn worker_loop(
         } else {
             stats.pruned_bound += 1;
         }
+        // AcqRel: the Release half publishes this task's deque pushes to
+        // whichever worker's Acquire read of `pending` observes the count;
+        // the Acquire half keeps the counter a valid termination barrier
+        // (a worker that reads 0 has seen every completed task's effects).
+        // Explored by the merge harness in crates/check.
         shared.pending.fetch_sub(1, Ordering::AcqRel);
     }
     stats
@@ -432,6 +488,8 @@ fn pool_phase(
     .expect("parallel search worker panicked");
 
     let mut stats = *stats_acc.lock();
+    // relaxed-ok (all four loads): the scope join above happens-before
+    // these reads, so every worker's final stores are already visible.
     let proved = shared.proved.load(Ordering::Relaxed);
     stats.proved_by_bound = proved;
     stats.deadline_hit = !proved && shared.deadline_hit.load(Ordering::Relaxed);
@@ -444,6 +502,45 @@ fn pool_phase(
         stats,
         proved,
         omega_used,
+    }
+}
+
+/// Shared pre-search triage on the seed schedule. [`parallel_search`]
+/// and [`parallel_prove`] early-out identically when the list schedule
+/// already settles the instance; only the certificate plumbing differs.
+enum SeedVerdict {
+    /// The seed meets the whole-block lower bound: optimal, proved.
+    Proved,
+    /// The deadline expired before any exploration; the seed answers.
+    DeadlineExpired,
+    /// Nothing settled — run the pool.
+    Search,
+}
+
+fn assess_seed(cfg: &SearchConfig, seed: &SearchSeed) -> SeedVerdict {
+    if cfg.terminate_on_lower_bound && seed.proved_by_bound() {
+        SeedVerdict::Proved
+    } else if cfg.deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+        SeedVerdict::DeadlineExpired
+    } else {
+        SeedVerdict::Search
+    }
+}
+
+/// Stats for a [`SeedVerdict::Proved`] early-out.
+fn proved_stats() -> SearchStats {
+    SearchStats {
+        proved_by_bound: true,
+        ..SearchStats::default()
+    }
+}
+
+/// Stats for a [`SeedVerdict::DeadlineExpired`] early-out.
+fn deadline_stats() -> SearchStats {
+    SearchStats {
+        truncated: true,
+        deadline_hit: true,
+        ..SearchStats::default()
     }
 }
 
@@ -489,29 +586,13 @@ pub fn parallel_search(
     if n <= 1 {
         return seed_outcome(ctx, seed, true, SearchStats::default());
     }
-    if cfg.terminate_on_lower_bound && seed.proved_by_bound() {
-        return seed_outcome(
-            ctx,
-            seed,
-            true,
-            SearchStats {
-                proved_by_bound: true,
-                ..SearchStats::default()
-            },
-        );
-    }
-    if cfg.deadline.is_some_and(|d| std::time::Instant::now() >= d) {
-        // Out of time before any exploration: the list schedule answers.
-        return seed_outcome(
-            ctx,
-            seed,
-            false,
-            SearchStats {
-                truncated: true,
-                deadline_hit: true,
-                ..SearchStats::default()
-            },
-        );
+    match assess_seed(cfg, &seed) {
+        SeedVerdict::Proved => return seed_outcome(ctx, seed, true, proved_stats()),
+        SeedVerdict::DeadlineExpired => {
+            // Out of time before any exploration: the list schedule answers.
+            return seed_outcome(ctx, seed, false, deadline_stats());
+        }
+        SeedVerdict::Search => {}
     }
 
     let pool = pool_phase(ctx, cfg, par, &boundary, &seed);
@@ -671,53 +752,38 @@ pub fn parallel_prove(
         initial_nops: seed.nops,
     };
 
-    if cfg.terminate_on_lower_bound && seed.proved_by_bound() {
-        // Degenerate: the list schedule meets the whole-block lower bound.
-        let lb = seed.global_lb;
-        let trailer = CertificateTrailer {
-            order: header.initial_order.clone(),
-            nops: seed.nops,
-            complete: true,
-        };
-        let outcome = seed_outcome(
-            ctx,
-            seed,
-            true,
-            SearchStats {
-                proved_by_bound: true,
-                ..SearchStats::default()
-            },
-        );
-        let proof = ParallelProof {
-            header,
-            parts: vec![vec![ProofEvent::ProvedByBound { lb }]],
-            trailer,
-        };
-        return (outcome, proof);
-    }
-
-    if cfg.deadline.is_some_and(|d| std::time::Instant::now() >= d) {
-        let trailer = CertificateTrailer {
-            order: header.initial_order.clone(),
-            nops: seed.nops,
-            complete: false,
-        };
-        let outcome = seed_outcome(
-            ctx,
-            seed,
-            false,
-            SearchStats {
-                truncated: true,
-                deadline_hit: true,
-                ..SearchStats::default()
-            },
-        );
-        let proof = ParallelProof {
-            header,
-            parts: Vec::new(),
-            trailer,
-        };
-        return (outcome, proof);
+    match assess_seed(cfg, &seed) {
+        SeedVerdict::Proved => {
+            // Degenerate: the list schedule meets the whole-block bound.
+            let lb = seed.global_lb;
+            let trailer = CertificateTrailer {
+                order: header.initial_order.clone(),
+                nops: seed.nops,
+                complete: true,
+            };
+            let outcome = seed_outcome(ctx, seed, true, proved_stats());
+            let proof = ParallelProof {
+                header,
+                parts: vec![vec![ProofEvent::ProvedByBound { lb }]],
+                trailer,
+            };
+            return (outcome, proof);
+        }
+        SeedVerdict::DeadlineExpired => {
+            let trailer = CertificateTrailer {
+                order: header.initial_order.clone(),
+                nops: seed.nops,
+                complete: false,
+            };
+            let outcome = seed_outcome(ctx, seed, false, deadline_stats());
+            let proof = ParallelProof {
+                header,
+                parts: Vec::new(),
+                trailer,
+            };
+            return (outcome, proof);
+        }
+        SeedVerdict::Search => {}
     }
 
     // ---- Phase 1: find μ* with the work-stealing pool. ----
@@ -861,6 +927,8 @@ pub fn parallel_prove(
     // phase 1's Ω spend; stop/proved flags reset so the subtree workers
     // actually run.
     let shared2 = Shared::new(cfg, &seed);
+    // relaxed-ok: written before any phase-2 worker is spawned; the
+    // spawn edge orders it for every reader.
     shared2.omega_used.store(pool.omega_used, Ordering::Relaxed);
     let worker_cfg = SearchConfig {
         lambda: u64::MAX,
@@ -904,6 +972,8 @@ pub fn parallel_prove(
         parts.push(policy.events);
     }
 
+    // relaxed-ok: part 0 ran on this thread (program order); no other
+    // thread is running yet.
     if !proved_in_part0 && !shared2.stop.load(Ordering::Relaxed) {
         // Every other disposition, in parallel across entered subtrees.
         type SubtreeSlot = Mutex<Option<(Vec<ProofEvent>, SearchStats)>>;
@@ -919,6 +989,10 @@ pub fn parallel_prove(
                 let worker_cfg = &worker_cfg;
                 let boundary = &boundary;
                 scope.spawn(move |_| loop {
+                    // relaxed-ok: only the returned index is used — each
+                    // claimed slot is a Mutex, and the final reads happen
+                    // after scope join. Claim uniqueness needs atomicity,
+                    // not ordering (merge-completeness harness).
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= disps.len() {
                         break;
@@ -963,6 +1037,8 @@ pub fn parallel_prove(
         parts.push(vec![ProofEvent::Leave]);
     }
 
+    // relaxed-ok (here and deadline_hit below): read after scope join /
+    // single-threaded part 0 — all worker stores are already visible.
     let phase2_truncated = !proved_in_part0 && shared2.truncated.load(Ordering::Relaxed);
     let complete = !phase2_truncated;
 

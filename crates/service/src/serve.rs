@@ -17,15 +17,18 @@
 //! request records a span tree through parse → cache → tier escalation
 //! and the response carries its `trace_id`.
 //!
-//! The vendored `crossbeam` shim has no channels and the `parking_lot`
-//! shim no `Condvar`, so the job queue is a plain `std::sync` mutex +
-//! condvar pair — adequate here because each job carries milliseconds of
-//! scheduling work, not nanoseconds of queue traffic.
+//! The vendored `crossbeam` shim has no channels, so the job queue is a
+//! mutex + condvar pair from the `pipesched_check::sync` facade —
+//! adequate here because each job carries milliseconds of scheduling
+//! work, not nanoseconds of queue traffic. Routing through the facade
+//! means a `--cfg model` build turns every queue operation into a
+//! scheduling point of the deterministic model checker, so the
+//! push/pop/shutdown protocol is explorable like the pool's.
 
+use pipesched_check::sync::{Condvar, Mutex};
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Cursor, Read, Write};
 use std::net::TcpListener;
-use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 use crate::engine::ServiceEngine;
@@ -63,18 +66,18 @@ impl Queue {
     }
 
     fn push(&self, job: Job) {
-        self.jobs.lock().unwrap().push(job);
+        self.jobs.lock().push(job);
         self.ready.notify_one();
     }
 
     fn pop(&self) -> Job {
-        let mut jobs = self.jobs.lock().unwrap();
+        let mut jobs = self.jobs.lock();
         loop {
             // FIFO: jobs were pushed in input order, take from the front.
             if !jobs.is_empty() {
                 return jobs.remove(0);
             }
-            jobs = self.ready.wait(jobs).unwrap();
+            jobs = self.ready.wait(jobs);
         }
     }
 }
@@ -125,9 +128,9 @@ pub fn serve_stream<R: BufRead, W: Write + Send>(
                     Job::Line { seq, line } => (seq, line),
                 };
                 let rendered = handle_line(engine, &line);
-                let mut sink = sink.lock().unwrap();
+                let mut sink = sink.lock();
                 if let Err(e) = sink.emit(seq, rendered) {
-                    io_error.lock().unwrap().get_or_insert(e);
+                    io_error.lock().get_or_insert(e);
                     return;
                 }
             });
@@ -144,7 +147,7 @@ pub fn serve_stream<R: BufRead, W: Write + Send>(
                     seq += 1;
                 }
                 Err(e) => {
-                    io_error.lock().unwrap().get_or_insert(e);
+                    io_error.lock().get_or_insert(e);
                     break;
                 }
             }
@@ -155,7 +158,7 @@ pub fn serve_stream<R: BufRead, W: Write + Send>(
         }
     });
 
-    match io_error.into_inner().unwrap() {
+    match io_error.into_inner() {
         Some(e) => Err(e),
         None => Ok(handled),
     }

@@ -132,6 +132,9 @@ pub fn race(ctx: &SchedContext<'_>, cfg: &RaceConfig) -> RaceOutcome {
         let bnb = search(ctx, &bnb_cfg);
         let bnb_micros = t0.elapsed().as_micros() as u64;
         if cfg.cancel_loser && bnb.optimal {
+            // relaxed-ok: pure cancellation flag with no payload — the
+            // SAT side merely aborts when it observes the flag; it reads
+            // nothing this store would need to publish.
             stop.store(true, Ordering::Relaxed);
         }
         let (sat, sat_micros) = sat_handle.join().expect("SAT backend thread panicked");

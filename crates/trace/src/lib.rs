@@ -62,6 +62,8 @@ pub fn now_ns() -> u64 {
 /// Globally switch tracing on or off. Off is the default; when off,
 /// [`begin`] / [`span`] / [`point`] are single-atomic-load no-ops.
 pub fn set_enabled(on: bool) {
+    // relaxed-ok: a pure on/off toggle with no dependent data — readers
+    // act only on the flag value itself, so no ordering is needed.
     ENABLED.store(on, Ordering::Relaxed);
 }
 

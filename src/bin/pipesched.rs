@@ -6,6 +6,7 @@
 //!                   [--regs N]
 //! pipesched lint [INPUT ...] [--machine NAME|FILE] [--json] [--no-optimize]
 //!                [--frontend] [--strict]
+//! pipesched lint --concurrency [DIR ...] [--json] [--strict]
 //! pipesched certify <input> [--machine NAME|FILE] [--lambda N] [--window N]
 //!                   [--parallel] [--json] [--no-optimize]
 //!
@@ -68,6 +69,7 @@ fn usage() -> ! {
          \x20                [--no-optimize] [--regs N] [--json] [--proof FILE.ndjson]\n\
          \x20      pipesched lint [INPUT|DIR ...] [--machine NAME|FILE] [--json] [--no-optimize]\n\
          \x20                [--frontend] [--strict]\n\
+         \x20      pipesched lint --concurrency [DIR ...] [--json] [--strict]\n\
          \x20      pipesched certify <input> [--machine NAME|FILE] [--lambda N] [--window N]\n\
          \x20                [--parallel] [--threads N] [--json] [--no-optimize]\n\
          \x20                [--proof FILE.ndjson]\n\
@@ -253,6 +255,9 @@ struct AnalyzeOptions {
     frontend: bool,
     /// `lint --strict`: warnings also fail the exit code.
     strict: bool,
+    /// `lint --concurrency`: static lock-order scan over Rust sources
+    /// instead of IR linting (inputs become directories to scan).
+    concurrency: bool,
 }
 
 fn parse_analyze_options() -> Result<AnalyzeOptions, String> {
@@ -268,6 +273,7 @@ fn parse_analyze_options() -> Result<AnalyzeOptions, String> {
         proof: None,
         frontend: false,
         strict: false,
+        concurrency: false,
     };
     let mut args = std::env::args().skip(2);
     while let Some(a) = args.next() {
@@ -292,6 +298,7 @@ fn parse_analyze_options() -> Result<AnalyzeOptions, String> {
             "--no-optimize" => opts.optimize = false,
             "--frontend" => opts.frontend = true,
             "--strict" => opts.strict = true,
+            "--concurrency" => opts.concurrency = true,
             "--help" | "-h" => usage(),
             "-" => opts.inputs.push("-".into()),
             other if !other.starts_with('-') => opts.inputs.push(other.to_string()),
@@ -447,11 +454,69 @@ fn lint_input(input: &str, opts: &AnalyzeOptions) -> Result<Vec<analyze::Report>
     Ok(reports)
 }
 
+/// `pipesched lint --concurrency`: the static lock-order scan from
+/// `pipesched-check` over Rust sources (default: this workspace's own
+/// `crates/` and `src/`). Every observed `held -> acquired` edge is
+/// advisory `A0707` context; a cycle in the edge graph is an `A0702`
+/// error. The scan keys locks by field name, so it over-approximates —
+/// it is a reviewable report, not a proof; the model checker's dynamic
+/// edges cover the soundness side.
+fn concurrency_report(inputs: &[String]) -> analyze::Report {
+    let roots: Vec<std::path::PathBuf> = if inputs.is_empty() {
+        // Sweep every workspace crate except `crates/check`: the checker's
+        // sources and harnesses contain deliberately buggy lock-order
+        // fixtures (the mutation suite), which would always "fail" here.
+        let mut roots: Vec<std::path::PathBuf> = std::fs::read_dir("crates")
+            .map(|entries| {
+                entries
+                    .flatten()
+                    .map(|e| e.path())
+                    .filter(|p| p.is_dir() && p.file_name().is_some_and(|n| n != "check"))
+                    .collect()
+            })
+            .unwrap_or_default();
+        roots.sort();
+        roots.push("src".into());
+        roots
+    } else {
+        inputs.iter().map(std::path::PathBuf::from).collect()
+    };
+    let scan = pipesched::check::lockorder::scan_paths(&roots);
+    let mut report = analyze::Report::new(format!(
+        "concurrency: lock order over {} file(s), {} lock site(s)",
+        scan.files, scan.sites
+    ));
+    for edge in &scan.edges {
+        report.push(
+            analyze::Diagnostic::new(
+                analyze::DiagCode::LockOrderEdge,
+                format!("`{}` acquired while holding `{}`", edge.acquired, edge.held),
+            )
+            .at_location(format!("{}:{}", edge.file, edge.line)),
+        );
+    }
+    for cycle in &scan.cycles {
+        report.push(
+            analyze::Diagnostic::new(
+                analyze::DiagCode::LockOrderCycle,
+                format!("inconsistent acquisition order: {}", cycle.join(" -> ")),
+            )
+            .with_hint("acquire these locks in one global order everywhere"),
+        );
+    }
+    report
+}
+
 /// `pipesched lint`: machine-description lints plus IR checks per input.
 /// Inputs may be files, directories (searched recursively for `.src` and
-/// `.tuples`), or `-`; each block gets its own report.
+/// `.tuples`), or `-`; each block gets its own report. With
+/// `--concurrency`, runs the lock-order source scan instead.
 fn run_lint() -> Result<ExitCode, String> {
     let opts = parse_analyze_options()?;
+    if opts.concurrency {
+        let report = concurrency_report(&opts.inputs);
+        return Ok(emit_reports(&[report], opts.json, opts.strict));
+    }
     let machine = load_machine(&opts.machine)?;
     let mut reports = vec![analyze::check_machine(&machine)];
     for input in &expand_inputs(&opts.inputs)? {

@@ -2,6 +2,7 @@
 
 //! Umbrella crate re-exporting the `pipesched` workspace public API.
 pub use pipesched_analyze as analyze;
+pub use pipesched_check as check;
 pub use pipesched_core as core;
 pub use pipesched_frontend as frontend;
 pub use pipesched_ir as ir;

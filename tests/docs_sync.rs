@@ -131,3 +131,52 @@ fn a06xx_table_complete_both_directions() {
          documented {documented:?}\nregistered {registered:?}"
     );
 }
+
+/// The concurrency family (`A07xx`) specifically: every code the
+/// analyzer registers is documented, and every documented `A07` row
+/// names a registered code — in both directions, independently of the
+/// full-table check above. The model checker's own `ViolationCode`
+/// strings must also resolve to registered analyzer codes, so a
+/// violation surfaced through the CLI always has a documented code.
+#[test]
+fn a07xx_table_complete_both_directions() {
+    let rows = readme_rows();
+    let registered: Vec<&str> = DiagCode::ALL
+        .iter()
+        .map(|c| c.as_str())
+        .filter(|s| s.starts_with("A07"))
+        .collect();
+    assert!(
+        !registered.is_empty(),
+        "analyzer registers no A07xx codes — concurrency codes missing"
+    );
+    let documented: Vec<&String> = rows.keys().filter(|c| c.starts_with("A07")).collect();
+    for code in &registered {
+        assert!(
+            rows.contains_key(*code),
+            "A07xx code {code} is not documented in README.md"
+        );
+    }
+    assert_eq!(
+        documented.len(),
+        registered.len(),
+        "README documents A07xx rows for codes the analyzer does not register:\n\
+         documented {documented:?}\nregistered {registered:?}"
+    );
+    // Cross-registry coherence: every model-checker violation code is a
+    // registered (and therefore documented) analyzer code.
+    for v in [
+        pipesched::check::ViolationCode::DataRace,
+        pipesched::check::ViolationCode::LockOrderCycle,
+        pipesched::check::ViolationCode::Deadlock,
+        pipesched::check::ViolationCode::AcquireMisuse,
+        pipesched::check::ViolationCode::InvariantViolated,
+        pipesched::check::ViolationCode::LockLeaked,
+    ] {
+        assert!(
+            v.as_str().parse::<DiagCode>().is_ok(),
+            "model-checker code {} has no analyzer registration",
+            v.as_str()
+        );
+    }
+}
