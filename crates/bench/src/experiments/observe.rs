@@ -56,6 +56,9 @@ pub struct ObserveReport {
     pub disabled_again_micros: u64,
     /// Whole-replay wall clock with tracing enabled, microseconds.
     pub traced_micros: u64,
+    /// Whole-replay wall clock with the flight recorder enabled (span
+    /// tracing off), microseconds.
+    pub flight_micros: u64,
 }
 
 impl ObserveReport {
@@ -76,6 +79,18 @@ impl ObserveReport {
             return 0.0;
         }
         100.0 * (self.traced_micros as f64 - base as f64) / base as f64
+    }
+
+    /// Cost of the flight recorder *on* (one wide event per request into
+    /// the ring) relative to the faster disabled pass, percent. The
+    /// disabled passes already price the recorder's off path — a single
+    /// relaxed load per request — inside the < 2% disabled gate.
+    pub fn flight_overhead_pct(&self) -> f64 {
+        let base = self.disabled_micros.min(self.disabled_again_micros);
+        if base == 0 {
+            return 0.0;
+        }
+        100.0 * (self.flight_micros as f64 - base as f64) / base as f64
     }
 
     /// Render the experiment as a metric table.
@@ -115,12 +130,20 @@ impl ObserveReport {
             f(self.traced_micros as f64 / 1e3, 1),
         ]);
         t.row([
+            "flight pass (ms)".to_string(),
+            f(self.flight_micros as f64 / 1e3, 1),
+        ]);
+        t.row([
             "disabled-path delta (%)".to_string(),
             f(self.disabled_overhead_pct(), 2),
         ]);
         t.row([
             "tracing-on overhead (%)".to_string(),
             f(self.traced_overhead_pct(), 2),
+        ]);
+        t.row([
+            "flight-on overhead (%)".to_string(),
+            f(self.flight_overhead_pct(), 2),
         ]);
         t
     }
@@ -150,8 +173,10 @@ impl ObserveReport {
             ("disabled_micros", self.disabled_micros as i64),
             ("disabled_again_micros", self.disabled_again_micros as i64),
             ("traced_micros", self.traced_micros as i64),
+            ("flight_micros", self.flight_micros as i64),
             ("disabled_overhead_pct", self.disabled_overhead_pct()),
             ("traced_overhead_pct", self.traced_overhead_pct()),
+            ("flight_overhead_pct", self.flight_overhead_pct()),
         ]
     }
 }
@@ -168,9 +193,12 @@ fn replay(input: &str, workers: usize) -> (ServiceEngine, u64) {
 
 /// Replay the repeated-shapes workload and price the tracing layer.
 pub fn run(requests: usize, shapes: usize, workers: usize) -> ObserveReport {
-    // Tracing must start disabled: an earlier experiment (or test) in the
-    // same process may have left it on.
+    // Tracing and the flight recorder must start disabled: an earlier
+    // experiment (or test) in the same process may have left them on.
+    // With both off, the disabled passes price *all* compiled-in
+    // observability — each request pays one relaxed load per layer.
     pipesched_trace::set_enabled(false);
+    pipesched_trace::flight::set_enabled(false);
     let input = workload(requests, shapes);
 
     // Metrics pass: one replay, tracing off, read the fleet-wide view.
@@ -191,12 +219,13 @@ pub fn run(requests: usize, shapes: usize, workers: usize) -> ObserveReport {
         disabled_micros: 0,
         disabled_again_micros: 0,
         traced_micros: 0,
+        flight_micros: 0,
     };
 
     // Timing passes: fresh engine per pass so every repetition does the
     // same searches; the two disabled passes run back to back (the gate
     // is their delta), the traced pass last. Min over repetitions.
-    let (mut d1, mut d2, mut tr) = (u64::MAX, u64::MAX, u64::MAX);
+    let (mut d1, mut d2, mut tr, mut fl) = (u64::MAX, u64::MAX, u64::MAX, u64::MAX);
     for _ in 0..5 {
         let (_, t) = replay(&input, workers);
         d1 = d1.min(t);
@@ -207,12 +236,18 @@ pub fn run(requests: usize, shapes: usize, workers: usize) -> ObserveReport {
         pipesched_trace::set_enabled(false);
         tr = tr.min(t);
         pipesched_trace::store::clear();
+        pipesched_trace::flight::set_enabled(true);
+        let (_, t) = replay(&input, workers);
+        pipesched_trace::flight::set_enabled(false);
+        fl = fl.min(t);
+        pipesched_trace::flight::reset();
     }
 
     ObserveReport {
         disabled_micros: d1,
         disabled_again_micros: d2,
         traced_micros: tr,
+        flight_micros: fl,
         ..report_base
     }
 }
@@ -229,9 +264,11 @@ mod tests {
         assert!(r.cache_hits > 0, "repeated shapes must hit the cache");
         assert!(r.identity_ok, "aggregate search identity must hold");
         assert!(r.tier_answers.iter().sum::<u64>() == 30);
-        assert!(r.disabled_micros > 0 && r.traced_micros > 0);
-        // Tracing must stay off for whoever runs next in this process.
+        assert!(r.disabled_micros > 0 && r.traced_micros > 0 && r.flight_micros > 0);
+        // Tracing and the flight recorder must stay off for whoever runs
+        // next in this process.
         assert!(!pipesched_trace::enabled());
+        assert!(!pipesched_trace::flight::enabled());
         let doc = r.to_json();
         assert_eq!(doc.get("errors").and_then(Json::as_i64), Some(0));
         assert_eq!(doc.get("identity_ok").and_then(Json::as_bool), Some(true));

@@ -19,5 +19,6 @@
 
 pub mod experiments;
 pub mod report;
+pub mod trajectory;
 
 pub use experiments::sweep::{run_sweep, RunRecord, SweepConfig, SweepResult};

@@ -1,0 +1,503 @@
+//! The continuous perf-regression observatory.
+//!
+//! `repro bench` runs the serve / parallel / solve / prove experiments a
+//! few times each, condenses every metric to a median and inter-quartile
+//! range, and appends one schema-versioned [`Record`] to
+//! `BENCH_trajectory.json`. Records carry a *date-free* monotonic
+//! sequence number (last seq + 1), the short git revision, and a machine
+//! fingerprint — enough provenance to diff runs without ever parsing a
+//! timestamp.
+//!
+//! `repro compare --baseline FILE` diffs the newest trajectory record
+//! against a pinned baseline record metric by metric. Each metric ships
+//! its own noise tolerance; correctness counters (disagreements, audit
+//! failures, rejected certificates) carry a **zero** tolerance so any
+//! nonzero value is a regression regardless of how noisy the machine is.
+//! Timing metrics double their tolerance when the machine fingerprints
+//! differ — a different host is allowed to be slower, not broken.
+
+use std::collections::BTreeMap;
+
+use pipesched_json::{json_object, Json};
+
+/// Version stamp written into every record; bump on breaking layout
+/// changes so `compare` can refuse to diff across schemas.
+pub const SCHEMA_VERSION: i64 = 1;
+
+/// One measured metric: the median over this run's samples, the
+/// inter-quartile range as a spread estimate, the direction that counts
+/// as *better*, and the relative noise tolerance `compare` grants it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metric {
+    /// Median over the run's samples.
+    pub median: f64,
+    /// Inter-quartile range over the samples (0 with < 4 samples' worth
+    /// of spread).
+    pub iqr: f64,
+    /// Whether larger values are improvements (throughput) rather than
+    /// regressions (latency, failure counts).
+    pub higher_is_better: bool,
+    /// Allowed relative degradation, percent. **0 means exact**: any
+    /// degradation at all fails, which is how correctness counters are
+    /// gated (baseline 0, tolerance 0 → any nonzero value regresses).
+    pub tolerance_pct: f64,
+}
+
+impl Metric {
+    /// Condense samples into a median + IQR metric.
+    pub fn from_samples(samples: &[f64], higher_is_better: bool, tolerance_pct: f64) -> Metric {
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let q = |frac: f64| -> f64 {
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            let idx = ((sorted.len() - 1) as f64 * frac).round() as usize;
+            sorted[idx.min(sorted.len() - 1)]
+        };
+        Metric {
+            median: q(0.5),
+            iqr: q(0.75) - q(0.25),
+            higher_is_better,
+            tolerance_pct,
+        }
+    }
+
+    fn to_json(self) -> Json {
+        json_object![
+            ("median", self.median),
+            ("iqr", self.iqr),
+            ("higher_is_better", self.higher_is_better),
+            ("tolerance_pct", self.tolerance_pct),
+        ]
+    }
+
+    fn from_json(doc: &Json) -> Option<Metric> {
+        Some(Metric {
+            median: doc.get("median").and_then(Json::as_f64)?,
+            iqr: doc.get("iqr").and_then(Json::as_f64)?,
+            higher_is_better: doc.get("higher_is_better").and_then(Json::as_bool)?,
+            tolerance_pct: doc.get("tolerance_pct").and_then(Json::as_f64)?,
+        })
+    }
+}
+
+/// The machine a record was measured on. Timing comparisons across
+/// differing fingerprints double their tolerance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fingerprint {
+    /// `std::env::consts::OS`.
+    pub os: String,
+    /// `std::env::consts::ARCH`.
+    pub arch: String,
+    /// Available parallelism at measurement time.
+    pub cores: usize,
+}
+
+impl Fingerprint {
+    /// Fingerprint of the machine running right now.
+    pub fn current() -> Fingerprint {
+        Fingerprint {
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            cores: std::thread::available_parallelism()
+                .map(std::num::NonZero::get)
+                .unwrap_or(1),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        json_object![
+            ("os", self.os.as_str()),
+            ("arch", self.arch.as_str()),
+            ("cores", self.cores as i64),
+        ]
+    }
+
+    fn from_json(doc: &Json) -> Option<Fingerprint> {
+        Some(Fingerprint {
+            os: doc.get("os").and_then(Json::as_str)?.to_string(),
+            arch: doc.get("arch").and_then(Json::as_str)?.to_string(),
+            cores: doc.get("cores").and_then(Json::as_i64)? as usize,
+        })
+    }
+}
+
+/// Per-metric results of one experiment, keyed by metric name.
+pub type Metrics = BTreeMap<String, Metric>;
+
+/// One appended observatory record: everything `compare` needs to diff
+/// two points on the trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Layout version ([`SCHEMA_VERSION`]).
+    pub schema_version: i64,
+    /// Date-free monotonic sequence number: previous record's + 1.
+    pub seq: u64,
+    /// `git rev-parse --short HEAD`, or `unknown` outside a checkout.
+    pub git_rev: String,
+    /// Machine the record was measured on.
+    pub fingerprint: Fingerprint,
+    /// Whether the run used the reduced `--quick` sample sizes.
+    pub quick: bool,
+    /// Experiment name → metric name → measurement.
+    pub experiments: BTreeMap<String, Metrics>,
+}
+
+impl Record {
+    /// A fresh record for the current machine/revision at `seq`.
+    pub fn new(seq: u64, quick: bool) -> Record {
+        Record {
+            schema_version: SCHEMA_VERSION,
+            seq,
+            git_rev: git_rev(),
+            fingerprint: Fingerprint::current(),
+            quick,
+            experiments: BTreeMap::new(),
+        }
+    }
+
+    /// JSON for the trajectory file.
+    pub fn to_json(&self) -> Json {
+        let experiments = Json::Object(
+            self.experiments
+                .iter()
+                .map(|(name, metrics)| {
+                    let obj = Json::Object(
+                        metrics
+                            .iter()
+                            .map(|(m, v)| (m.clone(), v.to_json()))
+                            .collect(),
+                    );
+                    (name.clone(), obj)
+                })
+                .collect(),
+        );
+        json_object![
+            ("schema_version", self.schema_version),
+            ("seq", self.seq as i64),
+            ("git_rev", self.git_rev.as_str()),
+            ("fingerprint", self.fingerprint.to_json()),
+            ("quick", self.quick),
+            ("experiments", experiments),
+        ]
+    }
+
+    /// Parse a record back; `None` on layout mismatch.
+    pub fn from_json(doc: &Json) -> Option<Record> {
+        let schema_version = doc.get("schema_version").and_then(Json::as_i64)?;
+        let mut experiments = BTreeMap::new();
+        if let Some(Json::Object(pairs)) = doc.get("experiments") {
+            for (name, metrics_doc) in pairs {
+                let mut metrics = Metrics::new();
+                if let Json::Object(ms) = metrics_doc {
+                    for (metric_name, m) in ms {
+                        metrics.insert(metric_name.clone(), Metric::from_json(m)?);
+                    }
+                }
+                experiments.insert(name.clone(), metrics);
+            }
+        }
+        Some(Record {
+            schema_version,
+            seq: doc.get("seq").and_then(Json::as_i64)? as u64,
+            git_rev: doc.get("git_rev").and_then(Json::as_str)?.to_string(),
+            fingerprint: Fingerprint::from_json(doc.get("fingerprint")?)?,
+            quick: doc.get("quick").and_then(Json::as_bool)?,
+            experiments,
+        })
+    }
+
+    /// Add one experiment's metrics.
+    pub fn insert(&mut self, experiment: &str, metrics: Metrics) {
+        self.experiments.insert(experiment.to_string(), metrics);
+    }
+}
+
+/// `git rev-parse --short HEAD`, or `unknown` when git or the checkout
+/// is unavailable (the observatory must work from a tarball too).
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Parse a trajectory document: either `{"schema_version":…,
+/// "records":[…]}` or a bare record object (a pinned baseline file).
+pub fn parse_trajectory(text: &str) -> Result<Vec<Record>, String> {
+    let doc = pipesched_json::parse(text).map_err(|e| format!("bad trajectory JSON: {e}"))?;
+    let records_json: Vec<&Json> = match doc.get("records") {
+        Some(Json::Array(items)) => items.iter().collect(),
+        Some(other) => return Err(format!("`records` must be an array, got {other:?}")),
+        None => vec![&doc],
+    };
+    let mut records = Vec::with_capacity(records_json.len());
+    for r in records_json {
+        records.push(Record::from_json(r).ok_or("malformed trajectory record")?);
+    }
+    Ok(records)
+}
+
+/// Read the trajectory file; a missing file is an empty trajectory.
+pub fn load(path: &str) -> Result<Vec<Record>, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => parse_trajectory(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+        Err(e) => Err(format!("read {path}: {e}")),
+    }
+}
+
+/// Render records as the trajectory document.
+pub fn render(records: &[Record]) -> String {
+    let doc = json_object![
+        ("schema_version", SCHEMA_VERSION),
+        (
+            "records",
+            Json::Array(records.iter().map(Record::to_json).collect())
+        ),
+    ];
+    doc.to_pretty() + "\n"
+}
+
+/// Append `record` to the trajectory at `path` (created if missing).
+pub fn append(path: &str, record: Record) -> Result<(), String> {
+    let mut records = load(path)?;
+    records.push(record);
+    std::fs::write(path, render(&records)).map_err(|e| format!("write {path}: {e}"))
+}
+
+/// The next date-free sequence number for a trajectory.
+pub fn next_seq(records: &[Record]) -> u64 {
+    records.iter().map(|r| r.seq).max().map_or(1, |s| s + 1)
+}
+
+/// One metric's baseline-vs-candidate verdict.
+#[derive(Debug, Clone)]
+pub struct MetricDiff {
+    /// `experiment/metric` path.
+    pub name: String,
+    /// Baseline median.
+    pub base: f64,
+    /// Candidate median (`None` when the metric vanished — a regression).
+    pub new: Option<f64>,
+    /// Relative change, percent, signed so that positive = degradation.
+    pub degradation_pct: f64,
+    /// Tolerance actually applied (metric's own, floored by the CLI's,
+    /// doubled across differing machine fingerprints — except exact
+    /// zero-tolerance gates, which never loosen).
+    pub tolerance_pct: f64,
+    /// Whether this metric regressed beyond its tolerance.
+    pub regressed: bool,
+}
+
+/// Baseline-vs-candidate comparison: every baseline metric diffed.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Per-metric verdicts, trajectory order.
+    pub diffs: Vec<MetricDiff>,
+    /// Count of regressed metrics; nonzero fails the gate.
+    pub regressions: usize,
+}
+
+/// Diff `candidate` against `baseline`. `floor_tolerance_pct` raises
+/// every *nonzero* metric tolerance to at least that much; exact gates
+/// (tolerance 0) are never loosened by the floor or the fingerprint.
+pub fn compare(baseline: &Record, candidate: &Record, floor_tolerance_pct: f64) -> Comparison {
+    let mut diffs = Vec::new();
+    let cross_machine = baseline.fingerprint != candidate.fingerprint;
+    for (experiment, metrics) in &baseline.experiments {
+        for (metric_name, base) in metrics {
+            let name = format!("{experiment}/{metric_name}");
+            let exact = base.tolerance_pct == 0.0;
+            let mut tolerance = if exact {
+                0.0
+            } else {
+                base.tolerance_pct.max(floor_tolerance_pct)
+            };
+            if cross_machine && !exact {
+                tolerance *= 2.0;
+            }
+            let candidate_metric = candidate
+                .experiments
+                .get(experiment)
+                .and_then(|m| m.get(metric_name));
+            let Some(cand) = candidate_metric else {
+                diffs.push(MetricDiff {
+                    name,
+                    base: base.median,
+                    new: None,
+                    degradation_pct: f64::INFINITY,
+                    tolerance_pct: tolerance,
+                    regressed: true,
+                });
+                continue;
+            };
+            let degradation_pct = if base.median == 0.0 {
+                // An exact-zero baseline: any movement in the bad
+                // direction is 100% worse, improvement is 0.
+                let worse = if base.higher_is_better {
+                    cand.median < 0.0
+                } else {
+                    cand.median > 0.0
+                };
+                if worse {
+                    100.0
+                } else {
+                    0.0
+                }
+            } else {
+                let rel = 100.0 * (cand.median - base.median) / base.median.abs();
+                if base.higher_is_better {
+                    -rel
+                } else {
+                    rel
+                }
+            };
+            diffs.push(MetricDiff {
+                name,
+                base: base.median,
+                new: Some(cand.median),
+                degradation_pct,
+                tolerance_pct: tolerance,
+                regressed: degradation_pct > tolerance,
+            });
+        }
+    }
+    let regressions = diffs.iter().filter(|d| d.regressed).count();
+    Comparison { diffs, regressions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metric(median: f64, higher: bool, tol: f64) -> Metric {
+        Metric {
+            median,
+            iqr: 0.0,
+            higher_is_better: higher,
+            tolerance_pct: tol,
+        }
+    }
+
+    fn record_with(seq: u64, entries: &[(&str, &str, Metric)]) -> Record {
+        let mut r = Record::new(seq, true);
+        for (exp, name, m) in entries {
+            r.experiments
+                .entry(exp.to_string())
+                .or_default()
+                .insert(name.to_string(), *m);
+        }
+        r
+    }
+
+    #[test]
+    fn records_round_trip_through_json() {
+        let r = record_with(
+            3,
+            &[
+                ("serve", "throughput_rps", metric(120_000.0, true, 50.0)),
+                ("solve", "disagreements", metric(0.0, false, 0.0)),
+            ],
+        );
+        let text = render(std::slice::from_ref(&r));
+        let back = parse_trajectory(&text).unwrap();
+        assert_eq!(back, vec![r.clone()]);
+        // A bare record (pinned baseline file) parses too.
+        let bare = parse_trajectory(&r.to_json().to_pretty()).unwrap();
+        assert_eq!(bare, vec![r]);
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotonic_and_date_free() {
+        assert_eq!(next_seq(&[]), 1);
+        let r1 = record_with(1, &[]);
+        let r7 = record_with(7, &[]);
+        assert_eq!(next_seq(&[r1, r7]), 8);
+    }
+
+    #[test]
+    fn medians_and_iqr_come_from_the_samples() {
+        let m = Metric::from_samples(&[10.0, 30.0, 20.0], false, 50.0);
+        assert_eq!(m.median, 20.0);
+        // Nearest-rank quartiles on 3 samples: q25 = 20, q75 = 30.
+        assert_eq!(m.iqr, 10.0);
+        let m = Metric::from_samples(&[1.0, 2.0, 3.0, 4.0, 5.0], false, 50.0);
+        assert_eq!(m.median, 3.0);
+        assert_eq!(m.iqr, 2.0);
+        let lone = Metric::from_samples(&[42.0], true, 10.0);
+        assert_eq!(lone.median, 42.0);
+        assert_eq!(lone.iqr, 0.0);
+    }
+
+    #[test]
+    fn within_tolerance_changes_pass() {
+        let base = record_with(1, &[("serve", "rps", metric(100_000.0, true, 25.0))]);
+        let cand = record_with(2, &[("serve", "rps", metric(80_000.0, true, 25.0))]);
+        let cmp = compare(&base, &cand, 25.0);
+        assert_eq!(cmp.regressions, 0, "{:?}", cmp.diffs);
+        // Improvements never regress, however large.
+        let better = record_with(2, &[("serve", "rps", metric(500_000.0, true, 25.0))]);
+        assert_eq!(compare(&base, &better, 25.0).regressions, 0);
+    }
+
+    #[test]
+    fn injected_regression_fails_the_gate() {
+        let base = record_with(1, &[("serve", "rps", metric(100_000.0, true, 25.0))]);
+        // A fake degraded record: throughput halved, well past 25%.
+        let cand = record_with(2, &[("serve", "rps", metric(50_000.0, true, 25.0))]);
+        let cmp = compare(&base, &cand, 25.0);
+        assert_eq!(cmp.regressions, 1);
+        assert!(cmp.diffs[0].regressed);
+        assert!((cmp.diffs[0].degradation_pct - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lower_is_better_metrics_regress_upward() {
+        let base = record_with(1, &[("solve", "bnb_micros", metric(1_000.0, false, 30.0))]);
+        let slower = record_with(2, &[("solve", "bnb_micros", metric(1_600.0, false, 30.0))]);
+        assert_eq!(compare(&base, &slower, 0.0).regressions, 1);
+        let faster = record_with(2, &[("solve", "bnb_micros", metric(400.0, false, 30.0))]);
+        assert_eq!(compare(&base, &faster, 0.0).regressions, 0);
+    }
+
+    #[test]
+    fn exact_zero_gates_tolerate_nothing() {
+        let base = record_with(1, &[("solve", "disagreements", metric(0.0, false, 0.0))]);
+        let bad = record_with(2, &[("solve", "disagreements", metric(1.0, false, 0.0))]);
+        // Neither a generous CLI floor nor a foreign fingerprint loosens
+        // an exact gate.
+        let mut foreign = bad.clone();
+        foreign.fingerprint.cores += 64;
+        assert_eq!(compare(&base, &bad, 1_000.0).regressions, 1);
+        assert_eq!(compare(&base, &foreign, 1_000.0).regressions, 1);
+        let clean = record_with(2, &[("solve", "disagreements", metric(0.0, false, 0.0))]);
+        assert_eq!(compare(&base, &clean, 0.0).regressions, 0);
+    }
+
+    #[test]
+    fn missing_metric_is_a_regression() {
+        let base = record_with(1, &[("serve", "rps", metric(100_000.0, true, 25.0))]);
+        let empty = record_with(2, &[]);
+        let cmp = compare(&base, &empty, 25.0);
+        assert_eq!(cmp.regressions, 1);
+        assert!(cmp.diffs[0].new.is_none());
+    }
+
+    #[test]
+    fn foreign_fingerprint_doubles_noise_tolerance() {
+        let base = record_with(1, &[("serve", "rps", metric(100_000.0, true, 25.0))]);
+        let mut cand = record_with(2, &[("serve", "rps", metric(60_000.0, true, 25.0))]);
+        // 40% degradation: fails at 25% on the same machine…
+        assert_eq!(compare(&base, &cand, 0.0).regressions, 1);
+        // …passes at the doubled 50% across machines.
+        cand.fingerprint.cores += 64;
+        assert_eq!(compare(&base, &cand, 0.0).regressions, 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! End-to-end gate test for the perf observatory: `repro compare` must
+//! exit nonzero when the newest trajectory record degrades a metric
+//! beyond tolerance, and zero when everything is within budget.
+
+use std::collections::BTreeMap;
+use std::process::Command;
+
+use pipesched_bench::trajectory::{self, Metric, Record};
+
+fn metric(median: f64, higher_is_better: bool, tolerance_pct: f64) -> Metric {
+    Metric {
+        median,
+        iqr: 0.0,
+        higher_is_better,
+        tolerance_pct,
+    }
+}
+
+/// A record with a serve throughput metric and an exactly-gated solve
+/// disagreement counter.
+fn record(seq: u64, rps: f64, disagreements: f64) -> Record {
+    let mut r = Record::new(seq, true);
+    let mut serve = BTreeMap::new();
+    serve.insert("throughput_rps".to_string(), metric(rps, true, 25.0));
+    r.insert("serve", serve);
+    let mut solve = BTreeMap::new();
+    solve.insert(
+        "disagreements".to_string(),
+        metric(disagreements, false, 0.0),
+    );
+    r.insert("solve", solve);
+    r
+}
+
+fn run_compare(dir: &std::path::Path, baseline: &str) -> std::process::ExitStatus {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["compare", "--baseline", baseline, "--tolerance", "25%"])
+        .current_dir(dir)
+        .output()
+        .expect("repro compare must launch")
+        .status
+}
+
+#[test]
+fn compare_gate_fails_on_an_injected_regression_and_passes_clean() {
+    let dir = std::env::temp_dir().join(format!("pipesched_compare_gate_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline_path = dir.join("baseline.json");
+    std::fs::write(
+        &baseline_path,
+        record(1, 100_000.0, 0.0).to_json().to_pretty() + "\n",
+    )
+    .unwrap();
+    let trajectory_path = dir.join("BENCH_trajectory.json");
+
+    // Candidate 1: a fake regressed record — throughput halved, well past
+    // the 25% tolerance. The gate must fail (nonzero exit).
+    std::fs::write(
+        &trajectory_path,
+        trajectory::render(&[record(2, 50_000.0, 0.0)]),
+    )
+    .unwrap();
+    let status = run_compare(&dir, baseline_path.to_str().unwrap());
+    assert!(
+        !status.success(),
+        "compare must exit nonzero on a degraded metric"
+    );
+
+    // Candidate 2: throughput fine, but one backend disagreement — the
+    // zero-tolerance correctness gate must fail too.
+    std::fs::write(
+        &trajectory_path,
+        trajectory::render(&[record(3, 100_000.0, 1.0)]),
+    )
+    .unwrap();
+    let status = run_compare(&dir, baseline_path.to_str().unwrap());
+    assert!(
+        !status.success(),
+        "compare must exit nonzero on a correctness counter"
+    );
+
+    // Candidate 3: within tolerance → clean exit.
+    std::fs::write(
+        &trajectory_path,
+        trajectory::render(&[record(4, 90_000.0, 0.0)]),
+    )
+    .unwrap();
+    let status = run_compare(&dir, baseline_path.to_str().unwrap());
+    assert!(status.success(), "compare must pass a within-budget record");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -65,9 +65,7 @@ fn receiver_name(line: &str, end: usize) -> Option<String> {
         }
     }
     let path = &line[i..end];
-    let last = path
-        .rsplit(['.', ':'])
-        .find(|s| !s.is_empty())?;
+    let last = path.rsplit(['.', ':']).find(|s| !s.is_empty())?;
     if last.chars().next()?.is_alphabetic() {
         Some(last.to_string())
     } else {

@@ -211,6 +211,18 @@ pub struct SearchStats {
     pub proved_by_bound: bool,
 }
 
+impl SearchStats {
+    /// Candidates rejected by any pruning rule — the single "pruned"
+    /// number wide events and dashboards report.
+    pub fn pruned_total(&self) -> u64 {
+        self.pruned_quick
+            + self.pruned_legality
+            + self.pruned_equivalence
+            + self.pruned_bound
+            + self.pruned_symmetry
+    }
+}
+
 /// Result of a search: the best schedule found and how it was found.
 #[derive(Debug, Clone)]
 pub struct SearchOutcome {

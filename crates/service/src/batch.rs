@@ -16,6 +16,7 @@ use pipesched_analyze::{certify, Claim};
 use pipesched_ir::TupleId;
 use pipesched_json::{json_object, Json};
 use pipesched_machine::PipelineId;
+use pipesched_trace::flight;
 
 use crate::engine::ServiceEngine;
 use crate::request::parse_request;
@@ -208,6 +209,7 @@ pub fn summarize_responses(
                 summary.certified += 1;
             } else {
                 summary.certify_failures += 1;
+                note_rejected_response(&doc);
             }
         }
         if prove && doc.get("optimal").and_then(Json::as_bool) == Some(true) {
@@ -215,10 +217,30 @@ pub fn summarize_responses(
                 summary.proved += 1;
             } else {
                 summary.proof_failures += 1;
+                note_rejected_response(&doc);
             }
         }
     }
     summary
+}
+
+/// Record a synthetic wide event for a response the certifier or proof
+/// replay rejected. The rejection happens in the batch checker, not the
+/// serve loop, so no in-flight event exists — but a certifier rejection is
+/// exactly the kind of anomaly the flight recorder must freeze, wherever
+/// it surfaces.
+fn note_rejected_response(response: &Json) {
+    if !flight::enabled() {
+        return;
+    }
+    flight::begin(response.get("id").and_then(Json::as_i64).unwrap_or(-1));
+    flight::note_outcome(flight::Outcome::CertReject);
+    let micros = response
+        .get("micros")
+        .and_then(Json::as_i64)
+        .map(|m| m.max(1) as u64)
+        .unwrap_or(1);
+    flight::commit(micros, 0);
 }
 
 /// Escalate an `optimal` response to a full proof replay: search the
@@ -420,5 +442,35 @@ mod tests {
         let doc = summary.to_json();
         assert_eq!(doc.get("proved").and_then(Json::as_i64), Some(6));
         assert_eq!(doc.get("proof_failures").and_then(Json::as_i64), Some(0));
+    }
+
+    #[test]
+    fn certifier_rejection_freezes_a_flight_dump() {
+        let _toggle = crate::flight_test_lock();
+        flight::set_enabled(true);
+        flight::reset();
+        // A forged response claiming μ = 0 for a block whose real μ is
+        // positive: the certifier must reject it, and the rejection must
+        // surface as a frozen flight dump even though it happened in the
+        // offline batch checker rather than the serve loop.
+        let input = concat!(
+            r#"{"id": 7, "block": "1: Load #x\n2: Mul @1, @1\n3: Store #y, @2", "#,
+            r#""machine": "paper-simulation"}"#,
+            "\n"
+        );
+        let forged =
+            r#"{"id": 7, "ok": true, "order": [1, 2, 3], "nops": 0, "micros": 55}"#.to_string();
+        let summary = summarize_responses(input, vec![forged], 1, 0, true, false);
+        flight::set_enabled(false);
+        assert_eq!(summary.certify_failures, 1);
+        let dumps = flight::dumps();
+        let dump = dumps
+            .iter()
+            .find(|d| d.anomaly == flight::Anomaly::CertReject.name())
+            .expect("certifier rejection must freeze a flight dump");
+        let trigger = dump.events.last().unwrap();
+        assert_eq!(trigger.req, 7);
+        assert_eq!(trigger.outcome, flight::Outcome::CertReject.name());
+        assert!(trigger.verify());
     }
 }

@@ -32,6 +32,7 @@ use pipesched_core::{
 use pipesched_ir::{analysis::verify_schedule, BasicBlock, DepDag, TupleId};
 use pipesched_json::{json_object, Json};
 use pipesched_machine::{Machine, PipelineId};
+use pipesched_trace::flight::{self, Phase};
 use pipesched_trace::{point2, span};
 
 use crate::cache::{CacheEntry, ScheduleCache};
@@ -246,6 +247,16 @@ impl ServiceEngine {
                     ("shard_sizes", Json::Array(shard_sizes)),
                 ]
             ),
+            ("slo", crate::slo::to_json(&self.metrics)),
+            (
+                "trace",
+                json_object![
+                    ("stored", pipesched_trace::store::len() as i64),
+                    ("capacity", pipesched_trace::store::capacity() as i64),
+                    ("evicted", pipesched_trace::store::evicted_total() as i64),
+                ]
+            ),
+            ("flight", flight::stats().to_json()),
             (
                 "config",
                 json_object![
@@ -259,6 +270,29 @@ impl ServiceEngine {
                 ]
             ),
         ]
+    }
+
+    /// The `/healthz` payload: readiness of the serving stack. Probes the
+    /// cache shards (every shard lock must answer a size query) and runs a
+    /// canned scheduling self-test through the real search kernel plus the
+    /// independent legality verifier — if either wedges or answers
+    /// wrongly, the replica reports unready. `workers` is the serving
+    /// front end's worker-pool size (0 = no pool accepting connections).
+    pub fn health_json(&self, workers: usize) -> (bool, Json) {
+        let shard_sizes = self.cache.shard_sizes();
+        let shards_ok = shard_sizes.len() == self.cache.shard_count();
+        let selftest_ok = schedule_selftest();
+        let ok = shards_ok && selftest_ok && workers > 0;
+        (
+            ok,
+            json_object![
+                ("status", if ok { "ok" } else { "unready" }),
+                ("workers", workers as i64),
+                ("cache_shards", shard_sizes.len() as i64),
+                ("cache_shards_ok", shards_ok),
+                ("schedule_selftest_ok", selftest_ok),
+            ],
+        )
     }
 
     /// The `/metrics` payload: engine metrics plus cache gauges in
@@ -276,6 +310,28 @@ impl ServiceEngine {
             "Schedule-cache LRU evictions.",
             self.cache.evictions(),
         );
+        w.counter(
+            "pipesched_trace_evicted_total",
+            "Completed traces evicted off the trace store's ring.",
+            pipesched_trace::store::evicted_total(),
+        );
+        let fs = flight::stats();
+        w.counter(
+            "pipesched_flight_events_total",
+            "Wide events committed to the flight recorder.",
+            fs.recorded,
+        );
+        w.counter(
+            "pipesched_flight_evicted_total",
+            "Wide events evicted off the flight recorder's ring.",
+            fs.evicted,
+        );
+        w.counter(
+            "pipesched_flight_dumps_total",
+            "Anomaly dumps the flight recorder froze.",
+            fs.dumps_taken,
+        );
+        crate::slo::write_prometheus(&self.metrics, &mut w);
         w.finish()
     }
 
@@ -283,6 +339,7 @@ impl ServiceEngine {
     /// so the anytime contract (a legal schedule always comes back) holds.
     pub fn answer(&self, block: &BasicBlock, machine: &Machine, budget: Budget) -> Answer {
         let start = Instant::now();
+        let mut fclock = flight::clock();
         // One DAG + context for the whole request: every tier below reuses
         // it (and the canonicalizer shares its `allowed` table).
         let dag = {
@@ -290,10 +347,13 @@ impl ServiceEngine {
             DepDag::build(block)
         };
         let ctx = SchedContext::new(block, &dag, machine);
+        fclock.lap(Phase::Dag);
         let form = {
             let _s = span("canonicalize");
             canonicalize(&ctx)
         };
+        flight::note_block(form.key.hash, form.key.n, form.key.machine_fp);
+        fclock.lap(Phase::Canon);
         let nodes = budget.nodes.max(1);
 
         let hit = {
@@ -306,6 +366,8 @@ impl ServiceEngine {
                 Some(mut answer) => {
                     self.certify_debug(block, machine, &answer);
                     answer.cache_hit = true;
+                    fclock.lap(Phase::Cache);
+                    self.note_flight_answer(&answer, "hit");
                     self.metrics.record_answer(
                         Tier::Cache,
                         answer.backend,
@@ -323,6 +385,7 @@ impl ServiceEngine {
                 }
             }
         }
+        fclock.lap(Phase::Cache);
 
         let answer = self.escalate(&ctx, budget.deadline, nodes);
         self.certify_debug(block, machine, &answer);
@@ -330,6 +393,8 @@ impl ServiceEngine {
             let _s = span("cache_store");
             self.store(&form, &answer, nodes);
         }
+        fclock.lap(Phase::Search);
+        self.note_flight_answer(&answer, "miss");
         self.metrics.record_answer(
             answer.tier,
             answer.backend,
@@ -339,6 +404,24 @@ impl ServiceEngine {
             answer.omega_calls,
         );
         answer
+    }
+
+    /// Attach an answer's provenance to this thread's wide event (single
+    /// relaxed load when the flight recorder is off).
+    fn note_flight_answer(&self, answer: &Answer, cache: &'static str) {
+        flight::note_answer(
+            answer.tier.name(),
+            answer.backend.name(),
+            self.config.threads as u32,
+            cache,
+            answer.nops,
+            answer.optimal,
+            answer.deadline_hit,
+            answer.proof_digest.unwrap_or(0),
+        );
+        if answer.deadline_hit {
+            flight::note_outcome(flight::Outcome::DeadlineMiss);
+        }
     }
 
     /// The tier cascade on a cache miss.
@@ -356,6 +439,7 @@ impl ServiceEngine {
             search(ctx, &list_cfg)
         };
         self.metrics.search.record(&list.stats, true);
+        note_flight_search(&list.stats);
         if list.optimal {
             let mut answer = answer_from_search(&list, Tier::List, 0);
             if self.config.prove {
@@ -374,6 +458,7 @@ impl ServiceEngine {
             // Windowed stats aggregate several per-window searches, so they
             // never join the identity-eligible set.
             self.metrics.search.record(&w.stats, false);
+            note_flight_search(&w.stats);
             omega_spent += w.stats.omega_calls;
             Some(w)
         } else {
@@ -437,6 +522,10 @@ impl ServiceEngine {
                 };
                 let out = pipesched_solve::race(ctx, &race_cfg);
                 self.metrics.search.record(&out.bnb.stats, true);
+                note_flight_search(&out.bnb.stats);
+                if out.disagreement {
+                    flight::note_outcome(flight::Outcome::Disagreement);
+                }
                 self.metrics.record_sat_effort(
                     out.sat.stats.conflicts,
                     out.sat.stats.decisions,
@@ -535,6 +624,7 @@ impl ServiceEngine {
             (search(ctx, &bnb_cfg), None)
         };
         self.metrics.search.record(&bnb.stats, true);
+        note_flight_search(&bnb.stats);
         *omega_spent += bnb.stats.omega_calls;
         let mut answer = answer_from_search(&bnb, Tier::Bnb, *omega_spent);
         answer.proof_digest = bnb_digest;
@@ -562,6 +652,7 @@ impl ServiceEngine {
             (parallel_search(ctx, bnb_cfg, &par), None)
         };
         self.metrics.search.record(&out.stats, false);
+        note_flight_search(&out.stats);
         self.metrics
             .record_parallel(out.stats.steals, out.stats.splits);
         *omega_spent += out.stats.omega_calls;
@@ -637,6 +728,33 @@ impl ServiceEngine {
     }
 }
 
+/// The `/healthz` scheduling self-test: schedule a canned 6-tuple block
+/// through the real search kernel and verify the result with the
+/// independent legality checker. Runs outside the engine's metrics and
+/// cache so probes never skew production telemetry.
+fn schedule_selftest() -> bool {
+    let mut b = pipesched_ir::BlockBuilder::new("healthz");
+    let x = b.load("hx");
+    let y = b.load("hy");
+    let m = b.mul(x, y);
+    let a = b.add(x, y);
+    b.store("hm", m);
+    b.store("ha", a);
+    let Ok(block) = b.finish() else {
+        return false;
+    };
+    let machine = pipesched_machine::presets::paper_simulation();
+    let dag = DepDag::build(&block);
+    let ctx = SchedContext::new(&block, &dag, &machine);
+    let out = search(&ctx, &SearchConfig::with_lambda(1_000));
+    verify_schedule(&block, &dag, &out.order).is_ok() && out.etas.iter().sum::<u32>() == out.nops
+}
+
+/// Accumulate one search run's effort onto this thread's wide event.
+fn note_flight_search(stats: &pipesched_core::SearchStats) {
+    flight::note_search(stats.nodes_visited, stats.omega_calls, stats.pruned_total());
+}
+
 fn answer_from_search(out: &pipesched_core::SearchOutcome, tier: Tier, omega_calls: u64) -> Answer {
     Answer {
         order: out.order.clone(),
@@ -660,17 +778,27 @@ fn answer_from_search(out: &pipesched_core::SearchOutcome, tier: Tier, omega_cal
 /// search is cheap.
 fn prove_digest(ctx: &SchedContext<'_>, order: &[TupleId], nops: u32) -> u64 {
     let _s = span("prove");
-    let lb = global_lower_bound(ctx);
-    if nops == lb {
-        let order: Vec<u32> = order.iter().map(|t| t.0).collect();
-        return Certificate::by_bound(ctx.len() as u32, order, nops, lb).digest();
-    }
-    let cfg = SearchConfig {
-        lambda: u64::MAX,
-        ..SearchConfig::default()
+    // The prove phase runs inside the search lap, so wide events report it
+    // both standalone (`us_prove`) and as part of `us_search`.
+    let t0 = flight::active().then(Instant::now);
+    let digest = {
+        let lb = global_lower_bound(ctx);
+        if nops == lb {
+            let order: Vec<u32> = order.iter().map(|t| t.0).collect();
+            Certificate::by_bound(ctx.len() as u32, order, nops, lb).digest()
+        } else {
+            let cfg = SearchConfig {
+                lambda: u64::MAX,
+                ..SearchConfig::default()
+            };
+            let (_, cert) = pipesched_core::prove(ctx, &cfg);
+            cert.digest()
+        }
     };
-    let (_, cert) = pipesched_core::prove(ctx, &cfg);
-    cert.digest()
+    if let Some(t0) = t0 {
+        flight::phase_us(Phase::Prove, t0.elapsed().as_micros() as u64);
+    }
+    digest
 }
 
 /// Replay a cached canonical schedule on a (possibly different) block with

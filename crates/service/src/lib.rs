@@ -44,8 +44,19 @@ pub mod engine;
 pub mod metrics;
 pub mod request;
 pub mod serve;
+pub mod slo;
 
 pub use batch::{run_batch, summarize_responses, BatchSummary};
+
+/// Serializes tests that toggle the process-global trace/flight switches
+/// or reset the flight recorder, so concurrent tests in this binary never
+/// observe them mid-flip.
+#[cfg(test)]
+pub(crate) fn flight_test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 pub use cache::{CacheEntry, ScheduleCache};
 pub use canon::{canonicalize, machine_fingerprint, CanonForm, CanonKey};
 pub use engine::{Answer, Budget, EngineConfig, ServiceEngine, Tier};

@@ -9,7 +9,9 @@
 //! aggregate, and [`Metrics::write_prometheus`] renders the whole snapshot
 //! as Prometheus text for the `/metrics` endpoint.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
 
 use pipesched_core::{Backend, SearchStats};
 use pipesched_json::Json;
@@ -19,12 +21,24 @@ use crate::engine::Tier;
 
 const BUCKETS: usize = 30; // bucket b covers [2^b, 2^(b+1)) microseconds
 
-/// Log₂-bucketed latency histogram over microseconds.
+/// Observations at or above this land in the sparse exact tail as well as
+/// their log₂ bucket, so tail quantiles (p99, p99.9) and SLO burn-rate
+/// math answer exact values instead of bucket midpoints. 8192 µs is the
+/// floor of bucket 13 — cheap requests (the overwhelming majority) never
+/// touch the tail's mutex.
+pub const TAIL_FLOOR_MICROS: u64 = 8_192;
+
+/// Log₂-bucketed latency histogram over microseconds, with a sparse
+/// high-resolution tail: every observation ≥ [`TAIL_FLOOR_MICROS`] is
+/// also counted exactly, so quantiles that land in the tail are exact.
 #[derive(Debug, Default)]
 pub struct LatencyHistogram {
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
     sum_micros: AtomicU64,
+    /// Exact value → count for observations ≥ [`TAIL_FLOOR_MICROS`].
+    /// Slow requests are rare by definition, so this mutex is cold.
+    tail: Mutex<BTreeMap<u64, u64>>,
 }
 
 impl LatencyHistogram {
@@ -32,6 +46,10 @@ impl LatencyHistogram {
     pub fn record(&self, micros: u64) {
         let b = (63 - micros.max(1).leading_zeros() as usize).min(BUCKETS - 1);
         self.buckets[b].fetch_add(1, Ordering::Relaxed);
+        if micros >= TAIL_FLOOR_MICROS {
+            let mut tail = self.tail.lock().unwrap_or_else(PoisonError::into_inner);
+            *tail.entry(micros).or_insert(0) += 1;
+        }
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_micros.fetch_add(micros, Ordering::Relaxed);
     }
@@ -66,6 +84,24 @@ impl LatencyHistogram {
             return 0;
         }
         let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let tail_bucket = TAIL_FLOOR_MICROS.trailing_zeros() as usize;
+        let below_tail: u64 = self.buckets[..tail_bucket]
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum();
+        if rank > below_tail {
+            // The rank lands in the tail: answer the exact observation.
+            let tail = self.tail.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut seen = below_tail;
+            for (&micros, &c) in tail.iter() {
+                seen += c;
+                if seen >= rank {
+                    return micros;
+                }
+            }
+            // A concurrent record() bumped a bucket before its tail entry
+            // landed; fall through to the bucket estimate.
+        }
         let mut seen = 0u64;
         for (b, bucket) in self.buckets.iter().enumerate() {
             let c = bucket.load(Ordering::Relaxed);
@@ -78,6 +114,34 @@ impl LatencyHistogram {
             seen += c;
         }
         1u64 << (BUCKETS - 1)
+    }
+
+    /// Observations at or below `micros`: exact above the tail floor,
+    /// linearly prorated inside the one straddled log₂ bucket below it.
+    /// This is the SLO burn-rate numerator — "how many requests met the
+    /// objective" — so tail exactness matters more than bucket exactness
+    /// (objectives sit near the tail by construction).
+    pub fn count_at_or_below(&self, micros: u64) -> u64 {
+        if micros >= TAIL_FLOOR_MICROS {
+            let tail_bucket = TAIL_FLOOR_MICROS.trailing_zeros() as usize;
+            let below_tail: u64 = self.buckets[..tail_bucket]
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .sum();
+            let tail = self.tail.lock().unwrap_or_else(PoisonError::into_inner);
+            let in_tail: u64 = tail.range(..=micros).map(|(_, &c)| c).sum();
+            return below_tail + in_tail;
+        }
+        let cut = (63 - micros.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        let mut below: u64 = self.buckets[..cut]
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum();
+        let straddled = self.buckets[cut].load(Ordering::Relaxed);
+        let lo = 1u64 << cut;
+        let frac = (micros - lo + 1) as f64 / lo as f64;
+        below += (straddled as f64 * frac) as u64;
+        below
     }
 }
 
@@ -229,6 +293,11 @@ pub struct Metrics {
     pub parallel_splits: AtomicU64,
     /// Per-request wall-clock latency.
     pub latency: LatencyHistogram,
+    /// Per-request latency split by answering tier (cache/list/windowed/
+    /// bnb) — the SLO tracker's per-tier objectives read these.
+    pub tier_latency: [LatencyHistogram; 4],
+    /// Per-request latency split by concrete solving backend (bnb/sat).
+    pub backend_latency: [LatencyHistogram; 2],
     /// Fleet-wide search effort across every tier's searches.
     pub search: SearchAggregate,
 }
@@ -307,6 +376,8 @@ impl Metrics {
             self.budget_exhausted.fetch_add(1, Ordering::Relaxed);
         }
         self.latency.record(micros);
+        self.tier_latency[tier.index()].record(micros);
+        self.backend_latency[Self::backend_index(backend)].record(micros);
     }
 
     /// Dump every counter as a JSON object.
@@ -402,6 +473,7 @@ impl Metrics {
                     ("p50", self.latency.quantile_micros(0.50) as i64),
                     ("p90", self.latency.quantile_micros(0.90) as i64),
                     ("p99", self.latency.quantile_micros(0.99) as i64),
+                    ("p999", self.latency.quantile_micros(0.999) as i64),
                 ]
             ),
             ("search", self.search.to_json()),
@@ -544,7 +616,12 @@ impl Metrics {
             "Per-request wall-clock latency, microseconds.",
             "summary",
         );
-        for (label, q) in [("0.5", 0.50), ("0.9", 0.90), ("0.99", 0.99)] {
+        for (label, q) in [
+            ("0.5", 0.50),
+            ("0.9", 0.90),
+            ("0.99", 0.99),
+            ("0.999", 0.999),
+        ] {
             w.sample_labeled(
                 "pipesched_request_latency_micros",
                 &[("quantile", label)],
@@ -605,6 +682,50 @@ mod tests {
         // Monotone in q.
         assert!(h.quantile_micros(0.5) <= h.quantile_micros(0.9));
         assert!(h.quantile_micros(0.9) <= h.quantile_micros(0.99));
+    }
+
+    #[test]
+    fn tail_quantiles_are_exact_above_the_floor() {
+        // Uniform 1..=10000 µs: every observation ≥ 8192 also lands in
+        // the exact tail, so p99/p99.9 must be *exact*, not bucket
+        // midpoints — bucket 13 alone spans 8192..16384 µs, a 2× smear.
+        let h = LatencyHistogram::default();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile_micros(0.99), 9_900);
+        assert_eq!(h.quantile_micros(0.999), 9_990);
+        assert_eq!(h.quantile_micros(1.0), 10_000);
+        // Below the tail floor the estimate stays interpolated.
+        let p50 = h.quantile_micros(0.50);
+        assert!((est_err(p50, 5_000.0)) < 0.05, "p50 = {p50}");
+    }
+
+    fn est_err(est: u64, exact: f64) -> f64 {
+        (est as f64 - exact).abs() / exact
+    }
+
+    #[test]
+    fn count_at_or_below_is_exact_in_the_tail_and_prorated_below() {
+        let h = LatencyHistogram::default();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        // Above the floor: exact.
+        assert_eq!(h.count_at_or_below(9_500), 9_500);
+        assert_eq!(h.count_at_or_below(TAIL_FLOOR_MICROS), TAIL_FLOOR_MICROS);
+        assert_eq!(h.count_at_or_below(1_000_000), 10_000);
+        // Below the floor: prorated within the straddled bucket — exact
+        // here because the data is uniform.
+        assert_eq!(h.count_at_or_below(4), 4);
+        assert_eq!(h.count_at_or_below(1_000), 1_000);
+        // Monotone in the threshold.
+        let mut last = 0;
+        for t in [1u64, 10, 100, 1_000, 8_000, 8_192, 9_000, 20_000] {
+            let c = h.count_at_or_below(t);
+            assert!(c >= last, "count_at_or_below not monotone at {t}");
+            last = c;
+        }
     }
 
     #[test]

@@ -31,6 +31,8 @@ use std::io::{BufRead, BufReader, Cursor, Read, Write};
 use std::net::TcpListener;
 use std::time::Instant;
 
+use pipesched_trace::flight;
+
 use crate::engine::ServiceEngine;
 use crate::request::{error_json, parse_request, response_json};
 
@@ -176,13 +178,17 @@ pub(crate) fn handle_line(engine: &ServiceEngine, line: &str) -> String {
     } else {
         None
     };
+    flight::begin(-1);
     let start = Instant::now();
+    let mut fclock = flight::clock();
     let parsed = {
         let _s = pipesched_trace::span("parse");
         parse_request(line)
     };
+    fclock.lap(flight::Phase::Parse);
     let rendered = match parsed {
         Ok(req) => 'ok: {
+            flight::note_req(req.id.unwrap_or(-1));
             // Optimizer admission gate: run the front-end optimizer under
             // translation validation and refuse blocks whose transcript
             // the validator rejects. The gate never substitutes the
@@ -201,6 +207,7 @@ pub(crate) fn handle_line(engine: &ServiceEngine, line: &str) -> String {
                     Err(rej) => {
                         engine.metrics().record_opt_rejected();
                         engine.metrics().record_error();
+                        flight::note_outcome(flight::Outcome::AdmissionReject);
                         let codes: Vec<&str> = rej.codes().iter().map(|c| c.as_str()).collect();
                         break 'ok error_json(
                             req.id,
@@ -217,7 +224,13 @@ pub(crate) fn handle_line(engine: &ServiceEngine, line: &str) -> String {
             };
             let budget = req.budget(engine.config().default_nodes, start);
             let answer = engine.answer(&req.block, &req.machine, budget);
+            if !answer.optimal && !answer.deadline_hit {
+                flight::note_outcome(flight::Outcome::BudgetExhausted);
+            }
             let _s = pipesched_trace::span("respond");
+            // The engine's own phase clock covered dag→search; a fresh
+            // clock attributes only the rendering below to `respond`.
+            let mut rclock = flight::clock();
             let mut doc = response_json(
                 req.id,
                 &answer,
@@ -229,20 +242,27 @@ pub(crate) fn handle_line(engine: &ServiceEngine, line: &str) -> String {
                     pairs.push(("opt_verified".to_string(), pipesched_json::Json::Bool(true)));
                 }
             }
-            doc.to_compact()
+            let rendered = doc.to_compact();
+            rclock.lap(flight::Phase::Respond);
+            rendered
         }
         Err(message) => {
             engine.metrics().record_error();
+            flight::note_outcome(flight::Outcome::Error);
             // Salvage the id for correlation even when the rest is bad.
             let id = pipesched_json::parse(line)
                 .ok()
                 .and_then(|d| d.get("id").and_then(pipesched_json::Json::as_i64));
+            if let Some(id) = id {
+                flight::note_req(id);
+            }
             error_json(id, &message).to_compact()
         }
     };
     if trace_id.is_some() {
         pipesched_trace::end();
     }
+    flight::commit(start.elapsed().as_micros() as u64, trace_id.unwrap_or(0));
     rendered
 }
 
@@ -269,7 +289,7 @@ pub fn serve_tcp(
             continue;
         }
         if first.starts_with("GET ") {
-            handle_http(engine, &mut reader, stream, &first)?;
+            handle_http(engine, &mut reader, stream, &first, config.workers.max(1))?;
         } else {
             // Connections are handled sequentially; within one connection
             // the worker pool still answers requests concurrently. The
@@ -291,6 +311,7 @@ fn handle_http<R: BufRead, W: Write>(
     reader: &mut R,
     mut out: W,
     request_line: &str,
+    workers: usize,
 ) -> std::io::Result<()> {
     // Drain the request headers; a GET carries no body worth reading.
     let mut line = String::new();
@@ -301,7 +322,7 @@ fn handle_http<R: BufRead, W: Write>(
         }
     }
     let path = request_line.split_whitespace().nth(1).unwrap_or("/");
-    let (status, content_type, body) = route_http(engine, path);
+    let (status, content_type, body) = route_http(engine, path, workers);
     write!(
         out,
         "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
@@ -311,8 +332,13 @@ fn handle_http<R: BufRead, W: Write>(
     out.flush()
 }
 
-/// The observability routes exposed on the serving port.
-fn route_http(engine: &ServiceEngine, path: &str) -> (&'static str, &'static str, String) {
+/// The observability routes exposed on the serving port. `workers` is the
+/// front end's worker-pool size, reported by `/healthz`.
+fn route_http(
+    engine: &ServiceEngine,
+    path: &str,
+    workers: usize,
+) -> (&'static str, &'static str, String) {
     match path {
         "/metrics" => ("200 OK", "text/plain; version=0.0.4", engine.prometheus()),
         "/stats" => (
@@ -320,22 +346,62 @@ fn route_http(engine: &ServiceEngine, path: &str) -> (&'static str, &'static str
             "application/json",
             engine.stats_json().to_pretty() + "\n",
         ),
-        _ => match path
-            .strip_prefix("/trace/")
-            .and_then(|id| id.parse::<u64>().ok())
-            .and_then(pipesched_trace::store::get)
-        {
-            Some(trace) => (
-                "200 OK",
-                "application/x-ndjson",
-                pipesched_trace::render::to_ndjson(&trace),
-            ),
-            None => (
-                "404 Not Found",
-                "text/plain",
-                "unknown path; try /metrics, /stats, or /trace/<id>\n".to_string(),
-            ),
-        },
+        "/slo" => (
+            "200 OK",
+            "application/json",
+            crate::slo::to_json(engine.metrics()).to_pretty() + "\n",
+        ),
+        "/healthz" => {
+            let (ok, doc) = engine.health_json(workers);
+            (
+                if ok {
+                    "200 OK"
+                } else {
+                    "503 Service Unavailable"
+                },
+                "application/json",
+                doc.to_pretty() + "\n",
+            )
+        }
+        "/flight" => (
+            "200 OK",
+            "application/x-ndjson",
+            flight::to_ndjson(&flight::recent(flight::DUMP_WINDOW)),
+        ),
+        "/flight/dumps" => {
+            let dumps = flight::dumps();
+            let body: String = dumps.iter().map(flight::Dump::to_ndjson).collect();
+            ("200 OK", "application/x-ndjson", body)
+        }
+        _ => {
+            if let Some(n) = path
+                .strip_prefix("/flight/")
+                .and_then(|n| n.parse::<usize>().ok())
+            {
+                return (
+                    "200 OK",
+                    "application/x-ndjson",
+                    flight::to_ndjson(&flight::recent(n)),
+                );
+            }
+            match path
+                .strip_prefix("/trace/")
+                .and_then(|id| id.parse::<u64>().ok())
+                .and_then(pipesched_trace::store::get)
+            {
+                Some(trace) => (
+                    "200 OK",
+                    "application/x-ndjson",
+                    pipesched_trace::render::to_ndjson(&trace),
+                ),
+                None => (
+                    "404 Not Found",
+                    "text/plain",
+                    "unknown path; try /metrics, /stats, /slo, /healthz, /flight[/<n>|/dumps], or /trace/<id>\n"
+                        .to_string(),
+                ),
+            }
+        }
     }
 }
 
@@ -519,17 +585,18 @@ mod tests {
     #[test]
     fn unknown_http_path_is_a_404_not_a_crash() {
         let eng = engine();
-        let (status, _, body) = route_http(&eng, "/nope");
+        let (status, _, body) = route_http(&eng, "/nope", 2);
         assert_eq!(status, "404 Not Found");
         assert!(body.contains("/metrics"));
-        let (status, _, _) = route_http(&eng, "/trace/notanumber");
+        let (status, _, _) = route_http(&eng, "/trace/notanumber", 2);
         assert_eq!(status, "404 Not Found");
-        let (status, _, _) = route_http(&eng, "/trace/999999999");
+        let (status, _, _) = route_http(&eng, "/trace/999999999", 2);
         assert_eq!(status, "404 Not Found");
     }
 
     #[test]
     fn traced_requests_expose_span_dumps() {
+        let _toggle = crate::flight_test_lock();
         let eng = engine();
         pipesched_trace::set_enabled(true);
         let rendered = handle_line(&eng, REQ);
@@ -548,10 +615,102 @@ mod tests {
             );
         }
         // The span dump is served over HTTP.
-        let (status, ct, body) = route_http(&eng, &format!("/trace/{trace_id}"));
+        let (status, ct, body) = route_http(&eng, &format!("/trace/{trace_id}"), 2);
         assert_eq!(status, "200 OK");
         assert_eq!(ct, "application/x-ndjson");
         assert!(body.lines().count() > 4, "{body}");
+        for line in body.lines() {
+            pipesched_json::parse(line).expect("every dump line is JSON");
+        }
+    }
+
+    #[test]
+    fn healthz_and_slo_routes_respond() {
+        let eng = engine();
+        let (status, ct, body) = route_http(&eng, "/healthz", 2);
+        assert_eq!(status, "200 OK");
+        assert_eq!(ct, "application/json");
+        let doc = pipesched_json::parse(&body).unwrap();
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(doc.get("workers").and_then(Json::as_i64), Some(2));
+        assert_eq!(
+            doc.get("schedule_selftest_ok").and_then(Json::as_bool),
+            Some(true)
+        );
+        // A pool with no workers is not ready to serve.
+        let (status, _, body) = route_http(&eng, "/healthz", 0);
+        assert_eq!(status, "503 Service Unavailable");
+        let doc = pipesched_json::parse(&body).unwrap();
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("unready"));
+
+        handle_line(&eng, REQ);
+        let (status, ct, body) = route_http(&eng, "/slo", 2);
+        assert_eq!(status, "200 OK");
+        assert_eq!(ct, "application/json");
+        let doc = pipesched_json::parse(&body).unwrap();
+        let objectives = match doc.get("objectives") {
+            Some(Json::Array(rows)) => rows.len(),
+            other => panic!("objectives must be an array, got {other:?}"),
+        };
+        assert_eq!(objectives, crate::slo::objectives().len());
+    }
+
+    #[test]
+    fn induced_deadline_miss_freezes_a_flight_dump() {
+        let _toggle = crate::flight_test_lock();
+        let eng = engine();
+        pipesched_trace::set_enabled(true);
+        flight::set_enabled(true);
+        flight::reset();
+        // Five independent load/mul/store chains fight over the pipelines,
+        // so the list bound cannot prove optimality and the engine must
+        // search — against a deadline that expired before it started.
+        let lines: Vec<String> = (0..5)
+            .flat_map(|i| {
+                let b = 3 * i;
+                [
+                    format!("{}: Load #x{i}", b + 1),
+                    format!("{}: Mul @{}, @{}", b + 2, b + 1, b + 1),
+                    format!("{}: Store #y{i}, @{}", b + 3, b + 2),
+                ]
+            })
+            .collect();
+        let req = format!(
+            r#"{{"id": 4242, "block": "{}", "machine": "paper-simulation", "deadline_ms": 0}}"#,
+            lines.join(r"\n")
+        );
+        let rendered = handle_line(&eng, &req);
+        pipesched_trace::set_enabled(false);
+        flight::set_enabled(false);
+
+        let doc = pipesched_json::parse(&rendered).unwrap();
+        assert_eq!(doc.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(doc.get("deadline_hit").and_then(Json::as_bool), Some(true));
+
+        // The miss froze a dump whose trigger is the offending request's
+        // wide event, carrying the span-trace id for cross-reference.
+        let dumps = flight::dumps();
+        let dump = dumps
+            .iter()
+            .find(|d| d.anomaly == flight::Anomaly::DeadlineMiss.name())
+            .expect("deadline miss must freeze a flight dump");
+        let trigger = dump.events.last().expect("dump captures a window");
+        assert_eq!(trigger.seq, dump.trigger_seq);
+        assert_eq!(trigger.req, 4242);
+        assert_eq!(trigger.outcome, flight::Outcome::DeadlineMiss.name());
+        assert!(trigger.trace_id != 0, "wide event links to its span trace");
+        assert!(trigger.micros > 0);
+        assert!(trigger.verify(), "dumped events carry valid seals");
+
+        // Both HTTP views surface the same event.
+        let (status, ct, body) = route_http(&eng, "/flight/8", 2);
+        assert_eq!(status, "200 OK");
+        assert_eq!(ct, "application/x-ndjson");
+        assert!(body.contains("\"req\":4242"), "{body}");
+        let (status, _, body) = route_http(&eng, "/flight/dumps", 2);
+        assert_eq!(status, "200 OK");
+        assert!(body.contains("\"anomaly\":\"deadline_miss\""), "{body}");
+        assert!(body.contains("\"req\":4242"), "{body}");
         for line in body.lines() {
             pipesched_json::parse(line).expect("every dump line is JSON");
         }

@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod prom;
 pub mod render;
 pub mod store;

@@ -84,7 +84,9 @@ fn usage() -> ! {
          \x20      pipesched stats [<requests.ndjson> | --tcp ADDR[:PORT]] [--json | --prom]\n\
          \x20                [--workers N] [--nodes N]\n\
          \x20      pipesched trace <input> [--machine NAME|FILE] [--lambda N] [--no-optimize]\n\
-         \x20                [--flame | --ndjson]"
+         \x20                [--flame | --ndjson]\n\
+         \x20      pipesched flight [<requests.ndjson> | --tcp ADDR[:PORT]] [-n N]\n\
+         \x20                [--ndjson | --flame | --dumps] [--workers N] [--nodes N]"
     );
     std::process::exit(2)
 }
@@ -228,6 +230,7 @@ fn main() -> ExitCode {
         Some("batch") => run_batch_cmd(),
         Some("stats") => run_stats(),
         Some("trace") => run_trace(),
+        Some("flight") => run_flight(),
         _ => run().map(|()| ExitCode::SUCCESS),
     };
     match dispatch {
@@ -1128,6 +1131,7 @@ fn run_serve() -> Result<ExitCode, String> {
     let mut verify_opt = false;
     let mut backend = Backend::Bnb;
     let mut threads = 1usize;
+    let mut flight_on = true;
 
     let mut args = std::env::args().skip(2);
     while let Some(a) = args.next() {
@@ -1143,6 +1147,7 @@ fn run_serve() -> Result<ExitCode, String> {
             "--cache-file" => cache_file = Some(value()?),
             "--metrics" => dump_metrics = true,
             "--trace" => trace = true,
+            "--no-flight" => flight_on = false,
             "--verify-opt" => verify_opt = true,
             "--backend" => {
                 let name = value()?;
@@ -1157,6 +1162,13 @@ fn run_serve() -> Result<ExitCode, String> {
         // Every request records a span tree; responses carry `trace_id`
         // and `GET /trace/<id>` on the TCP port serves the dump.
         pipesched::trace::set_enabled(true);
+    }
+    if flight_on {
+        // The flight recorder is on by default: one wide event per
+        // request into a bounded ring, frozen as an NDJSON dump when an
+        // anomaly fires. Disabled-path cost when opted out is a single
+        // relaxed load (`--no-flight`, measured by `repro observe`).
+        pipesched::trace::flight::set_enabled(true);
     }
 
     let mut engine_config = pipesched::service::EngineConfig {
@@ -1655,5 +1667,111 @@ fn run_trace() -> Result<ExitCode, String> {
             "truncated"
         }
     );
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `pipesched flight`: render the wide-event flight recorder — the last N
+/// events as a table (default), raw NDJSON, or folded flame stacks, or
+/// the frozen anomaly dumps (`--dumps`). Reads a live server over TCP, or
+/// replays a request file through a fresh engine with the recorder on.
+fn run_flight() -> Result<ExitCode, String> {
+    use pipesched::trace::flight;
+
+    let mut input: Option<String> = None;
+    let mut tcp: Option<String> = None;
+    let mut n = 64usize;
+    let mut ndjson = false;
+    let mut flame = false;
+    let mut dumps = false;
+    let mut workers = 4usize;
+    let mut nodes = pipesched::service::EngineConfig::default().default_nodes;
+
+    let mut args = std::env::args().skip(2);
+    while let Some(a) = args.next() {
+        let mut value = || args.next().ok_or_else(|| format!("{a} requires a value"));
+        match a.as_str() {
+            "--tcp" => tcp = Some(value()?),
+            "-n" | "--events" => n = value()?.parse().map_err(|e| format!("-n: {e}"))?,
+            "--ndjson" => ndjson = true,
+            "--flame" => flame = true,
+            "--dumps" => dumps = true,
+            "--workers" => workers = value()?.parse().map_err(|e| format!("--workers: {e}"))?,
+            "--nodes" => nodes = value()?.parse().map_err(|e| format!("--nodes: {e}"))?,
+            "--help" | "-h" => usage(),
+            "-" if input.is_none() => input = Some("-".into()),
+            other if input.is_none() && !other.starts_with('-') => input = Some(other.to_string()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if (u8::from(ndjson) + u8::from(flame) + u8::from(dumps)) > 1 {
+        return Err("--ndjson, --flame, and --dumps are mutually exclusive".into());
+    }
+
+    if let Some(addr) = &tcp {
+        if dumps {
+            print!("{}", http_get_body(addr, "/flight/dumps")?);
+            return Ok(ExitCode::SUCCESS);
+        }
+        let body = http_get_body(addr, &format!("/flight/{n}"))?;
+        if ndjson {
+            print!("{body}");
+            return Ok(ExitCode::SUCCESS);
+        }
+        // Re-parse the server's NDJSON; the seal survives the round trip,
+        // so client-side verification still catches tampering in transit.
+        let events: Vec<flight::WideEvent> = body
+            .lines()
+            .filter_map(flight::WideEvent::from_ndjson)
+            .collect();
+        let torn = events.iter().filter(|e| !e.verify()).count();
+        if flame {
+            print!("{}", flight::render_flame(&events));
+        } else {
+            print!("{}", flight::render_table(&events));
+        }
+        if torn > 0 {
+            eprintln!("; warning: {torn} event(s) failed their self-checksum");
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    // Local mode: replay a request file with the recorder enabled, then
+    // render what it captured.
+    let input = input.ok_or("flight needs a request file or --tcp ADDR")?;
+    let text = read_input(&input)?;
+    flight::set_enabled(true);
+    flight::reset();
+    let engine = pipesched::service::ServiceEngine::new(
+        pipesched::service::EngineConfig {
+            default_nodes: nodes,
+            ..Default::default()
+        },
+        1024,
+        8,
+    );
+    pipesched::service::run_batch(
+        &engine,
+        &text,
+        &pipesched::service::ServeConfig { workers },
+        false,
+        false,
+    )
+    .map_err(|e| e.to_string())?;
+    flight::set_enabled(false);
+
+    if dumps {
+        for d in flight::dumps() {
+            print!("{}", d.to_ndjson());
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+    let events = flight::recent(n);
+    if ndjson {
+        print!("{}", flight::to_ndjson(&events));
+    } else if flame {
+        print!("{}", flight::render_flame(&events));
+    } else {
+        print!("{}", flight::render_table(&events));
+    }
     Ok(ExitCode::SUCCESS)
 }

@@ -70,6 +70,75 @@ fn readme_diagnostic_table_matches_the_analyzer() {
     assert_eq!(rows.len(), DiagCode::ALL.len());
 }
 
+/// Extract the backtick-quoted field names from the README's wide-event
+/// table — the rows following the `| wide-event field | meaning |`
+/// header, until the first non-table line.
+fn readme_wide_event_fields() -> Vec<String> {
+    let readme = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/README.md"))
+        .expect("README.md is readable");
+    let mut fields = Vec::new();
+    let mut in_table = false;
+    for line in readme.lines() {
+        let cells: Vec<&str> = line.split('|').map(str::trim).collect();
+        if cells.len() == 4 && cells[1] == "wide-event field" && cells[2] == "meaning" {
+            in_table = true;
+            continue;
+        }
+        if !in_table {
+            continue;
+        }
+        if cells.len() != 4 {
+            break; // table ended
+        }
+        if cells[1].starts_with("---") {
+            continue; // separator row
+        }
+        let field = cells[1].trim_matches('`').to_string();
+        assert!(
+            !fields.contains(&field),
+            "README wide-event table documents `{field}` twice"
+        );
+        fields.push(field);
+    }
+    fields
+}
+
+/// The README's wide-event field table is a contract with the flight
+/// recorder: it must list exactly [`WideEvent::FIELDS`], in order, so a
+/// reader of a dumped NDJSON line can look every column up.
+#[test]
+fn readme_wide_event_table_matches_the_flight_recorder() {
+    use pipesched::trace::flight::WideEvent;
+
+    let documented = readme_wide_event_fields();
+    assert!(
+        !documented.is_empty(),
+        "no `| wide-event field | meaning |` table found in README.md"
+    );
+
+    let registered: Vec<&str> = WideEvent::FIELDS.to_vec();
+    let missing: Vec<&&str> = registered
+        .iter()
+        .filter(|f| !documented.iter().any(|d| d == **f))
+        .collect();
+    let stale: Vec<&String> = documented
+        .iter()
+        .filter(|d| !registered.contains(&d.as_str()))
+        .collect();
+    assert!(
+        missing.is_empty() && stale.is_empty(),
+        "README wide-event table out of sync with crates/trace/src/flight.rs\n\
+         undocumented fields: {missing:?}\n\
+         stale rows (no such field): {stale:?}"
+    );
+    // Same set both ways — now pin the order to emission order, so the
+    // table reads in the same order as a dumped NDJSON line.
+    assert_eq!(
+        documented, registered,
+        "README wide-event rows must follow WideEvent::FIELDS emission order"
+    );
+}
+
 /// The dataflow/translation-validation family (`A05xx`) specifically:
 /// every code the analyzer registers is documented, and every documented
 /// `A05` row names a registered code — in both directions, independently
